@@ -1,0 +1,42 @@
+// Ablation: analytic residency vs trace-driven cache simulation.
+//
+// The measurement substrate places each kernel's memory traffic at the cache
+// level its footprint fits in. This bench replays real memory traces through
+// a set-associative LRU L1/L2 and reports where the fills actually came
+// from, next to the analytic verdict, across kernels and problem sizes.
+#include <iostream>
+
+#include "machine/cache_sim.hpp"
+#include "machine/targets.hpp"
+#include "support/table.hpp"
+#include "tsvc/kernel.hpp"
+
+int main() {
+  using namespace veccost;
+  std::cout << "=== Ablation: analytic residency vs simulated cache "
+               "(Cortex-A57) ===\n\n";
+  const auto target = machine::cortex_a57();
+  TextTable t({"kernel", "n", "analytic", "simulated", "L1 hit%", "L2 fill%",
+               "DRAM fill%"});
+  const char* kernels[] = {"s000", "vpvtv", "s319", "s127", "vag", "s2101"};
+  for (const char* name : kernels) {
+    const auto* info = tsvc::find_kernel(name);
+    const ir::LoopKernel k = info->build();
+    for (const std::int64_t n : {std::int64_t{2048}, std::int64_t{32768},
+                                 std::int64_t{262144}}) {
+      if (k.trip.num == 0 && n != 2048) continue;  // fixed-size 2-D kernels
+      const auto sim = machine::simulate_cache(k, target, n);
+      t.add_row({name, std::to_string(n),
+                 machine::analytic_residency(k, target, n),
+                 sim.dominant_level(), TextTable::pct(sim.l1_fraction()),
+                 TextTable::pct(sim.l2_fraction()),
+                 TextTable::pct(sim.dram_fraction())});
+    }
+  }
+  std::cout << t.to_string();
+  std::cout << "\n(interpretation: the footprint shortcut matches the "
+               "steady-state trace for contiguous kernels; gathers (vag) pull "
+               "more lines from further out than their footprint suggests — "
+               "the penalty the detailed model charges per lane)\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: where do the models err? Per-TSVC-category breakdown of the
+// baseline's and the fitted model's prediction error on ARM.
+#include <iostream>
+#include <map>
+
+#include "eval/experiments.hpp"
+#include "machine/targets.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace veccost;
+  std::cout << "=== Ablation: per-category prediction error (Cortex-A57) ===\n\n";
+  const auto sm = eval::measure_suite(machine::cortex_a57());
+  const auto base = eval::experiment_baseline(sm);
+  const auto fit = eval::experiment_fit_speedup(sm, model::Fitter::NNLS,
+                                                analysis::FeatureSet::Rated);
+  const auto idx = sm.dataset_indices();
+  const Vector measured = sm.measured_speedups();
+
+  struct Agg {
+    double base_err = 0, fit_err = 0, speedup = 0;
+    int count = 0;
+  };
+  std::map<std::string, Agg> by_cat;
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    auto& agg = by_cat[sm.kernels[idx[r]].category];
+    agg.base_err += std::abs(base.predictions[r] - measured[r]);
+    agg.fit_err += std::abs(fit.eval.predictions[r] - measured[r]);
+    agg.speedup += measured[r];
+    ++agg.count;
+  }
+
+  TextTable t({"category", "kernels", "mean speedup", "baseline |err|",
+               "fitted |err|"});
+  for (const auto& [cat, agg] : by_cat) {
+    t.add_row({cat, std::to_string(agg.count),
+               TextTable::num(agg.speedup / agg.count),
+               TextTable::num(agg.base_err / agg.count),
+               TextTable::num(agg.fit_err / agg.count)});
+  }
+  std::cout << t.to_string();
+  std::cout << "\n(interpretation: the baseline's error concentrates where "
+               "its additive assumption breaks — reductions (latency chains) "
+               "and streaming idioms (bandwidth); the fitted model spreads a "
+               "much smaller error evenly)\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Ablation: count vs rated vs extended feature sets, per fitter and target —
+// the slides' "next steps: add more code features" made concrete.
+#include <iostream>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "machine/targets.hpp"
+
+int main() {
+  using namespace veccost;
+  std::cout << "=== Ablation: feature sets (counts / rated / extended) ===\n\n";
+  for (const auto& target : machine::all_targets()) {
+    const auto sm = eval::measure_suite(target);
+    std::vector<eval::ModelEval> evals{eval::experiment_baseline(sm)};
+    for (const auto set :
+         {analysis::FeatureSet::Counts, analysis::FeatureSet::Rated,
+          analysis::FeatureSet::Extended}) {
+      evals.push_back(
+          eval::experiment_fit_speedup(sm, model::Fitter::NNLS, set).eval);
+    }
+    std::cout << "--- " << target.name << " ---\n";
+    eval::print_model_comparison(std::cout, evals);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Ablation: L2 vs NNLS vs SVR on every target, in-sample and LOOCV.
+#include <iostream>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "machine/targets.hpp"
+
+int main() {
+  using namespace veccost;
+  std::cout << "=== Ablation: fitters (L2 / NNLS / SVR), in-sample and "
+               "LOOCV ===\n\n";
+  for (const auto& target : machine::all_targets()) {
+    const auto sm = eval::measure_suite(target);
+    std::vector<eval::ModelEval> evals{eval::experiment_baseline(sm)};
+    for (const auto fitter :
+         {model::Fitter::L2, model::Fitter::NNLS, model::Fitter::SVR}) {
+      evals.push_back(eval::experiment_fit_speedup(
+                          sm, fitter, analysis::FeatureSet::Counts, false)
+                          .eval);
+      evals.push_back(eval::experiment_fit_speedup(
+                          sm, fitter, analysis::FeatureSet::Counts, true)
+                          .eval);
+    }
+    std::cout << "--- " << target.name << " ---\n";
+    eval::print_model_comparison(std::cout, evals);
+    std::cout << '\n';
+  }
+  return 0;
+}

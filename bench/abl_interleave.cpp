@@ -1,0 +1,55 @@
+// Ablation: interleaved access groups in the measurement substrate.
+//
+// When a[2i] and a[2i+1] are both touched, the hardware streams whole
+// cachelines and vector code only pays shuffles; a model that treats each
+// strided access independently overtaxes them. This sweep compares measured
+// speedups and cost-model quality with group modeling on and off.
+#include <iostream>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/targets.hpp"
+#include "support/table.hpp"
+#include "tsvc/kernel.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+
+int main() {
+  using namespace veccost;
+  std::cout << "=== Ablation: interleaved access-group modeling ===\n\n";
+
+  machine::TargetDesc grouped = machine::cortex_a57();
+  machine::TargetDesc ungrouped = machine::cortex_a57();
+  ungrouped.name = "cortex-a57-nogroups";
+  ungrouped.model_interleave_groups = false;
+
+  TextTable t({"kernel", "speedup (groups)", "speedup (no groups)"});
+  for (const char* name : {"s127", "s1111", "s128", "s171", "s351", "vpv"}) {
+    const auto* info = tsvc::find_kernel(name);
+    const ir::LoopKernel scalar = info->build();
+    std::vector<std::string> row{name};
+    for (const auto* target : {&grouped, &ungrouped}) {
+      const auto vec = vectorizer::vectorize_loop(scalar, *target);
+      row.push_back(vec.ok
+                        ? TextTable::num(machine::measure_speedup(
+                              vec.kernel, scalar, *target, scalar.default_n))
+                        : "-");
+    }
+    t.add_row(row);
+  }
+  std::cout << t.to_string() << '\n';
+
+  for (const auto* target : {&grouped, &ungrouped}) {
+    const auto sm = eval::measure_suite(*target);
+    const auto base = eval::experiment_baseline(sm);
+    const auto fit = eval::experiment_fit_speedup(sm, model::Fitter::NNLS,
+                                                  analysis::FeatureSet::Rated);
+    std::cout << "--- ground truth: " << target->name << " ---\n";
+    eval::print_model_comparison(std::cout, {base, fit.eval});
+    std::cout << '\n';
+  }
+  std::cout << "(interpretation: group modeling lifts interleaved kernels "
+               "toward break-even; the fitted model adapts to either ground "
+               "truth, the static baseline cannot)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: transform selection quality (the slide-2 motivation, "aligned
+// cost models enable comparison of different transformation options").
+//
+// For every kernel with at least one legal transform, the selector picks
+// among {scalar, LLV@VF, LLV@VF/2, SLP} using either the additive baseline
+// predictions or the fitted model. Reported: how often each predictor picks
+// the oracle's choice and its mean regret (chosen time / best time).
+#include <iostream>
+
+#include "costmodel/selector.hpp"
+#include "costmodel/trainer.hpp"
+#include "eval/measurement.hpp"
+#include "machine/targets.hpp"
+#include "support/table.hpp"
+#include "tsvc/kernel.hpp"
+
+int main() {
+  using namespace veccost;
+  std::cout << "=== Ablation: transform selection (scalar / LLV / SLP) ===\n\n";
+
+  for (const auto& target : machine::all_targets()) {
+    const auto sm = eval::measure_suite(target);
+    const auto fitted = model::fit_model(
+        sm.design_matrix(analysis::FeatureSet::Rated), sm.measured_speedups(),
+        model::Fitter::NNLS, analysis::FeatureSet::Rated);
+    const model::TransformSelector base_sel(target);
+    const model::TransformSelector fit_sel(target, fitted);
+
+    struct Tally {
+      int optimal = 0;
+      double regret = 0;
+    } base_t, fit_t, always_t;
+    int count = 0;
+
+    for (const auto& info : tsvc::suite()) {
+      const ir::LoopKernel k = info.build();
+      const auto rb = base_sel.select(k, k.default_n);
+      if (rb.options.size() < 2) continue;
+      const auto rf = fit_sel.select(k, k.default_n);
+      ++count;
+      base_t.optimal += rb.optimal();
+      base_t.regret += rb.regret();
+      fit_t.optimal += rf.optimal();
+      fit_t.regret += rf.regret();
+      // "Always vectorize with the widest legal option" straw policy.
+      std::size_t widest = 0;
+      for (std::size_t i = 1; i < rb.options.size(); ++i)
+        if (rb.options[i].kind == model::TransformKind::Loop &&
+            rb.options[i].width >= rb.options[widest].width)
+          widest = i;
+      always_t.optimal += widest == rb.best;
+      always_t.regret +=
+          rb.options[widest].measured_cycles / rb.options[rb.best].measured_cycles;
+    }
+
+    TextTable t({"policy", "optimal picks", "mean regret"});
+    auto row = [&](const char* name, const Tally& tal) {
+      t.add_row({name,
+                 std::to_string(tal.optimal) + "/" + std::to_string(count),
+                 TextTable::num(tal.regret / count, 3)});
+    };
+    row("always widest LLV", always_t);
+    row("baseline predictor", base_t);
+    row("fitted predictor", fit_t);
+    std::cout << "--- " << target.name << " ---\n" << t.to_string() << '\n';
+  }
+  std::cout << "(paper shape: a model aligned across transforms picks the "
+               "oracle's option more often and carries less regret)\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Slide 16, "L2 - LOOCV Validation Results": the least-squares counterpart
+// of the slide-11 cross validation.
+#include <iostream>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "machine/targets.hpp"
+
+int main() {
+  using namespace veccost;
+  std::cout << "=== Figure: slide 16 — LOOCV with L2, Cortex-A57 ===\n\n";
+  const auto sm = eval::measure_suite(machine::cortex_a57());
+  const auto in_sample = eval::experiment_fit_speedup(
+      sm, model::Fitter::L2, analysis::FeatureSet::Rated, /*loocv=*/false);
+  const auto loocv = eval::experiment_fit_speedup(
+      sm, model::Fitter::L2, analysis::FeatureSet::Rated, /*loocv=*/true);
+  eval::print_model_comparison(std::cout, {in_sample.eval, loocv.eval});
+  std::cout << '\n';
+  eval::print_scatter(std::cout, sm, loocv.eval, 25);
+  std::cout << "\n(paper shape: L2 LOOCV tracks the in-sample fit but with "
+               "more volatile extremes than NNLS)\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Slides 17-18, "State of the Art x86" and "Results: Fitted for Cost x86":
+// the Xeon E5 AVX2 baseline, then fitting the raw vector block cost with
+// L2, NNLS and SVR.
+#include <iostream>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "machine/targets.hpp"
+
+int main() {
+  using namespace veccost;
+  std::cout << "=== Figure: slides 17-18 — baseline + fitted-for-cost, "
+               "Xeon E5 AVX2 ===\n\n";
+  const auto sm = eval::measure_suite(machine::xeon_e5_avx2());
+  eval::print_suite_overview(std::cout, sm);
+  std::cout << '\n';
+  const auto base = eval::experiment_baseline(sm);
+  const auto l2 = eval::experiment_fit_cost(sm, model::Fitter::L2,
+                                            analysis::FeatureSet::Counts);
+  const auto nnls = eval::experiment_fit_cost(sm, model::Fitter::NNLS,
+                                              analysis::FeatureSet::Counts);
+  const auto svr = eval::experiment_fit_cost(sm, model::Fitter::SVR,
+                                             analysis::FeatureSet::Counts);
+  eval::print_model_comparison(std::cout, {base, l2.eval, nnls.eval, svr.eval});
+  std::cout << "\n(paper shape: fitting raw cost already improves over the "
+               "baseline, but the wide target interval limits the fit)\n";
+  return 0;
+}

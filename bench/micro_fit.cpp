@@ -1,0 +1,72 @@
+// Microbenchmarks of the fitting kernels (google-benchmark): QR least
+// squares, Lawson-Hanson NNLS and dual-coordinate-descent SVR at
+// TSVC-dataset-like shapes and larger.
+#include <benchmark/benchmark.h>
+
+#include "fit/least_squares.hpp"
+#include "fit/nnls.hpp"
+#include "fit/svr.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace veccost;
+
+struct Data {
+  Matrix x;
+  Vector y;
+};
+
+Data make_data(std::size_t rows, std::size_t cols) {
+  Rng rng(rows * 131 + cols);
+  Matrix x(rows, cols);
+  Vector w(cols);
+  for (auto& v : w) v = rng.uniform(0.1, 1.0);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) x(r, c) = rng.uniform(0, 5);
+  Vector y = x * w;
+  for (auto& v : y) v += 0.05 * rng.normal();
+  return {std::move(x), std::move(y)};
+}
+
+void BM_LeastSquares(benchmark::State& state) {
+  const Data d = make_data(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::solve_least_squares(d.x, d.y));
+  }
+}
+BENCHMARK(BM_LeastSquares)->Args({100, 14})->Args({1000, 14})->Args({1000, 64});
+
+void BM_Nnls(benchmark::State& state) {
+  const Data d = make_data(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::solve_nnls(d.x, d.y));
+  }
+}
+BENCHMARK(BM_Nnls)->Args({100, 14})->Args({1000, 14});
+
+void BM_Svr(benchmark::State& state) {
+  const Data d = make_data(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::solve_svr(d.x, d.y, {.max_sweeps = 200}));
+  }
+}
+BENCHMARK(BM_Svr)->Args({100, 14})->Args({500, 14});
+
+void BM_Loocv100(benchmark::State& state) {
+  const Data d = make_data(100, 14);
+  for (auto _ : state) {
+    // One full leave-one-out pass with L2 (100 fits).
+    for (std::size_t i = 0; i < d.x.rows(); ++i) {
+      const Matrix xi = d.x.without_row(i);
+      const Vector yi = without_element(d.y, i);
+      benchmark::DoNotOptimize(fit::solve_least_squares(xi, yi));
+    }
+  }
+}
+BENCHMARK(BM_Loocv100);
+
+}  // namespace

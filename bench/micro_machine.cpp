@@ -1,0 +1,57 @@
+// Microbenchmarks of the machine layer: the analytic performance model and
+// the functional executor.
+#include <benchmark/benchmark.h>
+
+#include "machine/executor.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/targets.hpp"
+#include "tsvc/kernel.hpp"
+
+namespace {
+
+using namespace veccost;
+
+void BM_PerfModelSuite(benchmark::State& state) {
+  std::vector<ir::LoopKernel> kernels;
+  for (const auto& info : tsvc::suite()) kernels.push_back(info.build());
+  const auto target = machine::cortex_a57();
+  for (auto _ : state) {
+    for (const auto& k : kernels)
+      benchmark::DoNotOptimize(machine::estimate(k, target, k.default_n));
+  }
+}
+BENCHMARK(BM_PerfModelSuite);
+
+void BM_ExecutorScalarCopy(benchmark::State& state) {
+  const auto* info = tsvc::find_kernel("s000");
+  const ir::LoopKernel k = info->build();
+  machine::Workload wl = machine::make_workload(k, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine::execute_scalar(k, wl));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecutorScalarCopy)->Arg(1024)->Arg(16384);
+
+void BM_ExecutorReduction(benchmark::State& state) {
+  const auto* info = tsvc::find_kernel("vdotr");
+  const ir::LoopKernel k = info->build();
+  machine::Workload wl = machine::make_workload(k, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine::execute_scalar(k, wl));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecutorReduction)->Arg(1024)->Arg(16384);
+
+void BM_MakeWorkloadSuite(benchmark::State& state) {
+  std::vector<ir::LoopKernel> kernels;
+  for (const auto& info : tsvc::suite()) kernels.push_back(info.build());
+  for (auto _ : state) {
+    for (const auto& k : kernels)
+      benchmark::DoNotOptimize(machine::make_workload(k, 1024));
+  }
+}
+BENCHMARK(BM_MakeWorkloadSuite);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Microbenchmarks of the analysis + transform pipeline: legality,
+// widening, SLP pack detection, and feature extraction over the whole suite.
+#include <benchmark/benchmark.h>
+
+#include "analysis/features.hpp"
+#include "analysis/legality.hpp"
+#include "machine/targets.hpp"
+#include "tsvc/kernel.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+#include "vectorizer/slp_vectorizer.hpp"
+
+namespace {
+
+using namespace veccost;
+
+void BM_BuildSuite(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto& info : tsvc::suite())
+      benchmark::DoNotOptimize(info.build());
+  }
+}
+BENCHMARK(BM_BuildSuite);
+
+void BM_LegalitySuite(benchmark::State& state) {
+  std::vector<ir::LoopKernel> kernels;
+  for (const auto& info : tsvc::suite()) kernels.push_back(info.build());
+  for (auto _ : state) {
+    for (const auto& k : kernels)
+      benchmark::DoNotOptimize(analysis::check_legality(k));
+  }
+}
+BENCHMARK(BM_LegalitySuite);
+
+void BM_VectorizeSuite(benchmark::State& state) {
+  std::vector<ir::LoopKernel> kernels;
+  for (const auto& info : tsvc::suite()) kernels.push_back(info.build());
+  const auto target = machine::cortex_a57();
+  for (auto _ : state) {
+    for (const auto& k : kernels)
+      benchmark::DoNotOptimize(vectorizer::vectorize_loop(k, target));
+  }
+}
+BENCHMARK(BM_VectorizeSuite);
+
+void BM_SlpSuite(benchmark::State& state) {
+  std::vector<ir::LoopKernel> kernels;
+  for (const auto& info : tsvc::suite()) kernels.push_back(info.build());
+  const auto target = machine::cortex_a57();
+  for (auto _ : state) {
+    for (const auto& k : kernels)
+      benchmark::DoNotOptimize(vectorizer::slp_vectorize(k, target));
+  }
+}
+BENCHMARK(BM_SlpSuite);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  std::vector<ir::LoopKernel> kernels;
+  for (const auto& info : tsvc::suite()) kernels.push_back(info.build());
+  for (auto _ : state) {
+    for (const auto& k : kernels)
+      benchmark::DoNotOptimize(
+          analysis::extract_features(k, analysis::FeatureSet::Extended));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Auto-vectorization advisor: for each named kernel (or the whole suite),
+// report what the baseline model, a fitted model, and the oracle would
+// decide — and who gets it right.
+//
+//   $ ./autovec_advisor cortex-a57 s000 s1113 vdotr
+//   $ ./autovec_advisor cortex-a57        # whole suite summary
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/experiments.hpp"
+#include "machine/targets.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace veccost;
+  try {
+    const std::string target_name = argc > 1 ? argv[1] : "cortex-a57";
+    const auto& target = machine::target_by_name(target_name);
+    const auto sm = eval::measure_suite(target);
+    const auto baseline = eval::experiment_baseline(sm);
+    const auto fitted = eval::experiment_fit_speedup(
+        sm, model::Fitter::NNLS, analysis::FeatureSet::Extended,
+        /*loocv=*/true);
+
+    std::vector<std::string> wanted;
+    for (int i = 2; i < argc; ++i) wanted.emplace_back(argv[i]);
+
+    const auto names = sm.dataset_names();
+    const auto measured = sm.measured_speedups();
+    TextTable t({"kernel", "measured", "baseline says", "fitted says", "oracle"});
+    std::size_t base_right = 0, fit_right = 0, shown = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const bool oracle = measured[i] > 1.0;
+      const bool base_vec = baseline.predictions[i] > 1.0;
+      const bool fit_vec = fitted.eval.predictions[i] > 1.0;
+      if (base_vec == oracle) ++base_right;
+      if (fit_vec == oracle) ++fit_right;
+      const bool selected =
+          wanted.empty() ||
+          std::find(wanted.begin(), wanted.end(), names[i]) != wanted.end();
+      if (selected && (wanted.empty() ? base_vec != oracle || fit_vec != oracle
+                                      : true)) {
+        t.add_row({names[i], TextTable::num(measured[i]),
+                   base_vec ? "vectorize" : "keep scalar",
+                   fit_vec ? "vectorize" : "keep scalar",
+                   oracle ? "vectorize" : "keep scalar"});
+        ++shown;
+      }
+    }
+    if (shown > 0) {
+      std::cout << (wanted.empty() ? "kernels where a model disagrees with the oracle:\n"
+                                   : "requested kernels:\n")
+                << t.to_string() << '\n';
+    }
+    std::cout << "decision accuracy on " << target.name << ": baseline "
+              << base_right << "/" << names.size() << ", fitted (LOOCV) "
+              << fit_right << "/" << names.size() << '\n';
+    std::cout << "(kernels outside the table: both models agree with the oracle)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Export the full measurement dataset as CSV for external analysis
+// (plotting the paper's scatter charts, trying other regressors, ...).
+//
+//   $ ./export_dataset cortex-a57 > dataset.csv
+//   $ ./export_dataset cortex-a57 extended > dataset.csv
+#include <iostream>
+#include <string>
+
+#include "eval/measurement.hpp"
+#include "machine/targets.hpp"
+#include "support/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace veccost;
+  try {
+    const std::string target_name = argc > 1 ? argv[1] : "cortex-a57";
+    const std::string set_name = argc > 2 ? argv[2] : "counts";
+    analysis::FeatureSet set = analysis::FeatureSet::Counts;
+    if (set_name == "rated") set = analysis::FeatureSet::Rated;
+    else if (set_name == "extended") set = analysis::FeatureSet::Extended;
+    else if (set_name != "counts") throw Error("unknown feature set " + set_name);
+
+    const auto sm =
+        eval::measure_suite(machine::target_by_name(target_name));
+
+    CsvWriter csv(std::cout);
+    std::vector<std::string> header = {"kernel",         "category",
+                                       "vectorizable",   "vf",
+                                       "scalar_cycles",  "vector_cycles",
+                                       "measured_speedup", "baseline_prediction"};
+    for (const auto& f : analysis::feature_names(set)) header.push_back(f);
+    csv.write_row(header);
+
+    for (const auto& k : sm.kernels) {
+      std::vector<std::string> row = {
+          k.name,
+          k.category,
+          k.vectorizable ? "1" : "0",
+          std::to_string(k.vf),
+          CsvWriter::cell(k.scalar_cycles),
+          CsvWriter::cell(k.vector_cycles),
+          CsvWriter::cell(k.measured_speedup),
+          CsvWriter::cell(k.llvm_predicted_speedup)};
+      const auto& features = set == analysis::FeatureSet::Counts ? k.features_counts
+                             : set == analysis::FeatureSet::Rated
+                                 ? k.features_rated
+                                 : k.features_extended;
+      for (const double f : features) row.push_back(CsvWriter::cell(f));
+      csv.write_row(row);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

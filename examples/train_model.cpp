@@ -1,0 +1,66 @@
+// Train a cost model on one target and save it to a file.
+//
+//   $ ./train_model cortex-a57 nnls rated model.txt
+//   $ ./train_model                      # defaults, prints to stdout
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "fit/model_io.hpp"
+#include "machine/targets.hpp"
+
+namespace {
+
+veccost::model::Fitter parse_fitter(const std::string& s) {
+  if (s == "l2") return veccost::model::Fitter::L2;
+  if (s == "nnls") return veccost::model::Fitter::NNLS;
+  if (s == "svr") return veccost::model::Fitter::SVR;
+  throw veccost::Error("unknown fitter: " + s + " (use l2|nnls|svr)");
+}
+
+veccost::analysis::FeatureSet parse_features(const std::string& s) {
+  if (s == "counts") return veccost::analysis::FeatureSet::Counts;
+  if (s == "rated") return veccost::analysis::FeatureSet::Rated;
+  if (s == "extended") return veccost::analysis::FeatureSet::Extended;
+  throw veccost::Error("unknown feature set: " + s +
+                       " (use counts|rated|extended)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace veccost;
+  try {
+    const std::string target_name = argc > 1 ? argv[1] : "cortex-a57";
+    const auto fitter = parse_fitter(argc > 2 ? argv[2] : "nnls");
+    const auto features = parse_features(argc > 3 ? argv[3] : "counts");
+
+    const auto& target = machine::target_by_name(target_name);
+    std::cout << "measuring the TSVC suite on " << target.name << "...\n";
+    const auto sm = eval::measure_suite(target);
+    std::cout << "dataset: " << sm.dataset_indices().size()
+              << " vectorizable kernels of " << sm.kernels.size() << "\n\n";
+
+    const auto fit = eval::experiment_fit_speedup(sm, fitter, features);
+    eval::print_weights(std::cout, fit.model);
+    std::cout << '\n';
+    eval::print_model_comparison(std::cout,
+                                 {eval::experiment_baseline(sm), fit.eval});
+
+    if (argc > 4) {
+      std::ofstream out(argv[4]);
+      if (!out) throw Error(std::string("cannot open ") + argv[4]);
+      fit::save_model(out, fit.model.to_saved());
+      std::cout << "\nsaved model to " << argv[4] << '\n';
+    } else {
+      std::cout << "\n--- serialized model ---\n";
+      fit::save_model(std::cout, fit.model.to_saved());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

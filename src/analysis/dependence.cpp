@@ -1,0 +1,203 @@
+#include "analysis/dependence.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace veccost::analysis {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ValueId;
+
+const char* to_string(DepKind k) {
+  switch (k) {
+    case DepKind::Flow: return "flow";
+    case DepKind::Anti: return "anti";
+    case DepKind::Output: return "output";
+  }
+  return "?";
+}
+
+std::string Dependence::to_string() const {
+  std::ostringstream os;
+  os << analysis::to_string(kind) << " dep %" << source << " -> %" << sink
+     << " (array " << array << ", distance " << distance << ", "
+     << (lexically_forward ? "forward" : "backward") << ')';
+  return os.str();
+}
+
+namespace {
+
+struct Access {
+  ValueId id;
+  bool is_store;
+  const Instruction* inst;
+};
+
+/// Unanalyzable-pair kinds: affine shapes LLVM can version with a runtime
+/// overlap check, vs shapes (indirect stores, mismatched outer coefficients)
+/// it cannot.
+enum class UnknownKind { Checkable, Hard };
+
+/// Analyze one ordered pair of accesses to the same array. `a` and `b` are in
+/// body order (a.id < b.id). Appends to `info`.
+void analyze_pair(const LoopKernel& k, const Access& a, const Access& b,
+                  DependenceInfo& info, bool& any_hard) {
+  const auto& ia = a.inst->index;
+  const auto& ib = b.inst->index;
+
+  auto unknown = [&](const std::string& why,
+                     UnknownKind kind = UnknownKind::Hard) {
+    info.unknown = true;
+    if (kind == UnknownKind::Hard) any_hard = true;
+    std::ostringstream os;
+    os << "cannot analyze %" << a.id << " vs %" << b.id << ": " << why;
+    info.notes.push_back(os.str());
+  };
+
+  if (ia.is_indirect() || ib.is_indirect()) {
+    // A store through an unknown index conflicts with everything touching the
+    // array; two indirect loads of a read-only array are harmless.
+    if (a.is_store || b.is_store) {
+      unknown("indirect subscript on a written array");
+    }
+    return;
+  }
+
+  if (ia.scale_j != ib.scale_j) {
+    unknown("mismatched outer-loop coefficients");
+    return;
+  }
+  if (ia.n_scale != ib.n_scale) {
+    // Both subscripts are still affine (e.g. a reversed access against a
+    // forward one), so a runtime range-overlap check can version the loop.
+    unknown("mismatched problem-size coefficients", UnknownKind::Checkable);
+    return;
+  }
+
+  // Normalize by the loop step so distances are in iteration counts.
+  const std::int64_t step = k.trip.step;
+  const std::int64_t sa = ia.scale_i * step;
+  const std::int64_t sb = ib.scale_i * step;
+
+  if (sa == 0 && sb == 0) {
+    // Both invariant: same element every iteration.
+    if (ia.offset != ib.offset) return;  // distinct fixed elements
+    if (a.is_store || b.is_store) {
+      // Loop-invariant store (output/flow dep every iteration): widening
+      // would reorder reads and writes of one element across lanes.
+      unknown("loop-invariant address is written every iteration");
+    }
+    return;
+  }
+
+  if (sa != sb) {
+    if ((sa == 0) != (sb == 0)) {
+      // One access is loop-invariant. Solve for the iteration where the
+      // moving access hits the fixed element; if that iteration lies before
+      // the loop starts (or never exists), the pair is independent. This is
+      // the static equivalent of LLVM's runtime overlap check succeeding
+      // (e.g. `a[i] = a[0] + b[i]` for i >= 1 is fine).
+      const auto& moving = (sa == 0) ? *b.inst : *a.inst;
+      const auto& fixed = (sa == 0) ? *a.inst : *b.inst;
+      // Element of the moving access at counter m (iterations from start):
+      //   scale_i * (start + m*step) + offset
+      const std::int64_t s = moving.index.scale_i * step;
+      const std::int64_t base =
+          moving.index.scale_i * k.trip.start + moving.index.offset;
+      const std::int64_t diff = fixed.index.offset - base;
+      if (diff % s != 0) return;  // never coincide
+      const std::int64_t m = diff / s;
+      if (m < 0) return;  // conflict point precedes the loop: independent
+      unknown("loop-invariant address inside the moving access range",
+              UnknownKind::Checkable);
+      return;
+    }
+    // Mixed nonzero strides: run a GCD test; if offsets can never coincide
+    // there is no dependence, otherwise give up (exact direction needs more
+    // machinery).
+    const std::int64_t g = std::gcd(sa, sb);
+    if (g != 0 && (ib.offset - ia.offset) % g != 0) return;  // no intersection
+    unknown("mixed subscript strides", UnknownKind::Checkable);
+    return;
+  }
+
+  // Equal nonzero scales: exact distance test. Elements coincide when
+  //   sa * ka + oa == sa * kb + ob  =>  ka - kb == (ob - oa) / sa.
+  const std::int64_t diff = ib.offset - ia.offset;
+  if (diff % sa != 0) return;  // lattice never intersects: no dependence
+  const std::int64_t d = diff / sa;
+  // d > 0: instruction `a` at iteration k+d touches what `b` touched at k,
+  // i.e. b executes at the earlier iteration. d < 0: a executes earlier.
+  if (d == 0) return;  // loop-independent; body order already serializes it
+
+  Dependence dep;
+  dep.array = a.inst->array;
+  if (d > 0) {
+    dep.source = b.id;
+    dep.sink = a.id;
+    dep.distance = d;
+    dep.lexically_forward = false;  // source (b) is later in body order
+  } else {
+    dep.source = a.id;
+    dep.sink = b.id;
+    dep.distance = -d;
+    dep.lexically_forward = true;  // source (a) is earlier in body order
+  }
+  const bool src_store = (dep.source == a.id) ? a.is_store : b.is_store;
+  const bool dst_store = (dep.sink == a.id) ? a.is_store : b.is_store;
+  if (src_store && dst_store)
+    dep.kind = DepKind::Output;
+  else if (src_store)
+    dep.kind = DepKind::Flow;
+  else
+    dep.kind = DepKind::Anti;
+  info.carried.push_back(dep);
+}
+
+}  // namespace
+
+DependenceInfo analyze_dependences(const LoopKernel& kernel) {
+  VECCOST_ASSERT(kernel.vf == 1, "dependence analysis expects a scalar kernel");
+  DependenceInfo info;
+
+  // Group accesses by array.
+  std::vector<std::vector<Access>> by_array(kernel.arrays.size());
+  for (std::size_t i = 0; i < kernel.body.size(); ++i) {
+    const Instruction& inst = kernel.body[i];
+    if (!ir::is_memory_op(inst.op)) continue;
+    by_array[static_cast<std::size_t>(inst.array)].push_back(
+        {static_cast<ValueId>(i), ir::is_store_op(inst.op), &inst});
+  }
+
+  bool any_hard = false;
+  for (const auto& accesses : by_array) {
+    for (std::size_t x = 0; x < accesses.size(); ++x) {
+      for (std::size_t y = x + 1; y < accesses.size(); ++y) {
+        if (!accesses[x].is_store && !accesses[y].is_store) continue;
+        analyze_pair(kernel, accesses[x], accesses[y], info, any_hard);
+      }
+      // A store also self-conflicts across iterations only if it revisits
+      // elements, which the equal-scale test above covers pairwise; a single
+      // store with nonzero stride never revisits an element.
+    }
+  }
+
+  if (info.unknown) {
+    info.checkable = !any_hard;
+    info.max_safe_vf = 1;
+  } else {
+    std::int64_t vf = kUnboundedVf;
+    for (const auto& dep : info.carried) {
+      if (!dep.lexically_forward) vf = std::min(vf, dep.distance);
+    }
+    info.max_safe_vf = std::max<std::int64_t>(vf, 1);
+  }
+  return info;
+}
+
+}  // namespace veccost::analysis

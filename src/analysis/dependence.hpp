@@ -1,0 +1,67 @@
+// Array dependence analysis for the inner loop of a LoopKernel.
+//
+// Implements the classic distance-vector test for affine subscripts
+// (equal-scale accesses give exact integer distances; a divisibility test
+// prunes non-intersecting lattices) and falls back to "unknown" for indirect
+// subscripts, mixed scales, or mismatched outer-loop coefficients — the same
+// conservative envelope LLVM's LoopAccessAnalysis draws without runtime
+// pointer checks.
+//
+// The legality rule downstream is the standard one for statement-at-a-time
+// widening: lexically-forward carried dependences are harmless; a lexically-
+// backward carried dependence with distance d caps the vectorization factor
+// at d.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::analysis {
+
+enum class DepKind : std::uint8_t { Flow, Anti, Output };
+
+[[nodiscard]] const char* to_string(DepKind k);
+
+/// One loop-carried dependence between two memory instructions.
+struct Dependence {
+  ir::ValueId source = ir::kNoValue;  ///< instruction executed at the earlier iteration
+  ir::ValueId sink = ir::kNoValue;    ///< instruction executed at the later iteration
+  int array = -1;
+  DepKind kind = DepKind::Flow;
+  std::int64_t distance = 0;  ///< iterations between source and sink, > 0
+  /// True when the source instruction appears before the sink in body order;
+  /// such dependences are preserved by widening for any VF.
+  bool lexically_forward = true;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+inline constexpr std::int64_t kUnboundedVf =
+    std::numeric_limits<std::int64_t>::max();
+
+struct DependenceInfo {
+  std::vector<Dependence> carried;  ///< all loop-carried dependences found
+  bool unknown = false;             ///< some pair could not be analyzed
+  /// Every unanalyzable pair is of a shape LLVM guards with a runtime
+  /// overlap check (same-array affine accesses with mixed strides or an
+  /// invariant address inside the store range). The loop can be *versioned*:
+  /// vectorized body behind the check, scalar fallback. In these kernels the
+  /// conflict is real, so the check fails at runtime and the scalar path
+  /// runs — the vectorization is all cost, no benefit.
+  bool checkable = false;
+  std::vector<std::string> notes;   ///< human-readable reasons (unknown pairs)
+
+  /// Largest VF for which widening preserves all dependences:
+  /// min over lexically-backward carried deps of their distance;
+  /// 1 if `unknown`; kUnboundedVf if nothing constrains it.
+  std::int64_t max_safe_vf = kUnboundedVf;
+};
+
+/// Analyze all memory instruction pairs of `kernel` (which must be scalar).
+[[nodiscard]] DependenceInfo analyze_dependences(const ir::LoopKernel& kernel);
+
+}  // namespace veccost::analysis

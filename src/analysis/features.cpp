@@ -1,0 +1,213 @@
+#include "analysis/features.hpp"
+
+#include <cmath>
+
+#include "analysis/reduction.hpp"
+#include "support/error.hpp"
+
+namespace veccost::analysis {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::OpClass;
+using ir::Opcode;
+
+const char* to_string(FeatureSet s) {
+  switch (s) {
+    case FeatureSet::Counts: return "counts";
+    case FeatureSet::Rated: return "rated";
+    case FeatureSet::Extended: return "extended";
+  }
+  return "?";
+}
+
+double ClassCounts::total() const {
+  return load + store + gather + scatter + fadd + fmul + fdiv + iarith + idiv +
+         cmp + select + convert + reduction + recurrence;
+}
+
+std::vector<double> ClassCounts::to_vector() const {
+  return {load, store, gather, scatter, fadd,   fmul,      fdiv,
+          iarith, idiv, cmp,   select,  convert, reduction, recurrence};
+}
+
+namespace {
+
+const std::vector<std::string> kBaseNames = {
+    "load", "store", "gather", "scatter", "fadd",   "fmul",      "fdiv",
+    "iarith", "idiv", "cmp",   "select",  "convert", "reduction", "recurrence"};
+
+const std::vector<std::string> kExtendedExtra = {
+    "arith_intensity", "mem_fraction", "masked_fraction", "log_body_size"};
+
+std::vector<std::string> make_extended_names() {
+  std::vector<std::string> names = kBaseNames;
+  names.insert(names.end(), kExtendedExtra.begin(), kExtendedExtra.end());
+  return names;
+}
+
+/// Effective inner-loop element stride of a direct access.
+std::int64_t effective_stride(const LoopKernel& k, const Instruction& inst) {
+  return inst.index.scale_i * k.trip.step;
+}
+
+bool is_hoistable(const LoopKernel& k, const Instruction& inst) {
+  if (inst.index.is_indirect() || effective_stride(k, inst) != 0 ||
+      ir::is_store_op(inst.op) || inst.predicate != ir::kNoValue)
+    return false;
+  // The array must not be stored inside the loop, otherwise the load has to
+  // stay (and dependence analysis decides what that means).
+  for (const Instruction& other : k.body)
+    if (ir::is_store_op(other.op) && other.array == inst.array) return false;
+  return true;
+}
+
+}  // namespace
+
+ClassCounts count_classes(const LoopKernel& kernel) {
+  ClassCounts c;
+  for (const Instruction& inst : kernel.body) {
+    const bool fp = ir::is_float(inst.type.elem);
+    if (ir::is_memory_op(inst.op)) {
+      if (is_hoistable(kernel, inst)) continue;  // hoisted: free
+      const bool contiguous =
+          !inst.index.is_indirect() &&
+          std::abs(effective_stride(kernel, inst)) <= 1;
+      if (ir::is_store_op(inst.op)) {
+        contiguous ? ++c.store : ++c.scatter;
+      } else {
+        contiguous ? ++c.load : ++c.gather;
+      }
+      continue;
+    }
+    switch (ir::classify(inst.op, fp)) {
+      case OpClass::FloatAdd: ++c.fadd; break;
+      case OpClass::FloatMul: ++c.fmul; break;
+      case OpClass::FloatDiv: ++c.fdiv; break;
+      case OpClass::IntArith: ++c.iarith; break;
+      case OpClass::IntDiv: ++c.idiv; break;
+      case OpClass::Compare: ++c.cmp; break;
+      case OpClass::Select: ++c.select; break;
+      case OpClass::Convert: ++c.convert; break;
+      case OpClass::Leaf: break;
+      case OpClass::Control: break;  // phis counted below by kind
+      default: break;                // vector-only ops never appear here
+    }
+  }
+  for (const PhiInfo& phi : classify_phis(kernel)) {
+    if (phi.kind == PhiKind::Reduction)
+      ++c.reduction;
+    else
+      ++c.recurrence;
+  }
+  return c;
+}
+
+double bytes_per_iteration(const LoopKernel& kernel) {
+  double bytes = 0;
+  for (const Instruction& inst : kernel.body) {
+    if (!ir::is_memory_op(inst.op)) continue;
+    if (is_hoistable(kernel, inst)) continue;
+    bytes += ir::byte_size(inst.type.elem);
+  }
+  return bytes;
+}
+
+double flops_per_iteration(const LoopKernel& kernel) {
+  double flops = 0;
+  for (const Instruction& inst : kernel.body) {
+    if (!ir::is_float(inst.type.elem) || ir::is_memory_op(inst.op)) continue;
+    switch (ir::classify(inst.op, true)) {
+      case OpClass::FloatAdd:
+      case OpClass::FloatDiv:
+        flops += 1;
+        break;
+      case OpClass::FloatMul:
+        flops += (inst.op == Opcode::FMA) ? 2 : 1;
+        break;
+      default:
+        break;
+    }
+  }
+  return flops;
+}
+
+std::vector<bool> invariant_mask(const LoopKernel& kernel) {
+  std::vector<bool> inv(kernel.body.size(), false);
+  for (std::size_t id = 0; id < kernel.body.size(); ++id) {
+    const Instruction& inst = kernel.body[id];
+    switch (inst.op) {
+      case Opcode::Const:
+      case Opcode::Param:
+        inv[id] = true;
+        continue;
+      case Opcode::IndVar:
+      case Opcode::OuterIndVar:
+      case Opcode::Phi:
+      case Opcode::Break:
+        continue;  // never invariant
+      default:
+        break;
+    }
+    if (ir::is_memory_op(inst.op)) {
+      if (ir::is_store_op(inst.op)) continue;  // stores are effects
+      // An invariant-address unpredicated load of an array nobody stores to
+      // within the loop would be hoisted. scale_j terms are constant within
+      // the inner loop, so they do not break invariance.
+      const bool addr_invariant =
+          !inst.index.is_indirect() && inst.index.scale_i == 0;
+      bool stored = false;
+      for (const Instruction& other : kernel.body)
+        if (ir::is_store_op(other.op) && other.array == inst.array) stored = true;
+      inv[id] = addr_invariant && inst.predicate == ir::kNoValue && !stored;
+      continue;
+    }
+    bool all_inv = true;
+    for (int i = 0; i < inst.num_operands(); ++i) {
+      const ir::ValueId op = inst.operands[static_cast<std::size_t>(i)];
+      if (op != ir::kNoValue && !inv[static_cast<std::size_t>(op)]) all_inv = false;
+    }
+    inv[id] = all_inv && inst.num_operands() > 0;
+  }
+  return inv;
+}
+
+const std::vector<std::string>& feature_names(FeatureSet set) {
+  static const std::vector<std::string> extended = make_extended_names();
+  switch (set) {
+    case FeatureSet::Counts:
+    case FeatureSet::Rated:
+      return kBaseNames;
+    case FeatureSet::Extended:
+      return extended;
+  }
+  VECCOST_FAIL("unknown feature set");
+}
+
+std::vector<double> extract_features(const LoopKernel& kernel, FeatureSet set) {
+  VECCOST_ASSERT(kernel.vf == 1, "features are extracted from scalar kernels");
+  const ClassCounts counts = count_classes(kernel);
+  std::vector<double> v = counts.to_vector();
+  if (set == FeatureSet::Counts) return v;
+
+  const double total = counts.total();
+  if (total > 0)
+    for (double& x : v) x /= total;
+  if (set == FeatureSet::Rated) return v;
+
+  // Extended: rated features + explicit composition features.
+  const double bytes = bytes_per_iteration(kernel);
+  const double flops = flops_per_iteration(kernel);
+  const double mem_ops = counts.load + counts.store + counts.gather + counts.scatter;
+  double masked = 0;
+  for (const Instruction& inst : kernel.body)
+    if (ir::is_memory_op(inst.op) && inst.predicate != ir::kNoValue) ++masked;
+
+  v.push_back(bytes > 0 ? flops / bytes : flops);          // arith_intensity
+  v.push_back(total > 0 ? mem_ops / total : 0.0);          // mem_fraction
+  v.push_back(mem_ops > 0 ? masked / mem_ops : 0.0);       // masked_fraction
+  v.push_back(std::log2(1.0 + total));                     // log_body_size
+  return v;
+}
+
+}  // namespace veccost::analysis

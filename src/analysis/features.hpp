@@ -1,0 +1,65 @@
+// Feature extraction: turning a scalar loop body into the linear-model
+// feature vector of the paper.
+//
+// Three feature sets:
+//  * Counts — "number of instructions of same type" (slide 7): one raw count
+//    per instruction class.
+//  * Rated — "overall percentage, e.g. 20% load, 10% cmp" (slide 9): each
+//    class divided by the total instruction count, exposing block
+//    composition / arithmetic intensity to the model.
+//  * Extended — the slides' "next steps: add more code features": rated
+//    features plus explicit arithmetic-intensity, memory-fraction and
+//    structure features.
+//
+// Memory classification notes: a load whose effective inner stride is +-1 is
+// a contiguous `load`; |stride| > 1 or an indirect subscript classifies as
+// `gather` (de-interleave / indexed cost class); likewise for stores.
+// Loop-invariant (stride 0, direct) accesses are hoisted by any real
+// compiler and count as free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::analysis {
+
+enum class FeatureSet { Counts, Rated, Extended };
+
+[[nodiscard]] const char* to_string(FeatureSet s);
+
+/// Names of the features, in the order extract_features emits them.
+[[nodiscard]] const std::vector<std::string>& feature_names(FeatureSet set);
+
+/// Extract the feature vector for a scalar kernel.
+[[nodiscard]] std::vector<double> extract_features(const ir::LoopKernel& kernel,
+                                                   FeatureSet set);
+
+/// Per-class raw counts (the Counts set), exposed for tests and reports.
+struct ClassCounts {
+  double load = 0, store = 0, gather = 0, scatter = 0;
+  double fadd = 0, fmul = 0, fdiv = 0;
+  double iarith = 0, idiv = 0;
+  double cmp = 0, select = 0, convert = 0;
+  double reduction = 0, recurrence = 0;
+
+  [[nodiscard]] double total() const;
+  [[nodiscard]] std::vector<double> to_vector() const;
+};
+
+[[nodiscard]] ClassCounts count_classes(const ir::LoopKernel& kernel);
+
+/// Bytes moved per scalar iteration (loads + stores, hoisted accesses
+/// excluded) — used by the Extended set and by reports.
+[[nodiscard]] double bytes_per_iteration(const ir::LoopKernel& kernel);
+
+/// Floating-point operations per scalar iteration.
+[[nodiscard]] double flops_per_iteration(const ir::LoopKernel& kernel);
+
+/// Per-instruction loop-invariance: true when the value depends only on
+/// constants, params, and unpredicated direct loads from loop-invariant
+/// addresses — i.e. what LICM would hoist out of the loop.
+[[nodiscard]] std::vector<bool> invariant_mask(const ir::LoopKernel& kernel);
+
+}  // namespace veccost::analysis

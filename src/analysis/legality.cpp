@@ -1,0 +1,103 @@
+#include "analysis/legality.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace veccost::analysis {
+
+using ir::LoopKernel;
+using ir::Opcode;
+
+std::string Legality::reasons_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < reasons.size(); ++i)
+    os << (i ? "; " : "") << reasons[i];
+  return os.str();
+}
+
+Legality check_legality(const LoopKernel& kernel, const LegalityOptions& opts) {
+  VECCOST_ASSERT(kernel.vf == 1, "legality expects a scalar kernel");
+  Legality result;
+  result.deps = analyze_dependences(kernel);
+  result.phi_infos = classify_phis(kernel);
+
+  bool legal = true;
+
+  if (kernel.has_break()) {
+    legal = false;
+    result.reasons.push_back("early exit (break) in loop body");
+  }
+
+  for (const auto& phi : result.phi_infos) {
+    switch (phi.kind) {
+      case PhiKind::Reduction:
+        break;
+      case PhiKind::FirstOrderRecurrence:
+        if (!opts.allow_first_order_recurrence) {
+          legal = false;
+          result.reasons.push_back("first-order recurrence (disabled)");
+        }
+        break;
+      case PhiKind::Serial:
+        legal = false;
+        result.reasons.push_back("serial loop-carried scalar recurrence");
+        break;
+    }
+  }
+
+  // Memory shape restrictions.
+  for (std::size_t i = 0; i < kernel.body.size(); ++i) {
+    const auto& inst = kernel.body[i];
+    if (!ir::is_memory_op(inst.op)) continue;
+    if (inst.index.is_indirect()) {
+      if (ir::is_store_op(inst.op)) {
+        legal = false;
+        result.reasons.push_back("indirect (scatter) store");
+      } else if (!opts.allow_gather) {
+        legal = false;
+        result.reasons.push_back("indirect load (gather disabled)");
+      }
+    }
+    if (inst.predicate != ir::kNoValue && ir::is_store_op(inst.op) &&
+        !opts.allow_masked_stores) {
+      legal = false;
+      result.reasons.push_back("masked store (disabled)");
+    }
+  }
+
+  if (result.deps.unknown) {
+    if (result.deps.checkable) {
+      result.needs_runtime_check = true;
+      for (const auto& n : result.deps.notes)
+        result.reasons.push_back("runtime check: " + n);
+    } else {
+      legal = false;
+      for (const auto& n : result.deps.notes) result.reasons.push_back(n);
+    }
+  }
+
+  // For a runtime-checked loop the unknown pair is guarded, so the VF bound
+  // comes from the analyzable carried dependences only.
+  std::int64_t vf_bound = result.deps.max_safe_vf;
+  if (result.needs_runtime_check) {
+    vf_bound = kUnboundedVf;
+    for (const auto& dep : result.deps.carried)
+      if (!dep.lexically_forward) vf_bound = std::min(vf_bound, dep.distance);
+  }
+  std::int64_t max_vf = std::min(vf_bound, opts.vf_cap);
+  if (max_vf < 2) {
+    if (legal) {
+      result.reasons.push_back(
+          "carried dependence distance 1 leaves no room to widen");
+    }
+    legal = false;
+  }
+
+  result.vectorizable = legal;
+  result.max_vf = legal ? max_vf : 1;
+  return result;
+}
+
+}  // namespace veccost::analysis

@@ -1,0 +1,47 @@
+// Loop vectorization legality — the "is it possible?" question.
+//
+// Combines dependence analysis and phi classification into a verdict plus the
+// maximum legal vectorization factor (partial vectorization: a carried
+// lexically-backward dependence of distance d still allows VF <= d, one of
+// the challenges the paper lists).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "analysis/reduction.hpp"
+#include "ir/loop.hpp"
+
+namespace veccost::analysis {
+
+struct LegalityOptions {
+  /// Allow vectorizing first-order recurrences via splice (LLVM >= 4 does).
+  bool allow_first_order_recurrence = true;
+  /// Allow masked (if-converted) stores.
+  bool allow_masked_stores = true;
+  /// Allow gathers from indirect loads of read-only arrays.
+  bool allow_gather = true;
+  /// Upper bound on the VF legality will ever report.
+  std::int64_t vf_cap = 64;
+};
+
+struct Legality {
+  bool vectorizable = false;
+  /// The loop is only vectorizable behind a runtime overlap check; in the
+  /// TSVC kernels that need one, the conflict is real and the check fails,
+  /// so the versioned binary runs the scalar path (see DependenceInfo).
+  bool needs_runtime_check = false;
+  std::int64_t max_vf = 1;            ///< largest legal VF (>= 2 when vectorizable)
+  std::vector<std::string> reasons;   ///< why not / what limited max_vf
+  DependenceInfo deps;
+  std::vector<PhiInfo> phi_infos;
+
+  [[nodiscard]] std::string reasons_string() const;
+};
+
+[[nodiscard]] Legality check_legality(const ir::LoopKernel& kernel,
+                                      const LegalityOptions& opts = {});
+
+}  // namespace veccost::analysis

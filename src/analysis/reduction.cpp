@@ -1,0 +1,163 @@
+#include "analysis/reduction.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace veccost::analysis {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ReductionKind;
+using ir::ValueId;
+
+const char* to_string(PhiKind k) {
+  switch (k) {
+    case PhiKind::Reduction: return "reduction";
+    case PhiKind::FirstOrderRecurrence: return "first-order-recurrence";
+    case PhiKind::Serial: return "serial";
+  }
+  return "?";
+}
+
+bool depends_on(const LoopKernel& kernel, ValueId from, ValueId target) {
+  if (from == ir::kNoValue) return false;
+  std::vector<bool> visited(kernel.body.size(), false);
+  std::vector<ValueId> stack{from};
+  while (!stack.empty()) {
+    const ValueId cur = stack.back();
+    stack.pop_back();
+    if (cur == target) return true;
+    if (visited[static_cast<std::size_t>(cur)]) continue;
+    visited[static_cast<std::size_t>(cur)] = true;
+    const Instruction& inst = kernel.instr(cur);
+    for (int i = 0; i < inst.num_operands(); ++i) {
+      const ValueId op = inst.operands[static_cast<std::size_t>(i)];
+      if (op != ir::kNoValue) stack.push_back(op);
+    }
+    if (inst.predicate != ir::kNoValue) stack.push_back(inst.predicate);
+    if (inst.index.is_indirect()) stack.push_back(inst.index.indirect);
+    // Phi update edges are iteration boundaries; a within-iteration
+    // dependence walk stops there.
+  }
+  return false;
+}
+
+namespace {
+
+bool op_allowed_for(ir::ReductionKind kind, Opcode op) {
+  switch (kind) {
+    case ir::ReductionKind::Sum:
+      return op == Opcode::Add || op == Opcode::Sub || op == Opcode::FMA;
+    case ir::ReductionKind::Prod:
+      return op == Opcode::Mul;
+    case ir::ReductionKind::Min:
+      return op == Opcode::Min;
+    case ir::ReductionKind::Max:
+      return op == Opcode::Max;
+    case ir::ReductionKind::Or:
+      return op == Opcode::Or;
+    case ir::ReductionKind::None:
+      return false;
+  }
+  return false;
+}
+
+/// Validate that a declared reduction has reduction dataflow: the update is
+/// a chain of the reduction's operation (selects allowed for conditional
+/// reductions) through which the phi flows exactly once, with every other
+/// input independent of the phi, and no value of the chain is observed by
+/// anything outside the chain (a prefix sum stores partial sums and is NOT a
+/// reduction).
+bool reduction_shape_ok(const LoopKernel& k, const Instruction& phi,
+                        ValueId phi_id) {
+  std::vector<ValueId> chain;
+  ValueId cur = phi.phi_update;
+  while (cur != phi_id) {
+    const Instruction& inst = k.instr(cur);
+    ValueId next = ir::kNoValue;
+    if (inst.op == Opcode::Select) {
+      // Conditional step: select(mask, <continue>, phi) in either arm order.
+      if (depends_on(k, inst.operands[0], phi_id)) return false;  // mask
+      const ValueId t = inst.operands[1], f = inst.operands[2];
+      const bool t_dep = t == phi_id || depends_on(k, t, phi_id);
+      const bool f_dep = f == phi_id || depends_on(k, f, phi_id);
+      if (t_dep && f_dep) {
+        // One arm must be the unchanged phi itself.
+        if (t == phi_id)
+          next = f;
+        else if (f == phi_id)
+          next = t;
+        else
+          return false;
+      } else if (t_dep) {
+        next = t;
+      } else if (f_dep) {
+        next = f;
+      } else {
+        return false;
+      }
+    } else {
+      if (!op_allowed_for(phi.reduction, inst.op)) return false;
+      int dependent = 0;
+      for (int i = 0; i < inst.num_operands(); ++i) {
+        const ValueId o = inst.operands[static_cast<std::size_t>(i)];
+        if (o == ir::kNoValue) continue;
+        if (o == phi_id || depends_on(k, o, phi_id)) {
+          // FMA may carry the accumulator only in the addend position.
+          if (inst.op == Opcode::FMA && i != 2) return false;
+          ++dependent;
+          next = o;
+        }
+      }
+      if (dependent != 1) return false;
+    }
+    chain.push_back(cur);
+    cur = next;
+    if (chain.size() > k.body.size()) return false;  // defensive: cycle
+  }
+
+  // External-use check: nothing outside the chain may read the phi or any
+  // chain value (the reduction is only observable after the loop).
+  auto in_chain = [&](ValueId v) {
+    return v == phi_id ||
+           std::find(chain.begin(), chain.end(), v) != chain.end();
+  };
+  for (std::size_t id = 0; id < k.body.size(); ++id) {
+    if (in_chain(static_cast<ValueId>(id))) continue;
+    const Instruction& inst = k.body[id];
+    for (int i = 0; i < inst.num_operands(); ++i) {
+      const ValueId o = inst.operands[static_cast<std::size_t>(i)];
+      if (o != ir::kNoValue && in_chain(o)) return false;
+    }
+    if (inst.predicate != ir::kNoValue && in_chain(inst.predicate)) return false;
+    if (inst.index.is_indirect() && in_chain(inst.index.indirect)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<PhiInfo> classify_phis(const LoopKernel& kernel) {
+  std::vector<PhiInfo> out;
+  for (const ValueId id : kernel.phis()) {
+    const Instruction& phi = kernel.instr(id);
+    PhiInfo info;
+    info.phi = id;
+    if (phi.reduction != ReductionKind::None &&
+        reduction_shape_ok(kernel, phi, id)) {
+      info.kind = PhiKind::Reduction;
+      info.reduction = phi.reduction;
+    } else if (!depends_on(kernel, phi.phi_update, id)) {
+      info.kind = PhiKind::FirstOrderRecurrence;
+    } else {
+      info.kind = PhiKind::Serial;
+    }
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace veccost::analysis

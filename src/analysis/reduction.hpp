@@ -1,0 +1,37 @@
+// Classification of loop-carried scalar values (Phi instructions).
+//
+// Mirrors what LLVM's vectorizer recognizes:
+//  * Reductions (sum/product/min/max/or) — vectorizable with a vector
+//    accumulator plus a horizontal reduction after the loop;
+//  * First-order recurrences ("x = prev; prev = f(i)" where the update does
+//    not feed through the phi) — vectorizable with a splice/shuffle;
+//  * Serial recurrences (the update depends on the phi and is not a
+//    recognized reduction) — not vectorizable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::analysis {
+
+enum class PhiKind : std::uint8_t { Reduction, FirstOrderRecurrence, Serial };
+
+[[nodiscard]] const char* to_string(PhiKind k);
+
+struct PhiInfo {
+  ir::ValueId phi = ir::kNoValue;
+  PhiKind kind = PhiKind::Serial;
+  ir::ReductionKind reduction = ir::ReductionKind::None;
+};
+
+/// True if `target` is reachable from `from` through operand edges (and
+/// predicates / indirect indices), i.e. value `from` depends on `target`.
+[[nodiscard]] bool depends_on(const ir::LoopKernel& kernel, ir::ValueId from,
+                              ir::ValueId target);
+
+/// Classify every phi in the (scalar) kernel.
+[[nodiscard]] std::vector<PhiInfo> classify_phis(const ir::LoopKernel& kernel);
+
+}  // namespace veccost::analysis

@@ -1,0 +1,45 @@
+#include "costmodel/classifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace veccost::model {
+
+double DecisionOutcome::efficiency() const {
+  const double gap = time_never_vectorize - time_oracle;
+  if (gap <= 0) return 1.0;
+  return (time_never_vectorize - time_following_model) / gap;
+}
+
+std::string DecisionOutcome::to_string() const {
+  std::ostringstream os;
+  os << confusion.to_string() << ", model/oracle/scalar cycles = "
+     << time_following_model << " / " << time_oracle << " / "
+     << time_never_vectorize;
+  return os.str();
+}
+
+DecisionOutcome evaluate_decisions(std::span<const double> predicted_speedup,
+                                   std::span<const double> measured_speedup,
+                                   std::span<const double> scalar_cycles,
+                                   std::span<const double> vector_cycles,
+                                   double threshold) {
+  const std::size_t n = predicted_speedup.size();
+  VECCOST_ASSERT(measured_speedup.size() == n && scalar_cycles.size() == n &&
+                     vector_cycles.size() == n,
+                 "evaluate_decisions span size mismatch");
+  DecisionOutcome out;
+  out.confusion = classify(predicted_speedup, measured_speedup, threshold);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool vectorize = predicted_speedup[i] > threshold;
+    out.time_following_model += vectorize ? vector_cycles[i] : scalar_cycles[i];
+    out.time_never_vectorize += scalar_cycles[i];
+    out.time_always_vectorize += vector_cycles[i];
+    out.time_oracle += std::min(scalar_cycles[i], vector_cycles[i]);
+  }
+  return out;
+}
+
+}  // namespace veccost::model

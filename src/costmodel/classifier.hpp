@@ -1,0 +1,38 @@
+// The vectorize / don't-vectorize decision and its consequences.
+//
+// The paper's end metric is not regression error but what the compiler does
+// with the prediction: a false positive vectorizes a loop that gets slower, a
+// false negative leaves measured speedup on the table. DecisionOutcome also
+// aggregates the total execution time that results from following a model's
+// decisions, versus never vectorizing and versus an oracle (slide 12:
+// "lower execution times").
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "support/stats.hpp"
+
+namespace veccost::model {
+
+struct DecisionOutcome {
+  Confusion confusion;
+  double time_following_model = 0;  ///< cycles when vectorizing iff predicted > 1
+  double time_never_vectorize = 0;  ///< all-scalar cycles
+  double time_always_vectorize = 0; ///< vectorize everything legal
+  double time_oracle = 0;           ///< perfect decisions
+
+  /// Fraction of the oracle-to-scalar gap the model captures (1 = perfect).
+  [[nodiscard]] double efficiency() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Evaluate decisions. All spans are parallel over the same kernels:
+/// predicted/measured speedups, and the measured scalar & vector times.
+[[nodiscard]] DecisionOutcome evaluate_decisions(
+    std::span<const double> predicted_speedup,
+    std::span<const double> measured_speedup,
+    std::span<const double> scalar_cycles,
+    std::span<const double> vector_cycles, double threshold = 1.0);
+
+}  // namespace veccost::model

@@ -1,0 +1,55 @@
+#include "costmodel/linear_model.hpp"
+
+#include "support/error.hpp"
+
+namespace veccost::model {
+
+LinearSpeedupModel::LinearSpeedupModel(analysis::FeatureSet set, Vector weights,
+                                       double bias, std::string fitter,
+                                       std::string target)
+    : set_(set),
+      weights_(std::move(weights)),
+      bias_(bias),
+      fitter_(std::move(fitter)),
+      target_(std::move(target)) {
+  VECCOST_ASSERT(weights_.size() == analysis::feature_names(set_).size(),
+                 "weight count does not match feature set");
+}
+
+double LinearSpeedupModel::predict(const ir::LoopKernel& scalar) const {
+  return predict_features(analysis::extract_features(scalar, set_));
+}
+
+double LinearSpeedupModel::predict_features(std::span<const double> features) const {
+  return dot(weights_, features) + bias_;
+}
+
+fit::SavedModel LinearSpeedupModel::to_saved() const {
+  fit::SavedModel saved;
+  saved.target = target_.empty() ? "unknown" : target_;
+  saved.feature_set = analysis::to_string(set_);
+  saved.fitter = fitter_.empty() ? "l2" : fitter_;
+  saved.bias = bias_;
+  saved.feature_names = analysis::feature_names(set_);
+  saved.weights = weights_;
+  return saved;
+}
+
+LinearSpeedupModel LinearSpeedupModel::from_saved(const fit::SavedModel& saved) {
+  analysis::FeatureSet set;
+  if (saved.feature_set == "counts") {
+    set = analysis::FeatureSet::Counts;
+  } else if (saved.feature_set == "rated") {
+    set = analysis::FeatureSet::Rated;
+  } else if (saved.feature_set == "extended") {
+    set = analysis::FeatureSet::Extended;
+  } else {
+    throw Error("unknown feature set in saved model: " + saved.feature_set);
+  }
+  VECCOST_ASSERT(saved.feature_names == analysis::feature_names(set),
+                 "saved model feature names do not match feature set");
+  return LinearSpeedupModel(set, saved.weights, saved.bias, saved.fitter,
+                            saved.target);
+}
+
+}  // namespace veccost::model

@@ -1,0 +1,47 @@
+// The paper's contribution: a learned linear speedup model.
+//
+//   speedup(loop) = sum_i  c_i * w_i   (slide 7)
+//
+// where c_i is the i-th feature of the scalar loop body (instruction-class
+// count, or percentage for the rated variant) and w_i a fitted weight. The
+// model predicts from the *scalar* block only — like a compiler cost model,
+// it must decide before transforming.
+#pragma once
+
+#include <string>
+
+#include "analysis/features.hpp"
+#include "fit/model_io.hpp"
+#include "support/matrix.hpp"
+
+namespace veccost::model {
+
+class LinearSpeedupModel {
+ public:
+  LinearSpeedupModel() = default;
+  LinearSpeedupModel(analysis::FeatureSet set, Vector weights, double bias = 0.0,
+                     std::string fitter = "l2", std::string target = "");
+
+  /// Predicted speedup for a scalar kernel.
+  [[nodiscard]] double predict(const ir::LoopKernel& scalar) const;
+
+  /// Predicted value for a precomputed feature row.
+  [[nodiscard]] double predict_features(std::span<const double> features) const;
+
+  [[nodiscard]] analysis::FeatureSet feature_set() const { return set_; }
+  [[nodiscard]] const Vector& weights() const { return weights_; }
+  [[nodiscard]] double bias() const { return bias_; }
+  [[nodiscard]] const std::string& fitter() const { return fitter_; }
+
+  [[nodiscard]] fit::SavedModel to_saved() const;
+  [[nodiscard]] static LinearSpeedupModel from_saved(const fit::SavedModel& saved);
+
+ private:
+  analysis::FeatureSet set_ = analysis::FeatureSet::Counts;
+  Vector weights_;
+  double bias_ = 0.0;
+  std::string fitter_;
+  std::string target_;
+};
+
+}  // namespace veccost::model

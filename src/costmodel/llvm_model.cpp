@@ -1,0 +1,165 @@
+#include "costmodel/llvm_model.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/features.hpp"
+#include "support/error.hpp"
+
+namespace veccost::model {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::OpClass;
+using ir::Opcode;
+
+namespace {
+
+// LLVM-6-style generic unit costs (BasicTTIImpl defaults plus the AArch64 /
+// x86 overrides that matter here). The baseline deliberately knows only:
+//  * how many native vector instructions legalization produces (native_ops),
+//  * which ISA features exist (gather, masked stores),
+//  * that divisions are expensive and reductions need a shuffle tree.
+// It does NOT know per-op latencies, the A57's halved 128-bit FP throughput,
+// memory bandwidth, or dependence-chain effects — the additive-table blind
+// spots the paper identifies.
+double generic_cost(const machine::TargetDesc& t, const Instruction& inst) {
+  const ir::ScalarType elem = inst.type.elem;
+  const int lanes = inst.type.lanes;
+  const bool vec = lanes > 1;
+  const int native = vec ? t.native_ops(elem, lanes) : 1;
+  const bool fp = ir::is_float(elem);
+  const bool masked = inst.predicate != ir::kNoValue;
+
+  switch (inst.op) {
+    case Opcode::Load:
+      return native + (masked ? (vec && !t.hw_masked_store ? lanes * 2.0 : 1.0) : 0.0);
+    case Opcode::Store:
+      if (!masked) return native;
+      if (!vec) return native + 2.0;  // branch around the store
+      return t.hw_masked_store ? native + 1.0 : native + lanes * 2.0;
+    case Opcode::Gather:
+      return t.hw_gather ? native * 4.0 : lanes * 2.0;  // else scalarized
+    case Opcode::Scatter:
+      return lanes * 2.0;
+    case Opcode::StridedLoad:
+    case Opcode::StridedStore:
+      // Interleave group: wide accesses plus de-interleave shuffles.
+      return native * 3.0;
+    default:
+      break;
+  }
+
+  switch (ir::classify(inst.op, fp)) {
+    case OpClass::FloatAdd:
+    case OpClass::FloatMul:
+      return native;
+    case OpClass::FloatDiv:
+      return vec ? native * 12.0 : 10.0;
+    case OpClass::IntArith:
+      return native;
+    case OpClass::IntDiv:
+      return vec ? lanes * 20.0 : 20.0;  // no vector integer division
+    case OpClass::Compare:
+    case OpClass::Select:
+    case OpClass::Convert:
+    case OpClass::Shuffle:
+      return native;
+    case OpClass::Reduce: {
+      double steps = 0;
+      for (int l = lanes; l > 1; l >>= 1) ++steps;
+      return 2.0 * steps + 1.0;
+    }
+    case OpClass::MemLoad:
+    case OpClass::MemStore:
+    case OpClass::MemGather:
+    case OpClass::MemScatter:
+    case OpClass::Leaf:
+    case OpClass::Control:
+      return 0.0;  // handled above / free
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double block_cost(const LoopKernel& kernel, const machine::TargetDesc& target) {
+  const auto invariant = analysis::invariant_mask(kernel);
+  double cost = 0;
+  for (std::size_t id = 0; id < kernel.body.size(); ++id) {
+    const Instruction& inst = kernel.body[id];
+    switch (inst.op) {
+      case Opcode::Const:
+      case Opcode::Param:
+      case Opcode::IndVar:
+      case Opcode::OuterIndVar:
+      case Opcode::Phi:
+        continue;
+      default:
+        break;
+    }
+    if (invariant[id]) continue;
+    cost += generic_cost(target, inst);
+  }
+  return cost;
+}
+
+double llvm_predict_slp(const LoopKernel& original,
+                        const vectorizer::SlpPlan& plan,
+                        const machine::TargetDesc& target) {
+  VECCOST_ASSERT(original.vf == 1, "llvm_predict_slp needs a scalar kernel");
+  if (!plan.ok) return 1.0;
+  // Pack ids refer to plan.body (pre-unrolled when plan.unroll > 1); the
+  // speedup ratio is per unrolled iteration, which equals the per-original-
+  // iteration ratio.
+  const LoopKernel& scalar = plan.unroll > 1 ? plan.body : original;
+  const double scalar_cost = block_cost(scalar, target);
+
+  std::vector<int> role(scalar.body.size(), 0);
+  std::vector<const vectorizer::Pack*> pack_of(scalar.body.size(), nullptr);
+  for (const auto& pack : plan.packs) {
+    for (std::size_t m = 0; m < pack.members.size(); ++m) {
+      role[static_cast<std::size_t>(pack.members[m])] = (m == 0) ? pack.width : -1;
+      pack_of[static_cast<std::size_t>(pack.members[m])] = &pack;
+    }
+  }
+
+  const auto invariant = analysis::invariant_mask(scalar);
+  double packed_cost = 0;
+  for (std::size_t id = 0; id < scalar.body.size(); ++id) {
+    const Instruction& inst = scalar.body[id];
+    if (role[id] < 0 || invariant[id]) continue;
+    const OpClass cls = ir::classify(inst.op, ir::is_float(inst.type.elem));
+    if (cls == OpClass::Leaf || cls == OpClass::Control) continue;
+    if (role[id] > 0) {
+      const vectorizer::Pack& pack = *pack_of[id];
+      Instruction widened = inst;
+      widened.type.lanes = pack.width;
+      if (pack.op == Opcode::Broadcast) {
+        packed_cost += 1.0;  // build-vector
+        continue;
+      }
+      if (ir::is_memory_op(inst.op) && !pack.contiguous)
+        widened.op = ir::is_store_op(inst.op) ? Opcode::Scatter : Opcode::Gather;
+      packed_cost += generic_cost(target, widened);
+    } else {
+      packed_cost += generic_cost(target, inst);
+    }
+  }
+  VECCOST_ASSERT(packed_cost > 0, "empty SLP-packed body");
+  return scalar_cost / packed_cost;
+}
+
+LlvmPrediction llvm_predict(const LoopKernel& scalar, const LoopKernel& vec,
+                            const machine::TargetDesc& target) {
+  VECCOST_ASSERT(scalar.vf == 1 && vec.vf > 1, "llvm_predict argument order");
+  LlvmPrediction p;
+  p.scalar_cost_per_iter = block_cost(scalar, target);
+  p.vector_cost_per_body = block_cost(vec, target);
+  VECCOST_ASSERT(p.vector_cost_per_body > 0, "empty vector body");
+  p.predicted_speedup =
+      p.scalar_cost_per_iter * vec.vf / p.vector_cost_per_body;
+  return p;
+}
+
+}  // namespace veccost::model

@@ -1,0 +1,51 @@
+// Baseline cost model: LLVM-6-style additive per-instruction costs.
+//
+// This is the model the paper's slide 4 evaluates ("LLV pass of LLVM 6.0 on
+// ARMv8"): each instruction contributes its table cost; the loop's scalar and
+// vector costs are the plain sums; predicted speedup is their ratio scaled by
+// VF. It deliberately knows nothing about bandwidth ceilings, dependence-
+// chain latency, or loop overheads — exactly the blind spots the paper's
+// fitted models learn to compensate.
+//
+// Like the real thing, it works from generic unit costs plus legalization
+// (how many native vector ops an operation splits into) and ISA capability
+// flags — not from measured per-op throughputs. The gap between these
+// tables and silicon (the A57 executing 128-bit FP ASIMD at half rate,
+// memory bandwidth, dependence chains) is precisely what the paper's
+// fitted models learn.
+#pragma once
+
+#include "ir/loop.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::model {
+
+struct LlvmPrediction {
+  double scalar_cost_per_iter = 0;   ///< cost units per scalar iteration
+  double vector_cost_per_body = 0;   ///< cost units per widened body (VF iters)
+  double predicted_speedup = 0;      ///< scalar*VF / vector
+};
+
+/// Cost of one kernel body in LLVM-style units (sum of per-class
+/// reciprocal throughputs; invariant/hoisted values are free).
+[[nodiscard]] double block_cost(const ir::LoopKernel& kernel,
+                                const machine::TargetDesc& target);
+
+/// Predict the speedup of `vec` (vf > 1) over `scalar` on `target`.
+[[nodiscard]] LlvmPrediction llvm_predict(const ir::LoopKernel& scalar,
+                                          const ir::LoopKernel& vec,
+                                          const machine::TargetDesc& target);
+
+}  // namespace veccost::model
+
+#include "vectorizer/vplan.hpp"
+
+namespace veccost::model {
+
+/// LLVM-style additive prediction for an SLP pack plan: cost of the packed
+/// body over the scalar body (same iteration count, so no VF scaling).
+[[nodiscard]] double llvm_predict_slp(const ir::LoopKernel& scalar,
+                                      const vectorizer::SlpPlan& plan,
+                                      const machine::TargetDesc& target);
+
+}  // namespace veccost::model

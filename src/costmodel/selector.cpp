@@ -1,0 +1,135 @@
+#include "costmodel/selector.hpp"
+
+#include <algorithm>
+
+#include "costmodel/llvm_model.hpp"
+#include "machine/perf_model.hpp"
+#include "support/error.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+#include "vectorizer/reroll.hpp"
+#include "vectorizer/slp_vectorizer.hpp"
+
+namespace veccost::model {
+
+const char* to_string(TransformKind k) {
+  switch (k) {
+    case TransformKind::Scalar: return "scalar";
+    case TransformKind::Loop: return "llv";
+    case TransformKind::Slp: return "slp";
+    case TransformKind::RerollLoop: return "reroll+llv";
+  }
+  return "?";
+}
+
+std::string TransformOption::label() const {
+  std::string s = to_string(kind);
+  if (kind != TransformKind::Scalar) s += "@" + std::to_string(width);
+  return s;
+}
+
+double SelectionResult::regret() const {
+  VECCOST_ASSERT(!options.empty(), "empty selection");
+  const double best_cycles = options[best].measured_cycles;
+  VECCOST_ASSERT(best_cycles > 0, "non-positive best time");
+  return options[chosen].measured_cycles / best_cycles;
+}
+
+TransformSelector::TransformSelector(machine::TargetDesc target)
+    : target_(std::move(target)), predictor_(PredictorKind::Baseline) {}
+
+TransformSelector::TransformSelector(machine::TargetDesc target,
+                                     LinearSpeedupModel fitted)
+    : target_(std::move(target)),
+      predictor_(PredictorKind::Fitted),
+      fitted_(std::move(fitted)) {}
+
+SelectionResult TransformSelector::select(const ir::LoopKernel& scalar,
+                                          std::int64_t n) const {
+  VECCOST_ASSERT(scalar.vf == 1, "selector expects a scalar kernel");
+  SelectionResult result;
+
+  const double scalar_cycles =
+      machine::measure_scalar_cycles(scalar, target_, n);
+  result.options.push_back(
+      {TransformKind::Scalar, 1, 1.0, scalar_cycles});
+
+  // Loop vectorization at the natural VF and at half of it. All options get
+  // an additive prediction first; the fitted predictor then RESCALES them so
+  // the natural-VF option sits at the fitted model's speedup — relative
+  // ranking from the structure-aware additive model, absolute level from the
+  // learned one (the "aligned scale" discipline of slide 15).
+  const int natural = vectorizer::natural_vf(scalar, target_);
+  double additive_natural = 0.0;
+  for (const int vf : {natural, natural / 2}) {
+    if (vf < 2) continue;
+    vectorizer::LoopVectorizerOptions opts;
+    opts.requested_vf = vf;
+    const auto vec = vectorizer::vectorize_loop(scalar, target_, opts);
+    if (!vec.ok) continue;
+    TransformOption opt;
+    opt.kind = TransformKind::Loop;
+    opt.width = vec.vf;
+    opt.predicted_speedup =
+        llvm_predict(scalar, vec.kernel, target_).predicted_speedup;
+    if (vf == natural) additive_natural = opt.predicted_speedup;
+    opt.measured_cycles =
+        vec.runtime_check
+            ? machine::measure_versioned_scalar_cycles(scalar, target_, n)
+            : machine::measure_vector_cycles(vec.kernel, scalar, target_, n);
+    // Deduplicate when partial vectorization collapses both widths.
+    const bool dup = std::any_of(
+        result.options.begin(), result.options.end(), [&](const auto& o) {
+          return o.kind == TransformKind::Loop && o.width == opt.width;
+        });
+    if (!dup) result.options.push_back(opt);
+  }
+
+  const auto slp = vectorizer::slp_vectorize(scalar, target_);
+  if (slp.ok) {
+    TransformOption opt;
+    opt.kind = TransformKind::Slp;
+    opt.width = slp.width;
+    opt.predicted_speedup = llvm_predict_slp(scalar, slp, target_);
+    opt.measured_cycles = machine::measure_slp_cycles(scalar, slp, target_, n);
+    result.options.push_back(opt);
+  }
+
+  // Hand-unrolled bodies: re-roll to a contiguous loop, then vectorize it.
+  if (slp.ok && slp.unroll == 1) {
+    const auto rolled = vectorizer::reroll_loop(scalar, slp);
+    if (rolled.ok) {
+      const auto vec = vectorizer::vectorize_loop(rolled.kernel, target_);
+      if (vec.ok) {
+        TransformOption opt;
+        opt.kind = TransformKind::RerollLoop;
+        opt.width = vec.vf;
+        opt.predicted_speedup =
+            llvm_predict(rolled.kernel, vec.kernel, target_).predicted_speedup;
+        opt.measured_cycles =
+            machine::measure_vector_cycles(vec.kernel, rolled.kernel, target_, n);
+        result.options.push_back(opt);
+      }
+    }
+  }
+
+  if (predictor_ == PredictorKind::Fitted && additive_natural > 0) {
+    const double scale = fitted_.predict(scalar) / additive_natural;
+    for (std::size_t i = 1; i < result.options.size(); ++i)
+      result.options[i].predicted_speedup *= scale;
+  }
+
+  for (std::size_t i = 1; i < result.options.size(); ++i) {
+    if (result.options[i].predicted_speedup >
+        result.options[result.chosen].predicted_speedup)
+      result.chosen = i;
+    if (result.options[i].measured_cycles <
+        result.options[result.best].measured_cycles)
+      result.best = i;
+  }
+  // The scalar option predicts exactly 1.0; prefer it unless something
+  // promises an actual win.
+  if (result.options[result.chosen].predicted_speedup <= 1.0) result.chosen = 0;
+  return result;
+}
+
+}  // namespace veccost::model

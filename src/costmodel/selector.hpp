@@ -1,0 +1,74 @@
+// Transform selection: the paper's second motivation (slide 2/15) — a cost
+// model is not only a vectorize/don't gate, it should rank *different
+// transformation options* (scalar vs loop-vectorized at several widths vs
+// SLP) on one aligned scale.
+//
+// The selector enumerates the legal options for a kernel, asks a predictor
+// for each option's speedup estimate, and picks the argmax. The measurement
+// substrate then scores the choice against the oracle (regret = chosen time
+// over best time).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "costmodel/linear_model.hpp"
+#include "ir/loop.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::model {
+
+enum class TransformKind { Scalar, Loop, Slp, RerollLoop };
+
+[[nodiscard]] const char* to_string(TransformKind k);
+
+struct TransformOption {
+  TransformKind kind = TransformKind::Scalar;
+  int width = 1;                  ///< VF for Loop, pack width for Slp
+  double predicted_speedup = 1.0; ///< over scalar, by the active predictor
+  double measured_cycles = 0.0;   ///< by the measurement substrate
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct SelectionResult {
+  std::vector<TransformOption> options;  ///< scalar always at index 0
+  std::size_t chosen = 0;                ///< argmax predicted speedup
+  std::size_t best = 0;                  ///< argmin measured cycles (oracle)
+
+  [[nodiscard]] bool optimal() const { return chosen == best; }
+  /// chosen time / best time (1.0 = optimal).
+  [[nodiscard]] double regret() const;
+};
+
+/// How option speedups are predicted.
+enum class PredictorKind {
+  Baseline,  ///< LLVM-style additive costs for every option
+  Fitted,    ///< fitted linear model for loop options, additive for SLP
+};
+
+class TransformSelector {
+ public:
+  /// Baseline-predicting selector. The target is copied.
+  explicit TransformSelector(machine::TargetDesc target);
+  /// Fitted-model selector (the model must predict speedup at the natural
+  /// VF; narrower loop options are scaled by their width ratio).
+  TransformSelector(machine::TargetDesc target, LinearSpeedupModel fitted);
+
+  /// Enumerate options for `scalar` (always includes the scalar no-op),
+  /// predict, measure, and select. Options: loop vectorization at the
+  /// natural VF and at half of it (when legal), the SLP plan (when any
+  /// packs form), and re-roll + vectorize for hand-unrolled bodies.
+  [[nodiscard]] SelectionResult select(const ir::LoopKernel& scalar,
+                                       std::int64_t n) const;
+
+  [[nodiscard]] PredictorKind predictor() const { return predictor_; }
+
+ private:
+  machine::TargetDesc target_;  // by value: selectors outlive temporaries
+  PredictorKind predictor_;
+  LinearSpeedupModel fitted_;
+};
+
+}  // namespace veccost::model

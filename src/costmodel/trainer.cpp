@@ -1,0 +1,94 @@
+#include "costmodel/trainer.hpp"
+
+#include "fit/least_squares.hpp"
+#include "fit/nnls.hpp"
+#include "fit/scaler.hpp"
+#include "fit/svr.hpp"
+#include "support/error.hpp"
+
+namespace veccost::model {
+
+const char* to_string(Fitter f) {
+  switch (f) {
+    case Fitter::L2: return "l2";
+    case Fitter::NNLS: return "nnls";
+    case Fitter::SVR: return "svr";
+  }
+  return "?";
+}
+
+LinearSpeedupModel fit_model(const Matrix& x, const Vector& y, Fitter fitter,
+                             analysis::FeatureSet set, const TrainOptions& opts,
+                             const std::string& target_name) {
+  VECCOST_ASSERT(x.rows() == y.size() && x.rows() > 0, "empty training data");
+  VECCOST_ASSERT(x.cols() == analysis::feature_names(set).size(),
+                 "design matrix does not match feature set");
+
+  switch (fitter) {
+    case Fitter::L2: {
+      Vector w = fit::solve_least_squares(x, y, {.lambda = opts.l2_lambda});
+      return LinearSpeedupModel(set, std::move(w), 0.0, "l2", target_name);
+    }
+    case Fitter::NNLS: {
+      fit::NnlsResult r = fit::solve_nnls(x, y);
+      return LinearSpeedupModel(set, std::move(r.weights), 0.0, "nnls",
+                                target_name);
+    }
+    case Fitter::SVR: {
+      fit::StandardScaler scaler;
+      scaler.fit(x);
+      const Matrix xs = scaler.transform(x);
+      fit::SvrResult r = fit::solve_svr(
+          xs, y,
+          {.c = opts.svr_c, .epsilon = opts.svr_epsilon,
+           .max_sweeps = 4000, .tolerance = 1e-9, .fit_bias = opts.fit_bias_svr});
+      // Map standardized weights back to raw feature space:
+      //   w.x_std + b = sum w_j (x_j - mu_j)/sd_j + b
+      //              = sum (w_j/sd_j) x_j + (b - sum w_j mu_j / sd_j)
+      Vector w(r.weights.size());
+      double bias = r.bias;
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        w[j] = r.weights[j] / scaler.stds()[j];
+        bias -= r.weights[j] * scaler.means()[j] / scaler.stds()[j];
+      }
+      return LinearSpeedupModel(set, std::move(w), bias, "svr", target_name);
+    }
+  }
+  VECCOST_FAIL("unknown fitter");
+}
+
+Vector kfold_predictions(const Matrix& x, const Vector& y, Fitter fitter,
+                         analysis::FeatureSet set, std::size_t k,
+                         const TrainOptions& opts) {
+  VECCOST_ASSERT(x.rows() == y.size(), "kfold: row/target mismatch");
+  VECCOST_ASSERT(k >= 2 && k <= x.rows(), "kfold: k out of range");
+  Vector predictions(x.rows(), 0.0);
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    Matrix train_x;
+    Vector train_y;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      if (r % k == fold) continue;
+      train_x.push_row(x.row(r));
+      train_y.push_back(y[r]);
+    }
+    const LinearSpeedupModel model = fit_model(train_x, train_y, fitter, set, opts);
+    for (std::size_t r = fold; r < x.rows(); r += k)
+      predictions[r] = model.predict_features(x.row(r));
+  }
+  return predictions;
+}
+
+Vector loocv_predictions(const Matrix& x, const Vector& y, Fitter fitter,
+                         analysis::FeatureSet set, const TrainOptions& opts) {
+  VECCOST_ASSERT(x.rows() == y.size() && x.rows() > 1, "LOOCV needs >= 2 rows");
+  Vector predictions(x.rows(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const Matrix xi = x.without_row(i);
+    const Vector yi = without_element(y, i);
+    const LinearSpeedupModel model = fit_model(xi, yi, fitter, set, opts);
+    predictions[i] = model.predict_features(x.row(i));
+  }
+  return predictions;
+}
+
+}  // namespace veccost::model

@@ -1,0 +1,54 @@
+// Fitting and cross-validating linear cost models.
+//
+// The trainer is deliberately generic over (X, y): the evaluation harness
+// builds the design matrix from TSVC measurements and chooses the regression
+// target (speedup, as the paper recommends, or raw vector cost as in the
+// slides' x86 backup comparison).
+#pragma once
+
+#include <string>
+
+#include "analysis/features.hpp"
+#include "costmodel/linear_model.hpp"
+#include "support/matrix.hpp"
+
+namespace veccost::model {
+
+enum class Fitter { L2, NNLS, SVR };
+
+[[nodiscard]] const char* to_string(Fitter f);
+
+struct TrainOptions {
+  /// Ridge regularization for L2 (0 = plain least squares).
+  double l2_lambda = 1e-8;
+  /// SVR hyperparameters.
+  double svr_c = 50.0;
+  double svr_epsilon = 0.02;
+  /// Fit an intercept (the paper's formulation has none for L2/NNLS).
+  bool fit_bias_svr = true;
+};
+
+/// Fit weights for `fitter` on the design matrix / target pair.
+/// SVR standardizes features internally and maps weights back to raw space.
+[[nodiscard]] LinearSpeedupModel fit_model(const Matrix& x, const Vector& y,
+                                           Fitter fitter,
+                                           analysis::FeatureSet set,
+                                           const TrainOptions& opts = {},
+                                           const std::string& target_name = "");
+
+/// Leave-one-out cross validation: element i of the result is the prediction
+/// for row i by a model trained on all other rows (slides 11 and 16).
+[[nodiscard]] Vector loocv_predictions(const Matrix& x, const Vector& y,
+                                       Fitter fitter, analysis::FeatureSet set,
+                                       const TrainOptions& opts = {});
+
+/// k-fold cross validation with strided folds (row i belongs to fold i % k,
+/// which interleaves the suite's category ordering across folds). Element i
+/// of the result is row i's prediction by the model trained on the other
+/// folds. k must be in [2, rows].
+[[nodiscard]] Vector kfold_predictions(const Matrix& x, const Vector& y,
+                                       Fitter fitter, analysis::FeatureSet set,
+                                       std::size_t k,
+                                       const TrainOptions& opts = {});
+
+}  // namespace veccost::model

@@ -1,0 +1,141 @@
+#include "eval/experiments.hpp"
+
+#include "costmodel/llvm_model.hpp"
+#include "machine/perf_model.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "tsvc/kernel.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+#include "vectorizer/slp_vectorizer.hpp"
+
+namespace veccost::eval {
+
+ModelEval evaluate_predictions(const SuiteMeasurement& sm, std::string label,
+                               Vector predictions) {
+  const Vector measured = sm.measured_speedups();
+  VECCOST_ASSERT(predictions.size() == measured.size(),
+                 "prediction/dataset size mismatch");
+  ModelEval e;
+  e.label = std::move(label);
+  e.pearson = pearson(predictions, measured);
+  e.spearman = spearman(predictions, measured);
+  e.rmse = rmse(predictions, measured);
+  e.confusion = classify(predictions, measured);
+  e.outcome = model::evaluate_decisions(predictions, measured,
+                                        sm.scalar_cycles_vec(),
+                                        sm.vector_cycles_vec());
+  e.predictions = std::move(predictions);
+  return e;
+}
+
+ModelEval experiment_baseline(const SuiteMeasurement& sm) {
+  return evaluate_predictions(sm, "llvm-baseline", sm.baseline_predictions());
+}
+
+FitExperiment experiment_fit_speedup(const SuiteMeasurement& sm,
+                                     model::Fitter fitter,
+                                     analysis::FeatureSet set, bool loocv) {
+  const Matrix x = sm.design_matrix(set);
+  const Vector y = sm.measured_speedups();
+  FitExperiment out;
+  out.model = model::fit_model(x, y, fitter, set, {}, sm.target_name);
+  Vector pred;
+  if (loocv) {
+    pred = model::loocv_predictions(x, y, fitter, set);
+  } else {
+    pred.reserve(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      pred.push_back(out.model.predict_features(x.row(i)));
+  }
+  std::string label = std::string(model::to_string(fitter)) + "-" +
+                      analysis::to_string(set) + (loocv ? "-loocv" : "");
+  out.eval = evaluate_predictions(sm, std::move(label), std::move(pred));
+  return out;
+}
+
+FitExperiment experiment_fit_cost(const SuiteMeasurement& sm,
+                                  model::Fitter fitter,
+                                  analysis::FeatureSet set, bool loocv) {
+  // Fit COSTS (the slide-18 variant): one model for the measured scalar
+  // cycles per iteration, one for the measured vector cycles per body; the
+  // speedup estimate is their ratio times VF. Both targets span wide
+  // intervals, which is exactly why the paper prefers fitting speedup.
+  const Matrix x = sm.design_matrix(set);
+  const Vector y_vec = sm.vector_costs();
+  const Vector y_sc = sm.scalar_costs();
+  FitExperiment out;
+  out.model = model::fit_model(x, y_vec, fitter, set, {}, sm.target_name);
+  const model::LinearSpeedupModel scalar_model =
+      model::fit_model(x, y_sc, fitter, set, {}, sm.target_name);
+
+  Vector vec_pred, sc_pred;
+  if (loocv) {
+    vec_pred = model::loocv_predictions(x, y_vec, fitter, set);
+    sc_pred = model::loocv_predictions(x, y_sc, fitter, set);
+  } else {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      vec_pred.push_back(out.model.predict_features(x.row(i)));
+      sc_pred.push_back(scalar_model.predict_features(x.row(i)));
+    }
+  }
+  const Vector vfs = sm.vf_column();
+  Vector pred(vec_pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    // Costs below one cycle per body are physically impossible; clamping
+    // keeps an extrapolating linear fit from exploding the ratio.
+    const double denom = std::max(vec_pred[i], 1.0);
+    pred[i] = std::max(sc_pred[i], 0.1) * vfs[i] / denom;
+  }
+  std::string label = std::string(model::to_string(fitter)) + "-cost-" +
+                      analysis::to_string(set) + (loocv ? "-loocv" : "");
+  out.eval = evaluate_predictions(sm, std::move(label), std::move(pred));
+  return out;
+}
+
+LlvVsSlpResult experiment_llv_vs_slp(const std::string& kernel_name,
+                                     const machine::TargetDesc& target) {
+  const tsvc::KernelInfo* info = tsvc::find_kernel(kernel_name);
+  VECCOST_ASSERT(info != nullptr, "unknown kernel: " + kernel_name);
+  const ir::LoopKernel scalar = info->build();
+  const std::int64_t n = scalar.default_n;
+
+  LlvVsSlpResult out;
+  out.kernel = kernel_name;
+  const double scalar_cycles = machine::measure_scalar_cycles(scalar, target, n);
+
+  const auto llv = vectorizer::vectorize_loop(scalar, target);
+  if (llv.ok) {
+    out.llv_ok = true;
+    out.llv_predicted =
+        model::llvm_predict(scalar, llv.kernel, target).predicted_speedup;
+    out.llv_measured =
+        scalar_cycles / machine::measure_vector_cycles(llv.kernel, scalar, target, n);
+  }
+
+  const auto slp = vectorizer::slp_vectorize(scalar, target);
+  if (slp.ok) {
+    out.slp_ok = true;
+    out.slp_predicted = model::llvm_predict_slp(scalar, slp, target);
+    out.slp_measured =
+        scalar_cycles / machine::measure_slp_cycles(scalar, slp, target, n);
+  }
+  return out;
+}
+
+std::vector<SummaryRow> experiment_summary(const SuiteMeasurement& sm) {
+  std::vector<SummaryRow> rows;
+  auto push = [&](const ModelEval& e) {
+    rows.push_back({e.label, e.pearson, e.confusion.false_positive,
+                    e.confusion.false_negative, e.outcome.time_following_model,
+                    e.outcome.efficiency()});
+  };
+  push(experiment_baseline(sm));
+  push(experiment_fit_speedup(sm, model::Fitter::L2, analysis::FeatureSet::Counts).eval);
+  push(experiment_fit_speedup(sm, model::Fitter::NNLS, analysis::FeatureSet::Counts).eval);
+  push(experiment_fit_speedup(sm, model::Fitter::NNLS, analysis::FeatureSet::Rated).eval);
+  push(experiment_fit_speedup(sm, model::Fitter::SVR, analysis::FeatureSet::Rated).eval);
+  push(experiment_fit_speedup(sm, model::Fitter::NNLS, analysis::FeatureSet::Extended).eval);
+  return rows;
+}
+
+}  // namespace veccost::eval

@@ -1,0 +1,73 @@
+// Experiment drivers: one function per figure family of the slides.
+#pragma once
+
+#include <string>
+
+#include "costmodel/classifier.hpp"
+#include "costmodel/trainer.hpp"
+#include "eval/measurement.hpp"
+
+namespace veccost::eval {
+
+/// Quality of one set of speedup predictions against the measured dataset.
+struct ModelEval {
+  std::string label;
+  Vector predictions;  ///< aligned with SuiteMeasurement::dataset_indices()
+  double pearson = 0;
+  double spearman = 0;
+  double rmse = 0;
+  Confusion confusion;
+  model::DecisionOutcome outcome;
+};
+
+[[nodiscard]] ModelEval evaluate_predictions(const SuiteMeasurement& sm,
+                                             std::string label,
+                                             Vector predictions);
+
+/// Slide 4 / 17: the LLVM-style baseline cost model.
+[[nodiscard]] ModelEval experiment_baseline(const SuiteMeasurement& sm);
+
+struct FitExperiment {
+  ModelEval eval;                    ///< in-sample (or LOOCV) prediction quality
+  model::LinearSpeedupModel model;   ///< weights fitted on the full dataset
+};
+
+/// Slides 8/10/19: fit speedup directly. `loocv` evaluates with
+/// leave-one-out predictions (slides 11/16) instead of in-sample ones.
+[[nodiscard]] FitExperiment experiment_fit_speedup(const SuiteMeasurement& sm,
+                                                   model::Fitter fitter,
+                                                   analysis::FeatureSet set,
+                                                   bool loocv = false);
+
+/// Slide 18: fit the vector block cost instead, then derive speedup as
+/// scalar_cost * VF / predicted_cost.
+[[nodiscard]] FitExperiment experiment_fit_cost(const SuiteMeasurement& sm,
+                                                model::Fitter fitter,
+                                                analysis::FeatureSet set,
+                                                bool loocv = false);
+
+/// Slide 15: LLV vs SLP, predicted and measured, for one kernel.
+struct LlvVsSlpResult {
+  std::string kernel;
+  bool llv_ok = false, slp_ok = false;
+  double llv_predicted = 0, llv_measured = 0;
+  double slp_predicted = 0, slp_measured = 0;
+};
+
+[[nodiscard]] LlvVsSlpResult experiment_llv_vs_slp(const std::string& kernel_name,
+                                                   const machine::TargetDesc& target);
+
+/// Slide 12 summary: correlation, false predictions and decision-driven
+/// execution time for baseline vs the fitted models.
+struct SummaryRow {
+  std::string model;
+  double pearson = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+  double exec_cycles = 0;   ///< total cycles following the model's decisions
+  double efficiency = 0;    ///< fraction of oracle gain captured
+};
+
+[[nodiscard]] std::vector<SummaryRow> experiment_summary(const SuiteMeasurement& sm);
+
+}  // namespace veccost::eval

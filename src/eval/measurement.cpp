@@ -1,0 +1,149 @@
+#include "eval/measurement.hpp"
+
+#include <algorithm>
+
+#include "costmodel/llvm_model.hpp"
+#include "machine/perf_model.hpp"
+#include "support/error.hpp"
+#include "tsvc/kernel.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+
+namespace veccost::eval {
+
+std::vector<std::size_t> SuiteMeasurement::dataset_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < kernels.size(); ++i)
+    if (kernels[i].vectorizable) out.push_back(i);
+  return out;
+}
+
+Matrix SuiteMeasurement::design_matrix(analysis::FeatureSet set) const {
+  Matrix x;
+  for (const std::size_t i : dataset_indices()) {
+    const auto& k = kernels[i];
+    switch (set) {
+      case analysis::FeatureSet::Counts: x.push_row(k.features_counts); break;
+      case analysis::FeatureSet::Rated: x.push_row(k.features_rated); break;
+      case analysis::FeatureSet::Extended: x.push_row(k.features_extended); break;
+    }
+  }
+  return x;
+}
+
+Vector SuiteMeasurement::measured_speedups() const {
+  Vector y;
+  for (const std::size_t i : dataset_indices())
+    y.push_back(kernels[i].measured_speedup);
+  return y;
+}
+
+Vector SuiteMeasurement::baseline_predictions() const {
+  Vector y;
+  for (const std::size_t i : dataset_indices())
+    y.push_back(kernels[i].llvm_predicted_speedup);
+  return y;
+}
+
+Vector SuiteMeasurement::vector_costs() const {
+  Vector y;
+  for (const std::size_t i : dataset_indices())
+    y.push_back(kernels[i].vector_cost_per_body);
+  return y;
+}
+
+Vector SuiteMeasurement::scalar_costs() const {
+  Vector y;
+  for (const std::size_t i : dataset_indices())
+    y.push_back(kernels[i].scalar_cost_per_iter);
+  return y;
+}
+
+Vector SuiteMeasurement::vf_column() const {
+  Vector y;
+  for (const std::size_t i : dataset_indices())
+    y.push_back(kernels[i].vf);
+  return y;
+}
+
+Vector SuiteMeasurement::scalar_cycles_vec() const {
+  Vector y;
+  for (const std::size_t i : dataset_indices())
+    y.push_back(kernels[i].scalar_cycles);
+  return y;
+}
+
+Vector SuiteMeasurement::vector_cycles_vec() const {
+  Vector y;
+  for (const std::size_t i : dataset_indices())
+    y.push_back(kernels[i].vector_cycles);
+  return y;
+}
+
+std::vector<std::string> SuiteMeasurement::dataset_names() const {
+  std::vector<std::string> names;
+  for (const std::size_t i : dataset_indices()) names.push_back(kernels[i].name);
+  return names;
+}
+
+Vector SuiteMeasurement::speedup_from_cost_predictions(const Vector& cost_pred) const {
+  const auto idx = dataset_indices();
+  VECCOST_ASSERT(cost_pred.size() == idx.size(),
+                 "cost prediction size mismatch");
+  Vector out(cost_pred.size());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    const auto& k = kernels[idx[r]];
+    const double denom = std::max(cost_pred[r], 1e-6);
+    out[r] = k.scalar_cost_per_iter * k.vf / denom;
+  }
+  return out;
+}
+
+SuiteMeasurement measure_suite(const machine::TargetDesc& target, double noise) {
+  SuiteMeasurement out;
+  out.target_name = target.name;
+  for (const auto& info : tsvc::suite()) {
+    const ir::LoopKernel scalar = info.build();
+    KernelMeasurement m;
+    m.name = info.name;
+    m.category = info.category;
+    m.features_counts =
+        analysis::extract_features(scalar, analysis::FeatureSet::Counts);
+    m.features_rated =
+        analysis::extract_features(scalar, analysis::FeatureSet::Rated);
+    m.features_extended =
+        analysis::extract_features(scalar, analysis::FeatureSet::Extended);
+
+    const vectorizer::VectorizedLoop vec = vectorizer::vectorize_loop(scalar, target);
+    if (!vec.ok) {
+      m.vectorizable = false;
+      m.reject_reason = vec.notes_string();
+      out.kernels.push_back(std::move(m));
+      continue;
+    }
+    m.vectorizable = true;
+    m.vf = vec.vf;
+
+    const std::int64_t n = scalar.default_n;
+    m.scalar_cycles = machine::measure_scalar_cycles(scalar, target, n, noise);
+    m.vector_cycles =
+        vec.runtime_check
+            ? machine::measure_versioned_scalar_cycles(scalar, target, n, noise)
+            : machine::measure_vector_cycles(vec.kernel, scalar, target, n, noise);
+    m.measured_speedup = m.scalar_cycles / m.vector_cycles;
+
+    const std::int64_t iters = scalar.trip.iterations(n);
+    const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+    m.scalar_cost_per_iter =
+        m.scalar_cycles / static_cast<double>(std::max<std::int64_t>(iters * outer, 1));
+    const std::int64_t bodies = std::max<std::int64_t>((iters / vec.vf) * outer, 1);
+    m.vector_cost_per_body = m.vector_cycles / static_cast<double>(bodies);
+
+    m.llvm_predicted_speedup =
+        model::llvm_predict(scalar, vec.kernel, target).predicted_speedup;
+
+    out.kernels.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace veccost::eval

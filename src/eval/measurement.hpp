@@ -1,0 +1,73 @@
+// Suite measurement: run every TSVC kernel through legality, the loop
+// vectorizer and the measurement substrate on one target, collecting
+// everything the experiments need (the paper's "state of the art analysis"
+// configuration: cost model overridden — every legal loop is vectorized —
+// no unrolling, no interleaving).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/features.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/target.hpp"
+#include "support/matrix.hpp"
+
+namespace veccost::eval {
+
+struct KernelMeasurement {
+  std::string name;
+  std::string category;
+
+  bool vectorizable = false;
+  std::string reject_reason;  ///< empty when vectorizable
+  int vf = 1;
+
+  // Measurement-substrate results (only valid when vectorizable).
+  double scalar_cycles = 0;
+  double vector_cycles = 0;
+  double measured_speedup = 0;
+  double scalar_cost_per_iter = 0;   ///< measured scalar cycles per iteration
+  double vector_cost_per_body = 0;   ///< measured vector cycles per VF-body
+
+  // Baseline cost-model prediction.
+  double llvm_predicted_speedup = 0;
+
+  // Feature vectors of the scalar body.
+  std::vector<double> features_counts;
+  std::vector<double> features_rated;
+  std::vector<double> features_extended;
+};
+
+struct SuiteMeasurement {
+  std::string target_name;
+  std::vector<KernelMeasurement> kernels;  ///< all 151, suite order
+
+  /// Indices of vectorizable kernels (the regression dataset).
+  [[nodiscard]] std::vector<std::size_t> dataset_indices() const;
+
+  /// Design matrix over the dataset for one feature set.
+  [[nodiscard]] Matrix design_matrix(analysis::FeatureSet set) const;
+
+  /// Dataset columns.
+  [[nodiscard]] Vector measured_speedups() const;
+  [[nodiscard]] Vector baseline_predictions() const;
+  [[nodiscard]] Vector vector_costs() const;
+  [[nodiscard]] Vector scalar_costs() const;  ///< measured cycles per scalar iter
+  [[nodiscard]] Vector vf_column() const;     ///< chosen VF per dataset kernel
+  [[nodiscard]] Vector scalar_cycles_vec() const;
+  [[nodiscard]] Vector vector_cycles_vec() const;
+  [[nodiscard]] std::vector<std::string> dataset_names() const;
+
+  /// Speedup predictions implied by predicted vector costs:
+  /// scalar_cost_per_iter * vf / predicted_cost.
+  [[nodiscard]] Vector speedup_from_cost_predictions(const Vector& cost_pred) const;
+};
+
+/// Measure the whole suite on `target`. Deterministic. `noise` sets the
+/// relative amplitude of the simulated measurement jitter (see the noise
+/// ablation bench for why this matters to the cost-vs-speedup fit).
+[[nodiscard]] SuiteMeasurement measure_suite(
+    const machine::TargetDesc& target, double noise = machine::kDefaultNoise);
+
+}  // namespace veccost::eval

@@ -1,0 +1,108 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace veccost::eval {
+
+void print_suite_overview(std::ostream& os, const SuiteMeasurement& sm) {
+  std::map<std::string, std::pair<int, int>> per_category;  // vec, total
+  for (const auto& k : sm.kernels) {
+    auto& [vec, total] = per_category[k.category];
+    ++total;
+    if (k.vectorizable) ++vec;
+  }
+  TextTable t({"category", "vectorized", "total"});
+  int vec_total = 0;
+  for (const auto& [cat, counts] : per_category) {
+    t.add_row({cat, std::to_string(counts.first), std::to_string(counts.second)});
+    vec_total += counts.first;
+  }
+  t.add_row({"ALL", std::to_string(vec_total), std::to_string(sm.kernels.size())});
+  os << "suite overview on " << sm.target_name << ":\n" << t.to_string();
+}
+
+void print_model_comparison(std::ostream& os, const std::vector<ModelEval>& evals) {
+  TextTable t({"model", "pearson", "spearman", "rmse", "TP", "TN", "FP", "FN",
+               "accuracy"});
+  for (const auto& e : evals) {
+    t.add_row({e.label, TextTable::num(e.pearson), TextTable::num(e.spearman),
+               TextTable::num(e.rmse), std::to_string(e.confusion.true_positive),
+               std::to_string(e.confusion.true_negative),
+               std::to_string(e.confusion.false_positive),
+               std::to_string(e.confusion.false_negative),
+               TextTable::pct(e.confusion.accuracy())});
+  }
+  os << t.to_string();
+}
+
+void print_scatter(std::ostream& os, const SuiteMeasurement& sm,
+                   const ModelEval& eval, std::size_t limit, bool worst_first) {
+  const Vector measured = sm.measured_speedups();
+  const auto names = sm.dataset_names();
+  std::vector<std::size_t> order(measured.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (worst_first) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return std::abs(eval.predictions[a] - measured[a]) >
+             std::abs(eval.predictions[b] - measured[b]);
+    });
+  }
+  TextTable t({"kernel", "predicted", "measured", "error", "decision"});
+  for (std::size_t r = 0; r < std::min(limit, order.size()); ++r) {
+    const std::size_t i = order[r];
+    const bool pred_vec = eval.predictions[i] > 1.0;
+    const bool good_vec = measured[i] > 1.0;
+    const char* verdict = pred_vec == good_vec ? "ok"
+                          : pred_vec           ? "FALSE-POS"
+                                               : "FALSE-NEG";
+    t.add_row({names[i], TextTable::num(eval.predictions[i]),
+               TextTable::num(measured[i]),
+               TextTable::num(eval.predictions[i] - measured[i]), verdict});
+  }
+  os << eval.label << " predicted vs measured"
+     << (worst_first ? " (worst first)" : "") << ":\n"
+     << t.to_string();
+}
+
+void print_weights(std::ostream& os, const model::LinearSpeedupModel& model) {
+  const auto& names = analysis::feature_names(model.feature_set());
+  TextTable t({"feature", "weight"});
+  for (std::size_t i = 0; i < names.size(); ++i)
+    t.add_row({names[i], TextTable::num(model.weights()[i], 4)});
+  if (model.bias() != 0.0) t.add_row({"(bias)", TextTable::num(model.bias(), 4)});
+  os << "fitted weights (" << model.fitter() << ", "
+     << analysis::to_string(model.feature_set()) << "):\n"
+     << t.to_string();
+}
+
+void print_decision_outcomes(std::ostream& os,
+                             const std::vector<ModelEval>& evals) {
+  TextTable t({"model", "cycles(model)", "cycles(scalar)", "cycles(oracle)",
+               "efficiency"});
+  for (const auto& e : evals) {
+    t.add_row({e.label, TextTable::num(e.outcome.time_following_model, 0),
+               TextTable::num(e.outcome.time_never_vectorize, 0),
+               TextTable::num(e.outcome.time_oracle, 0),
+               TextTable::pct(e.outcome.efficiency())});
+  }
+  os << t.to_string();
+}
+
+void write_scatter_csv(std::ostream& os, const SuiteMeasurement& sm,
+                       const ModelEval& eval) {
+  CsvWriter csv(os);
+  csv.write_row({"kernel", "predicted", "measured"});
+  const Vector measured = sm.measured_speedups();
+  const auto names = sm.dataset_names();
+  for (std::size_t i = 0; i < measured.size(); ++i)
+    csv.write_row({names[i], CsvWriter::cell(eval.predictions[i]),
+                   CsvWriter::cell(measured[i])});
+}
+
+}  // namespace veccost::eval

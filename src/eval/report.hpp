@@ -1,0 +1,38 @@
+// Paper-style report printers used by the figure binaries.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "costmodel/linear_model.hpp"
+#include "eval/experiments.hpp"
+
+namespace veccost::eval {
+
+/// Suite overview: how many kernels vectorized, per-category counts.
+void print_suite_overview(std::ostream& os, const SuiteMeasurement& sm);
+
+/// One row per model: correlation / RMSE / confusion — the headline numbers
+/// each "Results:" slide shows.
+void print_model_comparison(std::ostream& os,
+                            const std::vector<ModelEval>& evals);
+
+/// Per-kernel predicted-vs-measured listing (the scatter/bar charts of the
+/// LOOCV slides, as a table). Shows at most `limit` rows, worst first when
+/// `worst_first`.
+void print_scatter(std::ostream& os, const SuiteMeasurement& sm,
+                   const ModelEval& eval, std::size_t limit = 30,
+                   bool worst_first = true);
+
+/// Fitted weights per feature, the learned "cost table".
+void print_weights(std::ostream& os, const model::LinearSpeedupModel& model);
+
+/// Decision-consequence table (execution-time outcome of following a model).
+void print_decision_outcomes(std::ostream& os,
+                             const std::vector<ModelEval>& evals);
+
+/// Export the scatter data as CSV (kernel, predicted, measured).
+void write_scatter_csv(std::ostream& os, const SuiteMeasurement& sm,
+                       const ModelEval& eval);
+
+}  // namespace veccost::eval

@@ -1,0 +1,112 @@
+#include "fit/least_squares.hpp"
+
+#include <cmath>
+
+namespace veccost::fit {
+
+namespace {
+constexpr double kPivotTolerance = 1e-12;
+}
+
+void householder_qr(Matrix& a, Vector& betas) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  VECCOST_ASSERT(m >= n, "QR requires rows >= cols");
+  betas.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Compute the norm of the k-th column below (and including) the diagonal.
+    double sigma = 0.0;
+    for (std::size_t i = k; i < m; ++i) sigma += a(i, k) * a(i, k);
+    const double norm = std::sqrt(sigma);
+    if (norm == 0.0) {
+      betas[k] = 0.0;
+      continue;
+    }
+    // Householder vector v: v_k = a_kk + sign(a_kk)*norm, v_i = a_ik (i > k).
+    const double akk = a(k, k);
+    const double alpha = (akk >= 0.0) ? -norm : norm;  // R diagonal entry
+    const double vk = akk - alpha;
+    // beta = 2 / (v^T v); v^T v = sigma - akk^2 + vk^2
+    const double vtv = sigma - akk * akk + vk * vk;
+    if (vtv == 0.0) {
+      betas[k] = 0.0;
+      a(k, k) = alpha;
+      continue;
+    }
+    const double beta = 2.0 / vtv;
+    betas[k] = beta;
+    a(k, k) = vk;  // store v in the column temporarily
+
+    // Apply the reflector to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += a(i, k) * a(i, j);
+      s *= beta;
+      for (std::size_t i = k; i < m; ++i) a(i, j) -= s * a(i, k);
+    }
+    // Normalize the stored vector so v_k == 1 (store scaled tail) and put the
+    // R diagonal entry in place. We keep v with v_k implicit = 1.
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) /= vk;
+    betas[k] = beta * vk * vk;  // adjust beta for normalized v
+    a(k, k) = alpha;
+  }
+}
+
+void apply_qt(const Matrix& qr, const Vector& betas, Vector& v) {
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  VECCOST_ASSERT(v.size() == m, "apply_qt length mismatch");
+  for (std::size_t k = 0; k < n; ++k) {
+    if (betas[k] == 0.0) continue;
+    // v := (I - beta u u^T) v with u = [1, qr(k+1..m-1, k)].
+    double s = v[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr(i, k) * v[i];
+    s *= betas[k];
+    v[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) v[i] -= s * qr(i, k);
+  }
+}
+
+Vector back_substitute(const Matrix& qr, const Vector& y) {
+  const std::size_t n = qr.cols();
+  Vector w(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= qr(ii, j) * w[j];
+    const double r = qr(ii, ii);
+    if (std::abs(r) < kPivotTolerance) {
+      throw Error("least squares: rank-deficient system (tiny pivot)");
+    }
+    w[ii] = s / r;
+  }
+  return w;
+}
+
+Vector solve_least_squares(const Matrix& a, const Vector& b,
+                           const LeastSquaresOptions& opts) {
+  VECCOST_ASSERT(a.rows() == b.size(), "least squares: row/target mismatch");
+  VECCOST_ASSERT(a.cols() > 0, "least squares: empty system");
+
+  Matrix work = a;
+  Vector rhs = b;
+  if (opts.lambda > 0.0) {
+    // Augment with sqrt(lambda) * I rows: min ||[A; sqrt(l) I] w - [b; 0]||.
+    const double s = std::sqrt(opts.lambda);
+    Matrix aug(a.rows() + a.cols(), a.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+      for (std::size_t c = 0; c < a.cols(); ++c) aug(r, c) = a(r, c);
+    for (std::size_t c = 0; c < a.cols(); ++c) aug(a.rows() + c, c) = s;
+    work = std::move(aug);
+    rhs.resize(a.rows() + a.cols(), 0.0);
+  }
+  VECCOST_ASSERT(work.rows() >= work.cols(),
+                 "least squares: underdetermined system (rows < cols)");
+
+  Vector betas;
+  householder_qr(work, betas);
+  apply_qt(work, betas, rhs);
+  return back_substitute(work, rhs);
+}
+
+}  // namespace veccost::fit

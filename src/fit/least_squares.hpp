@@ -1,0 +1,35 @@
+// Linear least squares via Householder QR.
+//
+// Solves min_w ||A w - b||_2, optionally with Tikhonov (ridge) regularization
+// min_w ||A w - b||^2 + lambda ||w||^2 implemented by row augmentation. This
+// is the "L2" fitter of the paper (slide 8: "Least Squares, minimizes
+// Euclidian L2 Norm").
+#pragma once
+
+#include "support/matrix.hpp"
+
+namespace veccost::fit {
+
+struct LeastSquaresOptions {
+  /// Ridge strength; 0 = plain least squares.
+  double lambda = 0.0;
+};
+
+/// Solve min ||A w - b||. A must have rows >= cols (after ridge
+/// augmentation); throws veccost::Error on rank deficiency that makes the
+/// system unsolvable (|R_ii| below tolerance and lambda == 0).
+[[nodiscard]] Vector solve_least_squares(const Matrix& a, const Vector& b,
+                                         const LeastSquaresOptions& opts = {});
+
+/// In-place Householder QR of `a` (m x n, m >= n). On return `a` holds R in
+/// its upper triangle and the Householder vectors below the diagonal;
+/// `betas` holds the scalar factors. Exposed for tests.
+void householder_qr(Matrix& a, Vector& betas);
+
+/// Apply Q^T (from householder_qr) to a vector of length m, in place.
+void apply_qt(const Matrix& qr, const Vector& betas, Vector& v);
+
+/// Back-substitute R w = y (first n entries of y). Throws on tiny pivot.
+[[nodiscard]] Vector back_substitute(const Matrix& qr, const Vector& y);
+
+}  // namespace veccost::fit

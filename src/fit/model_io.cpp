@@ -1,0 +1,61 @@
+#include "fit/model_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace veccost::fit {
+
+namespace {
+constexpr const char* kMagic = "veccost-model v1";
+}
+
+void save_model(std::ostream& out, const SavedModel& model) {
+  VECCOST_ASSERT(model.feature_names.size() == model.weights.size(),
+                 "model_io: name/weight count mismatch");
+  out << kMagic << '\n';
+  out << "target " << model.target << '\n';
+  out << "features " << model.feature_set << '\n';
+  out << "fitter " << model.fitter << '\n';
+  out.precision(17);
+  out << "bias " << model.bias << '\n';
+  for (std::size_t i = 0; i < model.weights.size(); ++i)
+    out << "weight " << model.feature_names[i] << ' ' << model.weights[i] << '\n';
+}
+
+SavedModel load_model(std::istream& in) {
+  SavedModel model;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic)
+    throw Error("model_io: bad magic line");
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "target") {
+      ls >> model.target;
+    } else if (key == "features") {
+      ls >> model.feature_set;
+    } else if (key == "fitter") {
+      ls >> model.fitter;
+    } else if (key == "bias") {
+      ls >> model.bias;
+    } else if (key == "weight") {
+      std::string name;
+      double w = 0.0;
+      ls >> name >> w;
+      if (ls.fail()) throw Error("model_io: malformed weight line: " + line);
+      model.feature_names.push_back(name);
+      model.weights.push_back(w);
+    } else {
+      throw Error("model_io: unknown key: " + key);
+    }
+    if (ls.fail()) throw Error("model_io: malformed line: " + line);
+  }
+  return model;
+}
+
+}  // namespace veccost::fit

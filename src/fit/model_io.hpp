@@ -1,0 +1,34 @@
+// Plain-text serialization of fitted linear models.
+//
+// Format (line-oriented, stable across versions):
+//   veccost-model v1
+//   target <name>           # e.g. cortex-a57
+//   features <set-name>     # e.g. rated
+//   fitter <name>           # l2 | nnls | svr
+//   bias <double>
+//   weight <feature-name> <double>   (one line per feature)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/matrix.hpp"
+
+namespace veccost::fit {
+
+struct SavedModel {
+  std::string target;
+  std::string feature_set;
+  std::string fitter;
+  double bias = 0.0;
+  std::vector<std::string> feature_names;
+  Vector weights;
+};
+
+void save_model(std::ostream& out, const SavedModel& model);
+
+/// Parse a model; throws veccost::Error on malformed input.
+[[nodiscard]] SavedModel load_model(std::istream& in);
+
+}  // namespace veccost::fit

@@ -1,0 +1,106 @@
+#include "fit/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fit/least_squares.hpp"
+
+namespace veccost::fit {
+
+namespace {
+
+/// Solve the unconstrained least-squares subproblem restricted to the passive
+/// set P (columns with passive[j] == true); entries outside P are zero.
+Vector solve_passive(const Matrix& a, const Vector& b,
+                     const std::vector<bool>& passive) {
+  std::vector<std::size_t> cols;
+  for (std::size_t j = 0; j < passive.size(); ++j)
+    if (passive[j]) cols.push_back(j);
+  Vector full(passive.size(), 0.0);
+  if (cols.empty()) return full;
+
+  Matrix sub(a.rows(), cols.size());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < cols.size(); ++c) sub(r, c) = a(r, cols[c]);
+
+  // A tiny ridge keeps near-collinear instruction-class columns (common with
+  // rated features, which sum to 1) from blowing up the subproblem.
+  Vector z = solve_least_squares(sub, b, {.lambda = 1e-12});
+  for (std::size_t c = 0; c < cols.size(); ++c) full[cols[c]] = z[c];
+  return full;
+}
+
+}  // namespace
+
+NnlsResult solve_nnls(const Matrix& a, const Vector& b, const NnlsOptions& opts) {
+  VECCOST_ASSERT(a.rows() == b.size(), "nnls: row/target mismatch");
+  const std::size_t n = a.cols();
+  const int max_iter = opts.max_iterations > 0 ? opts.max_iterations
+                                               : static_cast<int>(3 * n) + 30;
+
+  std::vector<bool> passive(n, false);
+  Vector w(n, 0.0);
+  NnlsResult result;
+  result.converged = false;
+  result.iterations = 0;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    result.iterations = iter + 1;
+    // Gradient of 0.5||Aw-b||^2 is A^T (A w - b); dual vector is its negation.
+    Vector residual = subtract(b, a * w);
+    Vector gradient = transpose_times(a, residual);  // = A^T (b - A w)
+
+    // Find the most violated active constraint.
+    double best = opts.tolerance;
+    std::size_t best_j = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!passive[j] && gradient[j] > best) {
+        best = gradient[j];
+        best_j = j;
+      }
+    }
+    if (best_j == n) {
+      result.converged = true;  // KKT satisfied
+      break;
+    }
+    passive[best_j] = true;
+
+    // Inner loop: ensure feasibility of the passive-set solution.
+    for (;;) {
+      Vector z = solve_passive(a, b, passive);
+      bool feasible = true;
+      double alpha = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (passive[j] && z[j] <= 0.0) {
+          feasible = false;
+          const double denom = w[j] - z[j];
+          if (denom > 0.0) alpha = std::min(alpha, w[j] / denom);
+        }
+      }
+      if (feasible) {
+        w = std::move(z);
+        break;
+      }
+      VECCOST_ASSERT(std::isfinite(alpha), "nnls: no feasible step");
+      for (std::size_t j = 0; j < n; ++j) {
+        if (passive[j]) {
+          w[j] += alpha * (z[j] - w[j]);
+          if (w[j] <= opts.tolerance) {
+            w[j] = 0.0;
+            passive[j] = false;
+          }
+        }
+      }
+    }
+  }
+
+  // Clamp numerical dust.
+  for (double& x : w) x = std::max(x, 0.0);
+  result.residual_norm = norm2(subtract(a * w, b));
+  result.weights = std::move(w);
+  return result;
+}
+
+}  // namespace veccost::fit

@@ -1,0 +1,30 @@
+// Non-negative least squares: min ||A w - b|| subject to w >= 0.
+//
+// Classic active-set algorithm of Lawson & Hanson (1974). NNLS is the
+// paper's preferred fitter (slide 8: "all coefficients > 0"): non-negative
+// weights keep the learned cost model interpretable as per-instruction-class
+// contributions and, per the paper, eliminate false-negative vectorization
+// decisions on both ARM and x86.
+#pragma once
+
+#include "support/matrix.hpp"
+
+namespace veccost::fit {
+
+struct NnlsResult {
+  Vector weights;          ///< solution, all entries >= 0
+  double residual_norm;    ///< ||A w - b||_2
+  int iterations;          ///< outer-loop iterations used
+  bool converged;          ///< false if iteration cap was hit
+};
+
+struct NnlsOptions {
+  int max_iterations = 0;   ///< 0 = 3 * cols (Lawson-Hanson default)
+  double tolerance = 1e-10; ///< dual feasibility tolerance
+};
+
+/// Solve the NNLS problem. Throws veccost::Error on dimension errors.
+[[nodiscard]] NnlsResult solve_nnls(const Matrix& a, const Vector& b,
+                                    const NnlsOptions& opts = {});
+
+}  // namespace veccost::fit

@@ -1,0 +1,40 @@
+#include "fit/scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/stats.hpp"
+
+namespace veccost::fit {
+
+void StandardScaler::fit(const Matrix& x) {
+  VECCOST_ASSERT(x.rows() > 0, "scaler: empty matrix");
+  means_.assign(x.cols(), 0.0);
+  stds_.assign(x.cols(), 1.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const Vector column = x.col(c);
+    means_[c] = mean(column);
+    stds_[c] = std::max(stddev(column), 1e-12);
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  VECCOST_ASSERT(fitted(), "scaler: transform before fit");
+  VECCOST_ASSERT(x.cols() == means_.size(), "scaler: column mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      out(r, c) = (x(r, c) - means_[c]) / stds_[c];
+  return out;
+}
+
+Vector StandardScaler::transform_row(std::span<const double> row) const {
+  VECCOST_ASSERT(fitted(), "scaler: transform before fit");
+  VECCOST_ASSERT(row.size() == means_.size(), "scaler: column mismatch");
+  Vector out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c)
+    out[c] = (row[c] - means_[c]) / stds_[c];
+  return out;
+}
+
+}  // namespace veccost::fit

@@ -1,0 +1,30 @@
+// Feature standardization (z-score) for fitters that are scale sensitive.
+//
+// L2/NNLS on raw instruction counts are scale-robust, but SVR's C/epsilon
+// trade-off is not; the trainer standardizes features for SVR and maps the
+// learned weights back to raw-feature space for reporting.
+#pragma once
+
+#include "support/matrix.hpp"
+
+namespace veccost::fit {
+
+class StandardScaler {
+ public:
+  /// Learn per-column mean and standard deviation from `x`.
+  void fit(const Matrix& x);
+
+  /// Apply the learned transform: (x - mean) / std (std clamped to >= 1e-12).
+  [[nodiscard]] Matrix transform(const Matrix& x) const;
+  [[nodiscard]] Vector transform_row(std::span<const double> row) const;
+
+  [[nodiscard]] const Vector& means() const { return means_; }
+  [[nodiscard]] const Vector& stds() const { return stds_; }
+  [[nodiscard]] bool fitted() const { return !means_.empty(); }
+
+ private:
+  Vector means_;
+  Vector stds_;
+};
+
+}  // namespace veccost::fit

@@ -1,0 +1,87 @@
+#include "fit/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace veccost::fit {
+
+SvrResult solve_svr(const Matrix& x, const Vector& y, const SvrOptions& opts) {
+  VECCOST_ASSERT(x.rows() == y.size(), "svr: row/target mismatch");
+  VECCOST_ASSERT(x.rows() > 0 && x.cols() > 0, "svr: empty data");
+
+  const std::size_t m = x.rows();
+  const std::size_t n = x.cols() + (opts.fit_bias ? 1 : 0);
+
+  // Build the (optionally bias-augmented) sample matrix once.
+  Matrix data(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) data(i, j) = x(i, j);
+    if (opts.fit_bias) data(i, n - 1) = 1.0;
+  }
+
+  // Precompute squared norms of each sample (diagonal of the Gram matrix).
+  Vector qii(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) qii[i] = dot(data.row(i), data.row(i));
+
+  Vector beta(m, 0.0);  // beta_i = alpha+_i - alpha-_i, |beta_i| <= C
+  Vector w(n, 0.0);     // w = sum_i beta_i x_i, maintained incrementally
+
+  SvrResult result;
+  result.converged = false;
+  result.sweeps = 0;
+
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    result.sweeps = sweep + 1;
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (qii[i] <= 0.0) continue;
+      const double wx = dot(w, data.row(i));
+      const double r = wx - y[i];
+      // Subproblem: minimize over d the objective restricted to beta_i + d;
+      // derivative pieces for the eps-insensitive loss dual (L1-loss SVR):
+      //   g+ = r + eps, g- = r - eps
+      double d = 0.0;
+      const double gp = r + opts.epsilon;
+      const double gm = r - opts.epsilon;
+      if (gp < qii[i] * (-beta[i])) {
+        d = -gp / qii[i];
+      } else if (gm > qii[i] * (-beta[i])) {
+        d = -gm / qii[i];
+      } else {
+        d = -beta[i];
+      }
+      // Clip beta_i + d to [-C, C].
+      double nb = std::clamp(beta[i] + d, -opts.c, opts.c);
+      d = nb - beta[i];
+      if (d == 0.0) continue;
+      beta[i] = nb;
+      const auto xi = data.row(i);
+      for (std::size_t j = 0; j < n; ++j) w[j] += d * xi[j];
+      max_step = std::max(max_step, std::abs(d));
+    }
+    if (max_step < opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.support_vectors = 0;
+  for (double b : beta)
+    if (std::abs(b) > 1e-12) ++result.support_vectors;
+
+  if (opts.fit_bias) {
+    result.bias = w.back();
+    w.pop_back();
+  } else {
+    result.bias = 0.0;
+  }
+  result.weights = std::move(w);
+  return result;
+}
+
+double svr_predict(const SvrResult& model, std::span<const double> x) {
+  VECCOST_ASSERT(x.size() == model.weights.size(), "svr_predict size mismatch");
+  return dot(model.weights, x) + model.bias;
+}
+
+}  // namespace veccost::fit

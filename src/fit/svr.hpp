@@ -1,0 +1,37 @@
+// Linear epsilon-insensitive Support Vector Regression.
+//
+// min_w 0.5 ||w||^2 + C * sum_i max(0, |w.x_i + b - y_i| - eps)
+//
+// Solved in the dual by coordinate descent over the alpha = alpha+ - alpha-
+// variables (the LIBLINEAR L2-regularized L1-loss SVR formulation, Ho & Lin
+// 2012). The paper uses SVR as its third fitter on x86 (slides 18-19), where
+// it eliminates false negatives like NNLS does.
+#pragma once
+
+#include "support/matrix.hpp"
+
+namespace veccost::fit {
+
+struct SvrOptions {
+  double c = 10.0;          ///< regularization / loss trade-off
+  double epsilon = 0.05;    ///< width of the insensitive tube
+  int max_sweeps = 2000;    ///< coordinate-descent sweeps over the data
+  double tolerance = 1e-8;  ///< stop when max alpha update is below this
+  bool fit_bias = true;     ///< learn an intercept via an appended 1-feature
+};
+
+struct SvrResult {
+  Vector weights;       ///< linear weights (excluding bias)
+  double bias;          ///< intercept (0 if fit_bias == false)
+  int sweeps;           ///< sweeps used
+  bool converged;       ///< tolerance reached before max_sweeps
+  int support_vectors;  ///< number of samples with nonzero dual variable
+};
+
+[[nodiscard]] SvrResult solve_svr(const Matrix& x, const Vector& y,
+                                  const SvrOptions& opts = {});
+
+/// Predict y for one sample with a trained model.
+[[nodiscard]] double svr_predict(const SvrResult& model, std::span<const double> x);
+
+}  // namespace veccost::fit

@@ -1,0 +1,284 @@
+#include "ir/builder.hpp"
+
+#include "support/error.hpp"
+
+namespace veccost::ir {
+
+LoopBuilder::LoopBuilder(std::string name, std::string category,
+                         std::string description) {
+  kernel_.name = std::move(name);
+  kernel_.category = std::move(category);
+  kernel_.description = std::move(description);
+}
+
+LoopBuilder& LoopBuilder::default_n(std::int64_t n) {
+  kernel_.default_n = n;
+  return *this;
+}
+
+LoopBuilder& LoopBuilder::trip(TripCount tc) {
+  VECCOST_ASSERT(tc.step > 0 && tc.den > 0, "bad trip count in " + kernel_.name);
+  kernel_.trip = tc;
+  return *this;
+}
+
+LoopBuilder& LoopBuilder::outer(std::int64_t trips) {
+  VECCOST_ASSERT(trips >= 1, "outer trip count must be >= 1");
+  kernel_.has_outer = true;
+  kernel_.outer_trip = trips;
+  return *this;
+}
+
+int LoopBuilder::array(const std::string& name, ScalarType elem,
+                       std::int64_t len_scale, std::int64_t len_offset) {
+  VECCOST_ASSERT(kernel_.find_array(name) < 0,
+                 "duplicate array '" + name + "' in " + kernel_.name);
+  kernel_.arrays.push_back({name, elem, len_scale, len_offset});
+  return static_cast<int>(kernel_.arrays.size()) - 1;
+}
+
+Val LoopBuilder::param(double default_value, ScalarType t) {
+  kernel_.params.push_back(default_value);
+  Instruction inst;
+  inst.op = Opcode::Param;
+  inst.type = {t, 1};
+  inst.param_index = static_cast<int>(kernel_.params.size()) - 1;
+  return emit(inst);
+}
+
+Val LoopBuilder::fconst(double v, ScalarType t) {
+  VECCOST_ASSERT(is_float(t), "fconst with integer type");
+  Instruction inst;
+  inst.op = Opcode::Const;
+  inst.type = {t, 1};
+  inst.const_value = v;
+  return emit(inst);
+}
+
+Val LoopBuilder::iconst(std::int64_t v, ScalarType t) {
+  VECCOST_ASSERT(is_int(t), "iconst with float type");
+  Instruction inst;
+  inst.op = Opcode::Const;
+  inst.type = {t, 1};
+  inst.const_value = static_cast<double>(v);
+  return emit(inst);
+}
+
+Val LoopBuilder::indvar() {
+  Instruction inst;
+  inst.op = Opcode::IndVar;
+  inst.type = {ScalarType::I64, 1};
+  return emit(inst);
+}
+
+Val LoopBuilder::outer_indvar() {
+  Instruction inst;
+  inst.op = Opcode::OuterIndVar;
+  inst.type = {ScalarType::I64, 1};
+  return emit(inst);
+}
+
+Val LoopBuilder::load(int array, MemIndex idx, Val predicate) {
+  VECCOST_ASSERT(array >= 0 && array < static_cast<int>(kernel_.arrays.size()),
+                 "load from undeclared array in " + kernel_.name);
+  if (idx.is_indirect()) check_valid(Val{idx.indirect}, "indirect index");
+  Instruction inst;
+  inst.op = Opcode::Load;
+  inst.type = {kernel_.arrays[static_cast<std::size_t>(array)].elem, 1};
+  inst.array = array;
+  inst.index = idx;
+  inst.predicate = predicate.id;
+  return emit(inst);
+}
+
+void LoopBuilder::store(int array, MemIndex idx, Val value, Val predicate) {
+  VECCOST_ASSERT(array >= 0 && array < static_cast<int>(kernel_.arrays.size()),
+                 "store to undeclared array in " + kernel_.name);
+  check_valid(value, "store value");
+  if (idx.is_indirect()) check_valid(Val{idx.indirect}, "indirect index");
+  const ScalarType elem = kernel_.arrays[static_cast<std::size_t>(array)].elem;
+  VECCOST_ASSERT(type_of(value).elem == elem,
+                 "store type mismatch in " + kernel_.name);
+  Instruction inst;
+  inst.op = Opcode::Store;
+  inst.type = {elem, 1};
+  inst.operands[0] = value.id;
+  inst.array = array;
+  inst.index = idx;
+  inst.predicate = predicate.id;
+  emit(inst);
+}
+
+Val LoopBuilder::binary(Opcode op, Val a, Val b) {
+  check_valid(a, to_string(op));
+  check_valid(b, to_string(op));
+  const Type ta = type_of(a), tb = type_of(b);
+  VECCOST_ASSERT(ta == tb, std::string("operand type mismatch for ") +
+                               to_string(op) + " in " + kernel_.name);
+  Instruction inst;
+  inst.op = op;
+  inst.type = ta;
+  inst.operands[0] = a.id;
+  inst.operands[1] = b.id;
+  return emit(inst);
+}
+
+Val LoopBuilder::unary(Opcode op, Val a) {
+  check_valid(a, to_string(op));
+  Instruction inst;
+  inst.op = op;
+  inst.type = type_of(a);
+  inst.operands[0] = a.id;
+  return emit(inst);
+}
+
+Val LoopBuilder::compare(Opcode op, Val a, Val b) {
+  check_valid(a, to_string(op));
+  check_valid(b, to_string(op));
+  VECCOST_ASSERT(type_of(a) == type_of(b),
+                 "compare operand type mismatch in " + kernel_.name);
+  Instruction inst;
+  inst.op = op;
+  inst.type = {ScalarType::I1, 1};
+  inst.operands[0] = a.id;
+  inst.operands[1] = b.id;
+  return emit(inst);
+}
+
+Val LoopBuilder::add(Val a, Val b) { return binary(Opcode::Add, a, b); }
+Val LoopBuilder::sub(Val a, Val b) { return binary(Opcode::Sub, a, b); }
+Val LoopBuilder::mul(Val a, Val b) { return binary(Opcode::Mul, a, b); }
+Val LoopBuilder::div(Val a, Val b) { return binary(Opcode::Div, a, b); }
+Val LoopBuilder::rem(Val a, Val b) { return binary(Opcode::Rem, a, b); }
+Val LoopBuilder::neg(Val a) { return unary(Opcode::Neg, a); }
+Val LoopBuilder::min(Val a, Val b) { return binary(Opcode::Min, a, b); }
+Val LoopBuilder::max(Val a, Val b) { return binary(Opcode::Max, a, b); }
+Val LoopBuilder::abs(Val a) { return unary(Opcode::Abs, a); }
+
+Val LoopBuilder::sqrt(Val a) {
+  VECCOST_ASSERT(is_float(type_of(a).elem), "sqrt on integer value");
+  return unary(Opcode::Sqrt, a);
+}
+
+Val LoopBuilder::fma(Val a, Val b, Val c) {
+  check_valid(a, "fma");
+  check_valid(b, "fma");
+  check_valid(c, "fma");
+  const Type t = type_of(a);
+  VECCOST_ASSERT(t == type_of(b) && t == type_of(c),
+                 "fma operand type mismatch in " + kernel_.name);
+  VECCOST_ASSERT(is_float(t.elem), "fma on integer values");
+  Instruction inst;
+  inst.op = Opcode::FMA;
+  inst.type = t;
+  inst.operands = {a.id, b.id, c.id};
+  return emit(inst);
+}
+
+Val LoopBuilder::bit_and(Val a, Val b) { return binary(Opcode::And, a, b); }
+Val LoopBuilder::bit_or(Val a, Val b) { return binary(Opcode::Or, a, b); }
+Val LoopBuilder::bit_xor(Val a, Val b) { return binary(Opcode::Xor, a, b); }
+Val LoopBuilder::bit_not(Val a) { return unary(Opcode::Not, a); }
+Val LoopBuilder::shl(Val a, Val b) { return binary(Opcode::Shl, a, b); }
+Val LoopBuilder::shr(Val a, Val b) { return binary(Opcode::Shr, a, b); }
+
+Val LoopBuilder::cmp_eq(Val a, Val b) { return compare(Opcode::CmpEQ, a, b); }
+Val LoopBuilder::cmp_ne(Val a, Val b) { return compare(Opcode::CmpNE, a, b); }
+Val LoopBuilder::cmp_lt(Val a, Val b) { return compare(Opcode::CmpLT, a, b); }
+Val LoopBuilder::cmp_le(Val a, Val b) { return compare(Opcode::CmpLE, a, b); }
+Val LoopBuilder::cmp_gt(Val a, Val b) { return compare(Opcode::CmpGT, a, b); }
+Val LoopBuilder::cmp_ge(Val a, Val b) { return compare(Opcode::CmpGE, a, b); }
+
+Val LoopBuilder::select(Val mask, Val if_true, Val if_false) {
+  check_valid(mask, "select");
+  check_valid(if_true, "select");
+  check_valid(if_false, "select");
+  VECCOST_ASSERT(type_of(mask).is_mask(), "select mask must be i1");
+  VECCOST_ASSERT(type_of(if_true) == type_of(if_false),
+                 "select arm type mismatch in " + kernel_.name);
+  Instruction inst;
+  inst.op = Opcode::Select;
+  inst.type = type_of(if_true);
+  inst.operands = {mask.id, if_true.id, if_false.id};
+  return emit(inst);
+}
+
+Val LoopBuilder::convert(Val a, ScalarType to) {
+  check_valid(a, "convert");
+  Instruction inst;
+  inst.op = Opcode::Convert;
+  inst.type = {to, 1};
+  inst.operands[0] = a.id;
+  return emit(inst);
+}
+
+Val LoopBuilder::phi(double init, ScalarType t) {
+  Instruction inst;
+  inst.op = Opcode::Phi;
+  inst.type = {t, 1};
+  inst.phi_init = init;
+  return emit(inst);
+}
+
+Val LoopBuilder::phi_from(Val param_value) {
+  check_valid(param_value, "phi_from");
+  const Instruction& src = kernel_.instr(param_value.id);
+  VECCOST_ASSERT(src.op == Opcode::Param, "phi_from requires a Param value");
+  Instruction inst;
+  inst.op = Opcode::Phi;
+  inst.type = src.type;
+  inst.phi_init_param = src.param_index;
+  return emit(inst);
+}
+
+void LoopBuilder::set_phi_update(Val phi, Val update, ReductionKind reduction) {
+  check_valid(phi, "set_phi_update");
+  check_valid(update, "set_phi_update");
+  Instruction& inst = kernel_.body[static_cast<std::size_t>(phi.id)];
+  VECCOST_ASSERT(inst.op == Opcode::Phi, "set_phi_update on non-phi");
+  VECCOST_ASSERT(inst.phi_update == kNoValue, "phi update already set");
+  VECCOST_ASSERT(inst.type == type_of(update),
+                 "phi update type mismatch in " + kernel_.name);
+  VECCOST_ASSERT(update.id > phi.id, "phi update must come later in the body");
+  inst.phi_update = update.id;
+  inst.reduction = reduction;
+}
+
+void LoopBuilder::live_out(Val v) {
+  check_valid(v, "live_out");
+  kernel_.live_outs.push_back(v.id);
+}
+
+void LoopBuilder::brk(Val cond) {
+  check_valid(cond, "break");
+  VECCOST_ASSERT(type_of(cond).is_mask(), "break condition must be i1");
+  Instruction inst;
+  inst.op = Opcode::Break;
+  inst.type = {ScalarType::I1, 1};
+  inst.operands[0] = cond.id;
+  emit(inst);
+}
+
+LoopKernel LoopBuilder::finish() && {
+  for (const auto& inst : kernel_.body) {
+    if (inst.op == Opcode::Phi) {
+      VECCOST_ASSERT(inst.phi_update != kNoValue,
+                     "phi without update edge in " + kernel_.name);
+    }
+  }
+  return std::move(kernel_);
+}
+
+Val LoopBuilder::emit(Instruction inst) {
+  kernel_.body.push_back(inst);
+  return Val{static_cast<ValueId>(kernel_.body.size()) - 1};
+}
+
+Type LoopBuilder::type_of(Val v) const { return kernel_.value_type(v.id); }
+
+void LoopBuilder::check_valid(Val v, const char* what) const {
+  VECCOST_ASSERT(v.valid() && static_cast<std::size_t>(v.id) < kernel_.body.size(),
+                 std::string("invalid operand for ") + what + " in " + kernel_.name);
+}
+
+}  // namespace veccost::ir

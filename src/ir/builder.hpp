@@ -1,0 +1,135 @@
+// Fluent builder for LoopKernel IR.
+//
+// Kernels read like the C loops they model:
+//
+//   LoopBuilder b("s000", "linear_dependence", "a[i] = b[i] + 1");
+//   const int a = b.array("a"), bb = b.array("b");
+//   auto x = b.add(b.load(bb, LoopBuilder::at(1)), b.fconst(1.0f));
+//   b.store(a, LoopBuilder::at(1), x);
+//   LoopKernel k = std::move(b).finish();
+//
+// The builder performs type inference/checking as it goes; structural
+// invariants are re-checked by the verifier on finish().
+#pragma once
+
+#include <string>
+
+#include "ir/loop.hpp"
+
+namespace veccost::ir {
+
+/// Opaque handle to an SSA value inside the builder.
+struct Val {
+  ValueId id = kNoValue;
+  [[nodiscard]] bool valid() const { return id != kNoValue; }
+};
+
+class LoopBuilder {
+ public:
+  explicit LoopBuilder(std::string name, std::string category = "misc",
+                       std::string description = "");
+
+  // --- kernel metadata ----------------------------------------------------
+  LoopBuilder& default_n(std::int64_t n);
+  LoopBuilder& trip(TripCount tc);
+  LoopBuilder& outer(std::int64_t trips);
+
+  // --- declarations ---------------------------------------------------------
+  /// Declare an array; returns its index for use in load/store.
+  int array(const std::string& name, ScalarType elem = ScalarType::F32,
+            std::int64_t len_scale = 1, std::int64_t len_offset = 0);
+
+  /// Declare a loop-invariant runtime scalar with its default value.
+  Val param(double default_value, ScalarType t = ScalarType::F32);
+
+  // --- leaf values ----------------------------------------------------------
+  Val fconst(double v, ScalarType t = ScalarType::F32);
+  Val iconst(std::int64_t v, ScalarType t = ScalarType::I64);
+  Val indvar();        ///< inner induction variable (I64)
+  Val outer_indvar();  ///< outer induction variable (I64)
+
+  // --- memory index helpers (static, usable in initializer position) -------
+  static MemIndex at(std::int64_t scale_i, std::int64_t offset = 0) {
+    return {scale_i, 0, 0, offset, kNoValue};
+  }
+  static MemIndex at2(std::int64_t scale_i, std::int64_t scale_j,
+                      std::int64_t offset = 0) {
+    return {scale_i, scale_j, 0, offset, kNoValue};
+  }
+  /// Index affine in n as well, e.g. a[n-1-i] = at_n(-1, 1, -1).
+  static MemIndex at_n(std::int64_t scale_i, std::int64_t n_scale,
+                       std::int64_t offset = 0) {
+    return {scale_i, 0, n_scale, offset, kNoValue};
+  }
+  static MemIndex via(Val index, std::int64_t offset = 0) {
+    return {0, 0, 0, offset, index.id};
+  }
+
+  // --- memory ---------------------------------------------------------------
+  Val load(int array, MemIndex idx, Val predicate = {});
+  void store(int array, MemIndex idx, Val value, Val predicate = {});
+
+  // --- arithmetic -------------------------------------------------------------
+  Val add(Val a, Val b);
+  Val sub(Val a, Val b);
+  Val mul(Val a, Val b);
+  Val div(Val a, Val b);
+  Val rem(Val a, Val b);
+  Val neg(Val a);
+  Val fma(Val a, Val b, Val c);  ///< a * b + c
+  Val min(Val a, Val b);
+  Val max(Val a, Val b);
+  Val abs(Val a);
+  Val sqrt(Val a);
+
+  Val bit_and(Val a, Val b);
+  Val bit_or(Val a, Val b);
+  Val bit_xor(Val a, Val b);
+  Val bit_not(Val a);
+  Val shl(Val a, Val b);
+  Val shr(Val a, Val b);
+
+  // --- compares / select ------------------------------------------------------
+  Val cmp_eq(Val a, Val b);
+  Val cmp_ne(Val a, Val b);
+  Val cmp_lt(Val a, Val b);
+  Val cmp_le(Val a, Val b);
+  Val cmp_gt(Val a, Val b);
+  Val cmp_ge(Val a, Val b);
+  Val select(Val mask, Val if_true, Val if_false);
+  Val convert(Val a, ScalarType to);
+
+  // --- loop-carried values ------------------------------------------------
+  /// Create a phi with a constant initial value. Set its update edge later
+  /// with set_phi_update (builder enforces it was set by finish()).
+  Val phi(double init, ScalarType t = ScalarType::F32);
+  /// Phi whose initial value comes from a Param value.
+  Val phi_from(Val param_value);
+  void set_phi_update(Val phi, Val update,
+                      ReductionKind reduction = ReductionKind::None);
+
+  /// Mark a phi's final value as observable output.
+  void live_out(Val v);
+
+  /// Early loop exit when `cond` (i1) is true.
+  void brk(Val cond);
+
+  // --- finish -----------------------------------------------------------------
+  /// Validate and move the kernel out. The builder is consumed.
+  [[nodiscard]] LoopKernel finish() &&;
+
+  /// Access the kernel under construction (used by tests).
+  [[nodiscard]] const LoopKernel& peek() const { return kernel_; }
+
+ private:
+  Val emit(Instruction inst);
+  Val binary(Opcode op, Val a, Val b);
+  Val unary(Opcode op, Val a);
+  Val compare(Opcode op, Val a, Val b);
+  [[nodiscard]] Type type_of(Val v) const;
+  void check_valid(Val v, const char* what) const;
+
+  LoopKernel kernel_;
+};
+
+}  // namespace veccost::ir

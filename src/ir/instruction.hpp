@@ -1,0 +1,71 @@
+// Instruction representation of the vectorization IR.
+//
+// A loop body is a topologically-ordered list of instructions in SSA form:
+// every instruction defines at most one value, identified by its index in the
+// body. Loop-carried values are expressed with Phi instructions whose update
+// edge is a payload field (`phi_update`), so the body list stays acyclic and
+// a single forward pass both executes and analyzes it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ir/opcode.hpp"
+#include "ir/type.hpp"
+
+namespace veccost::ir {
+
+/// Index of an instruction in LoopKernel::body; -1 = none.
+using ValueId = std::int32_t;
+inline constexpr ValueId kNoValue = -1;
+
+/// Reduction kinds recognized on Phi instructions.
+enum class ReductionKind : std::uint8_t { None, Sum, Prod, Min, Max, Or };
+
+[[nodiscard]] const char* to_string(ReductionKind k);
+
+/// Memory index expression: affine in the induction variables and the
+/// problem size n, plus an optional indirect component read from another
+/// value:
+///   index = scale_i * i + scale_j * j + n_scale * n + offset  (indirect < 0)
+///   index = value(indirect) + offset                          (indirect >= 0)
+/// The n term lets descending TSVC loops (`for (i = n-2; i >= 0; i--)`) be
+/// written as ascending loops over a reversed index such as a[n-2-i].
+struct MemIndex {
+  std::int64_t scale_i = 0;
+  std::int64_t scale_j = 0;
+  std::int64_t n_scale = 0;
+  std::int64_t offset = 0;
+  ValueId indirect = kNoValue;
+
+  [[nodiscard]] bool is_indirect() const { return indirect != kNoValue; }
+  friend bool operator==(const MemIndex&, const MemIndex&) = default;
+};
+
+struct Instruction {
+  Opcode op = Opcode::Const;
+  Type type;  ///< result type; for stores, the type of the stored value
+
+  std::array<ValueId, 3> operands{kNoValue, kNoValue, kNoValue};
+
+  /// Optional i1 predicate for Load/Store/Gather/Scatter (masked access) —
+  /// the result of if-conversion of conditional statements.
+  ValueId predicate = kNoValue;
+
+  // --- Payloads (meaning depends on op) -----------------------------------
+  double const_value = 0.0;  ///< Const
+  int param_index = -1;      ///< Param
+  int array = -1;            ///< memory ops: index into LoopKernel::arrays
+  MemIndex index;            ///< memory ops
+
+  // Phi payload: initial value (param takes precedence when >= 0) and the
+  // value that feeds the next iteration.
+  double phi_init = 0.0;
+  int phi_init_param = -1;
+  ValueId phi_update = kNoValue;
+  ReductionKind reduction = ReductionKind::None;
+
+  [[nodiscard]] int num_operands() const { return operand_count(op); }
+};
+
+}  // namespace veccost::ir

@@ -1,0 +1,54 @@
+#include "ir/loop.hpp"
+
+#include "support/error.hpp"
+
+namespace veccost::ir {
+
+const char* to_string(ReductionKind k) {
+  switch (k) {
+    case ReductionKind::None: return "none";
+    case ReductionKind::Sum: return "sum";
+    case ReductionKind::Prod: return "prod";
+    case ReductionKind::Min: return "min";
+    case ReductionKind::Max: return "max";
+    case ReductionKind::Or: return "or";
+  }
+  return "?";
+}
+
+const Instruction& LoopKernel::instr(ValueId id) const {
+  VECCOST_ASSERT(id >= 0 && static_cast<std::size_t>(id) < body.size(),
+                 "bad value id in kernel " + name);
+  return body[static_cast<std::size_t>(id)];
+}
+
+Type LoopKernel::value_type(ValueId id) const { return instr(id).type; }
+
+int LoopKernel::find_array(const std::string& array_name) const {
+  for (std::size_t i = 0; i < arrays.size(); ++i)
+    if (arrays[i].name == array_name) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<ValueId> LoopKernel::phis() const {
+  std::vector<ValueId> out;
+  for (std::size_t i = 0; i < body.size(); ++i)
+    if (body[i].op == Opcode::Phi) out.push_back(static_cast<ValueId>(i));
+  return out;
+}
+
+bool LoopKernel::has_break() const {
+  for (const auto& inst : body)
+    if (inst.op == Opcode::Break) return true;
+  return false;
+}
+
+std::size_t LoopKernel::work_instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& inst : body) {
+    if (classify(inst.op, is_float(inst.type.elem)) != OpClass::Leaf) ++n;
+  }
+  return n;
+}
+
+}  // namespace veccost::ir

@@ -1,0 +1,87 @@
+// LoopKernel: a (possibly 2-deep) counted loop nest whose innermost body is a
+// straight-line, if-converted instruction list. This is the unit both
+// vectorizers transform and both machine models consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace veccost::ir {
+
+/// An array referenced by the kernel. Arrays are 1-D buffers; 2-D kernels
+/// flatten via MemIndex::scale_j. Length is an affine function of the
+/// problem size n: length(n) = len_scale * n + len_offset.
+struct ArrayDecl {
+  std::string name;
+  ScalarType elem = ScalarType::F32;
+  std::int64_t len_scale = 1;
+  std::int64_t len_offset = 0;
+
+  [[nodiscard]] std::int64_t length(std::int64_t n) const {
+    return len_scale * n + len_offset;
+  }
+};
+
+/// Inner trip count as a function of n: iterations run
+///   i = start, start+step, ... while i < end(n),  end(n) = n*num/den + offset
+/// (step > 0). This covers TSVC shapes like `for (i = 1; i < n; i++)` and
+/// `for (i = 0; i < n/2; i++)` and strided `i += 2` loops.
+struct TripCount {
+  std::int64_t start = 0;
+  std::int64_t step = 1;
+  std::int64_t num = 1;
+  std::int64_t den = 1;
+  std::int64_t offset = 0;
+
+  [[nodiscard]] std::int64_t end(std::int64_t n) const {
+    return (n * num) / den + offset;
+  }
+  /// Number of executed iterations for problem size n.
+  [[nodiscard]] std::int64_t iterations(std::int64_t n) const {
+    const std::int64_t e = end(n);
+    if (e <= start) return 0;
+    return (e - start + step - 1) / step;
+  }
+};
+
+struct LoopKernel {
+  std::string name;
+  std::string category;     ///< TSVC category, e.g. "linear_dependence"
+  std::string description;  ///< one-line summary of the pattern
+
+  std::int64_t default_n = 4096;  ///< default problem size
+
+  TripCount trip;            ///< inner loop bounds
+  bool has_outer = false;    ///< two-deep nest?
+  std::int64_t outer_trip = 1;  ///< outer iteration count (absolute)
+
+  std::vector<ArrayDecl> arrays;
+  std::vector<double> params;  ///< loop-invariant runtime inputs
+
+  std::vector<Instruction> body;  ///< topologically ordered, SSA
+
+  /// Values whose final (post-loop) value is observable: reduction results
+  /// and live-out recurrences. Compared by equivalence tests alongside all
+  /// array contents.
+  std::vector<ValueId> live_outs;
+
+  /// Vectorization factor this kernel was widened by; 1 = scalar kernel.
+  int vf = 1;
+
+  // --- helpers ------------------------------------------------------------
+  [[nodiscard]] const Instruction& instr(ValueId id) const;
+  [[nodiscard]] Type value_type(ValueId id) const;
+  [[nodiscard]] int find_array(const std::string& name) const;  ///< -1 if absent
+
+  /// All Phi instruction ids in body order.
+  [[nodiscard]] std::vector<ValueId> phis() const;
+  /// True if the body contains a Break.
+  [[nodiscard]] bool has_break() const;
+  /// Count of instructions that do real work (excludes Leaf class).
+  [[nodiscard]] std::size_t work_instruction_count() const;
+};
+
+}  // namespace veccost::ir

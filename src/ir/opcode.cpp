@@ -1,0 +1,259 @@
+#include "ir/opcode.hpp"
+
+#include "support/error.hpp"
+
+namespace veccost::ir {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::Const: return "const";
+    case Opcode::Param: return "param";
+    case Opcode::IndVar: return "indvar";
+    case Opcode::OuterIndVar: return "outer_indvar";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::Div: return "div";
+    case Opcode::Rem: return "rem";
+    case Opcode::Neg: return "neg";
+    case Opcode::FMA: return "fma";
+    case Opcode::Min: return "min";
+    case Opcode::Max: return "max";
+    case Opcode::Abs: return "abs";
+    case Opcode::Sqrt: return "sqrt";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Not: return "not";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::CmpEQ: return "cmpeq";
+    case Opcode::CmpNE: return "cmpne";
+    case Opcode::CmpLT: return "cmplt";
+    case Opcode::CmpLE: return "cmple";
+    case Opcode::CmpGT: return "cmpgt";
+    case Opcode::CmpGE: return "cmpge";
+    case Opcode::Select: return "select";
+    case Opcode::Convert: return "convert";
+    case Opcode::Phi: return "phi";
+    case Opcode::Break: return "break";
+    case Opcode::Broadcast: return "broadcast";
+    case Opcode::ReduceAdd: return "reduce.add";
+    case Opcode::ReduceMul: return "reduce.mul";
+    case Opcode::ReduceMin: return "reduce.min";
+    case Opcode::ReduceMax: return "reduce.max";
+    case Opcode::ReduceOr: return "reduce.or";
+    case Opcode::Splice: return "splice";
+    case Opcode::Gather: return "gather";
+    case Opcode::Scatter: return "scatter";
+    case Opcode::StridedLoad: return "strided.load";
+    case Opcode::StridedStore: return "strided.store";
+  }
+  return "?";
+}
+
+const char* to_string(OpClass c) {
+  switch (c) {
+    case OpClass::MemLoad: return "load";
+    case OpClass::MemStore: return "store";
+    case OpClass::MemGather: return "gather";
+    case OpClass::MemScatter: return "scatter";
+    case OpClass::FloatAdd: return "fadd";
+    case OpClass::FloatMul: return "fmul";
+    case OpClass::FloatDiv: return "fdiv";
+    case OpClass::IntArith: return "iarith";
+    case OpClass::IntDiv: return "idiv";
+    case OpClass::Compare: return "cmp";
+    case OpClass::Select: return "select";
+    case OpClass::Convert: return "convert";
+    case OpClass::Shuffle: return "shuffle";
+    case OpClass::Reduce: return "reduce";
+    case OpClass::Leaf: return "leaf";
+    case OpClass::Control: return "control";
+  }
+  return "?";
+}
+
+int operand_count(Opcode op) {
+  switch (op) {
+    case Opcode::Const:
+    case Opcode::Param:
+    case Opcode::IndVar:
+    case Opcode::OuterIndVar:
+    case Opcode::Phi:
+      return 0;
+    case Opcode::Load:
+    case Opcode::Gather:
+    case Opcode::StridedLoad:
+      return 0;  // address is payload (array + index)
+    case Opcode::Store:
+    case Opcode::Scatter:
+    case Opcode::StridedStore:
+      return 1;  // stored value
+    case Opcode::Neg:
+    case Opcode::Abs:
+    case Opcode::Sqrt:
+    case Opcode::Not:
+    case Opcode::Convert:
+    case Opcode::Broadcast:
+    case Opcode::ReduceAdd:
+    case Opcode::ReduceMul:
+    case Opcode::ReduceMin:
+    case Opcode::ReduceMax:
+    case Opcode::ReduceOr:
+    case Opcode::Break:
+      return 1;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Min:
+    case Opcode::Max:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::CmpEQ:
+    case Opcode::CmpNE:
+    case Opcode::CmpLT:
+    case Opcode::CmpLE:
+    case Opcode::CmpGT:
+    case Opcode::CmpGE:
+    case Opcode::Splice:
+      return 2;
+    case Opcode::FMA:
+    case Opcode::Select:
+      return 3;
+  }
+  VECCOST_FAIL("unknown opcode");
+}
+
+bool is_memory_op(Opcode op) {
+  switch (op) {
+    case Opcode::Load:
+    case Opcode::Store:
+    case Opcode::Gather:
+    case Opcode::Scatter:
+    case Opcode::StridedLoad:
+    case Opcode::StridedStore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_store_op(Opcode op) {
+  return op == Opcode::Store || op == Opcode::Scatter || op == Opcode::StridedStore;
+}
+
+bool is_compare(Opcode op) {
+  switch (op) {
+    case Opcode::CmpEQ:
+    case Opcode::CmpNE:
+    case Opcode::CmpLT:
+    case Opcode::CmpLE:
+    case Opcode::CmpGT:
+    case Opcode::CmpGE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_reduce_op(Opcode op) {
+  switch (op) {
+    case Opcode::ReduceAdd:
+    case Opcode::ReduceMul:
+    case Opcode::ReduceMin:
+    case Opcode::ReduceMax:
+    case Opcode::ReduceOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_vector_only(Opcode op) {
+  switch (op) {
+    case Opcode::Broadcast:
+    case Opcode::Splice:
+    case Opcode::Gather:
+    case Opcode::Scatter:
+    case Opcode::StridedLoad:
+    case Opcode::StridedStore:
+      return true;
+    default:
+      return is_reduce_op(op);
+  }
+}
+
+OpClass classify(Opcode op, bool is_float_data) {
+  switch (op) {
+    case Opcode::Const:
+    case Opcode::Param:
+    case Opcode::IndVar:
+    case Opcode::OuterIndVar:
+      return OpClass::Leaf;
+    case Opcode::Load:
+      return OpClass::MemLoad;
+    case Opcode::Store:
+      return OpClass::MemStore;
+    case Opcode::Gather:
+    case Opcode::StridedLoad:
+      return OpClass::MemGather;
+    case Opcode::Scatter:
+    case Opcode::StridedStore:
+      return OpClass::MemScatter;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Neg:
+    case Opcode::Abs:
+    case Opcode::Min:
+    case Opcode::Max:
+      return is_float_data ? OpClass::FloatAdd : OpClass::IntArith;
+    case Opcode::Mul:
+    case Opcode::FMA:
+      return is_float_data ? OpClass::FloatMul : OpClass::IntArith;
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Sqrt:
+      return is_float_data ? OpClass::FloatDiv : OpClass::IntDiv;
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Not:
+    case Opcode::Shl:
+    case Opcode::Shr:
+      return OpClass::IntArith;
+    case Opcode::CmpEQ:
+    case Opcode::CmpNE:
+    case Opcode::CmpLT:
+    case Opcode::CmpLE:
+    case Opcode::CmpGT:
+    case Opcode::CmpGE:
+      return OpClass::Compare;
+    case Opcode::Select:
+      return OpClass::Select;
+    case Opcode::Convert:
+      return OpClass::Convert;
+    case Opcode::Phi:
+    case Opcode::Break:
+      return OpClass::Control;
+    case Opcode::Broadcast:
+    case Opcode::Splice:
+      return OpClass::Shuffle;
+    case Opcode::ReduceAdd:
+    case Opcode::ReduceMul:
+    case Opcode::ReduceMin:
+    case Opcode::ReduceMax:
+    case Opcode::ReduceOr:
+      return OpClass::Reduce;
+  }
+  VECCOST_FAIL("unknown opcode");
+}
+
+}  // namespace veccost::ir

@@ -1,0 +1,98 @@
+// Opcodes of the vectorization IR, plus static per-opcode traits.
+//
+// The opcode set covers what the TSVC loop patterns need and what the
+// vectorizers emit: affine/indirect memory ops, the usual scalar arithmetic,
+// compares + select (for if-converted control flow), phis (reductions,
+// first-order recurrences), and vector-only ops introduced by the
+// transforms (broadcast, horizontal reductions, splice, gather/scatter,
+// strided access).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace veccost::ir {
+
+enum class Opcode : std::uint8_t {
+  // Leaf values.
+  Const,        ///< immediate constant (payload: const_value)
+  Param,        ///< loop-invariant runtime scalar (payload: param_index)
+  IndVar,       ///< inner induction variable value (i), type I64
+  OuterIndVar,  ///< outer induction variable value (j), type I64
+
+  // Memory.
+  Load,   ///< affine or indirect load (payload: array, index, opt. predicate)
+  Store,  ///< affine or indirect store (operand 0 = value; opt. predicate)
+
+  // Arithmetic (float or int depending on type).
+  Add, Sub, Mul, Div, Rem, Neg, FMA,  // FMA: op0*op1 + op2
+  Min, Max, Abs, Sqrt,
+
+  // Bitwise / shifts (int only).
+  And, Or, Xor, Not, Shl, Shr,
+
+  // Compares (result type I1) and selection.
+  CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE,
+  Select,  ///< op0 = mask, op1 = true value, op2 = false value
+
+  // Conversions; result type carried by the instruction's own type.
+  Convert,
+
+  // Loop-carried scalar (payload: phi_init / phi_init_param, phi_update,
+  // reduction kind).
+  Phi,
+
+  // Early exit: leaves the loop when operand-0 mask is true. Blocks
+  // vectorization.
+  Break,
+
+  // --- Vector-only opcodes, introduced by the vectorizers -----------------
+  Broadcast,      ///< scalar -> all lanes
+  ReduceAdd, ReduceMul, ReduceMin, ReduceMax, ReduceOr,
+  Splice,         ///< first-order recurrence: [last lane of op0, lanes 0..VF-2 of op1]
+  Gather,         ///< indexed vector load (payload like Load with indirect index)
+  Scatter,        ///< indexed vector store
+  StridedLoad,    ///< affine load with |scale| != 1 (de-interleaving access)
+  StridedStore,   ///< affine store with |scale| != 1
+};
+
+/// Broad instruction classes used for feature extraction and cost tables.
+/// These are the "instruction types" of the paper's linear model.
+enum class OpClass : std::uint8_t {
+  MemLoad,      ///< contiguous loads
+  MemStore,     ///< contiguous stores
+  MemGather,    ///< gathers / strided loads
+  MemScatter,   ///< scatters / strided stores
+  FloatAdd,     ///< fadd/fsub/fneg/fabs/fmin/fmax
+  FloatMul,     ///< fmul / fma
+  FloatDiv,     ///< fdiv / frem / fsqrt
+  IntArith,     ///< integer add/sub/mul/shift/bitwise/min/max/abs
+  IntDiv,       ///< integer div / rem
+  Compare,      ///< compares (int or float)
+  Select,       ///< select / blend
+  Convert,      ///< type conversions
+  Shuffle,      ///< broadcast / splice / other lane permutes
+  Reduce,       ///< horizontal reductions
+  Leaf,         ///< const / param / indvar (free)
+  Control,      ///< phi / break
+};
+
+[[nodiscard]] const char* to_string(Opcode op);
+[[nodiscard]] const char* to_string(OpClass c);
+
+/// Number of value operands the opcode consumes (excluding predicates and
+/// payload fields). Store counts its stored value; Phi counts none (its
+/// update edge is payload to keep the body topologically ordered).
+[[nodiscard]] int operand_count(Opcode op);
+
+[[nodiscard]] bool is_memory_op(Opcode op);
+[[nodiscard]] bool is_store_op(Opcode op);
+[[nodiscard]] bool is_compare(Opcode op);
+[[nodiscard]] bool is_reduce_op(Opcode op);
+[[nodiscard]] bool is_vector_only(Opcode op);
+
+/// Classify an opcode given whether it operates on floating-point data.
+/// (Gather/StridedLoad -> MemGather etc.; Add on ints -> IntArith.)
+[[nodiscard]] OpClass classify(Opcode op, bool is_float_data);
+
+}  // namespace veccost::ir

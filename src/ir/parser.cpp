@@ -1,0 +1,464 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace veccost::ir {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw Error("parse error at line " + std::to_string(line_no) + ": " + msg);
+}
+
+/// Character-level cursor over one line.
+class Cursor {
+ public:
+  Cursor(std::string line, int line_no)
+      : line_(std::move(line)), line_no_(line_no) {}
+
+  void skip_ws() {
+    while (pos_ < line_.size() && std::isspace(peek())) ++pos_;
+  }
+  [[nodiscard]] bool done() {
+    skip_ws();
+    return pos_ >= line_.size();
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < line_.size() ? line_[pos_] : '\0';
+  }
+  char get() {
+    VECCOST_ASSERT(pos_ < line_.size(), "cursor past end");
+    return line_[pos_++];
+  }
+  bool try_consume(char c) {
+    skip_ws();
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool try_consume(const std::string& word) {
+    skip_ws();
+    if (line_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!try_consume(c)) fail("expected '" + std::string(1, c) + "'");
+  }
+  void expect(const std::string& word) {
+    if (!try_consume(word)) fail("expected '" + word + "'");
+  }
+
+  /// Identifier: [A-Za-z_][A-Za-z0-9_.]* (dots allowed for op names).
+  std::string ident() {
+    skip_ws();
+    std::string out;
+    while (pos_ < line_.size() &&
+           (std::isalnum(peek()) || peek() == '_' || peek() == '.'))
+      out += get();
+    if (out.empty()) fail("expected identifier");
+    return out;
+  }
+
+  std::int64_t integer() {
+    skip_ws();
+    std::string out;
+    if (peek() == '-' || peek() == '+') out += get();
+    while (pos_ < line_.size() && std::isdigit(peek())) out += get();
+    if (out.empty() || out == "-" || out == "+") fail("expected integer");
+    return std::stoll(out);
+  }
+
+  double number() {
+    skip_ws();
+    std::size_t used = 0;
+    double v = 0;
+    try {
+      v = std::stod(line_.substr(pos_), &used);
+    } catch (const std::exception&) {
+      fail("expected number");
+    }
+    pos_ += used;
+    return v;
+  }
+
+  ValueId value_ref() {
+    expect('%');
+    return static_cast<ValueId>(integer());
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    ir::fail(line_no_, msg + " (col " + std::to_string(pos_) + ": '" +
+                           line_.substr(pos_, 12) + "')");
+  }
+
+  [[nodiscard]] const std::string& text() const { return line_; }
+
+ private:
+  std::string line_;
+  int line_no_;
+  std::size_t pos_ = 0;
+};
+
+ScalarType parse_scalar_type(Cursor& c) {
+  static const std::map<std::string, ScalarType> kTypes = {
+      {"f32", ScalarType::F32}, {"f64", ScalarType::F64},
+      {"i8", ScalarType::I8},   {"i16", ScalarType::I16},
+      {"i32", ScalarType::I32}, {"i64", ScalarType::I64},
+      {"i1", ScalarType::I1}};
+  const std::string name = c.ident();
+  const auto it = kTypes.find(name);
+  if (it == kTypes.end()) c.fail("unknown type '" + name + "'");
+  return it->second;
+}
+
+Type parse_type(Cursor& c) {
+  if (c.try_consume('<')) {
+    const int lanes = static_cast<int>(c.integer());
+    c.expect('x');
+    const ScalarType elem = parse_scalar_type(c);
+    c.expect('>');
+    return {elem, lanes};
+  }
+  return {parse_scalar_type(c), 1};
+}
+
+const std::map<std::string, Opcode>& opcode_table() {
+  static const std::map<std::string, Opcode> table = [] {
+    std::map<std::string, Opcode> t;
+    for (int o = 0; o <= static_cast<int>(Opcode::StridedStore); ++o) {
+      const auto op = static_cast<Opcode>(o);
+      t[to_string(op)] = op;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Parse the inside of a subscript: affine terms or an indirect %ref.
+MemIndex parse_index(Cursor& c) {
+  MemIndex idx;
+  if (c.try_consume('%')) {
+    idx.indirect = static_cast<ValueId>(c.integer());
+    c.skip_ws();
+    if (c.peek() == '+' || c.peek() == '-') idx.offset = c.integer();
+    return idx;
+  }
+  bool first = true;
+  while (true) {
+    c.skip_ws();
+    if (c.peek() == ']') break;
+    std::int64_t sign = 1;
+    if (c.try_consume('+')) {
+      sign = 1;
+    } else if (c.try_consume('-')) {
+      sign = -1;
+    } else if (!first) {
+      c.fail("expected '+' or '-' between subscript terms");
+    }
+    first = false;
+
+    c.skip_ws();
+    std::int64_t coeff = 1;
+    bool have_coeff = false;
+    if (std::isdigit(c.peek())) {
+      coeff = c.integer();
+      have_coeff = true;
+      if (!c.try_consume('*')) {
+        idx.offset += sign * coeff;  // plain constant term
+        continue;
+      }
+    }
+    const std::string var = c.ident();
+    (void)have_coeff;
+    if (var == "i") {
+      idx.scale_i += sign * coeff;
+    } else if (var == "j") {
+      idx.scale_j += sign * coeff;
+    } else if (var == "n") {
+      idx.n_scale += sign * coeff;
+    } else {
+      c.fail("unknown subscript variable '" + var + "'");
+    }
+  }
+  return idx;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    int no = 0;
+    while (std::getline(in, line)) {
+      ++no;
+      // Full-line '#' comments only ('#' also marks parameter references,
+      // and "; ..." lines carry the kernel description).
+      const auto first = line.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;  // blank
+      if (line[first] == '#') continue;          // comment
+      lines_.push_back({line, no});
+    }
+  }
+
+  LoopKernel run() {
+    parse_header();
+    parse_arrays();
+    parse_loop_headers();
+    while (cur_ < lines_.size()) {
+      Cursor c(lines_[cur_].first, lines_[cur_].second);
+      if (c.try_consume("live-out:")) {
+        while (!c.done()) kernel_.live_outs.push_back(c.value_ref());
+        ++cur_;
+        continue;
+      }
+      parse_instruction();
+    }
+    verify_or_throw(kernel_);
+    return std::move(kernel_);
+  }
+
+ private:
+  Cursor next_line(const char* what) {
+    if (cur_ >= lines_.size()) fail(0, std::string("unexpected end: missing ") + what);
+    Cursor c(lines_[cur_].first, lines_[cur_].second);
+    ++cur_;
+    return c;
+  }
+
+  void parse_header() {
+    Cursor c = next_line("kernel header");
+    c.expect("kernel");
+    kernel_.name = c.ident();
+    c.expect('(');
+    kernel_.category = c.ident();
+    c.expect(')');
+    c.expect("n=");
+    kernel_.default_n = c.integer();
+    c.expect("vf=");
+    kernel_.vf = static_cast<int>(c.integer());
+    // Optional description line: "  ; <text>".
+    if (cur_ < lines_.size()) {
+      const std::string& line = lines_[cur_].first;
+      const auto first = line.find_first_not_of(" \t");
+      if (first != std::string::npos && line[first] == ';') {
+        const auto text_start = line.find_first_not_of(" \t", first + 1);
+        kernel_.description =
+            text_start == std::string::npos ? "" : line.substr(text_start);
+        ++cur_;
+      }
+    }
+  }
+
+  void parse_arrays() {
+    Cursor c = next_line("arrays line");
+    c.expect("arrays:");
+    while (!c.done()) {
+      ArrayDecl decl;
+      decl.name = c.ident();
+      c.expect(':');
+      decl.elem = parse_scalar_type(c);
+      c.expect('[');
+      // len: n | K*n | K*n+C | C
+      decl.len_scale = 0;
+      decl.len_offset = 0;
+      c.skip_ws();
+      if (std::isdigit(c.peek()) || c.peek() == '-') {
+        const std::int64_t k = c.integer();
+        if (c.try_consume('*')) {
+          c.expect("n");
+          decl.len_scale = k;
+          c.skip_ws();
+          if (c.peek() == '+' || c.peek() == '-') decl.len_offset = c.integer();
+        } else {
+          decl.len_offset = k;
+        }
+      } else {
+        c.expect("n");
+        decl.len_scale = 1;
+        c.skip_ws();
+        if (c.peek() == '+' || c.peek() == '-') decl.len_offset = c.integer();
+      }
+      c.expect(']');
+      kernel_.arrays.push_back(decl);
+    }
+  }
+
+  void parse_loop_headers() {
+    Cursor c = next_line("loop header");
+    if (c.try_consume("params:")) {
+      while (!c.done()) kernel_.params.push_back(c.number());
+      c = next_line("loop header");
+    }
+    if (c.try_consume("outer")) {
+      c.expect("j");
+      c.expect('=');
+      (void)c.integer();
+      c.expect("..");
+      kernel_.has_outer = true;
+      kernel_.outer_trip = c.integer();
+      c = next_line("loop header");
+    }
+    c.expect("loop");
+    c.expect("i");
+    c.expect('=');
+    kernel_.trip.start = c.integer();
+    c.expect("..");
+    // end: n | N*n/D, then optional +C / -C.
+    c.skip_ws();
+    if (std::isdigit(c.peek()) || c.peek() == '-') {
+      kernel_.trip.num = c.integer();
+      c.expect('*');
+      c.expect("n");
+      c.expect('/');
+      kernel_.trip.den = c.integer();
+    } else {
+      c.expect("n");
+      kernel_.trip.num = 1;
+      kernel_.trip.den = 1;
+    }
+    c.skip_ws();
+    if (c.peek() == '+' || c.peek() == '-') kernel_.trip.offset = c.integer();
+    c.expect("step");
+    kernel_.trip.step = c.integer();
+    c.expect(':');
+  }
+
+  int array_index(Cursor& c, const std::string& name) {
+    const int idx = kernel_.find_array(name);
+    if (idx < 0) c.fail("unknown array '" + name + "'");
+    return idx;
+  }
+
+  void parse_instruction() {
+    Cursor c = next_line("instruction");
+    Instruction inst;
+    bool defines = false;
+
+    c.skip_ws();
+    if (c.peek() == '%') {
+      const ValueId id = c.value_ref();
+      if (id != static_cast<ValueId>(kernel_.body.size()))
+        c.fail("instructions must appear in %id order");
+      c.expect('=');
+      defines = true;
+    }
+
+    const std::string op_name = c.ident();
+    const auto it = opcode_table().find(op_name);
+    if (it == opcode_table().end()) c.fail("unknown opcode '" + op_name + "'");
+    inst.op = it->second;
+
+    switch (inst.op) {
+      case Opcode::Const:
+        inst.const_value = c.number();
+        break;
+      case Opcode::Param:
+        c.expect('#');
+        inst.param_index = static_cast<int>(c.integer());
+        while (static_cast<int>(kernel_.params.size()) <= inst.param_index)
+          kernel_.params.push_back(0.0);
+        break;
+      case Opcode::IndVar:
+      case Opcode::OuterIndVar:
+        break;
+      case Opcode::Load:
+      case Opcode::Gather:
+      case Opcode::StridedLoad: {
+        const std::string arr = c.ident();
+        inst.array = array_index(c, arr);
+        c.expect('[');
+        inst.index = parse_index(c);
+        c.expect(']');
+        break;
+      }
+      case Opcode::Store:
+      case Opcode::Scatter:
+      case Opcode::StridedStore: {
+        const std::string arr = c.ident();
+        inst.array = array_index(c, arr);
+        c.expect('[');
+        inst.index = parse_index(c);
+        c.expect(']');
+        c.expect(',');
+        inst.operands[0] = c.value_ref();
+        break;
+      }
+      case Opcode::Phi: {
+        c.expect('[');
+        c.expect("init=");
+        c.skip_ws();
+        if (c.peek() == '#') {
+          c.expect('#');
+          inst.phi_init_param = static_cast<int>(c.integer());
+          while (static_cast<int>(kernel_.params.size()) <= inst.phi_init_param)
+            kernel_.params.push_back(0.0);
+        } else {
+          inst.phi_init = c.number();
+        }
+        c.expect(',');
+        c.expect("update=");
+        inst.phi_update = c.value_ref();
+        c.expect(',');
+        c.expect("red=");
+        const std::string red = c.ident();
+        if (red == "none") inst.reduction = ReductionKind::None;
+        else if (red == "sum") inst.reduction = ReductionKind::Sum;
+        else if (red == "prod") inst.reduction = ReductionKind::Prod;
+        else if (red == "min") inst.reduction = ReductionKind::Min;
+        else if (red == "max") inst.reduction = ReductionKind::Max;
+        else if (red == "or") inst.reduction = ReductionKind::Or;
+        else c.fail("unknown reduction kind '" + red + "'");
+        c.expect(']');
+        break;
+      }
+      default: {
+        // Plain operand list: %a, %b, %c
+        const int want = operand_count(inst.op);
+        for (int i = 0; i < want; ++i) {
+          if (i) c.expect(',');
+          inst.operands[static_cast<std::size_t>(i)] = c.value_ref();
+        }
+        break;
+      }
+    }
+
+    if (c.try_consume("if")) inst.predicate = c.value_ref();
+    if (defines) {
+      c.expect(':');
+      inst.type = parse_type(c);
+    } else if (ir::is_store_op(inst.op)) {
+      // Stored type mirrors the array element; lanes follow the value.
+      const Type stored = (inst.operands[0] >= 0 &&
+                           inst.operands[0] < static_cast<ValueId>(kernel_.body.size()))
+                              ? kernel_.value_type(inst.operands[0])
+                              : Type{};
+      inst.type = {kernel_.arrays[static_cast<std::size_t>(inst.array)].elem,
+                   stored.lanes};
+    } else {
+      inst.type = {ScalarType::I1, 1};  // break
+    }
+    if (!c.done()) c.fail("trailing input");
+    kernel_.body.push_back(inst);
+  }
+
+  std::vector<std::pair<std::string, int>> lines_;
+  std::size_t cur_ = 0;
+  LoopKernel kernel_;
+};
+
+}  // namespace
+
+LoopKernel parse_kernel(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace veccost::ir

@@ -1,0 +1,26 @@
+// Text parser for the IR dump format produced by ir::print().
+//
+// Round-trips with the printer: parse(print(k)) is structurally identical to
+// k. Lets users author kernels as text files instead of builder code, and
+// powers the golden-file tests.
+//
+// Grammar (line oriented; '#' or ';' start comments):
+//   kernel <name> (<category>) n=<int> vf=<int>
+//   arrays: <name>:<type>[<len>] ...        len: n | K*n | K*n+C | C
+//   outer j = 0 .. <int>                    (optional)
+//   loop i = <start> .. <end> step <step>:  end: n | N*n/D | ... [+C]
+//   <instruction lines, as printed>
+//   live-out: %i %j ...                     (optional)
+#pragma once
+
+#include <string>
+
+#include "ir/loop.hpp"
+
+namespace veccost::ir {
+
+/// Parse a kernel from its textual form; throws veccost::Error with a line
+/// number on malformed input. The result is verified before returning.
+[[nodiscard]] LoopKernel parse_kernel(const std::string& text);
+
+}  // namespace veccost::ir

@@ -1,0 +1,141 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace veccost::ir {
+
+namespace {
+
+std::string index_string(const LoopKernel& k, const Instruction& inst) {
+  const auto& idx = inst.index;
+  std::ostringstream os;
+  os << k.arrays[static_cast<std::size_t>(inst.array)].name << '[';
+  if (idx.is_indirect()) {
+    os << '%' << idx.indirect;
+    if (idx.offset) os << (idx.offset > 0 ? "+" : "") << idx.offset;
+  } else {
+    bool wrote = false;
+    auto term = [&](std::int64_t scale, const char* var) {
+      if (scale == 0) return;
+      if (wrote) os << (scale > 0 ? "+" : "");
+      if (scale == 1) {
+        os << var;
+      } else if (scale == -1) {
+        os << '-' << var;
+      } else {
+        os << scale << '*' << var;
+      }
+      wrote = true;
+    };
+    term(idx.scale_i, "i");
+    term(idx.scale_j, "j");
+    term(idx.n_scale, "n");
+    if (idx.offset != 0 || !wrote) {
+      if (wrote && idx.offset > 0) os << '+';
+      os << idx.offset;
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+std::string print(const LoopKernel& k, ValueId id) {
+  const Instruction& inst = k.instr(id);
+  std::ostringstream os;
+  const bool defines = !is_store_op(inst.op) && inst.op != Opcode::Break;
+  if (defines) os << '%' << id << " = ";
+  os << to_string(inst.op);
+
+  switch (inst.op) {
+    case Opcode::Const: {
+      // max_digits10: round-trips the double exactly through the parser.
+      const auto old_precision = os.precision(17);
+      os << ' ' << inst.const_value;
+      os.precision(old_precision);
+      break;
+    }
+    case Opcode::Param:
+      os << " #" << inst.param_index;
+      break;
+    case Opcode::Load:
+    case Opcode::Gather:
+    case Opcode::StridedLoad:
+      os << ' ' << index_string(k, inst);
+      break;
+    case Opcode::Store:
+    case Opcode::Scatter:
+    case Opcode::StridedStore:
+      os << ' ' << index_string(k, inst) << ", %" << inst.operands[0];
+      break;
+    case Opcode::Phi:
+      if (inst.phi_init_param >= 0) {
+        os << " [init=#" << inst.phi_init_param;
+      } else {
+        os << " [init=" << inst.phi_init;
+      }
+      os << ", update=%" << inst.phi_update
+         << ", red=" << to_string(inst.reduction) << ']';
+      break;
+    default:
+      for (int i = 0; i < inst.num_operands(); ++i) {
+        os << (i ? ", %" : " %") << inst.operands[static_cast<std::size_t>(i)];
+      }
+      break;
+  }
+  if (inst.predicate != kNoValue) os << " if %" << inst.predicate;
+  if (defines) os << " : " << to_string(inst.type);
+  return os.str();
+}
+
+std::string print(const LoopKernel& k) {
+  std::ostringstream os;
+  os << "kernel " << k.name << " (" << k.category << ") n=" << k.default_n
+     << " vf=" << k.vf << '\n';
+  if (!k.description.empty()) os << "  ; " << k.description << '\n';
+  os << "arrays:";
+  for (const auto& a : k.arrays) {
+    os << ' ' << a.name << ':' << to_string(a.elem) << '[';
+    if (a.len_scale == 1) {
+      os << 'n';
+    } else if (a.len_scale != 0) {
+      os << a.len_scale << "*n";
+    }
+    if (a.len_offset || a.len_scale == 0) {
+      if (a.len_scale != 0 && a.len_offset > 0) os << '+';
+      os << a.len_offset;
+    }
+    os << ']';
+  }
+  os << '\n';
+  if (!k.params.empty()) {
+    os << "params:";
+    const auto old_precision = os.precision(17);
+    for (const double p : k.params) os << ' ' << p;
+    os.precision(old_precision);
+    os << '\n';
+  }
+  if (k.has_outer) os << "outer j = 0 .. " << k.outer_trip << '\n';
+  os << "loop i = " << k.trip.start << " .. ";
+  if (k.trip.num == 1 && k.trip.den == 1) {
+    os << 'n';
+  } else {
+    os << k.trip.num << "*n/" << k.trip.den;
+  }
+  if (k.trip.offset) os << (k.trip.offset > 0 ? "+" : "") << k.trip.offset;
+  os << " step " << k.trip.step << ":\n";
+  for (std::size_t i = 0; i < k.body.size(); ++i) {
+    os << "  " << print(k, static_cast<ValueId>(i)) << '\n';
+  }
+  if (!k.live_outs.empty()) {
+    os << "live-out:";
+    for (ValueId v : k.live_outs) os << " %" << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace veccost::ir

@@ -1,0 +1,23 @@
+// Textual dump of LoopKernel IR, for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ir/loop.hpp"
+
+namespace veccost::ir {
+
+/// Render a kernel as readable pseudo-IR, e.g.
+///   kernel s000 (linear_dependence) n=32768 vf=1
+///   arrays: a:f32[n] b:f32[n]
+///   loop i = 0 .. n step 1:
+///     %0 = load a[i]
+///     %1 = const 1.000000 : f32
+///     %2 = add %0, %1 : f32
+///     store b[i], %2
+[[nodiscard]] std::string print(const LoopKernel& kernel);
+
+/// One-line rendering of a single instruction (no trailing newline).
+[[nodiscard]] std::string print(const LoopKernel& kernel, ValueId id);
+
+}  // namespace veccost::ir

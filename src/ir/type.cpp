@@ -1,0 +1,24 @@
+#include "ir/type.hpp"
+
+namespace veccost::ir {
+
+const char* to_string(ScalarType t) {
+  switch (t) {
+    case ScalarType::F32: return "f32";
+    case ScalarType::F64: return "f64";
+    case ScalarType::I8: return "i8";
+    case ScalarType::I16: return "i16";
+    case ScalarType::I32: return "i32";
+    case ScalarType::I64: return "i64";
+    case ScalarType::I1: return "i1";
+  }
+  return "?";
+}
+
+std::string to_string(const Type& t) {
+  std::string s = to_string(t.elem);
+  if (t.is_vector()) s = "<" + std::to_string(t.lanes) + " x " + s + ">";
+  return s;
+}
+
+}  // namespace veccost::ir

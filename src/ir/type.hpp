@@ -1,0 +1,53 @@
+// Scalar and vector value types for the vectorization IR.
+//
+// The IR models the slice of LLVM IR that a loop vectorizer sees: float and
+// integer scalars of the usual widths, an i1 mask type produced by compares,
+// and fixed-width vectors of each (lanes > 1 appear only after
+// vectorization).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace veccost::ir {
+
+enum class ScalarType : std::uint8_t { F32, F64, I8, I16, I32, I64, I1 };
+
+[[nodiscard]] constexpr bool is_float(ScalarType t) {
+  return t == ScalarType::F32 || t == ScalarType::F64;
+}
+[[nodiscard]] constexpr bool is_int(ScalarType t) { return !is_float(t); }
+
+/// Size in bytes as stored in memory (I1 occupies one byte when stored).
+[[nodiscard]] constexpr int byte_size(ScalarType t) {
+  switch (t) {
+    case ScalarType::F32: return 4;
+    case ScalarType::F64: return 8;
+    case ScalarType::I8: return 1;
+    case ScalarType::I16: return 2;
+    case ScalarType::I32: return 4;
+    case ScalarType::I64: return 8;
+    case ScalarType::I1: return 1;
+  }
+  return 0;
+}
+
+[[nodiscard]] const char* to_string(ScalarType t);
+
+/// A value type: scalar when lanes == 1, fixed vector otherwise.
+struct Type {
+  ScalarType elem = ScalarType::F32;
+  int lanes = 1;
+
+  [[nodiscard]] constexpr bool is_vector() const { return lanes > 1; }
+  [[nodiscard]] constexpr bool is_mask() const { return elem == ScalarType::I1; }
+  [[nodiscard]] constexpr int bits() const { return byte_size(elem) * 8 * lanes; }
+  [[nodiscard]] constexpr Type scalar() const { return {elem, 1}; }
+  [[nodiscard]] constexpr Type with_lanes(int n) const { return {elem, n}; }
+
+  friend constexpr bool operator==(const Type&, const Type&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Type& t);
+
+}  // namespace veccost::ir

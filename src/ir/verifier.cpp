@@ -1,0 +1,235 @@
+#include "ir/verifier.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace veccost::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const LoopKernel& k) : k_(k) {}
+
+  VerifyResult run() {
+    check_metadata();
+    for (std::size_t i = 0; i < k_.body.size(); ++i)
+      check_instruction(static_cast<ValueId>(i));
+    check_live_outs();
+    return std::move(result_);
+  }
+
+ private:
+  void error(ValueId id, const std::string& msg) {
+    std::ostringstream os;
+    os << k_.name << ": %" << id << ": " << msg;
+    result_.errors.push_back(os.str());
+  }
+  void error(const std::string& msg) {
+    result_.errors.push_back(k_.name + ": " + msg);
+  }
+
+  void check_metadata() {
+    if (k_.name.empty()) error("kernel has no name");
+    if (k_.trip.step <= 0) error("trip step must be positive");
+    if (k_.trip.den <= 0) error("trip denominator must be positive");
+    if (k_.vf < 1) error("vf must be >= 1");
+    if (k_.has_outer && k_.outer_trip < 1) error("outer trip must be >= 1");
+  }
+
+  bool valid_ref(ValueId id, ValueId ref) const {
+    return ref >= 0 && ref < id;  // strict forward order
+  }
+
+  void check_instruction(ValueId id) {
+    const Instruction& inst = k_.instr(id);
+
+    // Operand references and counts.
+    const int want = inst.num_operands();
+    for (int i = 0; i < want; ++i) {
+      const ValueId ref = inst.operands[static_cast<std::size_t>(i)];
+      if (!valid_ref(id, ref)) {
+        error(id, "operand " + std::to_string(i) + " references %" +
+                      std::to_string(ref) + " (must be an earlier value)");
+        return;
+      }
+    }
+    for (int i = want; i < 3; ++i) {
+      if (inst.operands[static_cast<std::size_t>(i)] != kNoValue)
+        error(id, "unexpected extra operand");
+    }
+
+    // Predicates.
+    if (inst.predicate != kNoValue) {
+      if (!is_memory_op(inst.op)) {
+        error(id, "predicate on non-memory instruction");
+      } else if (!valid_ref(id, inst.predicate)) {
+        error(id, "predicate references later value");
+      } else if (!k_.value_type(inst.predicate).is_mask()) {
+        error(id, "predicate is not i1");
+      }
+    }
+
+    // Lane consistency: every vector value must have exactly vf lanes.
+    if (inst.type.lanes != 1 && inst.type.lanes != k_.vf)
+      error(id, "lane count " + std::to_string(inst.type.lanes) +
+                    " does not match kernel vf " + std::to_string(k_.vf));
+
+    switch (inst.op) {
+      case Opcode::Param:
+        if (inst.param_index < 0 ||
+            inst.param_index >= static_cast<int>(k_.params.size()))
+          error(id, "param index out of range");
+        break;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::Gather:
+      case Opcode::Scatter:
+      case Opcode::StridedLoad:
+      case Opcode::StridedStore: {
+        if (inst.array < 0 || inst.array >= static_cast<int>(k_.arrays.size())) {
+          error(id, "memory op references undeclared array");
+          break;
+        }
+        const auto& arr = k_.arrays[static_cast<std::size_t>(inst.array)];
+        if (inst.type.elem != arr.elem)
+          error(id, "memory op type differs from array element type");
+        if (inst.index.is_indirect()) {
+          if (!valid_ref(id, inst.index.indirect))
+            error(id, "indirect index references later value");
+          else if (!is_int(k_.value_type(inst.index.indirect).elem))
+            error(id, "indirect index is not an integer value");
+        }
+        if (is_store_op(inst.op)) {
+          const Type stored = k_.value_type(inst.operands[0]);
+          if (stored.elem != arr.elem)
+            error(id, "stored value type differs from array element type");
+        }
+        break;
+      }
+      case Opcode::Phi: {
+        if (inst.phi_update == kNoValue) {
+          error(id, "phi without update edge");
+          break;
+        }
+        if (inst.phi_update <= id ||
+            inst.phi_update >= static_cast<ValueId>(k_.body.size())) {
+          error(id, "phi update must reference a later value");
+          break;
+        }
+        const Type ut = k_.value_type(inst.phi_update);
+        if (ut.elem != inst.type.elem ||
+            (ut.lanes != inst.type.lanes && ut.lanes != 1))
+          error(id, "phi update type mismatch");
+        if (inst.phi_init_param >= static_cast<int>(k_.params.size()))
+          error(id, "phi init param out of range");
+        check_reduction(id, inst);
+        break;
+      }
+      case Opcode::Select:
+        if (!k_.value_type(inst.operands[0]).is_mask())
+          error(id, "select mask operand is not i1");
+        break;
+      case Opcode::Break:
+        if (!k_.value_type(inst.operands[0]).is_mask())
+          error(id, "break condition is not i1");
+        break;
+      case Opcode::Sqrt:
+        if (!is_float(inst.type.elem)) error(id, "sqrt on integer type");
+        break;
+      default:
+        break;
+    }
+
+    // Binary ops: operand element types must match the result; lane counts
+    // may be 1 (implicitly broadcast scalar) or the instruction's own width.
+    auto lanes_ok = [&](ir::ValueId ref) {
+      const Type t = k_.value_type(ref);
+      return t.lanes == 1 || t.lanes == inst.type.lanes;
+    };
+    if (want == 2 && !is_compare(inst.op) && inst.op != Opcode::Splice &&
+        !is_store_op(inst.op)) {
+      for (int i = 0; i < 2; ++i) {
+        const Type t = k_.value_type(inst.operands[static_cast<std::size_t>(i)]);
+        if (t.elem != inst.type.elem || !lanes_ok(inst.operands[static_cast<std::size_t>(i)]))
+          error(id, "binary operand type mismatch");
+      }
+    }
+    if (is_compare(inst.op)) {
+      if (!inst.type.is_mask()) error(id, "compare result is not i1");
+      if (k_.value_type(inst.operands[0]).elem !=
+          k_.value_type(inst.operands[1]).elem)
+        error(id, "compare operand types differ");
+    }
+    if (is_reduce_op(inst.op)) {
+      const Type in = k_.value_type(inst.operands[0]);
+      if (!in.is_vector()) error(id, "reduce of a scalar value");
+      if (inst.type.lanes != 1 || inst.type.elem != in.elem)
+        error(id, "reduce result must be the scalar element type");
+    }
+    if (inst.op == Opcode::Broadcast) {
+      const Type in = k_.value_type(inst.operands[0]);
+      if (in.is_vector()) error(id, "broadcast of a vector value");
+      if (!inst.type.is_vector()) error(id, "broadcast must produce a vector");
+    }
+  }
+
+  void check_reduction(ValueId id, const Instruction& phi) {
+    if (phi.reduction == ReductionKind::None) return;
+    const Instruction& upd = k_.instr(phi.phi_update);
+    const bool ok = [&] {
+      switch (phi.reduction) {
+        case ReductionKind::Sum:
+          return upd.op == Opcode::Add || upd.op == Opcode::Sub ||
+                 upd.op == Opcode::FMA || upd.op == Opcode::Select;
+        case ReductionKind::Prod:
+          return upd.op == Opcode::Mul;
+        case ReductionKind::Min:
+          return upd.op == Opcode::Min || upd.op == Opcode::Select;
+        case ReductionKind::Max:
+          return upd.op == Opcode::Max || upd.op == Opcode::Select;
+        case ReductionKind::Or:
+          return upd.op == Opcode::Or || upd.op == Opcode::Select;
+        case ReductionKind::None:
+          return true;
+      }
+      return false;
+    }();
+    if (!ok)
+      error(id, std::string("reduction kind ") + to_string(phi.reduction) +
+                    " inconsistent with update op " + to_string(upd.op));
+  }
+
+  void check_live_outs() {
+    for (ValueId v : k_.live_outs) {
+      if (v < 0 || v >= static_cast<ValueId>(k_.body.size())) {
+        error("live-out references invalid value %" + std::to_string(v));
+        continue;
+      }
+      const Opcode op = k_.instr(v).op;
+      if (op != Opcode::Phi && !is_reduce_op(op))
+        error("live-out %" + std::to_string(v) + " is not a phi or reduction");
+    }
+  }
+
+  const LoopKernel& k_;
+  VerifyResult result_;
+};
+
+}  // namespace
+
+std::string VerifyResult::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : errors) os << e << '\n';
+  return os.str();
+}
+
+VerifyResult verify(const LoopKernel& kernel) { return Verifier(kernel).run(); }
+
+void verify_or_throw(const LoopKernel& kernel) {
+  const VerifyResult r = verify(kernel);
+  if (!r.ok()) throw Error("IR verification failed:\n" + r.to_string());
+}
+
+}  // namespace veccost::ir

@@ -1,0 +1,31 @@
+// Structural verifier for LoopKernel IR.
+//
+// Checks the invariants every pass relies on:
+//  * operands reference earlier instructions (topological SSA order);
+//  * operand/result types are consistent per opcode;
+//  * memory ops reference declared arrays, predicates are i1;
+//  * phis have update edges of matching type; reduction kinds match the
+//    update operation;
+//  * lane counts are uniform (all 1, or all in {1, vf} for widened kernels);
+//  * live-outs reference phis or reduce results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::ir {
+
+struct VerifyResult {
+  std::vector<std::string> errors;
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] VerifyResult verify(const LoopKernel& kernel);
+
+/// Convenience: throws veccost::Error listing all problems if invalid.
+void verify_or_throw(const LoopKernel& kernel);
+
+}  // namespace veccost::ir

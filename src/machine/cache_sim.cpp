@@ -1,0 +1,129 @@
+#include "machine/cache_sim.hpp"
+
+#include <algorithm>
+
+#include "machine/executor.hpp"
+#include "support/error.hpp"
+
+namespace veccost::machine {
+
+Cache::Cache(CacheConfig config) : config_(config) {
+  VECCOST_ASSERT(config_.line_bytes > 0 && config_.ways > 0 &&
+                     config_.capacity_bytes >= config_.line_bytes * config_.ways,
+                 "bad cache geometry");
+  const std::size_t lines = static_cast<std::size_t>(
+      config_.capacity_bytes / config_.line_bytes);
+  const std::size_t num_sets =
+      std::max<std::size_t>(1, lines / static_cast<std::size_t>(config_.ways));
+  sets_.assign(num_sets, std::vector<Way>(static_cast<std::size_t>(config_.ways)));
+}
+
+bool Cache::access(std::uint64_t address) {
+  ++clock_;
+  const std::uint64_t line = address / static_cast<std::uint64_t>(config_.line_bytes);
+  auto& set = sets_[line % sets_.size()];
+  const std::uint64_t tag = line / sets_.size();
+
+  for (auto& way : set) {
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  // Evict LRU (or fill an invalid way).
+  auto victim = set.begin();
+  for (auto it = set.begin(); it != set.end(); ++it) {
+    if (!it->valid) {
+      victim = it;
+      break;
+    }
+    if (it->last_use < victim->last_use) victim = it;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  return false;
+}
+
+double CacheSimResult::l1_fraction() const {
+  return accesses ? static_cast<double>(l1_hits) / static_cast<double>(accesses) : 0;
+}
+double CacheSimResult::l2_fraction() const {
+  return accesses ? static_cast<double>(l2_hits) / static_cast<double>(accesses) : 0;
+}
+double CacheSimResult::dram_fraction() const {
+  return accesses ? static_cast<double>(memory_fetches) / static_cast<double>(accesses)
+                  : 0;
+}
+
+std::string CacheSimResult::dominant_level() const {
+  // A bandwidth question: in steady state, where do the L1's line fills come
+  // from? Near-zero fills means the working set lives in L1; otherwise the
+  // majority source of fills names the level feeding the stream.
+  const std::uint64_t fills = l2_hits + memory_fetches;
+  if (fills * 256 <= accesses) return "L1";
+  return memory_fetches > l2_hits ? "DRAM" : "L2";
+}
+
+CacheSimResult simulate_cache(const ir::LoopKernel& kernel,
+                              const TargetDesc& target, std::int64_t n) {
+  VECCOST_ASSERT(kernel.vf == 1, "cache simulation replays the scalar kernel");
+  const int line = static_cast<int>(target.cacheline_bytes);
+  Cache l1({target.l1.capacity_bytes, line, 8});
+  Cache l2({target.l2.capacity_bytes, line, 16});
+
+  // Lay arrays out back to back with one line of padding.
+  std::vector<std::uint64_t> base(kernel.arrays.size(), 0);
+  std::uint64_t cursor = 0;
+  for (std::size_t a = 0; a < kernel.arrays.size(); ++a) {
+    base[a] = cursor;
+    const auto& decl = kernel.arrays[a];
+    cursor += static_cast<std::uint64_t>(decl.length(n) * ir::byte_size(decl.elem));
+    cursor = (cursor / static_cast<std::uint64_t>(line) + 1) *
+             static_cast<std::uint64_t>(line);
+  }
+
+  // Two passes: the first warms the hierarchy (benchmarks traverse their
+  // arrays repeatedly — the analytic model's residency is a steady-state
+  // notion), the second is measured.
+  CacheSimResult result;
+  bool measuring = false;
+  const AccessObserver observer = [&](int array, std::int64_t element,
+                                      bool /*is_store*/) {
+    const auto& decl = kernel.arrays[static_cast<std::size_t>(array)];
+    const std::uint64_t addr =
+        base[static_cast<std::size_t>(array)] +
+        static_cast<std::uint64_t>(element * ir::byte_size(decl.elem));
+    const bool l1_hit = l1.access(addr);
+    const bool l2_hit = l1_hit ? false : l2.access(addr);
+    if (!measuring) return;
+    ++result.accesses;
+    if (l1_hit) {
+      ++result.l1_hits;
+    } else if (l2_hit) {
+      ++result.l2_hits;
+    } else {
+      ++result.memory_fetches;
+    }
+  };
+  for (int pass = 0; pass < 2; ++pass) {
+    measuring = pass == 1;
+    Workload wl = make_workload(kernel, n);
+    (void)execute_scalar_traced(kernel, wl, observer);
+  }
+  return result;
+}
+
+std::string analytic_residency(const ir::LoopKernel& kernel,
+                               const TargetDesc& target, std::int64_t n) {
+  std::int64_t footprint = 0;
+  for (const auto& a : kernel.arrays)
+    footprint += a.length(n) * ir::byte_size(a.elem);
+  if (footprint <= target.l1.capacity_bytes) return "L1";
+  if (footprint <= target.l2.capacity_bytes) return "L2";
+  return "DRAM";
+}
+
+}  // namespace veccost::machine

@@ -1,0 +1,81 @@
+// Trace-driven cache simulator.
+//
+// The analytic performance model decides which cache level a kernel's
+// working set lives in from its total footprint. This simulator validates
+// that shortcut: it replays the kernel's actual memory trace (from the
+// functional executor) through a set-associative LRU L1/L2 hierarchy and
+// reports where the bytes really came from — including effects the analytic
+// model approximates, such as strided accesses touching every line of a
+// region and gathers thrashing the sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::machine {
+
+struct CacheConfig {
+  std::int64_t capacity_bytes = 32 * 1024;
+  int line_bytes = 64;
+  int ways = 8;
+};
+
+/// One set-associative LRU cache level.
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  /// Access the line containing `address`; returns true on hit. Misses
+  /// install the line (allocate-on-miss for loads and stores alike).
+  bool access(std::uint64_t address);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t num_sets() const { return sets_.size(); }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+  CacheConfig config_;
+  std::vector<std::vector<Way>> sets_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Two-level hierarchy fed by a kernel's memory trace.
+struct CacheSimResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t memory_fetches = 0;  ///< lines filled from DRAM
+
+  /// Fraction of accesses served by each level.
+  [[nodiscard]] double l1_fraction() const;
+  [[nodiscard]] double l2_fraction() const;
+  [[nodiscard]] double dram_fraction() const;
+  /// Name of the level serving the plurality of accesses ("L1"/"L2"/"DRAM").
+  [[nodiscard]] std::string dominant_level() const;
+};
+
+/// Replay `kernel` at problem size n through a hierarchy built from the
+/// target's L1/L2 geometry (8-way LRU, the target's cacheline size). Arrays
+/// are laid out back to back with one line of padding.
+[[nodiscard]] CacheSimResult simulate_cache(const ir::LoopKernel& kernel,
+                                            const TargetDesc& target,
+                                            std::int64_t n);
+
+/// The analytic model's residency verdict for the same configuration
+/// ("L1"/"L2"/"DRAM") — what simulate_cache checks.
+[[nodiscard]] std::string analytic_residency(const ir::LoopKernel& kernel,
+                                             const TargetDesc& target,
+                                             std::int64_t n);
+
+}  // namespace veccost::machine

@@ -1,0 +1,449 @@
+#include "machine/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace veccost::machine {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ReductionKind;
+using ir::ScalarType;
+using ir::ValueId;
+
+namespace {
+
+double reduction_identity(ReductionKind kind) {
+  switch (kind) {
+    case ReductionKind::Sum: return 0.0;
+    case ReductionKind::Prod: return 1.0;
+    case ReductionKind::Min: return std::numeric_limits<double>::infinity();
+    case ReductionKind::Max: return -std::numeric_limits<double>::infinity();
+    case ReductionKind::Or: return 0.0;
+    case ReductionKind::None: return 0.0;
+  }
+  return 0.0;
+}
+
+double horizontal_reduce(ReductionKind kind, const std::vector<double>& lanes,
+                         ScalarType elem) {
+  double acc = reduction_identity(kind);
+  for (double v : lanes) {
+    switch (kind) {
+      case ReductionKind::Sum: acc += v; break;
+      case ReductionKind::Prod: acc *= v; break;
+      case ReductionKind::Min: acc = std::min(acc, v); break;
+      case ReductionKind::Max: acc = std::max(acc, v); break;
+      case ReductionKind::Or:
+        acc = static_cast<double>(static_cast<std::int64_t>(acc) |
+                                  static_cast<std::int64_t>(v));
+        break;
+      case ReductionKind::None: acc = v; break;  // last value
+    }
+    if (elem == ScalarType::F32) acc = static_cast<double>(static_cast<float>(acc));
+  }
+  return acc;
+}
+
+/// Interpreter over one kernel + workload. Lane count is fixed per instance
+/// (1 for scalar execution, vf for the vector body).
+class Interp {
+ public:
+  Interp(const LoopKernel& k, Workload& wl, int lanes,
+         const AccessObserver* observer = nullptr)
+      : k_(k), wl_(wl), lanes_(lanes), observer_(observer),
+        vals_(k.body.size()) {
+    VECCOST_ASSERT(wl.arrays.size() == k.arrays.size(),
+                   "workload/array mismatch for " + k.name);
+    for (auto& v : vals_) v.assign(static_cast<std::size_t>(lanes_), 0.0);
+    phi_ids_ = k.phis();
+    phi_state_.resize(phi_ids_.size());
+  }
+
+  /// Initialize phi state for a fresh inner-loop execution.
+  void reset_phis() {
+    for (std::size_t p = 0; p < phi_ids_.size(); ++p) {
+      const Instruction& phi = k_.instr(phi_ids_[p]);
+      const double init = phi.phi_init_param >= 0
+                              ? k_.params[static_cast<std::size_t>(phi.phi_init_param)]
+                              : phi.phi_init;
+      auto& state = phi_state_[p];
+      state.assign(static_cast<std::size_t>(lanes_), init);
+      if (lanes_ > 1 && phi.reduction != ReductionKind::None) {
+        // Vector accumulator: lane 0 carries the initial value, the rest the
+        // identity element, so the horizontal reduce recovers the total.
+        const double ident = reduction_identity(phi.reduction);
+        for (int l = 1; l < lanes_; ++l) state[static_cast<std::size_t>(l)] = ident;
+      }
+    }
+  }
+
+  /// Seed phi state from externally computed scalars (epilogue handoff).
+  void set_phi_inits(const std::vector<double>& inits) {
+    VECCOST_ASSERT(inits.size() == phi_ids_.size(), "phi init count mismatch");
+    for (std::size_t p = 0; p < phi_ids_.size(); ++p)
+      phi_state_[p].assign(static_cast<std::size_t>(lanes_), inits[p]);
+  }
+
+  /// Run iterations m in [m_lo, m_hi) at outer index j, advancing `lanes_`
+  /// iterations at a time. Returns the number of iterations executed (less
+  /// than requested only if a Break fired).
+  std::int64_t run_range(std::int64_t j, std::int64_t m_lo, std::int64_t m_hi) {
+    std::int64_t executed = 0;
+    for (std::int64_t m = m_lo; m < m_hi; m += lanes_) {
+      if (!run_block(j, m)) {
+        // Count iterations up to and including the one that broke.
+        executed += broke_at_lane_ + 1;
+        broke_ = true;
+        return executed;
+      }
+      executed += lanes_;
+      commit_phis();
+    }
+    return executed;
+  }
+
+  [[nodiscard]] bool broke() const { return broke_; }
+
+  /// Final per-phi scalar values: reductions reduced horizontally,
+  /// recurrences take the last lane.
+  [[nodiscard]] std::vector<double> final_phi_values() const {
+    std::vector<double> out(phi_ids_.size());
+    for (std::size_t p = 0; p < phi_ids_.size(); ++p) {
+      const Instruction& phi = k_.instr(phi_ids_[p]);
+      if (lanes_ > 1 && phi.reduction != ReductionKind::None) {
+        out[p] = horizontal_reduce(phi.reduction, phi_state_[p], phi.type.elem);
+      } else {
+        out[p] = phi_state_[p].back();
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<ValueId>& phi_ids() const { return phi_ids_; }
+
+ private:
+  [[nodiscard]] double lane_of(ValueId v, int l) const {
+    const auto& lanes = vals_[static_cast<std::size_t>(v)];
+    return lanes.size() == 1 ? lanes[0] : lanes[static_cast<std::size_t>(l)];
+  }
+
+  [[nodiscard]] std::int64_t mem_index(const Instruction& inst, std::int64_t i,
+                                       std::int64_t j, int l) const {
+    const auto& idx = inst.index;
+    if (idx.is_indirect())
+      return static_cast<std::int64_t>(lane_of(idx.indirect, l)) + idx.offset;
+    return idx.scale_i * i + idx.scale_j * j + idx.n_scale * wl_.n + idx.offset;
+  }
+
+  static double round_to(double v, ScalarType t) {
+    switch (t) {
+      case ScalarType::F32: return static_cast<double>(static_cast<float>(v));
+      case ScalarType::F64: return v;
+      case ScalarType::I1: return v != 0.0 ? 1.0 : 0.0;
+      default: return std::trunc(v);
+    }
+  }
+
+  /// Execute one widened iteration starting at counter m (lanes_ scalar
+  /// iterations). Returns false if a Break fired; broke_at_lane_ is set.
+  bool run_block(std::int64_t j, std::int64_t m) {
+    const std::int64_t start = k_.trip.start;
+    const std::int64_t step = k_.trip.step;
+    std::size_t phi_ordinal = 0;
+
+    for (std::size_t id = 0; id < k_.body.size(); ++id) {
+      const Instruction& inst = k_.body[id];
+      auto& out = vals_[id];
+      switch (inst.op) {
+        case Opcode::Const:
+          std::fill(out.begin(), out.end(), inst.const_value);
+          break;
+        case Opcode::Param:
+          std::fill(out.begin(), out.end(),
+                    k_.params[static_cast<std::size_t>(inst.param_index)]);
+          break;
+        case Opcode::IndVar:
+          for (int l = 0; l < lanes_; ++l)
+            out[static_cast<std::size_t>(l)] =
+                static_cast<double>(start + (m + l) * step);
+          break;
+        case Opcode::OuterIndVar:
+          std::fill(out.begin(), out.end(), static_cast<double>(j));
+          break;
+        case Opcode::Phi:
+          out = phi_state_[phi_ordinal++];
+          break;
+        case Opcode::Load:
+        case Opcode::Gather:
+        case Opcode::StridedLoad: {
+          auto& buf = wl_.arrays[static_cast<std::size_t>(inst.array)];
+          for (int l = 0; l < lanes_; ++l) {
+            if (inst.predicate != ir::kNoValue && lane_of(inst.predicate, l) == 0.0) {
+              out[static_cast<std::size_t>(l)] = 0.0;
+              continue;
+            }
+            const std::int64_t i = start + (m + l) * step;
+            const std::int64_t e = mem_index(inst, i, j, l);
+            VECCOST_ASSERT(e >= 0 && e < static_cast<std::int64_t>(buf.size()),
+                           "load out of bounds in " + k_.name);
+            if (observer_ != nullptr) (*observer_)(inst.array, e, false);
+            out[static_cast<std::size_t>(l)] = buf[static_cast<std::size_t>(e)];
+          }
+          break;
+        }
+        case Opcode::Store:
+        case Opcode::Scatter:
+        case Opcode::StridedStore: {
+          auto& buf = wl_.arrays[static_cast<std::size_t>(inst.array)];
+          for (int l = 0; l < lanes_; ++l) {
+            if (inst.predicate != ir::kNoValue && lane_of(inst.predicate, l) == 0.0)
+              continue;
+            const std::int64_t i = start + (m + l) * step;
+            const std::int64_t e = mem_index(inst, i, j, l);
+            VECCOST_ASSERT(e >= 0 && e < static_cast<std::int64_t>(buf.size()),
+                           "store out of bounds in " + k_.name);
+            if (observer_ != nullptr) (*observer_)(inst.array, e, true);
+            buf[static_cast<std::size_t>(e)] = lane_of(inst.operands[0], l);
+          }
+          break;
+        }
+        case Opcode::Break: {
+          VECCOST_ASSERT(lanes_ == 1, "break inside vector body of " + k_.name);
+          if (lane_of(inst.operands[0], 0) != 0.0) {
+            broke_at_lane_ = 0;
+            return false;
+          }
+          break;
+        }
+        case Opcode::Broadcast:
+          for (int l = 0; l < lanes_; ++l)
+            out[static_cast<std::size_t>(l)] = lane_of(inst.operands[0], 0);
+          break;
+        case Opcode::Splice: {
+          // [last lane of op0, lanes 0..L-2 of op1]
+          out[0] = vals_[static_cast<std::size_t>(inst.operands[0])].back();
+          for (int l = 1; l < lanes_; ++l)
+            out[static_cast<std::size_t>(l)] = lane_of(inst.operands[1], l - 1);
+          break;
+        }
+        case Opcode::ReduceAdd:
+        case Opcode::ReduceMul:
+        case Opcode::ReduceMin:
+        case Opcode::ReduceMax:
+        case Opcode::ReduceOr: {
+          const ReductionKind kind =
+              inst.op == Opcode::ReduceAdd   ? ReductionKind::Sum
+              : inst.op == Opcode::ReduceMul ? ReductionKind::Prod
+              : inst.op == Opcode::ReduceMin ? ReductionKind::Min
+              : inst.op == Opcode::ReduceMax ? ReductionKind::Max
+                                             : ReductionKind::Or;
+          const double r = horizontal_reduce(
+              kind, vals_[static_cast<std::size_t>(inst.operands[0])],
+              inst.type.elem);
+          std::fill(out.begin(), out.end(), r);
+          break;
+        }
+        default:
+          compute_elementwise(inst, out, j, m);
+          break;
+      }
+    }
+    return true;
+  }
+
+  void compute_elementwise(const Instruction& inst, std::vector<double>& out,
+                           std::int64_t /*j*/, std::int64_t /*m*/) {
+    const ScalarType t = inst.type.elem;
+    for (int l = 0; l < lanes_; ++l) {
+      const double a = inst.num_operands() > 0 ? lane_of(inst.operands[0], l) : 0.0;
+      const double b = inst.num_operands() > 1 ? lane_of(inst.operands[1], l) : 0.0;
+      const double c = inst.num_operands() > 2 ? lane_of(inst.operands[2], l) : 0.0;
+      double r = 0.0;
+      switch (inst.op) {
+        case Opcode::Add: r = a + b; break;
+        case Opcode::Sub: r = a - b; break;
+        case Opcode::Mul: r = a * b; break;
+        case Opcode::Div:
+          if (ir::is_int(t)) {
+            VECCOST_ASSERT(b != 0.0, "integer division by zero in " + k_.name);
+            r = std::trunc(a / b);
+          } else {
+            r = a / b;
+          }
+          break;
+        case Opcode::Rem:
+          if (ir::is_int(t)) {
+            VECCOST_ASSERT(b != 0.0, "integer remainder by zero in " + k_.name);
+            r = static_cast<double>(static_cast<std::int64_t>(a) %
+                                    static_cast<std::int64_t>(b));
+          } else {
+            r = std::fmod(a, b);
+          }
+          break;
+        case Opcode::Neg: r = -a; break;
+        case Opcode::FMA: r = a * b + c; break;
+        case Opcode::Min: r = std::min(a, b); break;
+        case Opcode::Max: r = std::max(a, b); break;
+        case Opcode::Abs: r = std::abs(a); break;
+        case Opcode::Sqrt: r = std::sqrt(a); break;
+        case Opcode::And:
+          r = static_cast<double>(static_cast<std::int64_t>(a) &
+                                  static_cast<std::int64_t>(b));
+          break;
+        case Opcode::Or:
+          r = static_cast<double>(static_cast<std::int64_t>(a) |
+                                  static_cast<std::int64_t>(b));
+          break;
+        case Opcode::Xor:
+          r = static_cast<double>(static_cast<std::int64_t>(a) ^
+                                  static_cast<std::int64_t>(b));
+          break;
+        case Opcode::Not:
+          r = static_cast<double>(~static_cast<std::int64_t>(a));
+          break;
+        case Opcode::Shl:
+          r = static_cast<double>(static_cast<std::int64_t>(a)
+                                  << static_cast<std::int64_t>(b));
+          break;
+        case Opcode::Shr:
+          r = static_cast<double>(static_cast<std::int64_t>(a) >>
+                                  static_cast<std::int64_t>(b));
+          break;
+        case Opcode::CmpEQ: r = a == b ? 1.0 : 0.0; break;
+        case Opcode::CmpNE: r = a != b ? 1.0 : 0.0; break;
+        case Opcode::CmpLT: r = a < b ? 1.0 : 0.0; break;
+        case Opcode::CmpLE: r = a <= b ? 1.0 : 0.0; break;
+        case Opcode::CmpGT: r = a > b ? 1.0 : 0.0; break;
+        case Opcode::CmpGE: r = a >= b ? 1.0 : 0.0; break;
+        case Opcode::Select: r = a != 0.0 ? b : c; break;
+        case Opcode::Convert: r = a; break;  // rounding below
+        default:
+          VECCOST_FAIL(std::string("unhandled opcode in executor: ") +
+                       ir::to_string(inst.op));
+      }
+      out[static_cast<std::size_t>(l)] = round_to(r, t);
+    }
+  }
+
+  void commit_phis() {
+    std::size_t p = 0;
+    for (const ValueId id : phi_ids_) {
+      const Instruction& phi = k_.instr(id);
+      phi_state_[p] = vals_[static_cast<std::size_t>(phi.phi_update)];
+      ++p;
+    }
+  }
+
+  const LoopKernel& k_;
+  Workload& wl_;
+  int lanes_;
+  const AccessObserver* observer_;
+  std::vector<std::vector<double>> vals_;
+  std::vector<ValueId> phi_ids_;
+  std::vector<std::vector<double>> phi_state_;
+  bool broke_ = false;
+  int broke_at_lane_ = 0;
+};
+
+std::vector<double> collect_live_outs(const LoopKernel& k, const Interp& interp) {
+  const auto finals = interp.final_phi_values();
+  const auto& phis = interp.phi_ids();
+  std::vector<double> out;
+  out.reserve(k.live_outs.size());
+  for (const ValueId v : k.live_outs) {
+    const auto it = std::find(phis.begin(), phis.end(), v);
+    VECCOST_ASSERT(it != phis.end(), "live-out is not a phi in " + k.name);
+    out.push_back(finals[static_cast<std::size_t>(it - phis.begin())]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_workload(const ir::LoopKernel& kernel, std::int64_t n,
+                       std::uint64_t seed) {
+  Workload wl;
+  wl.n = n;
+  wl.arrays.resize(kernel.arrays.size());
+  Rng rng(hash_string(kernel.name) ^ seed);
+  for (std::size_t a = 0; a < kernel.arrays.size(); ++a) {
+    const auto& decl = kernel.arrays[a];
+    const std::int64_t len = decl.length(n);
+    VECCOST_ASSERT(len >= 0, "negative array length in " + kernel.name);
+    auto& buf = wl.arrays[a];
+    buf.resize(static_cast<std::size_t>(len));
+    if (ir::is_float(decl.elem)) {
+      for (auto& v : buf)
+        v = static_cast<double>(static_cast<float>(rng.uniform(1.0, 2.0)));
+    } else {
+      // Integer arrays double as subscript sources: keep values in [0, n).
+      for (auto& v : buf)
+        v = static_cast<double>(rng.next_below(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(n, 1))));
+    }
+  }
+  return wl;
+}
+
+namespace {
+
+ExecResult execute_scalar_impl(const ir::LoopKernel& kernel, Workload& wl,
+                               const AccessObserver* observer) {
+  VECCOST_ASSERT(kernel.vf == 1, "execute_scalar needs a scalar kernel");
+  const std::int64_t iters = kernel.trip.iterations(wl.n);
+  Interp interp(kernel, wl, 1, observer);
+  ExecResult result;
+  for (std::int64_t j = 0; j < (kernel.has_outer ? kernel.outer_trip : 1); ++j) {
+    interp.reset_phis();
+    result.iterations += interp.run_range(j, 0, iters);
+    if (interp.broke()) {
+      result.broke_early = true;
+      break;
+    }
+  }
+  result.live_outs = collect_live_outs(kernel, interp);
+  return result;
+}
+
+}  // namespace
+
+ExecResult execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {
+  return execute_scalar_impl(kernel, wl, nullptr);
+}
+
+ExecResult execute_scalar_traced(const ir::LoopKernel& kernel, Workload& wl,
+                                 const AccessObserver& observer) {
+  return execute_scalar_impl(kernel, wl, &observer);
+}
+
+ExecResult execute_vectorized(const ir::LoopKernel& vec,
+                              const ir::LoopKernel& scalar, Workload& wl) {
+  VECCOST_ASSERT(vec.vf > 1, "execute_vectorized needs a widened kernel");
+  VECCOST_ASSERT(!vec.has_break() && !scalar.has_break(),
+                 "cannot vectorize a loop with break");
+  const std::int64_t iters = scalar.trip.iterations(wl.n);
+  const std::int64_t vf = vec.vf;
+  const std::int64_t main_iters = (iters / vf) * vf;
+
+  Interp vinterp(vec, wl, static_cast<int>(vf));
+  Interp sinterp(scalar, wl, 1);
+  ExecResult result;
+  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  for (std::int64_t j = 0; j < outer; ++j) {
+    vinterp.reset_phis();
+    result.iterations += vinterp.run_range(j, 0, main_iters);
+    // Hand the partial reduction / recurrence state to the scalar remainder.
+    sinterp.set_phi_inits(vinterp.final_phi_values());
+    result.iterations += sinterp.run_range(j, main_iters, iters);
+  }
+  result.live_outs = collect_live_outs(scalar, sinterp);
+  return result;
+}
+
+}  // namespace veccost::machine

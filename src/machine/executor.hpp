@@ -1,0 +1,64 @@
+// Functional interpreter for LoopKernel IR.
+//
+// The executor runs kernels over concrete buffers, with two jobs:
+//  * provide ground-truth *semantics*: every vectorized kernel must produce
+//    the same array contents as its scalar original (the transform
+//    correctness tests run exactly this comparison);
+//  * drive the workloads used by the measurement substrate.
+//
+// Numeric model: all runtime values are held as doubles; operations on f32
+// values are rounded to float after every instruction, identically on the
+// scalar and vector paths, so array contents match bitwise when the
+// transform preserves per-element operation order. Reduction live-outs are
+// reassociated by vectorization (as on real hardware) and are compared with
+// a tolerance instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::machine {
+
+/// Concrete buffers for one kernel execution.
+struct Workload {
+  std::int64_t n = 0;
+  std::vector<std::vector<double>> arrays;  ///< aligned with kernel.arrays
+};
+
+/// Deterministically initialize a workload for `kernel` at problem size `n`.
+/// Float arrays get values in [1, 2); integer arrays that are used as
+/// indirect subscripts get a seeded permutation-ish pattern in [0, n).
+[[nodiscard]] Workload make_workload(const ir::LoopKernel& kernel,
+                                     std::int64_t n, std::uint64_t seed = 0x5eed);
+
+struct ExecResult {
+  std::vector<double> live_outs;   ///< final values, aligned with kernel.live_outs
+  std::int64_t iterations = 0;     ///< inner iterations executed (all outer trips)
+  bool broke_early = false;        ///< a Break fired
+};
+
+/// Observer for the memory trace of an execution: called once per executed
+/// memory access with the array, the element index, and the direction.
+/// Skipped (predicated-off) lanes do not call it.
+using AccessObserver =
+    std::function<void(int array, std::int64_t element, bool is_store)>;
+
+/// Execute a scalar kernel (vf == 1) to completion.
+[[nodiscard]] ExecResult execute_scalar(const ir::LoopKernel& kernel, Workload& wl);
+
+/// Execute a scalar kernel while streaming its memory trace to `observer`
+/// in program order — the input to the trace-driven cache simulator.
+[[nodiscard]] ExecResult execute_scalar_traced(const ir::LoopKernel& kernel,
+                                               Workload& wl,
+                                               const AccessObserver& observer);
+
+/// Execute a vectorized kernel (vf > 1) with its scalar original as the
+/// remainder loop, preserving the scalar kernel's live-out order.
+[[nodiscard]] ExecResult execute_vectorized(const ir::LoopKernel& vec,
+                                            const ir::LoopKernel& scalar,
+                                            Workload& wl);
+
+}  // namespace veccost::machine

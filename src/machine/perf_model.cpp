@@ -1,0 +1,364 @@
+#include "machine/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "analysis/features.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace veccost::machine {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::OpClass;
+using ir::Opcode;
+
+namespace {
+
+/// Pick the cache level a kernel's working set lives in.
+const MemLevel& residency_level(const LoopKernel& k, const TargetDesc& t,
+                                std::int64_t n) {
+  std::int64_t footprint = 0;
+  for (const auto& a : k.arrays)
+    footprint += a.length(n) * ir::byte_size(a.elem);
+  if (footprint <= t.l1.capacity_bytes) return t.l1;
+  if (footprint <= t.l2.capacity_bytes) return t.l2;
+  return t.dram;
+}
+
+struct BodyCost {
+  double mem = 0, fp = 0, integer = 0;  ///< per-resource rtp sums
+  double instr_count = 0;               ///< for the issue-width ceiling
+  double mem_bytes = 0;                 ///< effective bytes demanded
+  double latency_chain = 0;             ///< max loop-carried chain latency
+};
+
+/// True when an instruction does no dynamic work in this kernel.
+bool is_free(const LoopKernel& k, const std::vector<bool>& invariant,
+             std::size_t id) {
+  const Instruction& inst = k.body[id];
+  switch (inst.op) {
+    case Opcode::Const:
+    case Opcode::Param:
+    case Opcode::IndVar:
+    case Opcode::OuterIndVar:
+    case Opcode::Phi:
+      return true;
+    default:
+      return invariant[id];
+  }
+}
+
+/// Mark strided accesses that belong to a COMPLETE interleave group: for one
+/// array and effective stride s, accesses whose offsets cover all s residues
+/// stream full cachelines together (s127-style a[2i], a[2i+1] pairs) and pay
+/// only shuffle overhead instead of wasted bandwidth.
+std::vector<bool> interleave_group_members(const LoopKernel& k) {
+  std::vector<bool> member(k.body.size(), false);
+  struct Key {
+    int array;
+    std::int64_t stride;
+    bool is_store;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, std::vector<std::size_t>> groups;
+  for (std::size_t id = 0; id < k.body.size(); ++id) {
+    const Instruction& inst = k.body[id];
+    if (!ir::is_memory_op(inst.op) || inst.index.is_indirect()) continue;
+    const std::int64_t stride = inst.index.scale_i * k.trip.step;
+    if (std::abs(stride) < 2) continue;
+    groups[{inst.array, stride, ir::is_store_op(inst.op)}].push_back(id);
+  }
+  for (const auto& [key, ids] : groups) {
+    const auto s = static_cast<std::size_t>(std::abs(key.stride));
+    std::set<std::int64_t> residues;
+    for (const std::size_t id : ids) {
+      const std::int64_t off = k.body[id].index.offset;
+      residues.insert(((off % key.stride) + key.stride) % key.stride);
+    }
+    if (residues.size() == s) {
+      for (const std::size_t id : ids) member[id] = true;
+    }
+  }
+  return member;
+}
+
+BodyCost body_cost(const LoopKernel& k, const TargetDesc& t) {
+  const auto invariant = analysis::invariant_mask(k);
+  const std::vector<bool> interleaved =
+      t.model_interleave_groups ? interleave_group_members(k)
+                                : std::vector<bool>(k.body.size(), false);
+  BodyCost cost;
+
+  // Latency DP: longest chain ending at each value, seeded at phis.
+  std::vector<double> chain(k.body.size(), 0.0);
+
+  for (std::size_t id = 0; id < k.body.size(); ++id) {
+    const Instruction& inst = k.body[id];
+    const bool fp_data = ir::is_float(inst.type.elem);
+    OpClass cls = ir::classify(inst.op, fp_data);
+
+    double rtp = 0, lat = 0;
+    if (!is_free(k, invariant, id)) {
+      const bool vector = inst.type.lanes > 1;
+      const int native = vector ? t.native_ops(inst.type.elem, inst.type.lanes) : 1;
+      // Strided accesses classify as gather-like for FEATURES, but their
+      // hardware cost is a plain wide access times the de-interleave
+      // penalty — the gather tables describe indexed accesses only.
+      OpClass timing_cls = cls;
+      if (inst.op == Opcode::StridedLoad) timing_cls = OpClass::MemLoad;
+      if (inst.op == Opcode::StridedStore) timing_cls = OpClass::MemStore;
+      InstrTiming timing = vector ? t.vector_timing(timing_cls, inst.type.elem)
+                                  : t.scalar_timing(timing_cls, inst.type.elem);
+      rtp = native * timing.rthroughput;
+      lat = timing.latency + (native - 1) * timing.rthroughput;
+
+      // Masked stores: emulation penalty (no masked stores on NEON; cheap
+      // vmaskmov on AVX2). Scalar predicated stores pay a branch.
+      if (ir::is_store_op(inst.op) && inst.predicate != ir::kNoValue)
+        rtp += vector ? native * t.masked_store_penalty_cycles : 2.0;
+
+      // Gathers/scatters: per-lane address generation + element access.
+      if (vector && (inst.op == Opcode::Gather || inst.op == Opcode::Scatter))
+        rtp += inst.type.lanes * t.gather_per_lane_cycles;
+
+      // Strided accesses come in three shapes:
+      //  * reversed (stride -1): wide access + lane reverse — cheap;
+      //  * complete interleave group: ld2/st2-style structured access;
+      //  * lone strided: no structured instruction applies, the compiler
+      //    scalarizes (per-lane cost), as 2018 LLVM did on ARM.
+      if (vector &&
+          (inst.op == Opcode::StridedLoad || inst.op == Opcode::StridedStore)) {
+        const std::int64_t stride = inst.index.scale_i * k.trip.step;
+        if (stride == -1) {
+          rtp *= t.reverse_penalty;
+        } else if (interleaved[id]) {
+          rtp *= t.interleave_group_penalty;
+        } else {
+          rtp = rtp * t.strided_penalty +
+                inst.type.lanes * t.lone_strided_per_lane_cycles;
+        }
+      }
+
+      switch (TargetDesc::resource_of(cls)) {
+        case Resource::Memory: cost.mem += rtp; break;
+        case Resource::FloatSimd: cost.fp += rtp; break;
+        case Resource::Integer: cost.integer += rtp; break;
+        case Resource::None: break;
+      }
+      cost.instr_count += native;
+
+      if (ir::is_memory_op(inst.op)) {
+        const double elem_bytes = ir::byte_size(inst.type.elem);
+        const std::int64_t stride =
+            inst.index.is_indirect() ? 0 : inst.index.scale_i * k.trip.step;
+        double waste = 1.0;
+        if (inst.index.is_indirect()) {
+          waste = 4.0;  // scattered lines
+        } else if (std::abs(stride) > 1 && !interleaved[id]) {
+          waste = std::min<double>(std::abs(stride),
+                                   t.cacheline_bytes / elem_bytes);
+        }
+        cost.mem_bytes += inst.type.lanes * elem_bytes * waste;
+      }
+    }
+
+    // Chain DP (uses real latency even for free ops: 0).
+    double in = 0;
+    for (int i = 0; i < inst.num_operands(); ++i) {
+      const ir::ValueId op = inst.operands[static_cast<std::size_t>(i)];
+      if (op != ir::kNoValue) in = std::max(in, chain[static_cast<std::size_t>(op)]);
+    }
+    if (inst.predicate != ir::kNoValue)
+      in = std::max(in, chain[static_cast<std::size_t>(inst.predicate)]);
+    if (inst.op == Opcode::Phi) {
+      chain[id] = 0.01;  // marks membership in a carried chain
+    } else {
+      chain[id] = (in > 0.0) ? in + lat : 0.0;
+    }
+  }
+
+  // Loop-carried chain latency: for each phi, the chain value at its update.
+  for (const ir::ValueId phi_id : k.phis()) {
+    const Instruction& phi = k.instr(phi_id);
+    const double c = chain[static_cast<std::size_t>(phi.phi_update)];
+    cost.latency_chain = std::max(cost.latency_chain, c);
+  }
+  return cost;
+}
+
+double jitter(const LoopKernel& k, const TargetDesc& t, double noise) {
+  Rng rng(hash_string(k.name) ^ hash_string(t.name) ^
+          (static_cast<std::uint64_t>(k.vf) * 0x9e37u));
+  return 1.0 + rng.uniform(-noise, noise);
+}
+
+}  // namespace
+
+PerfEstimate estimate(const LoopKernel& kernel, const TargetDesc& target,
+                      std::int64_t n) {
+  PerfEstimate est;
+  const BodyCost cost = body_cost(kernel, target);
+  const MemLevel& level = residency_level(kernel, target, n);
+
+  est.throughput_bound =
+      std::max({cost.mem, cost.fp, cost.integer,
+                cost.instr_count / target.issue_width});
+  est.latency_bound = cost.latency_chain;
+  est.memory_bound = cost.mem_bytes / level.bytes_per_cycle;
+
+  // Soft maximum: the dominant bound plus a fraction of the others, because
+  // real pipelines overlap imperfectly.
+  const double dominant =
+      std::max({est.throughput_bound, est.latency_bound, est.memory_bound});
+  const double rest = est.throughput_bound + est.latency_bound +
+                      est.memory_bound - dominant;
+  const double bookkeeping = kernel.vf > 1 ? target.vec_loop_overhead_cycles
+                                           : target.loop_overhead_cycles;
+  est.cycles_per_body = dominant + 0.25 * rest + bookkeeping;
+
+  // Per-entry overheads.
+  if (kernel.vf > 1) {
+    est.entry_overhead = target.vec_prologue_cycles;
+    for (const ir::ValueId phi_id : kernel.phis()) {
+      const Instruction& phi = kernel.instr(phi_id);
+      if (phi.reduction != ir::ReductionKind::None)
+        est.entry_overhead +=
+            target.reduction_tail_cycles(phi.type.elem, kernel.vf);
+      else
+        est.entry_overhead += 3.0;  // recurrence lane extract
+    }
+  }
+
+  const std::int64_t iters = kernel.trip.iterations(n);
+  est.body_executions = kernel.vf > 1 ? iters / kernel.vf : iters;
+  const std::int64_t outer = kernel.has_outer ? kernel.outer_trip : 1;
+  est.total_cycles =
+      outer * (est.body_executions * est.cycles_per_body + est.entry_overhead);
+  return est;
+}
+
+double measure_scalar_cycles(const LoopKernel& scalar, const TargetDesc& target,
+                             std::int64_t n, double noise) {
+  VECCOST_ASSERT(scalar.vf == 1, "measure_scalar_cycles needs a scalar kernel");
+  const PerfEstimate est = estimate(scalar, target, n);
+  return est.total_cycles * jitter(scalar, target, noise);
+}
+
+double measure_versioned_scalar_cycles(const LoopKernel& scalar,
+                                        const TargetDesc& target,
+                                        std::int64_t n, double noise) {
+  const PerfEstimate est = estimate(scalar, target, n);
+  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  // The failed overlap check costs roughly the vector prologue per entry.
+  const double total =
+      est.total_cycles + outer * target.vec_prologue_cycles;
+  Rng rng(hash_string(scalar.name) ^ hash_string(target.name) ^ 0xC4ECu);
+  return total * (1.0 + rng.uniform(-noise, noise));
+}
+
+double measure_vector_cycles(const LoopKernel& vec, const LoopKernel& scalar,
+                             const TargetDesc& target, std::int64_t n,
+                             double noise) {
+  VECCOST_ASSERT(vec.vf > 1, "measure_vector_cycles needs a widened kernel");
+  const PerfEstimate vest = estimate(vec, target, n);
+  const PerfEstimate sest = estimate(scalar, target, n);
+  const std::int64_t iters = scalar.trip.iterations(n);
+  const std::int64_t remainder = iters - (iters / vec.vf) * vec.vf;
+  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  const double total =
+      vest.total_cycles + outer * remainder * sest.cycles_per_body;
+  return total * jitter(vec, target, noise);
+}
+
+double measure_speedup(const LoopKernel& vec, const LoopKernel& scalar,
+                       const TargetDesc& target, std::int64_t n, double noise) {
+  const double s = measure_scalar_cycles(scalar, target, n, noise);
+  const double v = measure_vector_cycles(vec, scalar, target, n, noise);
+  VECCOST_ASSERT(v > 0, "non-positive vector time");
+  return s / v;
+}
+
+double measure_slp_cycles(const LoopKernel& original,
+                          const vectorizer::SlpPlan& plan,
+                          const TargetDesc& target, std::int64_t n) {
+  VECCOST_ASSERT(original.vf == 1, "measure_slp_cycles needs a scalar kernel");
+  // Pack member ids refer to plan.body (the original kernel, or its
+  // pre-unrolled form when plan.unroll > 1).
+  const LoopKernel& scalar = plan.unroll > 1 ? plan.body : original;
+  // Per-instruction pack membership: width for the representative (first)
+  // member, -1 for the other members (their work is folded into the pack).
+  std::vector<int> role(scalar.body.size(), 0);
+  std::vector<const vectorizer::Pack*> pack_of(scalar.body.size(), nullptr);
+  for (const auto& pack : plan.packs) {
+    for (std::size_t m = 0; m < pack.members.size(); ++m) {
+      const auto id = static_cast<std::size_t>(pack.members[m]);
+      role[id] = (m == 0) ? pack.width : -1;
+      pack_of[id] = &pack;
+    }
+  }
+
+  const auto invariant = analysis::invariant_mask(scalar);
+  double mem = 0, fp = 0, integer = 0, instr_count = 0, mem_bytes = 0;
+  double shuffle_cost = 0;
+  for (std::size_t id = 0; id < scalar.body.size(); ++id) {
+    const Instruction& inst = scalar.body[id];
+    if (role[id] < 0) continue;  // folded into its pack
+    if (is_free(scalar, invariant, id)) continue;
+    const OpClass cls = ir::classify(inst.op, ir::is_float(inst.type.elem));
+
+    double rtp;
+    if (role[id] > 0) {
+      const int width = role[id];
+      const int native = target.native_ops(inst.type.elem, width);
+      const vectorizer::Pack& pack = *pack_of[id];
+      if (pack.op == Opcode::Broadcast) {
+        // Build-vector of distinct leaves: inserts on the SIMD pipe.
+        shuffle_cost += width * target.vector_timing(OpClass::Shuffle,
+                                                     inst.type.elem).rthroughput;
+        continue;
+      }
+      OpClass eff = cls;
+      if (ir::is_memory_op(inst.op) && !pack.contiguous)
+        eff = ir::is_store_op(inst.op) ? OpClass::MemScatter : OpClass::MemGather;
+      rtp = native * target.vector_timing(eff, inst.type.elem).rthroughput;
+      if (eff == OpClass::MemGather || eff == OpClass::MemScatter)
+        rtp += width * target.gather_per_lane_cycles;
+      if (ir::is_memory_op(inst.op))
+        mem_bytes += width * ir::byte_size(inst.type.elem);
+      instr_count += native;
+    } else {
+      rtp = target.scalar_timing(cls, inst.type.elem).rthroughput;
+      if (ir::is_memory_op(inst.op))
+        mem_bytes += ir::byte_size(inst.type.elem);
+      instr_count += 1;
+    }
+    switch (TargetDesc::resource_of(cls)) {
+      case Resource::Memory: mem += rtp; break;
+      case Resource::FloatSimd: fp += rtp; break;
+      case Resource::Integer: integer += rtp; break;
+      case Resource::None: break;
+    }
+  }
+  fp += shuffle_cost;
+
+  const MemLevel& level = residency_level(scalar, target, n);
+  const double throughput =
+      std::max({mem, fp, integer, instr_count / target.issue_width});
+  const double memory = mem_bytes / level.bytes_per_cycle;
+  const double dominant = std::max(throughput, memory);
+  const double rest = throughput + memory - dominant;
+  const double per_iter =
+      dominant + 0.25 * rest + target.loop_overhead_cycles;
+
+  const std::int64_t iters = scalar.trip.iterations(n);
+  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  Rng rng(hash_string(scalar.name) ^ hash_string(target.name) ^ 0x51Du);
+  const double j = 1.0 + rng.uniform(-0.015, 0.015);
+  return outer * iters * per_iter * j;
+}
+
+}  // namespace veccost::machine

@@ -1,0 +1,93 @@
+// Detailed analytic performance model — the measurement substrate.
+//
+// This model stands in for the paper's physical ARM board: it produces the
+// "measured" execution times that the cost models under study are evaluated
+// against. Per widened-iteration cycles are estimated as a soft maximum of
+// three bounds —
+//   * throughput: per-execution-resource sums of reciprocal throughputs plus
+//     an issue-width ceiling,
+//   * latency: the longest loop-carried dependence chain through phis
+//     (this is what makes scalar reductions slow and vector reductions fast),
+//   * memory: bytes moved per iteration over the bandwidth of the cache
+//     level the kernel's footprint resides in, with strided and gathered
+//     accesses paying wasted-bandwidth factors
+// — plus loop bookkeeping, vectorization prologue, horizontal-reduction
+// tails and masked-store emulation where applicable. A deterministic
+// per-(kernel,target,vf) jitter of +-1.5% mimics measurement noise.
+//
+// Crucially, none of this detail is visible to the cost models being
+// evaluated: they see only coarse per-class cost tables, as in a compiler.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/loop.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::machine {
+
+/// Per-loop cost decomposition for one kernel (scalar or widened).
+struct PerfEstimate {
+  double cycles_per_body = 0;     ///< steady-state cycles per body execution
+  double throughput_bound = 0;    ///< diagnostics: the three bounds
+  double latency_bound = 0;
+  double memory_bound = 0;
+  double entry_overhead = 0;      ///< once per loop entry (per outer iteration)
+  double total_cycles = 0;        ///< full execution at problem size n
+  std::int64_t body_executions = 0;
+};
+
+/// Estimate the cost of running `kernel` (vf == 1 or widened) at size n.
+/// For widened kernels this covers the main vector loop only (no remainder).
+[[nodiscard]] PerfEstimate estimate(const ir::LoopKernel& kernel,
+                                    const TargetDesc& target, std::int64_t n);
+
+/// Relative amplitude of the deterministic per-(kernel,target,vf)
+/// measurement jitter; 0.015 mimics a quiet benchmarking setup, 0.05-0.10
+/// a noisy wall-clock one.
+inline constexpr double kDefaultNoise = 0.015;
+
+/// Measured execution time in cycles of the scalar kernel at size n,
+/// including deterministic jitter.
+[[nodiscard]] double measure_scalar_cycles(const ir::LoopKernel& scalar,
+                                           const TargetDesc& target,
+                                           std::int64_t n,
+                                           double noise = kDefaultNoise);
+
+/// Measured execution time of the vectorized kernel (main loop + scalar
+/// remainder + prologue/reduction tails), including deterministic jitter.
+[[nodiscard]] double measure_vector_cycles(const ir::LoopKernel& vec,
+                                           const ir::LoopKernel& scalar,
+                                           const TargetDesc& target,
+                                           std::int64_t n,
+                                           double noise = kDefaultNoise);
+
+/// Measured time of a loop that was vectorized behind a runtime overlap
+/// check that FAILS at runtime: the scalar path runs, plus the per-entry
+/// check cost. Use for VectorizedLoop::runtime_check kernels instead of
+/// measure_vector_cycles.
+[[nodiscard]] double measure_versioned_scalar_cycles(
+    const ir::LoopKernel& scalar, const TargetDesc& target, std::int64_t n,
+    double noise = kDefaultNoise);
+
+/// Measured speedup = scalar time / vector time.
+[[nodiscard]] double measure_speedup(const ir::LoopKernel& vec,
+                                     const ir::LoopKernel& scalar,
+                                     const TargetDesc& target, std::int64_t n,
+                                     double noise = kDefaultNoise);
+
+}  // namespace veccost::machine
+
+// --- SLP measurement -------------------------------------------------------
+#include "vectorizer/vplan.hpp"
+
+namespace veccost::machine {
+
+/// Measured cycles when the kernel runs with the given SLP pack plan applied
+/// (packed groups execute as vector ops, the rest stays scalar; iteration
+/// structure is unchanged). Includes the same deterministic jitter scheme.
+[[nodiscard]] double measure_slp_cycles(const ir::LoopKernel& scalar,
+                                        const vectorizer::SlpPlan& plan,
+                                        const TargetDesc& target, std::int64_t n);
+
+}  // namespace veccost::machine

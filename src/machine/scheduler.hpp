@@ -1,0 +1,44 @@
+// Greedy list scheduler: a finer-grained alternative to the analytic
+// soft-max bound of perf_model.
+//
+// The analytic model combines throughput, latency and memory bounds with a
+// fixed overlap factor. The scheduler instead *schedules* several unrolled
+// copies of the body onto the target's execution resources — issue width,
+// per-resource throughput, true dataflow and loop-carried dependences — and
+// reads the steady-state cycles per iteration off the makespan. It serves
+// two purposes: validating the analytic bound (they must agree on ordering,
+// see scheduler tests and `bench/abl_schedule`) and quantifying how much the
+// measured-data story depends on the substrate's fidelity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::machine {
+
+struct ScheduleResult {
+  /// Steady-state cycles per body execution (difference quotient between the
+  /// last copies of the schedule, which removes the pipeline fill).
+  double cycles_per_body = 0;
+  /// Makespan of the whole scheduled window.
+  double total_cycles = 0;
+  /// Issue cycle assigned to each instruction of the last scheduled copy.
+  std::vector<double> issue_cycle;
+};
+
+struct ScheduleOptions {
+  /// Body copies scheduled to reach a steady state.
+  int window = 6;
+};
+
+/// Schedule `kernel`'s body (scalar or widened). Memory-system effects are
+/// out of scope here (the scheduler models the core, not the caches); see
+/// perf_model for the combined estimate.
+[[nodiscard]] ScheduleResult schedule_body(const ir::LoopKernel& kernel,
+                                           const TargetDesc& target,
+                                           const ScheduleOptions& opts = {});
+
+}  // namespace veccost::machine

@@ -1,0 +1,68 @@
+#include "machine/target.hpp"
+
+#include "support/error.hpp"
+
+namespace veccost::machine {
+
+namespace {
+
+const InstrTiming& pick(const TargetDesc::TimingEntry& e, ir::ScalarType t) {
+  switch (t) {
+    case ir::ScalarType::F32: return e.f32;
+    case ir::ScalarType::F64: return e.f64;
+    case ir::ScalarType::I64: return e.int_wide;
+    default: return e.int_narrow;  // i8/i16/i32/i1
+  }
+}
+
+}  // namespace
+
+InstrTiming TargetDesc::scalar_timing(ir::OpClass cls, ir::ScalarType t) const {
+  const auto idx = static_cast<std::size_t>(cls);
+  VECCOST_ASSERT(idx < 16, "op class out of range");
+  return pick(scalar_table[idx], t);
+}
+
+InstrTiming TargetDesc::vector_timing(ir::OpClass cls, ir::ScalarType t) const {
+  const auto idx = static_cast<std::size_t>(cls);
+  VECCOST_ASSERT(idx < 16, "op class out of range");
+  return pick(vector_table[idx], t);
+}
+
+double TargetDesc::reduction_tail_cycles(ir::ScalarType t, int lanes) const {
+  // log2(lanes) shuffle+op steps on the FP/SIMD pipe, ~3 cycles each, plus a
+  // lane extract at the end.
+  int steps = 0;
+  for (int l = lanes; l > 1; l >>= 1) ++steps;
+  const double step_cost = is_float(t) ? 3.0 : 2.0;
+  return steps * step_cost + 2.0;
+}
+
+Resource TargetDesc::resource_of(ir::OpClass cls) {
+  using ir::OpClass;
+  switch (cls) {
+    case OpClass::MemLoad:
+    case OpClass::MemStore:
+    case OpClass::MemGather:
+    case OpClass::MemScatter:
+      return Resource::Memory;
+    case OpClass::FloatAdd:
+    case OpClass::FloatMul:
+    case OpClass::FloatDiv:
+    case OpClass::Shuffle:
+    case OpClass::Reduce:
+    case OpClass::Select:
+    case OpClass::Convert:
+      return Resource::FloatSimd;
+    case OpClass::IntArith:
+    case OpClass::IntDiv:
+    case OpClass::Compare:
+      return Resource::Integer;
+    case OpClass::Leaf:
+    case OpClass::Control:
+      return Resource::None;
+  }
+  return Resource::None;
+}
+
+}  // namespace veccost::machine

@@ -1,0 +1,118 @@
+// Target machine descriptions.
+//
+// A TargetDesc carries two kinds of information:
+//  * coarse per-instruction-class cost tables (latency / reciprocal
+//    throughput, scalar and per-native-vector-op) — this is the only part the
+//    baseline LLVM-style cost model is allowed to read, mirroring the TTI
+//    tables real compilers ship;
+//  * microarchitectural detail (issue width, execution-resource widths,
+//    cache hierarchy, gather/strided penalties, vectorization overheads)
+//    that only the ground-truth performance model uses, standing in for the
+//    physical ARM board of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/opcode.hpp"
+#include "ir/type.hpp"
+
+namespace veccost::machine {
+
+/// Execution resource an instruction class occupies.
+enum class Resource : std::uint8_t { Memory, FloatSimd, Integer, None };
+
+struct InstrTiming {
+  double latency = 1.0;       ///< result-ready latency in cycles
+  double rthroughput = 1.0;   ///< reciprocal throughput in cycles/instr
+};
+
+/// One cache/memory level.
+struct MemLevel {
+  std::int64_t capacity_bytes = 0;  ///< 0 = unbounded (DRAM)
+  double latency_cycles = 4;
+  double bytes_per_cycle = 16;      ///< sustained bandwidth
+};
+
+struct TargetDesc {
+  std::string name;
+  double freq_ghz = 2.0;
+  int vector_bits = 128;  ///< native SIMD register width
+  int issue_width = 2;    ///< instructions decoded/issued per cycle
+
+  /// Throughput (ops/cycle) of each execution resource group.
+  double mem_units = 1;
+  double fp_units = 1;
+  double int_units = 2;
+
+  // Coarse timing tables, indexed by instruction class and element type.
+  [[nodiscard]] InstrTiming scalar_timing(ir::OpClass cls, ir::ScalarType t) const;
+  /// Timing of one native-width vector instruction of this class.
+  [[nodiscard]] InstrTiming vector_timing(ir::OpClass cls, ir::ScalarType t) const;
+
+  /// Number of native vector instructions needed for `lanes` lanes of `t`.
+  [[nodiscard]] int native_ops(ir::ScalarType t, int lanes) const {
+    const int per_reg = lanes_per_register(t);
+    return (lanes + per_reg - 1) / per_reg;
+  }
+  [[nodiscard]] int lanes_per_register(ir::ScalarType t) const {
+    return vector_bits / (ir::byte_size(t) * 8);
+  }
+
+  // Memory hierarchy (detailed model only).
+  MemLevel l1, l2, dram;
+  double cacheline_bytes = 64;
+
+  /// ISA capability flags (what the *compiler* knows about the target; the
+  /// baseline cost model keys its generic costs on these).
+  bool hw_gather = false;        ///< native gather instruction exists
+  bool hw_masked_store = false;  ///< native masked store exists
+
+  /// Extra per-lane cycles for gathers/scatters (address generation +
+  /// element-at-a-time access).
+  double gather_per_lane_cycles = 2.0;
+  /// Multiplier on memory cost for |stride| > 1 accesses (wasted cacheline
+  /// bandwidth / de-interleaving shuffles).
+  double strided_penalty = 2.0;
+  /// Multiplier for reversed (stride -1) accesses: a wide access plus a
+  /// lane-reverse shuffle (REV on NEON, vperm on x86) — much cheaper than a
+  /// genuine strided access.
+  double reverse_penalty = 1.5;
+  /// Extra per-lane cycles for a lone strided access that is NOT part of a
+  /// complete interleave group. 2018-era compilers scalarized these on ARM
+  /// (element loads + lane inserts); wide-shuffle targets keep it small.
+  double lone_strided_per_lane_cycles = 0.0;
+  /// Model interleaved access groups: when strided accesses to one array
+  /// jointly cover every lane of a stride-s region (offsets 0..s-1), the
+  /// hardware streams full cachelines and only pays shuffles. Disabled in
+  /// the interleave ablation.
+  bool model_interleave_groups = true;
+  /// Residual cost multiplier for members of a complete interleave group
+  /// (shuffle traffic; compare strided_penalty for lone strided accesses).
+  double interleave_group_penalty = 1.3;
+  /// Emulation cost of a masked vector store in cycles per native op (NEON
+  /// has no masked stores: load + blend + store).
+  double masked_store_penalty_cycles = 4.0;
+
+  /// Per-iteration scalar loop bookkeeping (increment + compare + branch).
+  double loop_overhead_cycles = 1.0;
+  /// Per-block vector loop bookkeeping.
+  double vec_loop_overhead_cycles = 1.0;
+  /// One-time cost of entering a vectorized loop (runtime checks, setup).
+  double vec_prologue_cycles = 30.0;
+  /// Cycles for a horizontal reduction tail over `lanes` lanes.
+  [[nodiscard]] double reduction_tail_cycles(ir::ScalarType t, int lanes) const;
+
+  // --- table storage -------------------------------------------------------
+  // Tables are filled by the target constructors in targets.cpp; fallbacks
+  // make unspecified classes behave like simple single-cycle ALU ops.
+  struct TimingEntry {
+    InstrTiming f32, f64, int_narrow, int_wide;  ///< int_narrow: i8/i16/i32
+  };
+  TimingEntry scalar_table[16];
+  TimingEntry vector_table[16];
+
+  [[nodiscard]] static Resource resource_of(ir::OpClass cls);
+};
+
+}  // namespace veccost::machine

@@ -1,0 +1,232 @@
+#include "machine/targets.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace veccost::machine {
+
+namespace {
+
+using ir::OpClass;
+
+TargetDesc::TimingEntry& entry(TargetDesc& t, bool vector, OpClass cls) {
+  auto idx = static_cast<std::size_t>(cls);
+  return vector ? t.vector_table[idx] : t.scalar_table[idx];
+}
+
+/// Set one class with uniform timing across element types.
+void set_all(TargetDesc& t, bool vector, OpClass cls, InstrTiming timing) {
+  entry(t, vector, cls) = {timing, timing, timing, timing};
+}
+
+void set_float(TargetDesc& t, bool vector, OpClass cls, InstrTiming f32,
+               InstrTiming f64) {
+  auto& e = entry(t, vector, cls);
+  e.f32 = f32;
+  e.f64 = f64;
+}
+
+void set_int(TargetDesc& t, bool vector, OpClass cls, InstrTiming narrow,
+             InstrTiming wide) {
+  auto& e = entry(t, vector, cls);
+  e.int_narrow = narrow;
+  e.int_wide = wide;
+}
+
+void fill_defaults(TargetDesc& t) {
+  for (int v = 0; v < 2; ++v) {
+    for (int c = 0; c < 16; ++c) {
+      auto& e = (v ? t.vector_table : t.scalar_table)[c];
+      e = {{1, 1}, {1, 1}, {1, 1}, {1, 1}};
+    }
+  }
+}
+
+}  // namespace
+
+TargetDesc cortex_a57() {
+  TargetDesc t;
+  t.name = "cortex-a57";
+  t.freq_ghz = 1.9;
+  t.vector_bits = 128;
+  t.issue_width = 3;
+  t.mem_units = 2;  // one load + one store pipe
+  t.fp_units = 2;   // two 64-bit ASIMD pipes
+  t.int_units = 2;
+
+  fill_defaults(t);
+
+  // Scalar timings (cycles): latency / reciprocal throughput.
+  set_all(t, false, OpClass::MemLoad, {4, 1.0});
+  set_all(t, false, OpClass::MemStore, {1, 1.0});
+  set_all(t, false, OpClass::MemGather, {4, 1.0});
+  set_all(t, false, OpClass::MemScatter, {1, 1.0});
+  set_float(t, false, OpClass::FloatAdd, {5, 1.0}, {5, 1.0});
+  set_float(t, false, OpClass::FloatMul, {5, 1.0}, {5, 1.0});
+  set_float(t, false, OpClass::FloatDiv, {18, 18.0}, {32, 32.0});
+  set_all(t, false, OpClass::IntArith, {1, 0.5});
+  set_int(t, false, OpClass::IntDiv, {19, 19.0}, {35, 35.0});
+  set_all(t, false, OpClass::Compare, {1, 0.5});
+  set_all(t, false, OpClass::Select, {1, 0.5});
+  set_all(t, false, OpClass::Convert, {5, 1.0});
+  set_all(t, false, OpClass::Shuffle, {3, 1.0});
+  set_all(t, false, OpClass::Reduce, {5, 2.0});
+
+  // Vector timings per 128-bit ASIMD instruction. The A57 executes 128-bit
+  // FP ASIMD as two 64-bit halves: reciprocal throughput 2 where a full-width
+  // machine would have 1. This is the key microarchitectural fact that makes
+  // naive "vector op == scalar op" cost tables overpredict speedup on ARM.
+  set_all(t, true, OpClass::MemLoad, {5, 1.0});
+  set_all(t, true, OpClass::MemStore, {1, 1.0});
+  set_all(t, true, OpClass::MemGather, {4, 8.0});    // scalarized element loads
+  set_all(t, true, OpClass::MemScatter, {1, 8.0});
+  set_float(t, true, OpClass::FloatAdd, {5, 2.0}, {5, 2.0});
+  set_float(t, true, OpClass::FloatMul, {5, 2.0}, {5, 2.0});
+  set_float(t, true, OpClass::FloatDiv, {36, 36.0}, {64, 64.0});
+  set_all(t, true, OpClass::IntArith, {3, 1.0});
+  set_int(t, true, OpClass::IntDiv, {76, 76.0}, {140, 140.0});  // scalarized
+  set_all(t, true, OpClass::Compare, {3, 1.0});
+  set_all(t, true, OpClass::Select, {3, 1.0});
+  set_all(t, true, OpClass::Convert, {5, 2.0});
+  set_all(t, true, OpClass::Shuffle, {3, 1.0});
+  set_all(t, true, OpClass::Reduce, {8, 4.0});
+
+  t.l1 = {32 * 1024, 4, 16};
+  t.l2 = {2 * 1024 * 1024, 21, 12};
+  t.dram = {0, 180, 6};
+  t.gather_per_lane_cycles = 3.0;
+  t.strided_penalty = 2.0;
+  t.reverse_penalty = 1.5;              // ld1 + REV
+  t.lone_strided_per_lane_cycles = 2.5; // LLVM-6-era scalarization on ARM
+  t.masked_store_penalty_cycles = 5.0;  // no masked stores on NEON
+  t.loop_overhead_cycles = 1.0;
+  t.vec_loop_overhead_cycles = 1.0;
+  t.vec_prologue_cycles = 40.0;
+  return t;
+}
+
+TargetDesc cortex_a72() {
+  TargetDesc t = cortex_a57();
+  t.name = "cortex-a72";
+  t.freq_ghz = 2.3;
+  // A72 has full-width 128-bit FP/ASIMD datapaths.
+  set_float(t, true, OpClass::FloatAdd, {4, 1.0}, {4, 1.0});
+  set_float(t, true, OpClass::FloatMul, {4, 1.0}, {4, 1.0});
+  set_float(t, true, OpClass::FloatDiv, {28, 28.0}, {52, 52.0});
+  set_all(t, true, OpClass::Convert, {4, 1.0});
+  t.l2 = {1 * 1024 * 1024, 19, 14};
+  t.dram = {0, 160, 8};
+  t.lone_strided_per_lane_cycles = 2.2;
+  return t;
+}
+
+TargetDesc xeon_e5_avx2() {
+  TargetDesc t;
+  t.name = "xeon-e5-avx2";
+  t.freq_ghz = 2.6;
+  t.vector_bits = 256;
+  t.issue_width = 4;
+  t.mem_units = 3;  // two load ports + one store port
+  t.fp_units = 2;
+  t.int_units = 4;
+
+  fill_defaults(t);
+
+  set_all(t, false, OpClass::MemLoad, {4, 0.5});
+  set_all(t, false, OpClass::MemStore, {1, 1.0});
+  set_all(t, false, OpClass::MemGather, {4, 0.5});
+  set_all(t, false, OpClass::MemScatter, {1, 1.0});
+  set_float(t, false, OpClass::FloatAdd, {3, 1.0}, {3, 1.0});
+  set_float(t, false, OpClass::FloatMul, {5, 0.5}, {5, 0.5});
+  set_float(t, false, OpClass::FloatDiv, {11, 7.0}, {20, 14.0});
+  set_all(t, false, OpClass::IntArith, {1, 0.25});
+  set_int(t, false, OpClass::IntDiv, {22, 9.0}, {39, 25.0});
+  set_all(t, false, OpClass::Compare, {1, 0.25});
+  set_all(t, false, OpClass::Select, {1, 0.5});
+  set_all(t, false, OpClass::Convert, {4, 1.0});
+  set_all(t, false, OpClass::Shuffle, {1, 1.0});
+  set_all(t, false, OpClass::Reduce, {3, 1.0});
+
+  // Per 256-bit AVX2 instruction (Haswell).
+  set_all(t, true, OpClass::MemLoad, {5, 0.5});
+  set_all(t, true, OpClass::MemStore, {1, 1.0});
+  set_all(t, true, OpClass::MemGather, {18, 10.0});  // vgatherdps is slow
+  set_all(t, true, OpClass::MemScatter, {1, 12.0});  // scalarized (no scatter)
+  set_float(t, true, OpClass::FloatAdd, {3, 1.0}, {3, 1.0});
+  set_float(t, true, OpClass::FloatMul, {5, 0.5}, {5, 0.5});
+  set_float(t, true, OpClass::FloatDiv, {19, 13.0}, {35, 28.0});
+  set_all(t, true, OpClass::IntArith, {1, 0.5});
+  set_int(t, true, OpClass::IntDiv, {80, 40.0}, {160, 100.0});  // scalarized
+  set_all(t, true, OpClass::Compare, {1, 0.5});
+  set_all(t, true, OpClass::Select, {1, 0.5});
+  set_all(t, true, OpClass::Convert, {4, 1.0});
+  set_all(t, true, OpClass::Shuffle, {1, 1.0});
+  set_all(t, true, OpClass::Reduce, {5, 2.0});
+
+  t.l1 = {32 * 1024, 4, 64};
+  // Modeled as the shared L3 (the 256 KiB private L2 is too small to matter
+  // for TSVC-sized working sets).
+  t.l2 = {20 * 1024 * 1024, 36, 24};
+  t.dram = {0, 200, 16};
+  t.hw_gather = true;        // AVX2 vgather
+  t.hw_masked_store = true;  // vmaskmov
+  t.gather_per_lane_cycles = 1.5;
+  t.strided_penalty = 1.8;
+  t.reverse_penalty = 1.3;               // vpermps
+  t.lone_strided_per_lane_cycles = 0.8;  // shuffle-based de-interleave
+  t.masked_store_penalty_cycles = 1.0;  // vmaskmovps exists
+  t.loop_overhead_cycles = 0.8;
+  t.vec_loop_overhead_cycles = 0.8;
+  t.vec_prologue_cycles = 30.0;
+  return t;
+}
+
+TargetDesc neoverse_sve256() {
+  TargetDesc t = cortex_a72();
+  t.name = "neoverse-sve256";
+  t.freq_ghz = 2.8;
+  t.vector_bits = 256;
+  t.issue_width = 4;
+  t.fp_units = 2;
+
+  using ir::OpClass;
+  // Full-width 256-bit pipes; per-native-op timings similar to the A72's.
+  set_float(t, true, OpClass::FloatAdd, {3, 1.0}, {3, 1.0});
+  set_float(t, true, OpClass::FloatMul, {4, 1.0}, {4, 1.0});
+  set_float(t, true, OpClass::FloatDiv, {24, 20.0}, {40, 36.0});
+  set_all(t, true, OpClass::MemLoad, {5, 1.0});
+  set_all(t, true, OpClass::MemStore, {1, 1.0});
+  set_all(t, true, OpClass::MemGather, {9, 4.0});  // native but element-serialized
+  set_all(t, true, OpClass::MemScatter, {2, 4.0});
+  set_all(t, true, OpClass::IntArith, {2, 0.5});
+  set_all(t, true, OpClass::Compare, {2, 0.5});
+  set_all(t, true, OpClass::Select, {2, 0.5});
+  set_all(t, true, OpClass::Convert, {4, 1.0});
+
+  t.l1 = {64 * 1024, 4, 32};
+  t.l2 = {1024 * 1024, 15, 24};
+  t.dram = {0, 140, 12};
+  t.hw_gather = true;
+  t.hw_masked_store = true;  // SVE predication
+  t.gather_per_lane_cycles = 1.0;
+  t.reverse_penalty = 1.2;
+  t.lone_strided_per_lane_cycles = 0.4;  // SVE structured/gather loads
+  t.masked_store_penalty_cycles = 0.5;
+  t.vec_prologue_cycles = 25.0;  // predicated loops need no scalar epilogue
+  return t;
+}
+
+const std::vector<TargetDesc>& all_targets() {
+  static const std::vector<TargetDesc> targets = {
+      cortex_a57(), cortex_a72(), xeon_e5_avx2(), neoverse_sve256()};
+  return targets;
+}
+
+const TargetDesc& target_by_name(const std::string& name) {
+  for (const auto& t : all_targets())
+    if (t.name == name) return t;
+  throw Error("unknown target: " + name);
+}
+
+}  // namespace veccost::machine

@@ -1,0 +1,39 @@
+// Concrete target descriptions.
+//
+// Numbers are drawn from public software-optimization guides and instruction
+// tables (ARM Cortex-A57/A72 Software Optimisation Guides; Agner Fog's tables
+// for Haswell). They are representative rather than exact: the experiments
+// depend on the *relationships* (e.g. the A57 splitting 128-bit ASIMD FP ops
+// into two 64-bit halves, AVX2's wide but bandwidth-hungry vectors), not on
+// cycle-exact values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/target.hpp"
+
+namespace veccost::machine {
+
+/// ARMv8 Cortex-A57: 128-bit NEON, FP SIMD executed as 2x64-bit halves.
+/// This is the paper's primary evaluation target.
+[[nodiscard]] TargetDesc cortex_a57();
+
+/// ARMv8 Cortex-A72: A57 successor with full-width 128-bit FP SIMD pipes.
+[[nodiscard]] TargetDesc cortex_a72();
+
+/// Intel Xeon E5 v3 (Haswell) with AVX2: the slides' x86 backup target.
+[[nodiscard]] TargetDesc xeon_e5_avx2();
+
+/// Forward-looking ARM with 256-bit SVE-style vectors, full-width FP pipes,
+/// native gathers and predicated (masked) stores — the "what changes with
+/// wider ARM vectors" extension target.
+[[nodiscard]] TargetDesc neoverse_sve256();
+
+/// All registered targets, for sweeps.
+[[nodiscard]] const std::vector<TargetDesc>& all_targets();
+
+/// Look up a target by name; throws veccost::Error if unknown.
+[[nodiscard]] const TargetDesc& target_by_name(const std::string& name);
+
+}  // namespace veccost::machine

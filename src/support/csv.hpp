@@ -1,0 +1,28 @@
+// Minimal CSV writer for exporting experiment data series (e.g. to plot the
+// scatter charts the slides show). Quoting follows RFC 4180: cells containing
+// commas, quotes or newlines are quoted, quotes are doubled.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace veccost {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one row of cells; escaping handled internally.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Format a double compactly (shortest round-trip not required; 6 digits).
+  static std::string cell(double v);
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace veccost

@@ -1,0 +1,45 @@
+// Error handling utilities for the veccost library.
+//
+// The library is used both from tests (where throwing is convenient) and from
+// long-running experiment drivers (where a crash with context beats silent
+// corruption). All internal invariant violations throw veccost::Error with a
+// formatted message; VECCOST_ASSERT is kept enabled in release builds because
+// none of the checks sit on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace veccost {
+
+/// Exception type thrown for all veccost errors (bad IR, singular systems,
+/// invalid experiment configuration, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* file, int line, const char* cond,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": assertion `" << cond << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace veccost
+
+/// Assert that `cond` holds; throws veccost::Error with location info
+/// otherwise. Enabled in all build types.
+#define VECCOST_ASSERT(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::veccost::detail::fail(__FILE__, __LINE__, #cond, (msg));      \
+    }                                                                 \
+  } while (false)
+
+/// Unconditional failure with a formatted message.
+#define VECCOST_FAIL(msg) ::veccost::detail::fail(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,121 @@
+#include "support/matrix.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace veccost {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    VECCOST_ASSERT(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Vector Matrix::col(std::size_t c) const {
+  VECCOST_ASSERT(c < cols_, "col index out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::push_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  VECCOST_ASSERT(values.size() == cols_, "push_row width mismatch");
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  VECCOST_ASSERT(cols_ == rhs.rows_, "matmul dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += aik * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& rhs) const {
+  VECCOST_ASSERT(cols_ == rhs.size(), "matvec dimension mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = dot(row(i), rhs);
+  return out;
+}
+
+Matrix Matrix::without_row(std::size_t r) const {
+  VECCOST_ASSERT(r < rows_, "without_row index out of range");
+  Matrix out(rows_ - 1, cols_);
+  std::size_t dst = 0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (i == r) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out(dst, c) = (*this)(i, c);
+    ++dst;
+  }
+  return out;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << '[';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+Vector transpose_times(const Matrix& a, const Vector& x) {
+  VECCOST_ASSERT(a.rows() == x.size(), "transpose_times dimension mismatch");
+  Vector out(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) out[c] += row[c] * x[r];
+  }
+  return out;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  VECCOST_ASSERT(a.size() == b.size(), "dot dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+Vector subtract(const Vector& a, const Vector& b) {
+  VECCOST_ASSERT(a.size() == b.size(), "subtract dimension mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector without_element(const Vector& v, std::size_t r) {
+  VECCOST_ASSERT(r < v.size(), "without_element index out of range");
+  Vector out;
+  out.reserve(v.size() - 1);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (i != r) out.push_back(v[i]);
+  return out;
+}
+
+}  // namespace veccost

@@ -1,0 +1,90 @@
+// Dense row-major matrix and vector algebra used by the fitting library.
+//
+// This is deliberately a small, boring linear-algebra kernel: the design
+// matrices in this project are at most a few hundred rows (TSVC kernels) by a
+// couple of dozen columns (instruction classes), so clarity and numerical
+// robustness beat blocking/tiling tricks.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace veccost {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer list: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    VECCOST_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    VECCOST_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    VECCOST_ASSERT(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    VECCOST_ASSERT(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] Vector col(std::size_t c) const;
+
+  /// Append a row (must match cols(), or set cols for the first row).
+  void push_row(std::span<const double> values);
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Vector operator*(const Vector& rhs) const;
+
+  /// Remove one row; used by leave-one-out cross validation.
+  [[nodiscard]] Matrix without_row(std::size_t r) const;
+
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A^T * x convenience (A: m x n, x: m) -> n.
+[[nodiscard]] Vector transpose_times(const Matrix& a, const Vector& x);
+
+/// Dot product; sizes must match.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> v);
+
+/// a - b elementwise.
+[[nodiscard]] Vector subtract(const Vector& a, const Vector& b);
+
+/// Remove element r from a vector (LOOCV helper).
+[[nodiscard]] Vector without_element(const Vector& v, std::size_t r);
+
+}  // namespace veccost

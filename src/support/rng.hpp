@@ -1,0 +1,117 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in veccost (workload initialization, measurement jitter,
+// synthetic fitting data) flows through these generators so that every
+// experiment binary prints byte-identical output across runs and platforms.
+// We intentionally avoid std::mt19937 + std::uniform_real_distribution since
+// the distributions are not guaranteed to be reproducible across standard
+// library implementations.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace veccost {
+
+/// SplitMix64: used to seed Xoshiro and to hash strings into seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit hash of a string (FNV-1a), for deriving per-kernel seeds.
+constexpr std::uint64_t hash_string(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Xoshiro256**: fast, high-quality, reproducible PRNG.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t n) {
+    // Rejection-free variant is fine here: modulo bias is negligible for the
+    // small ranges we use, and determinism matters more than uniformity tails.
+    return next_u64() % n;
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic).
+  double normal() {
+    // Cached second value for the polar method.
+    if (has_cache_) {
+      has_cache_ = false;
+      return cache_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = sqrt_impl(-2.0 * log_impl(s) / s);
+    cache_ = v * m;
+    has_cache_ = true;
+    return u * m;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double sqrt_impl(double x);
+  static double log_impl(double x);
+
+  std::uint64_t s_[4]{};
+  double cache_ = 0.0;
+  bool has_cache_ = false;
+};
+
+inline double Rng::sqrt_impl(double x) {
+  return __builtin_sqrt(x);
+}
+inline double Rng::log_impl(double x) {
+  return __builtin_log(x);
+}
+
+}  // namespace veccost

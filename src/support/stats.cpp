@@ -1,0 +1,132 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace veccost {
+
+double mean(std::span<const double> v) {
+  VECCOST_ASSERT(!v.empty(), "mean of empty range");
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) {
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  VECCOST_ASSERT(x.size() == y.size() && !x.empty(), "pearson size mismatch");
+  const double mx = mean(x), my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> out(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    // Average rank for the tie group [i, j]; ranks are 1-based.
+    const double r = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[idx[k]] = r;
+    i = j + 1;
+  }
+  return out;
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  VECCOST_ASSERT(x.size() == y.size() && !x.empty(), "spearman size mismatch");
+  const auto rx = ranks(x);
+  const auto ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+double rmse(std::span<const double> predicted, std::span<const double> actual) {
+  VECCOST_ASSERT(predicted.size() == actual.size() && !predicted.empty(),
+                 "rmse size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(predicted.size()));
+}
+
+double mae(std::span<const double> predicted, std::span<const double> actual) {
+  VECCOST_ASSERT(predicted.size() == actual.size() && !predicted.empty(),
+                 "mae size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    s += std::abs(predicted[i] - actual[i]);
+  return s / static_cast<double>(predicted.size());
+}
+
+double mape(std::span<const double> predicted, std::span<const double> actual) {
+  VECCOST_ASSERT(predicted.size() == actual.size() && !predicted.empty(),
+                 "mape size mismatch");
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (std::abs(actual[i]) < 1e-12) continue;
+    s += std::abs((predicted[i] - actual[i]) / actual[i]);
+    ++n;
+  }
+  return n ? s / static_cast<double>(n) : 0.0;
+}
+
+double Confusion::accuracy() const {
+  const std::size_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) / static_cast<double>(t);
+}
+
+std::string Confusion::to_string() const {
+  std::ostringstream os;
+  os << "TP=" << true_positive << " TN=" << true_negative << " FP=" << false_positive
+     << " FN=" << false_negative;
+  return os.str();
+}
+
+Confusion classify(std::span<const double> predicted, std::span<const double> measured,
+                   double threshold) {
+  VECCOST_ASSERT(predicted.size() == measured.size(), "classify size mismatch");
+  Confusion c;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const bool pred_vec = predicted[i] > threshold;
+    const bool good_vec = measured[i] > threshold;
+    if (pred_vec && good_vec)
+      ++c.true_positive;
+    else if (pred_vec && !good_vec)
+      ++c.false_positive;
+    else if (!pred_vec && good_vec)
+      ++c.false_negative;
+    else
+      ++c.true_negative;
+  }
+  return c;
+}
+
+}  // namespace veccost

@@ -1,0 +1,58 @@
+// Statistical metrics used to evaluate cost-model quality.
+//
+// The paper reports the correlation between estimated and measured speedup,
+// plus false-positive / false-negative vectorization decisions. We provide
+// Pearson and Spearman correlation, the usual regression error metrics, and a
+// binary-decision confusion matrix keyed on the speedup > 1 threshold.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace veccost {
+
+[[nodiscard]] double mean(std::span<const double> v);
+[[nodiscard]] double variance(std::span<const double> v);  // population
+[[nodiscard]] double stddev(std::span<const double> v);
+
+/// Pearson linear correlation coefficient in [-1, 1].
+/// Returns 0 when either series is constant.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on fractional ranks, ties averaged).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+[[nodiscard]] double rmse(std::span<const double> predicted, std::span<const double> actual);
+[[nodiscard]] double mae(std::span<const double> predicted, std::span<const double> actual);
+
+/// Mean absolute percentage error; entries with |actual| < 1e-12 are skipped.
+[[nodiscard]] double mape(std::span<const double> predicted, std::span<const double> actual);
+
+/// Confusion matrix for the "should we vectorize?" decision.
+/// Positive = model predicts speedup > threshold (vectorize).
+/// A false positive means the model said "vectorize" but measured speedup was
+/// <= threshold (vectorization hurt); a false negative means profitable
+/// vectorization was skipped.
+struct Confusion {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] Confusion classify(std::span<const double> predicted,
+                                 std::span<const double> measured,
+                                 double threshold = 1.0);
+
+/// Fractional ranks with average tie handling (helper, exposed for tests).
+[[nodiscard]] std::vector<double> ranks(std::span<const double> v);
+
+}  // namespace veccost

@@ -1,0 +1,36 @@
+// Aligned ASCII table printing for experiment reports.
+//
+// Every figure-reproduction binary prints its results through TextTable so
+// the output is stable, diffable, and readable in a terminal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace veccost {
+
+class TextTable {
+ public:
+  /// Column headers; number of headers fixes the column count.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add a row of preformatted cells (must match column count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 3);
+  /// Convenience: format as percentage ("12.3%").
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with a header rule and column padding.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace veccost

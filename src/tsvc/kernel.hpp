@@ -1,0 +1,35 @@
+// TSVC kernel registry.
+//
+// Each of the 151 kernels is a named builder that produces a scalar
+// LoopKernel. Names, categories and dependence/control structure follow the
+// TSVC benchmark (Callahan, Dongarra & Levine; extended TSVC-2 as shipped in
+// llvm-test-suite), re-expressed in the veccost IR. Conditional statements
+// are authored in if-converted form (compare + select / predicated store),
+// which is the form a vectorizer reasons about.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::tsvc {
+
+struct KernelInfo {
+  std::string name;
+  std::string category;
+  std::string description;
+  std::function<ir::LoopKernel()> build;
+};
+
+/// All 151 kernels, in registration (category) order.
+[[nodiscard]] const std::vector<KernelInfo>& suite();
+
+/// Find a kernel by name; returns nullptr if absent.
+[[nodiscard]] const KernelInfo* find_kernel(const std::string& name);
+
+/// Distinct category names, in suite order.
+[[nodiscard]] std::vector<std::string> categories();
+
+}  // namespace veccost::tsvc

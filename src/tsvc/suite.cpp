@@ -1,0 +1,47 @@
+#include "tsvc/kernel.hpp"
+
+#include <algorithm>
+
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc {
+
+const std::vector<KernelInfo>& suite() {
+  static const std::vector<KernelInfo> kernels = [] {
+    detail::Registry r;
+    detail::register_linear_dependence(r);
+    detail::register_induction(r);
+    detail::register_global_dataflow(r);
+    detail::register_symbolics(r);
+    detail::register_statement_reordering(r);
+    detail::register_loop_restructuring(r);
+    detail::register_node_splitting(r);
+    detail::register_expansion(r);
+    detail::register_control_flow(r);
+    detail::register_crossing_thresholds(r);
+    detail::register_reductions(r);
+    detail::register_recurrences(r);
+    detail::register_search_packing(r);
+    detail::register_indirect(r);
+    detail::register_misc(r);
+    detail::register_vector_idioms(r);
+    return r;
+  }();
+  return kernels;
+}
+
+const KernelInfo* find_kernel(const std::string& name) {
+  for (const auto& k : suite())
+    if (k.name == name) return &k;
+  return nullptr;
+}
+
+std::vector<std::string> categories() {
+  std::vector<std::string> out;
+  for (const auto& k : suite())
+    if (std::find(out.begin(), out.end(), k.category) == out.end())
+      out.push_back(k.category);
+  return out;
+}
+
+}  // namespace veccost::tsvc

@@ -1,0 +1,244 @@
+// TSVC category: control flow (s271..s2712). All conditionals are authored
+// if-converted (mask + select / predicated store), the form the vectorizer
+// manipulates; most of these vectorize with masked stores.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+constexpr std::int64_t kR = 256;
+constexpr std::int64_t kOuter = 64;
+}  // namespace
+
+void register_control_flow(Registry& r) {
+  add(r, [] {
+    B b("s271", "control_flow", "if (b[i] > 0) a[i] += b[i]*c[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto vb = b.load(bb, B::at(1));
+    auto mask = b.cmp_gt(vb, b.fconst(1.5));
+    auto x = b.fma(vb, b.load(c, B::at(1)), b.load(a, B::at(1)));
+    b.store(a, B::at(1), x, mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s272", "control_flow",
+        "if (e[i] >= t) { a[i] += c[i]*d[i]; b[i] += c[i]*c[i]; }");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto t = b.param(1.5f);
+    auto mask = b.cmp_ge(b.load(e, B::at(1)), t);
+    auto vc = b.load(c, B::at(1));
+    b.store(a, B::at(1), b.fma(vc, b.load(d, B::at(1)), b.load(a, B::at(1))), mask);
+    b.store(bb, B::at(1), b.fma(vc, vc, b.load(bb, B::at(1))), mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s273", "control_flow",
+        "a[i] += d[i]*e[i]; if (a[i] < 0) b[i] += d[i]*e[i]; c[i] += a[i]*d[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto de = b.mul(b.load(d, B::at(1)), b.load(e, B::at(1)));
+    auto anew = b.add(b.load(a, B::at(1)), de);
+    b.store(a, B::at(1), anew);
+    auto mask = b.cmp_lt(anew, b.fconst(2.5));
+    b.store(bb, B::at(1), b.add(b.load(bb, B::at(1)), de), mask);
+    b.store(c, B::at(1), b.fma(anew, b.load(d, B::at(1)), b.load(c, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s274", "control_flow",
+        "a[i] = c[i]+e[i]*d[i]; if (a[i] > 0) b[i] = a[i]+b[i]; else a[i] = d[i]*e[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto de = b.mul(b.load(e, B::at(1)), b.load(d, B::at(1)));
+    auto anew = b.add(b.load(c, B::at(1)), de);
+    b.store(a, B::at(1), anew);
+    auto mask = b.cmp_gt(anew, b.fconst(3.0));
+    auto not_mask = b.cmp_le(anew, b.fconst(3.0));
+    b.store(bb, B::at(1), b.add(anew, b.load(bb, B::at(1))), mask);
+    b.store(a, B::at(1), de, not_mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s275", "control_flow",
+        "column guarded by aa[0][i]: aa[j][i] = aa[j-1][i] + bb[j][i] (inner j)");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    auto guard = b.cmp_gt(b.load(aa, B::at2(0, 1)), b.fconst(0.0));
+    auto x = b.add(b.load(aa, B::at2(kR, 1, -kR)), b.load(bbm, B::at2(kR, 1)));
+    b.store(aa, B::at2(kR, 1), x, guard);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2275", "control_flow",
+        "unconditional column update aa[j][i] += bb[j][i]*cc[j][i]");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    const int cc = b.array("cc", ScalarType::F32, 0, kR * kR);
+    auto x = b.fma(b.load(bbm, B::at2(kR, 1)), b.load(cc, B::at2(kR, 1)),
+                   b.load(aa, B::at2(kR, 1)));
+    b.store(aa, B::at2(kR, 1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s276", "control_flow", "if (i < mid) a[i] += b[i]*c[i]; else a[i] += b[i]*d[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto mid = b.iconst(kN / 2);
+    auto mask = b.cmp_lt(b.indvar(), mid);
+    auto vb = b.load(bb, B::at(1));
+    auto arm1 = b.mul(vb, b.load(c, B::at(1)));
+    auto arm2 = b.mul(vb, b.load(d, B::at(1)));
+    auto x = b.add(b.load(a, B::at(1)), b.select(mask, arm1, arm2));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s277", "control_flow",
+        "guarded a[i] update plus unconditional b[i+1] write (carried dep)");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto m1 = b.cmp_lt(b.load(a, B::at(1)), b.fconst(1.5));
+    auto m2 = b.cmp_lt(b.load(bb, B::at(1)), b.fconst(1.5));
+    auto both = b.bit_and(m1, m2);
+    auto x = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)), b.load(a, B::at(1)));
+    b.store(a, B::at(1), x, both);
+    auto y = b.fma(b.load(d, B::at(1)), b.load(e, B::at(1)), b.load(c, B::at(1)));
+    b.store(bb, B::at(1, 1), y, m1);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s278", "control_flow",
+        "exclusive arms into b[i]/c[i], then a[i] = b[i]+c[i]*d[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto mask = b.cmp_gt(b.load(a, B::at(1)), b.fconst(1.5));
+    auto not_mask = b.cmp_le(b.load(a, B::at(1)), b.fconst(1.5));
+    auto de = b.mul(b.load(d, B::at(1)), b.load(e, B::at(1)));
+    auto bn = b.add(b.neg(b.load(bb, B::at(1))), de);
+    b.store(bb, B::at(1), bn, not_mask);
+    auto cn = b.add(b.neg(b.load(c, B::at(1))), de);
+    b.store(c, B::at(1), cn, mask);
+    auto x = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s279", "control_flow", "s278 variant with a second guarded c update");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto va = b.load(a, B::at(1));
+    auto mask = b.cmp_gt(va, b.fconst(1.5));
+    auto not_mask = b.cmp_le(va, b.fconst(1.5));
+    auto de = b.mul(b.load(d, B::at(1)), b.load(e, B::at(1)));
+    auto bn = b.add(b.neg(b.load(bb, B::at(1))), de);
+    b.store(bb, B::at(1), bn, not_mask);
+    auto inner = b.cmp_gt(b.load(c, B::at(1)), b.fconst(1.5));
+    auto both = b.bit_and(mask, inner);
+    auto cn = b.add(b.neg(b.load(c, B::at(1))), b.mul(de, b.load(d, B::at(1))));
+    b.store(c, B::at(1), cn, both);
+    auto x = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1279", "control_flow",
+        "if (a[i] < 0 && b[i] > a[i]) c[i] += d[i]*e[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto va = b.load(a, B::at(1));
+    auto m1 = b.cmp_lt(va, b.fconst(1.5));
+    auto m2 = b.cmp_gt(b.load(bb, B::at(1)), va);
+    auto both = b.bit_and(m1, m2);
+    auto x = b.fma(b.load(d, B::at(1)), b.load(e, B::at(1)), b.load(c, B::at(1)));
+    b.store(c, B::at(1), x, both);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2710", "control_flow", "if (a[i] > b[i]) with scalar-parameter arms");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto x = b.param(0.5f);
+    auto va = b.load(a, B::at(1));
+    auto vb = b.load(bb, B::at(1));
+    auto mask = b.cmp_gt(va, vb);
+    auto not_mask = b.cmp_le(va, vb);
+    b.store(a, B::at(1), b.add(vb, b.load(d, B::at(1))), mask);
+    auto arm1 = b.add(b.load(c, B::at(1)), b.load(d, B::at(1)));
+    b.store(bb, B::at(1), arm1, not_mask);
+    b.store(c, B::at(1), b.add(b.load(e, B::at(1)), x), not_mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2711", "control_flow", "if (b[i] != 0) a[i] += b[i]*c[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto vb = b.load(bb, B::at(1));
+    auto mask = b.cmp_ne(vb, b.fconst(0.0));
+    auto x = b.fma(vb, b.load(c, B::at(1)), b.load(a, B::at(1)));
+    b.store(a, B::at(1), x, mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2712", "control_flow", "if (a[i] > b[i]) a[i] += b[i]*c[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto va = b.load(a, B::at(1));
+    auto vb = b.load(bb, B::at(1));
+    auto mask = b.cmp_gt(va, vb);
+    b.store(a, B::at(1), b.fma(vb, b.load(c, B::at(1)), va), mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s441", "control_flow",
+        "three-way arithmetic-if: a[i] += b[i]*c[i] / b[i]*b[i] / c[i]*c[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto vd = b.load(d, B::at(1));
+    auto vb = b.load(bb, B::at(1));
+    auto vc = b.load(c, B::at(1));
+    auto neg = b.cmp_lt(vd, b.fconst(1.3));
+    auto zero = b.cmp_lt(vd, b.fconst(1.6));
+    auto arm = b.select(neg, b.mul(vb, vc),
+                        b.select(zero, b.mul(vb, vb), b.mul(vc, vc)));
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1)), arm));
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

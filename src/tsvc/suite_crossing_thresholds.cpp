@@ -1,0 +1,119 @@
+// TSVC category: crossing thresholds, index-set splitting, wrap-around
+// variables and diagonals (s281..s2111).
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+constexpr std::int64_t kR = 256;
+constexpr std::int64_t kOuter = 64;
+}  // namespace
+
+void register_crossing_thresholds(Registry& r) {
+  add(r, [] {
+    B b("s281", "crossing_thresholds",
+        "x = a[n-1-i] + b[i]*c[i]; a[i] = x - 1; b[i] = x: crossing access");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto x = b.fma(b.load(bb, B::at(1)), b.load(c, B::at(1)),
+                   b.load(a, B::at_n(-1, 1, -1)));
+    b.store(a, B::at(1), b.sub(x, b.fconst(1.0)));
+    b.store(bb, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1281", "crossing_thresholds",
+        "x = b[i]*c[i] + a[i]*d[i] + e[i]; a[i] = x - 1; b[i] = x");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto x = b.add(b.fma(b.load(a, B::at(1)), b.load(d, B::at(1)),
+                         b.mul(b.load(bb, B::at(1)), b.load(c, B::at(1)))),
+                   b.load(e, B::at(1)));
+    b.store(a, B::at(1), b.sub(x, b.fconst(1.0)));
+    b.store(bb, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s291", "crossing_thresholds",
+        "wrap-around index: b[i] = (a[i] + x) * 0.5; x = a[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto x = b.phi(1.0);
+    auto va = b.load(a, B::at(1));
+    b.store(bb, B::at(1), b.mul(b.add(va, x), b.fconst(0.5)));
+    b.set_phi_update(x, va);
+    b.live_out(x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s292", "crossing_thresholds",
+        "double wrap-around: b[i] = (a[i] + x + y) * 0.25; y = x; x = a[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto y = b.phi(1.0);
+    auto x = b.phi(1.0);
+    auto va = b.load(a, B::at(1));
+    auto sum = b.add(b.add(va, x), y);
+    b.store(bb, B::at(1), b.mul(sum, b.fconst(0.25)));
+    b.set_phi_update(x, va);
+    b.set_phi_update(y, x);
+    b.live_out(x);
+    b.live_out(y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s293", "crossing_thresholds", "a[i] = a[0]: every store crosses the load");
+    b.default_n(kN);
+    const int a = b.array("a");
+    b.store(a, B::at(1), b.load(a, B::at(0)));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2101", "crossing_thresholds", "diagonal: aa[i][i] += bb[i][i]*cc[i][i]");
+    b.trip({.num = 0, .offset = kR});
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    const int cc = b.array("cc", ScalarType::F32, 0, kR * kR);
+    auto x = b.fma(b.load(bbm, B::at(kR + 1)), b.load(cc, B::at(kR + 1)),
+                   b.load(aa, B::at(kR + 1)));
+    b.store(aa, B::at(kR + 1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2102", "crossing_thresholds",
+        "identity matrix: aa[j][i] = (i == j) ? 1 : 0, column traversal");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    auto eq = b.cmp_eq(b.indvar(), b.outer_indvar());
+    auto v = b.select(eq, b.fconst(1.0), b.fconst(0.0));
+    b.store(aa, B::at2(kR, 1), v);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2111", "crossing_thresholds",
+        "wavefront: aa[j][i] = (aa[j][i-1] + aa[j-1][i]) / 1.9");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, (kOuter + 1) * kR);
+    auto x = b.add(b.load(aa, B::at2(1, kR, kR - 1)),
+                   b.load(aa, B::at2(1, kR, 0)));
+    b.store(aa, B::at2(1, kR, kR), b.mul(x, b.fconst(1.0f / 1.9f)));
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

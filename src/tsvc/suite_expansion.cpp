@@ -1,0 +1,185 @@
+// TSVC category: scalar and array expansion (s251..s261). Within-iteration
+// temporaries are plain SSA values; cross-iteration temporaries become phis
+// classified as first-order recurrences (vectorizable via splice) or serial
+// recurrences (rejected). Where the C source reads the temporary before
+// assigning it, the update expression is authored first — a pure-value
+// reordering with identical semantics.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+constexpr std::int64_t kR = 256;
+constexpr std::int64_t kOuter = 64;
+}  // namespace
+
+void register_expansion(Registry& r) {
+  add(r, [] {
+    B b("s251", "expansion", "s = b[i]+c[i]*d[i]; a[i] = s*s");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto s = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::at(1), b.mul(s, s));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1251", "expansion", "s = b[i]+c[i]; b[i] = a[i]+d[i]; a[i] = s*e[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto s = b.add(b.load(bb, B::at(1)), b.load(c, B::at(1)));
+    b.store(bb, B::at(1), b.add(b.load(a, B::at(1)), b.load(d, B::at(1))));
+    b.store(a, B::at(1), b.mul(s, b.load(e, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2251", "expansion",
+        "cross-iteration s: a[i] = s*e[i]; s = b[i]+c[i] (first-order rec.)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              e = b.array("e");
+    auto s = b.phi(0.0);
+    auto upd = b.add(b.load(bb, B::at(1)), b.load(c, B::at(1)));
+    b.store(a, B::at(1), b.mul(s, b.load(e, B::at(1))));
+    b.set_phi_update(s, upd);
+    b.live_out(s);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s3251", "expansion",
+        "a[i+1] = b[i]+c[i]; b[i] = c[i]*e[i]; d[i] = a[i]*e[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    b.store(a, B::at(1, 1), b.add(b.load(bb, B::at(1)), b.load(c, B::at(1))));
+    b.store(bb, B::at(1), b.mul(b.load(c, B::at(1)), b.load(e, B::at(1))));
+    b.store(d, B::at(1), b.mul(b.load(a, B::at(1)), b.load(e, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s252", "expansion", "t carried: s = b[i]*c[i]; a[i] = s + t; t = s");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto t = b.phi(0.0);
+    auto s = b.mul(b.load(bb, B::at(1)), b.load(c, B::at(1)));
+    b.store(a, B::at(1), b.add(s, t));
+    b.set_phi_update(t, s);
+    b.live_out(t);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s253", "expansion",
+        "if (a[i] > b[i]) { s = a[i]-b[i]*d[i]; c[i] += s; a[i] = s; }");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto va = b.load(a, B::at(1));
+    auto vb = b.load(bb, B::at(1));
+    auto mask = b.cmp_gt(va, vb);
+    auto s = b.sub(va, b.mul(vb, b.load(d, B::at(1))));
+    auto cs = b.add(b.load(c, B::at(1)), s);
+    b.store(c, B::at(1), cs, mask);
+    b.store(a, B::at(1), s, mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s254", "expansion", "wrap-around x: a[i] = (b[i]+x)*0.5; x = b[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto x = b.phi(1.0);  // paper seeds x = b[n-1]; any fixed seed preserves shape
+    auto vb = b.load(bb, B::at(1));
+    b.store(a, B::at(1), b.mul(b.add(vb, x), b.fconst(0.5)));
+    b.set_phi_update(x, vb);
+    b.live_out(x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s255", "expansion",
+        "two wrap-arounds: a[i] = (b[i]+x+y)/3; y = x; x = b[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto y = b.phi(1.0);
+    auto x = b.phi(1.0);
+    auto vb = b.load(bb, B::at(1));
+    auto sum = b.add(b.add(vb, x), y);
+    b.store(a, B::at(1), b.mul(sum, b.fconst(0.333f)));
+    b.set_phi_update(x, vb);
+    b.set_phi_update(y, x);
+    b.live_out(x);
+    b.live_out(y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s256", "expansion",
+        "a[j] = aa[j][i] - a[j-1]: 1-D recurrence under a 2-D nest");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int a = b.array("a", ScalarType::F32, 0, kR);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    auto x = b.sub(b.load(aa, B::at2(kR, 1)), b.load(a, B::at(1, -1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s257", "expansion",
+        "a[i] = aa[j][i] - a[i-1]; aa[j][i] = a[i] + bb[j][i]");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int a = b.array("a", ScalarType::F32, 0, kR);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    auto x = b.sub(b.load(aa, B::at2(1, kR)), b.load(a, B::at(1, -1)));
+    b.store(a, B::at(1), x);
+    b.store(aa, B::at2(1, kR), b.add(x, b.load(bbm, B::at2(1, kR))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s258", "expansion",
+        "conditional scalar: if (a[i]>0) s = d[i]*d[i]; b[i] = s*c[i]+d[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto s = b.phi(0.0);
+    auto vd = b.load(d, B::at(1));
+    auto mask = b.cmp_gt(b.load(a, B::at(1)), b.fconst(1.5));
+    auto upd = b.select(mask, b.mul(vd, vd), s);
+    b.store(bb, B::at(1), b.fma(upd, b.load(c, B::at(1)), vd));
+    b.store(e, B::at(1), b.mul(b.add(upd, b.fconst(1.0)), vd));
+    b.set_phi_update(s, upd);
+    b.live_out(s);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s261", "expansion",
+        "t = a[i]+b[i]; a[i] = t+c[i-1]; t = c[i]*d[i]; c[i] = t");
+    b.default_n(kN);
+    b.trip({.start = 1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto t1 = b.add(b.load(a, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::at(1), b.add(t1, b.load(c, B::at(1, -1))));
+    auto t2 = b.mul(b.load(c, B::at(1)), b.load(d, B::at(1)));
+    b.store(c, B::at(1), t2);
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

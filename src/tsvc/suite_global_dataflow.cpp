@@ -1,0 +1,120 @@
+// TSVC categories: global data-flow analysis (s131..s152) and the
+// control-flow/dependence-interaction tests s161/s1161/s162.
+//
+// s151/s152 test interprocedural data flow; following what any inlining
+// compiler sees, they are authored in their inlined form.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+constexpr std::int64_t kR = 256;
+constexpr std::int64_t kOuter = 64;
+}  // namespace
+
+void register_global_dataflow(Registry& r) {
+  add(r, [] {
+    B b("s131", "global_dataflow", "m = 1: a[i] = a[i+m] + b[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1, 1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s132", "global_dataflow",
+        "aa[j][i] = aa[k][i-1] + b[i]*c: distinct rows, no carried dep");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    const int aa = b.array("aa", ScalarType::F32, 0, 2 * kR);
+    const int bb = b.array("b", ScalarType::F32, 0, kR);
+    auto x = b.fma(b.load(bb, B::at(1)), b.fconst(2.0),
+                   b.load(aa, B::at(1, kR - 1)));  // row 1, column i-1
+    b.store(aa, B::at(1), x);                       // row 0, column i
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s141", "global_dataflow",
+        "flat[j*R+i] = flat[j*R+i] + bb[j][i] (packed 2-D update)");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int flat = b.array("flat", ScalarType::F32, 0, kOuter * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kOuter * kR);
+    auto x = b.add(b.load(flat, B::at2(1, kR)), b.load(bbm, B::at2(1, kR)));
+    b.store(flat, B::at2(1, kR), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s151", "global_dataflow", "inlined call: a[i] = a[i+1] + b[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1, 1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s152", "global_dataflow",
+        "inlined call writing through a pointer: b[i] = d[i]*e[i]; a[i] += b[i]*c[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto prod = b.mul(b.load(d, B::at(1)), b.load(e, B::at(1)));
+    b.store(bb, B::at(1), prod);
+    auto x = b.fma(prod, b.load(c, B::at(1)), b.load(a, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s161", "global_dataflow",
+        "exclusive branches: one writes a[i], the other c[i+1] (if-converted)");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c", ScalarType::F32, 1, 2),
+              d = b.array("d"), e = b.array("e");
+    auto mask = b.cmp_lt(b.load(bb, B::at(1)), b.fconst(1.5));
+    auto not_mask = b.cmp_ge(b.load(bb, B::at(1)), b.fconst(1.5));
+    auto de = b.mul(b.load(d, B::at(1)), b.load(e, B::at(1)));
+    auto x1 = b.add(b.load(c, B::at(1)), de);
+    b.store(a, B::at(1), x1, not_mask);
+    auto dd = b.mul(b.load(d, B::at(1)), b.load(d, B::at(1)));
+    auto x2 = b.add(b.load(a, B::at(1)), dd);
+    b.store(c, B::at(1, 1), x2, mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1161", "global_dataflow",
+        "exclusive branches writing disjoint arrays (if-converted)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto mask = b.cmp_lt(b.load(c, B::at(1)), b.fconst(1.5));
+    auto not_mask = b.cmp_ge(b.load(c, B::at(1)), b.fconst(1.5));
+    auto de = b.mul(b.load(d, B::at(1)), b.load(e, B::at(1)));
+    auto x1 = b.add(b.load(c, B::at(1)), de);
+    b.store(a, B::at(1), x1, not_mask);
+    auto x2 = b.add(b.load(e, B::at(1)), de);
+    b.store(bb, B::at(1), x2, mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s162", "global_dataflow", "k = 1: a[i] = a[i+k] + b[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1, 1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

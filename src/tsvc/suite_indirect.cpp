@@ -1,0 +1,100 @@
+// TSVC category: indirect addressing (s4112..s4121). Indirect loads become
+// gathers (legal, expensive); indirect stores are rejected (a scatter's
+// write-write conflicts cannot be proven safe).
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ReductionKind;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+}  // namespace
+
+void register_indirect(Registry& r) {
+  add(r, [] {
+    B b("s4112", "indirect", "a[i] += b[ip[i]] * s (gathered axpy)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    const int ip = b.array("ip", ScalarType::I32);
+    auto s = b.param(1.5f);
+    auto idx = b.load(ip, B::at(1));
+    auto x = b.fma(b.load(bb, B::via(idx)), s, b.load(a, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s4113", "indirect", "a[ip[i]] = b[ip[i]] + c[i] (indirect RMW)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    const int ip = b.array("ip", ScalarType::I32);
+    auto idx = b.load(ip, B::at(1));
+    auto x = b.add(b.load(bb, B::via(idx)), b.load(c, B::at(1)));
+    b.store(a, B::via(idx), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s4114", "indirect", "a[i] = b[i] + c[ip[i]] (single gather)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    const int ip = b.array("ip", ScalarType::I32);
+    auto idx = b.load(ip, B::at(1));
+    auto x = b.add(b.load(bb, B::at(1)), b.load(c, B::via(idx)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s4115", "indirect", "sum += a[i] * b[ip[i]] (gathered dot)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    const int ip = b.array("ip", ScalarType::I32);
+    auto sum = b.phi(0.0);
+    auto idx = b.load(ip, B::at(1));
+    auto upd = b.fma(b.load(a, B::at(1)), b.load(bb, B::via(idx)), sum);
+    b.set_phi_update(sum, upd, ReductionKind::Sum);
+    b.live_out(sum);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s4116", "indirect", "sum += a[ip[i]] * aa[j][i] (gather + strided)");
+    b.default_n(kN);
+    const int a = b.array("a"), aa = b.array("aa");
+    const int ip = b.array("ip", ScalarType::I32);
+    auto sum = b.phi(0.0);
+    auto idx = b.load(ip, B::at(1));
+    auto upd = b.fma(b.load(a, B::via(idx)), b.load(aa, B::at(1)), sum);
+    b.set_phi_update(sum, upd, ReductionKind::Sum);
+    b.live_out(sum);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s4117", "indirect", "a[i] = b[i] + c[i/2] (computed subscript)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto half = b.shr(b.indvar(), b.iconst(1));
+    auto x = b.add(b.load(bb, B::at(1)), b.load(c, B::via(half)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s4121", "indirect", "a[i] += b[ip[i]] (plain gather accumulate)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    const int ip = b.array("ip", ScalarType::I32);
+    auto idx = b.load(ip, B::at(1));
+    auto x = b.add(b.load(a, B::at(1)), b.load(bb, B::via(idx)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

@@ -1,0 +1,138 @@
+// TSVC category: induction variable recognition (s121..s128).
+//
+// Auxiliary induction variables that are affine in the loop counter are
+// authored directly as affine subscripts (the recognition TSVC tests for);
+// conditional inductions stay as phi recurrences and are expected to block
+// vectorization, as they do in LLVM.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ReductionKind;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+constexpr std::int64_t kR = 256;
+constexpr std::int64_t kOuter = 64;
+}  // namespace
+
+void register_induction(Registry& r) {
+  add(r, [] {
+    B b("s121", "induction", "j = i+1; a[i] = a[j] + b[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1, 1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s122", "induction", "a[i] += b[n-1-i]: reversed secondary induction");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto x = b.add(b.load(a, B::at(1)), b.load(bb, B::at_n(-1, 1, -1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s123", "induction",
+        "conditionally incremented j indexes the output (phi-carried index)");
+    b.default_n(kN);
+    b.trip({.num = 1, .den = 2});
+    const int a = b.array("a", ScalarType::F32, 2, 2);
+    const int bb = b.array("b"), c = b.array("c"), d = b.array("d"),
+              e = b.array("e");
+    auto j = b.phi(0.0, ScalarType::I64);
+    auto one = b.iconst(1);
+    auto x = b.fma(b.load(d, B::at(1)), b.load(e, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::via(j), x);
+    auto cond = b.cmp_gt(b.load(c, B::at(1)), b.fconst(1.5));
+    auto inc = b.select(cond, b.iconst(2), one);
+    auto jn = b.add(j, inc);
+    b.set_phi_update(j, jn);
+    b.live_out(j);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s124", "induction", "j incremented in both branches, value selected");
+    b.default_n(kN);
+    const int a = b.array("a", ScalarType::F32, 1, 2);
+    const int bb = b.array("b"), c = b.array("c"), d = b.array("d"),
+              e = b.array("e");
+    auto j = b.phi(0.0, ScalarType::I64);
+    auto de = b.mul(b.load(d, B::at(1)), b.load(e, B::at(1)));
+    auto cond = b.cmp_gt(b.load(bb, B::at(1)), b.fconst(1.5));
+    auto v = b.select(cond, b.add(b.load(bb, B::at(1)), de),
+                      b.add(b.load(c, B::at(1)), de));
+    b.store(a, B::via(j), v);
+    auto jn = b.add(j, b.iconst(1));
+    b.set_phi_update(j, jn);
+    b.live_out(j);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s125", "induction", "flat[k++] = aa[i][j] + bb[i][j]*cc[i][j]");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int flat = b.array("flat", ScalarType::F32, 0, kOuter * kR);
+    const int aa = b.array("aa", ScalarType::F32, 0, kOuter * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kOuter * kR);
+    const int cc = b.array("cc", ScalarType::F32, 0, kOuter * kR);
+    auto x = b.fma(b.load(bbm, B::at2(1, kR)), b.load(cc, B::at2(1, kR)),
+                   b.load(aa, B::at2(1, kR)));
+    b.store(flat, B::at2(1, kR), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s126", "induction", "bb[j][i] = bb[j-1][i] + flat[k]*cc[j][i] (column)");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    const int cc = b.array("cc", ScalarType::F32, 0, kR * kR);
+    const int flat = b.array("flat", ScalarType::F32, 0, kR * kR);
+    // inner i walks rows within column j (scale kR); previous-row read.
+    auto x = b.fma(b.load(flat, B::at2(1, kR)), b.load(cc, B::at2(kR, 1)),
+                   b.load(bbm, B::at2(kR, 1, -kR)));
+    b.store(bbm, B::at2(kR, 1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s127", "induction", "a[2i] and a[2i+1] written per iteration");
+    b.default_n(kN);
+    b.trip({.num = 1, .den = 2});
+    const int a = b.array("a", ScalarType::F32, 2, 2);
+    const int bb = b.array("b"), c = b.array("c"), d = b.array("d"),
+              e = b.array("e");
+    auto x1 = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::at(2), x1);
+    auto x2 = b.fma(b.load(d, B::at(1)), b.load(e, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::at(2, 1), x2);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s128", "induction",
+        "coupled inductions: a[i] = b[2i] - d[i]; b[2i] = a[i] + c[2i]");
+    b.default_n(kN);
+    b.trip({.num = 1, .den = 2});
+    const int a = b.array("a");
+    const int bb = b.array("b", ScalarType::F32, 2, 2);
+    const int c = b.array("c", ScalarType::F32, 2, 2);
+    const int d = b.array("d");
+    auto x = b.sub(b.load(bb, B::at(2)), b.load(d, B::at(1)));
+    b.store(a, B::at(1), x);
+    auto y = b.add(x, b.load(c, B::at(2)));
+    b.store(bb, B::at(2), y);
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

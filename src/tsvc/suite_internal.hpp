@@ -1,0 +1,44 @@
+// Internal: per-category registrars implemented in suite_*.cpp.
+#pragma once
+
+#include <vector>
+
+#include "tsvc/kernel.hpp"
+
+namespace veccost::tsvc::detail {
+
+using Registry = std::vector<KernelInfo>;
+
+void register_linear_dependence(Registry& r);
+void register_induction(Registry& r);
+void register_global_dataflow(Registry& r);
+void register_symbolics(Registry& r);
+void register_statement_reordering(Registry& r);
+void register_loop_restructuring(Registry& r);
+void register_node_splitting(Registry& r);
+void register_expansion(Registry& r);
+void register_control_flow(Registry& r);
+void register_crossing_thresholds(Registry& r);
+void register_reductions(Registry& r);
+void register_recurrences(Registry& r);
+void register_search_packing(Registry& r);
+void register_indirect(Registry& r);
+void register_misc(Registry& r);
+void register_vector_idioms(Registry& r);
+
+/// Helper used by every registrar.
+inline void add(Registry& r, std::string name, std::string category,
+                std::string description,
+                std::function<ir::LoopKernel()> build) {
+  r.push_back({std::move(name), std::move(category), std::move(description),
+               std::move(build)});
+}
+
+/// Overload that harvests metadata from the built kernel (builds once to
+/// probe; kernels are cheap to build).
+inline void add(Registry& r, std::function<ir::LoopKernel()> build) {
+  const ir::LoopKernel probe = build();
+  r.push_back({probe.name, probe.category, probe.description, std::move(build)});
+}
+
+}  // namespace veccost::tsvc::detail

@@ -1,0 +1,194 @@
+// TSVC category: linear dependence testing (s111..s1119) plus the classic
+// s000 warm-up loop.
+//
+// Authoring conventions used across all suite files:
+//  * descending C loops are rewritten as ascending loops over reversed
+//    indices (at_n with negative scale);
+//  * triangular 2-D loops (inner bound depends on the outer variable) are
+//    approximated by rectangular nests that preserve the access pattern's
+//    dependence structure — noted per kernel;
+//  * conditional code is authored in if-converted form (compare + select /
+//    predicated store).
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::LoopKernel;
+using ir::ScalarType;
+using ir::TripCount;
+
+namespace {
+constexpr std::int64_t kN = 262144;  // default 1-D problem size (TSVC LEN)
+constexpr std::int64_t kR = 256;    // 2-D row stride (TSVC LEN2)
+constexpr std::int64_t kOuter = 64; // 2-D outer trip count
+}  // namespace
+
+void register_linear_dependence(Registry& r) {
+  add(r, [] {
+    B b("s000", "linear_dependence", "a[i] = b[i] + 1");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(bb, B::at(1)), b.fconst(1.0)));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s111", "linear_dependence", "a[i] = a[i-1] + b[i], odd i only");
+    b.default_n(kN);
+    b.trip({.start = 1, .step = 2});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1, -1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1111", "linear_dependence", "a[2i] = long expression over b,c,d");
+    b.default_n(kN);
+    b.trip({.num = 1, .den = 2});
+    const int a = b.array("a", ScalarType::F32, 2);
+    const int bb = b.array("b"), c = b.array("c"), d = b.array("d");
+    auto vb = b.load(bb, B::at(1));
+    auto vc = b.load(c, B::at(1));
+    auto vd = b.load(d, B::at(1));
+    auto t1 = b.mul(vc, vb);
+    auto t2 = b.mul(vd, vb);
+    auto t3 = b.mul(vc, vc);
+    auto t4 = b.mul(vd, vb);
+    auto t5 = b.mul(vc, vd);
+    auto sum = b.add(b.add(b.add(b.add(t1, t2), t3), t4), t5);
+    b.store(a, B::at(2), sum);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s112", "linear_dependence",
+        "descending a[i+1] = a[i] + b[i] (reversed ascending form)");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b");
+    // i' ascending: a[n-1-i'] = a[n-2-i'] + b[n-2-i']
+    auto x = b.add(b.load(a, B::at_n(-1, 1, -2)), b.load(bb, B::at_n(-1, 1, -2)));
+    b.store(a, B::at_n(-1, 1, -1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1112", "linear_dependence", "reversed copy a[i] = b[i] + 1 (descending)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at_n(-1, 1, -1),
+            b.add(b.load(bb, B::at_n(-1, 1, -1)), b.fconst(1.0)));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s113", "linear_dependence", "a[i] = a[0] + b[i], i >= 1");
+    b.default_n(kN);
+    b.trip({.start = 1});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(0)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1113", "linear_dependence",
+        "a[i] = a[K] + b[i], store range crosses the fixed load");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(0, 256)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s114", "linear_dependence",
+        "transposed 2-D aa[j][i] = aa[i][j] + bb[j][i] (rectangular form)");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    auto x = b.add(b.load(aa, B::at2(kR, 1)), b.load(bbm, B::at2(1, kR)));
+    b.store(aa, B::at2(1, kR), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s115", "linear_dependence",
+        "a[i] -= aa[j][i] * a[j]: inner write feeds outer-indexed read");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int a = b.array("a", ScalarType::F32, 0, kR);
+    const int aa = b.array("aa", ScalarType::F32, 0, kOuter * kR);
+    auto aj = b.load(a, B::at2(0, 1));  // a[j]: invariant address per inner loop
+    auto prod = b.mul(b.load(aa, B::at2(1, kR)), aj);
+    b.store(a, B::at(1), b.sub(b.load(a, B::at(1)), prod));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1115", "linear_dependence",
+        "aa[i][j] = aa[i][j]*cc[j][i] + bb[i][j]: row RMW with transposed read");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kOuter * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kOuter * kR);
+    const int cc = b.array("cc", ScalarType::F32, 0, kR * kR);
+    auto x = b.fma(b.load(aa, B::at2(1, kR)), b.load(cc, B::at2(kR, 1)),
+                   b.load(bbm, B::at2(1, kR)));
+    b.store(aa, B::at2(1, kR), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s116", "linear_dependence", "5-statement unrolled a[i] = a[i+1]*a[i]");
+    b.default_n(kN);
+    b.trip({.step = 5, .offset = -5});
+    const int a = b.array("a", ScalarType::F32, 1, 8);
+    for (int u = 0; u < 5; ++u) {
+      auto x = b.mul(b.load(a, B::at(1, u + 1)), b.load(a, B::at(1, u)));
+      b.store(a, B::at(1, u), x);
+    }
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s118", "linear_dependence",
+        "a[i] += bb[j][i] * a[i-j+K]: outer-variable offset on a");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int a = b.array("a", ScalarType::F32, 0, kR + kOuter + 1);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kOuter * kR);
+    auto prod =
+        b.mul(b.load(bbm, B::at2(1, kR)), b.load(a, B::at2(1, -1, kOuter)));
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1)), prod));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s119", "linear_dependence", "aa[i][j] = aa[i-1][j-1] + bb[i][j]");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, (kOuter + 1) * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, (kOuter + 1) * kR);
+    // Outer index shifted by +1 row so aa[i-1][j-1] stays in bounds at j=0.
+    auto x = b.add(b.load(aa, B::at2(1, kR, kR - kR - 1)),  // aa[(j)R + i - 1]
+                   b.load(bbm, B::at2(1, kR, kR)));
+    b.store(aa, B::at2(1, kR, kR), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1119", "linear_dependence", "aa[i][j] = aa[i-1][j] + bb[i][j]");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, (kOuter + 1) * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, (kOuter + 1) * kR);
+    auto x = b.add(b.load(aa, B::at2(1, kR, 0)),  // previous row, same column
+                   b.load(bbm, B::at2(1, kR, kR)));
+    b.store(aa, B::at2(1, kR, kR), x);
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

@@ -1,0 +1,157 @@
+// TSVC categories: loop interchange (s231..s235) and loop rerolling
+// (s351..s353). Interchange kernels carry their dependence along the inner
+// loop (vectorizable only after interchanging, which we — like LLVM's LLV —
+// do not do), except the dependence-free column traversals s1232/s2233-row.
+// Rerolling kernels are authored as their unrolled sources.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ReductionKind;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+constexpr std::int64_t kR = 256;
+constexpr std::int64_t kOuter = 64;
+}  // namespace
+
+void register_loop_restructuring(Registry& r) {
+  add(r, [] {
+    B b("s231", "loop_interchange", "aa[j][i] = aa[j-1][i] + bb[j][i], inner j");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    auto x = b.add(b.load(aa, B::at2(kR, 1, -kR)), b.load(bbm, B::at2(kR, 1)));
+    b.store(aa, B::at2(kR, 1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s232", "loop_interchange",
+        "aa[i][j] = aa[i-1][j]*aa[i-1][j] + bb[i][j], inner i walks rows");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    auto prev = b.load(aa, B::at2(kR, 1, -kR));
+    auto x = b.fma(prev, prev, b.load(bbm, B::at2(kR, 1)));
+    b.store(aa, B::at2(kR, 1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1232", "loop_interchange",
+        "aa[i][j] = bb[i][j] + cc[i][j], column-major traversal, no dep");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    const int cc = b.array("cc", ScalarType::F32, 0, kR * kR);
+    auto x = b.add(b.load(bbm, B::at2(kR, 1)), b.load(cc, B::at2(kR, 1)));
+    b.store(aa, B::at2(kR, 1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s233", "loop_interchange",
+        "aa[j][i] = aa[j-1][i] + cc[j][i]; bb[j][i] = bb[j][i-1] + cc[j][i]");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    const int cc = b.array("cc", ScalarType::F32, 0, kR * kR);
+    auto x = b.add(b.load(aa, B::at2(kR, 1, -kR)), b.load(cc, B::at2(kR, 1)));
+    b.store(aa, B::at2(kR, 1), x);
+    auto y = b.add(b.load(bbm, B::at2(kR, 1, -kR)), b.load(cc, B::at2(kR, 1)));
+    b.store(bbm, B::at2(kR, 1), y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2233", "loop_interchange",
+        "aa carried along inner loop; bb carried along outer loop only");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, (kOuter + 1) * kR);
+    const int cc = b.array("cc", ScalarType::F32, 0, kR * kR);
+    auto x = b.add(b.load(aa, B::at2(kR, 1, -kR)), b.load(cc, B::at2(kR, 1)));
+    b.store(aa, B::at2(kR, 1), x);
+    auto y = b.add(b.load(bbm, B::at2(1, kR, 0)), b.load(cc, B::at2(1, kR)));
+    b.store(bbm, B::at2(1, kR, kR), y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s235", "loop_interchange",
+        "aa[j][i] = aa[j-1][i] + bb[j][i]*a[i]: carried along inner j");
+    b.trip({.start = 1, .num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int a = b.array("a", ScalarType::F32, 0, kOuter);
+    const int aa = b.array("aa", ScalarType::F32, 0, kR * kR);
+    const int bbm = b.array("bb", ScalarType::F32, 0, kR * kR);
+    auto ai = b.load(a, B::at2(0, 1));  // a[j]: inner-invariant
+    auto x = b.fma(b.load(bbm, B::at2(kR, 1)), ai, b.load(aa, B::at2(kR, 1, -kR)));
+    b.store(aa, B::at2(kR, 1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s351", "loop_rerolling", "5x unrolled a[i] += alpha * b[i]");
+    b.default_n(kN);
+    b.trip({.step = 5});
+    const int a = b.array("a", ScalarType::F32, 1, 8);
+    const int bb = b.array("b", ScalarType::F32, 1, 8);
+    auto alpha = b.param(1.5f);
+    for (int u = 0; u < 5; ++u) {
+      auto x = b.fma(alpha, b.load(bb, B::at(1, u)), b.load(a, B::at(1, u)));
+      b.store(a, B::at(1, u), x);
+    }
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1351", "loop_rerolling", "streamed a[i] = b[i] + c[i] via pointers");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    b.store(a, B::at(1), b.add(b.load(bb, B::at(1)), b.load(c, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s352", "loop_rerolling", "5x unrolled dot product");
+    b.default_n(kN);
+    b.trip({.step = 5});
+    const int a = b.array("a", ScalarType::F32, 1, 8);
+    const int bb = b.array("b", ScalarType::F32, 1, 8);
+    auto dot = b.phi(0.0);
+    ir::Val acc = dot;
+    for (int u = 0; u < 5; ++u)
+      acc = b.fma(b.load(a, B::at(1, u)), b.load(bb, B::at(1, u)), acc);
+    b.set_phi_update(dot, acc, ReductionKind::Sum);
+    b.live_out(dot);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s353", "loop_rerolling", "4x unrolled gathered axpy via index array");
+    b.default_n(kN);
+    b.trip({.step = 4});
+    const int a = b.array("a", ScalarType::F32, 1, 8);
+    const int bb = b.array("b", ScalarType::F32, 1, 8);
+    const int ip = b.array("ip", ScalarType::I32, 1, 8);
+    auto alpha = b.param(1.5f);
+    for (int u = 0; u < 4; ++u) {
+      auto idx = b.load(ip, B::at(1, u));
+      auto x = b.fma(alpha, b.load(bb, B::via(idx)), b.load(a, B::at(1, u)));
+      b.store(a, B::at(1, u), x);
+    }
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

@@ -1,0 +1,137 @@
+// TSVC categories: storage classes / equivalencing (s421..s424) and
+// parameters, non-logical ifs and intrinsics (s431..s453). Equivalenced
+// (aliased) arrays are authored as accesses into one buffer at the aliased
+// offsets, which is exactly what the alias resolves to.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+}  // namespace
+
+void register_misc(Registry& r) {
+  add(r, [] {
+    B b("s421", "equivalencing", "xx = a (alias): a[i] = a[i+1] + b[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1, 1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1421", "equivalencing", "b aliases b+n/2: b[i] = b[i+512] + a[i]");
+    b.default_n(kN);
+    b.trip({.num = 1, .den = 2});
+    const int a = b.array("a");
+    const int bb = b.array("b", ScalarType::F32, 1, 512);
+    b.store(bb, B::at(1), b.add(b.load(bb, B::at(1, 512)), b.load(a, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s422", "equivalencing", "overlap at +4: a[i] = a[i+4] + b[i]");
+    b.default_n(kN);
+    const int a = b.array("a", ScalarType::F32, 1, 8);
+    const int bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1, 4)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s423", "equivalencing", "overlap at -4 ahead: a[i+4] = a[i] + b[i]");
+    b.default_n(kN);
+    const int a = b.array("a", ScalarType::F32, 1, 8);
+    const int bb = b.array("b");
+    b.store(a, B::at(1, 4), b.add(b.load(a, B::at(1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s424", "equivalencing", "write one past the read window: x[i+1] = x[i] + b[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int x = b.array("x", ScalarType::F32, 1, 2);
+    const int bb = b.array("b");
+    b.store(x, B::at(1, 1), b.add(b.load(x, B::at(1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s431", "parameters", "k = 2*n - n... resolves to 1: a[i] = a[i+1] + b[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1, 1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s442", "non_logical_if", "4-way switch on indx[i] (nested selects)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    const int indx = b.array("indx", ScalarType::I32);
+    auto sel = b.load(indx, B::at(1));
+    auto vb = b.load(bb, B::at(1));
+    auto vc = b.load(c, B::at(1));
+    auto vd = b.load(d, B::at(1));
+    auto ve = b.load(e, B::at(1));
+    auto c1 = b.cmp_le(sel, b.iconst(1, ScalarType::I32));
+    auto c2 = b.cmp_le(sel, b.iconst(2, ScalarType::I32));
+    auto c3 = b.cmp_le(sel, b.iconst(3, ScalarType::I32));
+    auto arm = b.select(
+        c1, b.mul(vb, vb),
+        b.select(c2, b.mul(vc, vc), b.select(c3, b.mul(vd, vd), b.mul(ve, ve))));
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1)), arm));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s443", "non_logical_if", "two-branch arithmetic if folding to one statement");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto vd = b.load(d, B::at(1));
+    auto mask = b.cmp_le(vd, b.fconst(1.5));
+    auto t1 = b.mul(b.load(bb, B::at(1)), b.load(c, B::at(1)));
+    auto t2 = b.mul(b.load(bb, B::at(1)), b.load(bb, B::at(1)));
+    auto arm = b.select(mask, t1, t2);
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1)), arm));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s451", "intrinsics", "a[i] = sqrt(b[i]) + c[i] (libm call in source)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    b.store(a, B::at(1), b.add(b.sqrt(b.load(bb, B::at(1))), b.load(c, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s452", "intrinsics", "a[i] = b[i] + c[i] * (i + 1)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto fi = b.convert(b.add(b.indvar(), b.iconst(1)), ScalarType::F32);
+    b.store(a, B::at(1), b.fma(b.load(c, B::at(1)), fi, b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s453", "intrinsics", "s += 2 induction: a[i] = s * b[i], s = 2(i+1)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto s = b.mul(b.convert(b.add(b.indvar(), b.iconst(1)), ScalarType::F32),
+                   b.fconst(2.0));
+    b.store(a, B::at(1), b.mul(s, b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

@@ -1,0 +1,109 @@
+// TSVC category: node splitting (s241..s2244). Most of these loops carry a
+// one-iteration dependence that node splitting would break; without that
+// transform they stay scalar. s2244's output dependence is lexically forward
+// and vectorizes as-is.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+}  // namespace
+
+void register_node_splitting(Registry& r) {
+  add(r, [] {
+    B b("s241", "node_splitting",
+        "a[i] = b[i]*c[i]*d[i]; b[i] = a[i]*a[i+1]*d[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto x = b.mul(b.mul(b.load(bb, B::at(1)), b.load(c, B::at(1))),
+                   b.load(d, B::at(1)));
+    b.store(a, B::at(1), x);
+    auto y = b.mul(b.mul(x, b.load(a, B::at(1, 1))), b.load(d, B::at(1)));
+    b.store(bb, B::at(1), y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s242", "node_splitting", "a[i] = a[i-1] + s1 + s2 + b[i] + c[i] + d[i]");
+    b.default_n(kN);
+    b.trip({.start = 1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto s1 = b.param(1.0f), s2 = b.param(2.0f);
+    auto x = b.add(b.add(b.add(b.add(b.add(b.load(a, B::at(1, -1)), s1), s2),
+                               b.load(bb, B::at(1))),
+                         b.load(c, B::at(1))),
+                   b.load(d, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s243", "node_splitting",
+        "a[i] = b[i]+c[i]*d[i]; b[i] = a[i]+d[i]*e[i]; a[i] = b[i]+a[i+1]*d[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto x = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::at(1), x);
+    auto y = b.fma(b.load(d, B::at(1)), b.load(e, B::at(1)), x);
+    b.store(bb, B::at(1), y);
+    auto z = b.fma(b.load(a, B::at(1, 1)), b.load(d, B::at(1)), y);
+    b.store(a, B::at(1), z);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s244", "node_splitting",
+        "a[i] = b[i]+c[i]*d[i]; b[i] = c[i]+b[i]; a[i+1] = b[i]+a[i+1]*d[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto x = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::at(1), x);
+    auto y = b.add(b.load(c, B::at(1)), b.load(bb, B::at(1)));
+    b.store(bb, B::at(1), y);
+    auto z = b.fma(b.load(a, B::at(1, 1)), b.load(d, B::at(1)), y);
+    b.store(a, B::at(1, 1), z);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1244", "node_splitting",
+        "a[i] = b[i]+c[i]*c[i]+b[i]*b[i]+c[i]; d[i] = a[i] + a[i+1]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto vb = b.load(bb, B::at(1));
+    auto vc = b.load(c, B::at(1));
+    auto x = b.add(b.add(b.add(vb, b.mul(vc, vc)), b.mul(vb, vb)), vc);
+    b.store(a, B::at(1), x);
+    auto y = b.add(x, b.load(a, B::at(1, 1)));
+    b.store(d, B::at(1), y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s2244", "node_splitting",
+        "a[i+1] = b[i]+e[i]; a[i] = b[i]+c[i]: forward output dependence");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              e = b.array("e");
+    b.store(a, B::at(1, 1), b.add(b.load(bb, B::at(1)), b.load(e, B::at(1))));
+    b.store(a, B::at(1), b.add(b.load(bb, B::at(1)), b.load(c, B::at(1))));
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

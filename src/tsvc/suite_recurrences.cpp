@@ -1,0 +1,53 @@
+// TSVC category: first- and second-order memory recurrences (s321..s323).
+// All three carry a distance-1 dependence through an array and stay scalar.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+}  // namespace
+
+void register_recurrences(Registry& r) {
+  add(r, [] {
+    B b("s321", "recurrences", "a[i] += a[i-1] * b[i]");
+    b.default_n(kN);
+    b.trip({.start = 1});
+    const int a = b.array("a"), bb = b.array("b");
+    auto x = b.fma(b.load(a, B::at(1, -1)), b.load(bb, B::at(1)),
+                   b.load(a, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s322", "recurrences", "a[i] += a[i-1]*b[i] + a[i-2]*c[i] (second order)");
+    b.default_n(kN);
+    b.trip({.start = 2});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto t1 = b.mul(b.load(a, B::at(1, -1)), b.load(bb, B::at(1)));
+    auto t2 = b.mul(b.load(a, B::at(1, -2)), b.load(c, B::at(1)));
+    b.store(a, B::at(1), b.add(b.add(b.load(a, B::at(1)), t1), t2));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s323", "recurrences", "coupled: a[i] = b[i-1]+...; b[i] = a[i]+...");
+    b.default_n(kN);
+    b.trip({.start = 1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto x = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)),
+                   b.load(bb, B::at(1, -1)));
+    b.store(a, B::at(1), x);
+    auto y = b.fma(b.load(c, B::at(1)), b.load(e, B::at(1)), x);
+    b.store(bb, B::at(1), y);
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

@@ -1,0 +1,216 @@
+// TSVC category: reductions (s311..s3113). Sum/product/min/max reductions
+// vectorize with vector accumulators; argmin/argmax index recurrences and the
+// running-sum store (a scan, s3112) must be rejected.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ReductionKind;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+}  // namespace
+
+void register_reductions(Registry& r) {
+  add(r, [] {
+    B b("s311", "reductions", "sum += a[i]");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto sum = b.phi(0.0);
+    auto upd = b.add(sum, b.load(a, B::at(1)));
+    b.set_phi_update(sum, upd, ReductionKind::Sum);
+    b.live_out(sum);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s31111", "reductions", "partially unrolled sum of 4 terms");
+    b.default_n(kN);
+    b.trip({.step = 4});
+    const int a = b.array("a", ScalarType::F32, 1, 4);
+    auto sum = b.phi(0.0);
+    ir::Val acc = sum;
+    for (int u = 0; u < 4; ++u) acc = b.add(acc, b.load(a, B::at(1, u)));
+    b.set_phi_update(sum, acc, ReductionKind::Sum);
+    b.live_out(sum);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s312", "reductions", "prod *= 0.667*a[i] (factors near 1 keep the product finite)");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto prod = b.phi(1.0);
+    auto upd = b.mul(prod, b.mul(b.load(a, B::at(1)), b.fconst(0.667f)));
+    b.set_phi_update(prod, upd, ReductionKind::Prod);
+    b.live_out(prod);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s313", "reductions", "dot += a[i] * b[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto dot = b.phi(0.0);
+    auto upd = b.fma(b.load(a, B::at(1)), b.load(bb, B::at(1)), dot);
+    b.set_phi_update(dot, upd, ReductionKind::Sum);
+    b.live_out(dot);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s314", "reductions", "x = max(x, a[i])");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto x = b.phi(0.0);
+    auto upd = b.max(x, b.load(a, B::at(1)));
+    b.set_phi_update(x, upd, ReductionKind::Max);
+    b.live_out(x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s315", "reductions", "argmax: value and index recurrence");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto x = b.phi(-1.0);
+    auto k = b.phi(0.0, ScalarType::I64);
+    auto va = b.load(a, B::at(1));
+    auto gt = b.cmp_gt(va, x);
+    auto xn = b.select(gt, va, x);
+    auto kn = b.select(gt, b.indvar(), k);
+    b.set_phi_update(x, xn, ReductionKind::Max);
+    b.set_phi_update(k, kn);
+    b.live_out(x);
+    b.live_out(k);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s316", "reductions", "x = min(x, a[i])");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto x = b.phi(1e30);
+    auto upd = b.min(x, b.load(a, B::at(1)));
+    b.set_phi_update(x, upd, ReductionKind::Min);
+    b.live_out(x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s317", "reductions", "q *= 0.99 every iteration (power induction)");
+    b.default_n(kN);
+    const int a = b.array("a");  // unused data keeps the workload comparable
+    auto q = b.phi(1.0);
+    (void)b.load(a, B::at(1));
+    auto upd = b.mul(q, b.fconst(0.99f));
+    b.set_phi_update(q, upd, ReductionKind::Prod);
+    b.live_out(q);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s318", "reductions", "argmax of |a[i]| with index (inc = 1)");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto x = b.phi(-1.0);
+    auto k = b.phi(0.0, ScalarType::I64);
+    auto va = b.abs(b.load(a, B::at(1)));
+    auto gt = b.cmp_gt(va, x);
+    auto xn = b.select(gt, va, x);
+    auto kn = b.select(gt, b.indvar(), k);
+    b.set_phi_update(x, xn, ReductionKind::Max);
+    b.set_phi_update(k, kn);
+    b.live_out(x);
+    b.live_out(k);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s319", "reductions",
+        "coupled sums: a[i] = c[i]+d[i]; sum += a[i]; b[i] = c[i]+e[i]; sum += b[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto sum = b.phi(0.0);
+    auto av = b.add(b.load(c, B::at(1)), b.load(d, B::at(1)));
+    b.store(a, B::at(1), av);
+    auto s1 = b.add(sum, av);
+    auto bv = b.add(b.load(c, B::at(1)), b.load(e, B::at(1)));
+    b.store(bb, B::at(1), bv);
+    auto s2 = b.add(s1, bv);
+    b.set_phi_update(sum, s2, ReductionKind::Sum);
+    b.live_out(sum);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s3110", "reductions", "2-D argmax over aa (flattened scan)");
+    b.default_n(kN);
+    const int aa = b.array("aa");
+    auto x = b.phi(-1.0);
+    auto k = b.phi(0.0, ScalarType::I64);
+    auto v = b.load(aa, B::at(1));
+    auto gt = b.cmp_gt(v, x);
+    auto xn = b.select(gt, v, x);
+    auto kn = b.select(gt, b.indvar(), k);
+    b.set_phi_update(x, xn, ReductionKind::Max);
+    b.set_phi_update(k, kn);
+    b.live_out(x);
+    b.live_out(k);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s13110", "reductions", "2-D max without index (vectorizable variant)");
+    b.default_n(kN);
+    const int aa = b.array("aa");
+    auto x = b.phi(-1.0);
+    auto upd = b.max(x, b.load(aa, B::at(1)));
+    b.set_phi_update(x, upd, ReductionKind::Max);
+    b.live_out(x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s3111", "reductions", "conditional sum: if (a[i] > 0) sum += a[i]");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto sum = b.phi(0.0);
+    auto va = b.load(a, B::at(1));
+    auto mask = b.cmp_gt(va, b.fconst(1.5));
+    auto added = b.add(sum, va);
+    auto upd = b.select(mask, added, sum);
+    b.set_phi_update(sum, upd, ReductionKind::Sum);
+    b.live_out(sum);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s3112", "reductions", "running sum stored: sum += a[i]; b[i] = sum (a scan)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto sum = b.phi(0.0);
+    auto upd = b.add(sum, b.load(a, B::at(1)));
+    b.store(bb, B::at(1), upd);
+    b.set_phi_update(sum, upd, ReductionKind::Sum);
+    b.live_out(sum);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s3113", "reductions", "max of |a[i]| (no index)");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto x = b.phi(0.0);
+    auto upd = b.max(x, b.abs(b.load(a, B::at(1))));
+    b.set_phi_update(x, upd, ReductionKind::Max);
+    b.live_out(x);
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

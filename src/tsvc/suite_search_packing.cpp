@@ -1,0 +1,130 @@
+// TSVC categories: search loops (s331, s332), packing (s341..s343), loops
+// with calls (s471) and early exits (s481, s482), and indirect-store s491.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+}  // namespace
+
+void register_search_packing(Registry& r) {
+  add(r, [] {
+    B b("s331", "search", "j = last index with a[i] < 0 (index recurrence)");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto j = b.phi(-1.0, ScalarType::I64);
+    auto mask = b.cmp_lt(b.load(a, B::at(1)), b.fconst(1.5));
+    auto jn = b.select(mask, b.indvar(), j);
+    b.set_phi_update(j, jn);
+    b.live_out(j);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s332", "search", "first value > threshold: early exit (break)");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto t = b.param(1.99f);
+    auto mask = b.cmp_gt(b.load(a, B::at(1)), t);
+    b.brk(mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s341", "packing", "pack positive b into a: a[j++] = b[i] if b[i] > 0");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto j = b.phi(0.0, ScalarType::I64);
+    auto vb = b.load(bb, B::at(1));
+    auto mask = b.cmp_gt(vb, b.fconst(1.5));
+    b.store(a, B::via(j), vb, mask);
+    auto jn = b.add(j, b.select(mask, b.iconst(1), b.iconst(0)));
+    b.set_phi_update(j, jn);
+    b.live_out(j);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s342", "packing", "unpack a into sparse positions of b");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto j = b.phi(0.0, ScalarType::I64);
+    auto va = b.load(a, B::at(1));
+    auto mask = b.cmp_gt(va, b.fconst(1.5));
+    auto packed = b.load(bb, B::via(j), mask);
+    b.store(a, B::at(1), packed, mask);
+    auto jn = b.add(j, b.select(mask, b.iconst(1), b.iconst(0)));
+    b.set_phi_update(j, jn);
+    b.live_out(j);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s343", "packing", "pack 2-D guarded elements into a flat array");
+    b.default_n(kN);
+    const int flat = b.array("flat"), aa = b.array("aa"), bbm = b.array("bb");
+    auto j = b.phi(0.0, ScalarType::I64);
+    auto v = b.load(aa, B::at(1));
+    auto mask = b.cmp_gt(b.load(bbm, B::at(1)), b.fconst(1.5));
+    b.store(flat, B::via(j), v, mask);
+    auto jn = b.add(j, b.select(mask, b.iconst(1), b.iconst(0)));
+    b.set_phi_update(j, jn);
+    b.live_out(j);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s471", "calls", "x[i] = b[i] + d[i]*d[i]; call; b[i] = c[i] + d[i]*e[i]");
+    b.default_n(kN);
+    const int x = b.array("x"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto vd = b.load(d, B::at(1));
+    b.store(x, B::at(1), b.fma(vd, vd, b.load(bb, B::at(1))));
+    b.store(bb, B::at(1),
+            b.fma(vd, b.load(e, B::at(1)), b.load(c, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s481", "early_exit", "if (d[i] < 0) exit; a[i] += b[i]*c[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto mask = b.cmp_lt(b.load(d, B::at(1)), b.fconst(0.0));
+    b.brk(mask);
+    auto v = b.fma(b.load(bb, B::at(1)), b.load(c, B::at(1)), b.load(a, B::at(1)));
+    b.store(a, B::at(1), v);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s482", "early_exit", "a[i] += b[i]*c[i]; if (c[i] > b[i]) break");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto vb = b.load(bb, B::at(1));
+    auto vc = b.load(c, B::at(1));
+    b.store(a, B::at(1), b.fma(vb, vc, b.load(a, B::at(1))));
+    auto mask = b.cmp_gt(vc, b.add(vb, b.fconst(1.0)));
+    b.brk(mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s491", "packing", "a[ip[i]] = b[i] + c[i]*d[i] (indirect store)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    const int ip = b.array("ip", ScalarType::I32);
+    auto idx = b.load(ip, B::at(1));
+    auto v = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)), b.load(bb, B::at(1)));
+    b.store(a, B::via(idx), v);
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

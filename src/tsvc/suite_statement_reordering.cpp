@@ -1,0 +1,100 @@
+// TSVC categories: statement reordering (s211, s212, s1213) and loop
+// distribution (s221, s222). These kernels vectorize only if the compiler
+// reorders or distributes statements; neither our vectorizer nor LLVM's LLV
+// does, so the expected outcome is rejection for all five.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+}  // namespace
+
+void register_statement_reordering(Registry& r) {
+  add(r, [] {
+    B b("s211", "statement_reordering",
+        "a[i] = b[i-1] + c[i]*d[i]; b[i] = b[i+1] - e[i]*d[i]");
+    b.default_n(kN);
+    b.trip({.start = 1, .offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d"), e = b.array("e");
+    auto x = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)),
+                   b.load(bb, B::at(1, -1)));
+    b.store(a, B::at(1), x);
+    auto y = b.sub(b.load(bb, B::at(1, 1)),
+                   b.mul(b.load(e, B::at(1)), b.load(d, B::at(1))));
+    b.store(bb, B::at(1), y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s212", "statement_reordering", "a[i] *= c[i]; b[i] += a[i+1]*d[i]");
+    b.default_n(kN);
+    b.trip({.offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    b.store(a, B::at(1), b.mul(b.load(a, B::at(1)), b.load(c, B::at(1))));
+    auto y = b.fma(b.load(a, B::at(1, 1)), b.load(d, B::at(1)),
+                   b.load(bb, B::at(1)));
+    b.store(bb, B::at(1), y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1213", "statement_reordering",
+        "a[i] = b[i-1] + c[i]; b[i] = a[i+1]*d[i]");
+    b.default_n(kN);
+    b.trip({.start = 1, .offset = -1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto x = b.add(b.load(bb, B::at(1, -1)), b.load(c, B::at(1)));
+    b.store(a, B::at(1), x);
+    auto y = b.mul(b.load(a, B::at(1, 1)), b.load(d, B::at(1)));
+    b.store(bb, B::at(1), y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s221", "loop_distribution", "a[i] += c[i]*d[i]; b[i] = b[i-1] + a[i] + d[i]");
+    b.default_n(kN);
+    b.trip({.start = 1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              d = b.array("d");
+    auto x = b.fma(b.load(c, B::at(1)), b.load(d, B::at(1)), b.load(a, B::at(1)));
+    b.store(a, B::at(1), x);
+    auto y = b.add(b.add(b.load(bb, B::at(1, -1)), x), b.load(d, B::at(1)));
+    b.store(bb, B::at(1), y);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s1221", "loop_distribution",
+        "b[i] = b[i-4] + a[i]: distance-4 dependence allows partial VF <= 4");
+    b.default_n(kN);
+    b.trip({.start = 4});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(bb, B::at(1), b.add(b.load(bb, B::at(1, -4)), b.load(a, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s222", "loop_distribution",
+        "a[i] += b[i]*c[i]; e[i] = e[i-1]*e[i-1]; a[i] -= b[i]*c[i]");
+    b.default_n(kN);
+    b.trip({.start = 1});
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c"),
+              e = b.array("e");
+    auto bc = b.mul(b.load(bb, B::at(1)), b.load(c, B::at(1)));
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1)), bc));
+    auto em1 = b.load(e, B::at(1, -1));
+    b.store(e, B::at(1), b.mul(em1, em1));
+    b.store(a, B::at(1), b.sub(b.add(b.load(a, B::at(1)), bc), bc));
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

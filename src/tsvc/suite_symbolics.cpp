@@ -1,0 +1,82 @@
+// TSVC category: symbolic resolution (s171..s176) — strides, offsets and
+// bounds that are symbolic in the source but resolvable at compile time.
+// Symbolic values take their TSVC defaults (inc = 2, k = n/2 modeled as a
+// fixed 512-element shift, m = n/2 modeled as a fixed-size nest).
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+constexpr std::int64_t kR = 256;
+constexpr std::int64_t kOuter = 64;
+}  // namespace
+
+void register_symbolics(Registry& r) {
+  add(r, [] {
+    B b("s171", "symbolics", "a[i*inc] += b[i], inc = 2");
+    b.default_n(kN);
+    const int a = b.array("a", ScalarType::F32, 2);
+    const int bb = b.array("b");
+    auto x = b.add(b.load(a, B::at(2)), b.load(bb, B::at(1)));
+    b.store(a, B::at(2), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s172", "symbolics", "for (i = n1-1; i < n; i += n3) a[i] += b[i], n3 = 2");
+    b.default_n(kN);
+    b.trip({.step = 2});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s173", "symbolics", "a[i+k] = a[i] + b[i], k = 512");
+    b.default_n(kN);
+    b.trip({.num = 1, .den = 2});
+    const int a = b.array("a", ScalarType::F32, 1, 512);
+    const int bb = b.array("b");
+    b.store(a, B::at(1, 512), b.add(b.load(a, B::at(1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s174", "symbolics", "a[i+m] = a[i] + b[i], m symbolic but constant");
+    b.default_n(kN);
+    b.trip({.num = 1, .den = 2});
+    const int a = b.array("a", ScalarType::F32, 1, 1024);
+    const int bb = b.array("b");
+    b.store(a, B::at(1, 1024), b.add(b.load(a, B::at(1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s175", "symbolics", "a[i] = a[i+inc] + b[i], inc = 2, stride-2 loop");
+    b.default_n(kN);
+    b.trip({.step = 2, .offset = -2});
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1, 2)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("s176", "symbolics", "convolution: a[i] += b[i+m-j-1] * c[j]");
+    b.trip({.num = 0, .offset = kR});
+    b.outer(kOuter);
+    const int a = b.array("a", ScalarType::F32, 0, kR);
+    const int bb = b.array("b", ScalarType::F32, 0, kR + kOuter);
+    const int c = b.array("c", ScalarType::F32, 0, kOuter);
+    auto cj = b.load(c, B::at2(0, 1));  // c[j]: invariant in the inner loop
+    auto x = b.fma(b.load(bb, B::at2(1, -1, kOuter - 1)), cj, b.load(a, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

@@ -1,0 +1,149 @@
+// TSVC category: vector idioms (va..vbor) — the control loops used to
+// calibrate what plain streaming kernels achieve.
+#include "ir/builder.hpp"
+#include "tsvc/suite_internal.hpp"
+
+namespace veccost::tsvc::detail {
+
+using B = ir::LoopBuilder;
+using ir::ReductionKind;
+using ir::ScalarType;
+
+namespace {
+constexpr std::int64_t kN = 262144;
+}  // namespace
+
+void register_vector_idioms(Registry& r) {
+  add(r, [] {
+    B b("va", "vector_idioms", "a[i] = b[i] (copy)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.load(bb, B::at(1)));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vag", "vector_idioms", "a[i] = b[ip[i]] (gather)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    const int ip = b.array("ip", ScalarType::I32);
+    auto idx = b.load(ip, B::at(1));
+    b.store(a, B::at(1), b.load(bb, B::via(idx)));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vas", "vector_idioms", "a[ip[i]] = b[i] (scatter)");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    const int ip = b.array("ip", ScalarType::I32);
+    auto idx = b.load(ip, B::at(1));
+    b.store(a, B::via(idx), b.load(bb, B::at(1)));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vif", "vector_idioms", "if (b[i] > 0) a[i] = b[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto vb = b.load(bb, B::at(1));
+    auto mask = b.cmp_gt(vb, b.fconst(1.5));
+    b.store(a, B::at(1), vb, mask);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vpv", "vector_idioms", "a[i] += b[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.add(b.load(a, B::at(1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vtv", "vector_idioms", "a[i] *= b[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    b.store(a, B::at(1), b.mul(b.load(a, B::at(1)), b.load(bb, B::at(1))));
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vpvtv", "vector_idioms", "a[i] += b[i] * c[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto x = b.fma(b.load(bb, B::at(1)), b.load(c, B::at(1)), b.load(a, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vpvts", "vector_idioms", "a[i] += b[i] * s");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto s = b.param(1.5f);
+    auto x = b.fma(b.load(bb, B::at(1)), s, b.load(a, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vpvpv", "vector_idioms", "a[i] += b[i] + c[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto x = b.add(b.add(b.load(a, B::at(1)), b.load(bb, B::at(1))),
+                   b.load(c, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vtvtv", "vector_idioms", "a[i] = a[i] * b[i] * c[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+    auto x = b.mul(b.mul(b.load(a, B::at(1)), b.load(bb, B::at(1))),
+                   b.load(c, B::at(1)));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vsumr", "vector_idioms", "sum += a[i]");
+    b.default_n(kN);
+    const int a = b.array("a");
+    auto sum = b.phi(0.0);
+    auto upd = b.add(sum, b.load(a, B::at(1)));
+    b.set_phi_update(sum, upd, ReductionKind::Sum);
+    b.live_out(sum);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vdotr", "vector_idioms", "dot += a[i] * b[i]");
+    b.default_n(kN);
+    const int a = b.array("a"), bb = b.array("b");
+    auto dot = b.phi(0.0);
+    auto upd = b.fma(b.load(a, B::at(1)), b.load(bb, B::at(1)), dot);
+    b.set_phi_update(dot, upd, ReductionKind::Sum);
+    b.live_out(dot);
+    return std::move(b).finish();
+  });
+
+  add(r, [] {
+    B b("vbor", "vector_idioms", "integer and/or/xor over five inputs");
+    b.default_n(kN);
+    const int a = b.array("a", ScalarType::I32), bb = b.array("b", ScalarType::I32),
+              c = b.array("c", ScalarType::I32), d = b.array("d", ScalarType::I32),
+              e = b.array("e", ScalarType::I32);
+    auto vb = b.load(bb, B::at(1));
+    auto vc = b.load(c, B::at(1));
+    auto vd = b.load(d, B::at(1));
+    auto ve = b.load(e, B::at(1));
+    auto x = b.bit_xor(b.bit_or(b.bit_and(vb, vc), b.bit_and(vd, ve)),
+                       b.bit_or(vc, vd));
+    b.store(a, B::at(1), x);
+    return std::move(b).finish();
+  });
+}
+
+}  // namespace veccost::tsvc::detail

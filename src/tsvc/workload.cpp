@@ -1,0 +1,37 @@
+#include "tsvc/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace veccost::tsvc {
+
+machine::Workload default_workload(const ir::LoopKernel& kernel,
+                                   std::uint64_t seed) {
+  return machine::make_workload(kernel, kernel.default_n, seed);
+}
+
+double checksum(const machine::Workload& wl) {
+  double sum = 0;
+  for (const auto& arr : wl.arrays)
+    for (double v : arr) sum += v;
+  return sum;
+}
+
+double max_abs_difference(const machine::Workload& lhs,
+                          const machine::Workload& rhs) {
+  VECCOST_ASSERT(lhs.arrays.size() == rhs.arrays.size(),
+                 "workload shape mismatch");
+  double max_diff = 0;
+  for (std::size_t a = 0; a < lhs.arrays.size(); ++a) {
+    VECCOST_ASSERT(lhs.arrays[a].size() == rhs.arrays[a].size(),
+                   "workload array length mismatch");
+    for (std::size_t i = 0; i < lhs.arrays[a].size(); ++i)
+      max_diff = std::max(max_diff,
+                          std::abs(lhs.arrays[a][i] - rhs.arrays[a][i]));
+  }
+  return max_diff;
+}
+
+}  // namespace veccost::tsvc

@@ -1,0 +1,27 @@
+// Workload helpers for the TSVC suite: standard problem sizes and checksums.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/executor.hpp"
+#include "tsvc/kernel.hpp"
+
+namespace veccost::tsvc {
+
+/// TSVC's LEN — the 1-D problem size the paper measures at.
+inline constexpr std::int64_t kDefaultLen = 32768;
+
+/// Build a deterministic workload for a kernel at its default problem size.
+[[nodiscard]] machine::Workload default_workload(const ir::LoopKernel& kernel,
+                                                 std::uint64_t seed = 0x5eed);
+
+/// Order-insensitive checksum over all arrays of a workload (sum of values),
+/// used by tests and the examples to show a kernel "did something".
+[[nodiscard]] double checksum(const machine::Workload& wl);
+
+/// Maximum absolute elementwise difference between two workloads; throws if
+/// shapes differ. Used by the transform-equivalence tests.
+[[nodiscard]] double max_abs_difference(const machine::Workload& lhs,
+                                        const machine::Workload& rhs);
+
+}  // namespace veccost::tsvc

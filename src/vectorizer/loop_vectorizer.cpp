@@ -1,0 +1,295 @@
+#include "vectorizer/loop_vectorizer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/reduction.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace veccost::vectorizer {
+
+using analysis::PhiInfo;
+using analysis::PhiKind;
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ValueId;
+
+int natural_vf(const LoopKernel& kernel, const machine::TargetDesc& target) {
+  // Like LLVM's getSmallestAndWidestTypes: the VF is chosen from the widest
+  // type ACCESSED IN MEMORY; index arithmetic (i64 induction chains) does not
+  // force a narrow VF.
+  int widest_bits = 0;
+  for (const auto& inst : kernel.body) {
+    if (!ir::is_memory_op(inst.op)) continue;
+    widest_bits = std::max(widest_bits, ir::byte_size(inst.type.elem) * 8);
+  }
+  if (widest_bits == 0) widest_bits = 32;  // no memory ops: assume word data
+  return std::max(2, target.vector_bits / widest_bits);
+}
+
+namespace {
+
+/// Widening rewriter: walks the scalar body in order, emitting the vector
+/// body and maintaining the scalar->vector value mapping.
+class Widener {
+ public:
+  Widener(const LoopKernel& scalar, int vf) : src_(scalar), vf_(vf) {
+    out_.name = scalar.name + ".v" + std::to_string(vf);
+    out_.category = scalar.category;
+    out_.description = scalar.description;
+    out_.default_n = scalar.default_n;
+    out_.trip = scalar.trip;
+    out_.has_outer = scalar.has_outer;
+    out_.outer_trip = scalar.outer_trip;
+    out_.arrays = scalar.arrays;
+    out_.params = scalar.params;
+    out_.vf = vf;
+    map_.assign(scalar.body.size(), ir::kNoValue);
+  }
+
+  /// Returns empty string on success, else the rejection reason.
+  std::string run(const std::vector<PhiInfo>& phi_infos,
+                  std::vector<std::string>& notes) {
+    for (const auto& info : phi_infos)
+      kind_of_[info.phi] = info.kind;
+
+    for (std::size_t id = 0; id < src_.body.size(); ++id) {
+      const std::string err = widen(static_cast<ValueId>(id), notes);
+      if (!err.empty()) return err;
+      resolve_pending(notes);
+    }
+    if (!pending_.empty())
+      return "unresolved first-order recurrence (update never emitted)";
+
+    // Live-outs: map scalar phis to their vector phis (not the splice).
+    for (const ValueId v : src_.live_outs) {
+      VECCOST_ASSERT(phi_vec_.count(v) > 0, "live-out phi was not widened");
+      out_.live_outs.push_back(phi_vec_[v]);
+    }
+    return "";
+  }
+
+  [[nodiscard]] LoopKernel take() && { return std::move(out_); }
+
+ private:
+  ValueId emit(Instruction inst) {
+    out_.body.push_back(inst);
+    return static_cast<ValueId>(out_.body.size()) - 1;
+  }
+
+  /// Vector value for a scalar operand; fails (returns kNoValue) when the
+  /// operand is a first-order recurrence phi whose splice is not yet
+  /// available (sinking would be required).
+  ValueId mapped(ValueId scalar_id) const {
+    if (scalar_id == ir::kNoValue) return ir::kNoValue;
+    if (pending_.count(scalar_id) > 0) return ir::kNoValue;
+    return map_[static_cast<std::size_t>(scalar_id)];
+  }
+
+  std::string widen(ValueId id, std::vector<std::string>& notes) {
+    const Instruction& inst = src_.body[static_cast<std::size_t>(id)];
+    Instruction w = inst;  // copies payloads (array, index, const, ...)
+
+    // Leaves stay scalar except the induction variables, whose widened form
+    // is the per-lane iteration index.
+    switch (inst.op) {
+      case Opcode::Const:
+      case Opcode::Param:
+      case Opcode::OuterIndVar:
+        map_[static_cast<std::size_t>(id)] = emit(w);
+        return "";
+      case Opcode::IndVar:
+        w.type.lanes = vf_;
+        map_[static_cast<std::size_t>(id)] = emit(w);
+        return "";
+      case Opcode::Break:
+        return "break in loop body";
+      default:
+        break;
+    }
+
+    if (inst.op == Opcode::Phi) return widen_phi(id, w, notes);
+
+    // Map operands (implicit broadcast of scalar values is handled by the
+    // executor; costs account for it via the Leaf/Broadcast classes).
+    for (int i = 0; i < inst.num_operands(); ++i) {
+      const ValueId m = mapped(inst.operands[static_cast<std::size_t>(i)]);
+      if (m == ir::kNoValue &&
+          inst.operands[static_cast<std::size_t>(i)] != ir::kNoValue)
+        return "use of first-order recurrence before its update (needs sinking)";
+      w.operands[static_cast<std::size_t>(i)] = m;
+    }
+    if (inst.predicate != ir::kNoValue) {
+      const ValueId m = mapped(inst.predicate);
+      if (m == ir::kNoValue) return "predicate depends on pending recurrence";
+      w.predicate = m;
+    }
+    if (inst.index.is_indirect()) {
+      const ValueId m = mapped(inst.index.indirect);
+      if (m == ir::kNoValue) return "indirect index depends on pending recurrence";
+      w.index.indirect = m;
+    }
+
+    w.type.lanes = vf_;
+
+    if (ir::is_memory_op(inst.op)) return widen_memory(id, inst, w, notes);
+
+    map_[static_cast<std::size_t>(id)] = emit(w);
+    return "";
+  }
+
+  std::string widen_memory(ValueId id, const Instruction& inst, Instruction w,
+                           std::vector<std::string>& notes) {
+    const std::int64_t stride = inst.index.scale_i * src_.trip.step;
+    const bool is_store = ir::is_store_op(inst.op);
+    if (inst.index.is_indirect()) {
+      if (is_store) return "indirect store (scatter)";
+      w.op = Opcode::Gather;
+      notes.push_back("gather for " + array_name(inst));
+    } else if (stride == 1) {
+      w.op = is_store ? Opcode::Store : Opcode::Load;
+    } else if (stride == 0 && !is_store) {
+      // Loop-invariant load: stays scalar (hoisted + broadcast).
+      w.op = Opcode::Load;
+      w.type.lanes = 1;
+    } else {
+      // Reversed (-1) or strided access: de-interleave / reverse cost.
+      w.op = is_store ? Opcode::StridedStore : Opcode::StridedLoad;
+      notes.push_back("strided access (stride " + std::to_string(stride) +
+                      ") for " + array_name(inst));
+    }
+    if (w.predicate != ir::kNoValue && is_store)
+      notes.push_back("masked store for " + array_name(inst));
+    map_[static_cast<std::size_t>(id)] = emit(w);
+    return "";
+  }
+
+  std::string widen_phi(ValueId id, Instruction w, std::vector<std::string>& notes) {
+    const auto kind_it = kind_of_.find(id);
+    VECCOST_ASSERT(kind_it != kind_of_.end(), "phi not classified");
+    w.type.lanes = vf_;
+    w.phi_update = ir::kNoValue;  // patched once the update is widened
+
+    switch (kind_it->second) {
+      case PhiKind::Reduction: {
+        const ValueId vec_phi = emit(w);
+        phi_vec_[id] = vec_phi;
+        map_[static_cast<std::size_t>(id)] = vec_phi;
+        fixup_[id] = vec_phi;
+        return "";
+      }
+      case PhiKind::FirstOrderRecurrence: {
+        const ValueId vec_phi = emit(w);
+        phi_vec_[id] = vec_phi;
+        pending_.insert(id);
+        fixup_[id] = vec_phi;
+        notes.push_back("first-order recurrence via splice");
+        return "";
+      }
+      case PhiKind::Serial:
+        return "serial recurrence";
+    }
+    return "unclassified phi";
+  }
+
+  /// Emit splices for pending recurrences whose update value is now mapped,
+  /// and patch phi update edges whose update value is now mapped.
+  void resolve_pending(std::vector<std::string>& /*notes*/) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        const ValueId phi_id = *it;
+        const Instruction& sphi = src_.instr(phi_id);
+        const ValueId upd = mapped(sphi.phi_update);
+        if (upd != ir::kNoValue) {
+          Instruction splice;
+          splice.op = Opcode::Splice;
+          splice.type = {sphi.type.elem, vf_};
+          splice.operands[0] = phi_vec_[phi_id];
+          splice.operands[1] = upd;
+          map_[static_cast<std::size_t>(phi_id)] = emit(splice);
+          it = pending_.erase(it);
+          progress = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Patch reduction/recurrence phi update edges.
+    for (auto it = fixup_.begin(); it != fixup_.end();) {
+      const Instruction& sphi = src_.instr(it->first);
+      const ValueId upd = mapped(sphi.phi_update);
+      if (upd != ir::kNoValue) {
+        out_.body[static_cast<std::size_t>(it->second)].phi_update = upd;
+        it = fixup_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::string array_name(const Instruction& inst) const {
+    return src_.arrays[static_cast<std::size_t>(inst.array)].name;
+  }
+
+  const LoopKernel& src_;
+  int vf_;
+  LoopKernel out_;
+  std::vector<ValueId> map_;              ///< scalar id -> vector id
+  std::map<ValueId, PhiKind> kind_of_;    ///< phi classification
+  std::map<ValueId, ValueId> phi_vec_;    ///< scalar phi -> vector phi
+  std::map<ValueId, ValueId> fixup_;      ///< phis awaiting update patch
+  std::set<ValueId> pending_;             ///< recurrences awaiting splice
+};
+
+int floor_pow2(std::int64_t x) {
+  int p = 1;
+  while (2LL * p <= x) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+VectorizedLoop vectorize_loop(const LoopKernel& scalar,
+                              const machine::TargetDesc& target,
+                              const LoopVectorizerOptions& opts) {
+  VectorizedLoop result;
+  const analysis::Legality legality = analysis::check_legality(scalar, opts.legality);
+  if (!legality.vectorizable) {
+    result.notes.push_back("not legal: " + legality.reasons_string());
+    return result;
+  }
+
+  int vf = opts.requested_vf > 0 ? opts.requested_vf : natural_vf(scalar, target);
+  if (static_cast<std::int64_t>(vf) > legality.max_vf) {
+    vf = floor_pow2(legality.max_vf);
+    result.notes.push_back("partial vectorization: dependence distance caps VF at " +
+                           std::to_string(legality.max_vf));
+  }
+  if (vf < 2) {
+    result.notes.push_back("no profitable VF >= 2 is legal");
+    return result;
+  }
+
+  Widener widener(scalar, vf);
+  const std::string err = widener.run(legality.phi_infos, result.notes);
+  if (!err.empty()) {
+    result.notes.push_back("widening failed: " + err);
+    return result;
+  }
+
+  result.kernel = std::move(widener).take();
+  result.vf = vf;
+  result.ok = true;
+  result.runtime_check = legality.needs_runtime_check;
+  if (result.runtime_check)
+    result.notes.push_back("versioned behind a runtime overlap check");
+  ir::verify_or_throw(result.kernel);
+  return result;
+}
+
+}  // namespace veccost::vectorizer

@@ -1,0 +1,40 @@
+// Loop-level vectorizer (LLV): widens a legal scalar loop by a factor VF.
+//
+// Modeled on LLVM's LoopVectorize at the slides' configuration (no unrolling,
+// no interleaving):
+//  * contiguous accesses (effective stride +-1) widen to vector load/store
+//    (stride -1 pays a reverse-shuffle cost via the strided class);
+//  * |stride| > 1 becomes a strided (de-interleaving) access;
+//  * indirect loads become gathers; indirect stores are illegal;
+//  * if-converted predicated stores stay predicated (masked);
+//  * reduction phis become vector accumulators (lane 0 carries the initial
+//    value) with a horizontal reduction at the loop exit;
+//  * first-order recurrences are widened with a splice of the previous
+//    block's values (uses that precede the recurrence update in the body
+//    would need sinking, which — like LLVM — we refuse rather than reorder
+//    memory operations).
+#pragma once
+
+#include "analysis/legality.hpp"
+#include "machine/target.hpp"
+#include "vectorizer/vplan.hpp"
+
+namespace veccost::vectorizer {
+
+struct LoopVectorizerOptions {
+  /// Requested VF; 0 = choose from the target's register width and the
+  /// widest element type in the body, capped by legality.
+  int requested_vf = 0;
+  analysis::LegalityOptions legality;
+};
+
+/// Natural VF for a kernel on a target: register width / widest element.
+[[nodiscard]] int natural_vf(const ir::LoopKernel& kernel,
+                             const machine::TargetDesc& target);
+
+/// Widen `scalar` for `target`. On failure, `ok == false` and notes explain.
+[[nodiscard]] VectorizedLoop vectorize_loop(const ir::LoopKernel& scalar,
+                                            const machine::TargetDesc& target,
+                                            const LoopVectorizerOptions& opts = {});
+
+}  // namespace veccost::vectorizer

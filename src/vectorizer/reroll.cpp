@@ -1,0 +1,222 @@
+#include "vectorizer/reroll.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "analysis/features.hpp"
+#include "analysis/reduction.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace veccost::vectorizer {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ValueId;
+
+namespace {
+
+/// Matches copy-u instructions against copy-0 instructions: equal opcodes and
+/// types; shared operands must be loop-invariant; memory accesses must be the
+/// copy-0 access shifted by u * delta elements.
+class CopyMatcher {
+ public:
+  CopyMatcher(const LoopKernel& k, std::int64_t rolled_step, int u)
+      : k_(k),
+        invariant_(analysis::invariant_mask(k)),
+        rolled_step_(rolled_step),
+        u_(u) {}
+
+  /// True when `vu` is the copy-u image of `v0`. Fills `covered` with every
+  /// matched copy-u instruction.
+  bool match(ValueId v0, ValueId vu, std::vector<bool>& covered) {
+    if (v0 == vu) {
+      // A value shared between copies must not vary per iteration.
+      return invariant_[static_cast<std::size_t>(v0)];
+    }
+    const Instruction& a = k_.instr(v0);
+    const Instruction& b = k_.instr(vu);
+    if (a.op != b.op || !(a.type == b.type)) return false;
+    if (a.predicate != ir::kNoValue || b.predicate != ir::kNoValue) return false;
+    if (a.op == Opcode::Const && a.const_value != b.const_value) return false;
+    if (a.op == Opcode::Param && a.param_index != b.param_index) return false;
+    if (ir::is_memory_op(a.op)) {
+      if (a.index.is_indirect() || b.index.is_indirect()) return false;
+      if (a.array != b.array || a.index.scale_i != b.index.scale_i ||
+          a.index.scale_j != b.index.scale_j ||
+          a.index.n_scale != b.index.n_scale)
+        return false;
+      // Copy u touches the element copy 0 touches `u` rolled iterations
+      // later: shift = u * scale_i * (step / factor), per access.
+      if (b.index.offset !=
+          a.index.offset + u_ * a.index.scale_i * rolled_step_)
+        return false;
+    }
+    if (a.op == Opcode::Phi) return false;  // phis handled by the caller
+    for (int i = 0; i < a.num_operands(); ++i) {
+      if (!match(a.operands[static_cast<std::size_t>(i)],
+                 b.operands[static_cast<std::size_t>(i)], covered))
+        return false;
+    }
+    covered[static_cast<std::size_t>(vu)] = true;
+    return true;
+  }
+
+ private:
+  const LoopKernel& k_;
+  std::vector<bool> invariant_;
+  std::int64_t rolled_step_;
+  int u_;
+};
+
+/// Emit the copy-0 slice of `k` as a standalone kernel with step/W.
+LoopKernel emit_copy0(const LoopKernel& k, const std::vector<bool>& keep,
+                      int factor, const std::map<ValueId, ValueId>& phi_updates) {
+  LoopKernel out;
+  out.name = k.name + ".r" + std::to_string(factor);
+  out.category = k.category;
+  out.description = k.description;
+  out.default_n = k.default_n;
+  out.trip = k.trip;
+  out.trip.step = k.trip.step / factor;
+  out.has_outer = k.has_outer;
+  out.outer_trip = k.outer_trip;
+  out.arrays = k.arrays;
+  out.params = k.params;
+  out.vf = 1;
+
+  std::vector<ValueId> map(k.body.size(), ir::kNoValue);
+  for (std::size_t id = 0; id < k.body.size(); ++id) {
+    if (!keep[id]) continue;
+    Instruction inst = k.body[id];
+    for (int i = 0; i < inst.num_operands(); ++i) {
+      ValueId& op = inst.operands[static_cast<std::size_t>(i)];
+      if (op != ir::kNoValue) op = map[static_cast<std::size_t>(op)];
+    }
+    if (inst.op == Opcode::Phi) {
+      const auto it = phi_updates.find(static_cast<ValueId>(id));
+      VECCOST_ASSERT(it != phi_updates.end(), "unmapped phi in reroll");
+      // Patched after the loop once the new id of the update is known.
+      inst.phi_update = it->second;
+    }
+    map[id] = static_cast<ValueId>(out.body.size());
+    out.body.push_back(inst);
+  }
+  // Remap phi update edges and live-outs into the new id space.
+  for (auto& inst : out.body) {
+    if (inst.op == Opcode::Phi)
+      inst.phi_update = map[static_cast<std::size_t>(inst.phi_update)];
+  }
+  for (const ValueId v : k.live_outs)
+    out.live_outs.push_back(map[static_cast<std::size_t>(v)]);
+  return out;
+}
+
+}  // namespace
+
+RerollResult reroll_loop(const LoopKernel& scalar, const SlpPlan& plan) {
+  RerollResult result;
+  auto reject = [&result](std::string why) {
+    result.reason = std::move(why);
+    return result;
+  };
+
+  VECCOST_ASSERT(scalar.vf == 1, "reroll expects a scalar kernel");
+  if (plan.unroll != 1) return reject("plan targets a pre-unrolled body");
+  if (!plan.ok) return reject("no packs to re-roll");
+  if (scalar.has_break()) return reject("break in loop body");
+
+  // Stores define the copies: one store per copy, consecutive offsets.
+  std::vector<ValueId> stores;
+  for (std::size_t id = 0; id < scalar.body.size(); ++id)
+    if (ir::is_store_op(scalar.body[id].op))
+      stores.push_back(static_cast<ValueId>(id));
+
+  // Reduction-chain bodies (dot products): re-rolling them is possible but
+  // changes nothing the loop vectorizer needs; keep scope to store bodies.
+  if (stores.size() < 2) return reject("fewer than two stores");
+  const int factor = static_cast<int>(stores.size());
+  if (!scalar.phis().empty())
+    return reject("loop-carried scalars are not re-rolled");
+
+  const Instruction& s0 = scalar.instr(stores[0]);
+  if (s0.index.is_indirect() || s0.predicate != ir::kNoValue)
+    return reject("indirect or predicated seed store");
+  if (scalar.trip.step % factor != 0)
+    return reject("loop step not divisible by the copy count");
+  const std::int64_t rolled_step = scalar.trip.step / factor;
+  if (s0.index.scale_i * rolled_step == 0) return reject("stores do not advance");
+
+  // Match every copy against copy 0.
+  std::vector<bool> covered(scalar.body.size(), false);
+  covered[static_cast<std::size_t>(stores[0])] = true;
+  // Copy 0's own slice: everything reachable from store 0 (non-invariant).
+  std::vector<bool> keep(scalar.body.size(), false);
+  {
+    std::vector<ValueId> stack{stores[0]};
+    while (!stack.empty()) {
+      const ValueId v = stack.back();
+      stack.pop_back();
+      if (keep[static_cast<std::size_t>(v)]) continue;
+      keep[static_cast<std::size_t>(v)] = true;
+      const Instruction& inst = scalar.instr(v);
+      for (int i = 0; i < inst.num_operands(); ++i) {
+        const ValueId op = inst.operands[static_cast<std::size_t>(i)];
+        if (op != ir::kNoValue) stack.push_back(op);
+      }
+    }
+  }
+  const auto invariant = analysis::invariant_mask(scalar);
+  std::int64_t prev_copy_max = -1;
+  {
+    // Copy 0's non-shared extent, for the copy-major ordering check below.
+    for (std::size_t id = 0; id < scalar.body.size(); ++id)
+      if (keep[id] && !invariant[id])
+        prev_copy_max = std::max<std::int64_t>(prev_copy_max,
+                                               static_cast<std::int64_t>(id));
+  }
+  for (int u = 1; u < factor; ++u) {
+    std::vector<bool> copy_covered(scalar.body.size(), false);
+    CopyMatcher matcher(scalar, rolled_step, u);
+    if (!matcher.match(stores[0], stores[static_cast<std::size_t>(u)],
+                       copy_covered))
+      return reject("copy " + std::to_string(u) + " is not isomorphic to copy 0");
+    copy_covered[static_cast<std::size_t>(stores[static_cast<std::size_t>(u)])] =
+        true;
+    // Re-rolling is the inverse of unrolling, so the body must actually BE
+    // an unrolled form: each copy's (non-shared) instructions must follow
+    // the previous copy's entirely, or flattening would reorder aliasing
+    // accesses across copies.
+    std::int64_t copy_min = static_cast<std::int64_t>(scalar.body.size());
+    std::int64_t copy_max = -1;
+    for (std::size_t id = 0; id < scalar.body.size(); ++id) {
+      if (!copy_covered[id] || invariant[id]) continue;
+      copy_min = std::min<std::int64_t>(copy_min, static_cast<std::int64_t>(id));
+      copy_max = std::max<std::int64_t>(copy_max, static_cast<std::int64_t>(id));
+      covered[id] = true;
+    }
+    if (copy_min <= prev_copy_max)
+      return reject("copies interleave in the body (not an unrolled form)");
+    prev_copy_max = copy_max;
+  }
+
+  // No stray side effects: every work instruction must be in copy 0, a
+  // matched copy, or invariant.
+  for (std::size_t id = 0; id < scalar.body.size(); ++id) {
+    const auto cls =
+        ir::classify(scalar.body[id].op, ir::is_float(scalar.body[id].type.elem));
+    if (cls == ir::OpClass::Leaf || cls == ir::OpClass::Control) continue;
+    if (!keep[id] && !covered[id] && !invariant[id])
+      return reject("unmatched work instruction %" + std::to_string(id));
+  }
+
+  result.kernel = emit_copy0(scalar, keep, factor, {});
+  result.factor = factor;
+  result.ok = true;
+  ir::verify_or_throw(result.kernel);
+  return result;
+}
+
+}  // namespace veccost::vectorizer

@@ -1,0 +1,31 @@
+// Loop re-rolling: the inverse of unrolling.
+//
+// A body that consists of `width` isomorphic copies of one statement group
+// with consecutive subscripts (TSVC's loop-rerolling kernels s351/s352/s353,
+// or any SlpPlan marked `rerollable`) is rewritten as a single-copy loop
+// with `width`x the iterations. Re-rolling turns "SLP-shaped" code into
+// "LLV-shaped" code, after which the ordinary loop vectorizer provides an
+// executable — and therefore equivalence-testable — vectorization of it.
+#pragma once
+
+#include "ir/loop.hpp"
+#include "vectorizer/vplan.hpp"
+
+namespace veccost::vectorizer {
+
+struct RerollResult {
+  bool ok = false;
+  ir::LoopKernel kernel;  ///< single-copy loop, step divided by the factor
+  int factor = 1;
+  std::string reason;     ///< why not, when !ok
+};
+
+/// Attempt to re-roll `scalar` using the packs of `plan` (which must target
+/// `scalar` itself, i.e. plan.unroll == 1). Succeeds when the plan is
+/// rerollable: every work instruction belongs to a pack of one width, pack
+/// members are mutually isomorphic copies offset by the lane index, and the
+/// loop step is divisible by the width.
+[[nodiscard]] RerollResult reroll_loop(const ir::LoopKernel& scalar,
+                                       const SlpPlan& plan);
+
+}  // namespace veccost::vectorizer

@@ -1,0 +1,254 @@
+#include "vectorizer/slp_vectorizer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/dependence.hpp"
+#include "support/error.hpp"
+#include "vectorizer/unroll.hpp"
+
+namespace veccost::vectorizer {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ValueId;
+
+namespace {
+
+struct StoreKey {
+  int array;
+  std::int64_t scale_i, scale_j, n_scale;
+  auto operator<=>(const StoreKey&) const = default;
+};
+
+/// Builds the pack tree for one store seed. Collects candidate packs into a
+/// trial buffer; the caller commits on success.
+class TreeBuilder {
+ public:
+  TreeBuilder(const LoopKernel& k, const std::set<ValueId>& already_packed)
+      : k_(k), already_packed_(already_packed) {}
+
+  bool build(const std::vector<ValueId>& seed) {
+    return pack_group(seed) && commit_ok_;
+  }
+
+  [[nodiscard]] std::vector<Pack> take_packs() && { return std::move(packs_); }
+
+ private:
+  bool all_same(const std::vector<ValueId>& group) const {
+    return std::all_of(group.begin(), group.end(),
+                       [&](ValueId v) { return v == group.front(); });
+  }
+
+  bool pack_group(const std::vector<ValueId>& group) {
+    // A group of identical values is a splat: the shared scalar stays scalar.
+    if (all_same(group)) return true;
+    // Already handled this exact group?
+    if (seen_.count(group) > 0) return true;
+
+    const Instruction& first = k_.instr(group.front());
+    for (const ValueId v : group) {
+      const Instruction& inst = k_.instr(v);
+      if (inst.op != first.op || !(inst.type == first.type)) return false;
+      if (already_packed_.count(v) > 0 || trial_members_.count(v) > 0)
+        return false;  // value already belongs to another pack
+      if (inst.predicate != ir::kNoValue) return false;
+    }
+
+    Pack pack;
+    pack.op = first.op;
+    pack.elem = first.type.elem;
+    pack.width = static_cast<int>(group.size());
+    pack.members = group;
+
+    switch (first.op) {
+      case Opcode::Const:
+      case Opcode::Param:
+      case Opcode::IndVar:
+      case Opcode::OuterIndVar:
+        // Distinct leaves: materialized as a build-vector; model as shuffle.
+        pack.op = Opcode::Broadcast;
+        break;
+      case Opcode::Load: {
+        pack.contiguous = consecutive_accesses(group);
+        break;
+      }
+      case Opcode::Store: {
+        pack.contiguous = consecutive_accesses(group);
+        if (!pack_operands(group)) return false;
+        break;
+      }
+      case Opcode::Phi:
+      case Opcode::Break:
+      case Opcode::Gather:
+      case Opcode::Scatter:
+      case Opcode::StridedLoad:
+      case Opcode::StridedStore:
+        return false;
+      default:
+        if (!pack_operands(group)) return false;
+        break;
+    }
+
+    seen_.insert(group);
+    for (const ValueId v : group) trial_members_.insert(v);
+    packs_.push_back(std::move(pack));
+    return true;
+  }
+
+  bool pack_operands(const std::vector<ValueId>& group) {
+    const int n = k_.instr(group.front()).num_operands();
+    for (int i = 0; i < n; ++i) {
+      std::vector<ValueId> operand_group;
+      operand_group.reserve(group.size());
+      for (const ValueId v : group)
+        operand_group.push_back(
+            k_.instr(v).operands[static_cast<std::size_t>(i)]);
+      if (!pack_group(operand_group)) return false;
+    }
+    return true;
+  }
+
+  bool consecutive_accesses(const std::vector<ValueId>& group) const {
+    const Instruction& first = k_.instr(group.front());
+    if (first.index.is_indirect()) return false;
+    for (std::size_t l = 0; l < group.size(); ++l) {
+      const Instruction& inst = k_.instr(group[l]);
+      if (inst.index.is_indirect() || inst.array != first.array ||
+          inst.index.scale_i != first.index.scale_i ||
+          inst.index.scale_j != first.index.scale_j ||
+          inst.index.n_scale != first.index.n_scale ||
+          inst.index.offset != first.index.offset + static_cast<std::int64_t>(l))
+        return false;
+    }
+    return true;
+  }
+
+  const LoopKernel& k_;
+  const std::set<ValueId>& already_packed_;
+  std::set<std::vector<ValueId>> seen_;
+  std::set<ValueId> trial_members_;
+  std::vector<Pack> packs_;
+  bool commit_ok_ = true;
+};
+
+int floor_pow2(int x) {
+  int p = 1;
+  while (2 * p <= x) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+namespace {
+
+/// One packing attempt over `scalar` as written (no unrolling).
+SlpPlan pack_body(const LoopKernel& scalar, const machine::TargetDesc& target,
+                  const SlpOptions& opts) {
+  SlpPlan plan;
+
+  // Group unpredicated direct stores by (array, scales) and sort by offset.
+  std::map<StoreKey, std::vector<ValueId>> stores;
+  for (std::size_t i = 0; i < scalar.body.size(); ++i) {
+    const Instruction& inst = scalar.body[i];
+    if (inst.op != Opcode::Store || inst.predicate != ir::kNoValue ||
+        inst.index.is_indirect())
+      continue;
+    const StoreKey key{inst.array, inst.index.scale_i, inst.index.scale_j,
+                       inst.index.n_scale};
+    stores[key].push_back(static_cast<ValueId>(i));
+  }
+
+  std::set<ValueId> packed;
+  for (auto& [key, ids] : stores) {
+    std::sort(ids.begin(), ids.end(), [&](ValueId a, ValueId b) {
+      return scalar.instr(a).index.offset < scalar.instr(b).index.offset;
+    });
+    // Find maximal runs of consecutive offsets.
+    std::size_t run_start = 0;
+    while (run_start < ids.size()) {
+      std::size_t run_end = run_start + 1;
+      while (run_end < ids.size() &&
+             scalar.instr(ids[run_end]).index.offset ==
+                 scalar.instr(ids[run_end - 1]).index.offset + 1)
+        ++run_end;
+      const int run_len = static_cast<int>(run_end - run_start);
+      const int cap = opts.max_width > 0
+                          ? opts.max_width
+                          : target.lanes_per_register(
+                                scalar.instr(ids[run_start]).type.elem);
+      const int width = std::min(floor_pow2(run_len), floor_pow2(cap));
+      if (width >= 2) {
+        std::vector<ValueId> seed(ids.begin() + static_cast<std::ptrdiff_t>(run_start),
+                                  ids.begin() + static_cast<std::ptrdiff_t>(run_start) + width);
+        TreeBuilder builder(scalar, packed);
+        if (builder.build(seed)) {
+          for (auto& pack : std::move(builder).take_packs()) {
+            for (const ValueId v : pack.members) packed.insert(v);
+            if (plan.width == 0) plan.width = pack.width;
+            plan.packs.push_back(std::move(pack));
+          }
+        } else {
+          plan.notes.push_back("seed rejected: non-isomorphic tree");
+        }
+      }
+      run_start = run_end;
+    }
+  }
+
+  // Remaining work instructions stay scalar.
+  for (std::size_t i = 0; i < scalar.body.size(); ++i) {
+    const Instruction& inst = scalar.body[i];
+    const auto cls = ir::classify(inst.op, ir::is_float(inst.type.elem));
+    if (cls == ir::OpClass::Leaf || cls == ir::OpClass::Control) continue;
+    if (packed.count(static_cast<ValueId>(i)) == 0)
+      plan.scalarized.push_back(static_cast<ValueId>(i));
+  }
+
+  plan.ok = !plan.packs.empty();
+  if (plan.ok) {
+    // Re-rollable when everything that does work was packed at one width.
+    plan.rerollable = plan.scalarized.empty() && scalar.phis().empty();
+    for (const auto& p : plan.packs)
+      if (p.width != plan.width) plan.rerollable = false;
+  } else {
+    plan.notes.push_back("no consecutive store seeds found");
+  }
+  return plan;
+}
+
+}  // namespace
+
+SlpPlan slp_vectorize(const LoopKernel& scalar, const machine::TargetDesc& target,
+                      const SlpOptions& opts) {
+  VECCOST_ASSERT(scalar.vf == 1, "SLP expects a scalar kernel");
+  SlpPlan plan = pack_body(scalar, target, opts);
+  plan.body = scalar;
+  plan.unroll = 1;
+  if (plan.ok || !opts.auto_unroll || scalar.has_break()) return plan;
+
+  // As in the slides' configuration, retry after loop unrolling. Only legal
+  // when no lexically-backward carried dependence is shorter than the
+  // unroll factor (packed copies would otherwise reorder conflicting
+  // accesses).
+  const auto deps = analysis::analyze_dependences(scalar);
+  if (deps.unknown) return plan;
+  for (const int factor : {2, 4}) {
+    if (deps.max_safe_vf < factor) break;
+    UnrollResult unrolled = unroll_loop(scalar, factor);
+    if (!unrolled.ok) break;
+    SlpPlan retry = pack_body(unrolled.kernel, target, opts);
+    if (retry.ok) {
+      retry.unroll = factor;
+      retry.body = std::move(unrolled.kernel);
+      retry.notes.push_back("packed after unrolling by " +
+                            std::to_string(factor));
+      return retry;
+    }
+  }
+  return plan;
+}
+
+}  // namespace veccost::vectorizer

@@ -1,0 +1,29 @@
+// Superword-level parallelism (SLP) vectorizer.
+//
+// Bottom-up SLP in the style of LLVM's SLPVectorizer: stores to consecutive
+// addresses seed packs; operand groups are packed recursively while the
+// members stay isomorphic (same opcode and type); contiguous load groups
+// become vector loads, anything non-isomorphic aborts the seed. The result
+// is a pack plan consumed by the performance and cost models — the paper
+// compares LLV and SLP *predictions* against measurements (slide 15), which
+// needs exactly this op-mix information.
+#pragma once
+
+#include "machine/target.hpp"
+#include "vectorizer/vplan.hpp"
+
+namespace veccost::vectorizer {
+
+struct SlpOptions {
+  /// Cap on pack width; 0 = the target's natural width for the element type.
+  int max_width = 0;
+  /// Try pre-unrolling by 2 and 4 when the body as written yields no packs
+  /// (the slides run SLP after loop unrolling).
+  bool auto_unroll = true;
+};
+
+[[nodiscard]] SlpPlan slp_vectorize(const ir::LoopKernel& scalar,
+                                    const machine::TargetDesc& target,
+                                    const SlpOptions& opts = {});
+
+}  // namespace veccost::vectorizer

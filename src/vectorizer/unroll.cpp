@@ -1,0 +1,127 @@
+#include "vectorizer/unroll.hpp"
+
+#include <map>
+#include <vector>
+
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace veccost::vectorizer {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ValueId;
+
+UnrollResult unroll_loop(const LoopKernel& scalar, int factor) {
+  VECCOST_ASSERT(scalar.vf == 1, "unroll expects a scalar kernel");
+  VECCOST_ASSERT(factor >= 2, "unroll factor must be >= 2");
+  UnrollResult result;
+  if (scalar.has_break()) {
+    result.reason = "cannot unroll a loop with an early exit";
+    return result;
+  }
+
+  LoopKernel out;
+  out.name = scalar.name + ".u" + std::to_string(factor);
+  out.category = scalar.category;
+  out.description = scalar.description;
+  out.default_n = scalar.default_n;
+  out.trip = scalar.trip;
+  out.trip.step = scalar.trip.step * factor;
+  out.has_outer = scalar.has_outer;
+  out.outer_trip = scalar.outer_trip;
+  out.arrays = scalar.arrays;
+  out.params = scalar.params;
+  out.vf = 1;
+
+  auto emit = [&out](Instruction inst) {
+    out.body.push_back(inst);
+    return static_cast<ValueId>(out.body.size()) - 1;
+  };
+
+  // Copy 0 keeps the phis; later copies read the previous copy's update.
+  const std::size_t n = scalar.body.size();
+  std::vector<ValueId> prev_map(n, ir::kNoValue);   // copy u-1 mapping
+  std::vector<ValueId> cur_map(n, ir::kNoValue);
+  std::map<ValueId, ValueId> phi_of;                // original phi -> emitted phi
+
+  for (int u = 0; u < factor; ++u) {
+    for (std::size_t id = 0; id < n; ++id) {
+      const Instruction& src = scalar.body[id];
+      Instruction inst = src;
+
+      if (src.op == Opcode::Phi) {
+        if (u == 0) {
+          // Emitted once; its update edge is patched to the LAST copy's
+          // update value after all copies are emitted.
+          inst.phi_update = ir::kNoValue;
+          const ValueId phi_id = emit(inst);
+          cur_map[id] = phi_id;
+          phi_of[static_cast<ValueId>(id)] = phi_id;
+        } else {
+          // The value "carried into" copy u is the previous copy's update.
+          cur_map[id] = prev_map[static_cast<std::size_t>(src.phi_update)];
+        }
+        continue;
+      }
+
+      // Remap operands / predicate / indirect index.
+      for (int i = 0; i < inst.num_operands(); ++i) {
+        ValueId& op = inst.operands[static_cast<std::size_t>(i)];
+        if (op != ir::kNoValue) op = cur_map[static_cast<std::size_t>(op)];
+      }
+      if (inst.predicate != ir::kNoValue)
+        inst.predicate = cur_map[static_cast<std::size_t>(inst.predicate)];
+      if (inst.index.is_indirect())
+        inst.index.indirect = cur_map[static_cast<std::size_t>(inst.index.indirect)];
+
+      // Fold the copy's iteration offset into affine subscripts.
+      if (ir::is_memory_op(inst.op) && !inst.index.is_indirect())
+        inst.index.offset += inst.index.scale_i * scalar.trip.step * u;
+
+      if (src.op == Opcode::IndVar && u > 0) {
+        // i + u*step: materialize as indvar + const.
+        Instruction base;
+        base.op = Opcode::IndVar;
+        base.type = src.type;
+        const ValueId iv = emit(base);
+        Instruction cst;
+        cst.op = Opcode::Const;
+        cst.type = src.type;
+        cst.const_value = static_cast<double>(u * scalar.trip.step);
+        const ValueId c = emit(cst);
+        Instruction add;
+        add.op = Opcode::Add;
+        add.type = src.type;
+        add.operands[0] = iv;
+        add.operands[1] = c;
+        cur_map[id] = emit(add);
+        continue;
+      }
+
+      cur_map[id] = emit(inst);
+    }
+    prev_map = cur_map;
+  }
+
+  // Patch phi update edges to the last copy's update values, and map
+  // live-outs onto the emitted phis.
+  for (const auto& [orig_phi, new_phi] : phi_of) {
+    const Instruction& src = scalar.instr(orig_phi);
+    out.body[static_cast<std::size_t>(new_phi)].phi_update =
+        prev_map[static_cast<std::size_t>(src.phi_update)];
+  }
+  for (const ValueId v : scalar.live_outs) {
+    const auto it = phi_of.find(v);
+    VECCOST_ASSERT(it != phi_of.end(), "live-out is not a phi");
+    out.live_outs.push_back(it->second);
+  }
+
+  ir::verify_or_throw(out);
+  result.kernel = std::move(out);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace veccost::vectorizer

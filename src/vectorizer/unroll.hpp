@@ -1,0 +1,25 @@
+// Loop unrolling: replicate the body `factor` times with the iteration
+// offset folded into every affine subscript and induction-variable use.
+//
+// Used as SLP's pre-pass (the slides evaluate "SLP vectorization applied
+// after loop unrolling"): unrolled copies of a statement store to adjacent
+// addresses and become pack seeds. Reduction and recurrence phis are chained
+// through the copies, so the unrolled loop computes exactly what the
+// original computes over any iteration range that is a multiple of the
+// factor (the remainder would need an epilogue, exactly as with widening).
+#pragma once
+
+#include "ir/loop.hpp"
+
+namespace veccost::vectorizer {
+
+struct UnrollResult {
+  bool ok = false;
+  ir::LoopKernel kernel;           ///< trip.step scaled by `factor`
+  std::string reason;              ///< why not, when !ok
+};
+
+/// Unroll by `factor` (>= 2). Fails for loops with breaks.
+[[nodiscard]] UnrollResult unroll_loop(const ir::LoopKernel& scalar, int factor);
+
+}  // namespace veccost::vectorizer

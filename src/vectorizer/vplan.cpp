@@ -1,0 +1,13 @@
+#include "vectorizer/vplan.hpp"
+
+#include <sstream>
+
+namespace veccost::vectorizer {
+
+std::string VectorizedLoop::notes_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < notes.size(); ++i) os << (i ? "; " : "") << notes[i];
+  return os.str();
+}
+
+}  // namespace veccost::vectorizer

@@ -1,0 +1,65 @@
+// Result types of the two vectorizers.
+//
+// The loop vectorizer (LLV) produces a fully executable widened kernel; its
+// semantics are validated against the scalar original by the executor. The
+// SLP vectorizer produces a pack plan: which isomorphic statement groups can
+// be fused into vector operations. Packs feed the performance and cost
+// models; pure "unrolled copy" bodies can additionally be re-rolled into an
+// equivalent scalar loop and routed through the loop vectorizer for an
+// executable transform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::vectorizer {
+
+/// Output of the loop vectorizer.
+struct VectorizedLoop {
+  bool ok = false;
+  /// Vectorized behind a runtime overlap check; in our kernels the conflict
+  /// is real, so at runtime the versioned binary executes the SCALAR path.
+  /// The widened kernel is for cost analysis only — do not execute it.
+  bool runtime_check = false;
+  int vf = 1;
+  ir::LoopKernel kernel;           ///< widened kernel (valid only when ok)
+  std::vector<std::string> notes;  ///< decisions taken / rejection reasons
+
+  [[nodiscard]] std::string notes_string() const;
+};
+
+/// One SLP pack: `width` isomorphic scalar instructions fused into a vector
+/// operation.
+struct Pack {
+  ir::Opcode op = ir::Opcode::Add;
+  ir::ScalarType elem = ir::ScalarType::F32;
+  int width = 0;
+  /// For memory packs: true when the fused access is contiguous.
+  bool contiguous = true;
+  /// Ids of the scalar instructions fused into this pack.
+  std::vector<ir::ValueId> members;
+};
+
+struct SlpPlan {
+  bool ok = false;
+  int width = 0;                   ///< lane count of the seed packs
+  std::vector<Pack> packs;         ///< all fused groups, seed stores included
+  std::vector<ir::ValueId> scalarized;  ///< work instructions left scalar
+  std::vector<std::string> notes;
+
+  /// Pre-unroll factor applied before packing (1 = packed as written). The
+  /// slides evaluate SLP "after loop unrolling"; auto-unrolling turns
+  /// single-statement loops into packable bodies.
+  int unroll = 1;
+  /// The body the packs' member ids refer to: the original kernel when
+  /// unroll == 1, else the unrolled kernel.
+  ir::LoopKernel body;
+
+  /// True when the whole body is `width` isomorphic copies of one statement
+  /// group (e.g. hand-unrolled TSVC rerolling kernels).
+  bool rerollable = false;
+};
+
+}  // namespace veccost::vectorizer

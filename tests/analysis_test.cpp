@@ -1,0 +1,422 @@
+// Unit tests for dependence analysis, phi classification, legality and
+// feature extraction — each against hand-derived expectations.
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.hpp"
+#include "analysis/features.hpp"
+#include "analysis/legality.hpp"
+#include "analysis/reduction.hpp"
+#include "ir/builder.hpp"
+
+namespace veccost::analysis {
+namespace {
+
+using B = ir::LoopBuilder;
+using ir::LoopKernel;
+using ir::ReductionKind;
+using ir::ScalarType;
+
+TEST(Dependence, NoDepOnDisjointArrays) {
+  B b("d0", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  EXPECT_TRUE(info.carried.empty());
+  EXPECT_FALSE(info.unknown);
+  EXPECT_EQ(info.max_safe_vf, kUnboundedVf);
+}
+
+TEST(Dependence, FlowBackwardDistanceOne) {
+  // a[i] = a[i-1] + 1: the classic serial loop.
+  B b("d1", "test");
+  b.trip({.start = 1});
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1, -1)), b.fconst(1.0)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  ASSERT_EQ(info.carried.size(), 1u);
+  EXPECT_EQ(info.carried[0].kind, DepKind::Flow);
+  EXPECT_EQ(info.carried[0].distance, 1);
+  EXPECT_FALSE(info.carried[0].lexically_forward);
+  EXPECT_EQ(info.max_safe_vf, 1);
+}
+
+TEST(Dependence, FlowBackwardDistanceFourAllowsPartialVf) {
+  // b[i] = b[i-4] + a[i] (s1221).
+  B b("d2", "test");
+  b.trip({.start = 4});
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(bb, B::at(1), b.add(b.load(bb, B::at(1, -4)), b.load(a, B::at(1))));
+  const auto info = analyze_dependences(std::move(b).finish());
+  ASSERT_EQ(info.carried.size(), 1u);
+  EXPECT_EQ(info.carried[0].distance, 4);
+  EXPECT_EQ(info.max_safe_vf, 4);
+}
+
+TEST(Dependence, AntiForwardIsUnbounded) {
+  // a[i] = a[i+1] + 1: load precedes store, read-before-write across iters.
+  B b("d3", "test");
+  b.trip({.offset = -1});
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1, 1)), b.fconst(1.0)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  ASSERT_EQ(info.carried.size(), 1u);
+  EXPECT_EQ(info.carried[0].kind, DepKind::Anti);
+  EXPECT_TRUE(info.carried[0].lexically_forward);
+  EXPECT_EQ(info.max_safe_vf, kUnboundedVf);
+}
+
+TEST(Dependence, StridedDisjointLattices) {
+  // a[2i] = a[2i+1]: odd and even elements never meet.
+  B b("d4", "test");
+  b.trip({.num = 1, .den = 2});
+  const int a = b.array("a", ScalarType::F32, 2, 2);
+  b.store(a, B::at(2), b.load(a, B::at(2, 1)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  EXPECT_TRUE(info.carried.empty());
+  EXPECT_FALSE(info.unknown);
+}
+
+TEST(Dependence, ReversedEqualScaleIsForward) {
+  // s112 shape: a[n-1-i] = a[n-2-i] + b[i].
+  B b("d5", "test");
+  b.trip({.offset = -1});
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at_n(-1, 1, -1),
+          b.add(b.load(a, B::at_n(-1, 1, -2)), b.load(bb, B::at(1))));
+  const auto info = analyze_dependences(std::move(b).finish());
+  ASSERT_EQ(info.carried.size(), 1u);
+  EXPECT_TRUE(info.carried[0].lexically_forward);
+  EXPECT_EQ(info.max_safe_vf, kUnboundedVf);
+}
+
+TEST(Dependence, InvariantLoadBeforeRangeIsSafe) {
+  // s113 shape: a[i] = a[0] + b[i] for i >= 1.
+  B b("d6", "test");
+  b.trip({.start = 1});
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(0)), b.load(bb, B::at(1))));
+  const auto info = analyze_dependences(std::move(b).finish());
+  EXPECT_FALSE(info.unknown);
+  EXPECT_EQ(info.max_safe_vf, kUnboundedVf);
+}
+
+TEST(Dependence, InvariantLoadInsideRangeIsUnknown) {
+  // s1113 shape: load a[256] while storing a[i] from 0.
+  B b("d7", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(0, 256)), b.load(bb, B::at(1))));
+  const auto info = analyze_dependences(std::move(b).finish());
+  EXPECT_TRUE(info.unknown);
+  EXPECT_EQ(info.max_safe_vf, 1);
+}
+
+TEST(Dependence, IndirectStoreIsUnknown) {
+  B b("d8", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  const int ip = b.array("ip", ScalarType::I32);
+  auto idx = b.load(ip, B::at(1));
+  b.store(a, B::via(idx), b.load(bb, B::at(1)));
+  // A second direct access to `a` makes the pair analyzable -> unknown.
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  EXPECT_TRUE(info.unknown);
+}
+
+TEST(Dependence, IndirectLoadOfReadOnlyArrayIsSafe) {
+  B b("d9", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  const int ip = b.array("ip", ScalarType::I32);
+  auto idx = b.load(ip, B::at(1));
+  b.store(a, B::at(1), b.load(bb, B::via(idx)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  EXPECT_FALSE(info.unknown);
+  EXPECT_EQ(info.max_safe_vf, kUnboundedVf);
+}
+
+TEST(Dependence, MismatchedOuterCoefficients) {
+  B b("d10", "test");
+  b.outer(4);
+  b.trip({.num = 0, .offset = 16});
+  const int a = b.array("a", ScalarType::F32, 0, 256);
+  b.store(a, B::at2(1, 16), b.load(a, B::at2(1, 0, 0)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  EXPECT_TRUE(info.unknown);
+}
+
+TEST(Dependence, StepNormalization) {
+  // Stride-2 loop, load a[i+2]: distance is ONE iteration, not two.
+  B b("d11", "test");
+  b.trip({.step = 2, .offset = -2});
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.load(a, B::at(1, 2)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  ASSERT_EQ(info.carried.size(), 1u);
+  EXPECT_EQ(info.carried[0].distance, 1);
+  EXPECT_EQ(info.carried[0].kind, DepKind::Anti);
+  EXPECT_TRUE(info.carried[0].lexically_forward);
+}
+
+TEST(PhiClassification, SumReduction) {
+  B b("p0", "test");
+  const int a = b.array("a");
+  auto s = b.phi(0.0);
+  auto upd = b.add(s, b.load(a, B::at(1)));
+  b.set_phi_update(s, upd, ReductionKind::Sum);
+  b.live_out(s);
+  const auto infos = classify_phis(std::move(b).finish());
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].kind, PhiKind::Reduction);
+  EXPECT_EQ(infos[0].reduction, ReductionKind::Sum);
+}
+
+TEST(PhiClassification, ChainedSumReduction) {
+  // s319 shape: two adds feeding one accumulator in a single iteration.
+  B b("p1", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto s = b.phi(0.0);
+  auto s1 = b.add(s, b.load(a, B::at(1)));
+  auto s2 = b.add(s1, b.load(bb, B::at(1)));
+  b.set_phi_update(s, s2, ReductionKind::Sum);
+  b.live_out(s);
+  const auto infos = classify_phis(std::move(b).finish());
+  EXPECT_EQ(infos[0].kind, PhiKind::Reduction);
+}
+
+TEST(PhiClassification, ConditionalSumReduction) {
+  B b("p2", "test");
+  const int a = b.array("a");
+  auto s = b.phi(0.0);
+  auto v = b.load(a, B::at(1));
+  auto m = b.cmp_gt(v, b.fconst(0.0));
+  auto added = b.add(s, v);
+  auto upd = b.select(m, added, s);
+  b.set_phi_update(s, upd, ReductionKind::Sum);
+  b.live_out(s);
+  const auto infos = classify_phis(std::move(b).finish());
+  EXPECT_EQ(infos[0].kind, PhiKind::Reduction);
+}
+
+TEST(PhiClassification, PrefixSumIsSerial) {
+  // Storing the partial sum makes it a scan, not a reduction (s3112).
+  B b("p3", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto s = b.phi(0.0);
+  auto upd = b.add(s, b.load(a, B::at(1)));
+  b.store(bb, B::at(1), upd);
+  b.set_phi_update(s, upd, ReductionKind::Sum);
+  b.live_out(s);
+  const auto infos = classify_phis(std::move(b).finish());
+  EXPECT_EQ(infos[0].kind, PhiKind::Serial);
+}
+
+TEST(PhiClassification, FirstOrderRecurrence) {
+  // x used, then x = b[i]: update independent of the phi.
+  B b("p4", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto x = b.phi(1.0);
+  auto vb = b.load(bb, B::at(1));
+  b.store(a, B::at(1), b.add(vb, x));
+  b.set_phi_update(x, vb);
+  b.live_out(x);
+  const auto infos = classify_phis(std::move(b).finish());
+  EXPECT_EQ(infos[0].kind, PhiKind::FirstOrderRecurrence);
+}
+
+TEST(PhiClassification, ArgmaxCompareMakesSerial) {
+  B b("p5", "test");
+  const int a = b.array("a");
+  auto x = b.phi(-1.0);
+  auto v = b.load(a, B::at(1));
+  auto m = b.cmp_gt(v, x);  // compare reads the phi -> not a pure reduction
+  auto upd = b.select(m, v, x);
+  b.set_phi_update(x, upd, ReductionKind::Max);
+  b.live_out(x);
+  const auto infos = classify_phis(std::move(b).finish());
+  EXPECT_EQ(infos[0].kind, PhiKind::Serial);
+}
+
+TEST(PhiClassification, MinMaxReduction) {
+  B b("p6", "test");
+  const int a = b.array("a");
+  auto x = b.phi(1e30);
+  auto upd = b.min(x, b.load(a, B::at(1)));
+  b.set_phi_update(x, upd, ReductionKind::Min);
+  b.live_out(x);
+  const auto infos = classify_phis(std::move(b).finish());
+  EXPECT_EQ(infos[0].kind, PhiKind::Reduction);
+  EXPECT_EQ(infos[0].reduction, ReductionKind::Min);
+}
+
+TEST(Legality, SimpleLoopIsVectorizable) {
+  B b("l0", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const auto leg = check_legality(std::move(b).finish());
+  EXPECT_TRUE(leg.vectorizable);
+  EXPECT_GE(leg.max_vf, 2);
+}
+
+TEST(Legality, BreakBlocks) {
+  B b("l1", "test");
+  const int a = b.array("a");
+  auto m = b.cmp_gt(b.load(a, B::at(1)), b.fconst(2.0));
+  b.brk(m);
+  const auto leg = check_legality(std::move(b).finish());
+  EXPECT_FALSE(leg.vectorizable);
+}
+
+TEST(Legality, PartialVectorizationCapsVf) {
+  B b("l2", "test");
+  b.trip({.start = 4});
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1, -4)), b.fconst(1.0)));
+  const auto leg = check_legality(std::move(b).finish());
+  EXPECT_TRUE(leg.vectorizable);
+  EXPECT_EQ(leg.max_vf, 4);
+}
+
+TEST(Legality, RecurrenceOptionGate) {
+  B b("l3", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto x = b.phi(1.0);
+  auto vb = b.load(bb, B::at(1));
+  b.store(a, B::at(1), b.add(vb, x));
+  b.set_phi_update(x, vb);
+  b.live_out(x);
+  const ir::LoopKernel k = std::move(b).finish();
+  EXPECT_TRUE(check_legality(k).vectorizable);
+  LegalityOptions no_for;
+  no_for.allow_first_order_recurrence = false;
+  EXPECT_FALSE(check_legality(k, no_for).vectorizable);
+}
+
+TEST(Legality, RuntimeCheckedCrossingThreshold) {
+  // s1113 shape: the invariant load sits inside the store range -> LLVM
+  // versions the loop behind an overlap check.
+  B b("lrc0", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(0, 256)), b.load(bb, B::at(1))));
+  const auto leg = check_legality(std::move(b).finish());
+  EXPECT_TRUE(leg.vectorizable);
+  EXPECT_TRUE(leg.needs_runtime_check);
+  EXPECT_GE(leg.max_vf, 2);
+}
+
+TEST(Legality, MixedStridesAreRuntimeChecked) {
+  // s281 shape: reversed load against a forward store on the same array.
+  B b("lrc1", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto x = b.add(b.load(a, B::at_n(-1, 1, -1)), b.load(bb, B::at(1)));
+  b.store(a, B::at(1), x);
+  const auto leg = check_legality(std::move(b).finish());
+  EXPECT_TRUE(leg.vectorizable);
+  EXPECT_TRUE(leg.needs_runtime_check);
+}
+
+TEST(Legality, IndirectStoreIsNotCheckable) {
+  B b("lrc2", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  const int ip = b.array("ip", ScalarType::I32);
+  auto idx = b.load(ip, B::at(1));
+  b.store(a, B::via(idx), b.load(bb, B::at(1)));
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const auto leg = check_legality(std::move(b).finish());
+  EXPECT_FALSE(leg.vectorizable);
+  EXPECT_FALSE(leg.needs_runtime_check);
+}
+
+TEST(Legality, GatherOptionGate) {
+  B b("l4", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  const int ip = b.array("ip", ScalarType::I32);
+  auto idx = b.load(ip, B::at(1));
+  b.store(a, B::at(1), b.load(bb, B::via(idx)));
+  const ir::LoopKernel k = std::move(b).finish();
+  EXPECT_TRUE(check_legality(k).vectorizable);
+  LegalityOptions no_gather;
+  no_gather.allow_gather = false;
+  EXPECT_FALSE(check_legality(k, no_gather).vectorizable);
+}
+
+TEST(Features, CountsBasic) {
+  B b("f0", "test");
+  const int a = b.array("a"), bb = b.array("b"), c = b.array("c");
+  auto x = b.fma(b.load(bb, B::at(1)), b.load(c, B::at(1)), b.load(a, B::at(1)));
+  b.store(a, B::at(1), x);
+  const ClassCounts counts = count_classes(std::move(b).finish());
+  EXPECT_DOUBLE_EQ(counts.load, 3);
+  EXPECT_DOUBLE_EQ(counts.store, 1);
+  EXPECT_DOUBLE_EQ(counts.fmul, 1);  // fma classifies as fmul
+  EXPECT_DOUBLE_EQ(counts.total(), 5);
+}
+
+TEST(Features, StridedAndIndirectClassify) {
+  B b("f1", "test");
+  const int a = b.array("a", ScalarType::F32, 2, 2), bb = b.array("b");
+  const int ip = b.array("ip", ScalarType::I32);
+  auto idx = b.load(ip, B::at(1));
+  auto g = b.load(bb, B::via(idx));
+  b.store(a, B::at(2), g);
+  const ClassCounts counts = count_classes(std::move(b).finish());
+  EXPECT_DOUBLE_EQ(counts.load, 1);     // ip[i]
+  EXPECT_DOUBLE_EQ(counts.gather, 1);   // b[ip[i]]
+  EXPECT_DOUBLE_EQ(counts.scatter, 1);  // a[2i] strided store
+}
+
+TEST(Features, HoistedInvariantLoadIsFree) {
+  B b("f2", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto k0 = b.load(bb, B::at(0));  // invariant, b never stored
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1)), k0));
+  const ClassCounts counts = count_classes(std::move(b).finish());
+  EXPECT_DOUBLE_EQ(counts.load, 1);
+}
+
+TEST(Features, RatedSumsToOne) {
+  B b("f3", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.mul(b.load(bb, B::at(1)), b.fconst(2.0)));
+  const auto rated =
+      extract_features(std::move(b).finish(), FeatureSet::Rated);
+  double sum = 0;
+  for (double v : rated) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Features, ExtendedHasExtraColumns) {
+  B b("f4", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.add(b.load(bb, B::at(1)), b.fconst(1.0)));
+  const ir::LoopKernel k = std::move(b).finish();
+  const auto counts = extract_features(k, FeatureSet::Counts);
+  const auto extended = extract_features(k, FeatureSet::Extended);
+  EXPECT_EQ(extended.size(), counts.size() + 4);
+  EXPECT_EQ(feature_names(FeatureSet::Extended).size(), extended.size());
+}
+
+TEST(Features, BytesAndFlops) {
+  B b("f5", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto x = b.fma(b.load(bb, B::at(1)), b.fconst(2.0), b.load(a, B::at(1)));
+  b.store(a, B::at(1), x);
+  const ir::LoopKernel k = std::move(b).finish();
+  EXPECT_DOUBLE_EQ(bytes_per_iteration(k), 12);  // 2 loads + 1 store, f32
+  EXPECT_DOUBLE_EQ(flops_per_iteration(k), 2);   // fma = 2 flops
+}
+
+TEST(Features, InvariantMask) {
+  B b("f6", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto p = b.param(2.0);
+  auto c = b.fconst(1.0);
+  auto inv = b.mul(p, c);                        // invariant arithmetic
+  auto v = b.load(bb, B::at(1));                 // variant
+  b.store(a, B::at(1), b.add(v, inv));
+  const ir::LoopKernel k = std::move(b).finish();
+  const auto mask = invariant_mask(k);
+  EXPECT_TRUE(mask[static_cast<std::size_t>(inv.id)]);
+  EXPECT_FALSE(mask[static_cast<std::size_t>(v.id)]);
+}
+
+}  // namespace
+}  // namespace veccost::analysis

@@ -1,0 +1,240 @@
+// Tests for the cost models: baseline LLVM-style predictions, the linear
+// speedup model, the trainer (fit + LOOCV) and the decision classifier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "costmodel/classifier.hpp"
+#include "costmodel/llvm_model.hpp"
+#include "costmodel/linear_model.hpp"
+#include "costmodel/trainer.hpp"
+#include "ir/builder.hpp"
+#include "machine/targets.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+
+namespace veccost::model {
+namespace {
+
+using B = ir::LoopBuilder;
+using ir::LoopKernel;
+using ir::ScalarType;
+
+LoopKernel saxpy() {
+  B b("saxpy", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto alpha = b.param(2.0);
+  b.store(a, B::at(1),
+          b.fma(alpha, b.load(bb, B::at(1)), b.load(a, B::at(1))));
+  return std::move(b).finish();
+}
+
+TEST(LlvmModel, BlockCostPositiveAndMonotone) {
+  const auto t = machine::cortex_a57();
+  const LoopKernel k = saxpy();
+  const double base = block_cost(k, t);
+  EXPECT_GT(base, 0);
+
+  B b("heavier", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto x = b.div(b.load(a, B::at(1)), b.load(bb, B::at(1)));
+  b.store(a, B::at(1), b.sqrt(x));
+  EXPECT_GT(block_cost(std::move(b).finish(), t), base);
+}
+
+TEST(LlvmModel, PredictsSpeedupAboveOneForCleanLoop) {
+  const auto t = machine::cortex_a57();
+  const LoopKernel scalar = saxpy();
+  const auto vec = vectorizer::vectorize_loop(scalar, t);
+  ASSERT_TRUE(vec.ok);
+  const LlvmPrediction p = llvm_predict(scalar, vec.kernel, t);
+  EXPECT_GT(p.predicted_speedup, 1.0);
+  EXPECT_GT(p.scalar_cost_per_iter, 0);
+  EXPECT_GT(p.vector_cost_per_body, 0);
+}
+
+TEST(LlvmModel, GatherLoweredPredictionVsContiguous) {
+  const auto t = machine::cortex_a57();
+  B b1("contig", "test");
+  {
+    const int a = b1.array("a"), bb = b1.array("b");
+    b1.store(a, B::at(1), b1.load(bb, B::at(1)));
+  }
+  const LoopKernel contig = std::move(b1).finish();
+  B b2("gathered", "test");
+  {
+    const int a = b2.array("a"), bb = b2.array("b");
+    const int ip = b2.array("ip", ScalarType::I32);
+    auto idx = b2.load(ip, B::at(1));
+    b2.store(a, B::at(1), b2.load(bb, B::via(idx)));
+  }
+  const LoopKernel gathered = std::move(b2).finish();
+  const auto v1 = vectorizer::vectorize_loop(contig, t);
+  const auto v2 = vectorizer::vectorize_loop(gathered, t);
+  ASSERT_TRUE(v1.ok && v2.ok);
+  EXPECT_GT(llvm_predict(contig, v1.kernel, t).predicted_speedup,
+            llvm_predict(gathered, v2.kernel, t).predicted_speedup);
+}
+
+TEST(LinearModel, PredictIsDotProduct) {
+  const auto& names = analysis::feature_names(analysis::FeatureSet::Counts);
+  Vector w(names.size(), 0.0);
+  // weight only loads and stores
+  w[0] = 0.5;
+  w[1] = 0.25;
+  LinearSpeedupModel m(analysis::FeatureSet::Counts, w, 0.1);
+  const LoopKernel k = saxpy();  // 2 loads, 1 store
+  EXPECT_NEAR(m.predict(k), 2 * 0.5 + 1 * 0.25 + 0.1, 1e-12);
+}
+
+TEST(LinearModel, SavedRoundTrip) {
+  const auto& names = analysis::feature_names(analysis::FeatureSet::Rated);
+  Vector w(names.size());
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = 0.1 * static_cast<double>(i);
+  LinearSpeedupModel m(analysis::FeatureSet::Rated, w, 0.5, "svr", "cortex-a57");
+  std::stringstream ss;
+  fit::save_model(ss, m.to_saved());
+  const LinearSpeedupModel back = LinearSpeedupModel::from_saved(fit::load_model(ss));
+  EXPECT_EQ(back.feature_set(), analysis::FeatureSet::Rated);
+  EXPECT_EQ(back.fitter(), "svr");
+  EXPECT_DOUBLE_EQ(back.bias(), 0.5);
+  EXPECT_EQ(back.weights(), m.weights());
+}
+
+TEST(Trainer, RecoversPlantedLinearModel) {
+  const auto set = analysis::FeatureSet::Counts;
+  const std::size_t dims = analysis::feature_names(set).size();
+  Rng rng(77);
+  Vector w_true(dims);
+  for (auto& w : w_true) w = rng.uniform(0.05, 0.5);
+  Matrix x(80, dims);
+  Vector y(80);
+  for (std::size_t r = 0; r < 80; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) x(r, c) = std::floor(rng.uniform(0, 6));
+    y[r] = dot(x.row(r), w_true);
+  }
+  for (const Fitter f : {Fitter::L2, Fitter::NNLS}) {
+    const LinearSpeedupModel m = fit_model(x, y, f, set);
+    for (std::size_t i = 0; i < dims; ++i)
+      EXPECT_NEAR(m.weights()[i], w_true[i], 1e-4) << to_string(f) << " dim " << i;
+  }
+  // SVR with a bias tolerates its epsilon tube.
+  const LinearSpeedupModel svr = fit_model(x, y, Fitter::SVR, set);
+  for (std::size_t r = 0; r < 40; ++r)
+    EXPECT_NEAR(svr.predict_features(x.row(r)), y[r], 0.25);
+}
+
+TEST(Trainer, NnlsWeightsAreNonNegative) {
+  const auto set = analysis::FeatureSet::Rated;
+  const std::size_t dims = analysis::feature_names(set).size();
+  Rng rng(99);
+  Matrix x(60, dims);
+  Vector y(60);
+  for (std::size_t r = 0; r < 60; ++r) {
+    double sum = 0;
+    for (std::size_t c = 0; c < dims; ++c) {
+      x(r, c) = rng.uniform(0, 1);
+      sum += x(r, c);
+    }
+    for (std::size_t c = 0; c < dims; ++c) x(r, c) /= sum;  // rated style
+    y[r] = rng.uniform(0.5, 4.0);
+  }
+  const LinearSpeedupModel m = fit_model(x, y, Fitter::NNLS, set);
+  for (double w : m.weights()) EXPECT_GE(w, 0.0);
+}
+
+TEST(Trainer, LoocvPredictionsDifferFromInSample) {
+  const auto set = analysis::FeatureSet::Counts;
+  const std::size_t dims = analysis::feature_names(set).size();
+  Rng rng(55);
+  Matrix x(30, dims);
+  Vector y(30);
+  for (std::size_t r = 0; r < 30; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) x(r, c) = std::floor(rng.uniform(0, 4));
+    y[r] = rng.uniform(0.5, 4.0);  // pure noise: LOOCV must be worse
+  }
+  const LinearSpeedupModel m = fit_model(x, y, Fitter::L2, set);
+  Vector in_sample;
+  for (std::size_t r = 0; r < 30; ++r)
+    in_sample.push_back(m.predict_features(x.row(r)));
+  const Vector loocv = loocv_predictions(x, y, Fitter::L2, set);
+  EXPECT_GT(rmse(loocv, y), rmse(in_sample, y));
+}
+
+TEST(Trainer, KfoldMatchesLoocvAtFullK) {
+  const auto set = analysis::FeatureSet::Counts;
+  const std::size_t dims = analysis::feature_names(set).size();
+  Rng rng(42);
+  Matrix x(24, dims);
+  Vector y(24);
+  for (std::size_t r = 0; r < 24; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) x(r, c) = std::floor(rng.uniform(0, 4));
+    y[r] = rng.uniform(0.5, 4.0);
+  }
+  const Vector loocv = loocv_predictions(x, y, Fitter::L2, set);
+  const Vector kfold = kfold_predictions(x, y, Fitter::L2, set, 24);
+  ASSERT_EQ(loocv.size(), kfold.size());
+  for (std::size_t i = 0; i < loocv.size(); ++i)
+    EXPECT_NEAR(kfold[i], loocv[i], 1e-9);
+}
+
+TEST(Trainer, KfoldIsHarderThanInSample) {
+  const auto set = analysis::FeatureSet::Counts;
+  const std::size_t dims = analysis::feature_names(set).size();
+  Rng rng(43);
+  Matrix x(40, dims);
+  Vector y(40);
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) x(r, c) = std::floor(rng.uniform(0, 4));
+    y[r] = rng.uniform(0.5, 4.0);  // pure noise
+  }
+  const LinearSpeedupModel m = fit_model(x, y, Fitter::L2, set);
+  Vector in_sample;
+  for (std::size_t r = 0; r < 40; ++r)
+    in_sample.push_back(m.predict_features(x.row(r)));
+  const Vector folds = kfold_predictions(x, y, Fitter::L2, set, 5);
+  EXPECT_GT(rmse(folds, y), rmse(in_sample, y));
+}
+
+TEST(Trainer, KfoldRejectsBadK) {
+  Matrix x{{1, 2}, {3, 4}, {5, 6}};
+  Vector y{1, 2, 3};
+  EXPECT_THROW((void)kfold_predictions(x, y, Fitter::L2,
+                                       analysis::FeatureSet::Counts, 1),
+               Error);
+  EXPECT_THROW((void)kfold_predictions(x, y, Fitter::L2,
+                                       analysis::FeatureSet::Counts, 9),
+               Error);
+}
+
+TEST(Classifier, OutcomeAccounting) {
+  // Two kernels: one where vectorization helps, one where it hurts.
+  const Vector predicted{2.0, 1.5};  // model says vectorize both
+  const Vector measured{2.0, 0.5};
+  const Vector scalar_cycles{100, 100};
+  const Vector vector_cycles{50, 200};
+  const DecisionOutcome o =
+      evaluate_decisions(predicted, measured, scalar_cycles, vector_cycles);
+  EXPECT_EQ(o.confusion.true_positive, 1u);
+  EXPECT_EQ(o.confusion.false_positive, 1u);
+  EXPECT_DOUBLE_EQ(o.time_following_model, 250);
+  EXPECT_DOUBLE_EQ(o.time_never_vectorize, 200);
+  EXPECT_DOUBLE_EQ(o.time_oracle, 150);
+  EXPECT_DOUBLE_EQ(o.time_always_vectorize, 250);
+  EXPECT_DOUBLE_EQ(o.efficiency(), -1.0);  // worse than never vectorizing
+}
+
+TEST(Classifier, OracleEfficiencyIsOneForPerfectModel) {
+  const Vector measured{2.0, 0.5, 1.2};
+  const Vector scalar_cycles{100, 100, 100};
+  const Vector vector_cycles{50, 200, 83};
+  const DecisionOutcome o =
+      evaluate_decisions(measured, measured, scalar_cycles, vector_cycles);
+  EXPECT_DOUBLE_EQ(o.efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(o.time_following_model, o.time_oracle);
+}
+
+}  // namespace
+}  // namespace veccost::model

@@ -1,0 +1,210 @@
+// Unit tests for the fitting library: least squares, NNLS, SVR, scaler,
+// model IO — including the numerical invariants (planted-weight recovery,
+// KKT conditions, the epsilon tube).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "fit/least_squares.hpp"
+#include "fit/model_io.hpp"
+#include "fit/nnls.hpp"
+#include "fit/scaler.hpp"
+#include "fit/svr.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace veccost::fit {
+namespace {
+
+/// Random design matrix + planted weights -> (X, y).
+struct Planted {
+  Matrix x;
+  Vector y;
+  Vector w_true;
+};
+
+Planted make_planted(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                     bool nonneg = false, double noise = 0.0) {
+  Rng rng(seed);
+  Planted p;
+  p.x = Matrix(rows, cols);
+  p.w_true.resize(cols);
+  for (auto& w : p.w_true) w = nonneg ? rng.uniform(0.1, 2.0) : rng.uniform(-2, 2);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) p.x(r, c) = rng.uniform(0, 5);
+  p.y = p.x * p.w_true;
+  if (noise > 0)
+    for (auto& v : p.y) v += noise * rng.normal();
+  return p;
+}
+
+TEST(LeastSquares, RecoversPlantedWeightsExactly) {
+  const Planted p = make_planted(40, 6, 1);
+  const Vector w = solve_least_squares(p.x, p.y);
+  ASSERT_EQ(w.size(), p.w_true.size());
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_NEAR(w[i], p.w_true[i], 1e-9);
+}
+
+TEST(LeastSquares, OverdeterminedNoisyResidualIsOrthogonal) {
+  const Planted p = make_planted(100, 5, 2, false, 0.1);
+  const Vector w = solve_least_squares(p.x, p.y);
+  // Normal equations: X^T (y - X w) == 0 at the optimum.
+  const Vector grad = transpose_times(p.x, subtract(p.y, p.x * w));
+  for (double g : grad) EXPECT_NEAR(g, 0.0, 1e-7);
+}
+
+TEST(LeastSquares, RidgeShrinksWeights) {
+  const Planted p = make_planted(30, 4, 3);
+  const Vector plain = solve_least_squares(p.x, p.y);
+  const Vector ridge = solve_least_squares(p.x, p.y, {.lambda = 100.0});
+  EXPECT_LT(norm2(ridge), norm2(plain));
+}
+
+TEST(LeastSquares, SingularSystemThrowsWithoutRidge) {
+  Matrix x{{1, 1}, {2, 2}, {3, 3}};  // rank 1
+  Vector y{1, 2, 3};
+  EXPECT_THROW((void)solve_least_squares(x, y), Error);
+  // Ridge regularization makes it solvable.
+  EXPECT_NO_THROW((void)solve_least_squares(x, y, {.lambda = 1e-6}));
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  Matrix x{{1, 2, 3}};
+  Vector y{1};
+  EXPECT_THROW((void)solve_least_squares(x, y), Error);
+}
+
+TEST(LeastSquares, QrReconstructionSane) {
+  const Planted p = make_planted(10, 3, 9);
+  Matrix qr = p.x;
+  Vector betas;
+  householder_qr(qr, betas);
+  // |R_00| equals the norm of the first column of X.
+  double col0 = 0;
+  for (std::size_t r = 0; r < p.x.rows(); ++r) col0 += p.x(r, 0) * p.x(r, 0);
+  EXPECT_NEAR(std::abs(qr(0, 0)), std::sqrt(col0), 1e-9);
+}
+
+TEST(Nnls, MatchesLeastSquaresWhenOptimumIsFeasible) {
+  const Planted p = make_planted(50, 5, 4, /*nonneg=*/true);
+  const Vector ls = solve_least_squares(p.x, p.y);
+  const NnlsResult nn = solve_nnls(p.x, p.y);
+  ASSERT_TRUE(nn.converged);
+  for (std::size_t i = 0; i < ls.size(); ++i)
+    EXPECT_NEAR(nn.weights[i], ls[i], 1e-6);
+}
+
+TEST(Nnls, AllWeightsNonNegative) {
+  // Plant negative weights; NNLS must clamp at the boundary.
+  const Planted p = make_planted(60, 6, 5, /*nonneg=*/false);
+  const NnlsResult nn = solve_nnls(p.x, p.y);
+  for (double w : nn.weights) EXPECT_GE(w, 0.0);
+}
+
+TEST(Nnls, SatisfiesKktConditions) {
+  const Planted p = make_planted(60, 6, 6, false, 0.05);
+  const NnlsResult nn = solve_nnls(p.x, p.y);
+  ASSERT_TRUE(nn.converged);
+  // KKT: gradient g = X^T(Xw - y); w_i > 0 => g_i == 0; w_i == 0 => g_i >= 0.
+  const Vector g = transpose_times(p.x, subtract(p.x * nn.weights, p.y));
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (nn.weights[i] > 1e-9) {
+      EXPECT_NEAR(g[i], 0.0, 1e-5) << "active weight " << i;
+    } else {
+      EXPECT_GE(g[i], -1e-5) << "inactive weight " << i;
+    }
+  }
+}
+
+TEST(Nnls, ResidualNeverBeatsUnconstrained) {
+  const Planted p = make_planted(40, 5, 7, false, 0.2);
+  const Vector ls = solve_least_squares(p.x, p.y);
+  const double ls_resid = norm2(subtract(p.x * ls, p.y));
+  const NnlsResult nn = solve_nnls(p.x, p.y);
+  EXPECT_GE(nn.residual_norm, ls_resid - 1e-9);
+}
+
+TEST(Svr, FitsLinearDataWithinTube) {
+  const Planted p = make_planted(80, 4, 8, true);
+  const SvrResult m = solve_svr(p.x, p.y, {.c = 100.0, .epsilon = 0.01});
+  for (std::size_t r = 0; r < p.x.rows(); ++r) {
+    const double pred = svr_predict(m, p.x.row(r));
+    EXPECT_NEAR(pred, p.y[r], 0.1);
+  }
+}
+
+TEST(Svr, EpsilonControlsSupportVectorCount) {
+  const Planted p = make_planted(80, 4, 10, true, 0.01);
+  const SvrResult tight = solve_svr(p.x, p.y, {.c = 50, .epsilon = 0.001});
+  const SvrResult loose = solve_svr(p.x, p.y, {.c = 50, .epsilon = 0.5});
+  EXPECT_GE(tight.support_vectors, loose.support_vectors);
+}
+
+TEST(Svr, BiasRecoversIntercept) {
+  Rng rng(11);
+  Matrix x(60, 2);
+  Vector y(60);
+  for (std::size_t r = 0; r < 60; ++r) {
+    x(r, 0) = rng.uniform(0, 4);
+    x(r, 1) = rng.uniform(0, 4);
+    y[r] = 2.0 * x(r, 0) - 1.0 * x(r, 1) + 3.0;
+  }
+  const SvrResult m = solve_svr(x, y, {.c = 200, .epsilon = 0.01});
+  EXPECT_NEAR(m.weights[0], 2.0, 0.15);
+  EXPECT_NEAR(m.weights[1], -1.0, 0.15);
+  EXPECT_NEAR(m.bias, 3.0, 0.4);
+}
+
+TEST(Scaler, StandardizesColumns) {
+  const Planted p = make_planted(50, 3, 12);
+  StandardScaler s;
+  s.fit(p.x);
+  const Matrix z = s.transform(p.x);
+  for (std::size_t c = 0; c < z.cols(); ++c) {
+    const Vector col = z.col(c);
+    EXPECT_NEAR(mean(col), 0.0, 1e-10);
+    EXPECT_NEAR(stddev(col), 1.0, 1e-10);
+  }
+}
+
+TEST(Scaler, TransformRowMatchesMatrixTransform) {
+  const Planted p = make_planted(20, 3, 13);
+  StandardScaler s;
+  s.fit(p.x);
+  const Matrix z = s.transform(p.x);
+  const Vector row = s.transform_row(p.x.row(5));
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(row[c], z(5, c));
+}
+
+TEST(ModelIo, RoundTrip) {
+  SavedModel m;
+  m.target = "cortex-a57";
+  m.feature_set = "rated";
+  m.fitter = "nnls";
+  m.bias = 0.25;
+  m.feature_names = {"load", "store", "fmul"};
+  m.weights = {1.5, 0.75, 2.25};
+  std::stringstream ss;
+  save_model(ss, m);
+  const SavedModel back = load_model(ss);
+  EXPECT_EQ(back.target, m.target);
+  EXPECT_EQ(back.feature_set, m.feature_set);
+  EXPECT_EQ(back.fitter, m.fitter);
+  EXPECT_DOUBLE_EQ(back.bias, m.bias);
+  ASSERT_EQ(back.weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.weights[2], 2.25);
+  EXPECT_EQ(back.feature_names[1], "store");
+}
+
+TEST(ModelIo, RejectsMalformedInput) {
+  std::istringstream bad_magic("nonsense\n");
+  EXPECT_THROW((void)load_model(bad_magic), Error);
+  std::istringstream bad_key("veccost-model v1\nbogus 1\n");
+  EXPECT_THROW((void)load_model(bad_key), Error);
+  std::istringstream bad_weight("veccost-model v1\nweight x notanumber\n");
+  EXPECT_THROW((void)load_model(bad_weight), Error);
+}
+
+}  // namespace
+}  // namespace veccost::fit

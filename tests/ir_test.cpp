@@ -1,0 +1,212 @@
+// Unit tests for the IR: types, opcodes, builder, printer, verifier.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace veccost::ir {
+namespace {
+
+using B = LoopBuilder;
+
+LoopKernel simple_kernel() {
+  B b("t0", "test", "a[i] = b[i] + 1");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.add(b.load(bb, B::at(1)), b.fconst(1.0)));
+  return std::move(b).finish();
+}
+
+TEST(Type, SizesAndPredicates) {
+  EXPECT_EQ(byte_size(ScalarType::F32), 4);
+  EXPECT_EQ(byte_size(ScalarType::F64), 8);
+  EXPECT_EQ(byte_size(ScalarType::I8), 1);
+  EXPECT_TRUE(is_float(ScalarType::F64));
+  EXPECT_FALSE(is_float(ScalarType::I32));
+  const Type v{ScalarType::F32, 4};
+  EXPECT_TRUE(v.is_vector());
+  EXPECT_EQ(v.bits(), 128);
+  EXPECT_EQ(to_string(v), "<4 x f32>");
+}
+
+TEST(Opcode, OperandCounts) {
+  EXPECT_EQ(operand_count(Opcode::Add), 2);
+  EXPECT_EQ(operand_count(Opcode::FMA), 3);
+  EXPECT_EQ(operand_count(Opcode::Load), 0);
+  EXPECT_EQ(operand_count(Opcode::Store), 1);
+  EXPECT_EQ(operand_count(Opcode::Phi), 0);
+  EXPECT_EQ(operand_count(Opcode::Select), 3);
+}
+
+TEST(Opcode, Classification) {
+  EXPECT_EQ(classify(Opcode::Add, true), OpClass::FloatAdd);
+  EXPECT_EQ(classify(Opcode::Add, false), OpClass::IntArith);
+  EXPECT_EQ(classify(Opcode::Mul, true), OpClass::FloatMul);
+  EXPECT_EQ(classify(Opcode::Sqrt, true), OpClass::FloatDiv);
+  EXPECT_EQ(classify(Opcode::Gather, true), OpClass::MemGather);
+  EXPECT_EQ(classify(Opcode::CmpLT, true), OpClass::Compare);
+  EXPECT_TRUE(is_memory_op(Opcode::StridedStore));
+  EXPECT_TRUE(is_store_op(Opcode::Scatter));
+  EXPECT_FALSE(is_store_op(Opcode::Gather));
+  EXPECT_TRUE(is_vector_only(Opcode::Splice));
+}
+
+TEST(Builder, SimpleKernelShape) {
+  const LoopKernel k = simple_kernel();
+  EXPECT_EQ(k.name, "t0");
+  EXPECT_EQ(k.arrays.size(), 2u);
+  EXPECT_EQ(k.body.size(), 4u);  // load, const, add, store
+  EXPECT_EQ(k.work_instruction_count(), 3u);
+  EXPECT_TRUE(verify(k).ok()) << verify(k).to_string();
+}
+
+TEST(Builder, TypeInference) {
+  B b("t1", "test");
+  const int a = b.array("a", ScalarType::F64);
+  auto x = b.load(a, B::at(1));
+  EXPECT_EQ(b.peek().value_type(x.id).elem, ScalarType::F64);
+  auto m = b.cmp_lt(x, x);
+  EXPECT_TRUE(b.peek().value_type(m.id).is_mask());
+  auto c = b.convert(x, ScalarType::I32);
+  EXPECT_EQ(b.peek().value_type(c.id).elem, ScalarType::I32);
+}
+
+TEST(Builder, RejectsTypeMismatches) {
+  B b("t2", "test");
+  const int a = b.array("a", ScalarType::F32);
+  const int d = b.array("d", ScalarType::F64);
+  auto x = b.load(a, B::at(1));
+  auto y = b.load(d, B::at(1));
+  EXPECT_THROW((void)b.add(x, y), Error);
+  EXPECT_THROW(b.store(d, B::at(1), x), Error);
+  EXPECT_THROW((void)b.select(x, x, x), Error);  // mask must be i1
+}
+
+TEST(Builder, RejectsUnsetPhi) {
+  B b("t3", "test");
+  const int a = b.array("a");
+  auto p = b.phi(0.0);
+  b.store(a, B::at(1), p);
+  EXPECT_THROW((void)std::move(b).finish(), Error);
+}
+
+TEST(Builder, PhiUpdateMustComeLater) {
+  B b("t4", "test");
+  const int a = b.array("a");
+  auto x = b.load(a, B::at(1));
+  auto p = b.phi(0.0);
+  EXPECT_THROW(b.set_phi_update(p, x), Error);  // x precedes p
+}
+
+TEST(Builder, TripCountArithmetic) {
+  TripCount t{.start = 1, .step = 2, .num = 1, .den = 1, .offset = -1};
+  // i = 1, 3, 5, ... < n-1
+  EXPECT_EQ(t.end(10), 9);
+  EXPECT_EQ(t.iterations(10), 4);  // 1,3,5,7
+  TripCount half{.num = 1, .den = 2};
+  EXPECT_EQ(half.iterations(10), 5);
+  TripCount fixed{.num = 0, .offset = 256};
+  EXPECT_EQ(fixed.iterations(9999), 256);
+  TripCount empty{.start = 5, .offset = -10};
+  EXPECT_EQ(empty.iterations(4), 0);
+}
+
+TEST(Printer, RendersKeyElements) {
+  const LoopKernel k = simple_kernel();
+  const std::string s = print(k);
+  EXPECT_NE(s.find("kernel t0"), std::string::npos);
+  EXPECT_NE(s.find("load b[i]"), std::string::npos);
+  EXPECT_NE(s.find("store a[i]"), std::string::npos);
+  EXPECT_NE(s.find("add"), std::string::npos);
+}
+
+TEST(Printer, RendersComplexIndices) {
+  B b("t5", "test");
+  const int a = b.array("a", ScalarType::F32, 2, 4);
+  auto x = b.load(a, B::at_n(-1, 1, -2));
+  b.store(a, B::at(2, 1), x);
+  const LoopKernel k = std::move(b).finish();
+  const std::string s = print(k);
+  EXPECT_NE(s.find("-i"), std::string::npos);
+  EXPECT_NE(s.find("n"), std::string::npos);
+  EXPECT_NE(s.find("2*i"), std::string::npos);
+}
+
+TEST(Verifier, CatchesForwardReference) {
+  LoopKernel k = simple_kernel();
+  k.body[0].operands[0] = 3;  // load gets a bogus operand? loads have none...
+  k.body[2].operands[0] = 3;  // add references the later store
+  EXPECT_FALSE(verify(k).ok());
+}
+
+TEST(Verifier, CatchesBadArray) {
+  LoopKernel k = simple_kernel();
+  for (auto& inst : k.body)
+    if (inst.op == Opcode::Load) inst.array = 7;
+  EXPECT_FALSE(verify(k).ok());
+}
+
+TEST(Verifier, CatchesLaneMismatch) {
+  LoopKernel k = simple_kernel();
+  k.body[2].type.lanes = 4;  // vf is still 1
+  EXPECT_FALSE(verify(k).ok());
+}
+
+TEST(Verifier, CatchesNonMaskPredicate) {
+  B b("t6", "test");
+  const int a = b.array("a");
+  auto x = b.load(a, B::at(1));
+  b.store(a, B::at(1), x, x);  // predicate is f32, not i1
+  const LoopKernel k = std::move(b).peek();
+  EXPECT_FALSE(verify(k).ok());
+}
+
+TEST(Verifier, CatchesReductionKindMismatch) {
+  B b("t7", "test");
+  const int a = b.array("a");
+  auto p = b.phi(1.0);
+  auto upd = b.mul(p, b.load(a, B::at(1)));
+  b.set_phi_update(p, upd, ReductionKind::Sum);  // mul under Sum
+  b.live_out(p);
+  const LoopKernel k = std::move(b).finish();
+  EXPECT_FALSE(verify(k).ok());
+}
+
+TEST(Verifier, AcceptsEverySuiteStyleConstruct) {
+  B b("t8", "test");
+  b.outer(4);
+  b.trip({.start = 1, .step = 2, .offset = -1});
+  const int a = b.array("a", ScalarType::F32, 2, 8);
+  const int ip = b.array("ip", ScalarType::I32);
+  auto idx = b.load(ip, B::at(1));
+  auto g = b.load(a, B::via(idx));
+  auto p = b.phi(0.0);
+  auto mask = b.cmp_gt(g, b.fconst(0.0));
+  auto sum = b.add(p, g);
+  auto upd = b.select(mask, sum, p);
+  b.set_phi_update(p, upd, ReductionKind::Sum);
+  b.store(a, B::at(2, 1), g, mask);
+  b.live_out(p);
+  const LoopKernel k = std::move(b).finish();
+  EXPECT_TRUE(verify(k).ok()) << verify(k).to_string();
+}
+
+TEST(Loop, HelperQueries) {
+  B b("t9", "test");
+  const int a = b.array("a");
+  auto p = b.phi(0.0);
+  auto upd = b.add(p, b.load(a, B::at(1)));
+  b.set_phi_update(p, upd, ReductionKind::Sum);
+  b.live_out(p);
+  auto cond = b.cmp_gt(upd, b.fconst(100.0));
+  b.brk(cond);
+  const LoopKernel k = std::move(b).finish();
+  EXPECT_TRUE(k.has_break());
+  EXPECT_EQ(k.phis().size(), 1u);
+  EXPECT_EQ(k.find_array("a"), 0);
+  EXPECT_EQ(k.find_array("zz"), -1);
+}
+
+}  // namespace
+}  // namespace veccost::ir

@@ -1,0 +1,329 @@
+// Unit tests for the machine layer: target tables, the functional executor
+// (scalar semantics on hand-computable kernels), and the performance model's
+// qualitative behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/builder.hpp"
+#include "machine/executor.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/targets.hpp"
+#include "support/error.hpp"
+
+namespace veccost::machine {
+namespace {
+
+using B = ir::LoopBuilder;
+using ir::LoopKernel;
+using ir::ReductionKind;
+using ir::ScalarType;
+
+TEST(Targets, RegistryAndLookup) {
+  EXPECT_EQ(all_targets().size(), 4u);
+  EXPECT_EQ(target_by_name("cortex-a57").vector_bits, 128);
+  EXPECT_EQ(target_by_name("xeon-e5-avx2").vector_bits, 256);
+  EXPECT_EQ(target_by_name("neoverse-sve256").vector_bits, 256);
+  EXPECT_THROW((void)target_by_name("z80"), Error);
+}
+
+TEST(Targets, SveHasPredicationAndGathers) {
+  const TargetDesc sve = neoverse_sve256();
+  EXPECT_TRUE(sve.hw_gather);
+  EXPECT_TRUE(sve.hw_masked_store);
+  EXPECT_LT(sve.masked_store_penalty_cycles,
+            cortex_a57().masked_store_penalty_cycles);
+  EXPECT_EQ(sve.lanes_per_register(ScalarType::F32), 8);
+}
+
+TEST(Targets, LanesPerRegister) {
+  const TargetDesc a57 = cortex_a57();
+  EXPECT_EQ(a57.lanes_per_register(ScalarType::F32), 4);
+  EXPECT_EQ(a57.lanes_per_register(ScalarType::F64), 2);
+  EXPECT_EQ(a57.lanes_per_register(ScalarType::I8), 16);
+  EXPECT_EQ(a57.native_ops(ScalarType::F32, 8), 2);
+  const TargetDesc xeon = xeon_e5_avx2();
+  EXPECT_EQ(xeon.lanes_per_register(ScalarType::F32), 8);
+}
+
+TEST(Targets, A57HalvedSimdThroughput) {
+  // The A57 runs 128-bit FP ASIMD at half rate; the A72 at full rate.
+  const TargetDesc a57 = cortex_a57();
+  const TargetDesc a72 = cortex_a72();
+  EXPECT_GT(a57.vector_timing(ir::OpClass::FloatAdd, ScalarType::F32).rthroughput,
+            a72.vector_timing(ir::OpClass::FloatAdd, ScalarType::F32).rthroughput);
+}
+
+TEST(Targets, DivisionIsExpensive) {
+  for (const auto& t : all_targets()) {
+    EXPECT_GT(t.scalar_timing(ir::OpClass::FloatDiv, ScalarType::F32).rthroughput,
+              5 * t.scalar_timing(ir::OpClass::FloatAdd, ScalarType::F32).rthroughput);
+  }
+}
+
+TEST(Executor, CopyKernelCopies) {
+  B b("e0", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const LoopKernel k = std::move(b).finish();
+  Workload wl = make_workload(k, 64);
+  const auto before = wl.arrays[1];
+  const ExecResult r = execute_scalar(k, wl);
+  EXPECT_EQ(r.iterations, 64);
+  EXPECT_EQ(wl.arrays[0], before);
+}
+
+TEST(Executor, AffineIndexingAndConstants) {
+  // a[2i+1] = i for i in [0, 8).
+  B b("e1", "test");
+  b.trip({.num = 0, .offset = 8});
+  const int a = b.array("a", ScalarType::F32, 0, 17);
+  auto fi = b.convert(b.indvar(), ScalarType::F32);
+  b.store(a, B::at(2, 1), fi);
+  const LoopKernel k = std::move(b).finish();
+  Workload wl = make_workload(k, 8);
+  (void)execute_scalar(k, wl);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(wl.arrays[0][2 * i + 1], i);
+}
+
+TEST(Executor, SumReductionMatchesHandSum) {
+  B b("e2", "test");
+  const int a = b.array("a");
+  auto s = b.phi(0.0);
+  auto upd = b.add(s, b.load(a, B::at(1)));
+  b.set_phi_update(s, upd, ReductionKind::Sum);
+  b.live_out(s);
+  const LoopKernel k = std::move(b).finish();
+  Workload wl = make_workload(k, 100);
+  double expected = 0;
+  for (double v : wl.arrays[0])
+    expected = static_cast<float>(expected + v);
+  const ExecResult r = execute_scalar(k, wl);
+  ASSERT_EQ(r.live_outs.size(), 1u);
+  EXPECT_NEAR(r.live_outs[0], expected, 1e-4);
+}
+
+TEST(Executor, PredicatedStoreMasksLanes) {
+  // if (b[i] > threshold) a[i] = 9; threshold splits the [1,2) init range.
+  B b("e3", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto vb = b.load(bb, B::at(1));
+  auto m = b.cmp_gt(vb, b.fconst(1.5));
+  b.store(a, B::at(1), b.fconst(9.0), m);
+  const LoopKernel k = std::move(b).finish();
+  Workload wl = make_workload(k, 128);
+  const auto a_before = wl.arrays[0];
+  const auto b_vals = wl.arrays[1];
+  (void)execute_scalar(k, wl);
+  for (int i = 0; i < 128; ++i) {
+    if (b_vals[static_cast<std::size_t>(i)] > 1.5f)
+      EXPECT_DOUBLE_EQ(wl.arrays[0][static_cast<std::size_t>(i)], 9.0);
+    else
+      EXPECT_DOUBLE_EQ(wl.arrays[0][static_cast<std::size_t>(i)],
+                       a_before[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Executor, BreakStopsEarly) {
+  // Break when i reaches 10.
+  B b("e4", "test");
+  const int a = b.array("a");
+  auto m = b.cmp_ge(b.indvar(), b.iconst(10));
+  b.brk(m);
+  b.store(a, B::at(1), b.fconst(1.0));
+  const LoopKernel k = std::move(b).finish();
+  Workload wl = make_workload(k, 100);
+  const ExecResult r = execute_scalar(k, wl);
+  EXPECT_TRUE(r.broke_early);
+  EXPECT_EQ(r.iterations, 11);  // i = 0..9 stored, break at i = 10
+  EXPECT_DOUBLE_EQ(wl.arrays[0][9], 1.0);
+  EXPECT_NE(wl.arrays[0][10], 1.0);
+}
+
+TEST(Executor, FirstOrderRecurrenceSemantics) {
+  // a[i] = x; x = b[i]  =>  a[0] = init, a[i] = b[i-1].
+  B b("e5", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto x = b.phi(7.0);
+  auto vb = b.load(bb, B::at(1));
+  b.store(a, B::at(1), x);
+  b.set_phi_update(x, vb);
+  b.live_out(x);
+  const LoopKernel k = std::move(b).finish();
+  Workload wl = make_workload(k, 32);
+  const auto b_vals = wl.arrays[1];
+  const ExecResult r = execute_scalar(k, wl);
+  EXPECT_DOUBLE_EQ(wl.arrays[0][0], 7.0);
+  for (int i = 1; i < 32; ++i)
+    EXPECT_DOUBLE_EQ(wl.arrays[0][static_cast<std::size_t>(i)],
+                     b_vals[static_cast<std::size_t>(i - 1)]);
+  EXPECT_DOUBLE_EQ(r.live_outs[0], b_vals[31]);
+}
+
+TEST(Executor, OuterLoopRepeatsInner) {
+  // a[i] += 1, outer x 4 -> every element grows by 4.
+  B b("e6", "test");
+  b.outer(4);
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1)), b.fconst(1.0)));
+  const LoopKernel k = std::move(b).finish();
+  Workload wl = make_workload(k, 16);
+  const auto before = wl.arrays[0];
+  const ExecResult r = execute_scalar(k, wl);
+  EXPECT_EQ(r.iterations, 64);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_NEAR(wl.arrays[0][static_cast<std::size_t>(i)],
+                before[static_cast<std::size_t>(i)] + 4.0, 1e-5);
+}
+
+TEST(Executor, GatherReadsIndirect) {
+  B b("e7", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  const int ip = b.array("ip", ScalarType::I32);
+  auto idx = b.load(ip, B::at(1));
+  b.store(a, B::at(1), b.load(bb, B::via(idx)));
+  const LoopKernel k = std::move(b).finish();
+  Workload wl = make_workload(k, 64);
+  const auto b_vals = wl.arrays[1];
+  const auto ip_vals = wl.arrays[2];
+  (void)execute_scalar(k, wl);
+  for (int i = 0; i < 64; ++i) {
+    const auto target = static_cast<std::size_t>(ip_vals[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(wl.arrays[0][static_cast<std::size_t>(i)], b_vals[target]);
+  }
+}
+
+TEST(Executor, OutOfBoundsThrows) {
+  B b("e8", "test");
+  const int a = b.array("a");
+  b.store(a, B::at(1, 5), b.fconst(1.0));  // writes past the end
+  const LoopKernel k = std::move(b).finish();
+  Workload wl = make_workload(k, 16);
+  EXPECT_THROW((void)execute_scalar(k, wl), Error);
+}
+
+TEST(PerfModel, MoreWorkCostsMore) {
+  B b1("pm1", "test");
+  {
+    const int a = b1.array("a"), bb = b1.array("b");
+    b1.store(a, B::at(1), b1.load(bb, B::at(1)));
+  }
+  const LoopKernel light = std::move(b1).finish();
+  B b2("pm2", "test");
+  {
+    const int a = b2.array("a"), bb = b2.array("b");
+    auto x = b2.load(bb, B::at(1));
+    for (int i = 0; i < 6; ++i) x = b2.div(x, b2.fconst(1.1f));
+    b2.store(a, B::at(1), x);
+  }
+  const LoopKernel heavy = std::move(b2).finish();
+  const TargetDesc t = cortex_a57();
+  EXPECT_GT(estimate(heavy, t, 4096).cycles_per_body,
+            estimate(light, t, 4096).cycles_per_body);
+}
+
+TEST(PerfModel, CacheLevelsRaiseMemoryBound) {
+  B b("pm3", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const LoopKernel k = std::move(b).finish();
+  const TargetDesc t = cortex_a57();
+  const double small = estimate(k, t, 1024).memory_bound;     // L1-resident
+  const double large = estimate(k, t, 4 << 20).memory_bound;  // DRAM
+  EXPECT_GT(large, small);
+}
+
+TEST(PerfModel, ScalarReductionIsLatencyBound) {
+  B b("pm4", "test");
+  const int a = b.array("a");
+  auto s = b.phi(0.0);
+  auto upd = b.add(s, b.load(a, B::at(1)));
+  b.set_phi_update(s, upd, ReductionKind::Sum);
+  b.live_out(s);
+  const LoopKernel k = std::move(b).finish();
+  const PerfEstimate e = estimate(k, cortex_a57(), 4096);
+  EXPECT_GT(e.latency_bound, e.throughput_bound);
+}
+
+TEST(PerfModel, InterleaveGroupsCheaperThanLoneStrided) {
+  // Complete group: touches a[2i] and a[2i+1]. Lone: only a[2i].
+  B b1("ig1", "test");
+  {
+    const int a = b1.array("a", ScalarType::F32, 2, 2), bb = b1.array("b");
+    b1.trip({.num = 1, .den = 2});
+    auto x = b1.load(bb, B::at(1));
+    b1.store(a, B::at(2), x);
+    b1.store(a, B::at(2, 1), x);
+  }
+  const LoopKernel grouped = std::move(b1).finish();
+
+  const TargetDesc with_groups = cortex_a57();
+  TargetDesc without_groups = cortex_a57();
+  without_groups.model_interleave_groups = false;
+
+  // The same widened kernel must cost less when groups are modeled.
+  LoopKernel wide = grouped;
+  wide.vf = 4;
+  for (auto& inst : wide.body) {
+    if (inst.op == ir::Opcode::Store) inst.op = ir::Opcode::StridedStore;
+    inst.type.lanes = 4;
+  }
+  const double c_on = estimate(wide, with_groups, 1 << 18).cycles_per_body;
+  const double c_off = estimate(wide, without_groups, 1 << 18).cycles_per_body;
+  EXPECT_LT(c_on, c_off);
+}
+
+TEST(PerfModel, IncompleteGroupStaysExpensive) {
+  // Only a[2i] is touched: residues {0} of stride 2 -> not a group.
+  B b("ig2", "test");
+  const int a = b.array("a", ScalarType::F32, 2, 2), bb = b.array("b");
+  b.trip({.num = 1, .den = 2});
+  b.store(a, B::at(2), b.load(bb, B::at(1)));
+  LoopKernel wide = std::move(b).finish();
+  wide.vf = 4;
+  for (auto& inst : wide.body) {
+    if (inst.op == ir::Opcode::Store) inst.op = ir::Opcode::StridedStore;
+    inst.type.lanes = 4;
+  }
+  const TargetDesc on = cortex_a57();
+  TargetDesc off = cortex_a57();
+  off.model_interleave_groups = false;
+  EXPECT_DOUBLE_EQ(estimate(wide, on, 4096).cycles_per_body,
+                   estimate(wide, off, 4096).cycles_per_body);
+}
+
+TEST(PerfModel, JitterIsSmallAndDeterministic) {
+  B b("pm5", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const LoopKernel k = std::move(b).finish();
+  const TargetDesc t = cortex_a57();
+  const double m1 = measure_scalar_cycles(k, t, 4096);
+  const double m2 = measure_scalar_cycles(k, t, 4096);
+  EXPECT_DOUBLE_EQ(m1, m2);
+  const double ideal = estimate(k, t, 4096).total_cycles;
+  EXPECT_NEAR(m1 / ideal, 1.0, 0.016);
+}
+
+TEST(Workload, DeterministicAndTyped) {
+  B b("wl0", "test");
+  const int a = b.array("a");
+  const int ip = b.array("ip", ScalarType::I32);
+  b.store(a, B::at(1), b.convert(b.load(ip, B::at(1)), ScalarType::F32));
+  const LoopKernel k = std::move(b).finish();
+  const Workload w1 = make_workload(k, 256);
+  const Workload w2 = make_workload(k, 256);
+  EXPECT_EQ(w1.arrays, w2.arrays);
+  for (double v : w1.arrays[1]) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 256);
+    EXPECT_DOUBLE_EQ(v, std::floor(v));
+  }
+  for (double v : w1.arrays[0]) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace veccost::machine

@@ -1,0 +1,194 @@
+// Parser tests: printer/parser round-trips (including a sweep over all 151
+// TSVC kernels), hand-written textual kernels, and malformed-input errors.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "machine/executor.hpp"
+#include "support/error.hpp"
+#include "tsvc/kernel.hpp"
+#include "tsvc/workload.hpp"
+
+namespace veccost::ir {
+namespace {
+
+using B = LoopBuilder;
+
+TEST(Parser, HandWrittenKernel) {
+  const std::string text = R"(
+# saxpy written by hand
+kernel saxpy (example) n=1024 vf=1
+arrays: a:f32[n] b:f32[n]
+loop i = 0 .. n step 1:
+  %0 = param #0 : f32
+  %1 = load b[i] : f32
+  %2 = load a[i] : f32
+  %3 = fma %0, %1, %2 : f32
+  store a[i], %3
+)";
+  const LoopKernel k = parse_kernel(text);
+  EXPECT_EQ(k.name, "saxpy");
+  EXPECT_EQ(k.category, "example");
+  EXPECT_EQ(k.default_n, 1024);
+  EXPECT_EQ(k.arrays.size(), 2u);
+  EXPECT_EQ(k.body.size(), 5u);
+  EXPECT_EQ(k.params.size(), 1u);
+  EXPECT_EQ(k.body[3].op, Opcode::FMA);
+}
+
+TEST(Parser, ComplexSubscriptsAndPhis) {
+  const std::string text = R"(
+kernel rev (t) n=256 vf=1
+arrays: a:f32[n] b:f32[2*n+8]
+loop i = 1 .. n-1 step 2:
+  %0 = phi [init=1.5, update=%2, red=sum] : f32
+  %1 = load b[2*i+3] : f32
+  %2 = add %0, %1 : f32
+  %3 = load a[-i+n-1] : f32
+  %4 = cmpgt %1, %3 : i1
+  store a[i], %2 if %4
+live-out: %0
+)";
+  const LoopKernel k = parse_kernel(text);
+  EXPECT_EQ(k.trip.start, 1);
+  EXPECT_EQ(k.trip.step, 2);
+  EXPECT_EQ(k.trip.offset, -1);
+  EXPECT_EQ(k.body[1].index.scale_i, 2);
+  EXPECT_EQ(k.body[1].index.offset, 3);
+  EXPECT_EQ(k.body[3].index.scale_i, -1);
+  EXPECT_EQ(k.body[3].index.n_scale, 1);
+  EXPECT_EQ(k.body[3].index.offset, -1);
+  EXPECT_EQ(k.body[0].reduction, ReductionKind::Sum);
+  EXPECT_EQ(k.body[5].predicate, 4);
+  ASSERT_EQ(k.live_outs.size(), 1u);
+  EXPECT_EQ(k.live_outs[0], 0);
+}
+
+TEST(Parser, IndirectSubscript) {
+  const std::string text = R"(
+kernel g (t) n=64 vf=1
+arrays: a:f32[n] b:f32[n] ip:i32[n]
+loop i = 0 .. n step 1:
+  %0 = load ip[i] : i32
+  %1 = load b[%0+1] : f32
+  store a[i], %1
+)";
+  const LoopKernel k = parse_kernel(text);
+  EXPECT_TRUE(k.body[1].index.is_indirect());
+  EXPECT_EQ(k.body[1].index.indirect, 0);
+  EXPECT_EQ(k.body[1].index.offset, 1);
+}
+
+TEST(Parser, PrintParseReprintIsStable) {
+  B b("rt0", "test");
+  b.outer(4);
+  b.trip({.start = 2, .step = 3, .num = 1, .den = 2, .offset = -1});
+  const int a = b.array("a", ScalarType::F32, 2, 16);
+  const int ip = b.array("ip", ScalarType::I32);
+  auto idx = b.load(ip, B::at(1));
+  auto g = b.load(a, B::via(idx, 2));
+  auto p = b.phi(0.25);
+  auto m = b.cmp_le(g, b.fconst(1.5));
+  auto s = b.add(p, b.select(m, g, b.fconst(0.0)));
+  b.set_phi_update(p, s, ReductionKind::Sum);
+  b.store(a, B::at2(2, 1, -1), g, m);
+  b.live_out(p);
+  const LoopKernel k = std::move(b).finish();
+
+  const std::string once = print(k);
+  const LoopKernel back = parse_kernel(once);
+  EXPECT_EQ(print(back), once);
+}
+
+class TsvcRoundTrip : public ::testing::TestWithParam<const tsvc::KernelInfo*> {};
+
+TEST_P(TsvcRoundTrip, PrintParseReprint) {
+  const LoopKernel k = GetParam()->build();
+  const std::string once = print(k);
+  LoopKernel back;
+  ASSERT_NO_THROW(back = parse_kernel(once)) << once;
+  EXPECT_EQ(print(back), once);
+  EXPECT_EQ(back.body.size(), k.body.size());
+  EXPECT_EQ(back.arrays.size(), k.arrays.size());
+  EXPECT_EQ(back.live_outs, k.live_outs);
+}
+
+TEST_P(TsvcRoundTrip, ParsedKernelExecutesIdentically) {
+  const LoopKernel k = GetParam()->build();
+  LoopKernel back = parse_kernel(print(k));
+  ASSERT_EQ(back.params, k.params);  // params round-trip at full precision
+  const std::int64_t n = k.trip.num == 0 ? k.default_n : 1024;
+  machine::Workload w1 = machine::make_workload(k, n);
+  machine::Workload w2 = w1;
+  const auto r1 = machine::execute_scalar(k, w1);
+  const auto r2 = machine::execute_scalar(back, w2);
+  EXPECT_DOUBLE_EQ(tsvc::max_abs_difference(w1, w2), 0.0) << k.name;
+  ASSERT_EQ(r1.live_outs.size(), r2.live_outs.size());
+  for (std::size_t i = 0; i < r1.live_outs.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1.live_outs[i], r2.live_outs[i]) << k.name;
+}
+
+std::vector<const tsvc::KernelInfo*> all_kernels() {
+  std::vector<const tsvc::KernelInfo*> out;
+  for (const auto& k : tsvc::suite()) out.push_back(&k);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, TsvcRoundTrip, ::testing::ValuesIn(all_kernels()),
+                         [](const ::testing::TestParamInfo<const tsvc::KernelInfo*>& i) {
+                           return i.param->name;
+                         });
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_kernel("garbage"), Error);
+  EXPECT_THROW((void)parse_kernel("kernel k (t) n=10 vf=1\n"), Error);  // no arrays
+  // Unknown opcode.
+  EXPECT_THROW((void)parse_kernel("kernel k (t) n=10 vf=1\narrays: a:f32[n]\n"
+                                  "loop i = 0 .. n step 1:\n"
+                                  "  %0 = zorp a[i] : f32\n"),
+               Error);
+  // Out-of-order ids.
+  EXPECT_THROW((void)parse_kernel("kernel k (t) n=10 vf=1\narrays: a:f32[n]\n"
+                                  "loop i = 0 .. n step 1:\n"
+                                  "  %5 = load a[i] : f32\n"),
+               Error);
+  // Unknown array.
+  EXPECT_THROW((void)parse_kernel("kernel k (t) n=10 vf=1\narrays: a:f32[n]\n"
+                                  "loop i = 0 .. n step 1:\n"
+                                  "  %0 = load zz[i] : f32\n"),
+               Error);
+  // Verifier rejection: store of mismatched type.
+  EXPECT_THROW((void)parse_kernel("kernel k (t) n=10 vf=1\narrays: a:f32[n]\n"
+                                  "loop i = 0 .. n step 1:\n"
+                                  "  %0 = indvar : i64\n"
+                                  "  store a[i], %0\n"),
+               Error);
+}
+
+TEST(Parser, VectorTypesRoundTrip) {
+  B b("vt", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const LoopKernel scalar = std::move(b).finish();
+  // Manufacture a widened dump via the real vectorizer path is covered
+  // elsewhere; here, hand-write a vector-typed kernel.
+  const std::string text = R"(
+kernel wide (t) n=64 vf=4
+arrays: a:f32[n] b:f32[n]
+loop i = 0 .. n step 1:
+  %0 = load b[i] : <4 x f32>
+  %1 = const 2 : f32
+  %2 = broadcast %1 : <4 x f32>
+  %3 = mul %0, %2 : <4 x f32>
+  store a[i], %3
+)";
+  const LoopKernel k = parse_kernel(text);
+  EXPECT_EQ(k.vf, 4);
+  EXPECT_EQ(k.body[0].type.lanes, 4);
+  EXPECT_EQ(print(parse_kernel(print(k))), print(k));
+  (void)scalar;
+}
+
+}  // namespace
+}  // namespace veccost::ir

@@ -1,0 +1,118 @@
+// Tests for the transform selector: option enumeration, prediction plumbing
+// and regret accounting.
+#include <gtest/gtest.h>
+
+#include "costmodel/selector.hpp"
+#include "costmodel/trainer.hpp"
+#include "eval/measurement.hpp"
+#include "ir/builder.hpp"
+#include "machine/targets.hpp"
+#include "tsvc/kernel.hpp"
+
+namespace veccost::model {
+namespace {
+
+using B = ir::LoopBuilder;
+using ir::LoopKernel;
+
+LoopKernel streaming_kernel() {
+  B b("sel0", "test");
+  b.default_n(262144);
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.add(b.load(bb, B::at(1)), b.fconst(1.0)));
+  return std::move(b).finish();
+}
+
+TEST(Selector, EnumeratesScalarAndLoopOptions) {
+  const TransformSelector sel(machine::cortex_a57());
+  const auto r = sel.select(streaming_kernel(), 262144);
+  ASSERT_GE(r.options.size(), 2u);
+  EXPECT_EQ(r.options[0].kind, TransformKind::Scalar);
+  bool has_llv4 = false;
+  for (const auto& o : r.options)
+    if (o.kind == TransformKind::Loop && o.width == 4) has_llv4 = true;
+  EXPECT_TRUE(has_llv4);
+  for (const auto& o : r.options) EXPECT_GT(o.measured_cycles, 0);
+}
+
+TEST(Selector, PicksVectorForProfitableLoop) {
+  const TransformSelector sel(machine::cortex_a57());
+  const auto r = sel.select(streaming_kernel(), 262144);
+  EXPECT_NE(r.options[r.chosen].kind, TransformKind::Scalar);
+  EXPECT_GE(r.regret(), 1.0);
+}
+
+TEST(Selector, ScalarWhenNothingIsLegal) {
+  B b("sel1", "test");
+  b.trip({.start = 1});
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1, -1)), b.fconst(1.0)));
+  const TransformSelector sel(machine::cortex_a57());
+  const auto r = sel.select(std::move(b).finish(), 4096);
+  ASSERT_EQ(r.options.size(), 1u);
+  EXPECT_EQ(r.chosen, 0u);
+  EXPECT_EQ(r.best, 0u);
+  EXPECT_DOUBLE_EQ(r.regret(), 1.0);
+}
+
+TEST(Selector, S128OffersBothPasses) {
+  const auto* info = tsvc::find_kernel("s128");
+  const TransformSelector sel(machine::xeon_e5_avx2());
+  const auto r = sel.select(info->build(), info->build().default_n);
+  const TransformOption* llv = nullptr;
+  const TransformOption* slp = nullptr;
+  for (const auto& o : r.options) {
+    if (o.kind == TransformKind::Loop && (llv == nullptr || o.width > llv->width))
+      llv = &o;
+    if (o.kind == TransformKind::Slp) slp = &o;
+  }
+  ASSERT_NE(llv, nullptr);
+  ASSERT_NE(slp, nullptr);
+  // The slide-15 structure: LLV's prediction overshoots its measurement by
+  // far more than SLP's does (the measurement substrate knows about the
+  // strided 2i accesses; the additive model underrates them).
+  const double scalar_cycles = r.options[0].measured_cycles;
+  const double llv_measured = scalar_cycles / llv->measured_cycles;
+  EXPECT_GT(llv->predicted_speedup, llv_measured * 1.2);
+  // SLP's prediction is modest — comparable on one scale with LLV's.
+  EXPECT_LT(slp->predicted_speedup, llv->predicted_speedup);
+}
+
+TEST(Selector, FittedPredictorReducesSuiteRegret) {
+  const auto target = machine::cortex_a57();
+  const auto sm = eval::measure_suite(target);
+  const auto fitted = fit_model(sm.design_matrix(analysis::FeatureSet::Rated),
+                                sm.measured_speedups(), Fitter::NNLS,
+                                analysis::FeatureSet::Rated);
+  const TransformSelector base_sel(target);
+  const TransformSelector fit_sel(target, fitted);
+
+  double base_regret = 0, fit_regret = 0;
+  int count = 0;
+  for (const auto& info : tsvc::suite()) {
+    const ir::LoopKernel k = info.build();
+    const auto rb = base_sel.select(k, k.default_n);
+    if (rb.options.size() < 2) continue;  // nothing to choose
+    const auto rf = fit_sel.select(k, k.default_n);
+    base_regret += rb.regret();
+    fit_regret += rf.regret();
+    ++count;
+  }
+  ASSERT_GT(count, 50);
+  EXPECT_LE(fit_regret, base_regret * 1.001)
+      << "fitted mean regret " << fit_regret / count << " vs baseline "
+      << base_regret / count;
+}
+
+TEST(Selector, LabelsAndToString) {
+  EXPECT_STREQ(to_string(TransformKind::Scalar), "scalar");
+  TransformOption o;
+  o.kind = TransformKind::Loop;
+  o.width = 4;
+  EXPECT_EQ(o.label(), "llv@4");
+  o.kind = TransformKind::Scalar;
+  EXPECT_EQ(o.label(), "scalar");
+}
+
+}  // namespace
+}  // namespace veccost::model

@@ -1,0 +1,199 @@
+// Unit tests for the support library: matrices, statistics, RNG, tables, CSV.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/matrix.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace veccost {
+namespace {
+
+TEST(Matrix, InitializerListAndIndexing) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_DOUBLE_EQ(t(0, 2), 5);
+  const Matrix tt = t.transposed();
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) EXPECT_DOUBLE_EQ(tt(r, c), m(r, c));
+}
+
+TEST(Matrix, MatMulAgainstHandComputed) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MatVecAndTransposeTimes) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  Vector x{1, 1};
+  const Vector y = a * x;
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 3);
+  EXPECT_DOUBLE_EQ(y[2], 11);
+  const Vector z = transpose_times(a, {1, 0, 1});
+  ASSERT_EQ(z.size(), 2u);
+  EXPECT_DOUBLE_EQ(z[0], 6);
+  EXPECT_DOUBLE_EQ(z[1], 8);
+}
+
+TEST(Matrix, WithoutRow) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix b = a.without_row(1);
+  ASSERT_EQ(b.rows(), 2u);
+  EXPECT_DOUBLE_EQ(b(0, 0), 1);
+  EXPECT_DOUBLE_EQ(b(1, 1), 6);
+}
+
+TEST(Matrix, PushRowBuildsIncrementally) {
+  Matrix m;
+  m.push_row(std::vector<double>{1, 2});
+  m.push_row(std::vector<double>{3, 4});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_THROW(m.push_row(std::vector<double>{1, 2, 3}), Error);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  Matrix a{{1, 2}};
+  Matrix b{{1, 2}};
+  EXPECT_THROW((void)(a * b), Error);
+  EXPECT_THROW((void)(a * Vector{1, 2, 3}), Error);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  Vector v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, PearsonPerfectAndInverse) {
+  Vector x{1, 2, 3, 4};
+  Vector y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  Vector z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  Vector x{1, 1, 1};
+  Vector y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear) {
+  Vector x{1, 2, 3, 4, 5};
+  Vector y{1, 4, 9, 16, 25};  // nonlinear but monotone
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Stats, RanksHandleTies) {
+  const auto r = ranks(std::vector<double>{10, 20, 20, 30});
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, ErrorMetrics) {
+  Vector pred{1, 2, 3};
+  Vector act{1, 2, 5};
+  EXPECT_NEAR(rmse(pred, act), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mae(pred, act), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mape(pred, act), (0 + 0 + 2.0 / 5.0) / 3.0, 1e-12);
+}
+
+TEST(Stats, ClassifyConfusion) {
+  // predicted vs measured around the speedup > 1 threshold.
+  Vector pred{1.5, 1.5, 0.5, 0.5};
+  Vector meas{1.5, 0.5, 1.5, 0.5};
+  const Confusion c = classify(pred, meas);
+  EXPECT_EQ(c.true_positive, 1u);
+  EXPECT_EQ(c.false_positive, 1u);
+  EXPECT_EQ(c.false_negative, 1u);
+  EXPECT_EQ(c.true_negative, 1u);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalRoughMoments) {
+  Rng r(123);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, HashStringStableAndDistinct) {
+  EXPECT_EQ(hash_string("s000"), hash_string("s000"));
+  EXPECT_NE(hash_string("s000"), hash_string("s001"));
+}
+
+TEST(Table, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one-cell"}), Error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b,c"});
+  EXPECT_EQ(os.str(), "a,\"b,c\"\n");
+}
+
+}  // namespace
+}  // namespace veccost

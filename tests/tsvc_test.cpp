@@ -1,0 +1,182 @@
+// Suite-wide tests: every TSVC kernel verifies, executes, and — when legal —
+// produces identical results scalar vs vectorized, across targets and VFs.
+// These parameterized sweeps are the core correctness evidence for the
+// measurement pipeline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/legality.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "machine/executor.hpp"
+#include "machine/targets.hpp"
+#include "tsvc/kernel.hpp"
+#include "tsvc/workload.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+
+namespace veccost::tsvc {
+namespace {
+
+/// Reduced problem size for execution tests: fixed-trip (2-D) kernels ignore
+/// it; 1-D kernels shrink to keep the sweep fast.
+std::int64_t test_n(const ir::LoopKernel& k) {
+  return k.trip.num == 0 ? k.default_n : 2048;
+}
+
+TEST(Suite, Has151Kernels) {
+  EXPECT_EQ(suite().size(), 151u);
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& k : suite()) {
+    EXPECT_TRUE(names.insert(k.name).second) << "duplicate kernel " << k.name;
+  }
+}
+
+TEST(Suite, FindKernel) {
+  EXPECT_NE(find_kernel("s000"), nullptr);
+  EXPECT_NE(find_kernel("vdotr"), nullptr);
+  EXPECT_EQ(find_kernel("nope"), nullptr);
+}
+
+TEST(Suite, CategoriesCovered) {
+  const auto cats = categories();
+  EXPECT_GE(cats.size(), 15u);
+}
+
+TEST(Suite, ExpectedLegalityOutcomes) {
+  // Hand-checked expectations for representative kernels of each kind.
+  const auto expect = [&](const char* name, bool vectorizable) {
+    const KernelInfo* info = find_kernel(name);
+    ASSERT_NE(info, nullptr) << name;
+    const auto leg = analysis::check_legality(info->build());
+    EXPECT_EQ(leg.vectorizable, vectorizable)
+        << name << ": " << leg.reasons_string();
+  };
+  expect("s000", true);     // trivially parallel
+  expect("s112", true);     // reversed but forward dep
+  expect("s1113", true);    // versioned behind a (failing) runtime check
+  expect("s1221", true);    // distance-4 partial vectorization
+  expect("s211", false);    // needs statement reordering
+  expect("s2251", true);    // first-order recurrence
+  expect("s254", true);     // wrap-around scalar
+  expect("s258", false);    // conditional scalar update (serial)
+  expect("s311", true);     // sum reduction
+  expect("s315", false);    // argmax
+  expect("s3111", true);    // conditional sum
+  expect("s3112", false);   // prefix sum
+  expect("s321", false);    // memory recurrence
+  expect("s331", false);    // search index recurrence
+  expect("s332", false);    // break
+  expect("s341", false);    // packing via phi index
+  expect("s4112", true);    // gather
+  expect("s4113", false);   // scatter store
+  expect("s491", false);    // indirect store
+  expect("vif", true);      // masked store
+  expect("va", true);
+  expect("vas", false);     // scatter idiom
+}
+
+TEST(Suite, VectorizableFractionIsPlausible) {
+  std::size_t vectorizable = 0;
+  for (const auto& info : suite()) {
+    if (analysis::check_legality(info.build()).vectorizable) ++vectorizable;
+  }
+  // LLVM vectorizes roughly half of TSVC; our envelope should be similar
+  // (runtime-checked loops count as vectorized, as with the paper's
+  // overridden cost model).
+  EXPECT_GE(vectorizable, 60u);
+  EXPECT_LE(vectorizable, 115u);
+}
+
+class KernelSweep : public ::testing::TestWithParam<const KernelInfo*> {};
+
+TEST_P(KernelSweep, BuildsAndVerifies) {
+  const ir::LoopKernel k = GetParam()->build();
+  const auto result = ir::verify(k);
+  EXPECT_TRUE(result.ok()) << result.to_string() << "\n" << ir::print(k);
+  EXPECT_EQ(k.name, GetParam()->name);
+  EXPECT_FALSE(k.body.empty());
+}
+
+TEST_P(KernelSweep, ExecutesInBounds) {
+  const ir::LoopKernel k = GetParam()->build();
+  machine::Workload wl = machine::make_workload(k, test_n(k));
+  EXPECT_NO_THROW((void)machine::execute_scalar(k, wl)) << ir::print(k);
+}
+
+TEST_P(KernelSweep, ScalarVectorEquivalenceOnA57) {
+  const ir::LoopKernel scalar = GetParam()->build();
+  const auto target = machine::cortex_a57();
+  const auto vec = vectorizer::vectorize_loop(scalar, target);
+  if (!vec.ok) GTEST_SKIP() << "not vectorizable: " << vec.notes_string();
+  if (vec.runtime_check)
+    GTEST_SKIP() << "runtime overlap check fails: the scalar path runs";
+
+  const std::int64_t n = test_n(scalar);
+  machine::Workload ws = machine::make_workload(scalar, n);
+  machine::Workload wv = machine::make_workload(scalar, n);
+  const auto rs = machine::execute_scalar(scalar, ws);
+  const auto rv = machine::execute_vectorized(vec.kernel, scalar, wv);
+
+  EXPECT_DOUBLE_EQ(max_abs_difference(ws, wv), 0.0)
+      << scalar.name << ": memory state diverged\n"
+      << ir::print(vec.kernel);
+  ASSERT_EQ(rs.live_outs.size(), rv.live_outs.size());
+  for (std::size_t i = 0; i < rs.live_outs.size(); ++i) {
+    const double tol = 1e-2 * std::max(1.0, std::abs(rs.live_outs[i]));
+    EXPECT_NEAR(rv.live_outs[i], rs.live_outs[i], tol)
+        << scalar.name << " live-out " << i;
+  }
+}
+
+TEST_P(KernelSweep, ScalarVectorEquivalenceOnAvx2) {
+  const ir::LoopKernel scalar = GetParam()->build();
+  const auto target = machine::xeon_e5_avx2();
+  const auto vec = vectorizer::vectorize_loop(scalar, target);
+  if (!vec.ok) GTEST_SKIP() << "not vectorizable: " << vec.notes_string();
+  if (vec.runtime_check)
+    GTEST_SKIP() << "runtime overlap check fails: the scalar path runs";
+
+  const std::int64_t n = test_n(scalar);
+  machine::Workload ws = machine::make_workload(scalar, n);
+  machine::Workload wv = machine::make_workload(scalar, n);
+  (void)machine::execute_scalar(scalar, ws);
+  (void)machine::execute_vectorized(vec.kernel, scalar, wv);
+  EXPECT_DOUBLE_EQ(max_abs_difference(ws, wv), 0.0) << scalar.name;
+}
+
+TEST_P(KernelSweep, EquivalenceAcrossExplicitVfs) {
+  const ir::LoopKernel scalar = GetParam()->build();
+  const auto target = machine::cortex_a57();
+  for (const int vf : {2, 8}) {
+    vectorizer::LoopVectorizerOptions opts;
+    opts.requested_vf = vf;
+    const auto vec = vectorizer::vectorize_loop(scalar, target, opts);
+    if (!vec.ok || vec.runtime_check) continue;
+    const std::int64_t n = test_n(scalar);
+    machine::Workload ws = machine::make_workload(scalar, n);
+    machine::Workload wv = machine::make_workload(scalar, n);
+    (void)machine::execute_scalar(scalar, ws);
+    (void)machine::execute_vectorized(vec.kernel, scalar, wv);
+    EXPECT_DOUBLE_EQ(max_abs_difference(ws, wv), 0.0)
+        << scalar.name << " at vf=" << vec.vf;
+  }
+}
+
+std::vector<const KernelInfo*> all_kernel_pointers() {
+  std::vector<const KernelInfo*> out;
+  for (const auto& k : suite()) out.push_back(&k);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tsvc, KernelSweep,
+                         ::testing::ValuesIn(all_kernel_pointers()),
+                         [](const ::testing::TestParamInfo<const KernelInfo*>& info) {
+                           return info.param->name;
+                         });
+
+}  // namespace
+}  // namespace veccost::tsvc

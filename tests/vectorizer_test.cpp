@@ -1,0 +1,598 @@
+// Tests for the loop vectorizer (transform shape + semantic equivalence on
+// hand-built kernels) and the SLP pack detector.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "machine/executor.hpp"
+#include "machine/targets.hpp"
+#include "tsvc/workload.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+#include "vectorizer/reroll.hpp"
+#include "vectorizer/slp_vectorizer.hpp"
+#include "vectorizer/unroll.hpp"
+
+namespace veccost::vectorizer {
+namespace {
+
+using B = ir::LoopBuilder;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ReductionKind;
+using ir::ScalarType;
+
+/// Run scalar and vectorized versions on identical workloads and compare
+/// array contents (must match to float precision) and live-outs (tolerance,
+/// reductions reassociate).
+void expect_equivalent(const LoopKernel& scalar, const VectorizedLoop& vec,
+                       std::int64_t n) {
+  ASSERT_TRUE(vec.ok) << vec.notes_string();
+  machine::Workload w_scalar = machine::make_workload(scalar, n);
+  machine::Workload w_vector = machine::make_workload(scalar, n);
+  const auto rs = machine::execute_scalar(scalar, w_scalar);
+  const auto rv = machine::execute_vectorized(vec.kernel, scalar, w_vector);
+  EXPECT_LE(tsvc::max_abs_difference(w_scalar, w_vector), 0.0)
+      << "array contents diverged";
+  ASSERT_EQ(rs.live_outs.size(), rv.live_outs.size());
+  for (std::size_t i = 0; i < rs.live_outs.size(); ++i) {
+    const double scale = std::max(1.0, std::abs(rs.live_outs[i]));
+    EXPECT_NEAR(rv.live_outs[i], rs.live_outs[i], 1e-2 * scale)
+        << "live-out " << i;
+  }
+}
+
+TEST(LoopVectorizer, NaturalVfFromWidestType) {
+  const auto a57 = machine::cortex_a57();
+  B b1("nv1", "test");
+  {
+    const int a = b1.array("a"), bb = b1.array("b");
+    b1.store(a, B::at(1), b1.load(bb, B::at(1)));
+  }
+  EXPECT_EQ(natural_vf(std::move(b1).finish(), a57), 4);  // f32 on 128-bit
+
+  B b2("nv2", "test");
+  {
+    const int a = b2.array("a", ScalarType::F64), bb = b2.array("b", ScalarType::F64);
+    b2.store(a, B::at(1), b2.load(bb, B::at(1)));
+  }
+  EXPECT_EQ(natural_vf(std::move(b2).finish(), a57), 2);  // f64 on 128-bit
+}
+
+TEST(LoopVectorizer, WidensSimpleLoop) {
+  B b("w0", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.add(b.load(bb, B::at(1)), b.fconst(1.0)));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok);
+  EXPECT_EQ(vec.vf, 4);
+  EXPECT_EQ(vec.kernel.vf, 4);
+  EXPECT_TRUE(ir::verify(vec.kernel).ok());
+  expect_equivalent(scalar, vec, 1003);  // non-multiple of VF: epilogue runs
+}
+
+TEST(LoopVectorizer, RequestedVfIsHonored) {
+  B b("w1", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const LoopKernel scalar = std::move(b).finish();
+  LoopVectorizerOptions opts;
+  opts.requested_vf = 8;
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57(), opts);
+  ASSERT_TRUE(vec.ok);
+  EXPECT_EQ(vec.vf, 8);
+  expect_equivalent(scalar, vec, 257);
+}
+
+TEST(LoopVectorizer, PartialVectorizationUnderDependence) {
+  // b[i] = b[i-4] + a[i]: natural VF 4 already legal; request 8 -> capped.
+  B b("w2", "test");
+  b.trip({.start = 4});
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(bb, B::at(1), b.add(b.load(bb, B::at(1, -4)), b.load(a, B::at(1))));
+  const LoopKernel scalar = std::move(b).finish();
+  LoopVectorizerOptions opts;
+  opts.requested_vf = 8;
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57(), opts);
+  ASSERT_TRUE(vec.ok);
+  EXPECT_EQ(vec.vf, 4);
+  expect_equivalent(scalar, vec, 999);
+}
+
+TEST(LoopVectorizer, RejectsSerialLoop) {
+  B b("w3", "test");
+  b.trip({.start = 1});
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1, -1)), b.fconst(1.0)));
+  const auto vec = vectorize_loop(std::move(b).finish(), machine::cortex_a57());
+  EXPECT_FALSE(vec.ok);
+}
+
+TEST(LoopVectorizer, SumReductionEquivalence) {
+  B b("w4", "test");
+  const int a = b.array("a");
+  auto s = b.phi(0.5);
+  auto upd = b.add(s, b.load(a, B::at(1)));
+  b.set_phi_update(s, upd, ReductionKind::Sum);
+  b.live_out(s);
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok);
+  expect_equivalent(scalar, vec, 1001);
+}
+
+TEST(LoopVectorizer, MinMaxProdReductionEquivalence) {
+  for (const auto kind : {ReductionKind::Min, ReductionKind::Max}) {
+    B b(kind == ReductionKind::Min ? "w5min" : "w5max", "test");
+    const int a = b.array("a");
+    auto s = b.phi(kind == ReductionKind::Min ? 1e30 : -1e30);
+    auto v = b.load(a, B::at(1));
+    auto upd = kind == ReductionKind::Min ? b.min(s, v) : b.max(s, v);
+    b.set_phi_update(s, upd, kind);
+    b.live_out(s);
+    const LoopKernel scalar = std::move(b).finish();
+    const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+    ASSERT_TRUE(vec.ok);
+    expect_equivalent(scalar, vec, 517);
+  }
+}
+
+TEST(LoopVectorizer, ConditionalReductionEquivalence) {
+  B b("w6", "test");
+  const int a = b.array("a");
+  auto s = b.phi(0.0);
+  auto v = b.load(a, B::at(1));
+  auto m = b.cmp_gt(v, b.fconst(1.5));
+  auto added = b.add(s, v);
+  auto upd = b.select(m, added, s);
+  b.set_phi_update(s, upd, ReductionKind::Sum);
+  b.live_out(s);
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok);
+  expect_equivalent(scalar, vec, 733);
+}
+
+TEST(LoopVectorizer, FirstOrderRecurrenceEquivalence) {
+  B b("w7", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto x = b.phi(7.0);
+  auto vb = b.load(bb, B::at(1));
+  b.store(a, B::at(1), b.add(vb, x));
+  b.set_phi_update(x, vb);
+  b.live_out(x);
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok) << vec.notes_string();
+  bool has_splice = false;
+  for (const auto& inst : vec.kernel.body)
+    if (inst.op == Opcode::Splice) has_splice = true;
+  EXPECT_TRUE(has_splice);
+  expect_equivalent(scalar, vec, 645);
+}
+
+TEST(LoopVectorizer, ChainedRecurrencesEquivalence) {
+  // s255 shape: y = previous x, x = previous b[i].
+  B b("w8", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto y = b.phi(2.0);
+  auto x = b.phi(1.0);
+  auto vb = b.load(bb, B::at(1));
+  auto sum = b.add(b.add(vb, x), y);
+  b.store(a, B::at(1), sum);
+  b.set_phi_update(x, vb);
+  b.set_phi_update(y, x);
+  b.live_out(x);
+  b.live_out(y);
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok) << vec.notes_string();
+  expect_equivalent(scalar, vec, 311);
+}
+
+TEST(LoopVectorizer, MaskedStoreEquivalence) {
+  B b("w9", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto vb = b.load(bb, B::at(1));
+  auto m = b.cmp_gt(vb, b.fconst(1.5));
+  b.store(a, B::at(1), b.mul(vb, b.fconst(2.0)), m);
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok);
+  expect_equivalent(scalar, vec, 421);
+}
+
+TEST(LoopVectorizer, GatherEquivalenceAndOpcode) {
+  B b("w10", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  const int ip = b.array("ip", ScalarType::I32);
+  auto idx = b.load(ip, B::at(1));
+  b.store(a, B::at(1), b.load(bb, B::via(idx)));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok);
+  bool has_gather = false;
+  for (const auto& inst : vec.kernel.body)
+    if (inst.op == Opcode::Gather) has_gather = true;
+  EXPECT_TRUE(has_gather);
+  expect_equivalent(scalar, vec, 389);
+}
+
+TEST(LoopVectorizer, StridedAccessBecomesStridedOps) {
+  B b("w11", "test");
+  b.trip({.num = 1, .den = 2});
+  const int a = b.array("a", ScalarType::F32, 2, 2), bb = b.array("b");
+  b.store(a, B::at(2), b.load(bb, B::at(1)));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok);
+  bool has_strided_store = false;
+  for (const auto& inst : vec.kernel.body)
+    if (inst.op == Opcode::StridedStore) has_strided_store = true;
+  EXPECT_TRUE(has_strided_store);
+  expect_equivalent(scalar, vec, 500);
+}
+
+TEST(LoopVectorizer, ReversedAccessEquivalence) {
+  B b("w12", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at_n(-1, 1, -1), b.load(bb, B::at_n(-1, 1, -1)));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok);
+  expect_equivalent(scalar, vec, 277);
+}
+
+TEST(LoopVectorizer, OuterLoopEquivalence) {
+  B b("w13", "test");
+  b.outer(5);
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1)), b.load(bb, B::at(1))));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto vec = vectorize_loop(scalar, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok);
+  expect_equivalent(scalar, vec, 97);
+}
+
+TEST(LoopVectorizer, RejectsBreakLoop) {
+  B b("w14", "test");
+  const int a = b.array("a");
+  auto m = b.cmp_gt(b.load(a, B::at(1)), b.fconst(5.0));
+  b.brk(m);
+  const auto vec = vectorize_loop(std::move(b).finish(), machine::cortex_a57());
+  EXPECT_FALSE(vec.ok);
+}
+
+TEST(LoopVectorizer, WiderRegistersGiveLargerVf) {
+  B b("w15", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto neon = vectorize_loop(scalar, machine::cortex_a57());
+  const auto avx = vectorize_loop(scalar, machine::xeon_e5_avx2());
+  ASSERT_TRUE(neon.ok);
+  ASSERT_TRUE(avx.ok);
+  EXPECT_EQ(neon.vf, 4);
+  EXPECT_EQ(avx.vf, 8);
+}
+
+TEST(Slp, PacksAdjacentStores) {
+  // 4 isomorphic statements a[4i+u] = b[4i+u] * c.
+  B b("slp0", "test");
+  b.trip({.num = 1, .den = 4});
+  const int a = b.array("a", ScalarType::F32, 1, 4);
+  const int bb = b.array("b", ScalarType::F32, 1, 4);
+  auto c = b.param(2.0);
+  for (int u = 0; u < 4; ++u)
+    b.store(a, B::at(4, u), b.mul(b.load(bb, B::at(4, u)), c));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto plan = slp_vectorize(scalar, machine::cortex_a57());
+  ASSERT_TRUE(plan.ok);
+  EXPECT_EQ(plan.width, 4);
+  EXPECT_TRUE(plan.scalarized.empty());
+  EXPECT_TRUE(plan.rerollable);
+  // Packs: stores, muls, loads (param splat does not pack).
+  EXPECT_EQ(plan.packs.size(), 3u);
+  for (const auto& p : plan.packs)
+    if (ir::is_memory_op(p.op)) EXPECT_TRUE(p.contiguous);
+}
+
+TEST(Slp, RejectsNonIsomorphicTree) {
+  B b("slp1", "test");
+  b.trip({.num = 1, .den = 2});
+  const int a = b.array("a", ScalarType::F32, 1, 2);
+  const int bb = b.array("b", ScalarType::F32, 1, 2);
+  b.store(a, B::at(2, 0), b.mul(b.load(bb, B::at(2, 0)), b.fconst(2.0)));
+  b.store(a, B::at(2, 1), b.add(b.load(bb, B::at(2, 1)), b.fconst(2.0)));
+  const auto plan = slp_vectorize(std::move(b).finish(), machine::cortex_a57());
+  EXPECT_FALSE(plan.ok);
+}
+
+TEST(Slp, NoSeedsInStriddenStores) {
+  B b("slp2", "test");
+  const int a = b.array("a", ScalarType::F32, 2, 2), bb = b.array("b");
+  b.store(a, B::at(2), b.load(bb, B::at(1)));
+  const auto plan = slp_vectorize(std::move(b).finish(), machine::cortex_a57());
+  EXPECT_FALSE(plan.ok);
+}
+
+TEST(Slp, WidthCappedByRegister) {
+  // 8 adjacent f64 stores on a 128-bit machine -> width 2.
+  B b("slp3", "test");
+  b.trip({.num = 1, .den = 8});
+  const int a = b.array("a", ScalarType::F64, 1, 8);
+  const int bb = b.array("b", ScalarType::F64, 1, 8);
+  for (int u = 0; u < 8; ++u)
+    b.store(a, B::at(8, u), b.load(bb, B::at(8, u)));
+  const auto plan = slp_vectorize(std::move(b).finish(), machine::cortex_a57());
+  ASSERT_TRUE(plan.ok);
+  EXPECT_EQ(plan.width, 2);
+}
+
+TEST(Slp, SharedStoredValueBecomesSplatStore) {
+  // Both stores write the SAME computed value: only the store pack forms,
+  // the shared scalar computation stays scalar.
+  B b("slp4", "test");
+  b.trip({.num = 1, .den = 2});
+  const int a = b.array("a", ScalarType::F32, 1, 2);
+  const int bb = b.array("b", ScalarType::F32, 1, 2);
+  auto shared = b.load(bb, B::at(2));
+  auto prod = b.mul(shared, shared);
+  b.store(a, B::at(2, 0), prod);
+  b.store(a, B::at(2, 1), prod);
+  const auto plan = slp_vectorize(std::move(b).finish(), machine::cortex_a57());
+  ASSERT_TRUE(plan.ok);
+  EXPECT_EQ(plan.packs.size(), 1u);
+  EXPECT_EQ(plan.packs[0].op, ir::Opcode::Store);
+  EXPECT_EQ(plan.scalarized.size(), 2u);  // the load and the mul
+}
+
+TEST(Unroll, BodyReplicationAndStep) {
+  B b("u0", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.add(b.load(bb, B::at(1)), b.fconst(1.0)));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto u = unroll_loop(scalar, 4);
+  ASSERT_TRUE(u.ok) << u.reason;
+  EXPECT_EQ(u.kernel.trip.step, 4);
+  // Four stores with offsets 0..3.
+  int stores = 0;
+  for (const auto& inst : u.kernel.body)
+    if (inst.op == Opcode::Store) {
+      EXPECT_EQ(inst.index.offset, stores);
+      ++stores;
+    }
+  EXPECT_EQ(stores, 4);
+}
+
+TEST(Unroll, ExecutionEquivalenceOnDivisibleRange) {
+  B b("u1", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto x = b.mul(b.load(bb, B::at(1)), b.fconst(2.0));
+  b.store(a, B::at(1), b.add(x, b.load(a, B::at(1))));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto u = unroll_loop(scalar, 4);
+  ASSERT_TRUE(u.ok);
+  const std::int64_t n = 512;  // divisible by 4: no remainder needed
+  machine::Workload ws = machine::make_workload(scalar, n);
+  machine::Workload wu = machine::make_workload(scalar, n);
+  (void)machine::execute_scalar(scalar, ws);
+  (void)machine::execute_scalar(u.kernel, wu);
+  EXPECT_DOUBLE_EQ(tsvc::max_abs_difference(ws, wu), 0.0);
+}
+
+TEST(Unroll, ReductionChainsThroughCopies) {
+  B b("u2", "test");
+  const int a = b.array("a");
+  auto s = b.phi(0.25);
+  auto upd = b.add(s, b.load(a, B::at(1)));
+  b.set_phi_update(s, upd, ReductionKind::Sum);
+  b.live_out(s);
+  const LoopKernel scalar = std::move(b).finish();
+  const auto u = unroll_loop(scalar, 2);
+  ASSERT_TRUE(u.ok) << u.reason;
+  const std::int64_t n = 256;
+  machine::Workload ws = machine::make_workload(scalar, n);
+  machine::Workload wu = machine::make_workload(scalar, n);
+  const auto rs = machine::execute_scalar(scalar, ws);
+  const auto ru = machine::execute_scalar(u.kernel, wu);
+  ASSERT_EQ(ru.live_outs.size(), 1u);
+  // Same association order: bitwise-identical accumulation.
+  EXPECT_DOUBLE_EQ(ru.live_outs[0], rs.live_outs[0]);
+}
+
+TEST(Unroll, FirstOrderRecurrenceChainsThroughCopies) {
+  B b("u3", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  auto x = b.phi(9.0);
+  auto vb = b.load(bb, B::at(1));
+  b.store(a, B::at(1), b.add(vb, x));
+  b.set_phi_update(x, vb);
+  b.live_out(x);
+  const LoopKernel scalar = std::move(b).finish();
+  const auto u = unroll_loop(scalar, 2);
+  ASSERT_TRUE(u.ok) << u.reason;
+  const std::int64_t n = 128;
+  machine::Workload ws = machine::make_workload(scalar, n);
+  machine::Workload wu = machine::make_workload(scalar, n);
+  (void)machine::execute_scalar(scalar, ws);
+  (void)machine::execute_scalar(u.kernel, wu);
+  EXPECT_DOUBLE_EQ(tsvc::max_abs_difference(ws, wu), 0.0);
+}
+
+TEST(Unroll, IndvarUsesGetOffset) {
+  // a[i] = (float)i: copy u must store i+u.
+  B b("u4", "test");
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.convert(b.indvar(), ScalarType::F32));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto u = unroll_loop(scalar, 2);
+  ASSERT_TRUE(u.ok);
+  machine::Workload wu = machine::make_workload(scalar, 64);
+  (void)machine::execute_scalar(u.kernel, wu);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_DOUBLE_EQ(wu.arrays[0][static_cast<std::size_t>(i)], i);
+}
+
+TEST(Unroll, RejectsBreakLoops) {
+  B b("u5", "test");
+  const int a = b.array("a");
+  auto m = b.cmp_gt(b.load(a, B::at(1)), b.fconst(5.0));
+  b.brk(m);
+  const auto u = unroll_loop(std::move(b).finish(), 2);
+  EXPECT_FALSE(u.ok);
+}
+
+TEST(Slp, AutoUnrollPacksSingleStatementLoop) {
+  // One statement per iteration: packable only after unrolling.
+  B b("slp5", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.mul(b.load(bb, B::at(1)), b.fconst(3.0)));
+  const LoopKernel scalar = std::move(b).finish();
+  const auto plan = slp_vectorize(scalar, machine::cortex_a57());
+  ASSERT_TRUE(plan.ok);
+  EXPECT_GT(plan.unroll, 1);
+  EXPECT_GE(plan.width, 2);
+  bool store_pack = false;
+  for (const auto& p : plan.packs)
+    if (p.op == Opcode::Store && p.contiguous) store_pack = true;
+  EXPECT_TRUE(store_pack);
+}
+
+TEST(Slp, AutoUnrollRespectsDependenceDistance) {
+  // a[i] = a[i-1] + 1: unrolled copies would break the carried dependence.
+  B b("slp6", "test");
+  b.trip({.start = 1});
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1, -1)), b.fconst(1.0)));
+  const auto plan = slp_vectorize(std::move(b).finish(), machine::cortex_a57());
+  EXPECT_FALSE(plan.ok);
+}
+
+TEST(Reroll, UnrollThenRerollIsIdentity) {
+  // roll(unroll(k)) must reproduce k's behaviour exactly.
+  B b("rr0", "test");
+  const int a = b.array("a", ScalarType::F32, 1, 8);
+  const int bb = b.array("b", ScalarType::F32, 1, 8);
+  auto alpha = b.param(1.5f);
+  b.store(a, B::at(1), b.fma(alpha, b.load(bb, B::at(1)), b.load(a, B::at(1))));
+  const LoopKernel original = std::move(b).finish();
+  const auto unrolled = unroll_loop(original, 4);
+  ASSERT_TRUE(unrolled.ok);
+
+  SlpOptions no_unroll;
+  no_unroll.auto_unroll = false;
+  const auto plan =
+      slp_vectorize(unrolled.kernel, machine::cortex_a57(), no_unroll);
+  ASSERT_TRUE(plan.ok);
+  const auto rolled = reroll_loop(unrolled.kernel, plan);
+  ASSERT_TRUE(rolled.ok) << rolled.reason;
+  EXPECT_EQ(rolled.factor, 4);
+  EXPECT_EQ(rolled.kernel.trip.step, 1);
+
+  const std::int64_t n = 512;
+  machine::Workload w1 = machine::make_workload(original, n);
+  machine::Workload w2 = machine::make_workload(original, n);
+  (void)machine::execute_scalar(original, w1);
+  (void)machine::execute_scalar(rolled.kernel, w2);
+  EXPECT_DOUBLE_EQ(tsvc::max_abs_difference(w1, w2), 0.0);
+}
+
+TEST(Reroll, S351BecomesVectorizable) {
+  // The hand-unrolled TSVC rerolling kernel: re-roll, then loop-vectorize —
+  // an executable "SLP" path whose semantics the executor can check.
+  const auto* info = tsvc::find_kernel("s351");
+  ASSERT_NE(info, nullptr);
+  const LoopKernel s351 = info->build();
+
+  SlpOptions no_unroll;
+  no_unroll.auto_unroll = false;
+  SlpOptions wide = no_unroll;
+  wide.max_width = 8;  // allow the full 5-wide store run (pow2-floored to 4)
+  const auto plan = slp_vectorize(s351, machine::cortex_a57(), wide);
+  ASSERT_TRUE(plan.ok);
+  const auto rolled = reroll_loop(s351, plan);
+  ASSERT_TRUE(rolled.ok) << rolled.reason;
+  EXPECT_EQ(rolled.factor, 5);
+  EXPECT_EQ(rolled.kernel.trip.step, 1);
+
+  // Rolled form is contiguous: the loop vectorizer takes it with plain
+  // vector loads/stores (no strided penalty).
+  const auto vec = vectorizer::vectorize_loop(rolled.kernel, machine::cortex_a57());
+  ASSERT_TRUE(vec.ok);
+  for (const auto& inst : vec.kernel.body)
+    EXPECT_NE(inst.op, Opcode::StridedStore);
+
+  const std::int64_t n = 1000;  // divisible by step 5
+  machine::Workload w1 = machine::make_workload(s351, n);
+  machine::Workload w2 = machine::make_workload(s351, n);
+  machine::Workload w3 = machine::make_workload(s351, n);
+  (void)machine::execute_scalar(s351, w1);
+  (void)machine::execute_scalar(rolled.kernel, w2);
+  (void)machine::execute_vectorized(vec.kernel, rolled.kernel, w3);
+  EXPECT_DOUBLE_EQ(tsvc::max_abs_difference(w1, w2), 0.0);
+  EXPECT_DOUBLE_EQ(tsvc::max_abs_difference(w1, w3), 0.0);
+}
+
+TEST(Reroll, RejectsNonIsomorphicBody) {
+  B b("rr1", "test");
+  b.trip({.step = 2});
+  const int a = b.array("a", ScalarType::F32, 1, 4);
+  const int bb = b.array("b", ScalarType::F32, 1, 4);
+  b.store(a, B::at(1), b.mul(b.load(bb, B::at(1)), b.fconst(2.0)));
+  b.store(a, B::at(1, 1), b.add(b.load(bb, B::at(1, 1)), b.fconst(2.0)));
+  const LoopKernel k = std::move(b).finish();
+  SlpPlan fake;
+  fake.ok = true;
+  const auto rolled = reroll_loop(k, fake);
+  EXPECT_FALSE(rolled.ok);
+}
+
+TEST(Reroll, RejectsInterleavedCopies) {
+  // All loads first, then both stores: stores alias nothing here, but the
+  // body is not an unrolled form (copy instructions interleave).
+  B b("rr2", "test");
+  b.trip({.step = 2});
+  const int a = b.array("a", ScalarType::F32, 1, 4);
+  const int bb = b.array("b", ScalarType::F32, 1, 4);
+  auto l0 = b.load(bb, B::at(1));
+  auto l1 = b.load(bb, B::at(1, 1));
+  auto m0 = b.mul(l0, b.fconst(2.0));
+  auto m1 = b.mul(l1, b.fconst(2.0));
+  b.store(a, B::at(1), m0);
+  b.store(a, B::at(1, 1), m1);
+  const LoopKernel k = std::move(b).finish();
+  SlpPlan fake;
+  fake.ok = true;
+  const auto rolled = reroll_loop(k, fake);
+  EXPECT_FALSE(rolled.ok);
+  EXPECT_NE(rolled.reason.find("interleave"), std::string::npos);
+}
+
+TEST(Reroll, RejectsIndivisibleStep) {
+  B b("rr3", "test");
+  b.trip({.step = 3});
+  const int a = b.array("a", ScalarType::F32, 1, 4);
+  const int bb = b.array("b", ScalarType::F32, 1, 4);
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  b.store(a, B::at(1, 1), b.load(bb, B::at(1, 1)));
+  const LoopKernel k = std::move(b).finish();
+  SlpPlan fake;
+  fake.ok = true;
+  EXPECT_FALSE(reroll_loop(k, fake).ok);
+}
+
+TEST(Slp, AutoUnrollCanBeDisabled) {
+  B b("slp7", "test");
+  const int a = b.array("a"), bb = b.array("b");
+  b.store(a, B::at(1), b.load(bb, B::at(1)));
+  SlpOptions opts;
+  opts.auto_unroll = false;
+  const auto plan =
+      slp_vectorize(std::move(b).finish(), machine::cortex_a57(), opts);
+  EXPECT_FALSE(plan.ok);
+  EXPECT_EQ(plan.unroll, 1);
+}
+
+}  // namespace
+}  // namespace veccost::vectorizer

@@ -1,0 +1,239 @@
+// veccost — the single-binary command-line interface.
+//
+//   veccost list                                 list TSVC kernels
+//   veccost targets                              list machine models
+//   veccost explore  <kernel|file> [target]      IR, features, legality, speedups
+//   veccost measure  [target]                    suite measurement table
+//   veccost train    [target] [fitter] [set] [out-file]
+//   veccost advise   [target] [kernel...]        decisions vs oracle
+//   veccost select   <kernel> [target]           transform options + pick
+//   veccost catalog  [target]                    markdown kernel catalog
+//
+// Everything the example binaries do, behind one verb-style entry point.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/legality.hpp"
+#include "costmodel/llvm_model.hpp"
+#include "costmodel/selector.hpp"
+#include "costmodel/trainer.hpp"
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "fit/model_io.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/targets.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "tsvc/kernel.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+
+namespace {
+
+using namespace veccost;
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      R"(veccost — learned cost models for auto-vectorization
+
+usage:
+  veccost list
+  veccost targets
+  veccost explore <kernel|file.vc> [target]
+  veccost measure [target]
+  veccost train   [target] [l2|nnls|svr] [counts|rated|extended] [out-file]
+  veccost advise  [target]
+  veccost select  <kernel> [target]
+  veccost catalog [target]
+)";
+  std::exit(2);
+}
+
+const machine::TargetDesc& target_arg(const std::vector<std::string>& args,
+                                      std::size_t index) {
+  return machine::target_by_name(args.size() > index ? args[index]
+                                                     : "cortex-a57");
+}
+
+ir::LoopKernel kernel_arg(const std::string& name) {
+  if (const auto* info = tsvc::find_kernel(name)) return info->build();
+  std::ifstream file(name);
+  if (!file) throw Error("'" + name + "' is neither a TSVC kernel nor a file");
+  std::ostringstream text;
+  text << file.rdbuf();
+  return ir::parse_kernel(text.str());
+}
+
+int cmd_list() {
+  TextTable t({"kernel", "category", "description"});
+  for (const auto& info : tsvc::suite())
+    t.add_row({info.name, info.category, info.description});
+  std::cout << t.to_string();
+  return 0;
+}
+
+int cmd_targets() {
+  TextTable t({"target", "vector bits", "issue", "gather", "masked stores"});
+  for (const auto& desc : machine::all_targets())
+    t.add_row({desc.name, std::to_string(desc.vector_bits),
+               std::to_string(desc.issue_width), desc.hw_gather ? "hw" : "emul",
+               desc.hw_masked_store ? "hw" : "emul"});
+  std::cout << t.to_string();
+  return 0;
+}
+
+int cmd_explore(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage();
+  const ir::LoopKernel scalar = kernel_arg(args[2]);
+  std::cout << ir::print(scalar) << '\n';
+  const auto legality = analysis::check_legality(scalar);
+  if (legality.vectorizable) {
+    std::cout << "vectorizable, max VF " << legality.max_vf
+              << (legality.needs_runtime_check ? " (behind a runtime check)"
+                                               : "")
+              << "\n\n";
+  } else {
+    std::cout << "NOT vectorizable: " << legality.reasons_string() << "\n\n";
+  }
+  TextTable t({"target", "vf", "predicted", "measured"});
+  for (const auto& target : machine::all_targets()) {
+    const auto vec = vectorizer::vectorize_loop(scalar, target);
+    if (!vec.ok) {
+      t.add_row({target.name, "-", "-", "-"});
+      continue;
+    }
+    const double pred =
+        model::llvm_predict(scalar, vec.kernel, target).predicted_speedup;
+    const double meas =
+        vec.runtime_check
+            ? machine::measure_scalar_cycles(scalar, target, scalar.default_n) /
+                  machine::measure_versioned_scalar_cycles(scalar, target,
+                                                           scalar.default_n)
+            : machine::measure_speedup(vec.kernel, scalar, target,
+                                       scalar.default_n);
+    t.add_row({target.name, std::to_string(vec.vf), TextTable::num(pred),
+               TextTable::num(meas)});
+  }
+  std::cout << t.to_string();
+  return 0;
+}
+
+int cmd_measure(const std::vector<std::string>& args) {
+  const auto& target = target_arg(args, 2);
+  const auto sm = eval::measure_suite(target);
+  eval::print_suite_overview(std::cout, sm);
+  std::cout << '\n';
+  const auto base = eval::experiment_baseline(sm);
+  eval::print_model_comparison(std::cout, {base});
+  std::cout << '\n';
+  eval::print_scatter(std::cout, sm, base, 15);
+  return 0;
+}
+
+int cmd_train(const std::vector<std::string>& args) {
+  const auto& target = target_arg(args, 2);
+  model::Fitter fitter = model::Fitter::NNLS;
+  if (args.size() > 3) {
+    if (args[3] == "l2") fitter = model::Fitter::L2;
+    else if (args[3] == "nnls") fitter = model::Fitter::NNLS;
+    else if (args[3] == "svr") fitter = model::Fitter::SVR;
+    else throw Error("unknown fitter: " + args[3]);
+  }
+  analysis::FeatureSet set = analysis::FeatureSet::Rated;
+  if (args.size() > 4) {
+    if (args[4] == "counts") set = analysis::FeatureSet::Counts;
+    else if (args[4] == "rated") set = analysis::FeatureSet::Rated;
+    else if (args[4] == "extended") set = analysis::FeatureSet::Extended;
+    else throw Error("unknown feature set: " + args[4]);
+  }
+  const auto sm = eval::measure_suite(target);
+  const auto fit = eval::experiment_fit_speedup(sm, fitter, set);
+  eval::print_weights(std::cout, fit.model);
+  std::cout << '\n';
+  eval::print_model_comparison(std::cout,
+                               {eval::experiment_baseline(sm), fit.eval});
+  if (args.size() > 5) {
+    std::ofstream out(args[5]);
+    if (!out) throw Error("cannot open " + args[5]);
+    fit::save_model(out, fit.model.to_saved());
+    std::cout << "\nsaved model to " << args[5] << '\n';
+  }
+  return 0;
+}
+
+int cmd_advise(const std::vector<std::string>& args) {
+  const auto& target = target_arg(args, 2);
+  const auto sm = eval::measure_suite(target);
+  const auto base = eval::experiment_baseline(sm);
+  const auto fit = eval::experiment_fit_speedup(
+      sm, model::Fitter::NNLS, analysis::FeatureSet::Rated, /*loocv=*/true);
+  eval::print_model_comparison(std::cout, {base, fit.eval});
+  std::cout << '\n';
+  eval::print_decision_outcomes(std::cout, {base, fit.eval});
+  return 0;
+}
+
+int cmd_select(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage();
+  const ir::LoopKernel scalar = kernel_arg(args[2]);
+  const auto& target = target_arg(args, 3);
+  const auto sm = eval::measure_suite(target);
+  const auto fitted = model::fit_model(
+      sm.design_matrix(analysis::FeatureSet::Rated), sm.measured_speedups(),
+      model::Fitter::NNLS, analysis::FeatureSet::Rated);
+  const model::TransformSelector selector(target, fitted);
+  const auto r = selector.select(scalar, scalar.default_n);
+  TextTable t({"option", "predicted speedup", "measured cycles", ""});
+  for (std::size_t i = 0; i < r.options.size(); ++i) {
+    const auto& o = r.options[i];
+    std::string mark;
+    if (i == r.chosen) mark += "<= chosen";
+    if (i == r.best) mark += (mark.empty() ? "" : ", ") + std::string("oracle");
+    t.add_row({o.label(), TextTable::num(o.predicted_speedup),
+               TextTable::num(o.measured_cycles, 0), mark});
+  }
+  std::cout << t.to_string();
+  std::cout << "regret: " << TextTable::num(r.regret()) << '\n';
+  return 0;
+}
+
+int cmd_catalog(const std::vector<std::string>& args) {
+  const auto& target = target_arg(args, 2);
+  const auto sm = eval::measure_suite(target);
+  std::cout << "| kernel | category | vectorizable | VF | measured |\n";
+  std::cout << "|---|---|---|---|---|\n";
+  for (const auto& k : sm.kernels) {
+    std::cout << "| " << k.name << " | " << k.category << " | "
+              << (k.vectorizable ? "yes" : "no") << " | "
+              << (k.vectorizable ? std::to_string(k.vf) : "-") << " | "
+              << (k.vectorizable ? TextTable::num(k.measured_speedup) : "-")
+              << " |\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  if (args.size() < 2) usage();
+  try {
+    const std::string& cmd = args[1];
+    if (cmd == "list") return cmd_list();
+    if (cmd == "targets") return cmd_targets();
+    if (cmd == "explore") return cmd_explore(args);
+    if (cmd == "measure") return cmd_measure(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "advise") return cmd_advise(args);
+    if (cmd == "select") return cmd_select(args);
+    if (cmd == "catalog") return cmd_catalog(args);
+    usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
