@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_categories.dir/abl_categories.cpp.o"
+  "CMakeFiles/abl_categories.dir/abl_categories.cpp.o.d"
+  "abl_categories"
+  "abl_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_crossval.dir/abl_crossval.cpp.o"
+  "CMakeFiles/abl_crossval.dir/abl_crossval.cpp.o.d"
+  "abl_crossval"
+  "abl_crossval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_feature_sets.dir/abl_feature_sets.cpp.o"
+  "CMakeFiles/abl_feature_sets.dir/abl_feature_sets.cpp.o.d"
+  "abl_feature_sets"
+  "abl_feature_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_feature_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fitters.dir/abl_fitters.cpp.o"
+  "CMakeFiles/abl_fitters.dir/abl_fitters.cpp.o.d"
+  "abl_fitters"
+  "abl_fitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

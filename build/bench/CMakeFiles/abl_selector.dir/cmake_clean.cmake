@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_selector.dir/abl_selector.cpp.o"
+  "CMakeFiles/abl_selector.dir/abl_selector.cpp.o.d"
+  "abl_selector"
+  "abl_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

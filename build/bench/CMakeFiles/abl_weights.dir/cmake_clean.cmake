@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_weights.dir/abl_weights.cpp.o"
+  "CMakeFiles/abl_weights.dir/abl_weights.cpp.o.d"
+  "abl_weights"
+  "abl_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sota_arm.dir/fig04_sota_arm.cpp.o"
+  "CMakeFiles/fig04_sota_arm.dir/fig04_sota_arm.cpp.o.d"
+  "fig04_sota_arm"
+  "fig04_sota_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sota_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

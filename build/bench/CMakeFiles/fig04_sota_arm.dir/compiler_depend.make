@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_sota_arm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_speedup_fit_arm.dir/fig08_speedup_fit_arm.cpp.o"
+  "CMakeFiles/fig08_speedup_fit_arm.dir/fig08_speedup_fit_arm.cpp.o.d"
+  "fig08_speedup_fit_arm"
+  "fig08_speedup_fit_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_speedup_fit_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

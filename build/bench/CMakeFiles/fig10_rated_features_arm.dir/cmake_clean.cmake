@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rated_features_arm.dir/fig10_rated_features_arm.cpp.o"
+  "CMakeFiles/fig10_rated_features_arm.dir/fig10_rated_features_arm.cpp.o.d"
+  "fig10_rated_features_arm"
+  "fig10_rated_features_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rated_features_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_loocv_nnls_arm.dir/fig11_loocv_nnls_arm.cpp.o"
+  "CMakeFiles/fig11_loocv_nnls_arm.dir/fig11_loocv_nnls_arm.cpp.o.d"
+  "fig11_loocv_nnls_arm"
+  "fig11_loocv_nnls_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_loocv_nnls_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_loocv_nnls_arm.
+# This may be replaced when dependencies are built.

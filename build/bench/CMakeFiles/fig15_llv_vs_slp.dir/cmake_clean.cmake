@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_llv_vs_slp.dir/fig15_llv_vs_slp.cpp.o"
+  "CMakeFiles/fig15_llv_vs_slp.dir/fig15_llv_vs_slp.cpp.o.d"
+  "fig15_llv_vs_slp"
+  "fig15_llv_vs_slp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_llv_vs_slp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

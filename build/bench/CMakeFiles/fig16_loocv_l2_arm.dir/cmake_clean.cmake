@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_loocv_l2_arm.dir/fig16_loocv_l2_arm.cpp.o"
+  "CMakeFiles/fig16_loocv_l2_arm.dir/fig16_loocv_l2_arm.cpp.o.d"
+  "fig16_loocv_l2_arm"
+  "fig16_loocv_l2_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_loocv_l2_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_loocv_l2_arm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_cost_fit_x86.dir/fig18_cost_fit_x86.cpp.o"
+  "CMakeFiles/fig18_cost_fit_x86.dir/fig18_cost_fit_x86.cpp.o.d"
+  "fig18_cost_fit_x86"
+  "fig18_cost_fit_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_cost_fit_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fit.dir/micro_fit.cpp.o"
+  "CMakeFiles/micro_fit.dir/micro_fit.cpp.o.d"
+  "micro_fit"
+  "micro_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

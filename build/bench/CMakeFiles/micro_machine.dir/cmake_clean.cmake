@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_machine.dir/micro_machine.cpp.o"
+  "CMakeFiles/micro_machine.dir/micro_machine.cpp.o.d"
+  "micro_machine"
+  "micro_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovec_advisor.dir/autovec_advisor.cpp.o"
+  "CMakeFiles/autovec_advisor.dir/autovec_advisor.cpp.o.d"
+  "autovec_advisor"
+  "autovec_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovec_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

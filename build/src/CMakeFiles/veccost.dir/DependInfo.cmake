@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependence.cpp" "src/CMakeFiles/veccost.dir/analysis/dependence.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/analysis/dependence.cpp.o.d"
+  "/root/repo/src/analysis/features.cpp" "src/CMakeFiles/veccost.dir/analysis/features.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/analysis/features.cpp.o.d"
+  "/root/repo/src/analysis/legality.cpp" "src/CMakeFiles/veccost.dir/analysis/legality.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/analysis/legality.cpp.o.d"
+  "/root/repo/src/analysis/reduction.cpp" "src/CMakeFiles/veccost.dir/analysis/reduction.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/analysis/reduction.cpp.o.d"
+  "/root/repo/src/costmodel/classifier.cpp" "src/CMakeFiles/veccost.dir/costmodel/classifier.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/costmodel/classifier.cpp.o.d"
+  "/root/repo/src/costmodel/linear_model.cpp" "src/CMakeFiles/veccost.dir/costmodel/linear_model.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/costmodel/linear_model.cpp.o.d"
+  "/root/repo/src/costmodel/llvm_model.cpp" "src/CMakeFiles/veccost.dir/costmodel/llvm_model.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/costmodel/llvm_model.cpp.o.d"
+  "/root/repo/src/costmodel/selector.cpp" "src/CMakeFiles/veccost.dir/costmodel/selector.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/costmodel/selector.cpp.o.d"
+  "/root/repo/src/costmodel/trainer.cpp" "src/CMakeFiles/veccost.dir/costmodel/trainer.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/costmodel/trainer.cpp.o.d"
+  "/root/repo/src/eval/experiments.cpp" "src/CMakeFiles/veccost.dir/eval/experiments.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/eval/experiments.cpp.o.d"
+  "/root/repo/src/eval/measurement.cpp" "src/CMakeFiles/veccost.dir/eval/measurement.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/eval/measurement.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/veccost.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/eval/report.cpp.o.d"
+  "/root/repo/src/fit/least_squares.cpp" "src/CMakeFiles/veccost.dir/fit/least_squares.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/fit/least_squares.cpp.o.d"
+  "/root/repo/src/fit/model_io.cpp" "src/CMakeFiles/veccost.dir/fit/model_io.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/fit/model_io.cpp.o.d"
+  "/root/repo/src/fit/nnls.cpp" "src/CMakeFiles/veccost.dir/fit/nnls.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/fit/nnls.cpp.o.d"
+  "/root/repo/src/fit/scaler.cpp" "src/CMakeFiles/veccost.dir/fit/scaler.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/fit/scaler.cpp.o.d"
+  "/root/repo/src/fit/svr.cpp" "src/CMakeFiles/veccost.dir/fit/svr.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/fit/svr.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/veccost.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/loop.cpp" "src/CMakeFiles/veccost.dir/ir/loop.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/ir/loop.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/CMakeFiles/veccost.dir/ir/opcode.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/ir/opcode.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/CMakeFiles/veccost.dir/ir/parser.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/ir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/veccost.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/veccost.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/ir/type.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/veccost.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/ir/verifier.cpp.o.d"
+  "/root/repo/src/machine/cache_sim.cpp" "src/CMakeFiles/veccost.dir/machine/cache_sim.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/machine/cache_sim.cpp.o.d"
+  "/root/repo/src/machine/executor.cpp" "src/CMakeFiles/veccost.dir/machine/executor.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/machine/executor.cpp.o.d"
+  "/root/repo/src/machine/perf_model.cpp" "src/CMakeFiles/veccost.dir/machine/perf_model.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/machine/perf_model.cpp.o.d"
+  "/root/repo/src/machine/scheduler.cpp" "src/CMakeFiles/veccost.dir/machine/scheduler.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/machine/scheduler.cpp.o.d"
+  "/root/repo/src/machine/target.cpp" "src/CMakeFiles/veccost.dir/machine/target.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/machine/target.cpp.o.d"
+  "/root/repo/src/machine/targets.cpp" "src/CMakeFiles/veccost.dir/machine/targets.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/machine/targets.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/CMakeFiles/veccost.dir/support/csv.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/support/csv.cpp.o.d"
+  "/root/repo/src/support/matrix.cpp" "src/CMakeFiles/veccost.dir/support/matrix.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/support/matrix.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/veccost.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/veccost.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/support/table.cpp.o.d"
+  "/root/repo/src/tsvc/suite.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite.cpp.o.d"
+  "/root/repo/src/tsvc/suite_control_flow.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_control_flow.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_control_flow.cpp.o.d"
+  "/root/repo/src/tsvc/suite_crossing_thresholds.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_crossing_thresholds.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_crossing_thresholds.cpp.o.d"
+  "/root/repo/src/tsvc/suite_expansion.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_expansion.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_expansion.cpp.o.d"
+  "/root/repo/src/tsvc/suite_global_dataflow.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_global_dataflow.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_global_dataflow.cpp.o.d"
+  "/root/repo/src/tsvc/suite_indirect.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_indirect.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_indirect.cpp.o.d"
+  "/root/repo/src/tsvc/suite_induction.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_induction.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_induction.cpp.o.d"
+  "/root/repo/src/tsvc/suite_linear_dependence.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_linear_dependence.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_linear_dependence.cpp.o.d"
+  "/root/repo/src/tsvc/suite_loop_restructuring.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_loop_restructuring.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_loop_restructuring.cpp.o.d"
+  "/root/repo/src/tsvc/suite_misc.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_misc.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_misc.cpp.o.d"
+  "/root/repo/src/tsvc/suite_node_splitting.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_node_splitting.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_node_splitting.cpp.o.d"
+  "/root/repo/src/tsvc/suite_recurrences.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_recurrences.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_recurrences.cpp.o.d"
+  "/root/repo/src/tsvc/suite_reductions.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_reductions.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_reductions.cpp.o.d"
+  "/root/repo/src/tsvc/suite_search_packing.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_search_packing.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_search_packing.cpp.o.d"
+  "/root/repo/src/tsvc/suite_statement_reordering.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_statement_reordering.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_statement_reordering.cpp.o.d"
+  "/root/repo/src/tsvc/suite_symbolics.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_symbolics.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_symbolics.cpp.o.d"
+  "/root/repo/src/tsvc/suite_vector_idioms.cpp" "src/CMakeFiles/veccost.dir/tsvc/suite_vector_idioms.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/suite_vector_idioms.cpp.o.d"
+  "/root/repo/src/tsvc/workload.cpp" "src/CMakeFiles/veccost.dir/tsvc/workload.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/tsvc/workload.cpp.o.d"
+  "/root/repo/src/vectorizer/loop_vectorizer.cpp" "src/CMakeFiles/veccost.dir/vectorizer/loop_vectorizer.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/vectorizer/loop_vectorizer.cpp.o.d"
+  "/root/repo/src/vectorizer/reroll.cpp" "src/CMakeFiles/veccost.dir/vectorizer/reroll.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/vectorizer/reroll.cpp.o.d"
+  "/root/repo/src/vectorizer/slp_vectorizer.cpp" "src/CMakeFiles/veccost.dir/vectorizer/slp_vectorizer.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/vectorizer/slp_vectorizer.cpp.o.d"
+  "/root/repo/src/vectorizer/unroll.cpp" "src/CMakeFiles/veccost.dir/vectorizer/unroll.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/vectorizer/unroll.cpp.o.d"
+  "/root/repo/src/vectorizer/vplan.cpp" "src/CMakeFiles/veccost.dir/vectorizer/vplan.cpp.o" "gcc" "src/CMakeFiles/veccost.dir/vectorizer/vplan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvc_test.dir/tsvc_test.cpp.o"
+  "CMakeFiles/tsvc_test.dir/tsvc_test.cpp.o.d"
+  "tsvc_test"
+  "tsvc_test.pdb"
+  "tsvc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectorizer_test.dir/vectorizer_test.cpp.o"
+  "CMakeFiles/vectorizer_test.dir/vectorizer_test.cpp.o.d"
+  "vectorizer_test"
+  "vectorizer_test.pdb"
+  "vectorizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veccost_cli.dir/veccost_cli.cpp.o"
+  "CMakeFiles/veccost_cli.dir/veccost_cli.cpp.o.d"
+  "veccost"
+  "veccost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veccost_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
