@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
+#include "eval/parallel_runner.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 
@@ -11,7 +12,7 @@ int main() {
   using namespace veccost;
   std::cout << "=== Figure: slide 10 — rated (percentage) instruction "
                "features, Cortex-A57 ===\n\n";
-  const auto sm = eval::measure_suite(machine::cortex_a57());
+  const auto sm = eval::measure_suite_cached(machine::cortex_a57());
   const auto base = eval::experiment_baseline(sm);
   const auto counts_l2 = eval::experiment_fit_speedup(sm, model::Fitter::L2,
                                                       analysis::FeatureSet::Counts);

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
+#include "eval/parallel_runner.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 #include "support/table.hpp"
@@ -11,7 +12,7 @@
 int main() {
   using namespace veccost;
   std::cout << "=== Figure: slide 12 — conclusion summary, Cortex-A57 ===\n\n";
-  const auto sm = eval::measure_suite(machine::cortex_a57());
+  const auto sm = eval::measure_suite_cached(machine::cortex_a57());
   const auto rows = eval::experiment_summary(sm);
 
   TextTable t({"model", "pearson", "FP", "FN", "exec Mcycles", "oracle eff."});

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
+#include "eval/parallel_runner.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 
@@ -11,7 +12,7 @@ int main() {
   using namespace veccost;
   std::cout << "=== Figure: slides 17-18 — baseline + fitted-for-cost, "
                "Xeon E5 AVX2 ===\n\n";
-  const auto sm = eval::measure_suite(machine::xeon_e5_avx2());
+  const auto sm = eval::measure_suite_cached(machine::xeon_e5_avx2());
   eval::print_suite_overview(std::cout, sm);
   std::cout << '\n';
   const auto base = eval::experiment_baseline(sm);

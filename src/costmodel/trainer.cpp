@@ -5,6 +5,7 @@
 #include "fit/scaler.hpp"
 #include "fit/svr.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace veccost::model {
 
@@ -59,35 +60,45 @@ LinearSpeedupModel fit_model(const Matrix& x, const Vector& y, Fitter fitter,
 
 Vector kfold_predictions(const Matrix& x, const Vector& y, Fitter fitter,
                          analysis::FeatureSet set, std::size_t k,
-                         const TrainOptions& opts) {
+                         const TrainOptions& opts, std::size_t jobs) {
   VECCOST_ASSERT(x.rows() == y.size(), "kfold: row/target mismatch");
   VECCOST_ASSERT(k >= 2 && k <= x.rows(), "kfold: k out of range");
   Vector predictions(x.rows(), 0.0);
-  for (std::size_t fold = 0; fold < k; ++fold) {
-    Matrix train_x;
-    Vector train_y;
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      if (r % k == fold) continue;
-      train_x.push_row(x.row(r));
-      train_y.push_back(y[r]);
-    }
-    const LinearSpeedupModel model = fit_model(train_x, train_y, fitter, set, opts);
-    for (std::size_t r = fold; r < x.rows(); r += k)
-      predictions[r] = model.predict_features(x.row(r));
-  }
+  // Folds are independent and write disjoint prediction slots, so fanning
+  // them out cannot change the result.
+  parallel_for(
+      k,
+      [&](std::size_t fold) {
+        Matrix train_x;
+        Vector train_y;
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+          if (r % k == fold) continue;
+          train_x.push_row(x.row(r));
+          train_y.push_back(y[r]);
+        }
+        const LinearSpeedupModel model =
+            fit_model(train_x, train_y, fitter, set, opts);
+        for (std::size_t r = fold; r < x.rows(); r += k)
+          predictions[r] = model.predict_features(x.row(r));
+      },
+      jobs);
   return predictions;
 }
 
 Vector loocv_predictions(const Matrix& x, const Vector& y, Fitter fitter,
-                         analysis::FeatureSet set, const TrainOptions& opts) {
+                         analysis::FeatureSet set, const TrainOptions& opts,
+                         std::size_t jobs) {
   VECCOST_ASSERT(x.rows() == y.size() && x.rows() > 1, "LOOCV needs >= 2 rows");
   Vector predictions(x.rows(), 0.0);
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    const Matrix xi = x.without_row(i);
-    const Vector yi = without_element(y, i);
-    const LinearSpeedupModel model = fit_model(xi, yi, fitter, set, opts);
-    predictions[i] = model.predict_features(x.row(i));
-  }
+  parallel_for(
+      x.rows(),
+      [&](std::size_t i) {
+        const Matrix xi = x.without_row(i);
+        const Vector yi = without_element(y, i);
+        const LinearSpeedupModel model = fit_model(xi, yi, fitter, set, opts);
+        predictions[i] = model.predict_features(x.row(i));
+      },
+      jobs);
   return predictions;
 }
 

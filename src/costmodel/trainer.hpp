@@ -38,17 +38,23 @@ struct TrainOptions {
 
 /// Leave-one-out cross validation: element i of the result is the prediction
 /// for row i by a model trained on all other rows (slides 11 and 16).
+/// Held-out fits run in parallel across up to `jobs` threads (0 =
+/// default_parallelism(), 1 = serial); every fit is independent, so the
+/// result is bit-identical for any jobs value.
 [[nodiscard]] Vector loocv_predictions(const Matrix& x, const Vector& y,
                                        Fitter fitter, analysis::FeatureSet set,
-                                       const TrainOptions& opts = {});
+                                       const TrainOptions& opts = {},
+                                       std::size_t jobs = 0);
 
 /// k-fold cross validation with strided folds (row i belongs to fold i % k,
 /// which interleaves the suite's category ordering across folds). Element i
 /// of the result is row i's prediction by the model trained on the other
-/// folds. k must be in [2, rows].
+/// folds. k must be in [2, rows]. Folds run in parallel across up to `jobs`
+/// threads with deterministic, jobs-independent results.
 [[nodiscard]] Vector kfold_predictions(const Matrix& x, const Vector& y,
                                        Fitter fitter, analysis::FeatureSet set,
                                        std::size_t k,
-                                       const TrainOptions& opts = {});
+                                       const TrainOptions& opts = {},
+                                       std::size_t jobs = 0);
 
 }  // namespace veccost::model

@@ -98,51 +98,54 @@ Vector SuiteMeasurement::speedup_from_cost_predictions(const Vector& cost_pred) 
   return out;
 }
 
+KernelMeasurement measure_kernel(const tsvc::KernelInfo& info,
+                                 const machine::TargetDesc& target,
+                                 double noise) {
+  const ir::LoopKernel scalar = info.build();
+  KernelMeasurement m;
+  m.name = info.name;
+  m.category = info.category;
+  m.features_counts =
+      analysis::extract_features(scalar, analysis::FeatureSet::Counts);
+  m.features_rated =
+      analysis::extract_features(scalar, analysis::FeatureSet::Rated);
+  m.features_extended =
+      analysis::extract_features(scalar, analysis::FeatureSet::Extended);
+
+  const vectorizer::VectorizedLoop vec = vectorizer::vectorize_loop(scalar, target);
+  if (!vec.ok) {
+    m.vectorizable = false;
+    m.reject_reason = vec.notes_string();
+    return m;
+  }
+  m.vectorizable = true;
+  m.vf = vec.vf;
+
+  const std::int64_t n = scalar.default_n;
+  m.scalar_cycles = machine::measure_scalar_cycles(scalar, target, n, noise);
+  m.vector_cycles =
+      vec.runtime_check
+          ? machine::measure_versioned_scalar_cycles(scalar, target, n, noise)
+          : machine::measure_vector_cycles(vec.kernel, scalar, target, n, noise);
+  m.measured_speedup = m.scalar_cycles / m.vector_cycles;
+
+  const std::int64_t iters = scalar.trip.iterations(n);
+  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  m.scalar_cost_per_iter =
+      m.scalar_cycles / static_cast<double>(std::max<std::int64_t>(iters * outer, 1));
+  const std::int64_t bodies = std::max<std::int64_t>((iters / vec.vf) * outer, 1);
+  m.vector_cost_per_body = m.vector_cycles / static_cast<double>(bodies);
+
+  m.llvm_predicted_speedup =
+      model::llvm_predict(scalar, vec.kernel, target).predicted_speedup;
+  return m;
+}
+
 SuiteMeasurement measure_suite(const machine::TargetDesc& target, double noise) {
   SuiteMeasurement out;
   out.target_name = target.name;
-  for (const auto& info : tsvc::suite()) {
-    const ir::LoopKernel scalar = info.build();
-    KernelMeasurement m;
-    m.name = info.name;
-    m.category = info.category;
-    m.features_counts =
-        analysis::extract_features(scalar, analysis::FeatureSet::Counts);
-    m.features_rated =
-        analysis::extract_features(scalar, analysis::FeatureSet::Rated);
-    m.features_extended =
-        analysis::extract_features(scalar, analysis::FeatureSet::Extended);
-
-    const vectorizer::VectorizedLoop vec = vectorizer::vectorize_loop(scalar, target);
-    if (!vec.ok) {
-      m.vectorizable = false;
-      m.reject_reason = vec.notes_string();
-      out.kernels.push_back(std::move(m));
-      continue;
-    }
-    m.vectorizable = true;
-    m.vf = vec.vf;
-
-    const std::int64_t n = scalar.default_n;
-    m.scalar_cycles = machine::measure_scalar_cycles(scalar, target, n, noise);
-    m.vector_cycles =
-        vec.runtime_check
-            ? machine::measure_versioned_scalar_cycles(scalar, target, n, noise)
-            : machine::measure_vector_cycles(vec.kernel, scalar, target, n, noise);
-    m.measured_speedup = m.scalar_cycles / m.vector_cycles;
-
-    const std::int64_t iters = scalar.trip.iterations(n);
-    const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
-    m.scalar_cost_per_iter =
-        m.scalar_cycles / static_cast<double>(std::max<std::int64_t>(iters * outer, 1));
-    const std::int64_t bodies = std::max<std::int64_t>((iters / vec.vf) * outer, 1);
-    m.vector_cost_per_body = m.vector_cycles / static_cast<double>(bodies);
-
-    m.llvm_predicted_speedup =
-        model::llvm_predict(scalar, vec.kernel, target).predicted_speedup;
-
-    out.kernels.push_back(std::move(m));
-  }
+  for (const auto& info : tsvc::suite())
+    out.kernels.push_back(measure_kernel(info, target, noise));
   return out;
 }
 

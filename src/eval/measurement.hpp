@@ -12,6 +12,7 @@
 #include "machine/perf_model.hpp"
 #include "machine/target.hpp"
 #include "support/matrix.hpp"
+#include "tsvc/kernel.hpp"
 
 namespace veccost::eval {
 
@@ -64,9 +65,20 @@ struct SuiteMeasurement {
   [[nodiscard]] Vector speedup_from_cost_predictions(const Vector& cost_pred) const;
 };
 
-/// Measure the whole suite on `target`. Deterministic. `noise` sets the
-/// relative amplitude of the simulated measurement jitter (see the noise
-/// ablation bench for why this matters to the cost-vs-speedup fit).
+/// Measure one kernel on `target`: legality, vectorization, both timing
+/// runs, features and the baseline prediction. Pure and deterministic —
+/// this is the unit of work the parallel runner fans out and the
+/// measurement cache memoizes.
+[[nodiscard]] KernelMeasurement measure_kernel(
+    const tsvc::KernelInfo& info, const machine::TargetDesc& target,
+    double noise = machine::kDefaultNoise);
+
+/// Measure the whole suite on `target`, serially, in suite order.
+/// Deterministic. `noise` sets the relative amplitude of the simulated
+/// measurement jitter (see the noise ablation bench for why this matters to
+/// the cost-vs-speedup fit). The parallel counterpart is
+/// eval::ParallelRunner (parallel_runner.hpp), which produces bit-identical
+/// results.
 [[nodiscard]] SuiteMeasurement measure_suite(
     const machine::TargetDesc& target, double noise = machine::kDefaultNoise);
 

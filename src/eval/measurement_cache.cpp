@@ -1,0 +1,249 @@
+#include "eval/measurement_cache.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+
+namespace veccost::eval {
+
+namespace {
+
+std::atomic<bool> g_cache_enabled{true};
+std::atomic<bool> g_cache_env_checked{false};
+
+/// Incremental content hash: order-dependent mixing via SplitMix64.
+class Hasher {
+ public:
+  void mix(std::uint64_t v) {
+    state_ = SplitMix64(state_ ^ v).next();
+  }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(std::string_view s) { mix(hash_string(s)); }
+  [[nodiscard]] std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
+};
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+std::string format_double(double v) {
+  // Hex floats round-trip bit-exactly through strtod; decimal printing at
+  // any precision would make "cached" and "fresh" runs diverge in the last
+  // ulp and break the determinism guarantee.
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+double parse_double(const std::string& s) {
+  return std::strtod(s.c_str(), nullptr);
+}
+
+std::string format_vector(const std::vector<double>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ' ';
+    out += format_double(v[i]);
+  }
+  return out;
+}
+
+std::vector<double> parse_vector(const std::string& s) {
+  std::vector<double> out;
+  const char* p = s.c_str();
+  char* end = nullptr;
+  for (;;) {
+    const double v = std::strtod(p, &end);
+    if (end == p) break;
+    out.push_back(v);
+    p = end;
+  }
+  return out;
+}
+
+/// One CSV row per kernel; the key cell first so a partial read is
+/// detectable, then every KernelMeasurement field.
+const std::vector<std::string> kHeader = {
+    "key",           "name",
+    "category",      "vectorizable",
+    "reject_reason", "vf",
+    "scalar_cycles", "vector_cycles",
+    "measured_speedup", "scalar_cost_per_iter",
+    "vector_cost_per_body", "llvm_predicted_speedup",
+    "features_counts", "features_rated", "features_extended"};
+
+std::uint64_t kernel_key(std::uint64_t config, const std::string& name) {
+  Hasher h;
+  h.mix(config);
+  h.mix(name);
+  return h.value();
+}
+
+}  // namespace
+
+MeasurementCache::MeasurementCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) dir_ = default_dir();
+}
+
+std::string MeasurementCache::default_dir() {
+  if (const char* env = std::getenv("VECCOST_CACHE_DIR"); env && *env)
+    return env;
+  return "results/cache";
+}
+
+std::uint64_t MeasurementCache::config_hash(const machine::TargetDesc& t,
+                                            double noise,
+                                            std::uint64_t pipeline_version) {
+  Hasher h;
+  h.mix(pipeline_version);
+  // The vectorizer configuration measure_kernel runs under (the paper's
+  // state-of-the-art setup): auto VF from legality, cost model overridden,
+  // no unrolling, no interleaving.
+  h.mix(std::string_view("vf=auto,override-cost,no-unroll,no-interleave"));
+  h.mix(noise);
+  // Target fingerprint: every field the perf model or the cost models read.
+  h.mix(t.name);
+  h.mix(t.freq_ghz);
+  h.mix(t.vector_bits);
+  h.mix(t.issue_width);
+  h.mix(t.mem_units);
+  h.mix(t.fp_units);
+  h.mix(t.int_units);
+  for (const auto* table : {t.scalar_table, t.vector_table}) {
+    for (int i = 0; i < 16; ++i) {
+      for (const auto& e : {table[i].f32, table[i].f64, table[i].int_narrow,
+                            table[i].int_wide}) {
+        h.mix(e.latency);
+        h.mix(e.rthroughput);
+      }
+    }
+  }
+  for (const auto& lvl : {t.l1, t.l2, t.dram}) {
+    h.mix(static_cast<std::uint64_t>(lvl.capacity_bytes));
+    h.mix(lvl.latency_cycles);
+    h.mix(lvl.bytes_per_cycle);
+  }
+  h.mix(t.cacheline_bytes);
+  h.mix(t.hw_gather);
+  h.mix(t.hw_masked_store);
+  h.mix(t.gather_per_lane_cycles);
+  h.mix(t.strided_penalty);
+  h.mix(t.reverse_penalty);
+  h.mix(t.lone_strided_per_lane_cycles);
+  h.mix(t.model_interleave_groups);
+  h.mix(t.interleave_group_penalty);
+  h.mix(t.masked_store_penalty_cycles);
+  h.mix(t.loop_overhead_cycles);
+  h.mix(t.vec_loop_overhead_cycles);
+  h.mix(t.vec_prologue_cycles);
+  return h.value();
+}
+
+std::string MeasurementCache::file_path(const machine::TargetDesc& target,
+                                        double noise,
+                                        std::uint64_t pipeline_version) const {
+  return dir_ + "/" + target.name + "_" +
+         hex64(config_hash(target, noise, pipeline_version)) + ".csv";
+}
+
+std::map<std::string, KernelMeasurement> MeasurementCache::load(
+    const machine::TargetDesc& target, double noise,
+    std::uint64_t pipeline_version) const {
+  std::map<std::string, KernelMeasurement> out;
+  const std::uint64_t config = config_hash(target, noise, pipeline_version);
+  std::ifstream in;
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    in.open(file_path(target, noise, pipeline_version));
+  }
+  if (!in) return out;
+  CsvReader reader(in);
+  std::vector<std::string> cells;
+  if (!reader.read_row(cells) || cells != kHeader) return out;  // stale schema
+  while (reader.read_row(cells)) {
+    if (cells.size() != kHeader.size()) continue;  // truncated row
+    KernelMeasurement m;
+    m.name = cells[1];
+    if (cells[0] != hex64(kernel_key(config, m.name))) continue;  // stale key
+    m.category = cells[2];
+    m.vectorizable = cells[3] == "1";
+    m.reject_reason = cells[4];
+    m.vf = static_cast<int>(std::strtol(cells[5].c_str(), nullptr, 10));
+    m.scalar_cycles = parse_double(cells[6]);
+    m.vector_cycles = parse_double(cells[7]);
+    m.measured_speedup = parse_double(cells[8]);
+    m.scalar_cost_per_iter = parse_double(cells[9]);
+    m.vector_cost_per_body = parse_double(cells[10]);
+    m.llvm_predicted_speedup = parse_double(cells[11]);
+    m.features_counts = parse_vector(cells[12]);
+    m.features_rated = parse_vector(cells[13]);
+    m.features_extended = parse_vector(cells[14]);
+    out.emplace(m.name, std::move(m));
+  }
+  return out;
+}
+
+bool MeasurementCache::store(const SuiteMeasurement& sm,
+                             const machine::TargetDesc& target, double noise,
+                             std::uint64_t pipeline_version) const {
+  const std::uint64_t config = config_hash(target, noise, pipeline_version);
+  const std::string path = file_path(target, noise, pipeline_version);
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return false;
+  // Write-then-rename so a concurrent reader never sees a half-written file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    CsvWriter writer(out);
+    writer.write_row(kHeader);
+    for (const auto& m : sm.kernels) {
+      writer.write_row({hex64(kernel_key(config, m.name)), m.name, m.category,
+                        m.vectorizable ? "1" : "0", m.reject_reason,
+                        std::to_string(m.vf), format_double(m.scalar_cycles),
+                        format_double(m.vector_cycles),
+                        format_double(m.measured_speedup),
+                        format_double(m.scalar_cost_per_iter),
+                        format_double(m.vector_cost_per_body),
+                        format_double(m.llvm_predicted_speedup),
+                        format_vector(m.features_counts),
+                        format_vector(m.features_rated),
+                        format_vector(m.features_extended)});
+    }
+    if (!out) return false;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+bool measurement_cache_enabled() {
+  if (!g_cache_env_checked.exchange(true)) {
+    if (const char* env = std::getenv("VECCOST_NO_CACHE");
+        env && *env && std::string_view(env) != "0")
+      g_cache_enabled.store(false);
+  }
+  return g_cache_enabled.load();
+}
+
+void set_measurement_cache_enabled(bool enabled) {
+  g_cache_env_checked.store(true);  // explicit setting beats the env var
+  g_cache_enabled.store(enabled);
+}
+
+}  // namespace veccost::eval

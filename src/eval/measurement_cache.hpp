@@ -1,0 +1,82 @@
+// Content-addressed, CSV-backed cache of suite measurements.
+//
+// Every figure/ablation binary starts by measuring the same 151 TSVC
+// kernels; the cache lets the second and subsequent binaries skip that work
+// entirely. A cached record is keyed by
+//   (kernel name, target fingerprint, VF/vectorizer config, pipeline version)
+// all folded into one 64-bit content hash: if any ingredient changes — a
+// target's timing table is edited, the vectorizer policy moves, the
+// measurement pipeline is revised and kPipelineVersion bumped — the hash
+// changes and the stale file is ignored. Doubles are persisted as hex
+// floats, so a cache round-trip is bit-exact and cached results are
+// indistinguishable from fresh ones.
+//
+// Files live under `results/cache/` (override with VECCOST_CACHE_DIR), one
+// CSV per (target, noise, version) configuration. All methods are safe to
+// call from multiple threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "eval/measurement.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::eval {
+
+/// Version of the measurement pipeline baked into every cache key. Bump
+/// whenever measure_kernel, the perf model, feature extraction or the
+/// vectorizer change observable results.
+inline constexpr std::uint64_t kPipelineVersion = 1;
+
+class MeasurementCache {
+ public:
+  /// `dir` empty selects default_dir().
+  explicit MeasurementCache(std::string dir = "");
+
+  /// VECCOST_CACHE_DIR if set, else "results/cache".
+  [[nodiscard]] static std::string default_dir();
+
+  /// Content hash of one measurement configuration: target fingerprint
+  /// (name + every cost-table/uarch field), jitter amplitude, the
+  /// vectorizer's VF-selection policy tag, and the pipeline version.
+  [[nodiscard]] static std::uint64_t config_hash(
+      const machine::TargetDesc& target, double noise,
+      std::uint64_t pipeline_version = kPipelineVersion);
+
+  /// Load every cached record for this configuration, keyed by kernel
+  /// name. Records whose stored per-kernel key does not match the expected
+  /// hash (stale pipeline, edited target) are dropped. Missing or
+  /// malformed files yield an empty map.
+  [[nodiscard]] std::map<std::string, KernelMeasurement> load(
+      const machine::TargetDesc& target, double noise,
+      std::uint64_t pipeline_version = kPipelineVersion) const;
+
+  /// Persist a full suite measurement for this configuration, replacing
+  /// any previous file. Returns false if the directory/file cannot be
+  /// written (callers treat that as "cache disabled", never an error).
+  bool store(const SuiteMeasurement& sm, const machine::TargetDesc& target,
+             double noise,
+             std::uint64_t pipeline_version = kPipelineVersion) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Path of the cache file for one configuration (for tests/tools).
+  [[nodiscard]] std::string file_path(const machine::TargetDesc& target,
+                                      double noise,
+                                      std::uint64_t pipeline_version =
+                                          kPipelineVersion) const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex io_mutex_;
+};
+
+/// Global cache enable switch (CLI --no-cache / VECCOST_NO_CACHE=1).
+[[nodiscard]] bool measurement_cache_enabled();
+void set_measurement_cache_enabled(bool enabled);
+
+}  // namespace veccost::eval

@@ -1,0 +1,56 @@
+#include "eval/parallel_runner.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+#include "tsvc/kernel.hpp"
+
+namespace veccost::eval {
+
+ParallelRunner::ParallelRunner(RunnerOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_dir) {}
+
+SuiteMeasurement ParallelRunner::measure_suite(
+    const machine::TargetDesc& target, double noise) {
+  const auto& suite = tsvc::suite();
+  SuiteMeasurement out;
+  out.target_name = target.name;
+  out.kernels.resize(suite.size());
+
+  std::map<std::string, KernelMeasurement> cached;
+  if (opts_.use_cache)
+    cached = cache_.load(target, noise, opts_.pipeline_version);
+
+  // Partition into cache hits (moved straight into their slot) and misses
+  // (measured below, each writing only its own slot).
+  std::vector<std::size_t> to_measure;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    if (auto it = cached.find(suite[i].name); it != cached.end())
+      out.kernels[i] = std::move(it->second);
+    else
+      to_measure.push_back(i);
+  }
+  cache_hits_ = suite.size() - to_measure.size();
+  cache_misses_ = to_measure.size();
+
+  parallel_for(
+      to_measure.size(),
+      [&](std::size_t j) {
+        const std::size_t i = to_measure[j];
+        out.kernels[i] = measure_kernel(suite[i], target, noise);
+      },
+      opts_.jobs);
+
+  if (opts_.use_cache && !to_measure.empty())
+    cache_.store(out, target, noise, opts_.pipeline_version);
+  return out;
+}
+
+SuiteMeasurement measure_suite_cached(const machine::TargetDesc& target,
+                                      double noise) {
+  ParallelRunner runner({.use_cache = measurement_cache_enabled()});
+  return runner.measure_suite(target, noise);
+}
+
+}  // namespace veccost::eval

@@ -1,0 +1,64 @@
+// Parallel experiment execution: fan the per-kernel suite measurement out
+// across a thread pool, with the measurement cache in front.
+//
+// Determinism contract: results are keyed by kernel index and merged in
+// suite order, so a ParallelRunner suite measurement is bit-identical to
+// eval::measure_suite for every jobs value — the differential test suite
+// (tests/parallel_runner_test.cpp, `ctest -L parallel`) enforces this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "eval/measurement.hpp"
+#include "eval/measurement_cache.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::eval {
+
+struct RunnerOptions {
+  /// Concurrent measurement jobs; 0 = default_parallelism() (--jobs /
+  /// VECCOST_JOBS / hardware threads).
+  std::size_t jobs = 0;
+  /// Consult and refresh the measurement cache.
+  bool use_cache = true;
+  /// Cache directory; empty = MeasurementCache::default_dir().
+  std::string cache_dir;
+  /// Cache key ingredient; tests override it to simulate pipeline changes.
+  std::uint64_t pipeline_version = kPipelineVersion;
+};
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(RunnerOptions opts = {});
+
+  /// Measure the whole suite on `target`: cached kernels are reused, the
+  /// rest are measured in parallel, and the merged result (suite order) is
+  /// written back to the cache when anything was re-measured.
+  [[nodiscard]] SuiteMeasurement measure_suite(
+      const machine::TargetDesc& target,
+      double noise = machine::kDefaultNoise);
+
+  /// Cache statistics of the most recent measure_suite call: hits is the
+  /// number of kernels served from cache, misses the number actually
+  /// re-measured (hits + misses == suite size).
+  [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::size_t cache_misses() const { return cache_misses_; }
+
+  [[nodiscard]] const RunnerOptions& options() const { return opts_; }
+
+ private:
+  RunnerOptions opts_;
+  MeasurementCache cache_;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+};
+
+/// Convenience for the bench drivers and the CLI: one cached, parallel
+/// suite measurement honoring the process-wide --jobs / --no-cache
+/// configuration. Drop-in replacement for eval::measure_suite with
+/// identical results.
+[[nodiscard]] SuiteMeasurement measure_suite_cached(
+    const machine::TargetDesc& target, double noise = machine::kDefaultNoise);
+
+}  // namespace veccost::eval

@@ -32,4 +32,43 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   out_ << '\n';
 }
 
+bool CsvReader::read_row(std::vector<std::string>& cells) {
+  cells.clear();
+  int c = in_.get();
+  // Skip a bare empty line / EOF probe.
+  if (c == std::istream::traits_type::eof()) return false;
+  std::string cell;
+  bool quoted = false;
+  for (;;) {
+    if (c == std::istream::traits_type::eof()) {
+      cells.push_back(std::move(cell));
+      return true;
+    }
+    const char ch = static_cast<char>(c);
+    if (quoted) {
+      if (ch == '"') {
+        if (in_.peek() == '"') {
+          cell += '"';
+          in_.get();
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"' && cell.empty()) {
+      quoted = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (ch == '\n') {
+      cells.push_back(std::move(cell));
+      return true;
+    } else if (ch != '\r') {
+      cell += ch;
+    }
+    c = in_.get();
+  }
+}
+
 }  // namespace veccost

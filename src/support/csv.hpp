@@ -1,8 +1,10 @@
-// Minimal CSV writer for exporting experiment data series (e.g. to plot the
-// scatter charts the slides show). Quoting follows RFC 4180: cells containing
-// commas, quotes or newlines are quoted, quotes are doubled.
+// Minimal CSV writer/reader for exporting experiment data series (e.g. to
+// plot the scatter charts the slides show) and for the measurement cache.
+// Quoting follows RFC 4180: cells containing commas, quotes or newlines are
+// quoted, quotes are doubled.
 #pragma once
 
+#include <istream>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -23,6 +25,20 @@ class CsvWriter {
 
  private:
   std::ostream& out_;
+};
+
+/// Streaming RFC 4180 reader: the inverse of CsvWriter. Handles quoted
+/// cells with embedded commas, doubled quotes and newlines.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  /// Read the next record into `cells` (cleared first). Returns false at
+  /// end of input.
+  bool read_row(std::vector<std::string>& cells);
+
+ private:
+  std::istream& in_;
 };
 
 }  // namespace veccost

@@ -1,0 +1,82 @@
+#include "support/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace veccost {
+
+namespace {
+std::atomic<std::size_t> g_jobs_override{0};
+}  // namespace
+
+std::size_t default_parallelism() {
+  const std::size_t override = g_jobs_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  if (const char* env = std::getenv("VECCOST_JOBS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void set_default_parallelism(std::size_t jobs) {
+  g_jobs_override.store(jobs, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_parallelism();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::run_pending_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_parallelism());
+  return pool;
+}
+
+}  // namespace veccost

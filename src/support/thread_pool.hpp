@@ -1,0 +1,166 @@
+// Fixed-size worker pool and a deterministic parallel map.
+//
+// The experiment pipeline is embarrassingly parallel (one task per TSVC
+// kernel, one task per cross-validation fold), but the paper's numbers must
+// never depend on scheduling: `parallel_map` assigns every result to its
+// index slot, so the merged output is byte-identical to a serial loop no
+// matter how tasks interleave. Exceptions are captured per index and the
+// lowest-index one is rethrown — again matching what a serial loop would
+// have thrown first.
+//
+// The pool is deadlock-free under nested use: a thread that waits for
+// parallel work (including a worker thread running a task that itself calls
+// `parallel_map`) helps drain the queue instead of blocking idle.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace veccost {
+
+/// Worker count used when a caller passes jobs == 0: the `--jobs` /
+/// `set_default_parallelism` override if present, else the VECCOST_JOBS
+/// environment variable, else std::thread::hardware_concurrency().
+[[nodiscard]] std::size_t default_parallelism();
+
+/// Override `default_parallelism()` process-wide (0 restores auto-detect).
+/// Backs the CLI `--jobs N` flag.
+void set_default_parallelism(std::size_t jobs);
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 = default_parallelism()). A pool of size 1
+  /// still has one real worker; `parallel_map` short-circuits to a plain
+  /// loop before ever touching the pool when jobs <= 1.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a callable; the future rethrows any exception it raised.
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Pop and run one queued task on the calling thread; false if the queue
+  /// was empty. This is what lets waiting threads help instead of deadlock.
+  bool run_pending_task();
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& shared();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace detail {
+
+/// Shared driver: runs fn(i) for every i in [0, count) across the caller
+/// plus up to jobs-1 pool workers, recording per-index exceptions. `fn` must
+/// only write to index-distinct state (parallel_map's slots, or the caller's
+/// own index-keyed arrays for the void overload).
+template <class Fn>
+void parallel_for_impl(ThreadPool& pool, std::size_t count, Fn&& fn,
+                       std::size_t jobs) {
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (std::size_t i; (i = next.fetch_add(1)) < count;) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(jobs, count) - 1;
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) pending.push_back(pool.submit(drain));
+  drain();  // the caller is always one of the runners
+  for (auto& f : pending) {
+    // Help with other queued work while waiting so nested parallel_map
+    // calls cannot deadlock a saturated pool.
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool.run_pending_task())
+        f.wait_for(std::chrono::microseconds(50));
+    }
+    f.get();
+  }
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace detail
+
+/// Evaluate fn(0..count-1) with up to `jobs` concurrent runners (0 =
+/// default_parallelism()) on `pool`, returning results in index order.
+/// Deterministic: output (and which exception propagates) is identical to
+/// the serial loop for any jobs value.
+template <class Fn>
+auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn,
+                  std::size_t jobs = 0)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  if (jobs == 0) jobs = default_parallelism();
+  std::vector<R> out(count);
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = fn(i);
+    return out;
+  }
+  detail::parallel_for_impl(pool, count, [&](std::size_t i) { out[i] = fn(i); },
+                            jobs);
+  return out;
+}
+
+/// As parallel_map, for callables returning void (fn must write only to
+/// index-distinct state).
+template <class Fn>
+void parallel_for(ThreadPool& pool, std::size_t count, Fn&& fn,
+                  std::size_t jobs = 0) {
+  if (jobs == 0) jobs = default_parallelism();
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  detail::parallel_for_impl(pool, count, fn, jobs);
+}
+
+/// Convenience overloads on the shared pool.
+template <class Fn>
+auto parallel_map(std::size_t count, Fn&& fn, std::size_t jobs = 0) {
+  return parallel_map(ThreadPool::shared(), count, std::forward<Fn>(fn), jobs);
+}
+template <class Fn>
+void parallel_for(std::size_t count, Fn&& fn, std::size_t jobs = 0) {
+  parallel_for(ThreadPool::shared(), count, std::forward<Fn>(fn), jobs);
+}
+
+}  // namespace veccost

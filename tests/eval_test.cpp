@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <sstream>
 
 #include "eval/experiments.hpp"
 #include "eval/measurement.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
+#include "tsvc/kernel.hpp"
 
 namespace veccost::eval {
 namespace {
@@ -34,6 +36,30 @@ TEST(Measurement, DatasetShapeConsistent) {
   EXPECT_EQ(sm.measured_speedups().size(), idx.size());
   EXPECT_EQ(sm.baseline_predictions().size(), idx.size());
   EXPECT_EQ(sm.dataset_names().size(), idx.size());
+}
+
+TEST(Measurement, CoversAllTsvcKernelsExactlyOnce) {
+  // The measurement cache is keyed by kernel name: a silently dropped or
+  // duplicated kernel would corrupt every downstream fit, so pin the suite
+  // alignment exactly.
+  const auto& sm = arm_measurement();
+  const auto& suite = tsvc::suite();
+  ASSERT_EQ(sm.kernels.size(), suite.size());
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(sm.kernels[i].name, suite[i].name) << "suite order broken at " << i;
+    EXPECT_TRUE(seen.insert(sm.kernels[i].name).second)
+        << "duplicate kernel " << sm.kernels[i].name;
+  }
+  EXPECT_EQ(seen.size(), suite.size());
+}
+
+TEST(Measurement, RejectReasonIffNotVectorizable) {
+  for (const auto& k : arm_measurement().kernels) {
+    EXPECT_EQ(k.reject_reason.empty(), k.vectorizable)
+        << k.name << ": reject_reason must be non-empty exactly when the "
+        << "kernel is not vectorizable (reason: '" << k.reject_reason << "')";
+  }
 }
 
 TEST(Measurement, SpeedupsAreSane) {

@@ -1,0 +1,189 @@
+// Differential determinism suite (`ctest -L parallel`).
+//
+// Parallelism must never change the paper's numbers: the full TSVC suite is
+// measured serially and through the ParallelRunner at 1, 2 and 8 threads,
+// and every field of every KernelMeasurement — plus the weights/predictions
+// the Trainer fits on top — must be BIT-identical (EXPECT_EQ on doubles, not
+// near-comparisons). Also verifies the warm-cache guarantee: a second run
+// over a populated cache performs zero kernel re-measurements.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "costmodel/trainer.hpp"
+#include "eval/measurement.hpp"
+#include "eval/parallel_runner.hpp"
+#include "machine/targets.hpp"
+#include "support/thread_pool.hpp"
+
+namespace veccost::eval {
+namespace {
+
+void expect_bit_identical(const SuiteMeasurement& a, const SuiteMeasurement& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.target_name, b.target_name) << what;
+  ASSERT_EQ(a.kernels.size(), b.kernels.size()) << what;
+  for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+    const auto& ka = a.kernels[i];
+    const auto& kb = b.kernels[i];
+    SCOPED_TRACE(what + ": kernel " + ka.name);
+    EXPECT_EQ(ka.name, kb.name);
+    EXPECT_EQ(ka.category, kb.category);
+    EXPECT_EQ(ka.vectorizable, kb.vectorizable);
+    EXPECT_EQ(ka.reject_reason, kb.reject_reason);
+    EXPECT_EQ(ka.vf, kb.vf);
+    EXPECT_EQ(ka.scalar_cycles, kb.scalar_cycles);
+    EXPECT_EQ(ka.vector_cycles, kb.vector_cycles);
+    EXPECT_EQ(ka.measured_speedup, kb.measured_speedup);
+    EXPECT_EQ(ka.scalar_cost_per_iter, kb.scalar_cost_per_iter);
+    EXPECT_EQ(ka.vector_cost_per_body, kb.vector_cost_per_body);
+    EXPECT_EQ(ka.llvm_predicted_speedup, kb.llvm_predicted_speedup);
+    EXPECT_EQ(ka.features_counts, kb.features_counts);
+    EXPECT_EQ(ka.features_rated, kb.features_rated);
+    EXPECT_EQ(ka.features_extended, kb.features_extended);
+  }
+}
+
+const SuiteMeasurement& serial_reference() {
+  static const SuiteMeasurement sm = measure_suite(machine::cortex_a57());
+  return sm;
+}
+
+TEST(ParallelRunner, BitIdenticalToSerialAt1_2_8Threads) {
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.use_cache = false;
+    ParallelRunner runner(opts);
+    const SuiteMeasurement sm = runner.measure_suite(machine::cortex_a57());
+    expect_bit_identical(serial_reference(), sm,
+                         "jobs=" + std::to_string(jobs));
+    EXPECT_EQ(runner.cache_hits(), 0u);
+    EXPECT_EQ(runner.cache_misses(), sm.kernels.size());
+  }
+}
+
+TEST(ParallelRunner, BitIdenticalOnSecondTarget) {
+  const SuiteMeasurement serial = measure_suite(machine::xeon_e5_avx2());
+  RunnerOptions opts;
+  opts.jobs = 8;
+  opts.use_cache = false;
+  ParallelRunner runner(opts);
+  expect_bit_identical(serial, runner.measure_suite(machine::xeon_e5_avx2()),
+                       "xeon jobs=8");
+}
+
+TEST(ParallelRunner, FittedWeightsIdenticalAcrossThreadCounts) {
+  // End-to-end: measurements from a parallel run, then Trainer weights and
+  // LOOCV predictions at 1 vs 8 fitting threads — all bit-identical to the
+  // serial pipeline.
+  RunnerOptions opts;
+  opts.jobs = 8;
+  opts.use_cache = false;
+  ParallelRunner runner(opts);
+  const SuiteMeasurement par = runner.measure_suite(machine::cortex_a57());
+  const Matrix x_serial =
+      serial_reference().design_matrix(analysis::FeatureSet::Rated);
+  const Matrix x_par = par.design_matrix(analysis::FeatureSet::Rated);
+  const Vector y_serial = serial_reference().measured_speedups();
+  const Vector y_par = par.measured_speedups();
+  ASSERT_EQ(y_serial, y_par);
+
+  for (const auto fitter :
+       {model::Fitter::L2, model::Fitter::NNLS, model::Fitter::SVR}) {
+    SCOPED_TRACE(model::to_string(fitter));
+    const auto m_serial = model::fit_model(x_serial, y_serial, fitter,
+                                           analysis::FeatureSet::Rated);
+    const auto m_par =
+        model::fit_model(x_par, y_par, fitter, analysis::FeatureSet::Rated);
+    EXPECT_EQ(m_serial.weights(), m_par.weights());
+
+    const Vector loo1 = model::loocv_predictions(
+        x_par, y_par, fitter, analysis::FeatureSet::Rated, {}, /*jobs=*/1);
+    const Vector loo8 = model::loocv_predictions(
+        x_par, y_par, fitter, analysis::FeatureSet::Rated, {}, /*jobs=*/8);
+    EXPECT_EQ(loo1, loo8);
+  }
+}
+
+TEST(ParallelRunner, KfoldIdenticalAcrossThreadCounts) {
+  const Matrix x = serial_reference().design_matrix(analysis::FeatureSet::Counts);
+  const Vector y = serial_reference().measured_speedups();
+  for (const std::size_t k : {5u, 10u}) {
+    const Vector serial = model::kfold_predictions(
+        x, y, model::Fitter::NNLS, analysis::FeatureSet::Counts, k, {}, 1);
+    const Vector par = model::kfold_predictions(
+        x, y, model::Fitter::NNLS, analysis::FeatureSet::Counts, k, {}, 8);
+    EXPECT_EQ(serial, par) << "k=" << k;
+  }
+}
+
+class WarmCacheTest : public ::testing::Test {
+ protected:
+  WarmCacheTest()
+      : dir_(::testing::TempDir() + "veccost_runner_cache_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()) {
+    std::filesystem::remove_all(dir_);
+  }
+  ~WarmCacheTest() override { std::filesystem::remove_all(dir_); }
+  RunnerOptions with_cache(std::size_t jobs,
+                           std::uint64_t pipeline_version = 1) const {
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.cache_dir = dir_;
+    opts.pipeline_version = pipeline_version;
+    return opts;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WarmCacheTest, SecondRunPerformsZeroRemeasurements) {
+  ParallelRunner cold(with_cache(2));
+  const SuiteMeasurement first = cold.measure_suite(machine::cortex_a57());
+  EXPECT_EQ(cold.cache_hits(), 0u);
+  EXPECT_EQ(cold.cache_misses(), first.kernels.size());
+
+  ParallelRunner warm(with_cache(2));
+  const SuiteMeasurement second = warm.measure_suite(machine::cortex_a57());
+  EXPECT_EQ(warm.cache_misses(), 0u) << "warm cache must skip re-measurement";
+  EXPECT_EQ(warm.cache_hits(), second.kernels.size());
+  expect_bit_identical(first, second, "cold vs warm");
+  expect_bit_identical(serial_reference(), second, "serial vs warm");
+}
+
+TEST_F(WarmCacheTest, CachedRunsAreBitIdenticalAcrossJobCounts) {
+  const SuiteMeasurement seed =
+      ParallelRunner(with_cache(4)).measure_suite(machine::cortex_a57());
+  EXPECT_EQ(seed.kernels.size(), serial_reference().kernels.size());
+  for (const std::size_t jobs : {1u, 8u}) {
+    ParallelRunner warm(with_cache(jobs));
+    expect_bit_identical(serial_reference(),
+                         warm.measure_suite(machine::cortex_a57()),
+                         "warm jobs=" + std::to_string(jobs));
+    EXPECT_EQ(warm.cache_misses(), 0u);
+  }
+}
+
+TEST_F(WarmCacheTest, PipelineVersionBumpForcesRemeasurement) {
+  ParallelRunner v1(with_cache(2, 1));
+  const auto n = v1.measure_suite(machine::cortex_a57()).kernels.size();
+  ParallelRunner v2(with_cache(2, 2));
+  const SuiteMeasurement sm = v2.measure_suite(machine::cortex_a57());
+  EXPECT_EQ(v2.cache_hits(), 0u) << "stale pipeline version must not hit";
+  EXPECT_EQ(v2.cache_misses(), n);
+  expect_bit_identical(serial_reference(), sm, "after version bump");
+}
+
+TEST_F(WarmCacheTest, DifferentNoiseDoesNotHit) {
+  ParallelRunner a(with_cache(2));
+  const auto sm_a = a.measure_suite(machine::cortex_a57(), 0.015);
+  ParallelRunner b(with_cache(2));
+  const auto sm_b = b.measure_suite(machine::cortex_a57(), 0.05);
+  EXPECT_EQ(sm_a.kernels.size(), sm_b.kernels.size());
+  EXPECT_EQ(b.cache_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace veccost::eval

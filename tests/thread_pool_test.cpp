@@ -1,0 +1,264 @@
+// Unit tests for the thread pool / parallel_map (task ordering, exception
+// propagation, nested submission) and the measurement cache (bit-exact
+// round-trip, hit/miss/invalidation on pipeline-version changes, concurrent
+// reads under contention).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "eval/measurement_cache.hpp"
+#include "machine/targets.hpp"
+#include "support/thread_pool.hpp"
+
+namespace veccost {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out = parallel_map(
+      pool, 257, [](std::size_t i) { return static_cast<int>(i * i); }, 8);
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, ParallelMapMatchesSerialForAnyJobCount) {
+  ThreadPool pool(8);
+  auto fn = [](std::size_t i) { return std::sin(static_cast<double>(i)); };
+  const auto serial = parallel_map(pool, 100, fn, 1);
+  for (const std::size_t jobs : {2u, 3u, 8u, 32u}) {
+    const auto par = parallel_map(pool, 100, fn, jobs);
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bit-identity.
+    for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(par[i], serial[i]);
+  }
+}
+
+TEST(ThreadPool, ParallelMapRethrowsLowestIndexException) {
+  // A serial loop would throw at the first failing index; parallel_map must
+  // propagate that same exception regardless of completion order.
+  ThreadPool pool(4);
+  try {
+    parallel_map(
+        pool, 64,
+        [](std::size_t i) -> int {
+          if (i == 5) throw std::runtime_error("index 5");
+          if (i == 37) throw std::runtime_error("index 37");
+          return 0;
+        },
+        8);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 5");
+  }
+}
+
+TEST(ThreadPool, AllTasksRunExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(500);
+  parallel_for(pool, counts.size(),
+               [&](std::size_t i) { counts[i].fetch_add(1); }, 8);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
+  // Tasks that themselves fan out onto the same (saturated) pool: waiting
+  // threads must help drain the queue instead of blocking.
+  ThreadPool pool(2);
+  const auto outer = parallel_map(
+      pool, 8,
+      [&](std::size_t i) {
+        const auto inner = parallel_map(
+            pool, 16,
+            [i](std::size_t j) { return static_cast<int>(i * 100 + j); }, 4);
+        return std::accumulate(inner.begin(), inner.end(), 0);
+      },
+      8);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(outer[i], static_cast<int>(16 * i * 100 + 120));
+}
+
+TEST(ThreadPool, NestedSubmissionOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  const auto out = parallel_map(
+      pool, 4,
+      [&](std::size_t i) {
+        const auto inner =
+            parallel_map(pool, 4, [](std::size_t j) { return j; }, 2);
+        return i + std::accumulate(inner.begin(), inner.end(), std::size_t{0});
+      },
+      2);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], i + 6);
+}
+
+TEST(ThreadPool, DefaultParallelismOverride) {
+  set_default_parallelism(3);
+  EXPECT_EQ(default_parallelism(), 3u);
+  set_default_parallelism(0);
+  EXPECT_GE(default_parallelism(), 1u);
+}
+
+// --- measurement cache -----------------------------------------------------
+
+class MeasurementCacheTest : public ::testing::Test {
+ protected:
+  MeasurementCacheTest()
+      : dir_(::testing::TempDir() + "veccost_cache_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()),
+        cache_(dir_) {
+    std::filesystem::remove_all(dir_);
+  }
+  ~MeasurementCacheTest() override { std::filesystem::remove_all(dir_); }
+
+  /// A synthetic suite exercising the nasty serialization corners: CSV
+  /// metacharacters in strings and doubles that decimal printing would not
+  /// round-trip.
+  static eval::SuiteMeasurement synthetic_suite() {
+    eval::SuiteMeasurement sm;
+    sm.target_name = "cortex-a57";
+    eval::KernelMeasurement a;
+    a.name = "s000";
+    a.category = "linear,dependence \"quoted\"";
+    a.vectorizable = true;
+    a.vf = 4;
+    a.scalar_cycles = 1.0 / 3.0;
+    a.vector_cycles = 1e-301;
+    a.measured_speedup = std::nextafter(2.0, 3.0);
+    a.scalar_cost_per_iter = std::numeric_limits<double>::denorm_min();
+    a.vector_cost_per_body = 123456.789012345678;
+    a.llvm_predicted_speedup = 0.1;
+    a.features_counts = {0.0, 1.0 / 7.0, 3.25};
+    a.features_rated = {0.333333333333333314829616256247};
+    a.features_extended = {1e308, -2.5e-17};
+    sm.kernels.push_back(a);
+    eval::KernelMeasurement b;
+    b.name = "s171";
+    b.category = "symbolics";
+    b.vectorizable = false;
+    b.reject_reason = "dependence cycle, distance 1\nsecond line";
+    sm.kernels.push_back(b);
+    return sm;
+  }
+
+  std::string dir_;
+  eval::MeasurementCache cache_;
+  const machine::TargetDesc target_ = machine::cortex_a57();
+};
+
+TEST_F(MeasurementCacheTest, MissOnEmptyCache) {
+  EXPECT_TRUE(cache_.load(target_, 0.015).empty());
+}
+
+TEST_F(MeasurementCacheTest, RoundTripIsBitExact) {
+  const auto sm = synthetic_suite();
+  ASSERT_TRUE(cache_.store(sm, target_, 0.015));
+  const auto loaded = cache_.load(target_, 0.015);
+  ASSERT_EQ(loaded.size(), 2u);
+  const auto& a = loaded.at("s000");
+  const auto& ref = sm.kernels[0];
+  EXPECT_EQ(a.category, ref.category);
+  EXPECT_EQ(a.vectorizable, ref.vectorizable);
+  EXPECT_EQ(a.vf, ref.vf);
+  EXPECT_EQ(a.scalar_cycles, ref.scalar_cycles);
+  EXPECT_EQ(a.vector_cycles, ref.vector_cycles);
+  EXPECT_EQ(a.measured_speedup, ref.measured_speedup);
+  EXPECT_EQ(a.scalar_cost_per_iter, ref.scalar_cost_per_iter);
+  EXPECT_EQ(a.vector_cost_per_body, ref.vector_cost_per_body);
+  EXPECT_EQ(a.llvm_predicted_speedup, ref.llvm_predicted_speedup);
+  EXPECT_EQ(a.features_counts, ref.features_counts);
+  EXPECT_EQ(a.features_rated, ref.features_rated);
+  EXPECT_EQ(a.features_extended, ref.features_extended);
+  const auto& b = loaded.at("s171");
+  EXPECT_FALSE(b.vectorizable);
+  EXPECT_EQ(b.reject_reason, sm.kernels[1].reject_reason);
+}
+
+TEST_F(MeasurementCacheTest, MissWhenNoiseDiffers) {
+  ASSERT_TRUE(cache_.store(synthetic_suite(), target_, 0.015));
+  EXPECT_TRUE(cache_.load(target_, 0.05).empty());
+  EXPECT_EQ(cache_.load(target_, 0.015).size(), 2u);
+}
+
+TEST_F(MeasurementCacheTest, InvalidatedByPipelineVersionBump) {
+  ASSERT_TRUE(cache_.store(synthetic_suite(), target_, 0.015,
+                           /*pipeline_version=*/1));
+  EXPECT_TRUE(cache_.load(target_, 0.015, /*pipeline_version=*/2).empty());
+  EXPECT_EQ(cache_.load(target_, 0.015, /*pipeline_version=*/1).size(), 2u);
+}
+
+TEST_F(MeasurementCacheTest, InvalidatedByTargetChange) {
+  ASSERT_TRUE(cache_.store(synthetic_suite(), target_, 0.015));
+  machine::TargetDesc edited = target_;
+  edited.vec_prologue_cycles += 1.0;  // same name, different content
+  EXPECT_TRUE(cache_.load(edited, 0.015).empty());
+}
+
+TEST_F(MeasurementCacheTest, StaleRowKeysAreDropped) {
+  // Write under one configuration, then copy the file to the path of
+  // another: every row's embedded key mismatches and must be rejected.
+  ASSERT_TRUE(cache_.store(synthetic_suite(), target_, 0.015));
+  machine::TargetDesc edited = target_;
+  edited.strided_penalty += 0.5;
+  std::filesystem::copy_file(cache_.file_path(target_, 0.015),
+                             cache_.file_path(edited, 0.015));
+  EXPECT_TRUE(cache_.load(edited, 0.015).empty());
+}
+
+TEST_F(MeasurementCacheTest, ConcurrentReadsUnderContention) {
+  ASSERT_TRUE(cache_.store(synthetic_suite(), target_, 0.015));
+  ThreadPool pool(8);
+  const auto results = parallel_map(
+      pool, 32, [&](std::size_t) { return cache_.load(target_, 0.015); }, 8);
+  for (const auto& loaded : results) {
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.at("s000").scalar_cycles, 1.0 / 3.0);
+  }
+}
+
+TEST_F(MeasurementCacheTest, ConcurrentMixedReadsAndWrites) {
+  const auto sm = synthetic_suite();
+  ThreadPool pool(8);
+  parallel_for(
+      pool, 16,
+      [&](std::size_t i) {
+        if (i % 4 == 0) {
+          ASSERT_TRUE(cache_.store(sm, target_, 0.015));
+        } else {
+          const auto loaded = cache_.load(target_, 0.015);
+          // Either nothing yet (no store completed) or a complete file —
+          // never a torn read.
+          EXPECT_TRUE(loaded.empty() || loaded.size() == 2u);
+        }
+      },
+      8);
+  EXPECT_EQ(cache_.load(target_, 0.015).size(), 2u);
+}
+
+TEST_F(MeasurementCacheTest, EnableSwitch) {
+  const bool before = eval::measurement_cache_enabled();
+  eval::set_measurement_cache_enabled(false);
+  EXPECT_FALSE(eval::measurement_cache_enabled());
+  eval::set_measurement_cache_enabled(true);
+  EXPECT_TRUE(eval::measurement_cache_enabled());
+  eval::set_measurement_cache_enabled(before);
+}
+
+}  // namespace
+}  // namespace veccost

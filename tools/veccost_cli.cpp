@@ -10,6 +10,7 @@
 //   veccost catalog  [target]                    markdown kernel catalog
 //
 // Everything the example binaries do, behind one verb-style entry point.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -21,6 +22,7 @@
 #include "costmodel/selector.hpp"
 #include "costmodel/trainer.hpp"
 #include "eval/experiments.hpp"
+#include "eval/parallel_runner.hpp"
 #include "eval/report.hpp"
 #include "fit/model_io.hpp"
 #include "ir/parser.hpp"
@@ -29,6 +31,7 @@
 #include "machine/targets.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "tsvc/kernel.hpp"
 #include "vectorizer/loop_vectorizer.hpp"
 
@@ -49,8 +52,41 @@ usage:
   veccost advise  [target]
   veccost select  <kernel> [target]
   veccost catalog [target]
+
+global flags:
+  --jobs N     measurement/training parallelism (default: all hardware
+               threads; also VECCOST_JOBS)
+  --no-cache   ignore and do not update results/cache/ (also
+               VECCOST_NO_CACHE=1)
 )";
   std::exit(2);
+}
+
+/// Strip `--jobs N` / `--jobs=N` / `--no-cache` from anywhere in the
+/// argument list, applying them process-wide.
+std::vector<std::string> parse_global_flags(std::vector<std::string> args) {
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    std::string jobs_value;
+    if (a == "--jobs") {
+      if (i + 1 >= args.size()) throw Error("--jobs requires a count");
+      jobs_value = args[++i];
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      jobs_value = a.substr(7);
+    } else if (a == "--no-cache") {
+      eval::set_measurement_cache_enabled(false);
+      continue;
+    } else {
+      rest.push_back(a);
+      continue;
+    }
+    const long n = std::strtol(jobs_value.c_str(), nullptr, 10);
+    if (n <= 0) throw Error("--jobs expects a positive count, got '" +
+                            jobs_value + "'");
+    set_default_parallelism(static_cast<std::size_t>(n));
+  }
+  return rest;
 }
 
 const machine::TargetDesc& target_arg(const std::vector<std::string>& args,
@@ -124,7 +160,7 @@ int cmd_explore(const std::vector<std::string>& args) {
 
 int cmd_measure(const std::vector<std::string>& args) {
   const auto& target = target_arg(args, 2);
-  const auto sm = eval::measure_suite(target);
+  const auto sm = eval::measure_suite_cached(target);
   eval::print_suite_overview(std::cout, sm);
   std::cout << '\n';
   const auto base = eval::experiment_baseline(sm);
@@ -150,7 +186,7 @@ int cmd_train(const std::vector<std::string>& args) {
     else if (args[4] == "extended") set = analysis::FeatureSet::Extended;
     else throw Error("unknown feature set: " + args[4]);
   }
-  const auto sm = eval::measure_suite(target);
+  const auto sm = eval::measure_suite_cached(target);
   const auto fit = eval::experiment_fit_speedup(sm, fitter, set);
   eval::print_weights(std::cout, fit.model);
   std::cout << '\n';
@@ -167,7 +203,7 @@ int cmd_train(const std::vector<std::string>& args) {
 
 int cmd_advise(const std::vector<std::string>& args) {
   const auto& target = target_arg(args, 2);
-  const auto sm = eval::measure_suite(target);
+  const auto sm = eval::measure_suite_cached(target);
   const auto base = eval::experiment_baseline(sm);
   const auto fit = eval::experiment_fit_speedup(
       sm, model::Fitter::NNLS, analysis::FeatureSet::Rated, /*loocv=*/true);
@@ -181,7 +217,7 @@ int cmd_select(const std::vector<std::string>& args) {
   if (args.size() < 3) usage();
   const ir::LoopKernel scalar = kernel_arg(args[2]);
   const auto& target = target_arg(args, 3);
-  const auto sm = eval::measure_suite(target);
+  const auto sm = eval::measure_suite_cached(target);
   const auto fitted = model::fit_model(
       sm.design_matrix(analysis::FeatureSet::Rated), sm.measured_speedups(),
       model::Fitter::NNLS, analysis::FeatureSet::Rated);
@@ -203,7 +239,7 @@ int cmd_select(const std::vector<std::string>& args) {
 
 int cmd_catalog(const std::vector<std::string>& args) {
   const auto& target = target_arg(args, 2);
-  const auto sm = eval::measure_suite(target);
+  const auto sm = eval::measure_suite_cached(target);
   std::cout << "| kernel | category | vectorizable | VF | measured |\n";
   std::cout << "|---|---|---|---|---|\n";
   for (const auto& k : sm.kernels) {
@@ -219,9 +255,10 @@ int cmd_catalog(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv, argv + argc);
-  if (args.size() < 2) usage();
   try {
+    const std::vector<std::string> args =
+        parse_global_flags({argv, argv + argc});
+    if (args.size() < 2) usage();
     const std::string& cmd = args[1];
     if (cmd == "list") return cmd_list();
     if (cmd == "targets") return cmd_targets();
