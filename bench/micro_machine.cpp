@@ -1,11 +1,18 @@
 // Microbenchmarks of the machine layer: the analytic performance model and
-// the functional executor.
+// the functional executor. Executor benches come in Lowered/Reference pairs
+// so the speedup of the micro-op engine over the tree-walking interpreter is
+// read directly off the report (tools/run_benches.py records both in
+// BENCH_veccost.json).
 #include <benchmark/benchmark.h>
 
+#include "machine/cache_sim.hpp"
+#include "machine/exec_engine.hpp"
 #include "machine/executor.hpp"
 #include "machine/perf_model.hpp"
 #include "machine/targets.hpp"
+#include "machine/workload_pool.hpp"
 #include "tsvc/kernel.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
 
 namespace {
 
@@ -22,27 +29,132 @@ void BM_PerfModelSuite(benchmark::State& state) {
 }
 BENCHMARK(BM_PerfModelSuite);
 
-void BM_ExecutorScalarCopy(benchmark::State& state) {
+// --- scalar execution: lowered engine vs reference interpreter ------------
+
+void scalar_pair(benchmark::State& state, const char* kernel, bool lowered) {
+  const auto* info = tsvc::find_kernel(kernel);
+  const ir::LoopKernel k = info->build();
+  machine::Workload wl = machine::make_workload(k, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lowered
+                                 ? machine::lowered_execute_scalar(k, wl)
+                                 : machine::reference_execute_scalar(k, wl));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_LoweredScalarCopy(benchmark::State& state) {
+  scalar_pair(state, "s000", /*lowered=*/true);
+}
+BENCHMARK(BM_LoweredScalarCopy)->Arg(1024)->Arg(16384);
+
+void BM_ReferenceScalarCopy(benchmark::State& state) {
+  scalar_pair(state, "s000", /*lowered=*/false);
+}
+BENCHMARK(BM_ReferenceScalarCopy)->Arg(1024)->Arg(16384);
+
+void BM_LoweredScalarReduction(benchmark::State& state) {
+  scalar_pair(state, "vdotr", /*lowered=*/true);
+}
+BENCHMARK(BM_LoweredScalarReduction)->Arg(1024)->Arg(16384);
+
+void BM_ReferenceScalarReduction(benchmark::State& state) {
+  scalar_pair(state, "vdotr", /*lowered=*/false);
+}
+BENCHMARK(BM_ReferenceScalarReduction)->Arg(1024)->Arg(16384);
+
+// Whole-suite scalar sweep: the shape of the cold measurement path.
+void suite_scalar(benchmark::State& state, bool lowered) {
+  std::vector<ir::LoopKernel> kernels;
+  for (const auto& info : tsvc::suite()) kernels.push_back(info.build());
+  std::vector<machine::Workload> workloads;
+  for (const auto& k : kernels)
+    workloads.push_back(machine::make_workload(k, 512));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      benchmark::DoNotOptimize(
+          lowered ? machine::lowered_execute_scalar(kernels[i], workloads[i])
+                  : machine::reference_execute_scalar(kernels[i], workloads[i]));
+    }
+  }
+}
+
+void BM_LoweredSuiteScalar(benchmark::State& state) {
+  suite_scalar(state, /*lowered=*/true);
+}
+BENCHMARK(BM_LoweredSuiteScalar);
+
+void BM_ReferenceSuiteScalar(benchmark::State& state) {
+  suite_scalar(state, /*lowered=*/false);
+}
+BENCHMARK(BM_ReferenceSuiteScalar);
+
+// --- traced execution (the cache simulator's input path) ------------------
+
+void traced_pair(benchmark::State& state, bool lowered) {
   const auto* info = tsvc::find_kernel("s000");
   const ir::LoopKernel k = info->build();
   machine::Workload wl = machine::make_workload(k, state.range(0));
+  std::uint64_t accesses = 0;
+  const machine::AccessObserver observer =
+      [&](int, std::int64_t, bool) { ++accesses; };
   for (auto _ : state) {
-    benchmark::DoNotOptimize(machine::execute_scalar(k, wl));
+    benchmark::DoNotOptimize(
+        lowered ? machine::lowered_execute_scalar_traced(k, wl, observer)
+                : machine::reference_execute_scalar_traced(k, wl, observer));
   }
+  benchmark::DoNotOptimize(accesses);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ExecutorScalarCopy)->Arg(1024)->Arg(16384);
 
-void BM_ExecutorReduction(benchmark::State& state) {
-  const auto* info = tsvc::find_kernel("vdotr");
-  const ir::LoopKernel k = info->build();
-  machine::Workload wl = machine::make_workload(k, state.range(0));
+void BM_LoweredScalarTraced(benchmark::State& state) {
+  traced_pair(state, /*lowered=*/true);
+}
+BENCHMARK(BM_LoweredScalarTraced)->Arg(4096);
+
+void BM_ReferenceScalarTraced(benchmark::State& state) {
+  traced_pair(state, /*lowered=*/false);
+}
+BENCHMARK(BM_ReferenceScalarTraced)->Arg(4096);
+
+// --- vectorized execution -------------------------------------------------
+
+void vectorized_pair(benchmark::State& state, bool lowered) {
+  const auto* info = tsvc::find_kernel("s000");
+  const ir::LoopKernel scalar = info->build();
+  const auto vec =
+      vectorizer::vectorize_loop(scalar, machine::cortex_a57());
+  machine::Workload wl = machine::make_workload(scalar, state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(machine::execute_scalar(k, wl));
+    benchmark::DoNotOptimize(
+        lowered ? machine::lowered_execute_vectorized(vec.kernel, scalar, wl)
+                : machine::reference_execute_vectorized(vec.kernel, scalar, wl));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ExecutorReduction)->Arg(1024)->Arg(16384);
+
+void BM_LoweredVectorized(benchmark::State& state) {
+  vectorized_pair(state, /*lowered=*/true);
+}
+BENCHMARK(BM_LoweredVectorized)->Arg(4096);
+
+void BM_ReferenceVectorized(benchmark::State& state) {
+  vectorized_pair(state, /*lowered=*/false);
+}
+BENCHMARK(BM_ReferenceVectorized)->Arg(4096);
+
+// --- supporting infrastructure --------------------------------------------
+
+void BM_CacheSimReplay(benchmark::State& state) {
+  const auto* info = tsvc::find_kernel("s000");
+  const ir::LoopKernel k = info->build();
+  const auto target = machine::cortex_a57();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine::simulate_cache(k, target, state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CacheSimReplay)->Arg(4096);
 
 void BM_MakeWorkloadSuite(benchmark::State& state) {
   std::vector<ir::LoopKernel> kernels;
@@ -53,5 +165,18 @@ void BM_MakeWorkloadSuite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MakeWorkloadSuite);
+
+void BM_WorkloadPoolResetSuite(benchmark::State& state) {
+  // The pooled counterpart of BM_MakeWorkloadSuite: after the first lap
+  // every acquisition is an in-place memcpy reset.
+  std::vector<ir::LoopKernel> kernels;
+  for (const auto& info : tsvc::suite()) kernels.push_back(info.build());
+  machine::WorkloadPool pool(kernels.size());
+  for (auto _ : state) {
+    for (const auto& k : kernels)
+      benchmark::DoNotOptimize(&pool.acquire(k, 1024));
+  }
+}
+BENCHMARK(BM_WorkloadPoolResetSuite);
 
 }  // namespace

@@ -69,11 +69,18 @@ Vector kfold_predictions(const Matrix& x, const Vector& y, Fitter fitter,
   parallel_for(
       k,
       [&](std::size_t fold) {
-        Matrix train_x;
+        // Preallocate the fold's training matrix: the row count is known, so
+        // no push_row growth/reallocation inside the loop.
+        std::size_t test_rows = 0;
+        for (std::size_t r = fold; r < x.rows(); r += k) ++test_rows;
+        Matrix train_x(x.rows() - test_rows, x.cols());
         Vector train_y;
+        train_y.reserve(x.rows() - test_rows);
+        std::size_t dst = 0;
         for (std::size_t r = 0; r < x.rows(); ++r) {
           if (r % k == fold) continue;
-          train_x.push_row(x.row(r));
+          const auto src = x.row(r);
+          std::copy(src.begin(), src.end(), train_x.row(dst++).begin());
           train_y.push_back(y[r]);
         }
         const LinearSpeedupModel model =
@@ -89,6 +96,12 @@ Vector loocv_predictions(const Matrix& x, const Vector& y, Fitter fitter,
                          analysis::FeatureSet set, const TrainOptions& opts,
                          std::size_t jobs) {
   VECCOST_ASSERT(x.rows() == y.size() && x.rows() > 1, "LOOCV needs >= 2 rows");
+  if (fitter == Fitter::L2) {
+    // Ridge has a closed form: one QR serves all m leave-one-out fits
+    // (tests/costmodel_test.cpp asserts agreement with the refit path to
+    // 1e-9). Serial, so trivially identical for every jobs value.
+    return fit::loocv_ridge_predictions(x, y, opts.l2_lambda);
+  }
   Vector predictions(x.rows(), 0.0);
   parallel_for(
       x.rows(),

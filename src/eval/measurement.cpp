@@ -1,11 +1,15 @@
 #include "eval/measurement.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "costmodel/llvm_model.hpp"
+#include "machine/executor.hpp"
 #include "machine/perf_model.hpp"
+#include "machine/workload_pool.hpp"
 #include "support/error.hpp"
 #include "tsvc/kernel.hpp"
+#include "tsvc/workload.hpp"
 #include "vectorizer/loop_vectorizer.hpp"
 
 namespace veccost::eval {
@@ -139,6 +143,51 @@ KernelMeasurement measure_kernel(const tsvc::KernelInfo& info,
   m.llvm_predicted_speedup =
       model::llvm_predict(scalar, vec.kernel, target).predicted_speedup;
   return m;
+}
+
+SemanticsCheck validate_kernel_semantics(const tsvc::KernelInfo& info,
+                                         const machine::TargetDesc& target,
+                                         machine::WorkloadPool& pool,
+                                         std::int64_t n) {
+  const ir::LoopKernel scalar = info.build();
+  if (n <= 0) n = scalar.default_n;
+  SemanticsCheck check;
+  check.name = info.name;
+
+  std::vector<int> tried;
+  for (const int requested : {0, 2, 8}) {  // 0 = the target's natural VF
+    vectorizer::LoopVectorizerOptions opts;
+    opts.requested_vf = requested;
+    const auto vec = vectorizer::vectorize_loop(scalar, target, opts);
+    if (!vec.ok || vec.runtime_check) continue;
+    if (std::find(tried.begin(), tried.end(), vec.vf) != tried.end()) continue;
+    tried.push_back(vec.vf);
+
+    // Pooled workloads: copy 0 and 1 are simultaneously live, bit-identical.
+    machine::Workload& ws = pool.acquire(scalar, n, 0x5eed, 0);
+    machine::Workload& wv = pool.acquire(scalar, n, 0x5eed, 1);
+    const auto rs = machine::execute_scalar(scalar, ws);
+    const auto rv = machine::execute_vectorized(vec.kernel, scalar, wv);
+
+    const std::string where =
+        info.name + " at vf=" + std::to_string(vec.vf) +
+        " (n=" + std::to_string(n) + ", " + target.name + ")";
+    VECCOST_ASSERT(tsvc::max_abs_difference(ws, wv) == 0.0,
+                   "memory state diverged for " + where);
+    VECCOST_ASSERT(rs.iterations == rv.iterations,
+                   "iteration count diverged for " + where);
+    VECCOST_ASSERT(rs.live_outs.size() == rv.live_outs.size(),
+                   "live-out count diverged for " + where);
+    for (std::size_t i = 0; i < rs.live_outs.size(); ++i) {
+      // Reductions reassociate under vectorization; compare with the same
+      // tolerance the transform-equivalence tests use.
+      const double tol = 1e-2 * std::max(1.0, std::abs(rs.live_outs[i]));
+      VECCOST_ASSERT(std::abs(rv.live_outs[i] - rs.live_outs[i]) <= tol,
+                     "live-out " + std::to_string(i) + " diverged for " + where);
+    }
+    ++check.configurations;
+  }
+  return check;
 }
 
 SuiteMeasurement measure_suite(const machine::TargetDesc& target, double noise) {

@@ -14,6 +14,10 @@
 #include "support/matrix.hpp"
 #include "tsvc/kernel.hpp"
 
+namespace veccost::machine {
+class WorkloadPool;
+}  // namespace veccost::machine
+
 namespace veccost::eval {
 
 struct KernelMeasurement {
@@ -72,6 +76,26 @@ struct SuiteMeasurement {
 [[nodiscard]] KernelMeasurement measure_kernel(
     const tsvc::KernelInfo& info, const machine::TargetDesc& target,
     double noise = machine::kDefaultNoise);
+
+/// Outcome of one kernel's semantics validation (see
+/// validate_kernel_semantics).
+struct SemanticsCheck {
+  std::string name;
+  int configurations = 0;  ///< scalar/vector pairs actually executed
+};
+
+/// Execute `info`'s scalar kernel and every distinct vectorization of it
+/// (the target's natural VF plus explicit VF 2 and 8, deduplicated) over
+/// pooled workloads and check the transform-equivalence contract: array
+/// contents bitwise identical, iteration counts equal, reduction live-outs
+/// within 1e-2 relative tolerance. Throws veccost::Error on divergence.
+/// `n` == 0 uses the kernel's default problem size. This is the functional
+/// half of the measurement path — measure_kernel itself is analytic — and is
+/// what `veccost verify` / RunnerOptions::validate_semantics fan out.
+SemanticsCheck validate_kernel_semantics(const tsvc::KernelInfo& info,
+                                         const machine::TargetDesc& target,
+                                         machine::WorkloadPool& pool,
+                                         std::int64_t n = 0);
 
 /// Measure the whole suite on `target`, serially, in suite order.
 /// Deterministic. `noise` sets the relative amplitude of the simulated

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "machine/workload_pool.hpp"
 #include "support/thread_pool.hpp"
 #include "tsvc/kernel.hpp"
 
@@ -44,6 +45,25 @@ SuiteMeasurement ParallelRunner::measure_suite(
 
   if (opts_.use_cache && !to_measure.empty())
     cache_.store(out, target, noise, opts_.pipeline_version);
+
+  validated_configurations_ = 0;
+  if (opts_.validate_semantics) {
+    // Full-suite semantics sweep: every kernel, scalar vs. every distinct
+    // vectorization, on per-thread workload pools. Throws on divergence.
+    std::vector<int> configs(suite.size(), 0);
+    parallel_for(
+        suite.size(),
+        [&](std::size_t i) {
+          configs[i] = validate_kernel_semantics(
+                           suite[i], target,
+                           machine::WorkloadPool::thread_local_pool(),
+                           opts_.validation_n)
+                           .configurations;
+        },
+        opts_.jobs);
+    for (const int c : configs)
+      validated_configurations_ += static_cast<std::size_t>(c);
+  }
   return out;
 }
 

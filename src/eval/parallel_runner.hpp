@@ -26,6 +26,15 @@ struct RunnerOptions {
   std::string cache_dir;
   /// Cache key ingredient; tests override it to simulate pipeline changes.
   std::uint64_t pipeline_version = kPipelineVersion;
+  /// Also run validate_kernel_semantics over the whole suite (scalar vs.
+  /// every distinct vectorization, pooled workloads). Off by default:
+  /// measure_kernel is analytic, so validation changes no measured number —
+  /// it is a correctness sweep of the execution engine.
+  bool validate_semantics = false;
+  /// Problem size for semantics validation; 0 = each kernel's default_n.
+  /// The default keeps a full-suite sweep cheap while still exercising
+  /// remainder loops at every VF.
+  std::int64_t validation_n = 4096;
 };
 
 class ParallelRunner {
@@ -45,6 +54,12 @@ class ParallelRunner {
   [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::size_t cache_misses() const { return cache_misses_; }
 
+  /// Scalar/vector configurations executed by the semantics sweep of the
+  /// most recent measure_suite call (0 unless validate_semantics is set).
+  [[nodiscard]] std::size_t validated_configurations() const {
+    return validated_configurations_;
+  }
+
   [[nodiscard]] const RunnerOptions& options() const { return opts_; }
 
  private:
@@ -52,6 +67,7 @@ class ParallelRunner {
   MeasurementCache cache_;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
+  std::size_t validated_configurations_ = 0;
 };
 
 /// Convenience for the bench drivers and the CLI: one cached, parallel

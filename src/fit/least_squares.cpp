@@ -83,6 +83,65 @@ Vector back_substitute(const Matrix& qr, const Vector& y) {
   return w;
 }
 
+Vector loocv_ridge_predictions(const Matrix& a, const Vector& b,
+                               double lambda) {
+  VECCOST_ASSERT(a.rows() == b.size(), "loocv: row/target mismatch");
+  VECCOST_ASSERT(a.rows() > 1, "LOOCV needs >= 2 rows");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // One QR of the (ridge-augmented) system: R satisfies
+  // R^T R = A^T A + lambda I, and Q^T b yields the full-fit weights.
+  Matrix work = a;
+  Vector rhs = b;
+  if (lambda > 0.0) {
+    const double s = std::sqrt(lambda);
+    Matrix aug(m + n, n);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) aug(r, c) = a(r, c);
+    for (std::size_t c = 0; c < n; ++c) aug(m + c, c) = s;
+    work = std::move(aug);
+    rhs.resize(m + n, 0.0);
+  }
+  VECCOST_ASSERT(work.rows() >= work.cols(),
+                 "least squares: underdetermined system (rows < cols)");
+  Vector betas;
+  householder_qr(work, betas);
+  apply_qt(work, betas, rhs);
+  const Vector w = back_substitute(work, rhs);
+
+  Vector predictions(m, 0.0);
+  Vector z(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto xi = a.row(i);
+    // Leverage h_ii = ||R^-T x_i||^2: forward-substitute R^T z = x_i
+    // (R^T is lower triangular with (R^T)(j,k) = R(k,j) for k <= j).
+    double h = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = xi[j];
+      for (std::size_t k = 0; k < j; ++k) s -= work(k, j) * z[k];
+      const double r = work(j, j);
+      if (std::abs(r) < kPivotTolerance)
+        throw Error("least squares: rank-deficient system (tiny pivot)");
+      z[j] = s / r;
+      h += z[j] * z[j];
+    }
+    const double fit_i = dot(xi, w);
+    const double denom = 1.0 - h;
+    if (denom <= 1e-12) {
+      // Leverage ~1: the identity divides by ~0; this row genuinely
+      // determines the fit, so fall back to the explicit refit.
+      const LeastSquaresOptions opts{.lambda = lambda};
+      const Vector wi =
+          solve_least_squares(a.without_row(i), without_element(b, i), opts);
+      predictions[i] = dot(xi, wi);
+      continue;
+    }
+    predictions[i] = (fit_i - h * b[i]) / denom;
+  }
+  return predictions;
+}
+
 Vector solve_least_squares(const Matrix& a, const Vector& b,
                            const LeastSquaresOptions& opts) {
   VECCOST_ASSERT(a.rows() == b.size(), "least squares: row/target mismatch");

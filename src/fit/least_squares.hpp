@@ -21,6 +21,19 @@ struct LeastSquaresOptions {
 [[nodiscard]] Vector solve_least_squares(const Matrix& a, const Vector& b,
                                          const LeastSquaresOptions& opts = {});
 
+/// Leave-one-out predictions for the ridge solve, in closed form: one QR of
+/// the (augmented) system gives the full-fit weights w and the leverages
+/// h_ii = x_i^T (A^T A + lambda I)^-1 x_i, and the PRESS identity
+///   pred_i = (x_i^T w - h_ii y_i) / (1 - h_ii)
+/// reproduces the per-row refit exactly — the refit keeps the sqrt(lambda)
+/// augmentation rows, so removing row i removes exactly x_i x_i^T from the
+/// normal matrix and Sherman–Morrison applies. O(n^2) per row instead of a
+/// full O(m n^2) QR per row. Rows with leverage ~1 (1 - h_ii below
+/// tolerance) fall back to the explicit refit. Throws like
+/// solve_least_squares on rank deficiency.
+[[nodiscard]] Vector loocv_ridge_predictions(const Matrix& a, const Vector& b,
+                                             double lambda);
+
 /// In-place Householder QR of `a` (m x n, m >= n). On return `a` holds R in
 /// its upper triangle and the Householder vectors below the diagonal;
 /// `betas` holds the scalar factors. Exposed for tests.

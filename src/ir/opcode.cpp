@@ -177,6 +177,22 @@ bool is_reduce_op(Opcode op) {
   }
 }
 
+bool is_elementwise(Opcode op) {
+  switch (op) {
+    case Opcode::Const:
+    case Opcode::Param:
+    case Opcode::IndVar:
+    case Opcode::OuterIndVar:
+    case Opcode::Phi:
+    case Opcode::Break:
+    case Opcode::Broadcast:
+    case Opcode::Splice:
+      return false;
+    default:
+      return !is_memory_op(op) && !is_reduce_op(op);
+  }
+}
+
 bool is_vector_only(Opcode op) {
   switch (op) {
     case Opcode::Broadcast:

@@ -91,6 +91,14 @@ enum class OpClass : std::uint8_t {
 [[nodiscard]] bool is_reduce_op(Opcode op);
 [[nodiscard]] bool is_vector_only(Opcode op);
 
+/// True for pure lane-wise value computations (arithmetic, bitwise, compares,
+/// select, convert): ops whose result for lane l depends only on the
+/// operands' lane l. Excludes leaves, memory ops, phis/breaks, and the
+/// cross-lane vector ops (broadcast/splice/reductions). The execution
+/// engine's lowering pass maps exactly these to its generic elementwise
+/// micro-op.
+[[nodiscard]] bool is_elementwise(Opcode op);
+
 /// Classify an opcode given whether it operates on floating-point data.
 /// (Gather/StridedLoad -> MemGather etc.; Add on ints -> IntArith.)
 [[nodiscard]] OpClass classify(Opcode op, bool is_float_data);

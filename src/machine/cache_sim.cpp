@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "machine/exec_engine.hpp"
 #include "machine/executor.hpp"
+#include "machine/workload_pool.hpp"
 #include "support/error.hpp"
 
 namespace veccost::machine {
@@ -13,18 +15,34 @@ Cache::Cache(CacheConfig config) : config_(config) {
                  "bad cache geometry");
   const std::size_t lines = static_cast<std::size_t>(
       config_.capacity_bytes / config_.line_bytes);
-  const std::size_t num_sets =
+  num_sets_ =
       std::max<std::size_t>(1, lines / static_cast<std::size_t>(config_.ways));
-  sets_.assign(num_sets, std::vector<Way>(static_cast<std::size_t>(config_.ways)));
+  ways_.assign(num_sets_ * static_cast<std::size_t>(config_.ways), Way{});
+  pow2_sets_ = (num_sets_ & (num_sets_ - 1)) == 0;
+  if (pow2_sets_) {
+    set_mask_ = static_cast<std::uint64_t>(num_sets_) - 1;
+    set_shift_ = 0;
+    while ((std::size_t{1} << set_shift_) < num_sets_) ++set_shift_;
+  }
 }
 
 bool Cache::access(std::uint64_t address) {
   ++clock_;
   const std::uint64_t line = address / static_cast<std::uint64_t>(config_.line_bytes);
-  auto& set = sets_[line % sets_.size()];
-  const std::uint64_t tag = line / sets_.size();
+  std::uint64_t set_index;
+  std::uint64_t tag;
+  if (pow2_sets_) {
+    set_index = line & set_mask_;
+    tag = line >> set_shift_;
+  } else {
+    set_index = line % num_sets_;
+    tag = line / num_sets_;
+  }
+  const std::size_t ways = static_cast<std::size_t>(config_.ways);
+  Way* const set = ways_.data() + static_cast<std::size_t>(set_index) * ways;
 
-  for (auto& way : set) {
+  for (std::size_t w = 0; w < ways; ++w) {
+    Way& way = set[w];
     if (way.valid && way.tag == tag) {
       way.last_use = clock_;
       ++hits_;
@@ -33,13 +51,13 @@ bool Cache::access(std::uint64_t address) {
   }
   ++misses_;
   // Evict LRU (or fill an invalid way).
-  auto victim = set.begin();
-  for (auto it = set.begin(); it != set.end(); ++it) {
-    if (!it->valid) {
-      victim = it;
+  Way* victim = set;
+  for (std::size_t w = 0; w < ways; ++w) {
+    if (!set[w].valid) {
+      victim = set + w;
       break;
     }
-    if (it->last_use < victim->last_use) victim = it;
+    if (set[w].last_use < victim->last_use) victim = set + w;
   }
   victim->valid = true;
   victim->tag = tag;
@@ -67,6 +85,38 @@ std::string CacheSimResult::dominant_level() const {
   return memory_fetches > l2_hits ? "DRAM" : "L2";
 }
 
+namespace {
+
+// Concrete tracer for the lowered engine: a struct of raw pointers instead
+// of a std::function, so the per-access callback inlines into run_block.
+struct CacheTracer {
+  const std::uint64_t* base;
+  const int* elem_bytes;
+  Cache* l1;
+  Cache* l2;
+  CacheSimResult* result;
+  const bool* measuring;
+
+  void operator()(int array, std::int64_t element, bool /*is_store*/) const {
+    const std::uint64_t addr =
+        base[array] +
+        static_cast<std::uint64_t>(element * elem_bytes[array]);
+    const bool l1_hit = l1->access(addr);
+    const bool l2_hit = l1_hit ? false : l2->access(addr);
+    if (!*measuring) return;
+    ++result->accesses;
+    if (l1_hit) {
+      ++result->l1_hits;
+    } else if (l2_hit) {
+      ++result->l2_hits;
+    } else {
+      ++result->memory_fetches;
+    }
+  }
+};
+
+}  // namespace
+
 CacheSimResult simulate_cache(const ir::LoopKernel& kernel,
                               const TargetDesc& target, std::int64_t n) {
   VECCOST_ASSERT(kernel.vf == 1, "cache simulation replays the scalar kernel");
@@ -76,10 +126,12 @@ CacheSimResult simulate_cache(const ir::LoopKernel& kernel,
 
   // Lay arrays out back to back with one line of padding.
   std::vector<std::uint64_t> base(kernel.arrays.size(), 0);
+  std::vector<int> elem_bytes(kernel.arrays.size(), 0);
   std::uint64_t cursor = 0;
   for (std::size_t a = 0; a < kernel.arrays.size(); ++a) {
     base[a] = cursor;
     const auto& decl = kernel.arrays[a];
+    elem_bytes[a] = ir::byte_size(decl.elem);
     cursor += static_cast<std::uint64_t>(decl.length(n) * ir::byte_size(decl.elem));
     cursor = (cursor / static_cast<std::uint64_t>(line) + 1) *
              static_cast<std::uint64_t>(line);
@@ -87,31 +139,43 @@ CacheSimResult simulate_cache(const ir::LoopKernel& kernel,
 
   // Two passes: the first warms the hierarchy (benchmarks traverse their
   // arrays repeatedly — the analytic model's residency is a steady-state
-  // notion), the second is measured.
+  // notion), the second is measured. Workloads come from the per-thread
+  // pool: the reset restores pristine contents bit-identically, so the
+  // replayed trace matches a fresh make_workload exactly.
   CacheSimResult result;
   bool measuring = false;
-  const AccessObserver observer = [&](int array, std::int64_t element,
-                                      bool /*is_store*/) {
-    const auto& decl = kernel.arrays[static_cast<std::size_t>(array)];
-    const std::uint64_t addr =
-        base[static_cast<std::size_t>(array)] +
-        static_cast<std::uint64_t>(element * ir::byte_size(decl.elem));
-    const bool l1_hit = l1.access(addr);
-    const bool l2_hit = l1_hit ? false : l2.access(addr);
-    if (!measuring) return;
-    ++result.accesses;
-    if (l1_hit) {
-      ++result.l1_hits;
-    } else if (l2_hit) {
-      ++result.l2_hits;
-    } else {
-      ++result.memory_fetches;
+  if (executor_kind() == ExecutorKind::Reference) {
+    const AccessObserver observer = [&](int array, std::int64_t element,
+                                        bool /*is_store*/) {
+      const std::uint64_t addr =
+          base[static_cast<std::size_t>(array)] +
+          static_cast<std::uint64_t>(
+              element * elem_bytes[static_cast<std::size_t>(array)]);
+      const bool l1_hit = l1.access(addr);
+      const bool l2_hit = l1_hit ? false : l2.access(addr);
+      if (!measuring) return;
+      ++result.accesses;
+      if (l1_hit) {
+        ++result.l1_hits;
+      } else if (l2_hit) {
+        ++result.l2_hits;
+      } else {
+        ++result.memory_fetches;
+      }
+    };
+    for (int pass = 0; pass < 2; ++pass) {
+      measuring = pass == 1;
+      Workload& wl = WorkloadPool::thread_local_pool().acquire(kernel, n);
+      (void)reference_execute_scalar_traced(kernel, wl, observer);
     }
-  };
-  for (int pass = 0; pass < 2; ++pass) {
-    measuring = pass == 1;
-    Workload wl = make_workload(kernel, n);
-    (void)execute_scalar_traced(kernel, wl, observer);
+  } else {
+    const CacheTracer tracer{base.data(), elem_bytes.data(), &l1,
+                             &l2,         &result,           &measuring};
+    for (int pass = 0; pass < 2; ++pass) {
+      measuring = pass == 1;
+      Workload& wl = WorkloadPool::thread_local_pool().acquire(kernel, n);
+      (void)lowered_execute_scalar_with(kernel, wl, tracer);
+    }
   }
   return result;
 }

@@ -24,7 +24,11 @@ struct CacheConfig {
   int ways = 8;
 };
 
-/// One set-associative LRU cache level.
+/// One set-associative LRU cache level. All ways live in one contiguous
+/// allocation (`ways_[set * ways + w]`), and when the set count is a power
+/// of two — true for every shipped target geometry — the set index and tag
+/// come from a mask and shift instead of `%` and `/`. Both forms are
+/// bit-identical for unsigned line numbers.
 class Cache {
  public:
   explicit Cache(CacheConfig config);
@@ -35,7 +39,7 @@ class Cache {
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
-  [[nodiscard]] std::size_t num_sets() const { return sets_.size(); }
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
 
  private:
   struct Way {
@@ -44,7 +48,11 @@ class Cache {
     bool valid = false;
   };
   CacheConfig config_;
-  std::vector<std::vector<Way>> sets_;
+  std::vector<Way> ways_;  ///< num_sets_ rows of config_.ways, contiguous
+  std::size_t num_sets_ = 1;
+  std::uint64_t set_mask_ = 0;  ///< num_sets_ - 1, valid when pow2_sets_
+  int set_shift_ = 0;           ///< log2(num_sets_), valid when pow2_sets_
+  bool pow2_sets_ = false;
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

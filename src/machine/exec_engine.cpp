@@ -1,0 +1,97 @@
+#include "machine/exec_engine.hpp"
+
+#include <array>
+
+namespace veccost::machine {
+
+void ExecContext::bind(const LoweredProgram& prog, Workload& wl) {
+  VECCOST_ASSERT(wl.arrays.size() == prog.num_arrays,
+                 "workload/array mismatch for " + prog.name);
+  // assign() keeps capacity: repeated binds of same-or-smaller programs are
+  // allocation-free.
+  slots.assign(static_cast<std::size_t>(prog.num_values) *
+                   static_cast<std::size_t>(prog.lanes),
+               0.0);
+  bases.resize(wl.arrays.size());
+  lengths.resize(wl.arrays.size());
+  for (std::size_t a = 0; a < wl.arrays.size(); ++a) {
+    bases[a] = wl.arrays[a].data();
+    lengths[a] = static_cast<std::int64_t>(wl.arrays[a].size());
+  }
+  n = wl.n;
+  for (const auto& [base, value] : prog.constants)
+    for (int l = 0; l < prog.lanes; ++l) slots[static_cast<std::size_t>(base + l)] = value;
+  if (!prog.direct_commit)
+    phi_scratch.assign(prog.phis.size() * static_cast<std::size_t>(prog.lanes),
+                       0.0);
+}
+
+ExecContext& thread_exec_context(std::size_t which) {
+  thread_local std::array<ExecContext, 2> contexts;
+  return contexts[which];
+}
+
+ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {
+  VECCOST_ASSERT(kernel.vf == 1, "execute_scalar needs a scalar kernel");
+  const std::int64_t iters = kernel.trip.iterations(wl.n);
+  {
+    // Strip-mined fast path: when the lowering pass proved column-major
+    // execution bit-identical (strip_ok — plan is lane-count independent, so
+    // probing the 1-lane program is enough), re-lower at kStripWidth lanes
+    // and amortize op dispatch over whole strips. Untraced only: the strip
+    // order would permute the memory trace.
+    const LoweredProgram probe = lower(kernel, 1);
+    if (probe.strip_ok && iters >= kStripWidth) {
+      const LoweredProgram prog = lower(kernel, kStripWidth);
+      LoweredEngine<0, NoTrace> engine(prog, wl, thread_exec_context(0));
+      ExecResult result;
+      std::vector<double> carries;
+      engine.reset_carries(carries);  // covers a degenerate zero-trip outer loop
+      const std::int64_t outer = kernel.has_outer ? kernel.outer_trip : 1;
+      for (std::int64_t j = 0; j < outer; ++j) {
+        engine.reset_carries(carries);
+        result.iterations += engine.run_strips(j, iters, carries);
+      }
+      result.live_outs.reserve(prog.live_out_phis.size());
+      for (const std::int32_t p : prog.live_out_phis)
+        result.live_outs.push_back(carries[static_cast<std::size_t>(p)]);
+      return result;
+    }
+  }
+  return lowered_execute_scalar_with(kernel, wl, NoTrace{});
+}
+
+ExecResult lowered_execute_scalar_traced(const ir::LoopKernel& kernel,
+                                         Workload& wl,
+                                         const AccessObserver& observer) {
+  return lowered_execute_scalar_with(kernel, wl, ObserverTrace{&observer});
+}
+
+ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
+                                      const ir::LoopKernel& scalar,
+                                      Workload& wl) {
+  VECCOST_ASSERT(vec.vf > 1, "execute_vectorized needs a widened kernel");
+  VECCOST_ASSERT(!vec.has_break() && !scalar.has_break(),
+                 "cannot vectorize a loop with break");
+  const std::int64_t iters = scalar.trip.iterations(wl.n);
+  const std::int64_t vf = vec.vf;
+  const std::int64_t main_iters = (iters / vf) * vf;
+
+  const LoweredProgram vprog = lower(vec, static_cast<int>(vf));
+  const LoweredProgram sprog = lower(scalar, 1);
+  LoweredEngine<0, NoTrace> vengine(vprog, wl, thread_exec_context(0));
+  LoweredEngine<1, NoTrace> sengine(sprog, wl, thread_exec_context(1));
+  ExecResult result;
+  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  for (std::int64_t j = 0; j < outer; ++j) {
+    vengine.reset_phis();
+    result.iterations += vengine.run_range(j, 0, main_iters);
+    // Hand the partial reduction / recurrence state to the scalar remainder.
+    sengine.set_phi_inits(vengine.final_phi_values());
+    result.iterations += sengine.run_range(j, main_iters, iters);
+  }
+  result.live_outs = sengine.live_outs();
+  return result;
+}
+
+}  // namespace veccost::machine

@@ -1,0 +1,572 @@
+// Linear execution engine for lowered kernel programs.
+//
+// `LoweredEngine` runs a `LoweredProgram` (machine/lowering.hpp) as a tight
+// loop over one contiguous slot array held in a reusable `ExecContext`. Two
+// compile-time parameters keep the hot path lean:
+//
+//  * `kStaticLanes` — 1 for scalar execution (the lane loops collapse and
+//    the compiler drops them), 0 for a runtime lane count (widened bodies);
+//  * `Tracer` — the memory-trace callback type. The untraced instantiation
+//    uses the empty `NoTrace` functor, so it pays literally nothing; the
+//    cache simulator passes its own inlined functor instead of going through
+//    a `std::function`.
+//
+// Semantics are bit-identical to the reference interpreter in
+// machine/executor.cpp — same evaluation order, same f32 rounding points,
+// same bounds-check exceptions, same memory-trace order. The differential
+// suite (tests/engine_test.cpp, `ctest -L engine`) enforces this over the
+// full TSVC suite; consult docs/machine_model.md before touching either
+// executor.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "machine/executor.hpp"
+#include "machine/lowering.hpp"
+#include "support/error.hpp"
+
+// The engine's throughput depends on the whole op-dispatch loop collapsing
+// into run_range: an out-of-line call per micro-op costs more than the op
+// itself. GCC's size heuristics refuse to inline the elementwise switch on
+// their own, so it is marked always_inline.
+#if defined(__GNUC__) || defined(__clang__)
+#define VECCOST_ENGINE_INLINE inline __attribute__((always_inline))
+#else
+#define VECCOST_ENGINE_INLINE inline
+#endif
+
+namespace veccost::machine {
+
+/// Strip width of the column-major execution path (LoweredProgram::strip_ok):
+/// iterations per dispatch of each column op. Wide enough to amortize the
+/// op-dispatch switch to noise, small enough that a strip's slot storage
+/// stays L1-resident.
+inline constexpr int kStripWidth = 64;
+
+/// The untraced tracer: an empty functor the optimizer erases entirely.
+struct NoTrace {
+  void operator()(int /*array*/, std::int64_t /*element*/,
+                  bool /*is_store*/) const {}
+};
+
+/// Adapter running a `std::function` observer through the templated engine
+/// (the public `execute_scalar_traced` entry point).
+struct ObserverTrace {
+  const AccessObserver* observer;
+  void operator()(int array, std::int64_t element, bool is_store) const {
+    (*observer)(array, element, is_store);
+  }
+};
+
+/// Reusable, allocation-free execution state: one flat lane array for all
+/// SSA values, plus the bound workload's array pointers. Binding a program
+/// only reallocates when it needs more capacity than any earlier bind.
+class ExecContext {
+ public:
+  /// Bind `prog` to `wl`: size the slot array, fill the folded constants,
+  /// and capture the array base pointers/lengths.
+  void bind(const LoweredProgram& prog, Workload& wl);
+
+  std::vector<double> slots;         ///< num_values * lanes, slot-major
+  std::vector<double*> bases;        ///< workload array base pointers
+  std::vector<std::int64_t> lengths; ///< workload array lengths
+  std::vector<double> phi_scratch;   ///< staging for non-direct phi commits
+  std::int64_t n = 0;                ///< bound problem size
+};
+
+/// Per-thread contexts for the built-in drivers; index 0 is the main body,
+/// index 1 the scalar remainder of a vectorized execution.
+[[nodiscard]] ExecContext& thread_exec_context(std::size_t which);
+
+namespace detail {
+
+/// One elementwise operation on already-fetched operand pointers. Cases read
+/// only the operands their opcode defines, so unused pointers may be null.
+template <int kStaticLanes>
+VECCOST_ENGINE_INLINE double eval_elementwise(const MicroOp& u, const double* a,
+                                              const double* b, const double* c,
+                                              int l, const std::string& name) {
+  using ir::Opcode;
+  const double av = a != nullptr ? a[l] : 0.0;
+  switch (u.op) {
+    case Opcode::Add: return av + b[l];
+    case Opcode::Sub: return av - b[l];
+    case Opcode::Mul: return av * b[l];
+    case Opcode::Div:
+      if (u.int_divide) {
+        VECCOST_ASSERT(b[l] != 0.0, "integer division by zero in " + name);
+        return std::trunc(av / b[l]);
+      }
+      return av / b[l];
+    case Opcode::Rem:
+      if (u.int_divide) {
+        VECCOST_ASSERT(b[l] != 0.0, "integer remainder by zero in " + name);
+        return static_cast<double>(static_cast<std::int64_t>(av) %
+                                   static_cast<std::int64_t>(b[l]));
+      }
+      return std::fmod(av, b[l]);
+    case Opcode::Neg: return -av;
+    case Opcode::FMA: return av * b[l] + c[l];
+    case Opcode::Min: return std::min(av, b[l]);
+    case Opcode::Max: return std::max(av, b[l]);
+    case Opcode::Abs: return std::abs(av);
+    case Opcode::Sqrt: return std::sqrt(av);
+    case Opcode::And:
+      return static_cast<double>(static_cast<std::int64_t>(av) &
+                                 static_cast<std::int64_t>(b[l]));
+    case Opcode::Or:
+      return static_cast<double>(static_cast<std::int64_t>(av) |
+                                 static_cast<std::int64_t>(b[l]));
+    case Opcode::Xor:
+      return static_cast<double>(static_cast<std::int64_t>(av) ^
+                                 static_cast<std::int64_t>(b[l]));
+    case Opcode::Not:
+      return static_cast<double>(~static_cast<std::int64_t>(av));
+    case Opcode::Shl:
+      return static_cast<double>(static_cast<std::int64_t>(av)
+                                 << static_cast<std::int64_t>(b[l]));
+    case Opcode::Shr:
+      return static_cast<double>(static_cast<std::int64_t>(av) >>
+                                 static_cast<std::int64_t>(b[l]));
+    case Opcode::CmpEQ: return av == b[l] ? 1.0 : 0.0;
+    case Opcode::CmpNE: return av != b[l] ? 1.0 : 0.0;
+    case Opcode::CmpLT: return av < b[l] ? 1.0 : 0.0;
+    case Opcode::CmpLE: return av <= b[l] ? 1.0 : 0.0;
+    case Opcode::CmpGT: return av > b[l] ? 1.0 : 0.0;
+    case Opcode::CmpGE: return av >= b[l] ? 1.0 : 0.0;
+    case Opcode::Select: return av != 0.0 ? b[l] : c[l];
+    case Opcode::Convert: return av;  // rounding applied by the caller
+    default:
+      VECCOST_FAIL(std::string("unhandled opcode in engine: ") +
+                   ir::to_string(u.op));
+  }
+}
+
+}  // namespace detail
+
+template <int kStaticLanes, class Tracer>
+class LoweredEngine {
+ public:
+  LoweredEngine(const LoweredProgram& prog, Workload& wl, ExecContext& ctx,
+                Tracer tracer = Tracer{})
+      : p_(prog), ctx_(ctx), tracer_(tracer) {
+    VECCOST_ASSERT(kStaticLanes == 0 || kStaticLanes == prog.lanes,
+                   "engine lane count does not match program");
+    ctx_.bind(prog, wl);
+  }
+
+  /// Initialize phi state for a fresh inner-loop execution.
+  void reset_phis() {
+    const int L = lanes();
+    double* const s = ctx_.slots.data();
+    for (const PhiPlan& phi : p_.phis) {
+      double* const state = s + phi.slot;
+      if (L > 1 && phi.reduction != ir::ReductionKind::None) {
+        // Vector accumulator: lane 0 carries the initial value, the rest the
+        // identity element, so the horizontal reduce recovers the total.
+        state[0] = phi.init;
+        const double ident = reduction_identity(phi.reduction);
+        for (int l = 1; l < L; ++l) state[l] = ident;
+      } else {
+        for (int l = 0; l < L; ++l) state[l] = phi.init;
+      }
+    }
+  }
+
+  /// Seed phi state from externally computed scalars (epilogue handoff).
+  void set_phi_inits(const std::vector<double>& inits) {
+    VECCOST_ASSERT(inits.size() == p_.phis.size(), "phi init count mismatch");
+    const int L = lanes();
+    double* const s = ctx_.slots.data();
+    for (std::size_t p = 0; p < p_.phis.size(); ++p) {
+      double* const state = s + p_.phis[p].slot;
+      for (int l = 0; l < L; ++l) state[l] = inits[p];
+    }
+  }
+
+  /// Run iterations m in [m_lo, m_hi) at outer index j, advancing `lanes()`
+  /// iterations per block. Returns the number of iterations executed (less
+  /// than requested only if a Break fired).
+  ///
+  /// Everything loop-invariant — slot/base/length pointers, the op array, the
+  /// phi plan, trip parameters — is hoisted into locals before the m loop.
+  /// The compiler cannot do this itself: the ops store through double*
+  /// obtained from the workload, and it will not prove those stores leave the
+  /// vectors inside `ctx_`/`p_` untouched, so without the hoist it reloads
+  /// them every iteration and the interpreter runs ~2.5x slower.
+  std::int64_t run_range(std::int64_t j, std::int64_t m_lo, std::int64_t m_hi) {
+    using ir::Opcode;
+    const int L = lanes();
+    double* const s = ctx_.slots.data();
+    double* const* const bases = ctx_.bases.data();
+    const std::int64_t* const lengths = ctx_.lengths.data();
+    const MicroOp* const ops = p_.ops.data();
+    const MicroOp* const ops_end = ops + p_.ops.size();
+    const std::int64_t start = p_.start;
+    const std::int64_t step = p_.step;
+    const std::int64_t n = ctx_.n;
+    const PhiPlan* const phis = p_.phis.data();
+    const PhiPlan* const phis_end = phis + p_.phis.size();
+    const bool has_phis = phis != phis_end;
+    const bool direct_commit = p_.direct_commit;
+    double* const scratch = direct_commit ? nullptr : ctx_.phi_scratch.data();
+
+    {
+      const double jv = static_cast<double>(j);
+      for (const std::int32_t base : p_.outer_slots)
+        for (int l = 0; l < L; ++l) s[base + l] = jv;
+    }
+
+    std::int64_t executed = 0;
+    for (std::int64_t m = m_lo; m < m_hi; m += L) {
+      for (const MicroOp* up = ops; up != ops_end; ++up) {
+        if (!exec_op(*up, j, m, L, s, bases, lengths, n, start, step)) {
+          // Count iterations up to and including the one that broke.
+          broke_ = true;
+          return executed + 1;
+        }
+      }
+      executed += L;
+
+      if (has_phis) {
+        if (direct_commit) {
+          for (const PhiPlan* phi = phis; phi != phis_end; ++phi)
+            for (int l = 0; l < L; ++l) s[phi->slot + l] = s[phi->update + l];
+        } else {
+          // Stage all updates before writing any: a phi whose update is
+          // another phi must observe that phi's pre-commit value.
+          std::size_t o = 0;
+          for (const PhiPlan* phi = phis; phi != phis_end; ++phi)
+            for (int l = 0; l < L; ++l) scratch[o++] = s[phi->update + l];
+          o = 0;
+          for (const PhiPlan* phi = phis; phi != phis_end; ++phi)
+            for (int l = 0; l < L; ++l) s[phi->slot + l] = scratch[o++];
+        }
+      }
+    }
+    return executed;
+  }
+
+  /// Seed the scalar phi carries for a strip-mined execution (the strip
+  /// path's equivalent of reset_phis).
+  void reset_carries(std::vector<double>& carries) const {
+    carries.resize(p_.phis.size());
+    for (std::size_t p = 0; p < p_.phis.size(); ++p)
+      carries[p] = p_.phis[p].init;
+  }
+
+  /// Strip-mined (column-major) execution of iterations [0, iters) at outer
+  /// index j; requires `p_.strip_ok`. Each column op runs over a whole strip
+  /// of `lanes()` iterations before the next op — one dispatch per op per
+  /// strip instead of per iteration. Phi-dependent ops and the phi commits
+  /// run lane-serially, so the sequential rounding order of reductions and
+  /// recurrences is preserved bit for bit. `carries` holds the running
+  /// scalar phi values across strips (and outer iterations hand them back
+  /// in unchanged).
+  std::int64_t run_strips(std::int64_t j, std::int64_t iters,
+                          std::vector<double>& carries) {
+    using ir::Opcode;
+    VECCOST_ASSERT(p_.strip_ok, "run_strips on a non-strippable program");
+    const int W = lanes();
+    double* const s = ctx_.slots.data();
+    double* const* const bases = ctx_.bases.data();
+    const std::int64_t* const lengths = ctx_.lengths.data();
+    const MicroOp* const ops = p_.ops.data();
+    const std::int64_t start = p_.start;
+    const std::int64_t step = p_.step;
+    const std::int64_t n = ctx_.n;
+    const PhiPlan* const phis = p_.phis.data();
+    const std::size_t num_phis = p_.phis.size();
+
+    {
+      const double jv = static_cast<double>(j);
+      for (const std::int32_t base : p_.outer_slots)
+        for (int l = 0; l < W; ++l) s[base + l] = jv;
+    }
+
+    for (std::int64_t m = 0; m < iters; m += W) {
+      const int L = static_cast<int>(std::min<std::int64_t>(W, iters - m));
+      for (const std::int32_t i : p_.strip_column)
+        (void)exec_op(ops[i], j, m, L, s, bases, lengths, n, start, step);
+      if (num_phis == 0) continue;
+      if (num_phis == 1 && p_.strip_serial.size() == 1) {
+        // The dominant reduction shape (dot += a[i] * b[i]): one phi, one
+        // update op. Dispatch on the opcode once per strip and keep the
+        // running value in a register; the phi slot is still written per
+        // lane because the update op's operands may alias it.
+        const MicroOp& u = ops[p_.strip_serial[0]];
+        const PhiPlan& phi = phis[0];
+        const std::int32_t ps = phi.slot;
+        const std::int32_t pu = phi.update;
+        const double* const a = u.a >= 0 ? s + u.a : nullptr;
+        const double* const b = u.b >= 0 ? s + u.b : nullptr;
+        const double* const c = u.c >= 0 ? s + u.c : nullptr;
+        double carry = carries[0];
+        if (pu == u.out) {
+          // The update is the op's own result: keep the running value in a
+          // register and substitute it for the phi-slot operands, so the
+          // lane-to-lane dependency chain is pure FP latency with no
+          // store-to-load round trip through the slot array.
+          const bool ap = u.a == ps, bp = u.b == ps, cp = u.c == ps;
+          switch (u.op) {
+            case Opcode::Add:
+              for (int l = 0; l < L; ++l) {
+                carry = apply_rounding((ap ? carry : a[l]) +
+                                           (bp ? carry : b[l]),
+                                       u.round);
+                s[u.out + l] = carry;
+              }
+              break;
+            case Opcode::Mul:
+              for (int l = 0; l < L; ++l) {
+                carry = apply_rounding((ap ? carry : a[l]) *
+                                           (bp ? carry : b[l]),
+                                       u.round);
+                s[u.out + l] = carry;
+              }
+              break;
+            case Opcode::FMA:
+              for (int l = 0; l < L; ++l) {
+                carry = apply_rounding((ap ? carry : a[l]) *
+                                               (bp ? carry : b[l]) +
+                                           (cp ? carry : c[l]),
+                                       u.round);
+                s[u.out + l] = carry;
+              }
+              break;
+            case Opcode::Min:
+              for (int l = 0; l < L; ++l) {
+                carry = apply_rounding(
+                    std::min(ap ? carry : a[l], bp ? carry : b[l]), u.round);
+                s[u.out + l] = carry;
+              }
+              break;
+            case Opcode::Max:
+              for (int l = 0; l < L; ++l) {
+                carry = apply_rounding(
+                    std::max(ap ? carry : a[l], bp ? carry : b[l]), u.round);
+                s[u.out + l] = carry;
+              }
+              break;
+            default:
+              for (int l = 0; l < L; ++l) {
+                s[ps + l] = carry;
+                carry = apply_rounding(
+                    detail::eval_elementwise<kStaticLanes>(u, a, b, c, l,
+                                                           p_.name),
+                    u.round);
+                s[u.out + l] = carry;
+              }
+              break;
+          }
+        } else {
+          for (int l = 0; l < L; ++l) {
+            s[ps + l] = carry;
+            s[u.out + l] = apply_rounding(
+                detail::eval_elementwise<kStaticLanes>(u, a, b, c, l, p_.name),
+                u.round);
+            carry = s[pu + l];
+          }
+        }
+        carries[0] = carry;
+        continue;
+      }
+      for (int l = 0; l < L; ++l) {
+        // Lane l sees the carries exactly as row-major iteration m+l would:
+        // phi slots are written only here, never by body ops, so reading the
+        // update slots below observes pre-commit state without staging.
+        for (std::size_t p = 0; p < num_phis; ++p)
+          s[phis[p].slot + l] = carries[p];
+        for (const std::int32_t i : p_.strip_serial) {
+          const MicroOp& u = ops[i];
+          const double* const a = u.a >= 0 ? s + u.a : nullptr;
+          const double* const b = u.b >= 0 ? s + u.b : nullptr;
+          const double* const c = u.c >= 0 ? s + u.c : nullptr;
+          s[u.out + l] = apply_rounding(
+              detail::eval_elementwise<kStaticLanes>(u, a, b, c, l, p_.name),
+              u.round);
+        }
+        for (std::size_t p = 0; p < num_phis; ++p)
+          carries[p] = s[phis[p].update + l];
+      }
+    }
+    return iters;
+  }
+
+  [[nodiscard]] bool broke() const { return broke_; }
+
+  /// Final per-phi scalar values: reductions reduced horizontally,
+  /// recurrences take the last lane.
+  [[nodiscard]] std::vector<double> final_phi_values() const {
+    const int L = lanes();
+    const double* const s = ctx_.slots.data();
+    std::vector<double> out(p_.phis.size());
+    for (std::size_t p = 0; p < p_.phis.size(); ++p) {
+      const PhiPlan& phi = p_.phis[p];
+      if (L > 1 && phi.reduction != ir::ReductionKind::None) {
+        out[p] = horizontal_reduce(phi.reduction, s + phi.slot,
+                                   static_cast<std::size_t>(L), phi.elem);
+      } else {
+        out[p] = s[phi.slot + L - 1];
+      }
+    }
+    return out;
+  }
+
+  /// Live-out values in the kernel's live_outs order.
+  [[nodiscard]] std::vector<double> live_outs() const {
+    const std::vector<double> finals = final_phi_values();
+    std::vector<double> out;
+    out.reserve(p_.live_out_phis.size());
+    for (const std::int32_t p : p_.live_out_phis)
+      out.push_back(finals[static_cast<std::size_t>(p)]);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] int lanes() const {
+    return kStaticLanes > 0 ? kStaticLanes : p_.lanes;
+  }
+
+  /// Execute one micro-op over lanes [0, L) at iteration base m. All
+  /// loop-invariant state comes in as caller-hoisted locals (see run_range).
+  /// Returns false iff a Break fired.
+  VECCOST_ENGINE_INLINE bool exec_op(const MicroOp& u, std::int64_t j,
+                                     std::int64_t m, int L, double* s,
+                                     double* const* bases,
+                                     const std::int64_t* lengths,
+                                     std::int64_t n, std::int64_t start,
+                                     std::int64_t step) {
+    using ir::Opcode;
+    switch (u.op) {
+      case Opcode::IndVar: {
+        double* const out = s + u.out;
+        for (int l = 0; l < L; ++l)
+          out[l] = static_cast<double>(start + (m + l) * step);
+        break;
+      }
+      case Opcode::Load:
+      case Opcode::Gather:
+      case Opcode::StridedLoad: {
+        double* const out = s + u.out;
+        const double* const buf = bases[u.array];
+        const std::int64_t len = lengths[u.array];
+        for (int l = 0; l < L; ++l) {
+          if (u.pred >= 0 && s[u.pred + l] == 0.0) {
+            out[l] = 0.0;
+            continue;
+          }
+          const std::int64_t e =
+              u.indirect >= 0
+                  ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
+                  : u.base_off + u.lin * (m + l) + u.j_scale * j +
+                        u.n_scale * n;
+          VECCOST_ASSERT(e >= 0 && e < len, "load out of bounds in " + p_.name);
+          tracer_(u.array, e, false);
+          out[l] = buf[e];
+        }
+        break;
+      }
+      case Opcode::Store:
+      case Opcode::Scatter:
+      case Opcode::StridedStore: {
+        double* const buf = bases[u.array];
+        const std::int64_t len = lengths[u.array];
+        for (int l = 0; l < L; ++l) {
+          if (u.pred >= 0 && s[u.pred + l] == 0.0) continue;
+          const std::int64_t e =
+              u.indirect >= 0
+                  ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
+                  : u.base_off + u.lin * (m + l) + u.j_scale * j +
+                        u.n_scale * n;
+          VECCOST_ASSERT(e >= 0 && e < len, "store out of bounds in " + p_.name);
+          tracer_(u.array, e, true);
+          buf[e] = s[u.a + l];
+        }
+        break;
+      }
+      case Opcode::Break:
+        VECCOST_ASSERT(L == 1, "break inside vector body of " + p_.name);
+        if (s[u.a] != 0.0) return false;
+        break;
+      case Opcode::Broadcast: {
+        double* const out = s + u.out;
+        const double v = s[u.a];
+        for (int l = 0; l < L; ++l) out[l] = v;
+        break;
+      }
+      case Opcode::Splice: {
+        // [last lane of op0, lanes 0..L-2 of op1]
+        double* const out = s + u.out;
+        out[0] = s[u.a + L - 1];
+        for (int l = 1; l < L; ++l) out[l] = s[u.b + l - 1];
+        break;
+      }
+      case Opcode::ReduceAdd:
+      case Opcode::ReduceMul:
+      case Opcode::ReduceMin:
+      case Opcode::ReduceMax:
+      case Opcode::ReduceOr: {
+        double* const out = s + u.out;
+        const double r = horizontal_reduce(u.reduce, s + u.a,
+                                           static_cast<std::size_t>(L), u.elem);
+        for (int l = 0; l < L; ++l) out[l] = r;
+        break;
+      }
+      default: {
+        double* const out = s + u.out;
+        const double* const a = u.a >= 0 ? s + u.a : nullptr;
+        const double* const b = u.b >= 0 ? s + u.b : nullptr;
+        const double* const c = u.c >= 0 ? s + u.c : nullptr;
+        for (int l = 0; l < L; ++l)
+          out[l] = apply_rounding(
+              detail::eval_elementwise<kStaticLanes>(u, a, b, c, l, p_.name),
+              u.round);
+        break;
+      }
+    }
+    return true;
+  }
+
+  const LoweredProgram& p_;
+  ExecContext& ctx_;
+  Tracer tracer_;
+  bool broke_ = false;
+};
+
+/// Scalar execution of `kernel` through the lowered engine with an arbitrary
+/// (inlined) tracer — the cache simulator's entry point. Semantics and trace
+/// order match `reference_execute_scalar_traced` exactly.
+template <class Tracer>
+ExecResult lowered_execute_scalar_with(const ir::LoopKernel& kernel,
+                                       Workload& wl, Tracer tracer) {
+  VECCOST_ASSERT(kernel.vf == 1, "execute_scalar needs a scalar kernel");
+  const LoweredProgram prog = lower(kernel, 1);
+  const std::int64_t iters = kernel.trip.iterations(wl.n);
+  LoweredEngine<1, Tracer> engine(prog, wl, thread_exec_context(0), tracer);
+  ExecResult result;
+  for (std::int64_t j = 0; j < (kernel.has_outer ? kernel.outer_trip : 1); ++j) {
+    engine.reset_phis();
+    result.iterations += engine.run_range(j, 0, iters);
+    if (engine.broke()) {
+      result.broke_early = true;
+      break;
+    }
+  }
+  result.live_outs = engine.live_outs();
+  return result;
+}
+
+/// Untraced/observer/vectorized entry points used by executor.cpp's routing.
+[[nodiscard]] ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel,
+                                                Workload& wl);
+[[nodiscard]] ExecResult lowered_execute_scalar_traced(
+    const ir::LoopKernel& kernel, Workload& wl, const AccessObserver& observer);
+[[nodiscard]] ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
+                                                    const ir::LoopKernel& scalar,
+                                                    Workload& wl);
+
+}  // namespace veccost::machine

@@ -1,9 +1,11 @@
 #include "machine/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <limits>
+#include <cstdlib>
 
+#include "machine/exec_engine.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -18,39 +20,10 @@ using ir::ValueId;
 
 namespace {
 
-double reduction_identity(ReductionKind kind) {
-  switch (kind) {
-    case ReductionKind::Sum: return 0.0;
-    case ReductionKind::Prod: return 1.0;
-    case ReductionKind::Min: return std::numeric_limits<double>::infinity();
-    case ReductionKind::Max: return -std::numeric_limits<double>::infinity();
-    case ReductionKind::Or: return 0.0;
-    case ReductionKind::None: return 0.0;
-  }
-  return 0.0;
-}
+// reduction_identity / horizontal_reduce are shared with the lowered engine
+// (machine/lowering.hpp): the reassociation point must be one piece of code.
 
-double horizontal_reduce(ReductionKind kind, const std::vector<double>& lanes,
-                         ScalarType elem) {
-  double acc = reduction_identity(kind);
-  for (double v : lanes) {
-    switch (kind) {
-      case ReductionKind::Sum: acc += v; break;
-      case ReductionKind::Prod: acc *= v; break;
-      case ReductionKind::Min: acc = std::min(acc, v); break;
-      case ReductionKind::Max: acc = std::max(acc, v); break;
-      case ReductionKind::Or:
-        acc = static_cast<double>(static_cast<std::int64_t>(acc) |
-                                  static_cast<std::int64_t>(v));
-        break;
-      case ReductionKind::None: acc = v; break;  // last value
-    }
-    if (elem == ScalarType::F32) acc = static_cast<double>(static_cast<float>(acc));
-  }
-  return acc;
-}
-
-/// Interpreter over one kernel + workload. Lane count is fixed per instance
+/// Reference interpreter over one kernel + workload. Lane count is fixed per instance
 /// (1 for scalar execution, vf for the vector body).
 class Interp {
  public:
@@ -117,7 +90,8 @@ class Interp {
     for (std::size_t p = 0; p < phi_ids_.size(); ++p) {
       const Instruction& phi = k_.instr(phi_ids_[p]);
       if (lanes_ > 1 && phi.reduction != ReductionKind::None) {
-        out[p] = horizontal_reduce(phi.reduction, phi_state_[p], phi.type.elem);
+        out[p] = horizontal_reduce(phi.reduction, phi_state_[p].data(),
+                                   phi_state_[p].size(), phi.type.elem);
       } else {
         out[p] = phi_state_[p].back();
       }
@@ -243,9 +217,9 @@ class Interp {
               : inst.op == Opcode::ReduceMin ? ReductionKind::Min
               : inst.op == Opcode::ReduceMax ? ReductionKind::Max
                                              : ReductionKind::Or;
-          const double r = horizontal_reduce(
-              kind, vals_[static_cast<std::size_t>(inst.operands[0])],
-              inst.type.elem);
+          const auto& in = vals_[static_cast<std::size_t>(inst.operands[0])];
+          const double r =
+              horizontal_reduce(kind, in.data(), in.size(), inst.type.elem);
           std::fill(out.begin(), out.end(), r);
           break;
         }
@@ -411,19 +385,38 @@ ExecResult execute_scalar_impl(const ir::LoopKernel& kernel, Workload& wl,
   return result;
 }
 
+ExecutorKind initial_executor_kind() {
+  const char* env = std::getenv("VECCOST_REFERENCE_EXECUTOR");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0')
+    return ExecutorKind::Reference;
+  return ExecutorKind::Lowered;
+}
+
+std::atomic<ExecutorKind> g_executor_kind{initial_executor_kind()};
+
 }  // namespace
 
-ExecResult execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {
+ExecutorKind executor_kind() {
+  return g_executor_kind.load(std::memory_order_relaxed);
+}
+
+void set_executor_kind(ExecutorKind kind) {
+  g_executor_kind.store(kind, std::memory_order_relaxed);
+}
+
+ExecResult reference_execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {
   return execute_scalar_impl(kernel, wl, nullptr);
 }
 
-ExecResult execute_scalar_traced(const ir::LoopKernel& kernel, Workload& wl,
-                                 const AccessObserver& observer) {
+ExecResult reference_execute_scalar_traced(const ir::LoopKernel& kernel,
+                                           Workload& wl,
+                                           const AccessObserver& observer) {
   return execute_scalar_impl(kernel, wl, &observer);
 }
 
-ExecResult execute_vectorized(const ir::LoopKernel& vec,
-                              const ir::LoopKernel& scalar, Workload& wl) {
+ExecResult reference_execute_vectorized(const ir::LoopKernel& vec,
+                                        const ir::LoopKernel& scalar,
+                                        Workload& wl) {
   VECCOST_ASSERT(vec.vf > 1, "execute_vectorized needs a widened kernel");
   VECCOST_ASSERT(!vec.has_break() && !scalar.has_break(),
                  "cannot vectorize a loop with break");
@@ -444,6 +437,26 @@ ExecResult execute_vectorized(const ir::LoopKernel& vec,
   }
   result.live_outs = collect_live_outs(scalar, sinterp);
   return result;
+}
+
+ExecResult execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {
+  if (executor_kind() == ExecutorKind::Reference)
+    return reference_execute_scalar(kernel, wl);
+  return lowered_execute_scalar(kernel, wl);
+}
+
+ExecResult execute_scalar_traced(const ir::LoopKernel& kernel, Workload& wl,
+                                 const AccessObserver& observer) {
+  if (executor_kind() == ExecutorKind::Reference)
+    return reference_execute_scalar_traced(kernel, wl, observer);
+  return lowered_execute_scalar_traced(kernel, wl, observer);
+}
+
+ExecResult execute_vectorized(const ir::LoopKernel& vec,
+                              const ir::LoopKernel& scalar, Workload& wl) {
+  if (executor_kind() == ExecutorKind::Reference)
+    return reference_execute_vectorized(vec, scalar, wl);
+  return lowered_execute_vectorized(vec, scalar, wl);
 }
 
 }  // namespace veccost::machine

@@ -1,10 +1,19 @@
-// Functional interpreter for LoopKernel IR.
+// Functional execution of LoopKernel IR.
 //
 // The executor runs kernels over concrete buffers, with two jobs:
 //  * provide ground-truth *semantics*: every vectorized kernel must produce
 //    the same array contents as its scalar original (the transform
 //    correctness tests run exactly this comparison);
 //  * drive the workloads used by the measurement substrate.
+//
+// Two implementations share these entry points: the default lowered engine
+// (machine/lowering.hpp + machine/exec_engine.hpp), which compiles each
+// kernel into a flat micro-op program and runs it over contiguous lane
+// storage, and the original tree-walking reference interpreter, kept as the
+// semantics oracle. They are bit-identical — live-outs, array contents,
+// memory-trace order, iteration counts — which the differential suite
+// (`ctest -L engine`) asserts over the whole TSVC suite. Select at runtime
+// with set_executor_kind() or VECCOST_REFERENCE_EXECUTOR=1.
 //
 // Numeric model: all runtime values are held as doubles; operations on f32
 // values are rounded to float after every instruction, identically on the
@@ -60,5 +69,25 @@ using AccessObserver =
 [[nodiscard]] ExecResult execute_vectorized(const ir::LoopKernel& vec,
                                             const ir::LoopKernel& scalar,
                                             Workload& wl);
+
+/// Which implementation the execute_* entry points route to.
+enum class ExecutorKind {
+  Lowered,    ///< lowering pass + linear engine (default)
+  Reference,  ///< original tree-walking interpreter (semantics oracle)
+};
+
+/// Process-wide executor selection. Defaults to Lowered;
+/// VECCOST_REFERENCE_EXECUTOR=1 in the environment flips the initial value.
+[[nodiscard]] ExecutorKind executor_kind();
+void set_executor_kind(ExecutorKind kind);
+
+/// The reference interpreter, callable directly regardless of the
+/// process-wide selection — the oracle side of the differential suite.
+[[nodiscard]] ExecResult reference_execute_scalar(const ir::LoopKernel& kernel,
+                                                  Workload& wl);
+[[nodiscard]] ExecResult reference_execute_scalar_traced(
+    const ir::LoopKernel& kernel, Workload& wl, const AccessObserver& observer);
+[[nodiscard]] ExecResult reference_execute_vectorized(
+    const ir::LoopKernel& vec, const ir::LoopKernel& scalar, Workload& wl);
 
 }  // namespace veccost::machine

@@ -1,0 +1,214 @@
+#include "machine/lowering.hpp"
+
+#include "support/error.hpp"
+
+namespace veccost::machine {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ReductionKind;
+using ir::ValueId;
+
+namespace {
+
+ReductionKind reduce_kind_of(Opcode op) {
+  switch (op) {
+    case Opcode::ReduceAdd: return ReductionKind::Sum;
+    case Opcode::ReduceMul: return ReductionKind::Prod;
+    case Opcode::ReduceMin: return ReductionKind::Min;
+    case Opcode::ReduceMax: return ReductionKind::Max;
+    case Opcode::ReduceOr: return ReductionKind::Or;
+    default: VECCOST_FAIL("not a reduce opcode");
+  }
+}
+
+/// Build the strip-mined execution plan: prove (conservatively) that
+/// column-major execution is bit-identical to row-major, and classify every
+/// op as column-executable or lane-serial. `op_source[i]` is the body value
+/// id MicroOp i was lowered from.
+void plan_strips(const LoopKernel& kernel,
+                 const std::vector<ValueId>& op_source, LoweredProgram& p) {
+  // Transitive phi-dependence over the SSA body. The body is topologically
+  // ordered and phi update edges are payload, so one forward pass suffices.
+  std::vector<char> dep(kernel.body.size(), 0);
+  for (std::size_t id = 0; id < kernel.body.size(); ++id) {
+    const Instruction& inst = kernel.body[id];
+    if (inst.op == Opcode::Phi) {
+      dep[id] = 1;
+      continue;
+    }
+    char d = 0;
+    for (const ValueId v : inst.operands)
+      if (v >= 0 && dep[static_cast<std::size_t>(v)]) d = 1;
+    if (inst.predicate >= 0 && dep[static_cast<std::size_t>(inst.predicate)])
+      d = 1;
+    if (inst.index.indirect >= 0 &&
+        dep[static_cast<std::size_t>(inst.index.indirect)])
+      d = 1;
+    dep[id] = d;
+  }
+
+  for (std::size_t i = 0; i < p.ops.size(); ++i) {
+    const MicroOp& u = p.ops[i];
+    const bool is_dep = dep[static_cast<std::size_t>(op_source[i])] != 0;
+    if (u.op == Opcode::Break) return;  // early exit: order is essential
+    if (ir::is_memory_op(u.op)) {
+      // A memory op whose address, predicate, or stored value is tied to
+      // loop-carried state cannot be reordered across iterations.
+      if (is_dep) return;
+      p.strip_column.push_back(static_cast<std::int32_t>(i));
+    } else if (u.op == Opcode::IndVar || (ir::is_elementwise(u.op) && !is_dep)) {
+      p.strip_column.push_back(static_cast<std::int32_t>(i));
+    } else if (ir::is_elementwise(u.op)) {
+      p.strip_serial.push_back(static_cast<std::int32_t>(i));
+    } else {
+      return;  // cross-lane vector ops (broadcast/splice/reduce): row-major
+    }
+  }
+
+  // Memory safety: column execution reorders accesses across iterations, so
+  // no two accesses to a written array may ever touch the same element on
+  // different iterations. Conservative proof: every access to such an array
+  // is affine with the *identical* index map — then element e is touched by
+  // exactly one iteration, and within it the original op order is kept.
+  struct ArrayAccess {
+    bool seen = false, has_store = false, indirect = false, mixed = false;
+    std::int64_t lin = 0, base = 0, js = 0, ns = 0;
+  };
+  std::vector<ArrayAccess> acc(p.num_arrays);
+  for (const MicroOp& u : p.ops) {
+    if (!ir::is_memory_op(u.op)) continue;
+    ArrayAccess& a = acc[static_cast<std::size_t>(u.array)];
+    a.has_store = a.has_store || ir::is_store_op(u.op);
+    if (u.indirect >= 0) {
+      a.indirect = true;
+      continue;
+    }
+    if (!a.seen) {
+      a.seen = true;
+      a.lin = u.lin;
+      a.base = u.base_off;
+      a.js = u.j_scale;
+      a.ns = u.n_scale;
+    } else if (u.lin != a.lin || u.base_off != a.base || u.j_scale != a.js ||
+               u.n_scale != a.ns) {
+      a.mixed = true;
+    }
+  }
+  for (const ArrayAccess& a : acc)
+    if (a.has_store && (a.indirect || a.mixed)) return;
+
+  // All-serial programs gain nothing from strips; require real column work.
+  p.strip_ok = !p.strip_column.empty();
+}
+
+}  // namespace
+
+LoweredProgram lower(const LoopKernel& kernel, int lanes) {
+  VECCOST_ASSERT(lanes >= 1, "lowering needs at least one lane");
+  LoweredProgram p;
+  p.name = kernel.name;
+  p.lanes = lanes;
+  p.num_values = static_cast<std::int32_t>(kernel.body.size());
+  p.num_arrays = kernel.arrays.size();
+  p.start = kernel.trip.start;
+  p.step = kernel.trip.step;
+
+  const auto slot = [lanes](ValueId v) -> std::int32_t {
+    return v == ir::kNoValue ? -1 : static_cast<std::int32_t>(v) * lanes;
+  };
+
+  std::vector<ValueId> op_source;  // body value id each MicroOp came from
+  for (std::size_t id = 0; id < kernel.body.size(); ++id) {
+    const Instruction& inst = kernel.body[id];
+    const std::int32_t out = slot(static_cast<ValueId>(id));
+    switch (inst.op) {
+      case Opcode::Const:
+        p.constants.emplace_back(out, inst.const_value);
+        continue;
+      case Opcode::Param:
+        VECCOST_ASSERT(inst.param_index >= 0 &&
+                           static_cast<std::size_t>(inst.param_index) <
+                               kernel.params.size(),
+                       "param index out of range in " + kernel.name);
+        p.constants.emplace_back(
+            out, kernel.params[static_cast<std::size_t>(inst.param_index)]);
+        continue;
+      case Opcode::OuterIndVar:
+        p.outer_slots.push_back(out);
+        continue;
+      case Opcode::Phi: {
+        PhiPlan phi;
+        phi.slot = out;
+        phi.update = slot(inst.phi_update);
+        VECCOST_ASSERT(phi.update >= 0, "phi without update in " + kernel.name);
+        phi.init = inst.phi_init_param >= 0
+                       ? kernel.params[static_cast<std::size_t>(inst.phi_init_param)]
+                       : inst.phi_init;
+        phi.reduction = inst.reduction;
+        phi.elem = inst.type.elem;
+        p.phis.push_back(phi);
+        continue;
+      }
+      default:
+        break;
+    }
+
+    MicroOp u;
+    u.op = inst.op;
+    u.round = rounding_of(inst.type.elem);
+    u.elem = inst.type.elem;
+    u.out = out;
+    u.a = slot(inst.operands[0]);
+    u.b = slot(inst.operands[1]);
+    u.c = slot(inst.operands[2]);
+    u.pred = slot(inst.predicate);
+    if ((inst.op == Opcode::Div || inst.op == Opcode::Rem) &&
+        ir::is_int(inst.type.elem)) {
+      u.int_divide = true;
+    }
+    if (ir::is_reduce_op(inst.op)) u.reduce = reduce_kind_of(inst.op);
+    if (ir::is_memory_op(inst.op)) {
+      VECCOST_ASSERT(inst.array >= 0 &&
+                         static_cast<std::size_t>(inst.array) < p.num_arrays,
+                     "memory op references missing array in " + kernel.name);
+      u.array = inst.array;
+      const ir::MemIndex& idx = inst.index;
+      if (idx.is_indirect()) {
+        u.indirect = slot(idx.indirect);
+        u.base_off = idx.offset;
+      } else {
+        u.lin = idx.scale_i * kernel.trip.step;
+        u.base_off = idx.scale_i * kernel.trip.start + idx.offset;
+        u.j_scale = idx.scale_j;
+        u.n_scale = idx.n_scale;
+      }
+    }
+    p.ops.push_back(u);
+    op_source.push_back(static_cast<ValueId>(id));
+  }
+  plan_strips(kernel, op_source, p);
+
+  // A phi whose update edge is a *different* phi would observe that phi's
+  // already-committed value under a naive in-place commit; the engine stages
+  // through scratch in that case (the reference interpreter reads the whole
+  // pre-commit state by construction).
+  for (const PhiPlan& a : p.phis) {
+    for (const PhiPlan& b : p.phis) {
+      if (a.slot != b.slot && a.update == b.slot) p.direct_commit = false;
+    }
+  }
+
+  // Live-outs are phis (the executor's contract); map each to its ordinal.
+  p.live_out_phis.reserve(kernel.live_outs.size());
+  const auto phi_ids = kernel.phis();
+  for (const ValueId v : kernel.live_outs) {
+    const auto it = std::find(phi_ids.begin(), phi_ids.end(), v);
+    VECCOST_ASSERT(it != phi_ids.end(), "live-out is not a phi in " + kernel.name);
+    p.live_out_phis.push_back(static_cast<std::int32_t>(it - phi_ids.begin()));
+  }
+  return p;
+}
+
+}  // namespace veccost::machine

@@ -1,0 +1,182 @@
+// Lowering pass: compile a LoopKernel body into a flat micro-op program.
+//
+// The reference interpreter (machine/executor.cpp) re-derives everything per
+// block: it re-dispatches constants and parameters, resolves operand values
+// through nested vector<vector<double>> state, re-reads MemIndex payloads and
+// re-selects the rounding rule from the instruction type on every lane of
+// every iteration. The lowering pass does all of that exactly once per
+// (kernel, lane-count) pair and emits a dense `LoweredProgram`:
+//
+//  * every SSA value gets a contiguous *slot* — `lanes` consecutive doubles
+//    in one flat array, addressed by the precomputed base `value_id * lanes`;
+//  * Const/Param instructions disappear from the body: they are folded into
+//    a setup list applied once when an ExecContext binds a workload;
+//  * OuterIndVar instructions become a per-outer-iteration fill list;
+//  * Phi instructions vanish too — a phi's slot *is* its loop-carried state,
+//    and `PhiPlan` records the init value (param already resolved) and the
+//    update slot the engine commits after every block;
+//  * memory ops pre-fold their affine index into `base_off + lin*(m+l)
+//    + j_scale*j + n_scale*n` where `lin = scale_i * step` and
+//    `base_off = scale_i * start + offset`;
+//  * the f32/int rounding decision collapses into a 4-way `Rounding` tag.
+//
+// The engine that runs these programs lives in machine/exec_engine.hpp. The
+// reference interpreter stays authoritative (tests/engine_test.cpp asserts
+// bit-identical behaviour over the full suite); this file must encode the
+// exact same semantics, only earlier.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::machine {
+
+/// Post-operation rounding rule, pre-folded from the instruction's scalar
+/// type (the reference interpreter's `round_to`).
+enum class Rounding : std::uint8_t {
+  None,   ///< f64: keep the double
+  F32,    ///< round through float
+  Bool,   ///< i1: normalize to 0/1
+  Trunc,  ///< integer types: truncate toward zero
+};
+
+[[nodiscard]] inline Rounding rounding_of(ir::ScalarType t) {
+  switch (t) {
+    case ir::ScalarType::F32: return Rounding::F32;
+    case ir::ScalarType::F64: return Rounding::None;
+    case ir::ScalarType::I1: return Rounding::Bool;
+    default: return Rounding::Trunc;
+  }
+}
+
+[[nodiscard]] inline double apply_rounding(double v, Rounding r) {
+  switch (r) {
+    case Rounding::None: return v;
+    case Rounding::F32: return static_cast<double>(static_cast<float>(v));
+    case Rounding::Bool: return v != 0.0 ? 1.0 : 0.0;
+    case Rounding::Trunc: return std::trunc(v);
+  }
+  return v;
+}
+
+/// Identity element of a reduction, shared by both executors.
+[[nodiscard]] inline double reduction_identity(ir::ReductionKind kind) {
+  switch (kind) {
+    case ir::ReductionKind::Sum: return 0.0;
+    case ir::ReductionKind::Prod: return 1.0;
+    case ir::ReductionKind::Min: return std::numeric_limits<double>::infinity();
+    case ir::ReductionKind::Max: return -std::numeric_limits<double>::infinity();
+    case ir::ReductionKind::Or: return 0.0;
+    case ir::ReductionKind::None: return 0.0;
+  }
+  return 0.0;
+}
+
+/// Horizontal reduction over `count` lanes, rounding the accumulator to f32
+/// after every step for F32 data — the one reassociation point of the model,
+/// shared verbatim by the reference interpreter and the lowered engine.
+[[nodiscard]] inline double horizontal_reduce(ir::ReductionKind kind,
+                                              const double* lanes,
+                                              std::size_t count,
+                                              ir::ScalarType elem) {
+  double acc = reduction_identity(kind);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double v = lanes[i];
+    switch (kind) {
+      case ir::ReductionKind::Sum: acc += v; break;
+      case ir::ReductionKind::Prod: acc *= v; break;
+      case ir::ReductionKind::Min: acc = std::min(acc, v); break;
+      case ir::ReductionKind::Max: acc = std::max(acc, v); break;
+      case ir::ReductionKind::Or:
+        acc = static_cast<double>(static_cast<std::int64_t>(acc) |
+                                  static_cast<std::int64_t>(v));
+        break;
+      case ir::ReductionKind::None: acc = v; break;  // last value
+    }
+    if (elem == ir::ScalarType::F32)
+      acc = static_cast<double>(static_cast<float>(acc));
+  }
+  return acc;
+}
+
+/// One lowered instruction. Slot fields are bases into the ExecContext's
+/// flat lane storage (`value_id * lanes`); -1 = absent.
+struct MicroOp {
+  ir::Opcode op = ir::Opcode::Const;
+  Rounding round = Rounding::None;
+  bool int_divide = false;          ///< Div/Rem on integer data
+  ir::ScalarType elem = ir::ScalarType::F32;       ///< reduce rounding
+  ir::ReductionKind reduce = ir::ReductionKind::None;  ///< Reduce* kind
+  std::int32_t out = -1;            ///< result slot base
+  std::int32_t a = -1;              ///< operand slot bases
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+  std::int32_t pred = -1;           ///< predicate slot base (memory ops)
+  std::int32_t indirect = -1;       ///< indirect index slot base
+  std::int32_t array = -1;          ///< memory ops: workload array ordinal
+  std::int64_t lin = 0;             ///< affine index: scale_i * trip.step
+  std::int64_t base_off = 0;        ///< scale_i * start + offset (or offset)
+  std::int64_t j_scale = 0;         ///< affine index: outer coefficient
+  std::int64_t n_scale = 0;         ///< affine index: problem-size coefficient
+};
+
+/// Loop-carried state of one phi: the phi's slot holds the live value, the
+/// engine copies `update`'s lanes into it after every committed block.
+struct PhiPlan {
+  std::int32_t slot = -1;    ///< the phi's own slot base
+  std::int32_t update = -1;  ///< slot base of the next-iteration value
+  double init = 0.0;         ///< initial value, phi_init_param pre-resolved
+  ir::ReductionKind reduction = ir::ReductionKind::None;
+  ir::ScalarType elem = ir::ScalarType::F32;
+};
+
+/// A kernel compiled for one fixed lane count.
+struct LoweredProgram {
+  std::string name;
+  int lanes = 1;
+  std::int32_t num_values = 0;   ///< body size; slot array = num_values*lanes
+  std::size_t num_arrays = 0;
+  std::int64_t start = 0;        ///< trip.start
+  std::int64_t step = 1;         ///< trip.step
+  std::vector<MicroOp> ops;      ///< dynamic body ops, original order
+  /// Slot-base/value pairs filled once per workload bind (folded Const/Param).
+  std::vector<std::pair<std::int32_t, double>> constants;
+  /// OuterIndVar slot bases, filled with j at the top of each outer trip.
+  std::vector<std::int32_t> outer_slots;
+  std::vector<PhiPlan> phis;     ///< body order, matching LoopKernel::phis()
+  /// Kernel live-outs as indices into `phis` (live-outs are always phis).
+  std::vector<std::int32_t> live_out_phis;
+  /// True when no phi's update value is a *different* phi: the commit can
+  /// copy update -> slot directly without staging through scratch.
+  bool direct_commit = true;
+
+  // --- Strip-mined execution plan (untraced scalar path) ------------------
+  // When `strip_ok`, executing each op over a whole strip of iterations
+  // before moving to the next op ("column-major") is bit-identical to the
+  // row-major iteration order: no Break, every memory op is independent of
+  // loop-carried state, and no two accesses to the same array can touch the
+  // same element on different iterations (proved from the affine index
+  // maps). Ops that *do* read phi state are pure elementwise computations;
+  // the engine runs them lane-serially inside each strip, preserving the
+  // exact sequential rounding order of reductions and recurrences. This
+  // amortizes the dispatch switch over kStripWidth iterations — the bulk of
+  // the lowered engine's speedup on parallel kernels.
+  bool strip_ok = false;
+  std::vector<std::int32_t> strip_column;  ///< op indices, column-executable
+  std::vector<std::int32_t> strip_serial;  ///< op indices, phi-dependent
+};
+
+/// Lower `kernel` for execution at `lanes` lanes per block (1 for scalar
+/// kernels, vf for widened bodies). Pure; the result references nothing in
+/// the kernel and can outlive it.
+[[nodiscard]] LoweredProgram lower(const ir::LoopKernel& kernel, int lanes);
+
+}  // namespace veccost::machine

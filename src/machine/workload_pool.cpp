@@ -1,0 +1,68 @@
+#include "machine/workload_pool.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace veccost::machine {
+
+namespace {
+
+std::string pool_key(const std::string& name, std::int64_t n,
+                     std::uint64_t seed, int copy) {
+  std::string key = name;
+  key += '\0';
+  key += std::to_string(n);
+  key += '\0';
+  key += std::to_string(seed);
+  key += '\0';
+  key += std::to_string(copy);
+  return key;
+}
+
+}  // namespace
+
+WorkloadPool::WorkloadPool(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(1, max_entries)) {}
+
+Workload& WorkloadPool::acquire(const ir::LoopKernel& kernel, std::int64_t n,
+                                std::uint64_t seed, int copy) {
+  std::string key = pool_key(kernel.name, n, seed, copy);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    Entry& e = lru_.front();
+    e.working.n = e.pristine.n;
+    for (std::size_t a = 0; a < e.pristine.arrays.size(); ++a) {
+      // Same shape by construction: copies in place, never reallocates.
+      std::copy(e.pristine.arrays[a].begin(), e.pristine.arrays[a].end(),
+                e.working.arrays[a].begin());
+    }
+    ++resets_;
+    return e.working;
+  }
+
+  ++builds_;
+  Entry e;
+  e.key = std::move(key);
+  e.pristine = make_workload(kernel, n, seed);
+  e.working = e.pristine;
+  lru_.push_front(std::move(e));
+  index_[lru_.front().key] = lru_.begin();
+  if (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return lru_.front().working;
+}
+
+void WorkloadPool::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+WorkloadPool& WorkloadPool::thread_local_pool() {
+  thread_local WorkloadPool pool;
+  return pool;
+}
+
+}  // namespace veccost::machine

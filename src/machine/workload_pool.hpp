@@ -1,0 +1,63 @@
+// Reusable workload buffers for repeated kernel executions.
+//
+// make_workload re-runs the RNG over every array element; at measurement
+// sizes that is megabytes of regenerated data per kernel per repeat. The
+// pool builds each (kernel, n, seed) workload once, keeps a pristine
+// snapshot, and serves later acquisitions by memcpy-resetting the working
+// copy — no reallocation, no RNG replay, bit-identical contents (the engine
+// differential suite asserts this).
+//
+// The pool is NOT thread-safe; concurrent users take `thread_local_pool()`,
+// which is how measure-path validation fans out (one pool per worker, see
+// eval/parallel_runner.cpp).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "machine/executor.hpp"
+
+namespace veccost::machine {
+
+class WorkloadPool {
+ public:
+  /// `max_entries` bounds retained workload pairs; least-recently-used
+  /// entries are dropped beyond it (each entry holds two copies of its
+  /// arrays, so the bound caps memory, not correctness).
+  explicit WorkloadPool(std::size_t max_entries = 32);
+
+  /// A workload for (kernel, n, seed), freshly reset to its initial
+  /// contents. `copy` distinguishes simultaneously-live workloads with the
+  /// same key (e.g. the scalar and vectorized sides of an equivalence
+  /// check). The reference stays valid until the entry is evicted — hold at
+  /// most `max_entries` acquisitions live at once.
+  [[nodiscard]] Workload& acquire(const ir::LoopKernel& kernel, std::int64_t n,
+                                  std::uint64_t seed = 0x5eed, int copy = 0);
+
+  [[nodiscard]] std::size_t entries() const { return lru_.size(); }
+  /// Pool misses: workloads built from scratch via make_workload.
+  [[nodiscard]] std::uint64_t builds() const { return builds_; }
+  /// Pool hits: acquisitions served by resetting an existing entry.
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+  void clear();
+
+  /// One pool per thread, for parallel fan-out without sharing.
+  [[nodiscard]] static WorkloadPool& thread_local_pool();
+
+ private:
+  struct Entry {
+    std::string key;
+    Workload pristine;
+    Workload working;
+  };
+
+  std::size_t max_entries_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t builds_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace veccost::machine

@@ -3,8 +3,13 @@
 // The library is used both from tests (where throwing is convenient) and from
 // long-running experiment drivers (where a crash with context beats silent
 // corruption). All internal invariant violations throw veccost::Error with a
-// formatted message; VECCOST_ASSERT is kept enabled in release builds because
-// none of the checks sit on hot paths.
+// formatted message. Two tiers:
+//  * VECCOST_ASSERT — enabled in every build type; for checks off the hot
+//    paths and for conditions callers rely on observing (e.g. the executor's
+//    bounds checks, which tests EXPECT_THROW on).
+//  * VECCOST_DCHECK — compiled out under NDEBUG; for per-element checks on
+//    hot paths (Matrix indexing inside the QR inner loops). Debug builds and
+//    the sanitizer CI configuration (VECCOST_FORCE_DCHECK) keep them live.
 #pragma once
 
 #include <sstream>
@@ -43,3 +48,15 @@ namespace detail {
 
 /// Unconditional failure with a formatted message.
 #define VECCOST_FAIL(msg) ::veccost::detail::fail(__FILE__, __LINE__, "unreachable", (msg))
+
+/// Debug-only assertion: active when NDEBUG is unset (Debug builds) or when
+/// VECCOST_FORCE_DCHECK is defined (the sanitizer CI job defines it so
+/// optimized sanitizer runs still see the checks). Compiles to nothing in
+/// plain Release builds — use for checks inside hot inner loops.
+#if !defined(NDEBUG) || defined(VECCOST_FORCE_DCHECK)
+#define VECCOST_DCHECK(cond, msg) VECCOST_ASSERT(cond, msg)
+#else
+#define VECCOST_DCHECK(cond, msg) \
+  do {                            \
+  } while (false)
+#endif

@@ -32,21 +32,23 @@ class Matrix {
   [[nodiscard]] std::size_t cols() const { return cols_; }
   [[nodiscard]] bool empty() const { return data_.empty(); }
 
+  // Element access sits inside the QR / fitting inner loops, so the bounds
+  // checks are debug-only (kept in Debug and sanitizer CI builds).
   double& operator()(std::size_t r, std::size_t c) {
-    VECCOST_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    VECCOST_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const {
-    VECCOST_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    VECCOST_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
     return data_[r * cols_ + c];
   }
 
   [[nodiscard]] std::span<double> row(std::size_t r) {
-    VECCOST_ASSERT(r < rows_, "row index out of range");
+    VECCOST_DCHECK(r < rows_, "row index out of range");
     return {data_.data() + r * cols_, cols_};
   }
   [[nodiscard]] std::span<const double> row(std::size_t r) const {
-    VECCOST_ASSERT(r < rows_, "row index out of range");
+    VECCOST_DCHECK(r < rows_, "row index out of range");
     return {data_.data() + r * cols_, cols_};
   }
 

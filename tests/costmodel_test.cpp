@@ -163,6 +163,29 @@ TEST(Trainer, LoocvPredictionsDifferFromInSample) {
   EXPECT_GT(rmse(loocv, y), rmse(in_sample, y));
 }
 
+TEST(Trainer, ClosedFormLoocvMatchesExplicitRefit) {
+  // L2 LOOCV routes through the single-QR PRESS closed form; it must agree
+  // with the drop-one-row refit it replaced to tight tolerance.
+  const auto set = analysis::FeatureSet::Counts;
+  const std::size_t dims = analysis::feature_names(set).size();
+  Rng rng(7);
+  Matrix x(40, dims);
+  Vector y(40);
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) x(r, c) = std::floor(rng.uniform(0, 4));
+    y[r] = rng.uniform(0.5, 4.0);
+  }
+  const Vector closed = loocv_predictions(x, y, Fitter::L2, set);
+  ASSERT_EQ(closed.size(), x.rows());
+  const TrainOptions opts;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const LinearSpeedupModel refit =
+        fit_model(x.without_row(i), without_element(y, i), Fitter::L2, set, opts);
+    EXPECT_NEAR(closed[i], refit.predict_features(x.row(i)), 1e-9)
+        << "row " << i;
+  }
+}
+
 TEST(Trainer, KfoldMatchesLoocvAtFullK) {
   const auto set = analysis::FeatureSet::Counts;
   const std::size_t dims = analysis::feature_names(set).size();

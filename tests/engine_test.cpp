@@ -1,0 +1,252 @@
+// Differential suite for the lowered execution engine: every TSVC kernel,
+// executed by both the lowered micro-op engine and the reference
+// interpreter, must agree bit-for-bit — live-outs, array contents, memory
+// trace order, iteration counts — untraced and traced, scalar and at every
+// supported VF. Also covers the workload pool's reset-equals-fresh contract
+// and ExecContext reuse determinism. Runs standalone via `ctest -L engine`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "machine/exec_engine.hpp"
+#include "machine/executor.hpp"
+#include "machine/targets.hpp"
+#include "machine/workload_pool.hpp"
+#include "tsvc/kernel.hpp"
+#include "tsvc/workload.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+
+namespace veccost::machine {
+namespace {
+
+using tsvc::KernelInfo;
+
+/// Reduced problem size, mirroring tsvc_test: fixed-trip kernels ignore it.
+std::int64_t test_n(const ir::LoopKernel& k) {
+  return k.trip.num == 0 ? k.default_n : 2048;
+}
+
+using Trace = std::vector<std::tuple<int, std::int64_t, bool>>;
+
+/// Bitwise equality (memcmp, not operator==: distinguishes -0.0 from 0.0
+/// and treats equal NaN patterns as equal).
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void expect_workloads_bit_identical(const Workload& lhs, const Workload& rhs,
+                                    const std::string& what) {
+  ASSERT_EQ(lhs.arrays.size(), rhs.arrays.size()) << what;
+  for (std::size_t a = 0; a < lhs.arrays.size(); ++a)
+    EXPECT_TRUE(bits_equal(lhs.arrays[a], rhs.arrays[a]))
+        << what << ": array " << a << " diverged";
+}
+
+void expect_results_bit_identical(const ExecResult& lowered,
+                                  const ExecResult& reference,
+                                  const std::string& what) {
+  EXPECT_TRUE(bits_equal(lowered.live_outs, reference.live_outs))
+      << what << ": live-outs diverged";
+  EXPECT_EQ(lowered.iterations, reference.iterations) << what;
+  EXPECT_EQ(lowered.broke_early, reference.broke_early) << what;
+}
+
+class EngineSweep : public ::testing::TestWithParam<const KernelInfo*> {};
+
+TEST_P(EngineSweep, ScalarMatchesReference) {
+  const ir::LoopKernel k = GetParam()->build();
+  const std::int64_t n = test_n(k);
+  Workload wl_lowered = make_workload(k, n);
+  Workload wl_reference = make_workload(k, n);
+  const auto rl = lowered_execute_scalar(k, wl_lowered);
+  const auto rr = reference_execute_scalar(k, wl_reference);
+  expect_results_bit_identical(rl, rr, k.name);
+  expect_workloads_bit_identical(wl_lowered, wl_reference, k.name);
+}
+
+TEST_P(EngineSweep, TracedMatchesReference) {
+  const ir::LoopKernel k = GetParam()->build();
+  const std::int64_t n = test_n(k);
+  Workload wl_lowered = make_workload(k, n);
+  Workload wl_reference = make_workload(k, n);
+
+  Trace trace_lowered;
+  Trace trace_reference;
+  const auto rl = lowered_execute_scalar_traced(
+      k, wl_lowered, [&](int array, std::int64_t element, bool is_store) {
+        trace_lowered.emplace_back(array, element, is_store);
+      });
+  const auto rr = reference_execute_scalar_traced(
+      k, wl_reference, [&](int array, std::int64_t element, bool is_store) {
+        trace_reference.emplace_back(array, element, is_store);
+      });
+
+  expect_results_bit_identical(rl, rr, k.name);
+  expect_workloads_bit_identical(wl_lowered, wl_reference, k.name);
+  ASSERT_EQ(trace_lowered.size(), trace_reference.size())
+      << k.name << ": trace lengths diverged";
+  EXPECT_TRUE(trace_lowered == trace_reference)
+      << k.name << ": memory trace order diverged";
+}
+
+TEST_P(EngineSweep, VectorizedMatchesReferenceAcrossVfs) {
+  const ir::LoopKernel scalar = GetParam()->build();
+  const auto target = machine::cortex_a57();
+  std::vector<int> tried;
+  for (const int requested : {0, 2, 8}) {  // 0 = natural VF
+    vectorizer::LoopVectorizerOptions opts;
+    opts.requested_vf = requested;
+    const auto vec = vectorizer::vectorize_loop(scalar, target, opts);
+    if (!vec.ok || vec.runtime_check) continue;
+    if (std::find(tried.begin(), tried.end(), vec.vf) != tried.end()) continue;
+    tried.push_back(vec.vf);
+
+    const std::int64_t n = test_n(scalar);
+    Workload wl_lowered = make_workload(scalar, n);
+    Workload wl_reference = make_workload(scalar, n);
+    const auto rl = lowered_execute_vectorized(vec.kernel, scalar, wl_lowered);
+    const auto rr =
+        reference_execute_vectorized(vec.kernel, scalar, wl_reference);
+    const std::string what = scalar.name + " at vf=" + std::to_string(vec.vf);
+    expect_results_bit_identical(rl, rr, what);
+    expect_workloads_bit_identical(wl_lowered, wl_reference, what);
+  }
+}
+
+std::vector<const KernelInfo*> all_kernel_pointers() {
+  std::vector<const KernelInfo*> out;
+  for (const auto& k : tsvc::suite()) out.push_back(&k);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Engine, EngineSweep,
+                         ::testing::ValuesIn(all_kernel_pointers()),
+                         [](const ::testing::TestParamInfo<const KernelInfo*>& info) {
+                           return info.param->name;
+                         });
+
+TEST(ExecutorKind, RoutingAndRestore) {
+  const ExecutorKind before = executor_kind();
+  set_executor_kind(ExecutorKind::Reference);
+  EXPECT_EQ(executor_kind(), ExecutorKind::Reference);
+  set_executor_kind(ExecutorKind::Lowered);
+  EXPECT_EQ(executor_kind(), ExecutorKind::Lowered);
+  set_executor_kind(before);
+}
+
+TEST(ExecutorKind, BothRoutesProduceIdenticalResults) {
+  const KernelInfo* info = tsvc::find_kernel("vdotr");
+  ASSERT_NE(info, nullptr);
+  const ir::LoopKernel k = info->build();
+  const ExecutorKind before = executor_kind();
+
+  set_executor_kind(ExecutorKind::Lowered);
+  Workload wl_lowered = make_workload(k, 512);
+  const auto rl = execute_scalar(k, wl_lowered);
+
+  set_executor_kind(ExecutorKind::Reference);
+  Workload wl_reference = make_workload(k, 512);
+  const auto rr = execute_scalar(k, wl_reference);
+
+  set_executor_kind(before);
+  expect_results_bit_identical(rl, rr, k.name);
+  expect_workloads_bit_identical(wl_lowered, wl_reference, k.name);
+}
+
+TEST(WorkloadPoolTest, ResetMatchesFreshWorkload) {
+  const KernelInfo* info = tsvc::find_kernel("s000");
+  ASSERT_NE(info, nullptr);
+  const ir::LoopKernel k = info->build();
+  const std::int64_t n = 1024;
+
+  WorkloadPool pool;
+  Workload& first = pool.acquire(k, n);
+  EXPECT_EQ(pool.builds(), 1u);
+  // Dirty the working copy by actually executing the kernel on it.
+  (void)lowered_execute_scalar(k, first);
+
+  // Re-acquisition resets in place: same buffers, pristine contents.
+  Workload& again = pool.acquire(k, n);
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(pool.builds(), 1u);
+  EXPECT_EQ(pool.resets(), 1u);
+  const Workload fresh = make_workload(k, n);
+  expect_workloads_bit_identical(again, fresh, k.name);
+  EXPECT_EQ(again.n, fresh.n);
+}
+
+TEST(WorkloadPoolTest, CopiesAreIndependentAndLruBounds) {
+  const KernelInfo* s000 = tsvc::find_kernel("s000");
+  const KernelInfo* vdotr = tsvc::find_kernel("vdotr");
+  ASSERT_NE(s000, nullptr);
+  ASSERT_NE(vdotr, nullptr);
+
+  WorkloadPool pool(/*max_entries=*/2);
+  Workload& a = pool.acquire(s000->build(), 256, 0x5eed, /*copy=*/0);
+  Workload& b = pool.acquire(s000->build(), 256, 0x5eed, /*copy=*/1);
+  EXPECT_NE(&a, &b);
+  expect_workloads_bit_identical(a, b, "copy 0 vs copy 1");
+  EXPECT_EQ(pool.entries(), 2u);
+
+  // A third key evicts the least-recently-used entry (copy 0).
+  (void)pool.acquire(vdotr->build(), 256);
+  EXPECT_EQ(pool.entries(), 2u);
+  EXPECT_EQ(pool.builds(), 3u);
+  // Re-acquiring the evicted key rebuilds instead of resetting.
+  (void)pool.acquire(s000->build(), 256, 0x5eed, /*copy=*/0);
+  EXPECT_EQ(pool.builds(), 4u);
+}
+
+TEST(ExecContextReuse, RepeatedAndInterleavedRunsAreDeterministic) {
+  // The engine reuses thread-local ExecContexts across kernels of different
+  // shapes; stale state from a previous bind must never leak into results.
+  const KernelInfo* s000 = tsvc::find_kernel("s000");
+  const KernelInfo* vdotr = tsvc::find_kernel("vdotr");
+  ASSERT_NE(s000, nullptr);
+  ASSERT_NE(vdotr, nullptr);
+  const ir::LoopKernel ka = s000->build();
+  const ir::LoopKernel kb = vdotr->build();
+
+  Workload base_a = make_workload(ka, 512);
+  const auto first_a = lowered_execute_scalar(ka, base_a);
+  Workload base_b = make_workload(kb, 512);
+  const auto first_b = lowered_execute_scalar(kb, base_b);
+
+  for (int round = 0; round < 3; ++round) {
+    Workload wa = make_workload(ka, 512);
+    const auto ra = lowered_execute_scalar(ka, wa);
+    expect_results_bit_identical(ra, first_a, ka.name);
+    expect_workloads_bit_identical(wa, base_a, ka.name);
+
+    Workload wb = make_workload(kb, 512);
+    const auto rb = lowered_execute_scalar(kb, wb);
+    expect_results_bit_identical(rb, first_b, kb.name);
+    expect_workloads_bit_identical(wb, base_b, kb.name);
+  }
+}
+
+TEST(LoweredEngine, BoundsViolationsStillThrow) {
+  // The lowered engine keeps the reference interpreter's checked loads and
+  // stores: machine_test relies on out-of-bounds access throwing.
+  ir::LoopKernel k;
+  {
+    using B = ir::LoopBuilder;
+    B b("oob", "test");
+    const int arr = b.array("a");
+    b.store(arr, B::at(1, /*offset=*/9999), b.load(arr, B::at(1)));
+    k = std::move(b).finish();
+  }
+  Workload wl = make_workload(k, 64);
+  EXPECT_THROW((void)lowered_execute_scalar(k, wl), Error);
+}
+
+}  // namespace
+}  // namespace veccost::machine

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Run the veccost performance benchmarks and emit BENCH_veccost.json.
+
+Collects three things into one machine-readable artifact:
+
+  * every google-benchmark timer from bench/micro_machine and bench/micro_fit
+    (name -> ns per operation, real time);
+  * the cold full-suite wall time of `veccost verify` (which executes every
+    TSVC kernel scalar + vectorized with --no-cache semantics) under both the
+    lowered engine and the reference interpreter, best of --repeats runs;
+  * enough metadata (git revision, host) to compare artifacts across runs.
+
+The artifact is informational, not gating: CI uploads it so regressions are
+visible in review, but nothing fails on a slow run. A baseline captured on
+the (noisy, 1-vCPU) development machine is committed at
+bench/BENCH_veccost.json; expect +-25% jitter on such hosts and compare
+trends, not single samples.
+
+Usage:
+  tools/run_benches.py [--build-dir build] [--out BENCH_veccost.json]
+                       [--min-time 0.1] [--repeats 3]
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+MICRO_BENCHES = ("bench/micro_machine", "bench/micro_fit")
+
+
+def run_google_benchmark(binary, min_time):
+    """Run one google-benchmark binary, return {name: ns_per_op}."""
+    cmd = [
+        binary,
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    report = json.loads(out.stdout)
+    results = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        # google-benchmark reports real_time in the unit it chose; normalize.
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        results[b["name"]] = b["real_time"] * scale
+    return results
+
+
+def time_cold_suite(veccost, env_extra, repeats):
+    """Best-of-N wall time (ms) of a cold `veccost verify` full-suite run."""
+    env = dict(os.environ)
+    env.update(env_extra)
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        subprocess.run([veccost, "verify"], check=True, env=env,
+                       capture_output=True)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        best = elapsed_ms if best is None else min(best, elapsed_ms)
+    return best
+
+
+def git_revision():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_veccost.json")
+    ap.add_argument("--min-time", default="0.1",
+                    help="google-benchmark --benchmark_min_time")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="cold-suite runs per executor (best is kept)")
+    args = ap.parse_args()
+
+    benchmarks = {}
+    for rel in MICRO_BENCHES:
+        binary = os.path.join(args.build_dir, rel)
+        if not os.path.exists(binary):
+            print(f"missing {binary} — build it first "
+                  f"(cmake --build {args.build_dir})", file=sys.stderr)
+            return 1
+        print(f"running {rel} ...", flush=True)
+        benchmarks.update(run_google_benchmark(binary, args.min_time))
+
+    veccost = os.path.join(args.build_dir, "tools", "veccost")
+    suite_cold_ms = {}
+    if os.path.exists(veccost):
+        print("timing cold full-suite verify (lowered engine) ...", flush=True)
+        suite_cold_ms["lowered"] = time_cold_suite(veccost, {}, args.repeats)
+        print("timing cold full-suite verify (reference interpreter) ...",
+              flush=True)
+        suite_cold_ms["reference"] = time_cold_suite(
+            veccost, {"VECCOST_REFERENCE_EXECUTOR": "1"}, args.repeats)
+    else:
+        print(f"missing {veccost} — skipping suite cold-run timing",
+              file=sys.stderr)
+
+    artifact = {
+        "schema": "veccost-bench-v1",
+        "git": git_revision(),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "processor": platform.processor(),
+        },
+        "benchmarks_ns_per_op": dict(sorted(benchmarks.items())),
+        "suite_cold_run_ms": suite_cold_ms,
+    }
+    with open(args.out, "w") as f:
+        json.dump(artifact, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(benchmarks)} timers, "
+          f"suite cold-run {suite_cold_ms or 'skipped'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

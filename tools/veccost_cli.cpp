@@ -4,6 +4,7 @@
 //   veccost targets                              list machine models
 //   veccost explore  <kernel|file> [target]      IR, features, legality, speedups
 //   veccost measure  [target]                    suite measurement table
+//   veccost verify   [target]                    engine semantics sweep
 //   veccost train    [target] [fitter] [set] [out-file]
 //   veccost advise   [target] [kernel...]        decisions vs oracle
 //   veccost select   <kernel> [target]           transform options + pick
@@ -48,6 +49,7 @@ usage:
   veccost targets
   veccost explore <kernel|file.vc> [target]
   veccost measure [target]
+  veccost verify  [target] [n]
   veccost train   [target] [l2|nnls|svr] [counts|rated|extended] [out-file]
   veccost advise  [target]
   veccost select  <kernel> [target]
@@ -170,6 +172,26 @@ int cmd_measure(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_verify(const std::vector<std::string>& args) {
+  const auto& target = target_arg(args, 2);
+  eval::RunnerOptions opts;
+  opts.use_cache = false;  // nothing to cache: validation is the point
+  opts.validate_semantics = true;
+  if (args.size() > 3) {
+    const long n = std::strtol(args[3].c_str(), nullptr, 10);
+    if (n <= 0) throw Error("verify expects a positive problem size, got '" +
+                            args[3] + "'");
+    opts.validation_n = n;
+  }
+  eval::ParallelRunner runner(opts);
+  (void)runner.measure_suite(target);
+  std::cout << "verified " << tsvc::suite().size() << " kernels, "
+            << runner.validated_configurations()
+            << " scalar/vector configurations on " << target.name
+            << ": all equivalent\n";
+  return 0;
+}
+
 int cmd_train(const std::vector<std::string>& args) {
   const auto& target = target_arg(args, 2);
   model::Fitter fitter = model::Fitter::NNLS;
@@ -264,6 +286,7 @@ int main(int argc, char** argv) {
     if (cmd == "targets") return cmd_targets();
     if (cmd == "explore") return cmd_explore(args);
     if (cmd == "measure") return cmd_measure(args);
+    if (cmd == "verify") return cmd_verify(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "advise") return cmd_advise(args);
     if (cmd == "select") return cmd_select(args);
