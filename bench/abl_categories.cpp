@@ -4,14 +4,14 @@
 #include <map>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "machine/targets.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace veccost;
   std::cout << "=== Ablation: per-category prediction error (Cortex-A57) ===\n\n";
-  const auto sm = eval::measure_suite_cached(machine::cortex_a57());
+  const auto sm = eval::Session(machine::cortex_a57()).measure().suite;
   const auto base = eval::experiment_baseline(sm);
   const auto fit = eval::experiment_fit_speedup(sm, model::Fitter::NNLS,
                                                 analysis::FeatureSet::Rated);

@@ -6,7 +6,7 @@
 
 #include "costmodel/trainer.hpp"
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "machine/targets.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -15,7 +15,7 @@ int main() {
   using namespace veccost;
   std::cout << "=== Ablation: cross-validation protocol (rated features, "
                "Cortex-A57) ===\n\n";
-  const auto sm = eval::measure_suite_cached(machine::cortex_a57());
+  const auto sm = eval::Session(machine::cortex_a57()).measure().suite;
   const Matrix x = sm.design_matrix(analysis::FeatureSet::Rated);
   const Vector y = sm.measured_speedups();
 

@@ -2,7 +2,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 
@@ -11,7 +11,7 @@ int main() {
   std::cout << "=== Ablation: fitters (L2 / NNLS / SVR), in-sample and "
                "LOOCV ===\n\n";
   for (const auto& target : machine::all_targets()) {
-    const auto sm = eval::measure_suite_cached(target);
+    const auto sm = eval::Session(target).measure().suite;
     std::vector<eval::ModelEval> evals{eval::experiment_baseline(sm)};
     for (const auto fitter :
          {model::Fitter::L2, model::Fitter::NNLS, model::Fitter::SVR}) {

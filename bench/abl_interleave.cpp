@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "machine/perf_model.hpp"
 #include "machine/targets.hpp"
@@ -41,7 +41,7 @@ int main() {
   std::cout << t.to_string() << '\n';
 
   for (const auto* target : {&grouped, &ungrouped}) {
-    const auto sm = eval::measure_suite_cached(*target);
+    const auto sm = eval::Session(*target).measure().suite;
     const auto base = eval::experiment_baseline(sm);
     const auto fit = eval::experiment_fit_speedup(sm, model::Fitter::NNLS,
                                                   analysis::FeatureSet::Rated);

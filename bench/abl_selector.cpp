@@ -10,7 +10,7 @@
 #include "costmodel/selector.hpp"
 #include "costmodel/trainer.hpp"
 #include "eval/measurement.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "machine/targets.hpp"
 #include "support/table.hpp"
 #include "tsvc/kernel.hpp"
@@ -20,7 +20,7 @@ int main() {
   std::cout << "=== Ablation: transform selection (scalar / LLV / SLP) ===\n\n";
 
   for (const auto& target : machine::all_targets()) {
-    const auto sm = eval::measure_suite_cached(target);
+    const auto sm = eval::Session(target).measure().suite;
     const auto fitted = model::fit_model(
         sm.design_matrix(analysis::FeatureSet::Rated), sm.measured_speedups(),
         model::Fitter::NNLS, analysis::FeatureSet::Rated);

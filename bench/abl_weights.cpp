@@ -8,7 +8,7 @@
 
 #include "costmodel/trainer.hpp"
 #include "eval/measurement.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "machine/targets.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -17,7 +17,7 @@ int main() {
   using namespace veccost;
   std::cout << "=== Ablation: weight stability across training folds "
                "(NNLS, rated, Cortex-A57) ===\n\n";
-  const auto sm = eval::measure_suite_cached(machine::cortex_a57());
+  const auto sm = eval::Session(machine::cortex_a57()).measure().suite;
   const auto set = analysis::FeatureSet::Rated;
   const Matrix x = sm.design_matrix(set);
   const Vector y = sm.measured_speedups();

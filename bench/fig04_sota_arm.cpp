@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 
@@ -14,7 +14,7 @@ int main() {
   using namespace veccost;
   std::cout << "=== Figure: slide 4 — state-of-the-art LLV cost model, "
                "Cortex-A57 (ARMv8) ===\n\n";
-  const auto sm = eval::measure_suite_cached(machine::cortex_a57());
+  const auto sm = eval::Session(machine::cortex_a57()).measure().suite;
   eval::print_suite_overview(std::cout, sm);
   std::cout << '\n';
   const auto base = eval::experiment_baseline(sm);

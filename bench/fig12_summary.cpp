@@ -4,7 +4,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 #include "support/table.hpp"
@@ -12,7 +12,7 @@
 int main() {
   using namespace veccost;
   std::cout << "=== Figure: slide 12 — conclusion summary, Cortex-A57 ===\n\n";
-  const auto sm = eval::measure_suite_cached(machine::cortex_a57());
+  const auto sm = eval::Session(machine::cortex_a57()).measure().suite;
   const auto rows = eval::experiment_summary(sm);
 
   TextTable t({"model", "pearson", "FP", "FN", "exec Mcycles", "oracle eff."});

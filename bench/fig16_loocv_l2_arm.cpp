@@ -3,14 +3,14 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 
 int main() {
   using namespace veccost;
   std::cout << "=== Figure: slide 16 — LOOCV with L2, Cortex-A57 ===\n\n";
-  const auto sm = eval::measure_suite_cached(machine::cortex_a57());
+  const auto sm = eval::Session(machine::cortex_a57()).measure().suite;
   const auto in_sample = eval::experiment_fit_speedup(
       sm, model::Fitter::L2, analysis::FeatureSet::Rated, /*loocv=*/false);
   const auto loocv = eval::experiment_fit_speedup(

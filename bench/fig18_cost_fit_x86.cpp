@@ -4,7 +4,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 
@@ -12,7 +12,7 @@ int main() {
   using namespace veccost;
   std::cout << "=== Figure: slides 17-18 — baseline + fitted-for-cost, "
                "Xeon E5 AVX2 ===\n\n";
-  const auto sm = eval::measure_suite_cached(machine::xeon_e5_avx2());
+  const auto sm = eval::Session(machine::xeon_e5_avx2()).measure().suite;
   eval::print_suite_overview(std::cout, sm);
   std::cout << '\n';
   const auto base = eval::experiment_baseline(sm);

@@ -4,7 +4,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 
@@ -12,7 +12,7 @@ int main() {
   using namespace veccost;
   std::cout << "=== Figure: slide 19 — fitted for speedup (L2, NNLS, SVR), "
                "Xeon E5 AVX2 ===\n\n";
-  const auto sm = eval::measure_suite_cached(machine::xeon_e5_avx2());
+  const auto sm = eval::Session(machine::xeon_e5_avx2()).measure().suite;
   const auto base = eval::experiment_baseline(sm);
   const auto l2 = eval::experiment_fit_speedup(sm, model::Fitter::L2,
                                                analysis::FeatureSet::Counts);

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "machine/targets.hpp"
 #include "support/table.hpp"
 
@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   try {
     const std::string target_name = argc > 1 ? argv[1] : "cortex-a57";
     const auto& target = machine::target_by_name(target_name);
-    const auto sm = eval::measure_suite_cached(target);
+    const auto sm = eval::Session(target).measure().suite;
     const auto baseline = eval::experiment_baseline(sm);
     const auto fitted = eval::experiment_fit_speedup(
         sm, model::Fitter::NNLS, analysis::FeatureSet::Extended,

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 
@@ -56,7 +56,7 @@ int main() {
   const auto target = little_core();
   std::cout << "measuring the TSVC suite on custom target '" << target.name
             << "'...\n\n";
-  const auto sm = eval::measure_suite_cached(target);
+  const auto sm = eval::Session(target).measure().suite;
   eval::print_suite_overview(std::cout, sm);
   std::cout << '\n';
 

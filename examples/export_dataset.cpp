@@ -7,7 +7,7 @@
 #include <string>
 
 #include "eval/measurement.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "machine/targets.hpp"
 #include "support/csv.hpp"
 
@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     else if (set_name != "counts") throw Error("unknown feature set " + set_name);
 
     const auto sm =
-        eval::measure_suite_cached(machine::target_by_name(target_name));
+        eval::Session(machine::target_by_name(target_name)).measure().suite;
 
     CsvWriter csv(std::cout);
     std::vector<std::string> header = {"kernel",         "category",

@@ -7,7 +7,7 @@
 #include <string>
 
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "fit/model_io.hpp"
 #include "machine/targets.hpp"
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
 
     const auto& target = machine::target_by_name(target_name);
     std::cout << "measuring the TSVC suite on " << target.name << "...\n";
-    const auto sm = eval::measure_suite_cached(target);
+    const auto sm = eval::Session(target).measure().suite;
     std::cout << "dataset: " << sm.dataset_indices().size()
               << " vectorizable kernels of " << sm.kernels.size() << "\n\n";
 

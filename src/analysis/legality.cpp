@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace veccost::analysis {
@@ -19,6 +20,8 @@ std::string Legality::reasons_string() const {
 
 Legality check_legality(const LoopKernel& kernel, const LegalityOptions& opts) {
   VECCOST_ASSERT(kernel.vf == 1, "legality expects a scalar kernel");
+  VECCOST_SPAN("legality.check_ns");
+  VECCOST_COUNTER_ADD("legality.checks", 1);
   Legality result;
   result.deps = analyze_dependences(kernel);
   result.phi_infos = classify_phis(kernel);
@@ -97,6 +100,7 @@ Legality check_legality(const LoopKernel& kernel, const LegalityOptions& opts) {
 
   result.vectorizable = legal;
   result.max_vf = legal ? max_vf : 1;
+  if (!legal) VECCOST_COUNTER_ADD("legality.rejects", 1);
   return result;
 }
 

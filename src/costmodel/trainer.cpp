@@ -4,6 +4,7 @@
 #include "fit/nnls.hpp"
 #include "fit/scaler.hpp"
 #include "fit/svr.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -24,6 +25,8 @@ LinearSpeedupModel fit_model(const Matrix& x, const Vector& y, Fitter fitter,
   VECCOST_ASSERT(x.rows() == y.size() && x.rows() > 0, "empty training data");
   VECCOST_ASSERT(x.cols() == analysis::feature_names(set).size(),
                  "design matrix does not match feature set");
+  VECCOST_SPAN("trainer.fit_ns");
+  VECCOST_COUNTER_ADD("trainer.fits", 1);
 
   switch (fitter) {
     case Fitter::L2: {
@@ -69,6 +72,7 @@ Vector kfold_predictions(const Matrix& x, const Vector& y, Fitter fitter,
   parallel_for(
       k,
       [&](std::size_t fold) {
+        VECCOST_SPAN("trainer.fold_fit_ns");
         // Preallocate the fold's training matrix: the row count is known, so
         // no push_row growth/reallocation inside the loop.
         std::size_t test_rows = 0;
@@ -100,8 +104,10 @@ Vector loocv_predictions(const Matrix& x, const Vector& y, Fitter fitter,
     // Ridge has a closed form: one QR serves all m leave-one-out fits
     // (tests/costmodel_test.cpp asserts agreement with the refit path to
     // 1e-9). Serial, so trivially identical for every jobs value.
+    VECCOST_COUNTER_ADD("trainer.loocv_qr_path", 1);
     return fit::loocv_ridge_predictions(x, y, opts.l2_lambda);
   }
+  VECCOST_COUNTER_ADD("trainer.loocv_refit_path", 1);
   Vector predictions(x.rows(), 0.0);
   parallel_for(
       x.rows(),

@@ -7,6 +7,7 @@
 #include "machine/executor.hpp"
 #include "machine/perf_model.hpp"
 #include "machine/workload_pool.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "tsvc/kernel.hpp"
 #include "tsvc/workload.hpp"
@@ -105,6 +106,8 @@ Vector SuiteMeasurement::speedup_from_cost_predictions(const Vector& cost_pred) 
 KernelMeasurement measure_kernel(const tsvc::KernelInfo& info,
                                  const machine::TargetDesc& target,
                                  double noise) {
+  VECCOST_SPAN("measure.kernel_ns");
+  VECCOST_COUNTER_ADD("measure.kernels", 1);
   const ir::LoopKernel scalar = info.build();
   KernelMeasurement m;
   m.name = info.name;
@@ -149,6 +152,7 @@ SemanticsCheck validate_kernel_semantics(const tsvc::KernelInfo& info,
                                          const machine::TargetDesc& target,
                                          machine::WorkloadPool& pool,
                                          std::int64_t n) {
+  VECCOST_SPAN("measure.validate_kernel_ns");
   const ir::LoopKernel scalar = info.build();
   if (n <= 0) n = scalar.default_n;
   SemanticsCheck check;

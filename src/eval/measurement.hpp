@@ -91,18 +91,18 @@ struct SemanticsCheck {
 /// within 1e-2 relative tolerance. Throws veccost::Error on divergence.
 /// `n` == 0 uses the kernel's default problem size. This is the functional
 /// half of the measurement path — measure_kernel itself is analytic — and is
-/// what `veccost verify` / RunnerOptions::validate_semantics fan out.
+/// what `veccost verify` / SuiteRequest::validate_semantics fan out.
 SemanticsCheck validate_kernel_semantics(const tsvc::KernelInfo& info,
                                          const machine::TargetDesc& target,
                                          machine::WorkloadPool& pool,
                                          std::int64_t n = 0);
 
-/// Measure the whole suite on `target`, serially, in suite order.
-/// Deterministic. `noise` sets the relative amplitude of the simulated
-/// measurement jitter (see the noise ablation bench for why this matters to
-/// the cost-vs-speedup fit). The parallel counterpart is
-/// eval::ParallelRunner (parallel_runner.hpp), which produces bit-identical
-/// results.
+/// Deprecated pre-Session entry point: measure the whole suite on `target`,
+/// serially, in suite order, with no cache. Deterministic, and bit-identical
+/// to eval::Session::measure (session.hpp) at any jobs count — the
+/// differential tests keep it around as an independent serial reference.
+/// `noise` sets the relative amplitude of the simulated measurement jitter.
+[[deprecated("use eval::Session(target).measure(...)")]]
 [[nodiscard]] SuiteMeasurement measure_suite(
     const machine::TargetDesc& target, double noise = machine::kDefaultNoise);
 

@@ -8,7 +8,9 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/csv.hpp"
+#include "support/env_flags.hpp"
 #include "support/rng.hpp"
 
 namespace veccost::eval {
@@ -100,9 +102,8 @@ MeasurementCache::MeasurementCache(std::string dir) : dir_(std::move(dir)) {
 }
 
 std::string MeasurementCache::default_dir() {
-  if (const char* env = std::getenv("VECCOST_CACHE_DIR"); env && *env)
-    return env;
-  return "results/cache";
+  const std::string env = support::EnvFlags::value("VECCOST_CACHE_DIR");
+  return env.empty() ? "results/cache" : env;
 }
 
 std::uint64_t MeasurementCache::config_hash(const machine::TargetDesc& t,
@@ -171,14 +172,24 @@ std::map<std::string, KernelMeasurement> MeasurementCache::load(
     in.open(file_path(target, noise, pipeline_version));
   }
   if (!in) return out;
+  VECCOST_COUNTER_ADD("cache.file_loads", 1);
   CsvReader reader(in);
   std::vector<std::string> cells;
-  if (!reader.read_row(cells) || cells != kHeader) return out;  // stale schema
+  if (!reader.read_row(cells) || cells != kHeader) {  // stale schema
+    VECCOST_COUNTER_ADD("cache.stale_files", 1);
+    return out;
+  }
   while (reader.read_row(cells)) {
-    if (cells.size() != kHeader.size()) continue;  // truncated row
+    if (cells.size() != kHeader.size()) {  // truncated row
+      VECCOST_COUNTER_ADD("cache.stale_rows", 1);
+      continue;
+    }
     KernelMeasurement m;
     m.name = cells[1];
-    if (cells[0] != hex64(kernel_key(config, m.name))) continue;  // stale key
+    if (cells[0] != hex64(kernel_key(config, m.name))) {  // stale key
+      VECCOST_COUNTER_ADD("cache.stale_rows", 1);
+      continue;
+    }
     m.category = cells[2];
     m.vectorizable = cells[3] == "1";
     m.reject_reason = cells[4];
@@ -202,6 +213,7 @@ bool MeasurementCache::store(const SuiteMeasurement& sm,
                              std::uint64_t pipeline_version) const {
   const std::uint64_t config = config_hash(target, noise, pipeline_version);
   const std::string path = file_path(target, noise, pipeline_version);
+  VECCOST_COUNTER_ADD("cache.file_stores", 1);
   std::lock_guard<std::mutex> lock(io_mutex_);
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
@@ -234,8 +246,7 @@ bool MeasurementCache::store(const SuiteMeasurement& sm,
 
 bool measurement_cache_enabled() {
   if (!g_cache_env_checked.exchange(true)) {
-    if (const char* env = std::getenv("VECCOST_NO_CACHE");
-        env && *env && std::string_view(env) != "0")
+    if (support::EnvFlags::enabled("VECCOST_NO_CACHE", false))
       g_cache_enabled.store(false);
   }
   return g_cache_enabled.load();

@@ -1,0 +1,90 @@
+#include "eval/session.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "machine/workload_pool.hpp"
+#include "obs/metrics.hpp"
+#include "support/thread_pool.hpp"
+#include "tsvc/kernel.hpp"
+
+namespace veccost::eval {
+
+SessionOptions SessionOptions::from_environment() {
+  SessionOptions opts;
+  opts.use_cache = measurement_cache_enabled();
+  return opts;
+}
+
+Session::Session(const machine::TargetDesc& target, SessionOptions opts)
+    : target_(target), opts_(std::move(opts)), cache_(opts_.cache_dir) {}
+
+obs::Registry& Session::metrics() const { return obs::Registry::global(); }
+
+SuiteResult Session::measure(const SuiteRequest& request) const {
+  VECCOST_SPAN("session.measure_ns");
+  VECCOST_COUNTER_ADD("session.measurements", 1);
+  const auto& suite = tsvc::suite();
+  SuiteResult result;
+  result.suite.target_name = target_.name;
+  result.suite.kernels.resize(suite.size());
+
+  std::map<std::string, KernelMeasurement> cached;
+  if (opts_.use_cache)
+    cached = cache_.load(target_, request.noise, opts_.pipeline_version);
+
+  // Partition into cache hits (moved straight into their slot) and misses
+  // (measured below, each writing only its own slot).
+  std::vector<std::size_t> to_measure;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    if (auto it = cached.find(suite[i].name); it != cached.end())
+      result.suite.kernels[i] = std::move(it->second);
+    else
+      to_measure.push_back(i);
+  }
+  result.cache_hits = suite.size() - to_measure.size();
+  result.cache_misses = to_measure.size();
+  VECCOST_COUNTER_ADD("cache.kernel_hits", result.cache_hits);
+  VECCOST_COUNTER_ADD("cache.kernel_misses", result.cache_misses);
+
+  parallel_for(
+      to_measure.size(),
+      [&](std::size_t j) {
+        const std::size_t i = to_measure[j];
+        result.suite.kernels[i] =
+            measure_kernel(suite[i], target_, request.noise);
+      },
+      opts_.jobs);
+
+  if (opts_.use_cache && !to_measure.empty())
+    cache_.store(result.suite, target_, request.noise,
+                 opts_.pipeline_version);
+
+  if (request.validate_semantics) {
+    VECCOST_SPAN("session.validate_ns");
+    // Full-suite semantics sweep: every kernel, scalar vs. every distinct
+    // vectorization, on per-thread workload pools. Throws on divergence.
+    std::vector<int> configs(suite.size(), 0);
+    parallel_for(
+        suite.size(),
+        [&](std::size_t i) {
+          configs[i] = validate_kernel_semantics(
+                           suite[i], target_,
+                           machine::WorkloadPool::thread_local_pool(),
+                           request.validation_n)
+                           .configurations;
+        },
+        opts_.jobs);
+    for (const int c : configs)
+      result.validated_configurations += static_cast<std::size_t>(c);
+  }
+  return result;
+}
+
+SuiteMeasurement measure_suite_cached(const machine::TargetDesc& target,
+                                      double noise) {
+  return Session(target).measure({.noise = noise}).suite;
+}
+
+}  // namespace veccost::eval

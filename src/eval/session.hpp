@@ -1,0 +1,117 @@
+// eval::Session — the one measurement entry point.
+//
+// A Session owns everything one measurement campaign needs: the target, the
+// resolved options (jobs, cache policy, pipeline version), the measurement
+// cache handle, and access to the observability registry. It replaces the
+// three overlapping entry points that grew up around the pipeline
+// (eval::measure_suite, ParallelRunner::measure_suite and
+// measure_suite_cached); the first two survive only as thin deprecated
+// wrappers below / in measurement.hpp.
+//
+// Ownership rule for statistics: everything a measure() call learns about
+// itself — cache hits/misses, semantics configurations validated — travels
+// in its SuiteResult, never in Session state. That makes measure() const and
+// safe to call concurrently from any number of threads on one Session (the
+// old ParallelRunner kept the counters as members, so two concurrent
+// measure_suite calls silently clobbered each other's stats). Process-wide
+// aggregates of the same events land in the obs registry.
+//
+// Determinism contract (unchanged from the ParallelRunner): results are
+// keyed by kernel index and merged in suite order, so measure() is
+// bit-identical for every jobs value; tests/session_test.cpp
+// (`ctest -L parallel`) enforces this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "eval/measurement.hpp"
+#include "eval/measurement_cache.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::obs {
+class Registry;
+}  // namespace veccost::obs
+
+namespace veccost::eval {
+
+/// What one Session::measure call should do.
+struct SuiteRequest {
+  /// Relative amplitude of the simulated measurement jitter.
+  double noise = machine::kDefaultNoise;
+  /// Also run validate_kernel_semantics over the whole suite (scalar vs.
+  /// every distinct vectorization, pooled workloads). Off by default:
+  /// measure_kernel is analytic, so validation changes no measured number —
+  /// it is a correctness sweep of the execution engine.
+  bool validate_semantics = false;
+  /// Problem size for semantics validation; 0 = each kernel's default_n.
+  /// The default keeps a full-suite sweep cheap while still exercising
+  /// remainder loops at every VF.
+  std::int64_t validation_n = 4096;
+};
+
+/// One measure() call's outcome: the suite measurement plus the call's own
+/// statistics (see the ownership rule in the file comment).
+struct SuiteResult {
+  SuiteMeasurement suite;
+  /// Kernels served from the measurement cache / actually re-measured
+  /// (hits + misses == suite size).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Scalar/vector configurations executed by the semantics sweep (0 unless
+  /// SuiteRequest::validate_semantics).
+  std::size_t validated_configurations = 0;
+};
+
+/// How a Session runs. Construction-time only; one Session = one policy.
+struct SessionOptions {
+  /// Concurrent measurement jobs; 0 = default_parallelism() (--jobs /
+  /// VECCOST_JOBS / hardware threads).
+  std::size_t jobs = 0;
+  /// Consult and refresh the measurement cache.
+  bool use_cache = true;
+  /// Cache directory; empty = MeasurementCache::default_dir().
+  std::string cache_dir;
+  /// Cache key ingredient; tests override it to simulate pipeline changes.
+  std::uint64_t pipeline_version = kPipelineVersion;
+
+  /// The defaults every CLI/bench/example driver wants: cache honoring
+  /// --no-cache / VECCOST_NO_CACHE, auto parallelism.
+  [[nodiscard]] static SessionOptions from_environment();
+};
+
+class Session {
+ public:
+  /// The Session keeps its own copy of `target` (the machine:: factories
+  /// return descriptors by value, so holding a reference would dangle).
+  explicit Session(const machine::TargetDesc& target,
+                   SessionOptions opts = SessionOptions::from_environment());
+
+  /// Measure the whole suite: cached kernels are reused, the rest are
+  /// measured in parallel, and the merged result (suite order) is written
+  /// back to the cache when anything was re-measured. Thread-safe: const,
+  /// with all per-call state in the returned SuiteResult.
+  [[nodiscard]] SuiteResult measure(const SuiteRequest& request = {}) const;
+
+  [[nodiscard]] const machine::TargetDesc& target() const { return target_; }
+  [[nodiscard]] const SessionOptions& options() const { return opts_; }
+  /// The observability registry this Session records into (the process-wide
+  /// one; exposed here so callers can snapshot/export without reaching for
+  /// the obs globals directly).
+  [[nodiscard]] obs::Registry& metrics() const;
+
+ private:
+  machine::TargetDesc target_;
+  SessionOptions opts_;
+  MeasurementCache cache_;
+};
+
+/// Deprecated pre-Session entry point: one cached, parallel suite
+/// measurement on an environment-default Session, discarding the per-call
+/// statistics.
+[[deprecated("use eval::Session(target).measure(...)")]]
+[[nodiscard]] SuiteMeasurement measure_suite_cached(
+    const machine::TargetDesc& target, double noise = machine::kDefaultNoise);
+
+}  // namespace veccost::eval

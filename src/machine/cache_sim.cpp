@@ -5,6 +5,7 @@
 #include "machine/exec_engine.hpp"
 #include "machine/executor.hpp"
 #include "machine/workload_pool.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace veccost::machine {
@@ -59,6 +60,7 @@ bool Cache::access(std::uint64_t address) {
     }
     if (set[w].last_use < victim->last_use) victim = set + w;
   }
+  if (victim->valid) ++evictions_;
   victim->valid = true;
   victim->tag = tag;
   victim->last_use = clock_;
@@ -177,6 +179,15 @@ CacheSimResult simulate_cache(const ir::LoopKernel& kernel,
       (void)lowered_execute_scalar_with(kernel, wl, tracer);
     }
   }
+  // Registry totals once per simulation (never per access — the tracer is
+  // the engine's per-op hot path).
+  VECCOST_COUNTER_ADD("cachesim.runs", 1);
+  VECCOST_COUNTER_ADD("cachesim.l1_hits", l1.hits());
+  VECCOST_COUNTER_ADD("cachesim.l1_misses", l1.misses());
+  VECCOST_COUNTER_ADD("cachesim.l1_evictions", l1.evictions());
+  VECCOST_COUNTER_ADD("cachesim.l2_hits", l2.hits());
+  VECCOST_COUNTER_ADD("cachesim.l2_misses", l2.misses());
+  VECCOST_COUNTER_ADD("cachesim.l2_evictions", l2.evictions());
   return result;
 }
 

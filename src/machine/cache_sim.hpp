@@ -39,6 +39,8 @@ class Cache {
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  /// Misses that displaced a valid line (as opposed to filling an empty way).
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
   [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
 
  private:
@@ -56,6 +58,7 @@ class Cache {
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// Two-level hierarchy fed by a kernel's memory trace.

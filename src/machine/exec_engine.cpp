@@ -2,13 +2,20 @@
 
 #include <array>
 
+#include "obs/metrics.hpp"
+
 namespace veccost::machine {
 
 void ExecContext::bind(const LoweredProgram& prog, Workload& wl) {
   VECCOST_ASSERT(wl.arrays.size() == prog.num_arrays,
                  "workload/array mismatch for " + prog.name);
+  VECCOST_COUNTER_ADD("engine.context_binds", 1);
   // assign() keeps capacity: repeated binds of same-or-smaller programs are
   // allocation-free.
+  const std::size_t needed = static_cast<std::size_t>(prog.num_values) *
+                             static_cast<std::size_t>(prog.lanes);
+  if (slots.capacity() >= needed)
+    VECCOST_COUNTER_ADD("engine.context_reuses", 1);
   slots.assign(static_cast<std::size_t>(prog.num_values) *
                    static_cast<std::size_t>(prog.lanes),
                0.0);
@@ -42,6 +49,8 @@ ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {
     // order would permute the memory trace.
     const LoweredProgram probe = lower(kernel, 1);
     if (probe.strip_ok && iters >= kStripWidth) {
+      VECCOST_COUNTER_ADD("engine.scalar_executions", 1);
+      VECCOST_COUNTER_ADD("engine.strip_runs", 1);
       const LoweredProgram prog = lower(kernel, kStripWidth);
       LoweredEngine<0, NoTrace> engine(prog, wl, thread_exec_context(0));
       ExecResult result;
@@ -58,6 +67,8 @@ ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {
       return result;
     }
   }
+  VECCOST_COUNTER_ADD("engine.scalar_executions", 1);
+  VECCOST_COUNTER_ADD("engine.lane_serial_fallbacks", 1);
   return lowered_execute_scalar_with(kernel, wl, NoTrace{});
 }
 
@@ -71,6 +82,7 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
                                       const ir::LoopKernel& scalar,
                                       Workload& wl) {
   VECCOST_ASSERT(vec.vf > 1, "execute_vectorized needs a widened kernel");
+  VECCOST_COUNTER_ADD("engine.vector_executions", 1);
   VECCOST_ASSERT(!vec.has_break() && !scalar.has_break(),
                  "cannot vectorize a loop with break");
   const std::int64_t iters = scalar.trip.iterations(wl.n);

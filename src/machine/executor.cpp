@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "machine/exec_engine.hpp"
+#include "support/env_flags.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -386,10 +387,9 @@ ExecResult execute_scalar_impl(const ir::LoopKernel& kernel, Workload& wl,
 }
 
 ExecutorKind initial_executor_kind() {
-  const char* env = std::getenv("VECCOST_REFERENCE_EXECUTOR");
-  if (env != nullptr && env[0] != '\0' && env[0] != '0')
-    return ExecutorKind::Reference;
-  return ExecutorKind::Lowered;
+  return support::EnvFlags::enabled("VECCOST_REFERENCE_EXECUTOR", false)
+             ? ExecutorKind::Reference
+             : ExecutorKind::Lowered;
 }
 
 std::atomic<ExecutorKind> g_executor_kind{initial_executor_kind()};

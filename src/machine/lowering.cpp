@@ -1,5 +1,6 @@
 #include "machine/lowering.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace veccost::machine {
@@ -107,6 +108,8 @@ void plan_strips(const LoopKernel& kernel,
 
 LoweredProgram lower(const LoopKernel& kernel, int lanes) {
   VECCOST_ASSERT(lanes >= 1, "lowering needs at least one lane");
+  VECCOST_SPAN("lowering.lower_ns");
+  VECCOST_COUNTER_ADD("lowering.programs", 1);
   LoweredProgram p;
   p.name = kernel.name;
   p.lanes = lanes;

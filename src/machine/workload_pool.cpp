@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace veccost::machine {
@@ -38,10 +39,12 @@ Workload& WorkloadPool::acquire(const ir::LoopKernel& kernel, std::int64_t n,
                 e.working.arrays[a].begin());
     }
     ++resets_;
+    VECCOST_COUNTER_ADD("pool.resets", 1);
     return e.working;
   }
 
   ++builds_;
+  VECCOST_COUNTER_ADD("pool.builds", 1);
   Entry e;
   e.key = std::move(key);
   e.pristine = make_workload(kernel, n, seed);

@@ -9,7 +9,7 @@
 //
 // The pool is NOT thread-safe; concurrent users take `thread_local_pool()`,
 // which is how measure-path validation fans out (one pool per worker, see
-// eval/parallel_runner.cpp).
+// eval/session.cpp).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,247 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace veccost::obs {
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const Snapshot& snapshot) {
+  os << "{\n  \"schema\": \"" << kMetricsSchema << "\",\n";
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "\n" : ",\n") << "    ";
+    write_escaped(os, name);
+    os << ": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : snapshot.gauges) {
+    os << (first ? "\n" : ",\n") << "    ";
+    write_escaped(os, name);
+    os << ": {\"value\": " << g.value << ", \"max\": " << g.max << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << (first ? "\n" : ",\n") << "    ";
+    write_escaped(os, name);
+    os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"buckets\": {";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) os << ", ";
+      os << '"' << b << "\": " << h.buckets[b];
+      first_bucket = false;
+    }
+    os << "}}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string metrics_json(const Snapshot& snapshot) {
+  std::ostringstream os;
+  write_metrics_json(os, snapshot);
+  return os.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for the subset of JSON that
+/// write_metrics_json emits: objects, string keys, and integers.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    VECCOST_ASSERT(pos_ < text_.size() && text_[pos_] == c,
+                   std::string("metrics JSON: expected '") + c + "' at offset " +
+                       std::to_string(pos_));
+    ++pos_;
+  }
+
+  [[nodiscard]] bool accept(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  [[nodiscard]] std::int64_t integer() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    VECCOST_ASSERT(pos_ > start, "metrics JSON: expected an integer at offset " +
+                                     std::to_string(start));
+    return std::strtoll(text_.substr(start, pos_ - start).c_str(), nullptr, 10);
+  }
+
+  /// Iterate over the members of an object: call `member(key)` after
+  /// positioning the cursor at the value.
+  template <class Fn>
+  void object(Fn&& member) {
+    expect('{');
+    if (accept('}')) return;
+    do {
+      std::string key = string();
+      expect(':');
+      member(key);
+    } while (accept(','));
+    expect('}');
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Snapshot snapshot_from_json(const std::string& json) {
+  Snapshot snap;
+  JsonParser p(json);
+  p.object([&](const std::string& section) {
+    if (section == "schema") {
+      const std::string schema = p.string();
+      VECCOST_ASSERT(schema == kMetricsSchema,
+                     "metrics JSON: unknown schema '" + schema + "'");
+    } else if (section == "counters") {
+      p.object([&](const std::string& name) {
+        snap.counters[name] = static_cast<std::uint64_t>(p.integer());
+      });
+    } else if (section == "gauges") {
+      p.object([&](const std::string& name) {
+        GaugeSnapshot g;
+        p.object([&](const std::string& field) {
+          if (field == "value") g.value = p.integer();
+          else if (field == "max") g.max = p.integer();
+          else VECCOST_FAIL("metrics JSON: unknown gauge field '" + field + "'");
+        });
+        snap.gauges[name] = g;
+      });
+    } else if (section == "histograms") {
+      p.object([&](const std::string& name) {
+        HistogramSnapshot h;
+        p.object([&](const std::string& field) {
+          if (field == "count") {
+            h.count = static_cast<std::uint64_t>(p.integer());
+          } else if (field == "sum") {
+            h.sum = static_cast<std::uint64_t>(p.integer());
+          } else if (field == "buckets") {
+            p.object([&](const std::string& bucket) {
+              const std::size_t b = static_cast<std::size_t>(
+                  std::strtoull(bucket.c_str(), nullptr, 10));
+              VECCOST_ASSERT(b < kHistogramBuckets,
+                             "metrics JSON: bucket index out of range");
+              h.buckets[b] = static_cast<std::uint64_t>(p.integer());
+            });
+          } else {
+            VECCOST_FAIL("metrics JSON: unknown histogram field '" + field +
+                         "'");
+          }
+        });
+        snap.histograms[name] = h;
+      });
+    } else {
+      VECCOST_FAIL("metrics JSON: unknown section '" + section + "'");
+    }
+  });
+  return snap;
+}
+
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "\n" : ",\n") << "  {\"name\": ";
+    write_escaped(os, e.name != nullptr ? e.name : "?");
+    // chrome://tracing wants microseconds; keep sub-us precision as decimals.
+    os << ", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << static_cast<double>(e.start_ns) / 1e3
+       << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1e3
+       << ", \"args\": {\"depth\": " << e.depth << "}}";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "]}\n";
+}
+
+std::string metrics_table(const Snapshot& snapshot) {
+  std::ostringstream os;
+  if (!snapshot.counters.empty()) {
+    TextTable t({"counter", "value"});
+    for (const auto& [name, value] : snapshot.counters)
+      t.add_row({name, std::to_string(value)});
+    os << t.to_string();
+  }
+  if (!snapshot.gauges.empty()) {
+    TextTable t({"gauge", "value", "max"});
+    for (const auto& [name, g] : snapshot.gauges)
+      t.add_row({name, std::to_string(g.value), std::to_string(g.max)});
+    os << '\n' << t.to_string();
+  }
+  if (!snapshot.histograms.empty()) {
+    TextTable t({"histogram (ns)", "count", "mean", "p50 <=", "p99 <="});
+    for (const auto& [name, h] : snapshot.histograms)
+      t.add_row({name, std::to_string(h.count), TextTable::num(h.mean(), 0),
+                 std::to_string(h.quantile_bound(0.5)),
+                 std::to_string(h.quantile_bound(0.99))});
+    os << '\n' << t.to_string();
+  }
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty())
+    os << "(no metrics recorded"
+       << (VECCOST_METRICS ? "" : " — built with VECCOST_METRICS=0") << ")\n";
+  return os.str();
+}
+
+}  // namespace veccost::obs

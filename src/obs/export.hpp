@@ -1,0 +1,38 @@
+// Exporters for the metrics registry: deterministic JSON (round-trippable
+// through snapshot_from_json — the `veccost stats --json` golden test pins
+// the format), a Chrome `chrome://tracing` / Perfetto trace-event file, and
+// the human-readable table behind `veccost stats`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace veccost::obs {
+
+/// Schema tag stamped into every metrics JSON document.
+inline constexpr const char* kMetricsSchema = "veccost-metrics-v1";
+
+/// Serialize a snapshot as JSON. Deterministic: instruments sort by name,
+/// histogram buckets emit sparsely as {"bucket_index": count}.
+void write_metrics_json(std::ostream& os, const Snapshot& snapshot);
+[[nodiscard]] std::string metrics_json(const Snapshot& snapshot);
+
+/// Inverse of write_metrics_json, for tooling that diffs two runs (and the
+/// round-trip test). Throws veccost::Error on malformed input or a schema
+/// mismatch.
+[[nodiscard]] Snapshot snapshot_from_json(const std::string& json);
+
+/// Chrome trace-event JSON ("X" complete events, microsecond timestamps):
+/// load in chrome://tracing or https://ui.perfetto.dev. One row per shard
+/// (= per thread); span nesting renders from the event timings.
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// Fixed-width table of every instrument, grouped counters first, for
+/// `veccost stats`. Histogram rows show count, mean and log2-bucket p50/p99
+/// upper bounds (span histograms are nanoseconds).
+[[nodiscard]] std::string metrics_table(const Snapshot& snapshot);
+
+}  // namespace veccost::obs

@@ -1,0 +1,232 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/env_flags.hpp"
+#include "support/error.hpp"
+
+namespace veccost::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - process_epoch())
+          .count());
+}
+
+std::uint64_t HistogramSnapshot::quantile_bound(double q) const {
+  if (count == 0) return 0;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= rank && buckets[b] > 0)
+      return histogram_bucket_lo(b) * 2 - 1;
+  }
+  return histogram_bucket_lo(kHistogramBuckets - 1) * 2 - 1;
+}
+
+Registry::Registry() : id_(next_registry_id()) {
+  (void)process_epoch();  // pin the epoch no later than first registry
+  enabled_.store(support::EnvFlags::enabled("VECCOST_METRICS", true),
+                 std::memory_order_relaxed);
+}
+
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+std::size_t Registry::intern(std::vector<std::string>& names,
+                             std::string_view name, std::size_t limit,
+                             const char* kind) {
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return i;
+  VECCOST_ASSERT(names.size() < limit,
+                 std::string("metrics registry out of ") + kind + " slots");
+  names.emplace_back(name);
+  return names.size() - 1;
+}
+
+std::size_t Registry::counter_id(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return intern(counter_names_, name, kMaxCounters, "counter");
+}
+
+std::size_t Registry::gauge_id(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return intern(gauge_names_, name, kMaxGauges, "gauge");
+}
+
+std::size_t Registry::histogram_id(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return intern(histogram_names_, name, kMaxHistograms, "histogram");
+}
+
+Registry::Shard& Registry::local_shard() {
+  // Keyed by process-unique registry id, so an entry for a destroyed
+  // registry can never be confused with a new registry at the same address.
+  struct TlsEntry {
+    std::uint64_t registry_id;
+    Shard* shard;
+  };
+  thread_local std::vector<TlsEntry> tls;
+  for (const TlsEntry& e : tls)
+    if (e.registry_id == id_) return *e.shard;
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shard->tid = static_cast<std::uint32_t>(shards_.size());
+    shards_.push_back(std::move(owned));
+  }
+  tls.push_back({id_, shard});
+  return *shard;
+}
+
+void Registry::add(std::size_t counter, std::uint64_t delta) {
+  if (!enabled()) return;
+  local_shard().counters[counter].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::gauge_set(std::size_t gauge, std::int64_t value) {
+  if (!enabled()) return;
+  Gauge& g = gauges_[gauge];
+  g.value.store(value, std::memory_order_relaxed);
+  std::int64_t max = g.max.load(std::memory_order_relaxed);
+  while (value > max &&
+         !g.max.compare_exchange_weak(max, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Registry::gauge_add(std::size_t gauge, std::int64_t delta) {
+  if (!enabled()) return;
+  Gauge& g = gauges_[gauge];
+  const std::int64_t value =
+      g.value.fetch_add(delta, std::memory_order_relaxed) + delta;
+  std::int64_t max = g.max.load(std::memory_order_relaxed);
+  while (value > max &&
+         !g.max.compare_exchange_weak(max, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Registry::observe(std::size_t histogram, std::uint64_t value) {
+  if (!enabled()) return;
+  Histogram& h = local_shard().histograms[histogram];
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+  h.buckets[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::record_span(std::size_t histogram, const char* name,
+                           std::uint64_t start_ns, std::uint64_t dur_ns,
+                           std::uint16_t depth) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  Histogram& h = shard.histograms[histogram];
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(dur_ns, std::memory_order_relaxed);
+  h.buckets[histogram_bucket(dur_ns)].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.trace_mutex);
+  if (shard.trace.size() >= kMaxTraceEventsPerShard) {
+    ++shard.trace_dropped;
+    return;
+  }
+  shard.trace.push_back({name, start_ns, dur_ns, shard.tid, depth});
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (std::size_t c = 0; c < counter_names_.size(); ++c) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_)
+      total += shard->counters[c].load(std::memory_order_relaxed);
+    snap.counters[counter_names_[c]] = total;
+  }
+  for (std::size_t g = 0; g < gauge_names_.size(); ++g) {
+    snap.gauges[gauge_names_[g]] = {
+        gauges_[g].value.load(std::memory_order_relaxed),
+        gauges_[g].max.load(std::memory_order_relaxed)};
+  }
+  for (std::size_t h = 0; h < histogram_names_.size(); ++h) {
+    HistogramSnapshot hs;
+    for (const auto& shard : shards_) {
+      const Histogram& sh = shard->histograms[h];
+      hs.count += sh.count.load(std::memory_order_relaxed);
+      hs.sum += sh.sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+        hs.buckets[b] += sh.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.histograms[histogram_names_[h]] = hs;
+  }
+  return snap;
+}
+
+std::vector<TraceEvent> Registry::trace_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> trace_lock(shard->trace_mutex);
+    out.insert(out.end(), shard->trace.begin(), shard->trace.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+std::uint64_t Registry::dropped_trace_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> trace_lock(shard->trace_mutex);
+    dropped += shard->trace_dropped;
+  }
+  return dropped;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->histograms) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> trace_lock(shard->trace_mutex);
+    shard->trace.clear();
+    shard->trace_dropped = 0;
+  }
+  for (auto& g : gauges_) {
+    g.value.store(0, std::memory_order_relaxed);
+    g.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+int& Span::nesting_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace veccost::obs

@@ -1,0 +1,288 @@
+// Pipeline observability: a lock-cheap metrics registry plus RAII spans.
+//
+// Three instrument kinds, all merged on read so the hot path never takes a
+// lock:
+//
+//  * counters    — monotonic uint64, one relaxed atomic add into the calling
+//                  thread's shard;
+//  * gauges      — last-value int64 with a running max (queue depths);
+//  * histograms  — fixed log2-scale buckets (bucket i covers values with bit
+//                  width i+1, i.e. [2^i, 2^{i+1})), per-shard count/sum.
+//
+// `Span` is a scoped timer: construction stamps a start time, destruction
+// records the duration into a histogram and appends one event to the owning
+// shard's flat trace buffer. Traces export as Chrome `chrome://tracing`
+// trace-event JSON (obs/export.hpp); spans are nanoseconds throughout.
+//
+// Shards: each thread lazily registers one `Shard` per registry; shards are
+// owned by the registry and outlive their threads, so `snapshot()` can merge
+// from any thread at any time. Writes are relaxed atomics by the owning
+// thread; readers see a consistent-enough view (counters can be mid-update,
+// never torn).
+//
+// Two off switches:
+//  * runtime — VECCOST_METRICS=0 in the environment (or `set_enabled(false)`)
+//    turns every record into a single relaxed bool load;
+//  * compile time — building with -DVECCOST_METRICS=0 (CMake option
+//    VECCOST_METRICS=OFF) compiles the VECCOST_* instrumentation macros to
+//    nothing, the same template/macro trick the lowered engine uses for its
+//    untraced path. The registry itself still links so the exporters and the
+//    `veccost stats` subcommand keep working (they just see zeros).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef VECCOST_METRICS
+#define VECCOST_METRICS 1
+#endif
+
+namespace veccost::obs {
+
+/// Log2 histogram bucket count: bucket 47 tops out at 2^48 ns ≈ 3.3 days.
+inline constexpr std::size_t kHistogramBuckets = 48;
+
+/// Bucket index for a recorded value: 0 for 0 and 1, otherwise bit_width-1,
+/// clamped to the last bucket. Exposed for the bucket-boundary tests.
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t value) {
+  std::size_t b = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++b;
+  }
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+/// Lower bound of bucket `i` ([bucket_lo, 2*bucket_lo) except bucket 0,
+/// which also holds zero).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_lo(std::size_t i) {
+  return std::uint64_t{1} << i;
+}
+
+/// Nanoseconds on the steady clock since process-local epoch (the global
+/// registry's construction). The time source for spans and trace events.
+[[nodiscard]] std::uint64_t now_ns();
+
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+  friend bool operator==(const GaugeSnapshot&, const GaugeSnapshot&) = default;
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+
+  /// Upper bound of the quantile's bucket (q in [0,1]); 0 when empty.
+  [[nodiscard]] std::uint64_t quantile_bound(double q) const;
+  [[nodiscard]] double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Merged, point-in-time view of a registry. Map-keyed by instrument name so
+/// exports are deterministic.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// One span occurrence, for the Chrome trace export. `tid` is the shard
+/// index (stable per thread), `depth` the span nesting level on that thread.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string from the VECCOST_SPAN site
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::uint16_t depth = 0;
+};
+
+class Registry {
+ public:
+  static constexpr std::size_t kMaxCounters = 160;
+  static constexpr std::size_t kMaxGauges = 24;
+  static constexpr std::size_t kMaxHistograms = 64;
+  /// Trace buffer bound per shard; events beyond it are counted, not stored.
+  static constexpr std::size_t kMaxTraceEventsPerShard = 1 << 16;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every VECCOST_* macro records into.
+  [[nodiscard]] static Registry& global();
+
+  // ---- registration (cold; instrument sites cache the id in a static) ----
+  [[nodiscard]] std::size_t counter_id(std::string_view name);
+  [[nodiscard]] std::size_t gauge_id(std::string_view name);
+  [[nodiscard]] std::size_t histogram_id(std::string_view name);
+
+  // ---- hot path ----
+  void add(std::size_t counter, std::uint64_t delta = 1);
+  void gauge_set(std::size_t gauge, std::int64_t value);
+  void gauge_add(std::size_t gauge, std::int64_t delta);
+  void observe(std::size_t histogram, std::uint64_t value);
+  /// Record one finished span: histogram observation + trace event.
+  void record_span(std::size_t histogram, const char* name,
+                   std::uint64_t start_ns, std::uint64_t dur_ns,
+                   std::uint16_t depth);
+
+  /// Runtime collection switch (VECCOST_METRICS=0 disables at startup).
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // ---- read side ----
+  /// Merge all shards into one deterministic view.
+  [[nodiscard]] Snapshot snapshot() const;
+  /// All trace events from all shards, sorted by start time.
+  [[nodiscard]] std::vector<TraceEvent> trace_events() const;
+  /// Span occurrences dropped because a shard's trace buffer was full.
+  [[nodiscard]] std::uint64_t dropped_trace_events() const;
+  /// Zero every instrument and clear the trace buffers; registered names and
+  /// ids survive so cached site ids stay valid.
+  void reset();
+
+ private:
+  struct Histogram {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<Histogram, kMaxHistograms> histograms{};
+    std::uint32_t tid = 0;
+    // Trace buffer: owner-thread appends and snapshot reads both take this
+    // (uncontended in practice — spans are coarse).
+    mutable std::mutex trace_mutex;
+    std::vector<TraceEvent> trace;
+    std::uint64_t trace_dropped = 0;
+  };
+  struct Gauge {
+    std::atomic<std::int64_t> value{0};
+    std::atomic<std::int64_t> max{0};
+  };
+
+  [[nodiscard]] Shard& local_shard();
+  [[nodiscard]] static std::size_t intern(std::vector<std::string>& names,
+                                          std::string_view name,
+                                          std::size_t limit, const char* kind);
+
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;  ///< registration, shard list, snapshot merge
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::array<Gauge, kMaxGauges> gauges_;
+};
+
+/// Scoped timer. Use through VECCOST_SPAN so the histogram id resolves once
+/// per site; `name` must outlive the registry (string literals).
+class Span {
+ public:
+  Span(const char* name, std::size_t histogram) {
+    Registry& r = Registry::global();
+    if (!r.enabled()) return;
+    name_ = name;
+    histogram_ = histogram;
+    depth_ = static_cast<std::uint16_t>(++nesting_depth());
+    start_ = now_ns();
+  }
+  ~Span() {
+    if (name_ == nullptr) return;
+    --nesting_depth();
+    const std::uint64_t end = now_ns();
+    Registry::global().record_span(histogram_, name_, start_,
+                                   end - start_, depth_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  static int& nesting_depth();
+
+  const char* name_ = nullptr;  ///< null = collection disabled at entry
+  std::size_t histogram_ = 0;
+  std::uint64_t start_ = 0;
+  std::uint16_t depth_ = 0;
+};
+
+}  // namespace veccost::obs
+
+// ---- instrumentation macros ------------------------------------------------
+//
+// Each site resolves its instrument id exactly once (function-local static)
+// and then pays one enabled-check plus one relaxed atomic RMW per record.
+// With -DVECCOST_METRICS=0 every macro expands to nothing.
+#if VECCOST_METRICS
+
+#define VECCOST_OBS_CAT2(a, b) a##b
+#define VECCOST_OBS_CAT(a, b) VECCOST_OBS_CAT2(a, b)
+
+#define VECCOST_COUNTER_ADD(name, delta)                                      \
+  do {                                                                        \
+    static const std::size_t vc_obs_id_ =                                     \
+        ::veccost::obs::Registry::global().counter_id(name);                  \
+    ::veccost::obs::Registry::global().add(vc_obs_id_,                        \
+                                           static_cast<std::uint64_t>(delta));\
+  } while (0)
+
+#define VECCOST_GAUGE_SET(name, value)                                        \
+  do {                                                                        \
+    static const std::size_t vc_obs_id_ =                                     \
+        ::veccost::obs::Registry::global().gauge_id(name);                    \
+    ::veccost::obs::Registry::global().gauge_set(                             \
+        vc_obs_id_, static_cast<std::int64_t>(value));                        \
+  } while (0)
+
+#define VECCOST_OBSERVE(name, value)                                          \
+  do {                                                                        \
+    static const std::size_t vc_obs_id_ =                                     \
+        ::veccost::obs::Registry::global().histogram_id(name);                \
+    ::veccost::obs::Registry::global().observe(                               \
+        vc_obs_id_, static_cast<std::uint64_t>(value));                       \
+  } while (0)
+
+/// Declares a scoped timer for the rest of the enclosing block.
+#define VECCOST_SPAN(name)                                                    \
+  static const std::size_t VECCOST_OBS_CAT(vc_span_id_, __LINE__) =           \
+      ::veccost::obs::Registry::global().histogram_id(name);                  \
+  const ::veccost::obs::Span VECCOST_OBS_CAT(vc_span_, __LINE__)(             \
+      name, VECCOST_OBS_CAT(vc_span_id_, __LINE__))
+
+#else  // !VECCOST_METRICS
+
+#define VECCOST_COUNTER_ADD(name, delta) \
+  do {                                   \
+  } while (0)
+#define VECCOST_GAUGE_SET(name, value) \
+  do {                                 \
+  } while (0)
+#define VECCOST_OBSERVE(name, value) \
+  do {                               \
+  } while (0)
+#define VECCOST_SPAN(name) \
+  do {                     \
+  } while (0)
+
+#endif  // VECCOST_METRICS

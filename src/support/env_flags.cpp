@@ -1,0 +1,83 @@
+#include "support/env_flags.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace veccost::support {
+
+bool EnvFlags::enabled(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  std::string v(env);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return !(v == "0" || v == "false" || v == "off" || v == "no");
+}
+
+std::optional<std::size_t> EnvFlags::count(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long n = std::strtol(env, &end, 10);
+  if (end == env || n <= 0) return std::nullopt;
+  return static_cast<std::size_t>(n);
+}
+
+std::string EnvFlags::value(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? env : "";
+}
+
+GlobalOptions parse_global_flags(std::vector<std::string>& args) {
+  GlobalOptions opts;
+  opts.jobs = EnvFlags::count("VECCOST_JOBS").value_or(0);
+  opts.use_cache = !EnvFlags::enabled("VECCOST_NO_CACHE", false);
+  opts.metrics = EnvFlags::enabled("VECCOST_METRICS", true);
+
+  std::vector<std::string> rest;
+  rest.reserve(args.size());
+  const auto value_of = [&](const std::string& arg, std::size_t& i,
+                            const std::string& flag) -> std::string {
+    if (arg == flag) {
+      if (i + 1 >= args.size()) throw Error(flag + " requires a value");
+      return args[++i];
+    }
+    return arg.substr(flag.size() + 1);  // "--flag=value"
+  };
+  const auto matches = [](const std::string& arg, const std::string& flag) {
+    return arg == flag || arg.rfind(flag + "=", 0) == 0;
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (matches(a, "--jobs")) {
+      const std::string v = value_of(a, i, "--jobs");
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n <= 0)
+        throw Error("--jobs expects a positive count, got '" + v + "'");
+      opts.jobs = static_cast<std::size_t>(n);
+    } else if (a == "--no-cache") {
+      opts.use_cache = false;
+    } else if (a == "--no-metrics") {
+      opts.metrics = false;
+    } else if (matches(a, "--metrics-out")) {
+      opts.metrics_out = value_of(a, i, "--metrics-out");
+      if (opts.metrics_out.empty())
+        throw Error("--metrics-out requires a file path");
+    } else if (matches(a, "--trace-out")) {
+      opts.trace_out = value_of(a, i, "--trace-out");
+      if (opts.trace_out.empty())
+        throw Error("--trace-out requires a file path");
+    } else {
+      rest.push_back(a);
+    }
+  }
+  args = std::move(rest);
+  return opts;
+}
+
+}  // namespace veccost::support

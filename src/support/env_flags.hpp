@@ -1,0 +1,49 @@
+// One place to resolve VECCOST_* environment variables and the CLI's global
+// flags, so every subcommand (and every library entry point that falls back
+// to the environment) interprets them identically.
+//
+// Before this helper the parsing was duplicated: the thread pool read
+// VECCOST_JOBS, the measurement cache read VECCOST_NO_CACHE, the executor
+// read VECCOST_REFERENCE_EXECUTOR — each with its own ad-hoc string
+// handling. All of them now route through EnvFlags (support_test.cpp pins
+// the semantics).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace veccost::support {
+
+class EnvFlags {
+ public:
+  /// Boolean env var. Unset or empty returns `fallback`; "0", "false",
+  /// "off", "no" (case-insensitive) return false; any other value returns
+  /// true (so VECCOST_NO_CACHE=1 and VECCOST_NO_CACHE=yes both disable).
+  [[nodiscard]] static bool enabled(const char* name, bool fallback);
+
+  /// Positive integer env var; unset, empty, zero, negative or junk yields
+  /// nullopt.
+  [[nodiscard]] static std::optional<std::size_t> count(const char* name);
+
+  /// String env var; "" when unset.
+  [[nodiscard]] static std::string value(const char* name);
+};
+
+/// Options every veccost subcommand shares, resolved flag-over-environment:
+/// --jobs / VECCOST_JOBS, --no-cache / VECCOST_NO_CACHE, VECCOST_METRICS,
+/// --metrics-out=FILE, --trace-out=FILE.
+struct GlobalOptions {
+  std::size_t jobs = 0;  ///< 0 = auto (hardware threads)
+  bool use_cache = true;
+  bool metrics = true;
+  std::string metrics_out;  ///< metrics JSON destination; empty = don't write
+  std::string trace_out;    ///< Chrome trace destination; empty = don't write
+};
+
+/// Strip the global flags from `args` (in place, any position) and resolve
+/// the environment fallbacks. Throws veccost::Error on a malformed flag.
+[[nodiscard]] GlobalOptions parse_global_flags(std::vector<std::string>& args);
+
+}  // namespace veccost::support

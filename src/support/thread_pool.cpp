@@ -1,7 +1,7 @@
 #include "support/thread_pool.hpp"
 
-#include <cstdlib>
-#include <string>
+#include "obs/metrics.hpp"
+#include "support/env_flags.hpp"
 
 namespace veccost {
 
@@ -12,10 +12,7 @@ std::atomic<std::size_t> g_jobs_override{0};
 std::size_t default_parallelism() {
   const std::size_t override = g_jobs_override.load(std::memory_order_relaxed);
   if (override > 0) return override;
-  if (const char* env = std::getenv("VECCOST_JOBS")) {
-    const long n = std::strtol(env, nullptr, 10);
-    if (n > 0) return static_cast<std::size_t>(n);
-  }
+  if (const auto env = support::EnvFlags::count("VECCOST_JOBS")) return *env;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }
@@ -41,36 +38,57 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  QueuedTask queued;
+  queued.fn = std::move(task);
+#if VECCOST_METRICS
+  queued.enqueue_ns = obs::now_ns();
+#endif
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
+    depth = queue_.size();
   }
+  VECCOST_GAUGE_SET("threadpool.queue_depth", depth);
+  (void)depth;  // only read by the gauge, which VECCOST_METRICS=0 removes
   cv_.notify_one();
 }
 
+void ThreadPool::run_task(QueuedTask task) {
+#if VECCOST_METRICS
+  if (task.enqueue_ns != 0)
+    VECCOST_OBSERVE("threadpool.task_wait_ns", obs::now_ns() - task.enqueue_ns);
+  VECCOST_COUNTER_ADD("threadpool.tasks", 1);
+  VECCOST_SPAN("threadpool.task_run_ns");
+#endif
+  task.fn();
+}
+
 bool ThreadPool::run_pending_task() {
-  std::function<void()> task;
+  QueuedTask task;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
+    VECCOST_GAUGE_SET("threadpool.queue_depth", queue_.size());
   }
-  task();
+  run_task(std::move(task));
   return true;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      VECCOST_GAUGE_SET("threadpool.queue_depth", queue_.size());
     }
-    task();
+    run_task(std::move(task));
   }
 }
 

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -69,12 +70,21 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
+  /// Queued callable plus its enqueue timestamp, so the observability layer
+  /// can report queue-wait latency (0 when metrics are compiled out).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void enqueue(std::function<void()> task);
+  void run_task(QueuedTask task);
+
   void worker_loop();
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

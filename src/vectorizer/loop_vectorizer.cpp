@@ -6,6 +6,7 @@
 
 #include "analysis/reduction.hpp"
 #include "ir/verifier.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace veccost::vectorizer {
@@ -257,6 +258,8 @@ int floor_pow2(std::int64_t x) {
 VectorizedLoop vectorize_loop(const LoopKernel& scalar,
                               const machine::TargetDesc& target,
                               const LoopVectorizerOptions& opts) {
+  VECCOST_SPAN("vectorizer.loop_ns");
+  VECCOST_COUNTER_ADD("vectorizer.loop_attempts", 1);
   VectorizedLoop result;
   const analysis::Legality legality = analysis::check_legality(scalar, opts.legality);
   if (!legality.vectorizable) {
@@ -285,6 +288,7 @@ VectorizedLoop vectorize_loop(const LoopKernel& scalar,
   result.kernel = std::move(widener).take();
   result.vf = vf;
   result.ok = true;
+  VECCOST_COUNTER_ADD("vectorizer.loops_vectorized", 1);
   result.runtime_check = legality.needs_runtime_check;
   if (result.runtime_check)
     result.notes.push_back("versioned behind a runtime overlap check");

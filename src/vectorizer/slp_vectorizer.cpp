@@ -5,6 +5,7 @@
 #include <set>
 
 #include "analysis/dependence.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "vectorizer/unroll.hpp"
 
@@ -224,6 +225,8 @@ SlpPlan pack_body(const LoopKernel& scalar, const machine::TargetDesc& target,
 SlpPlan slp_vectorize(const LoopKernel& scalar, const machine::TargetDesc& target,
                       const SlpOptions& opts) {
   VECCOST_ASSERT(scalar.vf == 1, "SLP expects a scalar kernel");
+  VECCOST_SPAN("vectorizer.slp_ns");
+  VECCOST_COUNTER_ADD("vectorizer.slp_attempts", 1);
   SlpPlan plan = pack_body(scalar, target, opts);
   plan.body = scalar;
   plan.unroll = 1;

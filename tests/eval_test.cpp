@@ -8,6 +8,7 @@
 
 #include "eval/experiments.hpp"
 #include "eval/measurement.hpp"
+#include "eval/session.hpp"
 #include "eval/report.hpp"
 #include "machine/targets.hpp"
 #include "tsvc/kernel.hpp"
@@ -15,8 +16,15 @@
 namespace veccost::eval {
 namespace {
 
+SessionOptions uncached_options() {
+  SessionOptions opts;
+  opts.use_cache = false;
+  return opts;
+}
+
 const SuiteMeasurement& arm_measurement() {
-  static const SuiteMeasurement sm = measure_suite(machine::cortex_a57());
+  static const SuiteMeasurement sm =
+      Session(machine::cortex_a57(), uncached_options()).measure().suite;
   return sm;
 }
 
@@ -78,7 +86,8 @@ TEST(Measurement, SpeedupsAreSane) {
 }
 
 TEST(Measurement, Deterministic) {
-  const auto sm1 = measure_suite(machine::cortex_a57());
+  const auto sm1 =
+      Session(machine::cortex_a57(), uncached_options()).measure().suite;
   const auto& sm2 = arm_measurement();
   ASSERT_EQ(sm1.kernels.size(), sm2.kernels.size());
   for (std::size_t i = 0; i < sm1.kernels.size(); ++i) {

@@ -4,17 +4,26 @@
 #include <gtest/gtest.h>
 
 #include "eval/experiments.hpp"
+#include "eval/session.hpp"
 #include "machine/targets.hpp"
 
 namespace veccost::eval {
 namespace {
 
+SessionOptions uncached_options() {
+  SessionOptions opts;
+  opts.use_cache = false;
+  return opts;
+}
+
 const SuiteMeasurement& arm() {
-  static const SuiteMeasurement sm = measure_suite(machine::cortex_a57());
+  static const SuiteMeasurement sm =
+      Session(machine::cortex_a57(), uncached_options()).measure().suite;
   return sm;
 }
 const SuiteMeasurement& x86() {
-  static const SuiteMeasurement sm = measure_suite(machine::xeon_e5_avx2());
+  static const SuiteMeasurement sm =
+      Session(machine::xeon_e5_avx2(), uncached_options()).measure().suite;
   return sm;
 }
 

@@ -1,0 +1,261 @@
+// Metrics registry + exporter tests: shard merging, histogram bucket
+// boundaries, concurrent increments (run under -DVECCOST_SANITIZE=thread via
+// the `parallel` label), span nesting/tracing, the JSON round-trip, and the
+// golden file that pins the `veccost stats --json` wire format.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace veccost::obs {
+namespace {
+
+TEST(HistogramBuckets, BoundariesAreLog2) {
+  // Bucket i covers values of bit width i+1, i.e. [2^i, 2^{i+1}); 0 shares
+  // bucket 0 with 1.
+  static_assert(histogram_bucket(0) == 0);
+  static_assert(histogram_bucket(1) == 0);
+  static_assert(histogram_bucket(2) == 1);
+  static_assert(histogram_bucket(3) == 1);
+  static_assert(histogram_bucket(4) == 2);
+  static_assert(histogram_bucket(7) == 2);
+  static_assert(histogram_bucket(8) == 3);
+  for (std::size_t i = 1; i < kHistogramBuckets; ++i) {
+    const std::uint64_t lo = histogram_bucket_lo(i);
+    EXPECT_EQ(histogram_bucket(lo), i) << "lower edge of bucket " << i;
+    EXPECT_EQ(histogram_bucket(lo - 1), i - 1) << "below bucket " << i;
+    EXPECT_EQ(histogram_bucket(2 * lo - 1), i) << "upper edge of bucket " << i;
+  }
+  // Values past the last bucket clamp instead of indexing out of bounds.
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), kHistogramBuckets - 1);
+}
+
+TEST(Registry, CountersMergeAcrossShards) {
+  Registry r;
+  const std::size_t c = r.counter_id("test.counter");
+  // Four threads, each its own shard; the snapshot must merge all of them.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) r.add(c, 1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(r.snapshot().counters.at("test.counter"), 4000u);
+}
+
+TEST(Registry, RegistrationIsIdempotent) {
+  Registry r;
+  const std::size_t a = r.counter_id("one");
+  EXPECT_EQ(r.counter_id("one"), a);
+  EXPECT_NE(r.counter_id("two"), a);
+  const std::size_t h = r.histogram_id("h");
+  EXPECT_EQ(r.histogram_id("h"), h);
+}
+
+TEST(Registry, ConcurrentMixedRecording) {
+  Registry r;
+  const std::size_t c = r.counter_id("mixed.counter");
+  const std::size_t h = r.histogram_id("mixed.hist");
+  const std::size_t g = r.gauge_id("mixed.gauge");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        r.add(c, 2);
+        r.observe(h, static_cast<std::uint64_t>(i));
+        r.gauge_add(g, t % 2 == 0 ? 1 : -1);
+      }
+    });
+  for (auto& t : threads) t.join();
+  const Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.counters.at("mixed.counter"), 8u * 500u * 2u);
+  const HistogramSnapshot& hist = snap.histograms.at("mixed.hist");
+  EXPECT_EQ(hist.count, 8u * 500u);
+  EXPECT_EQ(hist.sum, 8u * (499u * 500u / 2u));
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : hist.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hist.count);
+  EXPECT_EQ(snap.gauges.at("mixed.gauge").value, 0);  // 4 up vs 4 down
+}
+
+TEST(Registry, GaugeTracksMax) {
+  Registry r;
+  const std::size_t g = r.gauge_id("queue");
+  r.gauge_set(g, 5);
+  r.gauge_set(g, 12);
+  r.gauge_set(g, 3);
+  const GaugeSnapshot snap = r.snapshot().gauges.at("queue");
+  EXPECT_EQ(snap.value, 3);
+  EXPECT_EQ(snap.max, 12);
+}
+
+TEST(Registry, ResetZeroesButKeepsIds) {
+  Registry r;
+  const std::size_t c = r.counter_id("will.reset");
+  r.add(c, 7);
+  r.reset();
+  EXPECT_EQ(r.snapshot().counters.at("will.reset"), 0u);
+  r.add(c, 1);  // cached site ids stay valid after reset
+  EXPECT_EQ(r.snapshot().counters.at("will.reset"), 1u);
+}
+
+TEST(Registry, DisabledRecordingIsANoOp) {
+  Registry r;
+  const std::size_t c = r.counter_id("off.counter");
+  r.set_enabled(false);
+  r.add(c, 100);
+  EXPECT_EQ(r.snapshot().counters.at("off.counter"), 0u);
+  r.set_enabled(true);
+  r.add(c, 1);
+  EXPECT_EQ(r.snapshot().counters.at("off.counter"), 1u);
+}
+
+TEST(Registry, TraceBufferBoundsAndCountsDrops) {
+  Registry r;
+  const std::size_t h = r.histogram_id("drop.span");
+  for (std::size_t i = 0; i < Registry::kMaxTraceEventsPerShard + 10; ++i)
+    r.record_span(h, "drop.span", i, 1, 1);
+  EXPECT_EQ(r.trace_events().size(), Registry::kMaxTraceEventsPerShard);
+  EXPECT_EQ(r.dropped_trace_events(), 10u);
+  // Every occurrence still lands in the histogram, dropped or not.
+  EXPECT_EQ(r.snapshot().histograms.at("drop.span").count,
+            Registry::kMaxTraceEventsPerShard + 10);
+}
+
+#if VECCOST_METRICS
+TEST(Span, NestedSpansRecordDepthAndTrace) {
+  Registry& g = Registry::global();
+  g.reset();
+  {
+    VECCOST_SPAN("test.outer_ns");
+    {
+      VECCOST_SPAN("test.inner_ns");
+    }
+  }
+  const Snapshot snap = g.snapshot();
+  EXPECT_EQ(snap.histograms.at("test.outer_ns").count, 1u);
+  EXPECT_EQ(snap.histograms.at("test.inner_ns").count, 1u);
+
+  // The trace holds both events; inner nests inside outer (deeper, shorter,
+  // contained in time).
+  const TraceEvent *outer = nullptr, *inner = nullptr;
+  const auto events = g.trace_events();
+  for (const TraceEvent& e : events) {
+    if (std::string_view(e.name) == "test.outer_ns") outer = &e;
+    if (std::string_view(e.name) == "test.inner_ns") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->depth, outer->depth + 1);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns, outer->start_ns + outer->dur_ns);
+  g.reset();
+}
+
+TEST(Span, MacrosFeedTheGlobalRegistry) {
+  Registry& g = Registry::global();
+  g.reset();
+  VECCOST_COUNTER_ADD("test.macro_counter", 3);
+  VECCOST_COUNTER_ADD("test.macro_counter", 4);
+  VECCOST_OBSERVE("test.macro_hist", 1000);
+  VECCOST_GAUGE_SET("test.macro_gauge", 9);
+  const Snapshot snap = g.snapshot();
+  EXPECT_EQ(snap.counters.at("test.macro_counter"), 7u);
+  EXPECT_EQ(snap.histograms.at("test.macro_hist").count, 1u);
+  EXPECT_EQ(snap.gauges.at("test.macro_gauge").value, 9);
+  g.reset();
+}
+#endif  // VECCOST_METRICS
+
+Snapshot golden_snapshot() {
+  // Synthetic but realistic: the deterministic stand-in for what one warm
+  // `veccost stats --json` run reports.
+  Snapshot snap;
+  snap.counters["cache.kernel_hits"] = 151;
+  snap.counters["session.measurements"] = 2;
+  snap.gauges["threadpool.queue_depth"] = {3, 17};
+  HistogramSnapshot h;
+  h.count = 2;
+  h.sum = 3000;
+  h.buckets[histogram_bucket(1000)] = 1;  // bucket 9
+  h.buckets[histogram_bucket(2000)] = 1;  // bucket 10
+  snap.histograms["session.measure_ns"] = h;
+  return snap;
+}
+
+TEST(Export, JsonRoundTripsExactly) {
+  const Snapshot snap = golden_snapshot();
+  EXPECT_EQ(snapshot_from_json(metrics_json(snap)), snap);
+  // Empty snapshots round-trip too.
+  EXPECT_EQ(snapshot_from_json(metrics_json(Snapshot{})), Snapshot{});
+}
+
+TEST(Export, MatchesGoldenFile) {
+  std::ifstream in(std::string(VECCOST_GOLDEN_DIR) + "/metrics_golden.json");
+  ASSERT_TRUE(in) << "golden file missing";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(metrics_json(golden_snapshot()), golden.str())
+      << "the veccost-metrics-v1 wire format changed; update the golden file "
+         "and bump kMetricsSchema if the change is incompatible";
+  EXPECT_EQ(snapshot_from_json(golden.str()), golden_snapshot());
+}
+
+TEST(Export, RejectsForeignSchema) {
+  EXPECT_THROW(
+      (void)snapshot_from_json(
+          R"({"schema": "veccost-metrics-v0", "counters": {}})"),
+      veccost::Error);
+  EXPECT_THROW((void)snapshot_from_json("not json"), veccost::Error);
+}
+
+TEST(Export, LiveRegistryRoundTrips) {
+  Registry r;
+  r.add(r.counter_id("live.counter"), 42);
+  r.observe(r.histogram_id("live.hist"), 12345);
+  r.gauge_set(r.gauge_id("live.gauge"), -3);
+  const Snapshot snap = r.snapshot();
+  EXPECT_EQ(snapshot_from_json(metrics_json(snap)), snap);
+}
+
+TEST(Export, ChromeTraceShape) {
+  std::ostringstream os;
+  write_trace_json(os, {{"phase.a", 1000, 2500, 0, 1},
+                        {"phase.b", 1500, 500, 1, 2}});
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\": \"phase.a\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ts\": 1"), std::string::npos);    // 1000 ns = 1 us
+  EXPECT_NE(trace.find("\"dur\": 2.5"), std::string::npos);  // 2500 ns
+  EXPECT_NE(trace.find("\"depth\": 2"), std::string::npos);
+}
+
+TEST(Export, TableListsEveryInstrument) {
+  const std::string table = metrics_table(golden_snapshot());
+  EXPECT_NE(table.find("cache.kernel_hits"), std::string::npos);
+  EXPECT_NE(table.find("threadpool.queue_depth"), std::string::npos);
+  EXPECT_NE(table.find("session.measure_ns"), std::string::npos);
+  EXPECT_NE(metrics_table(Snapshot{}).find("no metrics recorded"),
+            std::string::npos);
+}
+
+TEST(Quantiles, BoundsComeFromBucketEdges) {
+  HistogramSnapshot h;
+  h.count = 100;
+  h.buckets[histogram_bucket(100)] = 99;  // bucket 6: [64, 128)
+  h.buckets[histogram_bucket(100000)] = 1;  // bucket 16: [65536, 131072)
+  EXPECT_EQ(h.quantile_bound(0.5), histogram_bucket_lo(7) - 1);  // <= 127
+  EXPECT_EQ(h.quantile_bound(0.999), histogram_bucket_lo(17) - 1);
+  EXPECT_EQ(HistogramSnapshot{}.quantile_bound(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace veccost::obs

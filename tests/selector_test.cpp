@@ -5,6 +5,7 @@
 #include "costmodel/selector.hpp"
 #include "costmodel/trainer.hpp"
 #include "eval/measurement.hpp"
+#include "eval/session.hpp"
 #include "ir/builder.hpp"
 #include "machine/targets.hpp"
 #include "tsvc/kernel.hpp"
@@ -80,7 +81,9 @@ TEST(Selector, S128OffersBothPasses) {
 
 TEST(Selector, FittedPredictorReducesSuiteRegret) {
   const auto target = machine::cortex_a57();
-  const auto sm = eval::measure_suite(target);
+  eval::SessionOptions session_opts;
+  session_opts.use_cache = false;
+  const auto sm = eval::Session(target, session_opts).measure().suite;
   const auto fitted = fit_model(sm.design_matrix(analysis::FeatureSet::Rated),
                                 sm.measured_speedups(), Fitter::NNLS,
                                 analysis::FeatureSet::Rated);

@@ -1,0 +1,239 @@
+// Differential determinism suite (`ctest -L parallel`).
+//
+// Parallelism must never change the paper's numbers: the full TSVC suite is
+// measured serially and through eval::Session at 1, 2 and 8 threads, and
+// every field of every KernelMeasurement — plus the weights/predictions the
+// Trainer fits on top — must be BIT-identical (EXPECT_EQ on doubles, not
+// near-comparisons). Also verifies the warm-cache guarantee (a second run
+// over a populated cache performs zero kernel re-measurements) and the
+// SuiteResult ownership rule (per-call stats survive concurrent measure()
+// calls on one Session).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "costmodel/trainer.hpp"
+#include "eval/measurement.hpp"
+#include "eval/session.hpp"
+#include "machine/targets.hpp"
+#include "support/thread_pool.hpp"
+
+namespace veccost::eval {
+namespace {
+
+void expect_bit_identical(const SuiteMeasurement& a, const SuiteMeasurement& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.target_name, b.target_name) << what;
+  ASSERT_EQ(a.kernels.size(), b.kernels.size()) << what;
+  for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+    const auto& ka = a.kernels[i];
+    const auto& kb = b.kernels[i];
+    SCOPED_TRACE(what + ": kernel " + ka.name);
+    EXPECT_EQ(ka.name, kb.name);
+    EXPECT_EQ(ka.category, kb.category);
+    EXPECT_EQ(ka.vectorizable, kb.vectorizable);
+    EXPECT_EQ(ka.reject_reason, kb.reject_reason);
+    EXPECT_EQ(ka.vf, kb.vf);
+    EXPECT_EQ(ka.scalar_cycles, kb.scalar_cycles);
+    EXPECT_EQ(ka.vector_cycles, kb.vector_cycles);
+    EXPECT_EQ(ka.measured_speedup, kb.measured_speedup);
+    EXPECT_EQ(ka.scalar_cost_per_iter, kb.scalar_cost_per_iter);
+    EXPECT_EQ(ka.vector_cost_per_body, kb.vector_cost_per_body);
+    EXPECT_EQ(ka.llvm_predicted_speedup, kb.llvm_predicted_speedup);
+    EXPECT_EQ(ka.features_counts, kb.features_counts);
+    EXPECT_EQ(ka.features_rated, kb.features_rated);
+    EXPECT_EQ(ka.features_extended, kb.features_extended);
+  }
+}
+
+const SuiteMeasurement& serial_reference() {
+  // The deprecated serial loop stays alive precisely as this suite's
+  // independent reference implementation.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  static const SuiteMeasurement sm = measure_suite(machine::cortex_a57());
+#pragma GCC diagnostic pop
+  return sm;
+}
+
+SessionOptions uncached(std::size_t jobs) {
+  SessionOptions opts;
+  opts.jobs = jobs;
+  opts.use_cache = false;
+  return opts;
+}
+
+TEST(Session, BitIdenticalToSerialAt1_2_8Threads) {
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    const Session session(machine::cortex_a57(), uncached(jobs));
+    const SuiteResult result = session.measure();
+    expect_bit_identical(serial_reference(), result.suite,
+                         "jobs=" + std::to_string(jobs));
+    EXPECT_EQ(result.cache_hits, 0u);
+    EXPECT_EQ(result.cache_misses, result.suite.kernels.size());
+  }
+}
+
+TEST(Session, BitIdenticalOnSecondTarget) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const SuiteMeasurement serial = measure_suite(machine::xeon_e5_avx2());
+#pragma GCC diagnostic pop
+  const Session session(machine::xeon_e5_avx2(), uncached(8));
+  expect_bit_identical(serial, session.measure().suite, "xeon jobs=8");
+}
+
+TEST(Session, FittedWeightsIdenticalAcrossThreadCounts) {
+  // End-to-end: measurements from a parallel run, then Trainer weights and
+  // LOOCV predictions at 1 vs 8 fitting threads — all bit-identical to the
+  // serial pipeline.
+  const Session session(machine::cortex_a57(), uncached(8));
+  const SuiteMeasurement par = session.measure().suite;
+  const Matrix x_serial =
+      serial_reference().design_matrix(analysis::FeatureSet::Rated);
+  const Matrix x_par = par.design_matrix(analysis::FeatureSet::Rated);
+  const Vector y_serial = serial_reference().measured_speedups();
+  const Vector y_par = par.measured_speedups();
+  ASSERT_EQ(y_serial, y_par);
+
+  for (const auto fitter :
+       {model::Fitter::L2, model::Fitter::NNLS, model::Fitter::SVR}) {
+    SCOPED_TRACE(model::to_string(fitter));
+    const auto m_serial = model::fit_model(x_serial, y_serial, fitter,
+                                           analysis::FeatureSet::Rated);
+    const auto m_par =
+        model::fit_model(x_par, y_par, fitter, analysis::FeatureSet::Rated);
+    EXPECT_EQ(m_serial.weights(), m_par.weights());
+
+    const Vector loo1 = model::loocv_predictions(
+        x_par, y_par, fitter, analysis::FeatureSet::Rated, {}, /*jobs=*/1);
+    const Vector loo8 = model::loocv_predictions(
+        x_par, y_par, fitter, analysis::FeatureSet::Rated, {}, /*jobs=*/8);
+    EXPECT_EQ(loo1, loo8);
+  }
+}
+
+TEST(Session, KfoldIdenticalAcrossThreadCounts) {
+  const Matrix x = serial_reference().design_matrix(analysis::FeatureSet::Counts);
+  const Vector y = serial_reference().measured_speedups();
+  for (const std::size_t k : {5u, 10u}) {
+    const Vector serial = model::kfold_predictions(
+        x, y, model::Fitter::NNLS, analysis::FeatureSet::Counts, k, {}, 1);
+    const Vector par = model::kfold_predictions(
+        x, y, model::Fitter::NNLS, analysis::FeatureSet::Counts, k, {}, 8);
+    EXPECT_EQ(serial, par) << "k=" << k;
+  }
+}
+
+class WarmCacheTest : public ::testing::Test {
+ protected:
+  WarmCacheTest()
+      : dir_(::testing::TempDir() + "veccost_session_cache_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()) {
+    std::filesystem::remove_all(dir_);
+  }
+  ~WarmCacheTest() override { std::filesystem::remove_all(dir_); }
+  SessionOptions with_cache(std::size_t jobs,
+                            std::uint64_t pipeline_version = 1) const {
+    SessionOptions opts;
+    opts.jobs = jobs;
+    opts.cache_dir = dir_;
+    opts.pipeline_version = pipeline_version;
+    return opts;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WarmCacheTest, SecondRunPerformsZeroRemeasurements) {
+  const SuiteResult first =
+      Session(machine::cortex_a57(), with_cache(2)).measure();
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.cache_misses, first.suite.kernels.size());
+
+  const SuiteResult second =
+      Session(machine::cortex_a57(), with_cache(2)).measure();
+  EXPECT_EQ(second.cache_misses, 0u) << "warm cache must skip re-measurement";
+  EXPECT_EQ(second.cache_hits, second.suite.kernels.size());
+  expect_bit_identical(first.suite, second.suite, "cold vs warm");
+  expect_bit_identical(serial_reference(), second.suite, "serial vs warm");
+}
+
+TEST_F(WarmCacheTest, CachedRunsAreBitIdenticalAcrossJobCounts) {
+  const SuiteMeasurement seed =
+      Session(machine::cortex_a57(), with_cache(4)).measure().suite;
+  EXPECT_EQ(seed.kernels.size(), serial_reference().kernels.size());
+  for (const std::size_t jobs : {1u, 8u}) {
+    const SuiteResult warm =
+        Session(machine::cortex_a57(), with_cache(jobs)).measure();
+    expect_bit_identical(serial_reference(), warm.suite,
+                         "warm jobs=" + std::to_string(jobs));
+    EXPECT_EQ(warm.cache_misses, 0u);
+  }
+}
+
+TEST_F(WarmCacheTest, PipelineVersionBumpForcesRemeasurement) {
+  const auto n = Session(machine::cortex_a57(), with_cache(2, 1))
+                     .measure()
+                     .suite.kernels.size();
+  const SuiteResult v2 =
+      Session(machine::cortex_a57(), with_cache(2, 2)).measure();
+  EXPECT_EQ(v2.cache_hits, 0u) << "stale pipeline version must not hit";
+  EXPECT_EQ(v2.cache_misses, n);
+  expect_bit_identical(serial_reference(), v2.suite, "after version bump");
+}
+
+TEST_F(WarmCacheTest, DifferentNoiseDoesNotHit) {
+  const SuiteResult a =
+      Session(machine::cortex_a57(), with_cache(2)).measure({.noise = 0.015});
+  const SuiteResult b =
+      Session(machine::cortex_a57(), with_cache(2)).measure({.noise = 0.05});
+  EXPECT_EQ(a.suite.kernels.size(), b.suite.kernels.size());
+  EXPECT_EQ(b.cache_hits, 0u);
+}
+
+TEST_F(WarmCacheTest, ConcurrentMeasureCallsKeepTheirOwnStats) {
+  // The ownership rule the Session API exists for: measure() is const and
+  // every call's statistics travel in its own SuiteResult. The old
+  // ParallelRunner kept hit/miss counters as members, so two concurrent
+  // measure_suite calls clobbered each other's stats.
+  const Session session(machine::cortex_a57(), with_cache(2));
+  const SuiteResult warmup = session.measure();
+  EXPECT_EQ(warmup.cache_misses, warmup.suite.kernels.size());
+
+  SuiteResult results[2];
+  std::thread t0([&] { results[0] = session.measure(); });
+  std::thread t1([&] { results[1] = session.measure(); });
+  t0.join();
+  t1.join();
+  for (const SuiteResult& r : results) {
+    EXPECT_EQ(r.cache_hits, r.suite.kernels.size());
+    EXPECT_EQ(r.cache_misses, 0u);
+    expect_bit_identical(warmup.suite, r.suite, "concurrent warm call");
+  }
+}
+
+TEST(Session, ValidateSemanticsReportsConfigurations) {
+  SuiteRequest request;
+  request.validate_semantics = true;
+  request.validation_n = 512;
+  const SuiteResult r =
+      Session(machine::cortex_a57(), uncached(4)).measure(request);
+  EXPECT_GT(r.validated_configurations, r.suite.kernels.size() / 2)
+      << "most vectorizable kernels validate at least one configuration";
+}
+
+TEST(Session, DeprecatedWrapperMatchesSession) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  set_measurement_cache_enabled(false);
+  const SuiteMeasurement wrapped = measure_suite_cached(machine::cortex_a57());
+  set_measurement_cache_enabled(true);
+#pragma GCC diagnostic pop
+  expect_bit_identical(serial_reference(), wrapped, "deprecated wrapper");
+}
+
+}  // namespace
+}  // namespace veccost::eval

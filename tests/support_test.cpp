@@ -2,9 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "support/csv.hpp"
+#include "support/env_flags.hpp"
 #include "support/error.hpp"
 #include "support/matrix.hpp"
 #include "support/rng.hpp"
@@ -193,6 +197,82 @@ TEST(Csv, EscapesSpecialCharacters) {
   CsvWriter w(os);
   w.write_row({"a", "b,c"});
   EXPECT_EQ(os.str(), "a,\"b,c\"\n");
+}
+
+
+TEST(EnvFlags, BooleanSemantics) {
+  // Unset / empty fall back; the canonical "off" spellings are false in any
+  // case; everything else is true.
+  unsetenv("VECCOST_TEST_FLAG");
+  EXPECT_TRUE(support::EnvFlags::enabled("VECCOST_TEST_FLAG", true));
+  EXPECT_FALSE(support::EnvFlags::enabled("VECCOST_TEST_FLAG", false));
+  setenv("VECCOST_TEST_FLAG", "", 1);
+  EXPECT_TRUE(support::EnvFlags::enabled("VECCOST_TEST_FLAG", true));
+  for (const char* off : {"0", "false", "FALSE", "off", "Off", "no", "NO"}) {
+    setenv("VECCOST_TEST_FLAG", off, 1);
+    EXPECT_FALSE(support::EnvFlags::enabled("VECCOST_TEST_FLAG", true)) << off;
+  }
+  for (const char* on : {"1", "true", "yes", "on", "banana"}) {
+    setenv("VECCOST_TEST_FLAG", on, 1);
+    EXPECT_TRUE(support::EnvFlags::enabled("VECCOST_TEST_FLAG", false)) << on;
+  }
+  unsetenv("VECCOST_TEST_FLAG");
+}
+
+TEST(EnvFlags, CountParsesPositiveIntegersOnly) {
+  unsetenv("VECCOST_TEST_COUNT");
+  EXPECT_FALSE(support::EnvFlags::count("VECCOST_TEST_COUNT").has_value());
+  setenv("VECCOST_TEST_COUNT", "8", 1);
+  EXPECT_EQ(support::EnvFlags::count("VECCOST_TEST_COUNT"), 8u);
+  for (const char* bad : {"", "0", "-3", "junk"}) {
+    setenv("VECCOST_TEST_COUNT", bad, 1);
+    EXPECT_FALSE(support::EnvFlags::count("VECCOST_TEST_COUNT").has_value())
+        << '\'' << bad << '\'';
+  }
+  unsetenv("VECCOST_TEST_COUNT");
+}
+
+TEST(GlobalFlags, StripsFlagsAndResolvesValues) {
+  unsetenv("VECCOST_JOBS");
+  unsetenv("VECCOST_NO_CACHE");
+  unsetenv("VECCOST_METRICS");
+  std::vector<std::string> args = {"veccost",       "--jobs",   "4",
+                                   "measure",       "--no-cache",
+                                   "--metrics-out=m.json", "cortex-a57"};
+  const support::GlobalOptions opts = support::parse_global_flags(args);
+  EXPECT_EQ(opts.jobs, 4u);
+  EXPECT_FALSE(opts.use_cache);
+  EXPECT_TRUE(opts.metrics);
+  EXPECT_EQ(opts.metrics_out, "m.json");
+  EXPECT_EQ(args, (std::vector<std::string>{"veccost", "measure",
+                                            "cortex-a57"}));
+}
+
+TEST(GlobalFlags, EnvironmentFallbacksAndOverride) {
+  setenv("VECCOST_JOBS", "2", 1);
+  setenv("VECCOST_NO_CACHE", "1", 1);
+  setenv("VECCOST_METRICS", "0", 1);
+  std::vector<std::string> args = {"veccost", "stats"};
+  const support::GlobalOptions from_env = support::parse_global_flags(args);
+  EXPECT_EQ(from_env.jobs, 2u);
+  EXPECT_FALSE(from_env.use_cache);
+  EXPECT_FALSE(from_env.metrics);
+
+  // An explicit flag beats the environment.
+  std::vector<std::string> override_args = {"veccost", "--jobs=6", "stats"};
+  EXPECT_EQ(support::parse_global_flags(override_args).jobs, 6u);
+  unsetenv("VECCOST_JOBS");
+  unsetenv("VECCOST_NO_CACHE");
+  unsetenv("VECCOST_METRICS");
+}
+
+TEST(GlobalFlags, MalformedFlagsThrow) {
+  std::vector<std::string> missing = {"veccost", "--jobs"};
+  EXPECT_THROW((void)support::parse_global_flags(missing), Error);
+  std::vector<std::string> junk = {"veccost", "--jobs=zero"};
+  EXPECT_THROW((void)support::parse_global_flags(junk), Error);
+  std::vector<std::string> empty_out = {"veccost", "--metrics-out="};
+  EXPECT_THROW((void)support::parse_global_flags(empty_out), Error);
 }
 
 }  // namespace

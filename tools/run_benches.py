@@ -16,9 +16,16 @@ the (noisy, 1-vCPU) development machine is committed at
 bench/BENCH_veccost.json; expect +-25% jitter on such hosts and compare
 trends, not single samples.
 
+With --baseline (typically the committed bench/BENCH_veccost.json), every
+timer is compared against the baseline artifact and regressions beyond
+--regression-threshold (default 25%, about the jitter floor of shared CI
+hosts) are printed as warnings. Warnings never change the exit code.
+
 Usage:
   tools/run_benches.py [--build-dir build] [--out BENCH_veccost.json]
                        [--min-time 0.1] [--repeats 3]
+                       [--baseline bench/BENCH_veccost.json]
+                       [--regression-threshold 0.25]
 """
 
 import argparse
@@ -66,6 +73,52 @@ def time_cold_suite(veccost, env_extra, repeats):
     return best
 
 
+def warn_regressions(artifact, baseline_path, threshold):
+    """Print non-gating warnings for timers slower than the baseline.
+
+    Returns the number of warnings. Missing/new timers and a missing or
+    unreadable baseline are reported but never treated as regressions.
+    """
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"baseline {baseline_path} unusable ({e}) — skipping comparison",
+              file=sys.stderr)
+        return 0
+    if baseline.get("schema") != artifact["schema"]:
+        print(f"baseline schema {baseline.get('schema')!r} != "
+              f"{artifact['schema']!r} — skipping comparison", file=sys.stderr)
+        return 0
+
+    warnings = 0
+
+    def compare(unit, current, base):
+        nonlocal warnings
+        for name, now in sorted(current.items()):
+            then = base.get(name)
+            if then is None:
+                print(f"  note: {name} has no baseline entry")
+                continue
+            if then > 0 and now > then * (1 + threshold):
+                print(f"  WARNING: {name} regressed "
+                      f"{now / then - 1:+.0%} ({then:.1f} -> {now:.1f} {unit})")
+                warnings += 1
+
+    print(f"comparing against {baseline_path} "
+          f"(threshold {threshold:.0%}, informational only):")
+    compare("ns/op", artifact["benchmarks_ns_per_op"],
+            baseline.get("benchmarks_ns_per_op", {}))
+    compare("ms", artifact["suite_cold_run_ms"],
+            baseline.get("suite_cold_run_ms", {}))
+    if warnings:
+        print(f"  {warnings} regression warning(s) — non-gating; expect "
+              f"+-{threshold:.0%} jitter on shared hosts, compare trends")
+    else:
+        print("  no regressions beyond threshold")
+    return warnings
+
+
 def git_revision():
     try:
         out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
@@ -83,6 +136,11 @@ def main():
                     help="google-benchmark --benchmark_min_time")
     ap.add_argument("--repeats", type=int, default=3,
                     help="cold-suite runs per executor (best is kept)")
+    ap.add_argument("--baseline", default=None,
+                    help="prior BENCH_veccost.json to diff against "
+                         "(warnings only, never fails)")
+    ap.add_argument("--regression-threshold", type=float, default=0.25,
+                    help="fractional slowdown that triggers a warning")
     args = ap.parse_args()
 
     benchmarks = {}
@@ -124,6 +182,8 @@ def main():
         f.write("\n")
     print(f"wrote {args.out}: {len(benchmarks)} timers, "
           f"suite cold-run {suite_cold_ms or 'skipped'}")
+    if args.baseline:
+        warn_regressions(artifact, args.baseline, args.regression_threshold)
     return 0
 
 

@@ -9,8 +9,11 @@
 //   veccost advise   [target] [kernel...]        decisions vs oracle
 //   veccost select   <kernel> [target]           transform options + pick
 //   veccost catalog  [target]                    markdown kernel catalog
+//   veccost stats    [target|metrics.json]       pipeline metrics report
 //
 // Everything the example binaries do, behind one verb-style entry point.
+// Every subcommand that measures goes through eval::Session; the global
+// flags (support::parse_global_flags) configure it once, up front.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -23,13 +26,16 @@
 #include "costmodel/selector.hpp"
 #include "costmodel/trainer.hpp"
 #include "eval/experiments.hpp"
-#include "eval/parallel_runner.hpp"
 #include "eval/report.hpp"
+#include "eval/session.hpp"
 #include "fit/model_io.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "machine/perf_model.hpp"
 #include "machine/targets.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "support/env_flags.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -54,41 +60,19 @@ usage:
   veccost advise  [target]
   veccost select  <kernel> [target]
   veccost catalog [target]
+  veccost stats   [--json] [target|metrics.json]
 
 global flags:
-  --jobs N     measurement/training parallelism (default: all hardware
-               threads; also VECCOST_JOBS)
-  --no-cache   ignore and do not update results/cache/ (also
-               VECCOST_NO_CACHE=1)
+  --jobs N             measurement/training parallelism (default: all
+                       hardware threads; also VECCOST_JOBS)
+  --no-cache           ignore and do not update results/cache/ (also
+                       VECCOST_NO_CACHE=1)
+  --no-metrics         disable metrics/span collection (also
+                       VECCOST_METRICS=0)
+  --metrics-out FILE   write the metrics registry as JSON on exit
+  --trace-out FILE     write collected spans as Chrome trace-event JSON
 )";
   std::exit(2);
-}
-
-/// Strip `--jobs N` / `--jobs=N` / `--no-cache` from anywhere in the
-/// argument list, applying them process-wide.
-std::vector<std::string> parse_global_flags(std::vector<std::string> args) {
-  std::vector<std::string> rest;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& a = args[i];
-    std::string jobs_value;
-    if (a == "--jobs") {
-      if (i + 1 >= args.size()) throw Error("--jobs requires a count");
-      jobs_value = args[++i];
-    } else if (a.rfind("--jobs=", 0) == 0) {
-      jobs_value = a.substr(7);
-    } else if (a == "--no-cache") {
-      eval::set_measurement_cache_enabled(false);
-      continue;
-    } else {
-      rest.push_back(a);
-      continue;
-    }
-    const long n = std::strtol(jobs_value.c_str(), nullptr, 10);
-    if (n <= 0) throw Error("--jobs expects a positive count, got '" +
-                            jobs_value + "'");
-    set_default_parallelism(static_cast<std::size_t>(n));
-  }
-  return rest;
 }
 
 const machine::TargetDesc& target_arg(const std::vector<std::string>& args,
@@ -162,7 +146,7 @@ int cmd_explore(const std::vector<std::string>& args) {
 
 int cmd_measure(const std::vector<std::string>& args) {
   const auto& target = target_arg(args, 2);
-  const auto sm = eval::measure_suite_cached(target);
+  const auto sm = eval::Session(target).measure().suite;
   eval::print_suite_overview(std::cout, sm);
   std::cout << '\n';
   const auto base = eval::experiment_baseline(sm);
@@ -174,19 +158,19 @@ int cmd_measure(const std::vector<std::string>& args) {
 
 int cmd_verify(const std::vector<std::string>& args) {
   const auto& target = target_arg(args, 2);
-  eval::RunnerOptions opts;
+  eval::SessionOptions opts;
   opts.use_cache = false;  // nothing to cache: validation is the point
-  opts.validate_semantics = true;
+  eval::SuiteRequest request;
+  request.validate_semantics = true;
   if (args.size() > 3) {
     const long n = std::strtol(args[3].c_str(), nullptr, 10);
     if (n <= 0) throw Error("verify expects a positive problem size, got '" +
                             args[3] + "'");
-    opts.validation_n = n;
+    request.validation_n = n;
   }
-  eval::ParallelRunner runner(opts);
-  (void)runner.measure_suite(target);
-  std::cout << "verified " << tsvc::suite().size() << " kernels, "
-            << runner.validated_configurations()
+  const auto result = eval::Session(target, opts).measure(request);
+  std::cout << "verified " << result.suite.kernels.size() << " kernels, "
+            << result.validated_configurations
             << " scalar/vector configurations on " << target.name
             << ": all equivalent\n";
   return 0;
@@ -208,7 +192,7 @@ int cmd_train(const std::vector<std::string>& args) {
     else if (args[4] == "extended") set = analysis::FeatureSet::Extended;
     else throw Error("unknown feature set: " + args[4]);
   }
-  const auto sm = eval::measure_suite_cached(target);
+  const auto sm = eval::Session(target).measure().suite;
   const auto fit = eval::experiment_fit_speedup(sm, fitter, set);
   eval::print_weights(std::cout, fit.model);
   std::cout << '\n';
@@ -225,7 +209,7 @@ int cmd_train(const std::vector<std::string>& args) {
 
 int cmd_advise(const std::vector<std::string>& args) {
   const auto& target = target_arg(args, 2);
-  const auto sm = eval::measure_suite_cached(target);
+  const auto sm = eval::Session(target).measure().suite;
   const auto base = eval::experiment_baseline(sm);
   const auto fit = eval::experiment_fit_speedup(
       sm, model::Fitter::NNLS, analysis::FeatureSet::Rated, /*loocv=*/true);
@@ -239,7 +223,7 @@ int cmd_select(const std::vector<std::string>& args) {
   if (args.size() < 3) usage();
   const ir::LoopKernel scalar = kernel_arg(args[2]);
   const auto& target = target_arg(args, 3);
-  const auto sm = eval::measure_suite_cached(target);
+  const auto sm = eval::Session(target).measure().suite;
   const auto fitted = model::fit_model(
       sm.design_matrix(analysis::FeatureSet::Rated), sm.measured_speedups(),
       model::Fitter::NNLS, analysis::FeatureSet::Rated);
@@ -261,7 +245,7 @@ int cmd_select(const std::vector<std::string>& args) {
 
 int cmd_catalog(const std::vector<std::string>& args) {
   const auto& target = target_arg(args, 2);
-  const auto sm = eval::measure_suite_cached(target);
+  const auto sm = eval::Session(target).measure().suite;
   std::cout << "| kernel | category | vectorizable | VF | measured |\n";
   std::cout << "|---|---|---|---|---|\n";
   for (const auto& k : sm.kernels) {
@@ -274,24 +258,78 @@ int cmd_catalog(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `veccost stats [--json] [target|metrics.json]`. With a .json argument,
+/// render a previously saved metrics file (the round-trip path); otherwise
+/// run one suite measurement so the pipeline populates the registry, then
+/// render the live snapshot.
+int cmd_stats(std::vector<std::string> args) {
+  bool json = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--json") {
+      json = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  obs::Snapshot snapshot;
+  const std::string arg = args.size() > 2 ? args[2] : "";
+  if (arg.size() > 5 && arg.compare(arg.size() - 5, 5, ".json") == 0) {
+    std::ifstream in(arg);
+    if (!in) throw Error("cannot open " + arg);
+    std::ostringstream text;
+    text << in.rdbuf();
+    snapshot = obs::snapshot_from_json(text.str());
+  } else {
+    const auto& target = target_arg(args, 2);
+    (void)eval::Session(target).measure();
+    snapshot = obs::Registry::global().snapshot();
+  }
+  if (json)
+    obs::write_metrics_json(std::cout, snapshot);
+  else
+    std::cout << obs::metrics_table(snapshot);
+  return 0;
+}
+
+void write_outputs(const support::GlobalOptions& opts) {
+  if (!opts.metrics_out.empty()) {
+    std::ofstream out(opts.metrics_out);
+    if (!out) throw Error("cannot open " + opts.metrics_out);
+    obs::write_metrics_json(out, obs::Registry::global().snapshot());
+  }
+  if (!opts.trace_out.empty()) {
+    std::ofstream out(opts.trace_out);
+    if (!out) throw Error("cannot open " + opts.trace_out);
+    obs::write_trace_json(out, obs::Registry::global().trace_events());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const std::vector<std::string> args =
-        parse_global_flags({argv, argv + argc});
+    std::vector<std::string> args(argv, argv + argc);
+    const support::GlobalOptions opts = support::parse_global_flags(args);
+    if (opts.jobs > 0) set_default_parallelism(opts.jobs);
+    eval::set_measurement_cache_enabled(opts.use_cache);
+    obs::Registry::global().set_enabled(opts.metrics);
     if (args.size() < 2) usage();
     const std::string& cmd = args[1];
-    if (cmd == "list") return cmd_list();
-    if (cmd == "targets") return cmd_targets();
-    if (cmd == "explore") return cmd_explore(args);
-    if (cmd == "measure") return cmd_measure(args);
-    if (cmd == "verify") return cmd_verify(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "advise") return cmd_advise(args);
-    if (cmd == "select") return cmd_select(args);
-    if (cmd == "catalog") return cmd_catalog(args);
-    usage();
+    int rc = 2;
+    if (cmd == "list") rc = cmd_list();
+    else if (cmd == "targets") rc = cmd_targets();
+    else if (cmd == "explore") rc = cmd_explore(args);
+    else if (cmd == "measure") rc = cmd_measure(args);
+    else if (cmd == "verify") rc = cmd_verify(args);
+    else if (cmd == "train") rc = cmd_train(args);
+    else if (cmd == "advise") rc = cmd_advise(args);
+    else if (cmd == "select") rc = cmd_select(args);
+    else if (cmd == "catalog") rc = cmd_catalog(args);
+    else if (cmd == "stats") rc = cmd_stats(args);
+    else usage();
+    write_outputs(opts);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
