@@ -75,6 +75,7 @@ void plan_strips(const LoopKernel& kernel,
   // exactly one iteration, and within it the original op order is kept.
   struct ArrayAccess {
     bool seen = false, has_store = false, indirect = false, mixed = false;
+    int count = 0;
     std::int64_t lin = 0, base = 0, js = 0, ns = 0;
   };
   std::vector<ArrayAccess> acc(p.num_arrays);
@@ -82,6 +83,7 @@ void plan_strips(const LoopKernel& kernel,
     if (!ir::is_memory_op(u.op)) continue;
     ArrayAccess& a = acc[static_cast<std::size_t>(u.array)];
     a.has_store = a.has_store || ir::is_store_op(u.op);
+    ++a.count;
     if (u.indirect >= 0) {
       a.indirect = true;
       continue;
@@ -97,8 +99,15 @@ void plan_strips(const LoopKernel& kernel,
       a.mixed = true;
     }
   }
+  // The identical-map argument is injective only when the inner coefficient
+  // is nonzero; with lin == 0 every iteration touches the SAME element, so a
+  // written array may carry at most that one access (a lone store executes
+  // its lanes in iteration order and nothing observes the intermediates —
+  // any second access would see column-reordered state).
   for (const ArrayAccess& a : acc)
-    if (a.has_store && (a.indirect || a.mixed)) return;
+    if (a.has_store &&
+        (a.indirect || a.mixed || (a.lin == 0 && a.count > 1)))
+      return;
 
   // All-serial programs gain nothing from strips; require real column work.
   p.strip_ok = !p.strip_column.empty();

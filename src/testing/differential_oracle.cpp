@@ -1,0 +1,329 @@
+#include "testing/differential_oracle.hpp"
+
+#include <bit>
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "analysis/features.hpp"
+#include "analysis/legality.hpp"
+#include "costmodel/llvm_model.hpp"
+#include "ir/verifier.hpp"
+#include "machine/exec_engine.hpp"
+#include "machine/executor.hpp"
+#include "machine/perf_model.hpp"
+#include "obs/metrics.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+#include "vectorizer/reroll.hpp"
+#include "vectorizer/slp_vectorizer.hpp"
+#include "vectorizer/unroll.hpp"
+
+namespace veccost::testing {
+
+namespace {
+
+/// NaN-proof bitwise equality (double == would declare NaN != NaN and
+/// -0.0 == +0.0, both wrong for an engine-identity check).
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Compare two executions of (transformed versions of) one kernel. Empty
+/// string = equal. Arrays always compare bitwise; live-outs compare bitwise
+/// when `live_out_rtol < 0`, else with |got-want| <= rtol * max(1, |want|).
+/// `compare_iterations` is off for transforms that change the iteration
+/// count (unroll/reroll).
+std::string diff_exec(const ir::LoopKernel& kernel,
+                      const machine::Workload& wa,
+                      const machine::ExecResult& ra,
+                      const machine::Workload& wb,
+                      const machine::ExecResult& rb, bool compare_iterations,
+                      double live_out_rtol) {
+  std::ostringstream out;
+  if (compare_iterations) {
+    if (ra.iterations != rb.iterations)
+      out << "iterations " << ra.iterations << " vs " << rb.iterations << "; ";
+    if (ra.broke_early != rb.broke_early)
+      out << "broke_early " << ra.broke_early << " vs " << rb.broke_early
+          << "; ";
+  }
+  if (wa.arrays.size() != wb.arrays.size()) {
+    out << "array count " << wa.arrays.size() << " vs " << wb.arrays.size();
+    return out.str();
+  }
+  for (std::size_t a = 0; a < wa.arrays.size(); ++a) {
+    if (wa.arrays[a].size() != wb.arrays[a].size()) {
+      out << "array " << kernel.arrays[a].name << " length "
+          << wa.arrays[a].size() << " vs " << wb.arrays[a].size() << "; ";
+      continue;
+    }
+    for (std::size_t e = 0; e < wa.arrays[a].size(); ++e) {
+      if (!bits_equal(wa.arrays[a][e], wb.arrays[a][e])) {
+        out << "array " << kernel.arrays[a].name << "[" << e << "] "
+            << wa.arrays[a][e] << " vs " << wb.arrays[a][e] << "; ";
+        break;  // first mismatch per array is enough to triage
+      }
+    }
+  }
+  if (ra.live_outs.size() != rb.live_outs.size()) {
+    out << "live-out count " << ra.live_outs.size() << " vs "
+        << rb.live_outs.size();
+    return out.str();
+  }
+  for (std::size_t i = 0; i < ra.live_outs.size(); ++i) {
+    const double want = ra.live_outs[i];
+    const double got = rb.live_outs[i];
+    const bool equal =
+        live_out_rtol < 0
+            ? bits_equal(want, got)
+            : std::isfinite(got) &&
+                  std::abs(got - want) <=
+                      live_out_rtol * std::max(1.0, std::abs(want));
+    if (!equal)
+      out << "live-out " << i << " " << want << " vs " << got << "; ";
+  }
+  return out.str();
+}
+
+/// Run one matrix entry: `fn` either returns a detail string (empty = pass)
+/// or throws; both failure shapes become a Divergence under `config`.
+template <class Fn>
+void run_config(OracleVerdict& verdict, const std::string& config, Fn&& fn) {
+  ++verdict.configs_run;
+  VECCOST_COUNTER_ADD("fuzz.oracle.configs", 1);
+  std::string detail;
+  try {
+    detail = fn();
+  } catch (const std::exception& e) {
+    detail = std::string("exception: ") + e.what();
+  }
+  if (!detail.empty()) {
+    VECCOST_COUNTER_ADD("fuzz.oracle.divergences", 1);
+    verdict.divergences.push_back({config, std::move(detail)});
+  }
+}
+
+std::string check_finite(const char* what, double v, bool require_positive) {
+  if (!std::isfinite(v)) return std::string(what) + " is not finite";
+  if (require_positive && v <= 0.0) return std::string(what) + " is <= 0";
+  if (!require_positive && v < 0.0) return std::string(what) + " is < 0";
+  return {};
+}
+
+}  // namespace
+
+std::string OracleVerdict::to_string() const {
+  std::ostringstream out;
+  out << configs_run << " configs run, " << configs_skipped << " skipped, "
+      << divergences.size() << " divergences";
+  for (const Divergence& d : divergences)
+    out << "\n  [" << d.config << "] " << d.detail;
+  return out.str();
+}
+
+DifferentialOracle::DifferentialOracle(const machine::TargetDesc& target,
+                                       OracleOptions opts)
+    : target_(target), opts_(std::move(opts)) {}
+
+OracleVerdict DifferentialOracle::check(const ir::LoopKernel& scalar) const {
+  VECCOST_SPAN("fuzz.oracle.check");
+  OracleVerdict verdict;
+
+  run_config(verdict, "verify", [&] {
+    const ir::VerifyResult r = ir::verify(scalar);
+    return r.ok() ? std::string{} : r.to_string();
+  });
+  if (!verdict.ok()) return verdict;  // nothing below may execute invalid IR
+
+  const std::int64_t n = opts_.n > 0 ? opts_.n : scalar.default_n;
+  const machine::Workload init = machine::make_workload(scalar, n);
+
+  // Ground truth for every comparison below: the reference interpreter on
+  // the untransformed kernel. If it throws, there is nothing to compare
+  // transformed executions against, so those configs are gated on scalar_ok.
+  machine::Workload ws = init;
+  machine::ExecResult rs;
+  bool scalar_ok = false;
+  run_config(verdict, "engine:scalar", [&] {
+    rs = machine::reference_execute_scalar(scalar, ws);
+    scalar_ok = true;
+    machine::Workload wl = init;
+    const machine::ExecResult rl = machine::lowered_execute_scalar(scalar, wl);
+    return diff_exec(scalar, ws, rs, wl, rl, true, -1.0);
+  });
+
+  if (opts_.check_metrics_toggle && scalar_ok) {
+    run_config(verdict, "metrics:off", [&] {
+      // The enabled flag is process-global; serialize so concurrent fuzz
+      // workers cannot observe each other mid-toggle.
+      static std::mutex mu;
+      const std::lock_guard<std::mutex> lock(mu);
+      obs::Registry& reg = obs::Registry::global();
+      const bool was = reg.enabled();
+      machine::Workload won = init;
+      machine::Workload woff = init;
+      reg.set_enabled(true);
+      const machine::ExecResult ron = machine::lowered_execute_scalar(scalar, won);
+      reg.set_enabled(false);
+      const machine::ExecResult roff =
+          machine::lowered_execute_scalar(scalar, woff);
+      reg.set_enabled(was);
+      return diff_exec(scalar, won, ron, woff, roff, true, -1.0);
+    });
+  }
+
+  // Widening matrix: target-natural VF (requested_vf = 0) plus the explicit
+  // list, deduplicated by the VF the vectorizer actually chose.
+  if (scalar_ok) {
+    std::set<int> widened;
+    std::vector<int> requests = {0};
+    requests.insert(requests.end(), opts_.vfs.begin(), opts_.vfs.end());
+    for (const int req : requests) {
+      vectorizer::LoopVectorizerOptions vopts;
+      vopts.requested_vf = req;
+      const vectorizer::VectorizedLoop vec =
+          vectorizer::vectorize_loop(scalar, target_, vopts);
+      // Runtime-check-guarded loops execute their scalar path (the widened
+      // kernel is for cost analysis only; see vplan.hpp) — nothing to run.
+      if (!vec.ok || vec.runtime_check || !widened.insert(vec.vf).second) {
+        ++verdict.configs_skipped;
+        continue;
+      }
+      ir::LoopKernel widened_kernel = vec.kernel;
+      if (opts_.fault) (void)opts_.fault(widened_kernel);
+      const std::string config = "widen:vf=" + std::to_string(vec.vf);
+      run_config(verdict, config, [&] {
+        machine::Workload wv = init;
+        const machine::ExecResult rv =
+            machine::lowered_execute_vectorized(widened_kernel, scalar, wv);
+        std::string d = diff_exec(scalar, ws, rs, wv, rv, false,
+                                  opts_.reduction_tolerance);
+        if (!d.empty()) return "scalar vs widened: " + d;
+        // And the two executors must agree bitwise on the widened kernel.
+        machine::Workload wr = init;
+        const machine::ExecResult rr =
+            machine::reference_execute_vectorized(widened_kernel, scalar, wr);
+        d = diff_exec(scalar, wr, rr, wv, rv, true, -1.0);
+        if (!d.empty()) return "reference vs lowered (widened): " + d;
+        return std::string{};
+      });
+    }
+  }
+
+  // Unrolling preserves semantics only on divisible iteration ranges and
+  // never applies to loops with breaks; both limits are contract, not bugs.
+  // The campaign's n is deliberately odd (remainder loops), so each factor
+  // gets its own nearby problem size with a divisible iteration count.
+  if (scalar_ok && !scalar.has_break()) {
+    for (const int factor : opts_.unroll_factors) {
+      std::int64_t nu = 0;
+      const std::int64_t scan =
+          2 * factor * scalar.trip.step * std::max<std::int64_t>(1, scalar.trip.den);
+      for (std::int64_t d = 0; d < scan; ++d) {
+        if (n - d > 0 && scalar.trip.iterations(n - d) > 0 &&
+            scalar.trip.iterations(n - d) % factor == 0) {
+          nu = n - d;
+          break;
+        }
+      }
+      const vectorizer::UnrollResult u =
+          nu > 0 ? vectorizer::unroll_loop(scalar, factor)
+                 : vectorizer::UnrollResult{};
+      if (!u.ok) {
+        ++verdict.configs_skipped;
+        continue;
+      }
+      run_config(verdict, "unroll:x" + std::to_string(factor), [&] {
+        machine::Workload wsu = machine::make_workload(scalar, nu);
+        const machine::ExecResult rsu =
+            machine::reference_execute_scalar(scalar, wsu);
+        machine::Workload wu = machine::make_workload(scalar, nu);
+        const machine::ExecResult ru =
+            machine::lowered_execute_scalar(u.kernel, wu);
+        return diff_exec(scalar, wsu, rsu, wu, ru, false, -1.0);
+      });
+    }
+  } else if (!opts_.unroll_factors.empty()) {
+    verdict.configs_skipped += opts_.unroll_factors.size();
+  }
+
+  if (scalar_ok) {
+    const vectorizer::SlpPlan plan =
+        vectorizer::slp_vectorize(scalar, target_, {});
+    if (plan.ok && plan.rerollable && plan.unroll == 1) {
+      const vectorizer::RerollResult rr = vectorizer::reroll_loop(scalar, plan);
+      if (rr.ok) {
+        run_config(verdict, "reroll", [&] {
+          machine::Workload wr = init;
+          const machine::ExecResult rres =
+              machine::lowered_execute_scalar(rr.kernel, wr);
+          return diff_exec(scalar, ws, rs, wr, rres, false, -1.0);
+        });
+      } else {
+        ++verdict.configs_skipped;
+      }
+    } else {
+      ++verdict.configs_skipped;
+    }
+  }
+
+  if (opts_.check_models) {
+    run_config(verdict, "models", [&] {
+      std::ostringstream out;
+      const analysis::Legality legality = analysis::check_legality(scalar);
+      if (!legality.vectorizable && legality.reasons.empty())
+        out << "legality rejected the kernel with no reasons; ";
+      for (const analysis::FeatureSet set :
+           {analysis::FeatureSet::Counts, analysis::FeatureSet::Rated,
+            analysis::FeatureSet::Extended}) {
+        const std::vector<double> f = analysis::extract_features(scalar, set);
+        if (f.size() != analysis::feature_names(set).size())
+          out << "feature vector size mismatch for " << analysis::to_string(set)
+              << "; ";
+        for (const double v : f)
+          if (!std::isfinite(v)) {
+            out << "non-finite feature in " << analysis::to_string(set) << "; ";
+            break;
+          }
+      }
+      std::string d = check_finite("block_cost",
+                                   model::block_cost(scalar, target_), false);
+      if (!d.empty()) out << d << "; ";
+      d = check_finite("perf estimate",
+                       machine::estimate(scalar, target_, n).total_cycles,
+                       true);
+      if (!d.empty()) out << d << "; ";
+      const vectorizer::SlpPlan slp =
+          vectorizer::slp_vectorize(scalar, target_, {});
+      if (slp.ok) {
+        d = check_finite("llvm_predict_slp",
+                         model::llvm_predict_slp(scalar, slp, target_), true);
+        if (!d.empty()) out << d << "; ";
+        d = check_finite("measure_slp_cycles",
+                         machine::measure_slp_cycles(scalar, slp, target_, n),
+                         true);
+        if (!d.empty()) out << d << "; ";
+      }
+      return out.str();
+    });
+  }
+
+  return verdict;
+}
+
+KernelMutator demo_lowering_fault() {
+  return [](ir::LoopKernel& kernel) {
+    if (kernel.vf <= 1) return false;
+    for (ir::Instruction& inst : kernel.body) {
+      if (inst.op == ir::Opcode::Sub) {
+        std::swap(inst.operands[0], inst.operands[1]);
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
+}  // namespace veccost::testing

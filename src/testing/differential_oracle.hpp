@@ -1,0 +1,103 @@
+// Differential conformance oracle: one kernel, every semantics contract.
+//
+// The oracle takes a scalar LoopKernel and runs the full matrix of
+// configurations whose outputs the pipeline promises agree:
+//
+//   verify         IR verifier accepts the kernel
+//   engine:scalar  reference interpreter vs lowered engine, bitwise
+//   widen:vf=K     scalar vs widened execution at VF in {2,4,8,16} and the
+//                  natural VF (arrays bitwise, reduction live-outs within
+//                  tolerance), plus reference vs lowered on the widened
+//                  kernel, bitwise
+//   unroll:xF      scalar vs unrolled-by-F on divisible iteration ranges
+//   reroll         scalar vs re-rolled (when the SLP plan is rerollable)
+//   metrics:off    lowered scalar run with the obs registry disabled vs
+//                  enabled, bitwise
+//   models         legality / features / cost models / perf models return
+//                  finite values and never throw
+//
+// Any mismatch, any exception, and any non-finite model output becomes a
+// Divergence naming the configuration. Configurations that do not apply
+// (vectorizer rejects, non-divisible unroll, runtime-check-guarded widening
+// — whose widened kernels must not be executed) are skipped, not failed.
+//
+// A KernelMutator hook can corrupt the widened kernel before execution; the
+// built-in demo fault stands in for a real lowering bug so the shrinker, the
+// fuzz tests and `veccost fuzz --inject-fault` can exercise the failure path
+// on a healthy tree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::testing {
+
+/// Mutates a kernel in place; returns true if it changed anything. Applied
+/// to every widened kernel the oracle is about to execute.
+using KernelMutator = std::function<bool(ir::LoopKernel&)>;
+
+struct OracleOptions {
+  /// Problem size; 0 = the kernel's default_n. Odd sizes exercise remainder
+  /// loops at every VF.
+  std::int64_t n = 0;
+  /// Explicit widening factors to try, besides the target-natural VF.
+  std::vector<int> vfs = {2, 4, 8, 16};
+  /// Unroll factors to try (skipped when iterations % factor != 0).
+  std::vector<int> unroll_factors = {2, 4};
+  /// Relative tolerance for reduction live-outs under reassociation
+  /// (absolute below 1): |got - want| <= tol * max(1, |want|).
+  double reduction_tolerance = 1e-2;
+  /// Run the metrics-on vs metrics-off comparison. Toggles the process-wide
+  /// obs registry (serialized internally); campaigns that care about counter
+  /// exactness can turn it off.
+  bool check_metrics_toggle = true;
+  /// Run the model/analysis totality checks.
+  bool check_models = true;
+  /// Fault hook applied to widened kernels before execution (see above).
+  KernelMutator fault;
+};
+
+/// One observed contract violation.
+struct Divergence {
+  std::string config;  ///< matrix entry, e.g. "widen:vf=4"
+  std::string detail;  ///< what differed / what was thrown
+};
+
+struct OracleVerdict {
+  std::vector<Divergence> divergences;
+  std::size_t configs_run = 0;      ///< configurations actually executed
+  std::size_t configs_skipped = 0;  ///< inapplicable (rejected VF, etc.)
+
+  [[nodiscard]] bool ok() const { return divergences.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class DifferentialOracle {
+ public:
+  explicit DifferentialOracle(const machine::TargetDesc& target,
+                              OracleOptions opts = {});
+
+  /// Run the whole matrix over `scalar`. Never throws on kernel
+  /// misbehavior — exceptions become divergences.
+  [[nodiscard]] OracleVerdict check(const ir::LoopKernel& scalar) const;
+
+  [[nodiscard]] const OracleOptions& options() const { return opts_; }
+
+ private:
+  machine::TargetDesc target_;
+  OracleOptions opts_;
+};
+
+/// The built-in demo fault: swaps the operands of the first Sub in a widened
+/// (vf > 1) kernel — the signature of a lowering pass that commutes a
+/// non-commutative op. Returns false (kernel untouched) for scalar kernels
+/// or bodies with no Sub, so only some generated kernels trigger it, exactly
+/// like a real bug.
+[[nodiscard]] KernelMutator demo_lowering_fault();
+
+}  // namespace veccost::testing

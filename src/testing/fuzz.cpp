@@ -1,0 +1,202 @@
+#include "testing/fuzz.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "testing/shrinker.hpp"
+
+namespace veccost::testing {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Order-sensitive FNV-1a over strings and integers.
+struct Digest {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void add(std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    add_byte(0xff);  // length separator
+  }
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) add_byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void add_byte(unsigned char b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+};
+
+/// What one campaign index contributes to the merged report and digest.
+struct IterationOutcome {
+  std::uint64_t seed = 0;
+  std::string kernel_text;
+  std::string kernel_name;
+  OracleVerdict verdict;
+};
+
+std::string sanitize_filename(std::string name) {
+  for (char& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_')
+      c = '_';
+  return name;
+}
+
+/// Shrink one failure (when asked) and write its .vir reproducer (when
+/// asked). The predicate is simply "the oracle still reports a divergence".
+CampaignFailure make_failure(const machine::TargetDesc& target,
+                             const CampaignOptions& opts, std::uint64_t seed,
+                             std::string source, const ir::LoopKernel& kernel,
+                             OracleVerdict verdict) {
+  CampaignFailure failure;
+  failure.seed = seed;
+  failure.kernel_name = kernel.name;
+  failure.source = std::move(source);
+  failure.divergences = std::move(verdict.divergences);
+  failure.reproducer = kernel;
+
+  if (opts.shrink) {
+    const DifferentialOracle oracle(target, opts.oracle);
+    const Shrinker shrinker;
+    ShrinkResult shrunk = shrinker.shrink(
+        kernel, [&](const ir::LoopKernel& k) { return !oracle.check(k).ok(); });
+    failure.reproducer = std::move(shrunk.kernel);
+  }
+
+  if (!opts.corpus_out.empty()) {
+    fs::create_directories(opts.corpus_out);
+    const fs::path path = fs::path(opts.corpus_out) /
+                          (sanitize_filename(failure.reproducer.name) + ".vir");
+    std::ofstream out(path);
+    VECCOST_ASSERT(out.good(), "cannot write reproducer " + path.string());
+    out << ir::print(failure.reproducer);
+    failure.reproducer_path = path.string();
+  }
+  return failure;
+}
+
+}  // namespace
+
+std::uint64_t iteration_seed(std::uint64_t seed, std::int64_t i) {
+  return SplitMix64(seed + 0x9e3779b97f4a7c15ull *
+                               static_cast<std::uint64_t>(i))
+      .next();
+}
+
+std::string CampaignReport::to_string() const {
+  std::ostringstream out;
+  out << "fuzz: " << corpus_replayed << " corpus replays, " << iterations
+      << " generated kernels, " << configs_run << " configs ("
+      << configs_skipped << " skipped), " << failures.size()
+      << " failures, digest " << std::hex << digest << std::dec;
+  for (const CampaignFailure& f : failures) {
+    out << "\n  " << f.kernel_name << " [" << f.source << "]";
+    for (const Divergence& d : f.divergences)
+      out << "\n    [" << d.config << "] " << d.detail;
+    if (!f.reproducer_path.empty())
+      out << "\n    reproducer: " << f.reproducer_path;
+  }
+  return out.str();
+}
+
+CampaignReport run_campaign(const machine::TargetDesc& target,
+                            const CampaignOptions& opts) {
+  VECCOST_SPAN("fuzz.campaign");
+  CampaignReport report;
+  Digest digest;
+  const DifferentialOracle oracle(target, opts.oracle);
+
+  // Corpus replay first: reproducers run at their own default_n (they were
+  // shrunk at it), so the replay oracle drops the campaign's n override.
+  if (!opts.corpus_dir.empty() && fs::is_directory(opts.corpus_dir)) {
+    OracleOptions replay_opts = opts.oracle;
+    replay_opts.n = 0;
+    const DifferentialOracle replay_oracle(target, replay_opts);
+    std::vector<fs::path> files;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(opts.corpus_dir))
+      if (entry.path().extension() == ".vir") files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      std::ifstream in(file);
+      VECCOST_ASSERT(in.good(), "cannot read corpus file " + file.string());
+      std::ostringstream text;
+      text << in.rdbuf();
+      const ir::LoopKernel kernel = ir::parse_kernel(text.str());
+      OracleVerdict verdict = replay_oracle.check(kernel);
+      ++report.corpus_replayed;
+      VECCOST_COUNTER_ADD("fuzz.corpus.replayed", 1);
+      report.configs_run += verdict.configs_run;
+      report.configs_skipped += verdict.configs_skipped;
+      digest.add(file.filename().string());
+      digest.add_u64(verdict.divergences.size());
+      if (!verdict.ok()) {
+        // Checked-in reproducers are already minimal: report, don't shrink,
+        // and never overwrite the corpus from a replay.
+        CampaignOptions replay_report = opts;
+        replay_report.shrink = false;
+        replay_report.corpus_out.clear();
+        report.failures.push_back(make_failure(target, replay_report, 0,
+                                               file.string(), kernel,
+                                               std::move(verdict)));
+      }
+    }
+  }
+
+  // Generated sweep: index-keyed seeds + index-ordered merge keep the digest
+  // (and everything else) bit-identical across jobs values.
+  const std::vector<IterationOutcome> outcomes = parallel_map(
+      static_cast<std::size_t>(opts.iters),
+      [&](std::size_t i) {
+        const std::uint64_t seed =
+            iteration_seed(opts.seed, static_cast<std::int64_t>(i));
+        const KernelGenerator generator(opts.generator);
+        IterationOutcome outcome;
+        outcome.seed = seed;
+        ir::LoopKernel kernel = generator.generate(seed);
+        outcome.kernel_text = ir::print(kernel);
+        outcome.kernel_name = kernel.name;
+        outcome.verdict = oracle.check(kernel);
+        VECCOST_COUNTER_ADD("fuzz.campaign.iterations", 1);
+        return outcome;
+      },
+      opts.jobs);
+
+  for (const IterationOutcome& outcome : outcomes) {
+    ++report.iterations;
+    report.configs_run += outcome.verdict.configs_run;
+    report.configs_skipped += outcome.verdict.configs_skipped;
+    digest.add(outcome.kernel_text);
+    digest.add_u64(outcome.verdict.configs_run);
+    digest.add_u64(outcome.verdict.configs_skipped);
+    for (const Divergence& d : outcome.verdict.divergences) {
+      digest.add(d.config);
+      digest.add(d.detail);
+    }
+    if (!outcome.verdict.ok()) {
+      VECCOST_COUNTER_ADD("fuzz.campaign.failures", 1);
+      const KernelGenerator generator(opts.generator);
+      report.failures.push_back(
+          make_failure(target, opts, outcome.seed, "generated",
+                       generator.generate(outcome.seed), outcome.verdict));
+    }
+  }
+  report.digest = digest.h;
+  return report;
+}
+
+}  // namespace veccost::testing

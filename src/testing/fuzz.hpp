@@ -1,0 +1,77 @@
+// Differential fuzzing campaign: generator + oracle + shrinker, fanned out
+// over the thread pool.
+//
+// A campaign replays the reproducer corpus first (every checked-in .vir file
+// must keep passing — or keep failing loudly — before new kernels are
+// tried), then runs `iters` generated kernels through the DifferentialOracle
+// in parallel. Results are merged in index order and folded into an FNV-1a
+// digest over each kernel's printed IR and its oracle outcome, so two runs
+// with the same seed are bit-comparable no matter the --jobs value — the
+// fuzz determinism test and the CI smoke stage both lean on this.
+//
+// Failures are shrunk (serially, after the sweep) and written as
+// self-contained .vir reproducers when `corpus_out` is set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/target.hpp"
+#include "testing/differential_oracle.hpp"
+#include "testing/kernel_generator.hpp"
+
+namespace veccost::testing {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;    ///< campaign seed; per-iteration seeds derive
+  std::int64_t iters = 1000; ///< generated kernels to check
+  std::size_t jobs = 0;      ///< 0 = default_parallelism()
+  GeneratorOptions generator;
+  OracleOptions oracle = odd_default_oracle();
+  bool shrink = true;        ///< minimize failures before reporting
+  std::string corpus_dir;    ///< replay *.vir from here first ("" = skip)
+  std::string corpus_out;    ///< write shrunk reproducers here ("" = don't)
+
+  /// Campaign default oracle: an odd problem size so every VF exercises its
+  /// remainder loop.
+  [[nodiscard]] static OracleOptions odd_default_oracle() {
+    OracleOptions o;
+    o.n = 257;
+    return o;
+  }
+};
+
+struct CampaignFailure {
+  std::uint64_t seed = 0;       ///< generator seed; 0 for corpus replays
+  std::string kernel_name;
+  std::string source;           ///< "generated" or the corpus file path
+  std::vector<Divergence> divergences;
+  ir::LoopKernel reproducer;    ///< shrunk kernel (the original if !shrink)
+  std::string reproducer_path;  ///< where it was written ("" if not written)
+};
+
+struct CampaignReport {
+  std::int64_t iterations = 0;       ///< generated kernels checked
+  std::size_t corpus_replayed = 0;   ///< corpus files replayed
+  std::size_t configs_run = 0;
+  std::size_t configs_skipped = 0;
+  std::vector<CampaignFailure> failures;
+  /// Order-sensitive FNV-1a digest of every kernel + outcome (see above).
+  std::uint64_t digest = 0;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run a whole campaign. Throws only on environment problems (unreadable
+/// corpus file, unwritable corpus_out); kernel misbehavior is reported in
+/// the CampaignReport.
+[[nodiscard]] CampaignReport run_campaign(const machine::TargetDesc& target,
+                                          const CampaignOptions& opts);
+
+/// The per-iteration generator seed for campaign seed `seed` at index `i` —
+/// exposed so tests and the CLI can re-generate a reported kernel.
+[[nodiscard]] std::uint64_t iteration_seed(std::uint64_t seed, std::int64_t i);
+
+}  // namespace veccost::testing

@@ -1,0 +1,78 @@
+// Seeded random kernel generator for differential testing.
+//
+// Produces verifier-valid scalar LoopKernels from a weighted grammar over
+// the whole IR surface: every elementwise opcode (float and integer),
+// f32/f64 element types, reductions (sum/prod/min/max), first-order
+// recurrences, if-converted conditionals (compares, selects, predicated
+// loads/stores), gather/indirect subscripts, mixed strides and offsets,
+// reversed (n-1-i) accesses, strided/offset/fractional trip counts, rare
+// early exits and 2-deep nests.
+//
+// Two hard guarantees make the output usable as fuzz input:
+//  * determinism — the kernel is a pure function of the 64-bit seed (and the
+//    options); the fuzz campaign leans on this for reproducibility across
+//    --jobs values and for shrinking;
+//  * in-bounds by construction — every affine subscript is bounded by
+//    scale <= kMaxScale and offset <= kMaxOffset while arrays are declared
+//    kMaxScale*n + kArraySlack long, and indirect subscripts only ever come
+//    straight from integer-array loads (whose values make_workload keeps in
+//    [0, n)), so no execution at any problem size can fault.
+//
+// Numeric ranges are managed so generated kernels stay finite and
+// tolerance-comparable after vectorization: a per-value log2-magnitude
+// bound gates which values may feed multiplies, reduction updates are drawn
+// from positive bounded values (no catastrophic cancellation under
+// reassociation), and division/sqrt only see operands >= 0.5.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/loop.hpp"
+
+namespace veccost::testing {
+
+struct GeneratorOptions {
+  std::int64_t default_n = 4096;  ///< default_n of the generated kernels
+
+  int min_arrays = 2;  ///< float arrays (declarations, not necessarily used)
+  int max_arrays = 4;
+  int min_ops = 4;  ///< grammar productions drawn for the body
+  int max_ops = 16;
+
+  // Feature gates, so targeted campaigns can carve out sub-grammars.
+  bool allow_f64 = true;          ///< 1-in-4 kernels compute in f64
+  bool allow_int_ops = true;      ///< i32 compute chains + converts
+  bool allow_indirect = true;     ///< gathers (and rare indirect stores)
+  bool allow_strides = true;      ///< scales in {0,2,3} and reversed n-1-i
+  bool allow_reductions = true;
+  bool allow_recurrences = true;
+  bool allow_predication = true;  ///< masked loads/stores
+  bool allow_break = true;        ///< rare data-dependent early exits
+  bool allow_outer = true;        ///< rare 2-deep nests with scale_j terms
+  bool allow_trip_shapes = true;  ///< start/step/den/offset variety
+};
+
+/// Subscript bounds the generator promises (see file comment). Arrays are
+/// declared `kMaxScale*n + kArraySlack` elements long.
+inline constexpr std::int64_t kMaxScale = 3;
+inline constexpr std::int64_t kMaxOffset = 8;
+inline constexpr std::int64_t kMaxOuterTrip = 4;
+inline constexpr std::int64_t kMaxScaleJ = 2;
+inline constexpr std::int64_t kArraySlack =
+    kMaxOffset + kMaxScaleJ * (kMaxOuterTrip - 1) + 2;
+
+class KernelGenerator {
+ public:
+  explicit KernelGenerator(GeneratorOptions opts = {}) : opts_(opts) {}
+
+  /// Generate the kernel for `seed`. Pure: equal seeds (and options) yield
+  /// structurally identical kernels, whose ir::print output is bit-equal.
+  [[nodiscard]] ir::LoopKernel generate(std::uint64_t seed) const;
+
+  [[nodiscard]] const GeneratorOptions& options() const { return opts_; }
+
+ private:
+  GeneratorOptions opts_;
+};
+
+}  // namespace veccost::testing

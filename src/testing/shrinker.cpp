@@ -1,0 +1,310 @@
+#include "testing/shrinker.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "ir/verifier.hpp"
+#include "obs/metrics.hpp"
+
+namespace veccost::testing {
+
+namespace {
+
+using ir::Instruction;
+using ir::kNoValue;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ValueId;
+
+/// Rebuild the body keeping only instructions with keep[i], remapping every
+/// ValueId reference. Returns nullopt when a kept instruction (or phi
+/// update) references a dropped value — such a candidate is not well-formed.
+/// Live-outs whose value was dropped are silently removed (that is how a
+/// live-out is deleted).
+std::optional<LoopKernel> filter_body(const LoopKernel& k,
+                                      const std::vector<bool>& keep) {
+  std::vector<ValueId> remap(k.body.size(), kNoValue);
+  ValueId next = 0;
+  for (std::size_t i = 0; i < k.body.size(); ++i)
+    if (keep[i]) remap[i] = next++;
+
+  const auto map = [&](ValueId id) -> std::optional<ValueId> {
+    if (id == kNoValue) return kNoValue;
+    if (remap[static_cast<std::size_t>(id)] == kNoValue) return std::nullopt;
+    return remap[static_cast<std::size_t>(id)];
+  };
+
+  LoopKernel out = k;
+  out.body.clear();
+  out.body.reserve(static_cast<std::size_t>(next));
+  for (std::size_t i = 0; i < k.body.size(); ++i) {
+    if (!keep[i]) continue;
+    Instruction inst = k.body[i];
+    for (ValueId& o : inst.operands) {
+      const auto m = map(o);
+      if (!m) return std::nullopt;
+      o = *m;
+    }
+    const auto pred = map(inst.predicate);
+    const auto ind = map(inst.index.indirect);
+    const auto upd = map(inst.phi_update);
+    if (!pred || !ind || !upd) return std::nullopt;
+    inst.predicate = *pred;
+    inst.index.indirect = *ind;
+    inst.phi_update = *upd;
+    out.body.push_back(inst);
+  }
+
+  out.live_outs.clear();
+  for (const ValueId lo : k.live_outs)
+    if (const auto m = map(lo); m && *m != kNoValue) out.live_outs.push_back(*m);
+  return out;
+}
+
+/// Drop exactly one instruction (plus its live-out entry, if any). Fails
+/// when something else still references it.
+std::optional<LoopKernel> erase_instruction(const LoopKernel& k, ValueId id) {
+  std::vector<bool> keep(k.body.size(), true);
+  keep[static_cast<std::size_t>(id)] = false;
+  return filter_body(k, keep);
+}
+
+void replace_uses(LoopKernel& k, ValueId from, ValueId to) {
+  for (Instruction& inst : k.body) {
+    for (ValueId& o : inst.operands)
+      if (o == from) o = to;
+    if (inst.predicate == from) inst.predicate = to;
+    if (inst.index.indirect == from) inst.index.indirect = to;
+    if (inst.phi_update == from) inst.phi_update = to;
+  }
+  for (ValueId& lo : k.live_outs)
+    if (lo == from) lo = to;
+}
+
+bool has_side_effect(const Instruction& inst) {
+  return ir::is_store_op(inst.op) || inst.op == Opcode::Break;
+}
+
+}  // namespace
+
+LoopKernel remove_dead_code(const LoopKernel& kernel) {
+  std::vector<bool> live(kernel.body.size(), false);
+  std::vector<ValueId> worklist;
+  const auto mark = [&](ValueId id) {
+    if (id == kNoValue || live[static_cast<std::size_t>(id)]) return;
+    live[static_cast<std::size_t>(id)] = true;
+    worklist.push_back(id);
+  };
+
+  for (std::size_t i = 0; i < kernel.body.size(); ++i)
+    if (has_side_effect(kernel.body[i])) mark(static_cast<ValueId>(i));
+  for (const ValueId lo : kernel.live_outs) mark(lo);
+
+  while (!worklist.empty()) {
+    const Instruction& inst =
+        kernel.body[static_cast<std::size_t>(worklist.back())];
+    worklist.pop_back();
+    for (const ValueId o : inst.operands) mark(o);
+    mark(inst.predicate);
+    mark(inst.index.indirect);
+    mark(inst.phi_update);
+  }
+
+  // Mark-sweep can only drop references, never dangle them, so filter_body
+  // always succeeds here.
+  LoopKernel out = *filter_body(kernel, live);
+
+  // Compact arrays nothing touches any more.
+  std::vector<int> array_remap(out.arrays.size(), -1);
+  for (const Instruction& inst : out.body)
+    if (inst.array >= 0) array_remap[static_cast<std::size_t>(inst.array)] = 0;
+  int next_array = 0;
+  for (std::size_t a = 0; a < out.arrays.size(); ++a)
+    if (array_remap[a] == 0) array_remap[a] = next_array++;
+  std::vector<ir::ArrayDecl> arrays;
+  arrays.reserve(static_cast<std::size_t>(next_array));
+  for (std::size_t a = 0; a < out.arrays.size(); ++a)
+    if (array_remap[a] >= 0) arrays.push_back(out.arrays[a]);
+  out.arrays = std::move(arrays);
+  for (Instruction& inst : out.body)
+    if (inst.array >= 0)
+      inst.array = array_remap[static_cast<std::size_t>(inst.array)];
+
+  // And params likewise (referenced by Param ops and phi initial values).
+  std::vector<int> param_remap(out.params.size(), -1);
+  for (const Instruction& inst : out.body) {
+    if (inst.param_index >= 0)
+      param_remap[static_cast<std::size_t>(inst.param_index)] = 0;
+    if (inst.phi_init_param >= 0)
+      param_remap[static_cast<std::size_t>(inst.phi_init_param)] = 0;
+  }
+  int next_param = 0;
+  for (std::size_t p = 0; p < out.params.size(); ++p)
+    if (param_remap[p] == 0) param_remap[p] = next_param++;
+  std::vector<double> params;
+  params.reserve(static_cast<std::size_t>(next_param));
+  for (std::size_t p = 0; p < out.params.size(); ++p)
+    if (param_remap[p] >= 0) params.push_back(out.params[p]);
+  out.params = std::move(params);
+  for (Instruction& inst : out.body) {
+    if (inst.param_index >= 0)
+      inst.param_index = param_remap[static_cast<std::size_t>(inst.param_index)];
+    if (inst.phi_init_param >= 0)
+      inst.phi_init_param =
+          param_remap[static_cast<std::size_t>(inst.phi_init_param)];
+  }
+  return out;
+}
+
+ShrinkResult Shrinker::shrink(const ir::LoopKernel& failing,
+                              const FailurePredicate& still_fails) const {
+  ShrinkResult result;
+  result.kernel = failing;
+
+  const auto fails = [&](const LoopKernel& k) {
+    try {
+      return still_fails(k);
+    } catch (...) {
+      return false;  // a predicate-crashing candidate is not a reproducer
+    }
+  };
+  if (!fails(failing)) return result;
+
+  // Try one candidate: cleaned up, well-formed, and still failing -> accept.
+  const auto attempt = [&](const LoopKernel& candidate) {
+    ++result.candidates_tried;
+    VECCOST_COUNTER_ADD("fuzz.shrink.candidates", 1);
+    LoopKernel cleaned = remove_dead_code(candidate);
+    if (!ir::verify(cleaned).ok()) return false;
+    if (!fails(cleaned)) return false;
+    ++result.candidates_accepted;
+    result.kernel = std::move(cleaned);
+    return true;
+  };
+
+  (void)attempt(result.kernel);  // the failing kernel may carry dead code
+
+  for (int round = 0; round < opts_.max_rounds; ++round) {
+    result.rounds = round + 1;
+    bool changed = false;
+    // Each pass rescans from the top after an acceptance: ids shift when
+    // instructions are dropped, so positions are not stable across accepts.
+    const auto until_fixpoint = [&](const auto& one_pass) {
+      while (one_pass()) changed = true;
+    };
+
+    // Drop whole observations first — they unlock the most dead code.
+    until_fixpoint([&] {
+      const LoopKernel& k = result.kernel;
+      for (std::size_t i = 0; i < k.body.size(); ++i) {
+        if (!has_side_effect(k.body[i])) continue;
+        const auto c = erase_instruction(k, static_cast<ValueId>(i));
+        if (c && attempt(*c)) return true;
+      }
+      return false;
+    });
+    until_fixpoint([&] {
+      const LoopKernel& k = result.kernel;
+      for (std::size_t i = 0; i < k.live_outs.size(); ++i) {
+        LoopKernel c = k;
+        c.live_outs.erase(c.live_outs.begin() + static_cast<std::ptrdiff_t>(i));
+        if (attempt(c)) return true;
+      }
+      return false;
+    });
+
+    // Clear access predicates (un-if-convert).
+    until_fixpoint([&] {
+      const LoopKernel& k = result.kernel;
+      for (std::size_t i = 0; i < k.body.size(); ++i) {
+        if (k.body[i].predicate == kNoValue) continue;
+        LoopKernel c = k;
+        c.body[i].predicate = kNoValue;
+        if (attempt(c)) return true;
+      }
+      return false;
+    });
+
+    // Simplify subscripts: whole index to a[i] first, then field by field.
+    until_fixpoint([&] {
+      const LoopKernel& k = result.kernel;
+      for (std::size_t i = 0; i < k.body.size(); ++i) {
+        const Instruction& inst = k.body[i];
+        if (!ir::is_memory_op(inst.op)) continue;
+        const ir::MemIndex plain{1, 0, 0, 0, kNoValue};
+        if (inst.index == plain) continue;
+        LoopKernel c = k;
+        c.body[i].index = plain;
+        if (attempt(c)) return true;
+        using FieldFix = void (*)(ir::MemIndex&);
+        static constexpr FieldFix kFixes[] = {
+            [](ir::MemIndex& m) { m.indirect = kNoValue; m.scale_i = 1; },
+            [](ir::MemIndex& m) { m.offset = 0; },
+            [](ir::MemIndex& m) { m.scale_j = 0; },
+            [](ir::MemIndex& m) { m.n_scale = 0; m.scale_i = 1; }};
+        for (const FieldFix field : kFixes) {
+          LoopKernel f = k;
+          ir::MemIndex before = f.body[i].index;
+          field(f.body[i].index);
+          if (f.body[i].index == before) continue;
+          if (attempt(f)) return true;
+        }
+      }
+      return false;
+    });
+
+    // Forward an instruction to a same-typed operand, collapsing the tree.
+    until_fixpoint([&] {
+      const LoopKernel& k = result.kernel;
+      for (std::size_t i = 0; i < k.body.size(); ++i) {
+        const Instruction& inst = k.body[i];
+        if (inst.op == Opcode::Phi || has_side_effect(inst) ||
+            inst.num_operands() == 0)
+          continue;
+        for (const ValueId o : inst.operands) {
+          if (o == kNoValue) continue;
+          if (!(k.value_type(o) == inst.type)) continue;
+          LoopKernel c = k;
+          replace_uses(c, static_cast<ValueId>(i), o);
+          if (attempt(c)) return true;
+        }
+      }
+      return false;
+    });
+
+    // Structure: flatten the nest / trip shape, then shrink the problem.
+    {
+      const LoopKernel& k = result.kernel;
+      if (k.has_outer) {
+        LoopKernel c = k;
+        c.has_outer = false;
+        c.outer_trip = 1;
+        if (attempt(c)) changed = true;
+      }
+    }
+    {
+      const ir::TripCount plain{};
+      const LoopKernel& k = result.kernel;
+      if (k.trip.start != plain.start || k.trip.step != plain.step ||
+          k.trip.num != plain.num || k.trip.den != plain.den ||
+          k.trip.offset != plain.offset) {
+        LoopKernel c = k;
+        c.trip = plain;
+        if (attempt(c)) changed = true;
+      }
+    }
+    until_fixpoint([&] {
+      const LoopKernel& k = result.kernel;
+      if (k.default_n / 2 < opts_.min_n) return false;
+      LoopKernel c = k;
+      c.default_n /= 2;
+      return attempt(c);
+    });
+
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace veccost::testing

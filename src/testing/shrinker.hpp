@@ -1,0 +1,68 @@
+// Delta-debugging shrinker for failing kernels.
+//
+// Given a kernel and a predicate "does this kernel still fail?", the
+// shrinker greedily applies semantics-simplifying transforms and keeps every
+// candidate that (a) still passes the IR verifier and (b) still fails the
+// predicate, looping until a full round changes nothing:
+//
+//  * drop one store / one live-out (plus everything only it needed);
+//  * drop the break; clear one access predicate;
+//  * simplify one subscript (indirect -> direct, scale_j/n_scale/offset -> 0,
+//    scale -> 1);
+//  * forward one instruction to a same-typed operand (collapsing expression
+//    trees);
+//  * flatten the trip count / outer nest; halve default_n down to min_n.
+//
+// Dead code left behind by any accepted transform is removed by a mark-sweep
+// over operands, predicates, indirect indices and phi updates; unreferenced
+// arrays and params are dropped too, so the reproducer that falls out is
+// genuinely minimal and prints as a small self-contained .vir file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::testing {
+
+/// True when the kernel still exhibits the failure being minimized.
+/// Exceptions thrown by the predicate count as "does not fail" (a candidate
+/// that crashes the predicate itself is not a usable reproducer).
+using FailurePredicate = std::function<bool(const ir::LoopKernel&)>;
+
+struct ShrinkOptions {
+  int max_rounds = 32;        ///< fixpoint loop bound (each round is O(body))
+  std::int64_t min_n = 8;     ///< floor for default_n halving
+};
+
+struct ShrinkResult {
+  ir::LoopKernel kernel;           ///< smallest still-failing kernel found
+  int rounds = 0;                  ///< rounds until fixpoint
+  std::size_t candidates_tried = 0;
+  std::size_t candidates_accepted = 0;
+};
+
+class Shrinker {
+ public:
+  explicit Shrinker(ShrinkOptions opts = {}) : opts_(opts) {}
+
+  /// Minimize `failing` (which must satisfy `still_fails`) and return the
+  /// fixpoint. If `failing` does not satisfy the predicate, it is returned
+  /// unchanged.
+  [[nodiscard]] ShrinkResult shrink(const ir::LoopKernel& failing,
+                                    const FailurePredicate& still_fails) const;
+
+  [[nodiscard]] const ShrinkOptions& options() const { return opts_; }
+
+ private:
+  ShrinkOptions opts_;
+};
+
+/// Mark-sweep dead-code elimination: drops instructions not reachable from a
+/// side effect (stores, breaks) or a live-out, then drops arrays and params
+/// nothing references. Exposed for its own unit tests.
+[[nodiscard]] ir::LoopKernel remove_dead_code(const ir::LoopKernel& kernel);
+
+}  // namespace veccost::testing

@@ -60,6 +60,81 @@ TEST(Cache, CapacitySweep) {
   EXPECT_EQ(big.hits(), 128u);  // whole second pass hits
 }
 
+TEST(Cache, ZeroStrideIsAllHitsAfterTheColdMiss) {
+  Cache c({1024, 64, 2});
+  for (int i = 0; i < 100; ++i) (void)c.access(4);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 99u);
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(Cache, LineCrossingAccessSpansTwoLines) {
+  // An 8-byte element starting at byte 60 straddles the 64-byte line
+  // boundary: its first and last bytes live on different lines, and both
+  // must be resident for the access to be a full hit.
+  Cache c({1024, 64, 2});
+  EXPECT_FALSE(c.access(60));      // first byte: line 0, cold
+  EXPECT_FALSE(c.access(60 + 7));  // last byte: line 1, also cold
+  EXPECT_TRUE(c.access(60));
+  EXPECT_TRUE(c.access(60 + 7));
+  EXPECT_EQ(c.misses(), 2u);
+  // A same-size access fully inside one line costs a single miss.
+  Cache d({1024, 64, 2});
+  EXPECT_FALSE(d.access(8));
+  EXPECT_TRUE(d.access(8 + 7));
+  EXPECT_EQ(d.misses(), 1u);
+}
+
+TEST(Cache, ExactSetCapacityHoldsWithoutEviction) {
+  // Exactly `ways` lines mapping to one set co-reside; the (ways+1)-th
+  // displaces the LRU way and is counted as an eviction, not just a miss.
+  Cache c({1024, 64, 2});  // 2-way: set 0 holds exactly two lines
+  const std::uint64_t set_stride = 64 * c.num_sets();
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(set_stride));
+  EXPECT_EQ(c.evictions(), 0u) << "filling empty ways is not eviction";
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(set_stride));
+  EXPECT_EQ(c.hits(), 2u);
+
+  EXPECT_FALSE(c.access(2 * set_stride));
+  EXPECT_EQ(c.evictions(), 1u) << "one past capacity displaces the LRU line";
+  EXPECT_TRUE(c.access(2 * set_stride));
+  EXPECT_TRUE(c.access(set_stride));  // the MRU survivor is still resident
+}
+
+TEST(CacheSim, ZeroStrideKernelStaysL1ResidentAtAnySize) {
+  // scale 0 subscripts touch one element per array no matter how large n
+  // is — the trace-driven simulator sees that even though the footprint
+  // heuristic would call this working set DRAM-sized.
+  B b("cs_zero_stride", "test");
+  const int a = b.array("a"), c = b.array("c");
+  b.store(a, B::at(0, 3), b.load(c, B::at(0, 5)));
+  const LoopKernel k = std::move(b).finish();
+  const auto sim = simulate_cache(k, cortex_a57(), 1 << 20);
+  EXPECT_EQ(sim.dominant_level(), "L1");
+}
+
+TEST(CacheSim, WideStrideFetchesMoreLinesThanUnitStride) {
+  B b1("cs_unit", "test");
+  {
+    const int a = b1.array("a"), c = b1.array("c");
+    b1.store(a, B::at(1), b1.load(c, B::at(1)));
+  }
+  const LoopKernel unit = std::move(b1).finish();
+  B b2("cs_stride2", "test");
+  {
+    const int a = b2.array("a");
+    const int c = b2.array("c", ScalarType::F32, 2);  // 2n: stride-2 in bounds
+    b2.store(a, B::at(1), b2.load(c, B::at(2)));
+  }
+  const LoopKernel strided = std::move(b2).finish();
+  const std::int64_t n = 1 << 20;
+  const auto s1 = simulate_cache(unit, cortex_a57(), n);
+  const auto s2 = simulate_cache(strided, cortex_a57(), n);
+  EXPECT_GT(s2.memory_fetches, s1.memory_fetches);
+}
+
 TEST(CacheSim, SmallWorkingSetIsL1Resident) {
   const LoopKernel k = streaming(2);
   const auto target = cortex_a57();

@@ -1,0 +1,114 @@
+// Tests for the paper-style report printers (eval/report). Each printer is
+// fed a real measured suite (one uncached Session::measure per test binary,
+// shared) and its output checked for the structural facts the figure
+// binaries rely on: every row present, deterministic output, CSV shape.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "costmodel/trainer.hpp"
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "eval/session.hpp"
+#include "machine/targets.hpp"
+
+namespace veccost::eval {
+namespace {
+
+const SuiteMeasurement& suite() {
+  static const SuiteMeasurement sm = [] {
+    SessionOptions opts;
+    opts.jobs = 4;
+    opts.use_cache = false;
+    return Session(machine::cortex_a57(), opts).measure().suite;
+  }();
+  return sm;
+}
+
+const ModelEval& baseline() {
+  static const ModelEval e = experiment_baseline(suite());
+  return e;
+}
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 0;
+  for (const char c : s)
+    if (c == '\n') ++n;
+  return n;
+}
+
+TEST(Report, SuiteOverviewCoversEveryCategoryAndTotals) {
+  std::ostringstream os;
+  print_suite_overview(os, suite());
+  const std::string out = os.str();
+  EXPECT_NE(out.find(suite().target_name), std::string::npos);
+  EXPECT_NE(out.find("ALL"), std::string::npos);
+  EXPECT_NE(out.find(std::to_string(suite().kernels.size())), std::string::npos);
+  for (const auto& k : suite().kernels)
+    EXPECT_NE(out.find(k.category), std::string::npos) << k.category;
+}
+
+TEST(Report, ModelComparisonHasOneRowPerModel) {
+  const std::vector<ModelEval> evals = {baseline(), baseline()};
+  std::ostringstream os;
+  print_model_comparison(os, evals);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("pearson"), std::string::npos);
+  EXPECT_NE(out.find(baseline().label), std::string::npos);
+  // Header + separator + one row per eval (TextTable layout).
+  EXPECT_GE(count_lines(out), evals.size() + 2);
+}
+
+TEST(Report, ScatterRespectsLimitAndOrdersWorstFirst) {
+  std::ostringstream all;
+  print_scatter(all, suite(), baseline(), suite().kernels.size(), false);
+  for (const auto& name : suite().dataset_names())
+    EXPECT_NE(all.str().find(name), std::string::npos) << name;
+
+  std::ostringstream limited;
+  print_scatter(limited, suite(), baseline(), 5, true);
+  EXPECT_LT(count_lines(limited.str()), count_lines(all.str()));
+  EXPECT_NE(limited.str().find("worst first"), std::string::npos);
+}
+
+TEST(Report, WeightsListEveryFeatureOfTheSet) {
+  const auto fit = experiment_fit_speedup(suite(), model::Fitter::NNLS,
+                                          analysis::FeatureSet::Rated);
+  std::ostringstream os;
+  print_weights(os, fit.model);
+  const std::string out = os.str();
+  for (const auto& name : analysis::feature_names(analysis::FeatureSet::Rated))
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(Report, DecisionOutcomesShowEfficiencyPerModel) {
+  std::ostringstream os;
+  print_decision_outcomes(os, {baseline()});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("efficiency"), std::string::npos);
+  EXPECT_NE(out.find(baseline().label), std::string::npos);
+  EXPECT_NE(out.find('%'), std::string::npos);
+}
+
+TEST(Report, ScatterCsvHasHeaderPlusOneRowPerDatasetKernel) {
+  std::ostringstream os;
+  write_scatter_csv(os, suite(), baseline());
+  const std::string out = os.str();
+  EXPECT_EQ(count_lines(out), suite().dataset_names().size() + 1);
+  EXPECT_EQ(out.rfind("kernel,predicted,measured", 0), 0u);
+}
+
+TEST(Report, PrintersAreDeterministic) {
+  const auto render = [] {
+    std::ostringstream os;
+    print_suite_overview(os, suite());
+    print_model_comparison(os, {baseline()});
+    print_scatter(os, suite(), baseline());
+    write_scatter_csv(os, suite(), baseline());
+    return os.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+}  // namespace
+}  // namespace veccost::eval

@@ -225,6 +225,25 @@ TEST(Session, ValidateSemanticsReportsConfigurations) {
       << "most vectorizable kernels validate at least one configuration";
 }
 
+TEST(Session, DeprecatedEntryPointsDelegateBitIdentically) {
+  // Both pre-Session entry points must forward their noise argument and
+  // produce exactly what a Session produces — at a NON-default noise, so a
+  // wrapper that silently dropped the parameter would be caught.
+  const double noise = 0.03;
+  const SuiteMeasurement via_session =
+      Session(machine::cortex_a57(), uncached(4)).measure({.noise = noise}).suite;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const SuiteMeasurement serial = measure_suite(machine::cortex_a57(), noise);
+  set_measurement_cache_enabled(false);
+  const SuiteMeasurement cached =
+      measure_suite_cached(machine::cortex_a57(), noise);
+  set_measurement_cache_enabled(true);
+#pragma GCC diagnostic pop
+  expect_bit_identical(serial, via_session, "measure_suite vs Session");
+  expect_bit_identical(cached, via_session, "measure_suite_cached vs Session");
+}
+
 TEST(Session, DeprecatedWrapperMatchesSession) {
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"

@@ -9,6 +9,7 @@
 //   veccost advise   [target] [kernel...]        decisions vs oracle
 //   veccost select   <kernel> [target]           transform options + pick
 //   veccost catalog  [target]                    markdown kernel catalog
+//   veccost fuzz     [target]                    differential fuzz campaign
 //   veccost stats    [target|metrics.json]       pipeline metrics report
 //
 // Everything the example binaries do, behind one verb-style entry point.
@@ -39,6 +40,8 @@
 #include "support/error.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
+#include "testing/differential_oracle.hpp"
+#include "testing/fuzz.hpp"
 #include "tsvc/kernel.hpp"
 #include "vectorizer/loop_vectorizer.hpp"
 
@@ -60,6 +63,8 @@ usage:
   veccost advise  [target]
   veccost select  <kernel> [target]
   veccost catalog [target]
+  veccost fuzz    [target] [--seed N] [--iters N] [--corpus DIR]
+                  [--corpus-out DIR] [--no-shrink] [--inject-fault]
   veccost stats   [--json] [target|metrics.json]
 
 global flags:
@@ -258,6 +263,59 @@ int cmd_catalog(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `veccost fuzz [target] [--seed N] [--iters N] [--corpus DIR]
+/// [--corpus-out DIR] [--no-shrink] [--inject-fault]`. Replays the corpus,
+/// then runs a seeded differential campaign (testing::run_campaign); exits
+/// nonzero when anything diverges. `--iters 0` is a pure corpus replay (the
+/// CI bench workflow's mode); `--inject-fault` corrupts every widened kernel
+/// with the built-in demo fault to demonstrate the catch+shrink path.
+int cmd_fuzz(std::vector<std::string> args) {
+  testing::CampaignOptions opts;
+  opts.corpus_dir = "tests/corpus";  // replayed when present, else skipped
+  bool inject_fault = false;
+  const auto int_flag = [&](std::vector<std::string>::iterator& it,
+                            const char* flag) {
+    if (std::next(it) == args.end())
+      throw Error(std::string(flag) + " needs a value");
+    it = args.erase(it);
+    const long long v = std::strtoll(it->c_str(), nullptr, 10);
+    it = args.erase(it);
+    return v;
+  };
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(int_flag(it, "--seed"));
+    } else if (*it == "--iters") {
+      opts.iters = int_flag(it, "--iters");
+      if (opts.iters < 0) throw Error("--iters must be >= 0");
+    } else if (*it == "--corpus") {
+      if (std::next(it) == args.end()) throw Error("--corpus needs a value");
+      it = args.erase(it);
+      opts.corpus_dir = *it;
+      it = args.erase(it);
+    } else if (*it == "--corpus-out") {
+      if (std::next(it) == args.end())
+        throw Error("--corpus-out needs a value");
+      it = args.erase(it);
+      opts.corpus_out = *it;
+      it = args.erase(it);
+    } else if (*it == "--no-shrink") {
+      opts.shrink = false;
+      it = args.erase(it);
+    } else if (*it == "--inject-fault") {
+      inject_fault = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (inject_fault) opts.oracle.fault = testing::demo_lowering_fault();
+  const auto& target = target_arg(args, 2);
+  const auto report = testing::run_campaign(target, opts);
+  std::cout << report.to_string() << '\n';
+  return report.ok() ? 0 : 1;
+}
+
 /// `veccost stats [--json] [target|metrics.json]`. With a .json argument,
 /// render a previously saved metrics file (the round-trip path); otherwise
 /// run one suite measurement so the pipeline populates the registry, then
@@ -326,6 +384,7 @@ int main(int argc, char** argv) {
     else if (cmd == "advise") rc = cmd_advise(args);
     else if (cmd == "select") rc = cmd_select(args);
     else if (cmd == "catalog") rc = cmd_catalog(args);
+    else if (cmd == "fuzz") rc = cmd_fuzz(args);
     else if (cmd == "stats") rc = cmd_stats(args);
     else usage();
     write_outputs(opts);
