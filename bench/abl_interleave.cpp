@@ -13,7 +13,7 @@
 #include "machine/targets.hpp"
 #include "support/table.hpp"
 #include "tsvc/kernel.hpp"
-#include "vectorizer/loop_vectorizer.hpp"
+#include "xform/pipeline.hpp"
 
 int main() {
   using namespace veccost;
@@ -24,17 +24,21 @@ int main() {
   ungrouped.name = "cortex-a57-nogroups";
   ungrouped.model_interleave_groups = false;
 
+  // The two targets share each kernel's legality verdict through one manager
+  // (legality is target-independent; only the widening differs).
+  xform::AnalysisManager analyses;
+  const xform::Pipeline pipeline = xform::Pipeline::parse("llv");
   TextTable t({"kernel", "speedup (groups)", "speedup (no groups)"});
   for (const char* name : {"s127", "s1111", "s128", "s171", "s351", "vpv"}) {
     const auto* info = tsvc::find_kernel(name);
     const ir::LoopKernel scalar = info->build();
     std::vector<std::string> row{name};
     for (const auto* target : {&grouped, &ungrouped}) {
-      const auto vec = vectorizer::vectorize_loop(scalar, *target);
-      row.push_back(vec.ok
-                        ? TextTable::num(machine::measure_speedup(
-                              vec.kernel, scalar, *target, scalar.default_n))
-                        : "-");
+      const xform::PipelineResult vec = pipeline.run(scalar, *target, analyses);
+      row.push_back(vec.ok ? TextTable::num(machine::measure_speedup(
+                                 vec.state.kernel, scalar, *target,
+                                 scalar.default_n))
+                           : "-");
     }
     t.add_row(row);
   }

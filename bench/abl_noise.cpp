@@ -19,7 +19,10 @@ int main() {
   TextTable t({"noise", "baseline r", "cost-fit r (l2)", "speedup-fit r (l2)",
                "cost-fit r (nnls)", "speedup-fit r (nnls)"});
   for (const double noise : {0.0, 0.015, 0.05, 0.10, 0.15}) {
-    const auto sm = eval::Session(machine::xeon_e5_avx2()).measure({.noise = noise}).suite;
+    eval::SuiteRequest request;
+    request.noise = noise;
+    const auto sm =
+        eval::Session(machine::xeon_e5_avx2()).measure(request).suite;
     const auto base = eval::experiment_baseline(sm);
     const auto cost_l2 = eval::experiment_fit_cost(
         sm, model::Fitter::L2, analysis::FeatureSet::Rated, true);

@@ -7,12 +7,15 @@
 #include "machine/targets.hpp"
 #include "support/table.hpp"
 #include "tsvc/kernel.hpp"
-#include "vectorizer/loop_vectorizer.hpp"
+#include "xform/pipeline.hpp"
 
 int main() {
   using namespace veccost;
   std::cout << "=== Ablation: vectorization factor sweep ===\n\n";
   const char* kernels[] = {"s000", "vdotr", "s1111", "s271", "s4112", "s317"};
+  // One manager for the whole sweep: each kernel's dependence analysis runs
+  // once, not once per (VF, target) cell.
+  xform::AnalysisManager analyses;
   for (const auto& target : machine::all_targets()) {
     TextTable t({"kernel", "vf=2", "vf=4", "vf=8", "vf=16"});
     for (const char* name : kernels) {
@@ -20,15 +23,16 @@ int main() {
       const ir::LoopKernel scalar = info->build();
       std::vector<std::string> row{name};
       for (const int vf : {2, 4, 8, 16}) {
-        vectorizer::LoopVectorizerOptions opts;
-        opts.requested_vf = vf;
-        const auto vec = vectorizer::vectorize_loop(scalar, target, opts);
+        const xform::Pipeline pipeline =
+            xform::Pipeline::parse("llv<" + std::to_string(vf) + ">");
+        const xform::PipelineResult vec =
+            pipeline.run(scalar, target, analyses);
         if (!vec.ok) {
           row.push_back("-");
           continue;
         }
-        const double s =
-            machine::measure_speedup(vec.kernel, scalar, target, scalar.default_n);
+        const double s = machine::measure_speedup(vec.state.kernel, scalar,
+                                                  target, scalar.default_n);
         row.push_back(TextTable::num(s, 2));
       }
       t.add_row(row);

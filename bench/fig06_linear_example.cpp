@@ -8,20 +8,22 @@
 #include "machine/targets.hpp"
 #include "support/table.hpp"
 #include "tsvc/kernel.hpp"
-#include "vectorizer/loop_vectorizer.hpp"
+#include "xform/pipeline.hpp"
 
 int main() {
   using namespace veccost;
   std::cout << "=== Figure: slide 6 — loops as linear equations ===\n\n";
   const auto target = machine::cortex_a57();
   const auto& names = analysis::feature_names(analysis::FeatureSet::Counts);
+  xform::AnalysisManager analyses;
+  const xform::Pipeline pipeline = xform::Pipeline::parse("llv");
 
   for (const char* name : {"s000", "s312"}) {  // add-style loop + product reduction
     const auto* info = tsvc::find_kernel(name);
     const ir::LoopKernel scalar = info->build();
     std::cout << name << ": " << info->description << '\n';
 
-    const auto counts = analysis::extract_features(scalar, analysis::FeatureSet::Counts);
+    const auto& counts = analyses.features(scalar, analysis::FeatureSet::Counts);
     std::string eq = "  speedup = ";
     bool first = true;
     for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -32,14 +34,14 @@ int main() {
     }
     std::cout << eq << '\n';
 
-    const auto vec = vectorizer::vectorize_loop(scalar, target);
+    const xform::PipelineResult vec = pipeline.run(scalar, target, analyses);
     if (vec.ok) {
       const double s = machine::measure_scalar_cycles(scalar, target, scalar.default_n);
-      const double v =
-          machine::measure_vector_cycles(vec.kernel, scalar, target, scalar.default_n);
+      const double v = machine::measure_vector_cycles(vec.state.kernel, scalar,
+                                                      target, scalar.default_n);
       const std::int64_t iters = scalar.trip.iterations(scalar.default_n);
       std::cout << "  c_scalar = " << TextTable::num(s / iters, 2)
-                << " cycles/iter,  c_target(vf=" << vec.vf
+                << " cycles/iter,  c_target(vf=" << vec.state.kernel.vf
                 << ") = " << TextTable::num(v / iters, 2)
                 << " cycles/iter,  measured speedup = " << TextTable::num(s / v, 2)
                 << "\n\n";

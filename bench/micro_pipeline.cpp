@@ -1,0 +1,87 @@
+// Microbenchmarks of the xform pipeline layer: what a VF sweep costs with a
+// cold AnalysisManager per pipeline run (legality/dependence recomputed per
+// VF, the pre-refactor shape) versus one warm manager shared across the
+// sweep (legality once per kernel, every later VF a cache hit) — the
+// speedup between the two is the AnalysisManager's reason to exist. Plus
+// the fixed costs around them: spec parsing and pass instantiation.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "machine/targets.hpp"
+#include "tsvc/kernel.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
+
+namespace {
+
+using namespace veccost;
+
+const std::vector<ir::LoopKernel>& suite_kernels() {
+  static const std::vector<ir::LoopKernel> kernels = [] {
+    std::vector<ir::LoopKernel> out;
+    for (const auto& info : tsvc::suite()) out.push_back(info.build());
+    return out;
+  }();
+  return kernels;
+}
+
+const std::vector<xform::Pipeline>& vf_sweep_pipelines() {
+  static const std::vector<xform::Pipeline> pipelines = [] {
+    std::vector<xform::Pipeline> out;
+    for (const int vf : {2, 4, 8, 16})
+      out.push_back(
+          xform::Pipeline::parse("llv<" + std::to_string(vf) + ">"));
+    return out;
+  }();
+  return pipelines;
+}
+
+void BM_ParsePipelineSpec(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(xform::Pipeline::parse("unroll<4>,slp,reroll"));
+}
+BENCHMARK(BM_ParsePipelineSpec);
+
+/// The pre-refactor shape: every pipeline run pays for its own analyses.
+void BM_VfSweepColdAnalyses(benchmark::State& state) {
+  const auto target = machine::cortex_a57();
+  for (auto _ : state) {
+    for (const auto& k : suite_kernels()) {
+      for (const auto& pipeline : vf_sweep_pipelines()) {
+        xform::AnalysisManager analyses;
+        benchmark::DoNotOptimize(pipeline.run(k, target, analyses));
+      }
+    }
+  }
+}
+BENCHMARK(BM_VfSweepColdAnalyses);
+
+/// The refactored shape: one manager per kernel, legality computed once and
+/// served from cache for every subsequent VF.
+void BM_VfSweepWarmAnalyses(benchmark::State& state) {
+  const auto target = machine::cortex_a57();
+  for (auto _ : state) {
+    for (const auto& k : suite_kernels()) {
+      xform::AnalysisManager analyses;
+      for (const auto& pipeline : vf_sweep_pipelines())
+        benchmark::DoNotOptimize(pipeline.run(k, target, analyses));
+    }
+  }
+}
+BENCHMARK(BM_VfSweepWarmAnalyses);
+
+void BM_RerollComposition(benchmark::State& state) {
+  const auto target = machine::cortex_a57();
+  const auto* info = tsvc::find_kernel("s351");
+  const ir::LoopKernel s351 = info->build();
+  const xform::Pipeline pipeline = xform::Pipeline::parse("slp,reroll,llv");
+  for (auto _ : state) {
+    xform::AnalysisManager analyses;
+    benchmark::DoNotOptimize(pipeline.run(s351, target, analyses));
+  }
+}
+BENCHMARK(BM_RerollComposition);
+
+}  // namespace

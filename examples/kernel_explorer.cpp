@@ -19,7 +19,7 @@
 #include "machine/targets.hpp"
 #include "support/table.hpp"
 #include "tsvc/kernel.hpp"
-#include "vectorizer/loop_vectorizer.hpp"
+#include "xform/pipeline.hpp"
 
 namespace {
 
@@ -54,14 +54,15 @@ int explore(const std::string& name) {
   }
   std::cout << "--- IR ---\n" << ir::print(scalar) << '\n';
 
+  xform::AnalysisManager analyses;
   const auto& names = analysis::feature_names(analysis::FeatureSet::Counts);
-  const auto counts = analysis::extract_features(scalar, analysis::FeatureSet::Counts);
+  const auto& counts = analyses.features(scalar, analysis::FeatureSet::Counts);
   std::cout << "--- features (counts) ---\n";
   for (std::size_t i = 0; i < names.size(); ++i)
     if (counts[i] != 0) std::cout << "  " << names[i] << " = " << counts[i] << '\n';
   std::cout << '\n';
 
-  const auto legality = analysis::check_legality(scalar);
+  const auto& legality = analyses.legality(scalar);
   std::cout << "--- legality ---\n";
   if (legality.vectorizable) {
     std::cout << "  vectorizable, max VF " << legality.max_vf << '\n';
@@ -70,18 +71,22 @@ int explore(const std::string& name) {
   }
   std::cout << '\n';
 
+  // One pipeline, one manager: the legality verdict above is reused for
+  // every target (legality is target-independent — only the chosen VF isn't).
+  const xform::Pipeline pipeline = xform::Pipeline::parse("llv");
   TextTable t({"target", "vf", "predicted", "measured"});
   for (const auto& target : machine::all_targets()) {
-    const auto vec = vectorizer::vectorize_loop(scalar, target);
+    const xform::PipelineResult vec = pipeline.run(scalar, target, analyses);
     if (!vec.ok) {
       t.add_row({target.name, "-", "-", "-"});
       continue;
     }
+    const ir::LoopKernel& widened = vec.state.kernel;
     const double predicted =
-        model::llvm_predict(scalar, vec.kernel, target).predicted_speedup;
+        model::llvm_predict(scalar, widened, target).predicted_speedup;
     const double measured =
-        machine::measure_speedup(vec.kernel, scalar, target, scalar.default_n);
-    t.add_row({target.name, std::to_string(vec.vf), TextTable::num(predicted),
+        machine::measure_speedup(widened, scalar, target, scalar.default_n);
+    t.add_row({target.name, std::to_string(widened.vf), TextTable::num(predicted),
                TextTable::num(measured)});
   }
   std::cout << "--- per target ---\n" << t.to_string();

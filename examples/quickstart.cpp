@@ -13,7 +13,7 @@
 #include "machine/executor.hpp"
 #include "machine/perf_model.hpp"
 #include "machine/targets.hpp"
-#include "vectorizer/loop_vectorizer.hpp"
+#include "xform/pipeline.hpp"
 
 int main() {
   using namespace veccost;
@@ -30,36 +30,42 @@ int main() {
 
   std::cout << "--- scalar IR ---\n" << ir::print(scalar) << '\n';
 
-  // 2. Is it legal to vectorize?
-  const auto legality = analysis::check_legality(scalar);
+  // 2. Is it legal to vectorize? (The AnalysisManager caches this verdict;
+  // the pipeline below reuses it instead of re-running dependence analysis.)
+  xform::AnalysisManager analyses;
+  const auto& legality = analyses.legality(scalar);
   std::cout << "legal to vectorize: " << (legality.vectorizable ? "yes" : "no")
             << ", max VF " << legality.max_vf << "\n\n";
 
-  // 3. Vectorize for a Cortex-A57 (128-bit NEON).
+  // 3. Vectorize for a Cortex-A57 (128-bit NEON) through the transform
+  // pipeline ("llv" = loop vectorization at the target's natural VF).
   const auto target = machine::cortex_a57();
-  const auto vec = vectorizer::vectorize_loop(scalar, target);
+  const xform::Pipeline pipeline = xform::Pipeline::parse("llv");
+  const xform::PipelineResult vec = pipeline.run(scalar, target, analyses);
   if (!vec.ok) {
-    std::cout << "vectorization failed: " << vec.notes_string() << '\n';
+    std::cout << "vectorization failed in " << vec.failed_pass << ": "
+              << vec.reason << '\n';
     return 1;
   }
-  std::cout << "--- widened IR (vf=" << vec.vf << ") ---\n"
-            << ir::print(vec.kernel) << '\n';
+  const ir::LoopKernel& widened = vec.state.kernel;
+  std::cout << "--- widened IR (vf=" << widened.vf << ") ---\n"
+            << ir::print(widened) << '\n';
 
   // 4. Predict the benefit (what a compiler would do)...
-  const auto pred = model::llvm_predict(scalar, vec.kernel, target);
+  const auto pred = model::llvm_predict(scalar, widened, target);
   std::cout << "baseline cost model predicts speedup: " << pred.predicted_speedup
             << '\n';
 
   // 5. ...and check against the measurement substrate.
   const double measured =
-      machine::measure_speedup(vec.kernel, scalar, target, scalar.default_n);
+      machine::measure_speedup(widened, scalar, target, scalar.default_n);
   std::cout << "measured speedup:                     " << measured << "\n\n";
 
   // 6. Verify the transform did not change semantics.
   machine::Workload ws = machine::make_workload(scalar, 1000);
   machine::Workload wv = machine::make_workload(scalar, 1000);
   (void)machine::execute_scalar(scalar, ws);
-  (void)machine::execute_vectorized(vec.kernel, scalar, wv);
+  (void)machine::execute_vectorized(widened, scalar, wv);
   bool same = true;
   for (std::size_t i = 0; i < ws.arrays.size(); ++i)
     if (ws.arrays[i] != wv.arrays[i]) same = false;

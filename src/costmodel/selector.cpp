@@ -8,6 +8,7 @@
 #include "vectorizer/loop_vectorizer.hpp"
 #include "vectorizer/reroll.hpp"
 #include "vectorizer/slp_vectorizer.hpp"
+#include "xform/analysis_manager.hpp"
 
 namespace veccost::model {
 
@@ -58,13 +59,18 @@ SelectionResult TransformSelector::select(const ir::LoopKernel& scalar,
   // the natural-VF option sits at the fitted model's speedup — relative
   // ranking from the structure-aware additive model, absolute level from the
   // learned one (the "aligned scale" discipline of slide 15).
+  //
+  // One AnalysisManager across the candidate sweep: dependence analysis and
+  // phi classification run once for the kernel, not once per width.
+  xform::AnalysisManager analyses;
   const int natural = vectorizer::natural_vf(scalar, target_);
   double additive_natural = 0.0;
   for (const int vf : {natural, natural / 2}) {
     if (vf < 2) continue;
     vectorizer::LoopVectorizerOptions opts;
     opts.requested_vf = vf;
-    const auto vec = vectorizer::vectorize_loop(scalar, target_, opts);
+    const auto vec = vectorizer::vectorize_legal(
+        scalar, target_, opts, analyses.legality(scalar, opts.legality));
     if (!vec.ok) continue;
     TransformOption opt;
     opt.kind = TransformKind::Loop;
@@ -98,7 +104,8 @@ SelectionResult TransformSelector::select(const ir::LoopKernel& scalar,
   if (slp.ok && slp.unroll == 1) {
     const auto rolled = vectorizer::reroll_loop(scalar, slp);
     if (rolled.ok) {
-      const auto vec = vectorizer::vectorize_loop(rolled.kernel, target_);
+      const auto vec = vectorizer::vectorize_legal(
+          rolled.kernel, target_, {}, analyses.legality(rolled.kernel));
       if (vec.ok) {
         TransformOption opt;
         opt.kind = TransformKind::RerollLoop;

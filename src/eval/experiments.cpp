@@ -7,6 +7,7 @@
 #include "tsvc/kernel.hpp"
 #include "vectorizer/loop_vectorizer.hpp"
 #include "vectorizer/slp_vectorizer.hpp"
+#include "xform/pipeline.hpp"
 
 namespace veccost::eval {
 
@@ -103,13 +104,16 @@ LlvVsSlpResult experiment_llv_vs_slp(const std::string& kernel_name,
   out.kernel = kernel_name;
   const double scalar_cycles = machine::measure_scalar_cycles(scalar, target, n);
 
-  const auto llv = vectorizer::vectorize_loop(scalar, target);
+  xform::AnalysisManager analyses;
+  const xform::Pipeline llv_pipeline = xform::Pipeline::parse("llv");
+  const xform::PipelineResult llv = llv_pipeline.run(scalar, target, analyses);
   if (llv.ok) {
     out.llv_ok = true;
     out.llv_predicted =
-        model::llvm_predict(scalar, llv.kernel, target).predicted_speedup;
+        model::llvm_predict(scalar, llv.state.kernel, target).predicted_speedup;
     out.llv_measured =
-        scalar_cycles / machine::measure_vector_cycles(llv.kernel, scalar, target, n);
+        scalar_cycles /
+        machine::measure_vector_cycles(llv.state.kernel, scalar, target, n);
   }
 
   const auto slp = vectorizer::slp_vectorize(scalar, target);

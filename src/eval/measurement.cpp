@@ -12,6 +12,8 @@
 #include "tsvc/kernel.hpp"
 #include "tsvc/workload.hpp"
 #include "vectorizer/loop_vectorizer.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
 
 namespace veccost::eval {
 
@@ -106,45 +108,61 @@ Vector SuiteMeasurement::speedup_from_cost_predictions(const Vector& cost_pred) 
 KernelMeasurement measure_kernel(const tsvc::KernelInfo& info,
                                  const machine::TargetDesc& target,
                                  double noise) {
+  static const xform::Pipeline default_pipeline =
+      xform::Pipeline::parse(kDefaultPipelineSpec);
+  xform::AnalysisManager analyses;
+  return measure_kernel(info, target, noise, default_pipeline, analyses);
+}
+
+KernelMeasurement measure_kernel(const tsvc::KernelInfo& info,
+                                 const machine::TargetDesc& target,
+                                 double noise, const xform::Pipeline& pipeline,
+                                 xform::AnalysisManager& analyses) {
   VECCOST_SPAN("measure.kernel_ns");
   VECCOST_COUNTER_ADD("measure.kernels", 1);
+  VECCOST_ASSERT(pipeline.valid(), "invalid pipeline: " + pipeline.error());
   const ir::LoopKernel scalar = info.build();
   KernelMeasurement m;
   m.name = info.name;
   m.category = info.category;
-  m.features_counts =
-      analysis::extract_features(scalar, analysis::FeatureSet::Counts);
-  m.features_rated =
-      analysis::extract_features(scalar, analysis::FeatureSet::Rated);
+  m.features_counts = analyses.features(scalar, analysis::FeatureSet::Counts);
+  m.features_rated = analyses.features(scalar, analysis::FeatureSet::Rated);
   m.features_extended =
-      analysis::extract_features(scalar, analysis::FeatureSet::Extended);
+      analyses.features(scalar, analysis::FeatureSet::Extended);
 
-  const vectorizer::VectorizedLoop vec = vectorizer::vectorize_loop(scalar, target);
-  if (!vec.ok) {
+  const xform::PipelineResult xr = pipeline.run(scalar, target, analyses);
+  if (!xr.ok) {
     m.vectorizable = false;
-    m.reject_reason = vec.notes_string();
+    m.reject_reason = xr.reason;
     return m;
   }
+  const ir::LoopKernel& transformed = xr.state.kernel;
   m.vectorizable = true;
-  m.vf = vec.vf;
+  m.vf = transformed.vf;
 
   const std::int64_t n = scalar.default_n;
   m.scalar_cycles = machine::measure_scalar_cycles(scalar, target, n, noise);
-  m.vector_cycles =
-      vec.runtime_check
-          ? machine::measure_versioned_scalar_cycles(scalar, target, n, noise)
-          : machine::measure_vector_cycles(vec.kernel, scalar, target, n, noise);
+  if (xr.state.runtime_check)
+    m.vector_cycles =
+        machine::measure_versioned_scalar_cycles(scalar, target, n, noise);
+  else if (transformed.vf > 1)
+    m.vector_cycles =
+        machine::measure_vector_cycles(transformed, scalar, target, n, noise);
+  else  // scalar-to-scalar pipeline (e.g. unroll only): time the rewrite
+    m.vector_cycles =
+        machine::measure_scalar_cycles(transformed, target, n, noise);
   m.measured_speedup = m.scalar_cycles / m.vector_cycles;
 
   const std::int64_t iters = scalar.trip.iterations(n);
   const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
   m.scalar_cost_per_iter =
       m.scalar_cycles / static_cast<double>(std::max<std::int64_t>(iters * outer, 1));
-  const std::int64_t bodies = std::max<std::int64_t>((iters / vec.vf) * outer, 1);
+  const std::int64_t bodies =
+      std::max<std::int64_t>((iters / std::max(m.vf, 1)) * outer, 1);
   m.vector_cost_per_body = m.vector_cycles / static_cast<double>(bodies);
 
   m.llvm_predicted_speedup =
-      model::llvm_predict(scalar, vec.kernel, target).predicted_speedup;
+      model::llvm_predict(scalar, transformed, target).predicted_speedup;
   return m;
 }
 
@@ -158,11 +176,15 @@ SemanticsCheck validate_kernel_semantics(const tsvc::KernelInfo& info,
   SemanticsCheck check;
   check.name = info.name;
 
+  // One manager across the VF sweep: legality (and its dependence analysis)
+  // runs once for the kernel, not once per candidate VF.
+  xform::AnalysisManager analyses;
   std::vector<int> tried;
   for (const int requested : {0, 2, 8}) {  // 0 = the target's natural VF
     vectorizer::LoopVectorizerOptions opts;
     opts.requested_vf = requested;
-    const auto vec = vectorizer::vectorize_loop(scalar, target, opts);
+    const auto vec = vectorizer::vectorize_legal(
+        scalar, target, opts, analyses.legality(scalar, opts.legality));
     if (!vec.ok || vec.runtime_check) continue;
     if (std::find(tried.begin(), tried.end(), vec.vf) != tried.end()) continue;
     tried.push_back(vec.vf);

@@ -13,6 +13,7 @@
 #include "machine/target.hpp"
 #include "support/matrix.hpp"
 #include "tsvc/kernel.hpp"
+#include "xform/pipeline.hpp"
 
 namespace veccost::machine {
 class WorkloadPool;
@@ -69,6 +70,10 @@ struct SuiteMeasurement {
   [[nodiscard]] Vector speedup_from_cost_predictions(const Vector& cost_pred) const;
 };
 
+/// The transform pipeline measure_kernel runs by default: plain loop
+/// vectorization at the target's natural VF (the paper's configuration).
+inline constexpr std::string_view kDefaultPipelineSpec = "llv";
+
 /// Measure one kernel on `target`: legality, vectorization, both timing
 /// runs, features and the baseline prediction. Pure and deterministic —
 /// this is the unit of work the parallel runner fans out and the
@@ -76,6 +81,17 @@ struct SuiteMeasurement {
 [[nodiscard]] KernelMeasurement measure_kernel(
     const tsvc::KernelInfo& info, const machine::TargetDesc& target,
     double noise = machine::kDefaultNoise);
+
+/// Pipeline-parameterized variant: transform the scalar kernel with
+/// `pipeline` (analyses served by `analyses`, so sweeps over one kernel pay
+/// for dependence analysis once) and measure the result. A pipeline whose
+/// final kernel is scalar (vf == 1 — e.g. "unroll<4>" alone) is timed as a
+/// scalar loop; `measured_speedup` is always scalar/transformed cycles.
+/// `pipeline` must be valid.
+[[nodiscard]] KernelMeasurement measure_kernel(
+    const tsvc::KernelInfo& info, const machine::TargetDesc& target,
+    double noise, const xform::Pipeline& pipeline,
+    xform::AnalysisManager& analyses);
 
 /// Outcome of one kernel's semantics validation (see
 /// validate_kernel_semantics).

@@ -11,7 +11,7 @@
 #include "obs/metrics.hpp"
 #include "support/csv.hpp"
 #include "support/env_flags.hpp"
-#include "support/rng.hpp"
+#include "support/hash.hpp"
 
 namespace veccost::eval {
 
@@ -20,21 +20,7 @@ namespace {
 std::atomic<bool> g_cache_enabled{true};
 std::atomic<bool> g_cache_env_checked{false};
 
-/// Incremental content hash: order-dependent mixing via SplitMix64.
-class Hasher {
- public:
-  void mix(std::uint64_t v) {
-    state_ = SplitMix64(state_ ^ v).next();
-  }
-  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
-  void mix(bool v) { mix(static_cast<std::uint64_t>(v)); }
-  void mix(int v) { mix(static_cast<std::uint64_t>(v)); }
-  void mix(std::string_view s) { mix(hash_string(s)); }
-  [[nodiscard]] std::uint64_t value() const { return state_; }
-
- private:
-  std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
-};
+using Hasher = support::ContentHasher;
 
 std::string hex64(std::uint64_t v) {
   std::ostringstream os;

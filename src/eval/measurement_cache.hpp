@@ -30,7 +30,7 @@ namespace veccost::eval {
 /// Version of the measurement pipeline baked into every cache key. Bump
 /// whenever measure_kernel, the perf model, feature extraction or the
 /// vectorizer change observable results.
-inline constexpr std::uint64_t kPipelineVersion = 1;
+inline constexpr std::uint64_t kPipelineVersion = 2;
 
 class MeasurementCache {
  public:

@@ -6,8 +6,12 @@
 
 #include "machine/workload_pool.hpp"
 #include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/thread_pool.hpp"
 #include "tsvc/kernel.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
 
 namespace veccost::eval {
 
@@ -30,9 +34,25 @@ SuiteResult Session::measure(const SuiteRequest& request) const {
   result.suite.target_name = target_.name;
   result.suite.kernels.resize(suite.size());
 
+  const std::string spec = request.pipeline.empty()
+                               ? std::string(kDefaultPipelineSpec)
+                               : request.pipeline;
+  const xform::Pipeline pipeline = xform::Pipeline::parse(spec);
+  if (!pipeline.valid())
+    throw Error("pipeline spec '" + spec + "': " + pipeline.error());
+
+  // Non-default pipelines fold their canonical spec into the cache key so a
+  // sweep over pipelines never reads another pipeline's measurements.
+  std::uint64_t version = opts_.pipeline_version;
+  if (pipeline.spec() != kDefaultPipelineSpec) {
+    support::ContentHasher h;
+    h.mix(version);
+    h.mix(pipeline.spec());
+    version = h.value();
+  }
+
   std::map<std::string, KernelMeasurement> cached;
-  if (opts_.use_cache)
-    cached = cache_.load(target_, request.noise, opts_.pipeline_version);
+  if (opts_.use_cache) cached = cache_.load(target_, request.noise, version);
 
   // Partition into cache hits (moved straight into their slot) and misses
   // (measured below, each writing only its own slot).
@@ -52,14 +72,17 @@ SuiteResult Session::measure(const SuiteRequest& request) const {
       to_measure.size(),
       [&](std::size_t j) {
         const std::size_t i = to_measure[j];
+        // One AnalysisManager per kernel: the manager is not thread-safe,
+        // and kernels never share analyses anyway (distinct content hashes).
+        xform::AnalysisManager analyses;
         result.suite.kernels[i] =
-            measure_kernel(suite[i], target_, request.noise);
+            measure_kernel(suite[i], target_, request.noise, pipeline,
+                           analyses);
       },
       opts_.jobs);
 
   if (opts_.use_cache && !to_measure.empty())
-    cache_.store(result.suite, target_, request.noise,
-                 opts_.pipeline_version);
+    cache_.store(result.suite, target_, request.noise, version);
 
   if (request.validate_semantics) {
     VECCOST_SPAN("session.validate_ns");
@@ -84,7 +107,9 @@ SuiteResult Session::measure(const SuiteRequest& request) const {
 
 SuiteMeasurement measure_suite_cached(const machine::TargetDesc& target,
                                       double noise) {
-  return Session(target).measure({.noise = noise}).suite;
+  SuiteRequest request;
+  request.noise = noise;
+  return Session(target).measure(request).suite;
 }
 
 }  // namespace veccost::eval

@@ -49,6 +49,10 @@ struct SuiteRequest {
   /// The default keeps a full-suite sweep cheap while still exercising
   /// remainder loops at every VF.
   std::int64_t validation_n = 4096;
+  /// Transform pipeline spec (xform/pipeline.hpp grammar) applied to every
+  /// kernel before costing; empty = kDefaultPipelineSpec. Non-default specs
+  /// get their own cache key, so sweeps over pipelines never collide.
+  std::string pipeline;
 };
 
 /// One measure() call's outcome: the suite measurement plus the call's own

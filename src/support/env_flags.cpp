@@ -36,6 +36,7 @@ GlobalOptions parse_global_flags(std::vector<std::string>& args) {
   opts.jobs = EnvFlags::count("VECCOST_JOBS").value_or(0);
   opts.use_cache = !EnvFlags::enabled("VECCOST_NO_CACHE", false);
   opts.metrics = EnvFlags::enabled("VECCOST_METRICS", true);
+  opts.pipeline = EnvFlags::value("VECCOST_PIPELINE");
 
   std::vector<std::string> rest;
   rest.reserve(args.size());
@@ -64,6 +65,10 @@ GlobalOptions parse_global_flags(std::vector<std::string>& args) {
       opts.use_cache = false;
     } else if (a == "--no-metrics") {
       opts.metrics = false;
+    } else if (matches(a, "--pipeline")) {
+      opts.pipeline = value_of(a, i, "--pipeline");
+      if (opts.pipeline.empty())
+        throw Error("--pipeline requires a pass spec, e.g. unroll<4>,slp");
     } else if (matches(a, "--metrics-out")) {
       opts.metrics_out = value_of(a, i, "--metrics-out");
       if (opts.metrics_out.empty())

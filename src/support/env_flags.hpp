@@ -33,11 +33,14 @@ class EnvFlags {
 
 /// Options every veccost subcommand shares, resolved flag-over-environment:
 /// --jobs / VECCOST_JOBS, --no-cache / VECCOST_NO_CACHE, VECCOST_METRICS,
-/// --metrics-out=FILE, --trace-out=FILE.
+/// --pipeline / VECCOST_PIPELINE, --metrics-out=FILE, --trace-out=FILE.
 struct GlobalOptions {
   std::size_t jobs = 0;  ///< 0 = auto (hardware threads)
   bool use_cache = true;
   bool metrics = true;
+  /// Transform pipeline spec (xform/pipeline.hpp grammar) for subcommands
+  /// that transform kernels (measure, fuzz, passes); empty = their default.
+  std::string pipeline;
   std::string metrics_out;  ///< metrics JSON destination; empty = don't write
   std::string trace_out;    ///< Chrome trace destination; empty = don't write
 };

@@ -1,0 +1,69 @@
+// Shared content-hashing primitives.
+//
+// Two hashers grew up independently — the fuzz campaign's order-sensitive
+// FNV-1a digest (testing/fuzz.cpp) and the measurement cache's SplitMix64
+// content mixer (eval/measurement_cache.cpp) — and the xform analysis cache
+// needed a third. They all live here now so every content key in the repo
+// folds bytes the same way (support_test.cpp pins both).
+//
+// Changing either algorithm invalidates persisted artifacts: Fnv1a feeds the
+// fuzz campaign digest that CI compares across runs, ContentHasher feeds the
+// measurement-cache keys on disk. Treat the byte-for-byte semantics as a
+// wire format.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "support/rng.hpp"
+
+namespace veccost::support {
+
+/// Order-sensitive FNV-1a over strings and integers. Strings are terminated
+/// with a 0xff separator so `add("ab"); add("c")` and `add("a"); add("bc")`
+/// digest differently; u64s fold little-endian byte by byte.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  constexpr void add_byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= kPrime;
+  }
+  constexpr void add_bytes(std::string_view s) {
+    for (const char c : s) add_byte(static_cast<unsigned char>(c));
+  }
+  constexpr void add(std::string_view s) {
+    add_bytes(s);
+    add_byte(0xff);  // length separator
+  }
+  constexpr void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      add_byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  [[nodiscard]] constexpr std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+/// Incremental 64-bit content hash: order-dependent mixing via SplitMix64,
+/// strings folded through FNV-1a (hash_string) first. The measurement cache
+/// keys files with it; the xform AnalysisManager keys cached analyses.
+class ContentHasher {
+ public:
+  void mix(std::uint64_t v) { state_ = SplitMix64(state_ ^ v).next(); }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(std::string_view s) { mix(hash_string(s)); }
+  [[nodiscard]] std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
+};
+
+}  // namespace veccost::support

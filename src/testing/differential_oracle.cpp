@@ -19,6 +19,8 @@
 #include "vectorizer/reroll.hpp"
 #include "vectorizer/slp_vectorizer.hpp"
 #include "vectorizer/unroll.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
 
 namespace veccost::testing {
 
@@ -175,7 +177,10 @@ OracleVerdict DifferentialOracle::check(const ir::LoopKernel& scalar) const {
   }
 
   // Widening matrix: target-natural VF (requested_vf = 0) plus the explicit
-  // list, deduplicated by the VF the vectorizer actually chose.
+  // list, deduplicated by the VF the vectorizer actually chose. The shared
+  // AnalysisManager means the sweep runs legality once per kernel — the
+  // verdicts (and so the campaign digest) are unchanged.
+  xform::AnalysisManager analyses;
   if (scalar_ok) {
     std::set<int> widened;
     std::vector<int> requests = {0};
@@ -183,8 +188,8 @@ OracleVerdict DifferentialOracle::check(const ir::LoopKernel& scalar) const {
     for (const int req : requests) {
       vectorizer::LoopVectorizerOptions vopts;
       vopts.requested_vf = req;
-      const vectorizer::VectorizedLoop vec =
-          vectorizer::vectorize_loop(scalar, target_, vopts);
+      const vectorizer::VectorizedLoop vec = vectorizer::vectorize_legal(
+          scalar, target_, vopts, analyses.legality(scalar, vopts.legality));
       // Runtime-check-guarded loops execute their scalar path (the widened
       // kernel is for cost analysis only; see vplan.hpp) — nothing to run.
       if (!vec.ok || vec.runtime_check || !widened.insert(vec.vf).second) {
@@ -269,16 +274,59 @@ OracleVerdict DifferentialOracle::check(const ir::LoopKernel& scalar) const {
     }
   }
 
+  // Optional pipeline configuration (--pipeline): run the requested pass
+  // sequence and compare the transformed execution against scalar. Guarded
+  // on a non-empty spec so default campaigns keep their historical digest.
+  if (scalar_ok && !opts_.pipeline.empty()) {
+    const xform::Pipeline pipe = xform::Pipeline::parse(opts_.pipeline);
+    const std::string config = "pipeline:" + opts_.pipeline;
+    if (!pipe.valid()) {
+      run_config(verdict, config,
+                 [&] { return "invalid spec " + pipe.error(); });
+    } else {
+      // Unrolling preserves semantics only on divisible, break-free
+      // iteration ranges (same contract as the unroll configs above).
+      std::int64_t unroll_product = 1;
+      for (const xform::PassSpec& ps :
+           xform::parse_pipeline_spec(opts_.pipeline).passes)
+        if (ps.base == "unroll") unroll_product *= ps.param;
+      const bool unroll_safe =
+          unroll_product == 1 ||
+          (!scalar.has_break() && scalar.trip.iterations(n) > 0 &&
+           scalar.trip.iterations(n) % unroll_product == 0);
+      const xform::PipelineResult xr = pipe.run(scalar, target_, analyses);
+      // A pass that legitimately refuses the kernel (or leaves it behind a
+      // runtime check, where the widened body must not execute) is a skip.
+      if (!unroll_safe || !xr.ok || xr.state.runtime_check) {
+        ++verdict.configs_skipped;
+      } else {
+        const ir::LoopKernel& transformed = xr.state.kernel;
+        run_config(verdict, config, [&] {
+          machine::Workload wp = init;
+          const machine::ExecResult rp =
+              transformed.vf > 1
+                  ? machine::lowered_execute_vectorized(transformed, scalar, wp)
+                  : machine::lowered_execute_scalar(transformed, wp);
+          // Unroll/reroll change the iteration count and widening
+          // reassociates reductions, so compare arrays bitwise but iteration
+          // counts not at all and live-outs under the reduction tolerance.
+          return diff_exec(scalar, ws, rs, wp, rp, false,
+                           opts_.reduction_tolerance);
+        });
+      }
+    }
+  }
+
   if (opts_.check_models) {
     run_config(verdict, "models", [&] {
       std::ostringstream out;
-      const analysis::Legality legality = analysis::check_legality(scalar);
+      const analysis::Legality& legality = analyses.legality(scalar);
       if (!legality.vectorizable && legality.reasons.empty())
         out << "legality rejected the kernel with no reasons; ";
       for (const analysis::FeatureSet set :
            {analysis::FeatureSet::Counts, analysis::FeatureSet::Rated,
             analysis::FeatureSet::Extended}) {
-        const std::vector<double> f = analysis::extract_features(scalar, set);
+        const std::vector<double>& f = analyses.features(scalar, set);
         if (f.size() != analysis::feature_names(set).size())
           out << "feature vector size mismatch for " << analysis::to_string(set)
               << "; ";

@@ -58,6 +58,11 @@ struct OracleOptions {
   bool check_metrics_toggle = true;
   /// Run the model/analysis totality checks.
   bool check_models = true;
+  /// Extra configuration: run this transform pipeline spec
+  /// (xform/pipeline.hpp grammar) and compare the transformed execution
+  /// against scalar. Empty = skip, which keeps the campaign digest
+  /// bit-identical to pre-pipeline campaigns.
+  std::string pipeline;
   /// Fault hook applied to widened kernels before execution (see above).
   KernelMutator fault;
 };

@@ -12,6 +12,7 @@
 #include "ir/printer.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "testing/shrinker.hpp"
@@ -22,24 +23,9 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// Order-sensitive FNV-1a over strings and integers.
-struct Digest {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  void add(std::string_view s) {
-    for (const char c : s) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 0x100000001b3ull;
-    }
-    add_byte(0xff);  // length separator
-  }
-  void add_u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) add_byte(static_cast<unsigned char>(v >> (8 * i)));
-  }
-  void add_byte(unsigned char b) {
-    h ^= b;
-    h *= 0x100000001b3ull;
-  }
-};
+// The campaign digest is an order-sensitive FNV-1a (shared helper; the byte
+// semantics are a wire format CI compares across runs).
+using Digest = support::Fnv1a;
 
 /// What one campaign index contributes to the merged report and digest.
 struct IterationOutcome {
@@ -195,7 +181,7 @@ CampaignReport run_campaign(const machine::TargetDesc& target,
                        generator.generate(outcome.seed), outcome.verdict));
     }
   }
-  report.digest = digest.h;
+  report.digest = digest.value();
   return report;
 }
 

@@ -255,19 +255,31 @@ int floor_pow2(std::int64_t x) {
 
 }  // namespace
 
+int resolve_vf(int requested, const LoopKernel& kernel,
+               const machine::TargetDesc& target) {
+  return requested > 0 ? requested : natural_vf(kernel, target);
+}
+
 VectorizedLoop vectorize_loop(const LoopKernel& scalar,
                               const machine::TargetDesc& target,
                               const LoopVectorizerOptions& opts) {
+  return vectorize_legal(scalar, target, opts,
+                         analysis::check_legality(scalar, opts.legality));
+}
+
+VectorizedLoop vectorize_legal(const LoopKernel& scalar,
+                               const machine::TargetDesc& target,
+                               const LoopVectorizerOptions& opts,
+                               const analysis::Legality& legality) {
   VECCOST_SPAN("vectorizer.loop_ns");
   VECCOST_COUNTER_ADD("vectorizer.loop_attempts", 1);
   VectorizedLoop result;
-  const analysis::Legality legality = analysis::check_legality(scalar, opts.legality);
   if (!legality.vectorizable) {
     result.notes.push_back("not legal: " + legality.reasons_string());
     return result;
   }
 
-  int vf = opts.requested_vf > 0 ? opts.requested_vf : natural_vf(scalar, target);
+  int vf = resolve_vf(opts.requested_vf, scalar, target);
   if (static_cast<std::int64_t>(vf) > legality.max_vf) {
     vf = floor_pow2(legality.max_vf);
     result.notes.push_back("partial vectorization: dependence distance caps VF at " +

@@ -32,9 +32,24 @@ struct LoopVectorizerOptions {
 [[nodiscard]] int natural_vf(const ir::LoopKernel& kernel,
                              const machine::TargetDesc& target);
 
+/// The one place the "requested VF 0 means the target's natural VF" default
+/// is resolved. Every VF sweep (selector, semantics validation, the
+/// differential oracle's widening matrix) shares this instead of re-encoding
+/// the convention.
+[[nodiscard]] int resolve_vf(int requested, const ir::LoopKernel& kernel,
+                             const machine::TargetDesc& target);
+
 /// Widen `scalar` for `target`. On failure, `ok == false` and notes explain.
 [[nodiscard]] VectorizedLoop vectorize_loop(const ir::LoopKernel& scalar,
                                             const machine::TargetDesc& target,
                                             const LoopVectorizerOptions& opts = {});
+
+/// Widen `scalar` using an already-computed legality verdict (which must be
+/// check_legality(scalar, opts.legality) — the xform::AnalysisManager hands
+/// in its cached copy so a VF sweep pays for dependence analysis once).
+[[nodiscard]] VectorizedLoop vectorize_legal(const ir::LoopKernel& scalar,
+                                             const machine::TargetDesc& target,
+                                             const LoopVectorizerOptions& opts,
+                                             const analysis::Legality& legality);
 
 }  // namespace veccost::vectorizer

@@ -1,0 +1,182 @@
+#include "xform/analysis_manager.hpp"
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace veccost::xform {
+
+const char* to_string(AnalysisId id) {
+  switch (id) {
+    case AnalysisId::Legality: return "legality";
+    case AnalysisId::Dependence: return "dependence";
+    case AnalysisId::PhiClasses: return "phi-classes";
+    case AnalysisId::Features: return "features";
+  }
+  return "?";
+}
+
+std::uint64_t kernel_content_hash(const ir::LoopKernel& kernel) {
+  support::ContentHasher h;
+  h.mix(kernel.default_n);
+  h.mix(kernel.trip.start);
+  h.mix(kernel.trip.step);
+  h.mix(kernel.trip.num);
+  h.mix(kernel.trip.den);
+  h.mix(kernel.trip.offset);
+  h.mix(kernel.has_outer);
+  h.mix(kernel.outer_trip);
+  h.mix(static_cast<std::uint64_t>(kernel.arrays.size()));
+  for (const ir::ArrayDecl& a : kernel.arrays) {
+    h.mix(static_cast<int>(a.elem));
+    h.mix(a.len_scale);
+    h.mix(a.len_offset);
+  }
+  h.mix(static_cast<std::uint64_t>(kernel.params.size()));
+  for (const double p : kernel.params) h.mix(p);
+  h.mix(static_cast<std::uint64_t>(kernel.body.size()));
+  for (const ir::Instruction& inst : kernel.body) {
+    h.mix(static_cast<int>(inst.op));
+    h.mix(static_cast<int>(inst.type.elem));
+    h.mix(inst.type.lanes);
+    for (const ir::ValueId v : inst.operands) h.mix(static_cast<int>(v));
+    h.mix(static_cast<int>(inst.predicate));
+    h.mix(inst.const_value);
+    h.mix(inst.param_index);
+    h.mix(inst.array);
+    h.mix(inst.index.scale_i);
+    h.mix(inst.index.scale_j);
+    h.mix(inst.index.n_scale);
+    h.mix(inst.index.offset);
+    h.mix(static_cast<int>(inst.index.indirect));
+    h.mix(inst.phi_init);
+    h.mix(inst.phi_init_param);
+    h.mix(static_cast<int>(inst.phi_update));
+    h.mix(static_cast<int>(inst.reduction));
+  }
+  h.mix(static_cast<std::uint64_t>(kernel.live_outs.size()));
+  for (const ir::ValueId v : kernel.live_outs) h.mix(static_cast<int>(v));
+  h.mix(kernel.vf);
+  return h.value();
+}
+
+std::uint64_t options_hash(const analysis::LegalityOptions& opts) {
+  support::ContentHasher h;
+  h.mix(opts.allow_first_order_recurrence);
+  h.mix(opts.allow_masked_stores);
+  h.mix(opts.allow_gather);
+  h.mix(opts.vf_cap);
+  return h.value();
+}
+
+AnalysisManager::Entry& AnalysisManager::lookup(const Key& key, bool& hit) {
+  const auto [it, inserted] = cache_.try_emplace(key);
+  hit = !inserted;
+  if (hit) {
+    ++stats_.hits;
+    VECCOST_COUNTER_ADD("xform.analysis.hit", 1);
+  } else {
+    ++stats_.misses;
+    VECCOST_COUNTER_ADD("xform.analysis.miss", 1);
+  }
+  return it->second;
+}
+
+const analysis::Legality& AnalysisManager::legality(
+    const ir::LoopKernel& kernel, const analysis::LegalityOptions& opts) {
+  const Key key{kernel_content_hash(kernel), options_hash(opts),
+                static_cast<unsigned>(AnalysisId::Legality)};
+  bool hit = false;
+  Entry& entry = lookup(key, hit);
+  if (!hit)
+    entry.legality = std::make_unique<analysis::Legality>(
+        analysis::check_legality(kernel, opts));
+  return *entry.legality;
+}
+
+const analysis::DependenceInfo& AnalysisManager::dependence(
+    const ir::LoopKernel& kernel) {
+  const Key key{kernel_content_hash(kernel), 0,
+                static_cast<unsigned>(AnalysisId::Dependence)};
+  bool hit = false;
+  Entry& entry = lookup(key, hit);
+  if (!hit)
+    entry.dependence = std::make_unique<analysis::DependenceInfo>(
+        analysis::analyze_dependences(kernel));
+  return *entry.dependence;
+}
+
+const std::vector<analysis::PhiInfo>& AnalysisManager::phi_classes(
+    const ir::LoopKernel& kernel) {
+  const Key key{kernel_content_hash(kernel), 0,
+                static_cast<unsigned>(AnalysisId::PhiClasses)};
+  bool hit = false;
+  Entry& entry = lookup(key, hit);
+  if (!hit)
+    entry.phis = std::make_unique<std::vector<analysis::PhiInfo>>(
+        analysis::classify_phis(kernel));
+  return *entry.phis;
+}
+
+const std::vector<double>& AnalysisManager::features(
+    const ir::LoopKernel& kernel, analysis::FeatureSet set) {
+  // The feature set plays the role of the options hash (offset by one so
+  // Counts == 0 does not collide with the option-free analyses' key).
+  const Key key{kernel_content_hash(kernel),
+                static_cast<std::uint64_t>(set) + 1,
+                static_cast<unsigned>(AnalysisId::Features)};
+  bool hit = false;
+  Entry& entry = lookup(key, hit);
+  if (!hit)
+    entry.features = std::make_unique<std::vector<double>>(
+        analysis::extract_features(kernel, set));
+  return *entry.features;
+}
+
+void AnalysisManager::transfer(const ir::LoopKernel& from,
+                               const ir::LoopKernel& to,
+                               PreservedAnalyses preserved) {
+  const std::uint64_t from_hash = kernel_content_hash(from);
+  const std::uint64_t to_hash = kernel_content_hash(to);
+  if (from_hash == to_hash) return;  // nothing changed; everything stands
+
+  // Drop anything cached under the new key whose analysis was not declared
+  // preserved, then carry preserved entries over.
+  for (auto it = cache_.lower_bound(Key{to_hash, 0, 0});
+       it != cache_.end() && it->first.kernel == to_hash;) {
+    if (!preserved.preserved(static_cast<AnalysisId>(it->first.analysis))) {
+      VECCOST_COUNTER_ADD("xform.analysis.invalidated", 1);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (preserved.empty()) return;
+
+  std::vector<std::pair<Key, const Entry*>> carried;
+  for (auto it = cache_.lower_bound(Key{from_hash, 0, 0});
+       it != cache_.end() && it->first.kernel == from_hash; ++it) {
+    if (preserved.preserved(static_cast<AnalysisId>(it->first.analysis)))
+      carried.emplace_back(
+          Key{to_hash, it->first.options, it->first.analysis}, &it->second);
+  }
+  for (const auto& [key, src] : carried) {
+    Entry copy;
+    if (src->legality)
+      copy.legality = std::make_unique<analysis::Legality>(*src->legality);
+    if (src->dependence)
+      copy.dependence =
+          std::make_unique<analysis::DependenceInfo>(*src->dependence);
+    if (src->phis)
+      copy.phis =
+          std::make_unique<std::vector<analysis::PhiInfo>>(*src->phis);
+    if (src->features)
+      copy.features = std::make_unique<std::vector<double>>(*src->features);
+    cache_.insert_or_assign(key, std::move(copy));
+    VECCOST_COUNTER_ADD("xform.analysis.carried", 1);
+  }
+}
+
+void AnalysisManager::clear() { cache_.clear(); }
+
+}  // namespace veccost::xform

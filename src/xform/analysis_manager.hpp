@@ -1,0 +1,109 @@
+// AnalysisManager: a content-keyed cache of analysis-layer results.
+//
+// Every analysis veccost runs on a scalar kernel — legality (dependence +
+// phi classification), raw dependence info, phi classes, the three feature
+// sets — is pure in (kernel contents, options). The manager memoizes them
+// keyed by a structural content hash of the kernel plus an options hash, so
+// a VF sweep (selector, semantics validation, the differential oracle's
+// widening matrix) pays for dependence analysis once per (kernel, options)
+// instead of once per candidate VF.
+//
+// Invalidation is by content: a pass that rewrites the kernel yields a new
+// hash, so stale entries can never be returned for the new kernel. The
+// preserved-analyses declaration of each pass (pass.hpp) drives the
+// *carry-forward* optimization on top: Pipeline calls transfer() after every
+// kernel-rewriting pass, and analyses the pass declared preserved are
+// re-registered under the new kernel's key (anything else is dropped — the
+// stale-analysis test in tests/xform_test.cpp pins this via the counters).
+//
+// Instrumentation: every query bumps `xform.analysis.hit` or
+// `xform.analysis.miss` in the obs registry and the manager's own Stats
+// (which work even with metrics compiled out).
+//
+// Not thread-safe: use one manager per thread of work (they are cheap — the
+// parallel drivers create one per kernel-measurement unit).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "analysis/features.hpp"
+#include "analysis/legality.hpp"
+#include "analysis/reduction.hpp"
+#include "xform/pass.hpp"
+
+namespace veccost::xform {
+
+/// Structural content hash of a kernel: every semantic field (trip, arrays,
+/// params, body instructions, live-outs, vf, default_n) folded in order;
+/// name/category/description excluded so renames don't thrash the cache.
+[[nodiscard]] std::uint64_t kernel_content_hash(const ir::LoopKernel& kernel);
+
+/// Content hash of a LegalityOptions value (part of the legality cache key).
+[[nodiscard]] std::uint64_t options_hash(const analysis::LegalityOptions& opts);
+
+class AnalysisManager {
+ public:
+  AnalysisManager() = default;
+  AnalysisManager(const AnalysisManager&) = delete;
+  AnalysisManager& operator=(const AnalysisManager&) = delete;
+
+  /// Cached analysis::check_legality. The reference stays valid until
+  /// clear() — entries are never evicted.
+  [[nodiscard]] const analysis::Legality& legality(
+      const ir::LoopKernel& kernel, const analysis::LegalityOptions& opts = {});
+
+  /// Cached analysis::analyze_dependences.
+  [[nodiscard]] const analysis::DependenceInfo& dependence(
+      const ir::LoopKernel& kernel);
+
+  /// Cached analysis::classify_phis.
+  [[nodiscard]] const std::vector<analysis::PhiInfo>& phi_classes(
+      const ir::LoopKernel& kernel);
+
+  /// Cached analysis::extract_features for one feature set.
+  [[nodiscard]] const std::vector<double>& features(const ir::LoopKernel& kernel,
+                                                    analysis::FeatureSet set);
+
+  /// A pass rewrote `from` into `to`: carry the analyses it declared
+  /// preserved to the new kernel's key and drop any entry already cached
+  /// under the new key for a non-preserved analysis (in-place mutation of a
+  /// kernel object must not resurrect stale results).
+  void transfer(const ir::LoopKernel& from, const ir::LoopKernel& to,
+                PreservedAnalyses preserved);
+
+  /// Hit/miss accounting, independent of the obs registry toggle.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Drop every cached entry (invalidates all references handed out).
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t kernel = 0;
+    std::uint64_t options = 0;  ///< options hash; 0 for option-free analyses
+    unsigned analysis = 0;      ///< AnalysisId, widened
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    std::unique_ptr<analysis::Legality> legality;
+    std::unique_ptr<analysis::DependenceInfo> dependence;
+    std::unique_ptr<std::vector<analysis::PhiInfo>> phis;
+    std::unique_ptr<std::vector<double>> features;
+  };
+
+  /// Lookup + instrumentation; returns the entry slot (created on miss).
+  Entry& lookup(const Key& key, bool& hit);
+
+  std::map<Key, Entry> cache_;
+  Stats stats_;
+};
+
+}  // namespace veccost::xform

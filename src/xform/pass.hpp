@@ -1,0 +1,120 @@
+// The transform-pass interface of the unified pipeline.
+//
+// The paper's experiment matrix is one composition problem — legality →
+// (unroll → SLP → reroll | LLV at some VF) → lowering → execution — and this
+// layer gives it LLVM-new-PM-style names: a TransformPass rewrites a
+// PipelineState, declares which cached analyses its rewrite preserves, and a
+// Pipeline (pipeline.hpp) chains passes parsed from a textual spec such as
+// "unroll<4>,slp,reroll". The existing free functions (vectorize_loop,
+// slp_vectorize, unroll_loop, reroll_loop, machine::lower) stay the
+// implementation; passes are thin adapters over them that route every
+// analysis query through the AnalysisManager (analysis_manager.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/lowering.hpp"
+#include "machine/target.hpp"
+#include "vectorizer/vplan.hpp"
+
+namespace veccost::xform {
+
+class AnalysisManager;
+
+/// The analyses the AnalysisManager caches (analysis/ layer results).
+enum class AnalysisId : unsigned {
+  Legality = 0,   ///< analysis::check_legality (dependence + phi verdict)
+  Dependence,     ///< analysis::analyze_dependences
+  PhiClasses,     ///< analysis::classify_phis
+  Features,       ///< analysis::extract_features (one slot per FeatureSet)
+};
+inline constexpr unsigned kAnalysisCount = 4;
+
+[[nodiscard]] const char* to_string(AnalysisId id);
+
+/// Which cached analyses survive a pass, as declared by the pass itself.
+/// Preserved analyses are carried forward to the transformed kernel's cache
+/// key; everything else is invalidated (see AnalysisManager::transfer).
+class PreservedAnalyses {
+ public:
+  [[nodiscard]] static PreservedAnalyses all() {
+    PreservedAnalyses p;
+    p.mask_ = (1u << kAnalysisCount) - 1;
+    return p;
+  }
+  [[nodiscard]] static PreservedAnalyses none() { return {}; }
+
+  PreservedAnalyses& preserve(AnalysisId id) {
+    mask_ |= 1u << static_cast<unsigned>(id);
+    return *this;
+  }
+  [[nodiscard]] bool preserved(AnalysisId id) const {
+    return (mask_ >> static_cast<unsigned>(id)) & 1u;
+  }
+  [[nodiscard]] bool empty() const { return mask_ == 0; }
+
+ private:
+  unsigned mask_ = 0;
+};
+
+/// The value a pipeline threads through its passes. Passes that rewrite the
+/// kernel replace `kernel` (and must report what they preserved); passes
+/// that only derive artifacts (slp, lower) attach them alongside.
+struct PipelineState {
+  ir::LoopKernel kernel;
+  /// Set by llv when the widening is only legal behind a runtime overlap
+  /// check: the widened kernel is for cost analysis, not execution.
+  bool runtime_check = false;
+  /// SLP pack plan for `kernel`, set by the slp pass (cleared by any pass
+  /// that replaces the kernel — the member ids would dangle).
+  std::optional<vectorizer::SlpPlan> slp;
+  /// Micro-op program for `kernel`, set by the lower pass.
+  std::optional<machine::LoweredProgram> lowered;
+  /// Decision notes accumulated across passes, in pass order.
+  std::vector<std::string> notes;
+};
+
+/// Uniform outcome of one pass application.
+struct PassResult {
+  bool ok = false;
+  std::string reason;  ///< why not, when !ok
+  /// Cached analyses still valid for the state's kernel after this pass.
+  PreservedAnalyses preserved = PreservedAnalyses::none();
+
+  [[nodiscard]] static PassResult success(
+      PreservedAnalyses preserved = PreservedAnalyses::all()) {
+    PassResult r;
+    r.ok = true;
+    r.preserved = preserved;
+    return r;
+  }
+  [[nodiscard]] static PassResult failure(std::string reason) {
+    PassResult r;
+    r.reason = std::move(reason);
+    return r;
+  }
+};
+
+/// Everything a pass may consult besides the state it rewrites.
+struct PassContext {
+  const machine::TargetDesc& target;
+  AnalysisManager& analyses;
+};
+
+class TransformPass {
+ public:
+  virtual ~TransformPass() = default;
+
+  /// Instantiated spec name, e.g. "llv<4>", "unroll<2>", "slp".
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Apply the transform to `state`. On failure the state is left unchanged
+  /// (strong guarantee — pipelines report the failing pass and stop).
+  [[nodiscard]] virtual PassResult run(PipelineState& state,
+                                       PassContext& ctx) const = 0;
+};
+
+}  // namespace veccost::xform

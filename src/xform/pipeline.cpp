@@ -1,0 +1,131 @@
+#include "xform/pipeline.hpp"
+
+#include <cctype>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace veccost::xform {
+
+namespace {
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string at_pos(std::size_t pos, std::string message) {
+  return "at char " + std::to_string(pos) + ": " + std::move(message);
+}
+
+}  // namespace
+
+SpecParse parse_pipeline_spec(std::string_view spec) {
+  SpecParse out;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < spec.size() &&
+           std::isspace(static_cast<unsigned char>(spec[i])) != 0)
+      ++i;
+  };
+  const auto fail = [&](std::size_t pos, std::string message) {
+    out.ok = false;
+    out.position = pos;
+    out.error = at_pos(pos, std::move(message));
+    return out;
+  };
+
+  skip_ws();
+  if (i == spec.size()) return fail(i, "empty pipeline spec");
+  for (;;) {
+    skip_ws();
+    PassSpec pass;
+    pass.position = i;
+    while (i < spec.size() && is_name_char(spec[i])) pass.base += spec[i++];
+    if (pass.base.empty())
+      return fail(i, i < spec.size()
+                         ? std::string("expected a pass name, got '") +
+                               spec[i] + "'"
+                         : "expected a pass name");
+    if (i < spec.size() && spec[i] == '<') {
+      const std::size_t param_pos = ++i;
+      std::string digits;
+      while (i < spec.size() &&
+             std::isdigit(static_cast<unsigned char>(spec[i])) != 0)
+        digits += spec[i++];
+      if (digits.empty())
+        return fail(param_pos, "expected an integer parameter after '<'");
+      if (i == spec.size() || spec[i] != '>')
+        return fail(i, "expected '>' to close the parameter");
+      ++i;
+      pass.has_param = true;
+      pass.param = std::stoi(digits);
+    }
+    out.passes.push_back(std::move(pass));
+    skip_ws();
+    if (i == spec.size()) break;
+    if (spec[i] != ',')
+      return fail(i, std::string("expected ',' or end of spec, got '") +
+                         spec[i] + "'");
+    ++i;  // past the comma; the next element must exist
+    skip_ws();
+    if (i == spec.size()) return fail(i, "trailing ',' in pipeline spec");
+  }
+  out.ok = true;
+  return out;
+}
+
+Pipeline Pipeline::parse(std::string_view spec) {
+  Pipeline p;
+  SpecParse parsed = parse_pipeline_spec(spec);
+  if (!parsed.ok) {
+    p.error_ = std::move(parsed.error);
+    p.error_position_ = parsed.position;
+    return p;
+  }
+  for (const PassSpec& ps : parsed.passes) {
+    std::string error;
+    std::unique_ptr<TransformPass> pass =
+        create_pass(ps.base, ps.has_param, ps.param, &error);
+    if (!pass) {
+      p.error_ = at_pos(ps.position, std::move(error));
+      p.error_position_ = ps.position;
+      p.passes_.clear();
+      p.spec_.clear();
+      return p;
+    }
+    if (!p.spec_.empty()) p.spec_ += ',';
+    p.spec_ += pass->name();
+    p.passes_.push_back(std::move(pass));
+  }
+  return p;
+}
+
+PipelineResult Pipeline::run(const ir::LoopKernel& kernel,
+                             const machine::TargetDesc& target,
+                             AnalysisManager& analyses) const {
+  VECCOST_SPAN("xform.pipeline.run");
+  VECCOST_COUNTER_ADD("xform.pipeline.runs", 1);
+  PipelineResult result;
+  result.state.kernel = kernel;
+  PassContext ctx{target, analyses};
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    const TransformPass& pass = *passes_[i];
+    // Keep the pre-pass kernel so preserved analyses can follow the rewrite
+    // to its new cache key (transfer is a no-op when the kernel is unchanged).
+    const ir::LoopKernel before = result.state.kernel;
+    const PassResult pr = pass.run(result.state, ctx);
+    if (!pr.ok) {
+      VECCOST_COUNTER_ADD("xform.pipeline.failures", 1);
+      result.ok = false;
+      result.failed_pass = pass.name();
+      result.failed_index = i;
+      result.reason = pr.reason;
+      return result;
+    }
+    analyses.transfer(before, result.state.kernel, pr.preserved);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace veccost::xform

@@ -1,0 +1,100 @@
+// Pipeline: an ordered composition of transform passes parsed from text.
+//
+// The spec grammar (docs/pipeline_passes.md has the full story):
+//
+//   spec  := pass ("," pass)*
+//   pass  := name ("<" integer ">")?
+//   name  := one of the registry's base names (llv, unroll, slp, reroll,
+//            lower)
+//
+// Whitespace around commas is allowed and dropped; the canonical spec()
+// round-trips through the instantiated pass names. Parse errors carry the
+// 0-based character position of the offending token so CLI validation
+// (`veccost passes --pipeline <spec>`) can point at it.
+//
+// Pipeline::run threads one PipelineState through the passes, stops at the
+// first failure (strong guarantee per pass: the returned state is the state
+// before the failing pass), and after every successful pass hands the
+// pass's preserved-analyses declaration to AnalysisManager::transfer so
+// surviving analyses follow the kernel to its new cache key.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xform/analysis_manager.hpp"
+#include "xform/pass.hpp"
+#include "xform/registry.hpp"
+
+namespace veccost::xform {
+
+/// One element of a parsed spec, before instantiation.
+struct PassSpec {
+  std::string base;           ///< registry base name
+  bool has_param = false;     ///< a `<N>` was written
+  int param = 0;
+  std::size_t position = 0;   ///< 0-based char offset of the name in the spec
+};
+
+/// Result of parsing a spec string (syntax only; registry validation happens
+/// in Pipeline::parse).
+struct SpecParse {
+  bool ok = false;
+  std::string error;          ///< human message, position included
+  std::size_t position = 0;   ///< 0-based char offset of the error
+  std::vector<PassSpec> passes;
+};
+
+/// Split a pipeline spec into pass elements. Syntax errors (empty element,
+/// bad parameter, trailing junk) are reported with their character position.
+[[nodiscard]] SpecParse parse_pipeline_spec(std::string_view spec);
+
+/// Outcome of running a pipeline over one kernel.
+struct PipelineResult {
+  bool ok = false;
+  PipelineState state;        ///< final state; pre-failure state when !ok
+  std::string failed_pass;    ///< instantiated name of the failing pass
+  std::size_t failed_index = 0;
+  std::string reason;
+};
+
+class Pipeline {
+ public:
+  /// Parse + instantiate every pass of `spec`. Check valid() before use:
+  /// an invalid pipeline has error() and error_position() set and no passes.
+  [[nodiscard]] static Pipeline parse(std::string_view spec);
+
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  [[nodiscard]] bool valid() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t error_position() const { return error_position_; }
+
+  /// Canonical spec text: instantiated pass names joined by ','. Parsing the
+  /// canonical spec yields an equal pipeline (round-trip).
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+
+  [[nodiscard]] std::size_t size() const { return passes_.size(); }
+  [[nodiscard]] const TransformPass& pass(std::size_t i) const {
+    return *passes_[i];
+  }
+
+  /// Run every pass in order over a state seeded with `kernel`, analyses
+  /// served (and carried forward) by `analyses`.
+  [[nodiscard]] PipelineResult run(const ir::LoopKernel& kernel,
+                                   const machine::TargetDesc& target,
+                                   AnalysisManager& analyses) const;
+
+ private:
+  std::string spec_;
+  std::string error_;
+  std::size_t error_position_ = 0;
+  std::vector<std::unique_ptr<TransformPass>> passes_;
+};
+
+}  // namespace veccost::xform

@@ -1,0 +1,216 @@
+#include "xform/registry.hpp"
+
+#include <utility>
+
+#include "machine/lowering.hpp"
+#include "obs/metrics.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+#include "vectorizer/reroll.hpp"
+#include "vectorizer/slp_vectorizer.hpp"
+#include "vectorizer/unroll.hpp"
+#include "xform/analysis_manager.hpp"
+
+namespace veccost::xform {
+
+namespace {
+
+std::string instantiated_name(std::string_view base, bool has_param,
+                              int param) {
+  std::string name(base);
+  if (has_param) name += "<" + std::to_string(param) + ">";
+  return name;
+}
+
+/// llv[<VF>]: widen the loop. The legality verdict comes from the manager,
+/// so a VF sweep over one kernel runs dependence analysis exactly once.
+class LlvPass final : public TransformPass {
+ public:
+  LlvPass(bool has_param, int vf)
+      : vf_(has_param ? vf : 0), name_(instantiated_name("llv", has_param, vf)) {}
+  const std::string& name() const override { return name_; }
+
+  PassResult run(PipelineState& state, PassContext& ctx) const override {
+    VECCOST_SPAN("xform.pass.llv");
+    if (state.kernel.vf != 1)
+      return PassResult::failure("llv requires a scalar kernel (vf == 1)");
+    vectorizer::LoopVectorizerOptions opts;
+    opts.requested_vf = vf_;
+    const analysis::Legality& legality =
+        ctx.analyses.legality(state.kernel, opts.legality);
+    vectorizer::VectorizedLoop widened =
+        vectorizer::vectorize_legal(state.kernel, ctx.target, opts, legality);
+    if (!widened.ok) return PassResult::failure(widened.notes_string());
+    state.kernel = std::move(widened.kernel);
+    state.runtime_check = widened.runtime_check;
+    state.slp.reset();
+    state.lowered.reset();
+    for (std::string& note : widened.notes)
+      state.notes.push_back(std::move(note));
+    return PassResult::success(PreservedAnalyses::none());
+  }
+
+ private:
+  int vf_;  ///< 0 = the target's natural VF
+  std::string name_;
+};
+
+/// unroll<F>: replicate the body F times (SLP's pre-pass).
+class UnrollPass final : public TransformPass {
+ public:
+  explicit UnrollPass(int factor)
+      : factor_(factor), name_(instantiated_name("unroll", true, factor)) {}
+  const std::string& name() const override { return name_; }
+
+  PassResult run(PipelineState& state, PassContext&) const override {
+    VECCOST_SPAN("xform.pass.unroll");
+    if (state.kernel.vf != 1)
+      return PassResult::failure("unroll requires a scalar kernel (vf == 1)");
+    vectorizer::UnrollResult r = vectorizer::unroll_loop(state.kernel, factor_);
+    if (!r.ok) return PassResult::failure(std::move(r.reason));
+    state.kernel = std::move(r.kernel);
+    state.slp.reset();
+    state.lowered.reset();
+    state.notes.push_back("unrolled by " + std::to_string(factor_));
+    return PassResult::success(PreservedAnalyses::none());
+  }
+
+ private:
+  int factor_;
+  std::string name_;
+};
+
+/// slp: attach a pack plan for the current kernel. Leaves the kernel itself
+/// untouched, so every cached analysis stays valid.
+class SlpPass final : public TransformPass {
+ public:
+  SlpPass() : name_("slp") {}
+  const std::string& name() const override { return name_; }
+
+  PassResult run(PipelineState& state, PassContext& ctx) const override {
+    VECCOST_SPAN("xform.pass.slp");
+    vectorizer::SlpPlan plan =
+        vectorizer::slp_vectorize(state.kernel, ctx.target);
+    if (!plan.ok) {
+      std::string reason = "no packs";
+      if (!plan.notes.empty()) reason = plan.notes.back();
+      return PassResult::failure(std::move(reason));
+    }
+    for (const std::string& note : plan.notes) state.notes.push_back(note);
+    state.slp = std::move(plan);
+    return PassResult::success(PreservedAnalyses::all());
+  }
+
+ private:
+  std::string name_;
+};
+
+/// reroll: rewrite `width` isomorphic copies back into a single-copy loop
+/// using the state's slp plan.
+class RerollPass final : public TransformPass {
+ public:
+  RerollPass() : name_("reroll") {}
+  const std::string& name() const override { return name_; }
+
+  PassResult run(PipelineState& state, PassContext&) const override {
+    VECCOST_SPAN("xform.pass.reroll");
+    if (!state.slp)
+      return PassResult::failure(
+          "reroll needs a pack plan — put `slp` earlier in the pipeline");
+    const vectorizer::SlpPlan& plan = *state.slp;
+    if (plan.unroll != 1)
+      return PassResult::failure(
+          "slp plan targets an auto-unrolled body (unroll=" +
+          std::to_string(plan.unroll) + "), not the kernel as written");
+    vectorizer::RerollResult r = vectorizer::reroll_loop(state.kernel, plan);
+    if (!r.ok) return PassResult::failure(std::move(r.reason));
+    state.kernel = std::move(r.kernel);
+    state.slp.reset();
+    state.lowered.reset();
+    state.notes.push_back("rerolled by " + std::to_string(r.factor));
+    return PassResult::success(PreservedAnalyses::none());
+  }
+
+ private:
+  std::string name_;
+};
+
+/// lower[<L>]: compile the kernel to a micro-op program at L lanes (the
+/// kernel's own vf when omitted). Kernel untouched — analyses survive.
+class LowerPass final : public TransformPass {
+ public:
+  LowerPass(bool has_param, int lanes)
+      : lanes_(has_param ? lanes : 0),
+        name_(instantiated_name("lower", has_param, lanes)) {}
+  const std::string& name() const override { return name_; }
+
+  PassResult run(PipelineState& state, PassContext&) const override {
+    VECCOST_SPAN("xform.pass.lower");
+    const int lanes = lanes_ > 0 ? lanes_ : state.kernel.vf;
+    state.lowered = machine::lower(state.kernel, lanes);
+    state.notes.push_back("lowered at " + std::to_string(lanes) + " lanes");
+    return PassResult::success(PreservedAnalyses::all());
+  }
+
+ private:
+  int lanes_;  ///< 0 = the kernel's vf at run time
+  std::string name_;
+};
+
+}  // namespace
+
+const std::vector<PassInfo>& pass_catalog() {
+  static const std::vector<PassInfo> catalog = {
+      {"llv", "llv[<VF>]",
+       "widen the loop by VF (target's natural VF when omitted)", true, false,
+       2},
+      {"unroll", "unroll<F>", "replicate the body F times", true, true, 2},
+      {"slp", "slp", "attach a superword pack plan for the current kernel",
+       false, false, 0},
+      {"reroll", "reroll",
+       "rewrite isomorphic copies back into a single-copy loop", false, false,
+       0},
+      {"lower", "lower[<L>]",
+       "compile the kernel to a micro-op program at L lanes", true, false, 1},
+  };
+  return catalog;
+}
+
+const PassInfo* find_pass_info(std::string_view base) {
+  for (const PassInfo& info : pass_catalog())
+    if (info.name == base) return &info;
+  return nullptr;
+}
+
+std::unique_ptr<TransformPass> create_pass(std::string_view base,
+                                           bool has_param, int param,
+                                           std::string* error) {
+  const PassInfo* info = find_pass_info(base);
+  if (info == nullptr) {
+    if (error) *error = "unknown pass '" + std::string(base) + "'";
+    return nullptr;
+  }
+  if (has_param && !info->has_param) {
+    if (error)
+      *error = "pass '" + std::string(base) + "' takes no parameter";
+    return nullptr;
+  }
+  if (!has_param && info->param_required) {
+    if (error)
+      *error = "pass '" + std::string(base) + "' requires a parameter: " +
+               std::string(info->synopsis);
+    return nullptr;
+  }
+  if (has_param && param < info->min_param) {
+    if (error)
+      *error = "pass '" + std::string(base) + "' parameter must be >= " +
+               std::to_string(info->min_param);
+    return nullptr;
+  }
+  if (base == "llv") return std::make_unique<LlvPass>(has_param, param);
+  if (base == "unroll") return std::make_unique<UnrollPass>(param);
+  if (base == "slp") return std::make_unique<SlpPass>();
+  if (base == "reroll") return std::make_unique<RerollPass>();
+  return std::make_unique<LowerPass>(has_param, param);
+}
+
+}  // namespace veccost::xform

@@ -1,0 +1,54 @@
+// The string registry of transform passes.
+//
+// Five pass kinds adapt the existing transform entry points to the
+// TransformPass interface (pass.hpp):
+//
+//   llv[<VF>]   vectorizer::vectorize_legal — widen the loop by VF (natural
+//               VF when omitted), legality served by the AnalysisManager
+//   unroll<F>   vectorizer::unroll_loop — replicate the body F times
+//   slp         vectorizer::slp_vectorize — attach a pack plan to the state
+//   reroll      vectorizer::reroll_loop — invert hand-unrolling using the
+//               state's slp plan
+//   lower[<L>]  machine::lower — compile the kernel to a micro-op program at
+//               L lanes (the kernel's own vf when omitted)
+//
+// `create_pass` instantiates one by base name + parameter; `pass_catalog`
+// drives the `veccost passes` subcommand and the spec parser's validation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xform/pass.hpp"
+
+namespace veccost::xform {
+
+/// Catalog entry for one registered pass kind (base name, before any
+/// `<param>` instantiation).
+struct PassInfo {
+  std::string_view name;      ///< base spec name, e.g. "llv"
+  std::string_view synopsis;  ///< spec form, e.g. "llv[<VF>]"
+  std::string_view summary;   ///< one line for `veccost passes`
+  bool has_param = false;     ///< accepts a `<N>` parameter
+  bool param_required = false;
+  int min_param = 0;          ///< smallest legal parameter value, when given
+};
+
+/// Every registered pass kind, in catalog order.
+[[nodiscard]] const std::vector<PassInfo>& pass_catalog();
+
+/// Catalog entry for `base`, or nullptr when no such pass kind exists.
+[[nodiscard]] const PassInfo* find_pass_info(std::string_view base);
+
+/// Instantiate a pass from its base name and parameter (`has_param` tells
+/// whether a `<N>` was written; its value is `param`). Returns nullptr and
+/// fills `*error` when the name is unknown or the parameter is missing,
+/// unexpected, or out of range.
+[[nodiscard]] std::unique_ptr<TransformPass> create_pass(std::string_view base,
+                                                         bool has_param,
+                                                         int param,
+                                                         std::string* error);
+
+}  // namespace veccost::xform

@@ -186,10 +186,14 @@ TEST_F(WarmCacheTest, PipelineVersionBumpForcesRemeasurement) {
 }
 
 TEST_F(WarmCacheTest, DifferentNoiseDoesNotHit) {
+  SuiteRequest low;
+  low.noise = 0.015;
+  SuiteRequest high;
+  high.noise = 0.05;
   const SuiteResult a =
-      Session(machine::cortex_a57(), with_cache(2)).measure({.noise = 0.015});
+      Session(machine::cortex_a57(), with_cache(2)).measure(low);
   const SuiteResult b =
-      Session(machine::cortex_a57(), with_cache(2)).measure({.noise = 0.05});
+      Session(machine::cortex_a57(), with_cache(2)).measure(high);
   EXPECT_EQ(a.suite.kernels.size(), b.suite.kernels.size());
   EXPECT_EQ(b.cache_hits, 0u);
 }
@@ -230,8 +234,10 @@ TEST(Session, DeprecatedEntryPointsDelegateBitIdentically) {
   // produce exactly what a Session produces — at a NON-default noise, so a
   // wrapper that silently dropped the parameter would be caught.
   const double noise = 0.03;
+  SuiteRequest request;
+  request.noise = noise;
   const SuiteMeasurement via_session =
-      Session(machine::cortex_a57(), uncached(4)).measure({.noise = noise}).suite;
+      Session(machine::cortex_a57(), uncached(4)).measure(request).suite;
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const SuiteMeasurement serial = measure_suite(machine::cortex_a57(), noise);

@@ -1,0 +1,332 @@
+// Unit tests for the unified transform pipeline: pass registry lookup,
+// pipeline-spec parsing (round-trip and char-positioned errors), the
+// AnalysisManager's hit/miss accounting and preserved-analyses transfer, and
+// end-to-end pipeline runs on TSVC kernels.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "machine/targets.hpp"
+#include "obs/metrics.hpp"
+#include "tsvc/kernel.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
+#include "xform/registry.hpp"
+
+namespace veccost::xform {
+namespace {
+
+using B = ir::LoopBuilder;
+using ir::LoopKernel;
+
+LoopKernel tsvc_kernel(const char* name) {
+  const auto* info = tsvc::find_kernel(name);
+  EXPECT_NE(info, nullptr) << name;
+  return info->build();
+}
+
+/// a[i] = a[i-1] + 1: carried flow dependence, never vectorizable.
+LoopKernel serial_kernel() {
+  B b("serial", "test");
+  b.trip({.start = 1});
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1, -1)), b.fconst(1.0)));
+  return std::move(b).finish();
+}
+
+std::uint64_t global_counter(const char* name) {
+  const auto snap = obs::Registry::global().snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, CatalogListsEveryPassKind) {
+  const auto& catalog = pass_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_EQ(catalog[0].name, "llv");
+  EXPECT_EQ(catalog[1].name, "unroll");
+  EXPECT_EQ(catalog[2].name, "slp");
+  EXPECT_EQ(catalog[3].name, "reroll");
+  EXPECT_EQ(catalog[4].name, "lower");
+  for (const PassInfo& info : catalog) {
+    EXPECT_NE(find_pass_info(info.name), nullptr);
+    EXPECT_FALSE(info.synopsis.empty());
+    EXPECT_FALSE(info.summary.empty());
+  }
+  EXPECT_EQ(find_pass_info("loopfusion"), nullptr);
+}
+
+TEST(Registry, CreatePassInstantiatesSpecNames) {
+  std::string error;
+  const auto llv = create_pass("llv", true, 4, &error);
+  ASSERT_NE(llv, nullptr) << error;
+  EXPECT_EQ(llv->name(), "llv<4>");
+  const auto natural = create_pass("llv", false, 0, &error);
+  ASSERT_NE(natural, nullptr);
+  EXPECT_EQ(natural->name(), "llv");
+  const auto slp = create_pass("slp", false, 0, &error);
+  ASSERT_NE(slp, nullptr);
+  EXPECT_EQ(slp->name(), "slp");
+}
+
+TEST(Registry, CreatePassRejectsBadRequests) {
+  std::string error;
+  EXPECT_EQ(create_pass("nope", false, 0, &error), nullptr);
+  EXPECT_NE(error.find("unknown pass"), std::string::npos);
+  // slp takes no parameter.
+  EXPECT_EQ(create_pass("slp", true, 4, &error), nullptr);
+  EXPECT_NE(error.find("takes no parameter"), std::string::npos);
+  // unroll requires one.
+  EXPECT_EQ(create_pass("unroll", false, 0, &error), nullptr);
+  EXPECT_NE(error.find("requires a parameter"), std::string::npos);
+  // llv<1> is below the minimum width.
+  EXPECT_EQ(create_pass("llv", true, 1, &error), nullptr);
+  EXPECT_NE(error.find(">= 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+
+TEST(SpecParse, SplitsPassesWithPositions) {
+  const SpecParse p = parse_pipeline_spec("unroll<4>, slp ,reroll");
+  ASSERT_TRUE(p.ok) << p.error;
+  ASSERT_EQ(p.passes.size(), 3u);
+  EXPECT_EQ(p.passes[0].base, "unroll");
+  EXPECT_TRUE(p.passes[0].has_param);
+  EXPECT_EQ(p.passes[0].param, 4);
+  EXPECT_EQ(p.passes[0].position, 0u);
+  EXPECT_EQ(p.passes[1].base, "slp");
+  EXPECT_FALSE(p.passes[1].has_param);
+  EXPECT_EQ(p.passes[1].position, 11u);
+  EXPECT_EQ(p.passes[2].base, "reroll");
+  EXPECT_EQ(p.passes[2].position, 16u);
+}
+
+TEST(SpecParse, ErrorsCarryCharacterPositions) {
+  struct Case {
+    const char* spec;
+    std::size_t position;
+  };
+  for (const Case& c : {Case{"", 0}, Case{"llv,,slp", 4}, Case{"slp,", 4},
+                        Case{"llv<", 4}, Case{"llv<x>", 4}, Case{"llv<4", 5},
+                        Case{"llv slp", 4}}) {
+    const SpecParse p = parse_pipeline_spec(c.spec);
+    EXPECT_FALSE(p.ok) << c.spec;
+    EXPECT_EQ(p.position, c.position) << c.spec << ": " << p.error;
+    EXPECT_NE(p.error.find("at char " + std::to_string(c.position)),
+              std::string::npos)
+        << c.spec << ": " << p.error;
+  }
+}
+
+TEST(Pipeline, ParseReportsRegistryErrorsWithPositions) {
+  const Pipeline p = Pipeline::parse("slp,bogus<3>");
+  EXPECT_FALSE(p.valid());
+  EXPECT_EQ(p.error_position(), 4u);
+  EXPECT_NE(p.error().find("unknown pass"), std::string::npos);
+
+  const Pipeline q = Pipeline::parse("llv,unroll");
+  EXPECT_FALSE(q.valid());
+  EXPECT_EQ(q.error_position(), 4u);
+  EXPECT_NE(q.error().find("requires a parameter"), std::string::npos);
+}
+
+TEST(Pipeline, CanonicalSpecRoundTrips) {
+  for (const char* spec :
+       {"llv", "llv<4>", "unroll<4>,slp,reroll", "slp,reroll,llv<2>",
+        "unroll<2>,slp,lower<4>"}) {
+    const Pipeline p = Pipeline::parse(spec);
+    ASSERT_TRUE(p.valid()) << spec << ": " << p.error();
+    EXPECT_EQ(p.spec(), spec);
+    const Pipeline again = Pipeline::parse(p.spec());
+    ASSERT_TRUE(again.valid());
+    EXPECT_EQ(again.spec(), p.spec());
+    ASSERT_EQ(again.size(), p.size());
+    for (std::size_t i = 0; i < p.size(); ++i)
+      EXPECT_EQ(again.pass(i).name(), p.pass(i).name());
+  }
+  // Whitespace is dropped in the canonical form.
+  const Pipeline ws = Pipeline::parse(" unroll<4> , slp ");
+  ASSERT_TRUE(ws.valid());
+  EXPECT_EQ(ws.spec(), "unroll<4>,slp");
+}
+
+// ---------------------------------------------------------------------------
+// AnalysisManager caching
+
+TEST(AnalysisManager, SecondQueryHitsAndReturnsSameObject) {
+  AnalysisManager am;
+  const LoopKernel k = tsvc_kernel("s000");
+  const analysis::Legality& first = am.legality(k);
+  EXPECT_EQ(am.stats().hits, 0u);
+  EXPECT_EQ(am.stats().misses, 1u);
+  const analysis::Legality& second = am.legality(k);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(am.stats().hits, 1u);
+  EXPECT_EQ(am.stats().misses, 1u);
+}
+
+TEST(AnalysisManager, DistinctOptionsAndAnalysesGetDistinctSlots) {
+  AnalysisManager am;
+  const LoopKernel k = tsvc_kernel("s000");
+  (void)am.legality(k);
+  analysis::LegalityOptions no_gather;
+  no_gather.allow_gather = false;
+  (void)am.legality(k, no_gather);  // different options hash
+  (void)am.dependence(k);
+  (void)am.phi_classes(k);
+  (void)am.features(k, analysis::FeatureSet::Counts);
+  (void)am.features(k, analysis::FeatureSet::Rated);
+  EXPECT_EQ(am.stats().misses, 6u);
+  EXPECT_EQ(am.stats().hits, 0u);
+  (void)am.features(k, analysis::FeatureSet::Counts);
+  EXPECT_EQ(am.stats().hits, 1u);
+}
+
+TEST(AnalysisManager, RenameDoesNotChangeContentHash) {
+  LoopKernel a = tsvc_kernel("s000");
+  LoopKernel b = a;
+  b.name = "renamed";
+  b.description = "something else";
+  EXPECT_EQ(kernel_content_hash(a), kernel_content_hash(b));
+  b.vf = 4;
+  EXPECT_NE(kernel_content_hash(a), kernel_content_hash(b));
+}
+
+TEST(AnalysisManager, TransferCarriesPreservedAnalyses) {
+  AnalysisManager am;
+  const LoopKernel k = tsvc_kernel("s000");
+  LoopKernel widened = k;
+  widened.default_n *= 2;  // stand-in for a rewritten kernel (new content)
+  (void)am.legality(k);
+  ASSERT_EQ(am.stats().misses, 1u);
+  am.transfer(k, widened, PreservedAnalyses::all());
+  (void)am.legality(widened);
+  EXPECT_EQ(am.stats().hits, 1u) << "carried analysis should be served";
+  EXPECT_EQ(am.stats().misses, 1u);
+}
+
+TEST(AnalysisManager, TransferDropsNonPreservedEntries) {
+  AnalysisManager am;
+  const LoopKernel k = tsvc_kernel("s000");
+  LoopKernel mutated = k;
+  mutated.default_n *= 2;
+  // Cache a result under the *destination* key, then declare nothing
+  // preserved: the stale entry must not survive (in-place mutation case).
+  (void)am.legality(mutated);
+  ASSERT_EQ(am.stats().misses, 1u);
+  am.transfer(k, mutated, PreservedAnalyses::none());
+  (void)am.legality(mutated);
+  EXPECT_EQ(am.stats().misses, 2u) << "stale analysis must be recomputed";
+  EXPECT_EQ(am.stats().hits, 0u);
+}
+
+TEST(AnalysisManager, CountersTrackHitsAndMisses) {
+  obs::Registry::global().reset();
+  AnalysisManager am;
+  const LoopKernel k = tsvc_kernel("s000");
+  (void)am.legality(k);
+  (void)am.legality(k);
+  (void)am.dependence(k);
+  EXPECT_EQ(global_counter("xform.analysis.miss"), 2u);
+  EXPECT_EQ(global_counter("xform.analysis.hit"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline runs
+
+TEST(Pipeline, DefaultLlvWidensAVectorizableKernel) {
+  AnalysisManager am;
+  const Pipeline p = Pipeline::parse("llv");
+  ASSERT_TRUE(p.valid());
+  const PipelineResult r =
+      p.run(tsvc_kernel("s000"), machine::cortex_a57(), am);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_GT(r.state.kernel.vf, 1);
+  EXPECT_FALSE(r.state.runtime_check);
+}
+
+TEST(Pipeline, ExplicitVfIsHonored) {
+  AnalysisManager am;
+  const Pipeline p = Pipeline::parse("llv<2>");
+  ASSERT_TRUE(p.valid());
+  const PipelineResult r =
+      p.run(tsvc_kernel("s000"), machine::cortex_a57(), am);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_EQ(r.state.kernel.vf, 2);
+}
+
+TEST(Pipeline, FailureNamesThePassAndKeepsPriorState) {
+  AnalysisManager am;
+  const Pipeline p = Pipeline::parse("unroll<2>,llv");
+  ASSERT_TRUE(p.valid());
+  const PipelineResult r = p.run(serial_kernel(), machine::cortex_a57(), am);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_pass, "llv");
+  EXPECT_EQ(r.failed_index, 1u);
+  EXPECT_FALSE(r.reason.empty());
+  // Strong guarantee: the returned state is the pre-failure state — the
+  // unroll succeeded, the widening did not happen.
+  EXPECT_EQ(r.state.kernel.vf, 1);
+  ASSERT_FALSE(r.state.notes.empty());
+  EXPECT_EQ(r.state.notes.back(), "unrolled by 2");
+}
+
+TEST(Pipeline, RerollWithoutSlpFailsWithGuidance) {
+  AnalysisManager am;
+  const Pipeline p = Pipeline::parse("reroll");
+  ASSERT_TRUE(p.valid());
+  const PipelineResult r =
+      p.run(tsvc_kernel("s351"), machine::cortex_a57(), am);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_pass, "reroll");
+  EXPECT_NE(r.reason.find("slp"), std::string::npos);
+}
+
+TEST(Pipeline, RerollThenVectorizeComposesOnS351) {
+  // The paper's hand-unrolled kernel: slp finds the 5-copy pattern, reroll
+  // collapses it to a unit-stride loop, llv widens the result.
+  AnalysisManager am;
+  const Pipeline p = Pipeline::parse("slp,reroll,llv");
+  ASSERT_TRUE(p.valid());
+  const LoopKernel s351 = tsvc_kernel("s351");
+  const PipelineResult r = p.run(s351, machine::cortex_a57(), am);
+  ASSERT_TRUE(r.ok) << r.failed_pass << ": " << r.reason;
+  EXPECT_GT(r.state.kernel.vf, 1);
+  EXPECT_EQ(r.state.kernel.trip.step, 1);
+  EXPECT_NE(kernel_content_hash(r.state.kernel), kernel_content_hash(s351));
+}
+
+TEST(Pipeline, LowerAttachesAProgramAndPreservesAnalyses) {
+  AnalysisManager am;
+  const Pipeline p = Pipeline::parse("llv<4>,lower");
+  ASSERT_TRUE(p.valid());
+  const PipelineResult r =
+      p.run(tsvc_kernel("s000"), machine::cortex_a57(), am);
+  ASSERT_TRUE(r.ok) << r.reason;
+  ASSERT_TRUE(r.state.lowered.has_value());
+}
+
+TEST(Pipeline, VfSweepRunsLegalityOncePerKernel) {
+  // The acceptance criterion of the refactor: sweeping VFs through one
+  // manager computes dependence/legality once per (kernel, options), every
+  // later VF served from cache.
+  obs::Registry::global().reset();
+  AnalysisManager am;
+  const LoopKernel k = tsvc_kernel("s000");
+  for (const char* spec : {"llv<2>", "llv<4>", "llv<8>"}) {
+    const Pipeline p = Pipeline::parse(spec);
+    ASSERT_TRUE(p.valid());
+    const PipelineResult r = p.run(k, machine::cortex_a57(), am);
+    ASSERT_TRUE(r.ok) << spec << ": " << r.reason;
+  }
+  EXPECT_EQ(am.stats().misses, 1u) << "legality computed more than once";
+  EXPECT_EQ(am.stats().hits, 2u);
+  EXPECT_GT(global_counter("xform.analysis.hit"), 0u);
+  EXPECT_EQ(global_counter("xform.analysis.miss"), 1u);
+}
+
+}  // namespace
+}  // namespace veccost::xform

@@ -36,7 +36,7 @@ import subprocess
 import sys
 import time
 
-MICRO_BENCHES = ("bench/micro_machine", "bench/micro_fit")
+MICRO_BENCHES = ("bench/micro_machine", "bench/micro_fit", "bench/micro_pipeline")
 
 
 def run_google_benchmark(binary, min_time):

@@ -11,6 +11,7 @@
 //   veccost catalog  [target]                    markdown kernel catalog
 //   veccost fuzz     [target]                    differential fuzz campaign
 //   veccost stats    [target|metrics.json]       pipeline metrics report
+//   veccost passes   [spec]                      pass catalog + spec check
 //
 // Everything the example binaries do, behind one verb-style entry point.
 // Every subcommand that measures goes through eval::Session; the global
@@ -43,7 +44,9 @@
 #include "testing/differential_oracle.hpp"
 #include "testing/fuzz.hpp"
 #include "tsvc/kernel.hpp"
-#include "vectorizer/loop_vectorizer.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
+#include "xform/registry.hpp"
 
 namespace {
 
@@ -66,6 +69,7 @@ usage:
   veccost fuzz    [target] [--seed N] [--iters N] [--corpus DIR]
                   [--corpus-out DIR] [--no-shrink] [--inject-fault]
   veccost stats   [--json] [target|metrics.json]
+  veccost passes  [spec]
 
 global flags:
   --jobs N             measurement/training parallelism (default: all
@@ -74,6 +78,9 @@ global flags:
                        VECCOST_NO_CACHE=1)
   --no-metrics         disable metrics/span collection (also
                        VECCOST_METRICS=0)
+  --pipeline SPEC      transform pipeline for explore/measure/fuzz/passes,
+                       e.g. "unroll<4>,slp,reroll" (also VECCOST_PIPELINE;
+                       default: llv)
   --metrics-out FILE   write the metrics registry as JSON on exit
   --trace-out FILE     write collected spans as Chrome trace-event JSON
 )";
@@ -113,11 +120,26 @@ int cmd_targets() {
   return 0;
 }
 
-int cmd_explore(const std::vector<std::string>& args) {
+/// Resolve the --pipeline / VECCOST_PIPELINE spec (default: llv) into a
+/// parsed Pipeline, throwing the parser's char-positioned error on junk.
+xform::Pipeline pipeline_arg(const support::GlobalOptions& global) {
+  const std::string spec = global.pipeline.empty()
+                               ? std::string(eval::kDefaultPipelineSpec)
+                               : global.pipeline;
+  xform::Pipeline pipeline = xform::Pipeline::parse(spec);
+  if (!pipeline.valid())
+    throw Error("pipeline spec '" + spec + "': " + pipeline.error());
+  return pipeline;
+}
+
+int cmd_explore(const std::vector<std::string>& args,
+                const support::GlobalOptions& global) {
   if (args.size() < 3) usage();
   const ir::LoopKernel scalar = kernel_arg(args[2]);
   std::cout << ir::print(scalar) << '\n';
-  const auto legality = analysis::check_legality(scalar);
+  // One manager for the whole target sweep: legality/dependence run once.
+  xform::AnalysisManager analyses;
+  const auto& legality = analyses.legality(scalar);
   if (legality.vectorizable) {
     std::cout << "vectorizable, max VF " << legality.max_vf
               << (legality.needs_runtime_check ? " (behind a runtime check)"
@@ -126,32 +148,48 @@ int cmd_explore(const std::vector<std::string>& args) {
   } else {
     std::cout << "NOT vectorizable: " << legality.reasons_string() << "\n\n";
   }
+  const xform::Pipeline pipeline = pipeline_arg(global);
+  std::cout << "pipeline: " << pipeline.spec() << "\n\n";
   TextTable t({"target", "vf", "predicted", "measured"});
   for (const auto& target : machine::all_targets()) {
-    const auto vec = vectorizer::vectorize_loop(scalar, target);
+    const xform::PipelineResult vec = pipeline.run(scalar, target, analyses);
     if (!vec.ok) {
       t.add_row({target.name, "-", "-", "-"});
       continue;
     }
-    const double pred =
-        model::llvm_predict(scalar, vec.kernel, target).predicted_speedup;
-    const double meas =
-        vec.runtime_check
-            ? machine::measure_scalar_cycles(scalar, target, scalar.default_n) /
-                  machine::measure_versioned_scalar_cycles(scalar, target,
-                                                           scalar.default_n)
-            : machine::measure_speedup(vec.kernel, scalar, target,
-                                       scalar.default_n);
-    t.add_row({target.name, std::to_string(vec.vf), TextTable::num(pred),
+    const ir::LoopKernel& transformed = vec.state.kernel;
+    // llvm_predict models widening; scalar-to-scalar pipelines (unroll,
+    // reroll) have no widening prediction to show.
+    const std::string pred =
+        transformed.vf > 1
+            ? TextTable::num(model::llvm_predict(scalar, transformed, target)
+                                 .predicted_speedup)
+            : "-";
+    const double scalar_cycles =
+        machine::measure_scalar_cycles(scalar, target, scalar.default_n);
+    double meas;
+    if (vec.state.runtime_check)
+      meas = scalar_cycles / machine::measure_versioned_scalar_cycles(
+                                 scalar, target, scalar.default_n);
+    else if (transformed.vf > 1)
+      meas = machine::measure_speedup(transformed, scalar, target,
+                                      scalar.default_n);
+    else
+      meas = scalar_cycles / machine::measure_scalar_cycles(
+                                 transformed, target, scalar.default_n);
+    t.add_row({target.name, std::to_string(transformed.vf), pred,
                TextTable::num(meas)});
   }
   std::cout << t.to_string();
   return 0;
 }
 
-int cmd_measure(const std::vector<std::string>& args) {
+int cmd_measure(const std::vector<std::string>& args,
+                const support::GlobalOptions& global) {
   const auto& target = target_arg(args, 2);
-  const auto sm = eval::Session(target).measure().suite;
+  eval::SuiteRequest request;
+  request.pipeline = global.pipeline;  // "" = eval::kDefaultPipelineSpec
+  const auto sm = eval::Session(target).measure(request).suite;
   eval::print_suite_overview(std::cout, sm);
   std::cout << '\n';
   const auto base = eval::experiment_baseline(sm);
@@ -269,9 +307,13 @@ int cmd_catalog(const std::vector<std::string>& args) {
 /// nonzero when anything diverges. `--iters 0` is a pure corpus replay (the
 /// CI bench workflow's mode); `--inject-fault` corrupts every widened kernel
 /// with the built-in demo fault to demonstrate the catch+shrink path.
-int cmd_fuzz(std::vector<std::string> args) {
+int cmd_fuzz(std::vector<std::string> args,
+             const support::GlobalOptions& global) {
   testing::CampaignOptions opts;
   opts.corpus_dir = "tests/corpus";  // replayed when present, else skipped
+  if (!global.pipeline.empty()) {
+    opts.oracle.pipeline = pipeline_arg(global).spec();
+  }
   bool inject_fault = false;
   const auto int_flag = [&](std::vector<std::string>::iterator& it,
                             const char* flag) {
@@ -350,6 +392,35 @@ int cmd_stats(std::vector<std::string> args) {
   return 0;
 }
 
+/// `veccost passes [spec]`. Lists the registered transform passes, then —
+/// when a spec was given positionally or via --pipeline — validates it,
+/// pointing a caret at the offending character on a parse error.
+int cmd_passes(const std::vector<std::string>& args,
+               const support::GlobalOptions& global) {
+  TextTable t({"pass", "spec", "summary"});
+  for (const auto& info : xform::pass_catalog())
+    t.add_row({std::string(info.name), std::string(info.synopsis),
+               std::string(info.summary)});
+  std::cout << t.to_string();
+  const std::string spec = args.size() > 2 ? args[2] : global.pipeline;
+  if (spec.empty()) {
+    std::cout << "\npipelines are comma-separated pass specs, e.g. "
+                 "\"unroll<4>,slp,reroll\"\n";
+    return 0;
+  }
+  const xform::Pipeline pipeline = xform::Pipeline::parse(spec);
+  if (!pipeline.valid()) {
+    std::cout << "\ninvalid pipeline " << pipeline.error() << "\n  " << spec
+              << "\n  " << std::string(pipeline.error_position(), ' ')
+              << "^\n";
+    return 1;
+  }
+  std::cout << "\nvalid pipeline, " << pipeline.size()
+            << (pipeline.size() == 1 ? " pass" : " passes")
+            << ", canonical spec: " << pipeline.spec() << '\n';
+  return 0;
+}
+
 void write_outputs(const support::GlobalOptions& opts) {
   if (!opts.metrics_out.empty()) {
     std::ofstream out(opts.metrics_out);
@@ -377,15 +448,16 @@ int main(int argc, char** argv) {
     int rc = 2;
     if (cmd == "list") rc = cmd_list();
     else if (cmd == "targets") rc = cmd_targets();
-    else if (cmd == "explore") rc = cmd_explore(args);
-    else if (cmd == "measure") rc = cmd_measure(args);
+    else if (cmd == "explore") rc = cmd_explore(args, opts);
+    else if (cmd == "measure") rc = cmd_measure(args, opts);
     else if (cmd == "verify") rc = cmd_verify(args);
     else if (cmd == "train") rc = cmd_train(args);
     else if (cmd == "advise") rc = cmd_advise(args);
     else if (cmd == "select") rc = cmd_select(args);
     else if (cmd == "catalog") rc = cmd_catalog(args);
-    else if (cmd == "fuzz") rc = cmd_fuzz(args);
+    else if (cmd == "fuzz") rc = cmd_fuzz(args, opts);
     else if (cmd == "stats") rc = cmd_stats(args);
+    else if (cmd == "passes") rc = cmd_passes(args, opts);
     else usage();
     write_outputs(opts);
     return rc;
