@@ -1,0 +1,157 @@
+#include "serve/kernel_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "eval/measurement_cache.hpp"
+#include "obs/metrics.hpp"
+#include "support/csv.hpp"
+#include "support/env_flags.hpp"
+#include "support/hash.hpp"
+
+namespace veccost::serve {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+std::uint64_t parse_hex64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+std::string format_double(double v) {
+  // Hex floats round-trip bit-exactly (same rule as eval::MeasurementCache):
+  // a warm-cache response must be indistinguishable from a fresh one.
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+double parse_double(const std::string& s) {
+  return std::strtod(s.c_str(), nullptr);
+}
+
+const std::vector<std::string> kHeader = {
+    "key",           "vectorizable",  "reject_reason",
+    "vf",            "scalar_cycles", "vector_cycles",
+    "measured_speedup", "predicted_speedup"};
+
+}  // namespace
+
+KernelCache::KernelCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) dir_ = default_dir();
+  for (std::size_t s = 0; s < kShards; ++s) load_shard(s);
+}
+
+std::string KernelCache::default_dir() {
+  const std::string env = support::EnvFlags::value("VECCOST_SERVE_CACHE_DIR");
+  return env.empty() ? "results/serve_cache" : env;
+}
+
+std::uint64_t KernelCache::key(const std::string& kernel_text,
+                               const machine::TargetDesc& target,
+                               const std::string& pipeline_spec,
+                               std::int64_t n, double noise) {
+  support::ContentHasher h;
+  // Target fingerprint + noise + kPipelineVersion, folded exactly the way
+  // the suite cache folds them — editing a target's timing table invalidates
+  // both caches at once.
+  h.mix(eval::MeasurementCache::config_hash(target, noise));
+  h.mix(pipeline_spec);
+  h.mix(n);
+  h.mix(kernel_text);
+  return h.value();
+}
+
+std::string KernelCache::shard_path(std::size_t shard) const {
+  return dir_ + "/shard_" + std::to_string(shard) + ".csv";
+}
+
+void KernelCache::load_shard(std::size_t shard) {
+  std::ifstream in(shard_path(shard));
+  if (!in) return;
+  VECCOST_COUNTER_ADD("serve.cache.file_loads", 1);
+  CsvReader reader(in);
+  std::vector<std::string> cells;
+  if (!reader.read_row(cells) || cells != kHeader) {  // stale schema
+    VECCOST_COUNTER_ADD("serve.cache.stale_files", 1);
+    return;
+  }
+  Shard& sh = shards_[shard];
+  std::size_t loaded = 0;
+  while (reader.read_row(cells)) {
+    if (cells.size() != kHeader.size()) {  // truncated row (killed mid-append)
+      VECCOST_COUNTER_ADD("serve.cache.stale_rows", 1);
+      continue;
+    }
+    const std::uint64_t key = parse_hex64(cells[0]);
+    if (shard_of(key) != shard) {  // foreign/corrupt row
+      VECCOST_COUNTER_ADD("serve.cache.stale_rows", 1);
+      continue;
+    }
+    CachedMeasurement m;
+    m.vectorizable = cells[1] == "1";
+    m.reject_reason = cells[2];
+    m.vf = static_cast<int>(std::strtol(cells[3].c_str(), nullptr, 10));
+    m.scalar_cycles = parse_double(cells[4]);
+    m.vector_cycles = parse_double(cells[5]);
+    m.measured_speedup = parse_double(cells[6]);
+    m.predicted_speedup = parse_double(cells[7]);
+    sh.entries.insert_or_assign(key, std::move(m));  // later rows win
+    ++loaded;
+  }
+  VECCOST_COUNTER_ADD("serve.cache.loaded_entries", loaded);
+}
+
+std::optional<CachedMeasurement> KernelCache::find(std::uint64_t key) const {
+  const Shard& sh = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  if (const auto it = sh.entries.find(key); it != sh.entries.end()) {
+    VECCOST_COUNTER_ADD("serve.cache.hit", 1);
+    return it->second;
+  }
+  VECCOST_COUNTER_ADD("serve.cache.miss", 1);
+  return std::nullopt;
+}
+
+bool KernelCache::store(std::uint64_t key, const CachedMeasurement& m) {
+  const std::size_t shard = shard_of(key);
+  Shard& sh = shards_[shard];
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  sh.entries.insert_or_assign(key, m);
+  VECCOST_COUNTER_ADD("serve.cache.store", 1);
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return false;
+  const std::string path = shard_path(shard);
+  const bool fresh = !std::filesystem::exists(path, ec) || ec;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  CsvWriter writer(out);
+  if (fresh) writer.write_row(kHeader);
+  writer.write_row({hex64(key), m.vectorizable ? "1" : "0", m.reject_reason,
+                    std::to_string(m.vf), format_double(m.scalar_cycles),
+                    format_double(m.vector_cycles),
+                    format_double(m.measured_speedup),
+                    format_double(m.predicted_speedup)});
+  return static_cast<bool>(out);
+}
+
+std::size_t KernelCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    n += sh.entries.size();
+  }
+  return n;
+}
+
+}  // namespace veccost::serve

@@ -1,0 +1,99 @@
+// Sharded, content-addressed cache of single-kernel measurements for the
+// serve daemon — warm across restarts.
+//
+// The suite-shaped eval::MeasurementCache keys whole TSVC suite files; a
+// daemon instead sees a stream of ad-hoc .vir kernels, one at a time, from
+// many concurrent connections. This cache:
+//
+//  * keys each entry by one 64-bit content hash folding the kernel's
+//    canonical printed IR, the target fingerprint
+//    (eval::MeasurementCache::config_hash — same bytes, same invalidation
+//    story), the canonical pipeline spec and the problem size;
+//  * shards by key across kShards independent maps, each with its own
+//    mutex and its own CSV file, so concurrent measure requests on different
+//    kernels never contend on one lock or one file;
+//  * persists write-through: a store appends one row to the shard's file
+//    under the shard lock, so a daemon killed at any point restarts with
+//    every completed measurement warm. Doubles are hex floats — a cached
+//    response is bit-identical to a fresh one, which is what lets the
+//    warm-restart test demand *zero* re-measurements rather than "close
+//    enough".
+//
+// Rows with a stale schema header or a key that no longer matches are
+// dropped on load, mirroring eval::MeasurementCache.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "machine/target.hpp"
+
+namespace veccost::serve {
+
+/// What one measure request learns about one kernel (the cacheable subset
+/// of eval::KernelMeasurement — features stay request-side, they are cheap).
+struct CachedMeasurement {
+  bool vectorizable = false;
+  std::string reject_reason;
+  int vf = 1;
+  double scalar_cycles = 0;
+  double vector_cycles = 0;
+  double measured_speedup = 0;
+  double predicted_speedup = 0;
+};
+
+class KernelCache {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  /// `dir` empty selects default_dir(). Existing shard files are loaded
+  /// eagerly (a daemon reads them once at startup).
+  explicit KernelCache(std::string dir = "");
+
+  /// VECCOST_SERVE_CACHE_DIR if set, else "results/serve_cache".
+  [[nodiscard]] static std::string default_dir();
+
+  /// Content key for one (kernel, target, pipeline, n) configuration.
+  /// `kernel_text` must be canonical printed IR (ir::print of the parsed
+  /// kernel), so textual variants of the same kernel share an entry.
+  [[nodiscard]] static std::uint64_t key(const std::string& kernel_text,
+                                         const machine::TargetDesc& target,
+                                         const std::string& pipeline_spec,
+                                         std::int64_t n, double noise);
+
+  /// Look up one entry; increments serve.cache.{hit,miss}.
+  [[nodiscard]] std::optional<CachedMeasurement> find(std::uint64_t key) const;
+
+  /// Insert (or overwrite) and append to the shard file. Returns false when
+  /// the row could not be persisted (entry still cached in memory).
+  bool store(std::uint64_t key, const CachedMeasurement& m);
+
+  /// Entries currently cached (all shards).
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Shard file path, for tests.
+  [[nodiscard]] std::string shard_path(std::size_t shard) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::uint64_t, CachedMeasurement> entries;
+  };
+
+  [[nodiscard]] static std::size_t shard_of(std::uint64_t key) {
+    return (key >> 56) % kShards;  // top bits: well mixed by ContentHasher
+  }
+
+  void load_shard(std::size_t shard);
+
+  std::string dir_;
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace veccost::serve

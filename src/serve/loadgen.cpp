@@ -1,0 +1,219 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "ir/printer.hpp"
+#include "serve/protocol.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/socket.hpp"
+#include "tsvc/kernel.hpp"
+
+namespace veccost::serve {
+
+using support::Fnv1a;
+using support::Json;
+using support::TcpStream;
+
+namespace {
+
+/// Marker folded into the digest where a response should have been. Any
+/// transport failure therefore changes the digest — a digest match implies
+/// every request got an answer.
+constexpr const char* kFailureMarker = "<transport-failure>";
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Bench files are human-diffed; three decimals of a microsecond is plenty.
+double round3(double v) { return std::round(v * 1000.0) / 1000.0; }
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string loadgen_request_line(const LoadgenOptions& opts,
+                                 std::int64_t index) {
+  // Index-addressable stream: each request draws from its own SplitMix64, so
+  // line i is a pure function of (seed, i) — no sequential RNG state that a
+  // different jobs split could perturb.
+  SplitMix64 sm(opts.seed ^
+                (0x9e3779b97f4a7c15ull *
+                 (static_cast<std::uint64_t>(index) + 1)));
+  const std::uint64_t verb_draw = sm.next() % 10;
+  const std::uint64_t kernel_draw = sm.next();
+
+  Request request;
+  request.id = std::to_string(index);
+  // Mix mirrors expected production traffic: predictions dominate, a
+  // measurement tier behind them, occasional full selections.
+  request.verb = verb_draw < 6   ? Verb::Predict
+                 : verb_draw < 9 ? Verb::Measure
+                                 : Verb::Select;
+  const auto& suite = tsvc::suite();
+  const tsvc::KernelInfo& info = suite[kernel_draw % suite.size()];
+  request.kernel = ir::print(info.build());
+  request.target = opts.target;
+  request.deadline_ms = opts.deadline_ms;
+  return serialize_request(request);
+}
+
+LoadReport run_loadgen(const LoadgenOptions& opts) {
+  if (opts.port == 0) throw Error("loadgen: a daemon port is required");
+  if (opts.requests < 0) throw Error("loadgen: negative request count");
+
+  const auto count = static_cast<std::size_t>(opts.requests);
+  const std::size_t jobs = std::max<std::size_t>(1, opts.jobs);
+
+  // The stream is built once, up front, on this thread: workers only ever
+  // replay fixed bytes, so nothing about scheduling can change what is sent.
+  std::vector<std::string> lines(count);
+  for (std::size_t i = 0; i < count; ++i)
+    lines[i] = loadgen_request_line(opts, static_cast<std::int64_t>(i));
+
+  std::vector<std::string> responses(count);
+  std::vector<char> failed(count, 0);
+  std::vector<double> latencies_us(count, 0.0);
+
+  // Worker w owns connection w and requests {i : i % jobs == w}, strictly in
+  // order — one in flight per connection, which is what makes per-index
+  // results independent of how many workers run.
+  const auto worker = [&](std::size_t w) {
+    TcpStream stream = TcpStream::connect(opts.port, opts.timeout_ms);
+    for (std::size_t i = w; i < count; i += jobs) {
+      if (!stream.valid()) {
+        // One reconnect attempt per request keeps a single dropped
+        // connection from failing the whole residue class.
+        stream = TcpStream::connect(opts.port, opts.timeout_ms);
+        if (!stream.valid()) {
+          failed[i] = 1;
+          continue;
+        }
+      }
+      const auto start = std::chrono::steady_clock::now();
+      if (!stream.send_all(lines[i] + "\n")) {
+        failed[i] = 1;
+        stream.close();
+        continue;
+      }
+      std::string line;
+      if (stream.read_line(line, opts.timeout_ms) !=
+          TcpStream::ReadResult::Ok) {
+        failed[i] = 1;
+        stream.close();
+        continue;
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      latencies_us[i] =
+          std::chrono::duration<double, std::micro>(stop - start).count();
+      responses[i] = line;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) threads.emplace_back(worker, w);
+  for (std::thread& t : threads) t.join();
+
+  LoadReport report;
+  report.requests = opts.requests;
+  report.latencies_us = latencies_us;
+
+  Fnv1a digest;
+  for (std::size_t i = 0; i < count; ++i) {
+    digest.add(lines[i]);
+    if (failed[i]) {
+      ++report.transport_failures;
+      digest.add(kFailureMarker);
+      continue;
+    }
+    bool ok = false;
+    try {
+      const Json response = Json::parse(responses[i]);
+      ok = response.get_bool("ok", false);
+      digest.add(digest_normalized_response(responses[i]));
+    } catch (const std::exception&) {
+      // A non-JSON response line is a daemon bug; count it as transport.
+      ++report.transport_failures;
+      digest.add(kFailureMarker);
+      continue;
+    }
+    if (ok)
+      ++report.ok;
+    else
+      ++report.errors;
+  }
+  report.digest = digest.value();
+
+  std::vector<double> sorted;
+  sorted.reserve(count);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (failed[i]) continue;
+    sorted.push_back(latencies_us[i]);
+    sum += latencies_us[i];
+  }
+  std::sort(sorted.begin(), sorted.end());
+  if (!sorted.empty())
+    report.mean_us = sum / static_cast<double>(sorted.size());
+  report.p50_us = percentile(sorted, 0.50);
+  report.p95_us = percentile(sorted, 0.95);
+  report.p99_us = percentile(sorted, 0.99);
+  return report;
+}
+
+std::string bench_json(const LoadgenOptions& opts, const LoadReport& report) {
+  Json latency = Json::object();
+  latency.set("mean", round3(report.mean_us));
+  latency.set("p50", round3(report.p50_us));
+  latency.set("p95", round3(report.p95_us));
+  latency.set("p99", round3(report.p99_us));
+
+  Json doc = Json::object();
+  doc.set("schema", "veccost-serve-bench-v1");
+  doc.set("requests", report.requests);
+  doc.set("jobs", static_cast<std::int64_t>(std::max<std::size_t>(
+                      1, opts.jobs)));
+  doc.set("seed", static_cast<std::int64_t>(opts.seed));
+  doc.set("target", opts.target.empty() ? "cortex-a57" : opts.target);
+  doc.set("ok", report.ok);
+  doc.set("errors", report.errors);
+  doc.set("transport_failures", report.transport_failures);
+  doc.set("digest", hex64(report.digest));
+  doc.set("latency_us", std::move(latency));
+  return doc.dump() + "\n";
+}
+
+bool request_shutdown(std::uint16_t port, int timeout_ms) {
+  TcpStream stream = TcpStream::connect(port, timeout_ms);
+  if (!stream.valid()) return false;
+  Request request;
+  request.id = "shutdown";
+  request.verb = Verb::Shutdown;
+  if (!stream.send_all(serialize_request(request) + "\n")) return false;
+  std::string line;
+  if (stream.read_line(line, timeout_ms) != TcpStream::ReadResult::Ok)
+    return false;
+  try {
+    return Json::parse(line).get_bool("ok", false);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace veccost::serve

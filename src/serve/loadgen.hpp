@@ -1,0 +1,68 @@
+// Deterministic load generator for the serve daemon.
+//
+// Generates a seeded request stream (a fixed verb mix over the TSVC suite),
+// fires it at a running daemon from `jobs` concurrent connections, and
+// reports latency percentiles plus an order-sensitive FNV-1a digest over
+// every (request, normalized response) pair.
+//
+// Determinism contract (tests/serve_test.cpp pins it): the stream depends
+// only on (seed, requests), request i always runs on connection i % jobs in
+// per-connection order, and results fold into the digest by request index —
+// so the digest is bit-identical across any --jobs value. Responses are
+// normalized first (protocol digest_normalized_response): the `cached` flag
+// depends on arrival order and warm state, everything else is
+// deterministic. That makes latency numbers from different jobs counts /
+// machines comparable: same digest = same work was done.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace veccost::serve {
+
+struct LoadgenOptions {
+  std::uint16_t port = 0;       ///< daemon port (required)
+  std::int64_t requests = 200;  ///< stream length
+  std::size_t jobs = 1;         ///< concurrent connections
+  std::uint64_t seed = 1;       ///< stream seed
+  std::string target;           ///< per-request target; "" = daemon default
+  std::int64_t deadline_ms = 0; ///< per-request deadline; 0 = none
+  int timeout_ms = 120000;      ///< client-side wait per response
+};
+
+struct LoadReport {
+  std::int64_t requests = 0;
+  std::int64_t ok = 0;
+  std::int64_t errors = 0;              ///< ok=false responses
+  std::int64_t transport_failures = 0;  ///< connect/read/write failures
+  /// FNV-1a over (request line, normalized response) in index order.
+  std::uint64_t digest = 0;
+  std::vector<double> latencies_us;     ///< per request, index order
+  double mean_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+
+  [[nodiscard]] bool all_ok() const {
+    return errors == 0 && transport_failures == 0;
+  }
+};
+
+/// Build request line i of the stream (no trailing newline). Exposed so
+/// tests can pin the stream itself.
+[[nodiscard]] std::string loadgen_request_line(const LoadgenOptions& opts,
+                                               std::int64_t index);
+
+/// Run the whole stream against a live daemon. Throws veccost::Error only
+/// on setup problems (no port); per-request transport failures are counted.
+[[nodiscard]] LoadReport run_loadgen(const LoadgenOptions& opts);
+
+/// The veccost-serve-bench-v1 document for bench/BENCH_serve.json.
+[[nodiscard]] std::string bench_json(const LoadgenOptions& opts,
+                                     const LoadReport& report);
+
+/// Send one shutdown request; true when the daemon acknowledged.
+bool request_shutdown(std::uint16_t port, int timeout_ms = 5000);
+
+}  // namespace veccost::serve

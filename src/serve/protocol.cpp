@@ -1,0 +1,164 @@
+#include "serve/protocol.hpp"
+
+#include "support/error.hpp"
+
+namespace veccost::serve {
+
+using support::Json;
+
+bool is_work_verb(Verb verb) {
+  switch (verb) {
+    case Verb::Predict:
+    case Verb::Measure:
+    case Verb::Select:
+      return true;
+    case Verb::Metrics:
+    case Verb::Healthz:
+    case Verb::Shutdown:
+      return false;
+  }
+  return false;
+}
+
+const char* to_string(Verb verb) {
+  switch (verb) {
+    case Verb::Predict: return "predict";
+    case Verb::Measure: return "measure";
+    case Verb::Select: return "select";
+    case Verb::Metrics: return "metrics";
+    case Verb::Healthz: return "healthz";
+    case Verb::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::BadRequest: return "bad_request";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::ShuttingDown: return "shutting_down";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "?";
+}
+
+namespace {
+
+bool verb_from_string(const std::string& name, Verb& out) {
+  for (const Verb v : {Verb::Predict, Verb::Measure, Verb::Select,
+                       Verb::Metrics, Verb::Healthz, Verb::Shutdown}) {
+    if (name == to_string(v)) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string serialize_request(const Request& request) {
+  Json j = Json::object();
+  j.set("v", kServeSchema);
+  j.set("id", request.id);
+  j.set("verb", to_string(request.verb));
+  if (!request.kernel.empty()) j.set("kernel", request.kernel);
+  if (!request.target.empty()) j.set("target", request.target);
+  if (!request.pipeline.empty()) j.set("pipeline", request.pipeline);
+  if (request.n > 0) j.set("n", request.n);
+  if (request.deadline_ms > 0) j.set("deadline_ms", request.deadline_ms);
+  return j.dump();
+}
+
+RequestParse parse_request(const std::string& line) {
+  RequestParse parse;
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const Error& e) {
+    parse.error = e.what();
+    return parse;
+  }
+  if (!doc.is_object()) {
+    parse.error = "request must be a JSON object";
+    return parse;
+  }
+  parse.request.id = doc.get_string("id");
+  parse.verb_name = doc.get_string("verb");
+  const std::string schema = doc.get_string("v");
+  if (schema != kServeSchema) {
+    parse.error = schema.empty()
+                      ? std::string("missing schema field \"v\" (expected \"") +
+                            kServeSchema + "\")"
+                      : "unsupported schema '" + schema + "' (this daemon speaks " +
+                            kServeSchema + ")";
+    return parse;
+  }
+  if (!verb_from_string(parse.verb_name, parse.request.verb)) {
+    parse.error = parse.verb_name.empty()
+                      ? "missing verb"
+                      : "unknown verb '" + parse.verb_name + "'";
+    return parse;
+  }
+  parse.request.kernel = doc.get_string("kernel");
+  parse.request.target = doc.get_string("target");
+  parse.request.pipeline = doc.get_string("pipeline");
+  parse.request.n = doc.get_int("n");
+  parse.request.deadline_ms = doc.get_int("deadline_ms");
+  if (parse.request.n < 0) {
+    parse.error = "n must be >= 0";
+    return parse;
+  }
+  if (parse.request.deadline_ms < 0) {
+    parse.error = "deadline_ms must be >= 0";
+    return parse;
+  }
+  if (is_work_verb(parse.request.verb) && parse.request.kernel.empty()) {
+    parse.error = std::string("verb '") + to_string(parse.request.verb) +
+                  "' needs a \"kernel\"";
+    return parse;
+  }
+  parse.ok = true;
+  return parse;
+}
+
+support::Json ok_response(const Request& request, Json result) {
+  Json j = Json::object();
+  j.set("v", kServeSchema);
+  j.set("id", request.id);
+  j.set("verb", to_string(request.verb));
+  j.set("ok", true);
+  j.set("result", std::move(result));
+  return j;
+}
+
+support::Json error_response(const std::string& id,
+                             const std::string& verb_name, ErrorCode code,
+                             const std::string& message) {
+  Json err = Json::object();
+  err.set("code", to_string(code));
+  err.set("message", message);
+  Json j = Json::object();
+  j.set("v", kServeSchema);
+  j.set("id", id);
+  j.set("verb", verb_name);
+  j.set("ok", false);
+  j.set("error", std::move(err));
+  return j;
+}
+
+std::string to_line(const Json& response) { return response.dump() + "\n"; }
+
+std::string digest_normalized_response(const std::string& line) {
+  Json doc = Json::parse(line);
+  if (const Json* result = doc.find("result");
+      result != nullptr && result->is_object()) {
+    Json cleaned = *result;
+    cleaned.erase("cached");
+    doc.set("result", std::move(cleaned));
+  }
+  return doc.dump();
+}
+
+}  // namespace veccost::serve

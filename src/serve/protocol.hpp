@@ -1,0 +1,106 @@
+// The veccost-serve-v1 wire protocol: newline-delimited JSON over loopback
+// TCP, one request or response per line.
+//
+// Request (fields after "verb" are optional; defaults shown):
+//
+//   {"v":"veccost-serve-v1","id":"7","verb":"measure",
+//    "kernel":"kernel s000 (...) ...",   // .vir text, work verbs only
+//    "target":"cortex-a57",
+//    "pipeline":"llv",                   // xform pipeline spec
+//    "n":0,                              // problem size, 0 = kernel default
+//    "deadline_ms":0}                    // 0 = no deadline
+//
+// Response:
+//
+//   {"v":"veccost-serve-v1","id":"7","verb":"measure","ok":true,
+//    "result":{...verb-specific payload...}}
+//   {"v":"veccost-serve-v1","id":"7","verb":"measure","ok":false,
+//    "error":{"code":"overloaded","message":"..."}}
+//
+// Serialization is byte-stable: fields emit in the order above, optional
+// request fields are omitted at their default, and numbers format
+// deterministically (support/json.hpp). tests/golden/serve_golden.jsonl pins
+// the exact bytes — schema drift is a deliberate, reviewed act. Bump
+// kServeSchema on an incompatible change.
+//
+// Verbs: predict / measure / select do model work and flow through the
+// admission queue; metrics / healthz / shutdown are control verbs answered
+// on the connection thread so they stay responsive when the queue is full.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/json.hpp"
+
+namespace veccost::serve {
+
+/// Schema tag carried by every request and response.
+inline constexpr const char* kServeSchema = "veccost-serve-v1";
+
+enum class Verb { Predict, Measure, Select, Metrics, Healthz, Shutdown };
+
+/// True for the verbs that go through the admission queue (model work).
+[[nodiscard]] bool is_work_verb(Verb verb);
+
+[[nodiscard]] const char* to_string(Verb verb);
+
+/// Structured error categories; the wire carries the snake_case name.
+enum class ErrorCode {
+  BadRequest,        ///< malformed JSON / schema / verb / kernel / pipeline
+  Overloaded,        ///< admission queue full — request shed, retry later
+  DeadlineExceeded,  ///< per-request deadline elapsed before/while serving
+  ShuttingDown,      ///< daemon is stopping; request not served
+  Internal,          ///< handler threw (includes injected faults)
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+struct Request {
+  std::string id;       ///< caller-chosen correlation id, echoed verbatim
+  Verb verb = Verb::Healthz;
+  std::string kernel;   ///< .vir kernel text (work verbs)
+  std::string target;   ///< "" = cortex-a57
+  std::string pipeline; ///< xform pipeline spec; "" = the default (llv)
+  std::int64_t n = 0;           ///< problem size; 0 = kernel's default_n
+  std::int64_t deadline_ms = 0; ///< serving deadline; 0 = none
+};
+
+/// Outcome of parsing one request line. When !ok, `error` describes the
+/// problem and `request.id`/`verb_name` carry whatever could be salvaged so
+/// the error response still correlates.
+struct RequestParse {
+  bool ok = false;
+  Request request;
+  std::string verb_name;  ///< raw verb string (may be unknown)
+  std::string error;
+};
+
+/// Serialize a request (no trailing newline — the framing layer adds it).
+[[nodiscard]] std::string serialize_request(const Request& request);
+
+/// Parse one request line. Never throws: malformed input lands in
+/// RequestParse::error.
+[[nodiscard]] RequestParse parse_request(const std::string& line);
+
+/// Build a success response envelope around a verb-specific result payload.
+[[nodiscard]] support::Json ok_response(const Request& request,
+                                        support::Json result);
+
+/// Build an error response. `verb_name` is the raw verb string so unknown
+/// verbs echo faithfully.
+[[nodiscard]] support::Json error_response(const std::string& id,
+                                           const std::string& verb_name,
+                                           ErrorCode code,
+                                           const std::string& message);
+
+/// One response line: dump + '\n'.
+[[nodiscard]] std::string to_line(const support::Json& response);
+
+/// Canonical form of a response line for cross-run digests: volatile fields
+/// (currently result.cached — a hit on one run is a miss on another) are
+/// dropped and the rest re-serialized. Throws veccost::Error on non-JSON.
+[[nodiscard]] std::string digest_normalized_response(const std::string& line);
+
+}  // namespace veccost::serve

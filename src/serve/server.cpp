@@ -1,0 +1,280 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace veccost::serve {
+
+using support::Json;
+using support::TcpStream;
+
+namespace {
+
+/// Reader poll tick: how stale the stop flag can look to an idle
+/// connection/accept thread. Short enough that wait() is snappy, long
+/// enough to keep idle daemons off the CPU.
+constexpr int kPollMs = 100;
+
+}  // namespace
+
+bool Server::Connection::write(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mutex);
+  return stream.send_all(line);
+}
+
+Server::Server(ServeOptions opts)
+    : opts_(std::move(opts)), service_(opts_.service) {}
+
+Server::~Server() {
+  stop();
+  wait();
+}
+
+void Server::start() {
+  VECCOST_ASSERT(!started_, "Server::start() called twice");
+  listener_ = support::TcpListener::bind(opts_.port);
+  port_ = listener_.port();
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  queue_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  if (joined_ || !started_) return;
+  joined_ = true;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  listener_.close();
+  // Reader threads notice stopping_ within one poll tick.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> conns(connections_mutex_);
+    readers.swap(connection_threads_);
+  }
+  for (std::thread& t : readers)
+    if (t.joinable()) t.join();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    TcpStream stream = listener_.accept(kPollMs);
+    if (!stream.valid()) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->stream = std::move(stream);
+    VECCOST_COUNTER_ADD("serve.connections", 1);
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_threads_.emplace_back(
+        [this, conn = std::move(conn)] { connection_loop(conn); });
+  }
+}
+
+void Server::connection_loop(const std::shared_ptr<Connection>& conn) {
+  std::string line;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    switch (conn->stream.read_line(line, kPollMs)) {
+      case TcpStream::ReadResult::Ok:
+        if (!line.empty()) handle_line(conn, line);
+        break;
+      case TcpStream::ReadResult::Timeout:
+        break;  // re-check the stop flag
+      case TcpStream::ReadResult::Closed:
+        return;
+    }
+  }
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  VECCOST_COUNTER_ADD("serve.requests", 1);
+  const RequestParse parse = parse_request(line);
+  if (!parse.ok) {
+    VECCOST_COUNTER_ADD("serve.bad_request", 1);
+    respond(conn, error_response(parse.request.id, parse.verb_name,
+                                 ErrorCode::BadRequest, parse.error));
+    return;
+  }
+  const Request& request = parse.request;
+
+  // Control verbs bypass the queue: probes and metric scrapes must stay
+  // responsive precisely when the queue is full.
+  if (!is_work_verb(request.verb)) {
+    switch (request.verb) {
+      case Verb::Healthz: {
+        std::size_t depth;
+        {
+          std::lock_guard<std::mutex> lock(queue_mutex_);
+          depth = queue_.size();
+        }
+        Json result = Json::object();
+        result.set("status", stopping_.load(std::memory_order_acquire)
+                                 ? "stopping"
+                                 : "ok");
+        result.set("queue_depth", depth);
+        result.set("queue_limit", opts_.queue_limit);
+        respond(conn, ok_response(request, std::move(result)));
+        return;
+      }
+      case Verb::Metrics:
+        respond(conn, ok_response(request, metrics_payload(
+                                               obs::Registry::global()
+                                                   .snapshot())));
+        return;
+      case Verb::Shutdown: {
+        Json result = Json::object();
+        result.set("stopping", true);
+        respond(conn, ok_response(request, std::move(result)));
+        stop();
+        return;
+      }
+      default:
+        return;  // unreachable: is_work_verb covered the rest
+    }
+  }
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    respond(conn, error_response(request.id, to_string(request.verb),
+                                 ErrorCode::ShuttingDown,
+                                 "daemon is shutting down"));
+    return;
+  }
+
+  // Cheap shed before any parsing: a full queue rejects without paying for
+  // kernel or pipeline validation.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= opts_.queue_limit) {
+      VECCOST_COUNTER_ADD("serve.shed", 1);
+      respond(conn,
+              error_response(request.id, to_string(request.verb),
+                             ErrorCode::Overloaded,
+                             "admission queue full (" +
+                                 std::to_string(opts_.queue_limit) +
+                                 " requests); retry later"));
+      return;
+    }
+  }
+
+  CostService::Admission admission = service_.admit(request);
+  if (!admission.ok) {
+    VECCOST_COUNTER_ADD("serve.bad_request", 1);
+    respond(conn, admission.error);
+    return;
+  }
+
+  Job job;
+  job.admitted = std::move(admission.job);
+  job.conn = conn;
+  job.enqueued = Clock::now();
+  const std::int64_t deadline_ms = request.deadline_ms > 0
+                                       ? request.deadline_ms
+                                       : opts_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline = job.enqueued + std::chrono::milliseconds(deadline_ms);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    // Re-check under the lock: admissions race, the bound is the contract.
+    if (queue_.size() >= opts_.queue_limit) {
+      VECCOST_COUNTER_ADD("serve.shed", 1);
+      respond(conn,
+              error_response(request.id, to_string(request.verb),
+                             ErrorCode::Overloaded,
+                             "admission queue full (" +
+                                 std::to_string(opts_.queue_limit) +
+                                 " requests); retry later"));
+      return;
+    }
+    queue_.push_back(std::move(job));
+    VECCOST_GAUGE_SET("serve.queue_depth", queue_.size());
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::dispatch_loop() {
+  std::vector<Job> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      const bool stopping = stopping_.load(std::memory_order_acquire);
+      while (!queue_.empty() && batch.size() < opts_.batch_max) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      VECCOST_GAUGE_SET("serve.queue_depth", queue_.size());
+      if (batch.empty() && stopping) return;
+      if (stopping) {
+        // Drain: everything still admitted gets a structured answer before
+        // the daemon exits — never a silently dropped connection.
+        for (Job& job : batch)
+          respond(job.conn,
+                  error_response(job.admitted.request.id,
+                                 to_string(job.admitted.request.verb),
+                                 ErrorCode::ShuttingDown,
+                                 "daemon is shutting down"));
+        continue;
+      }
+    }
+    VECCOST_COUNTER_ADD("serve.batches", 1);
+    VECCOST_OBSERVE("serve.batch_size", batch.size());
+    if (batch.size() == 1) {
+      run_job(batch.front());
+    } else {
+      // The batch fans out on the process-wide pool — the same workers
+      // eval::Session uses — with the dispatcher as one of the runners.
+      parallel_for(
+          batch.size(), [&](std::size_t i) { run_job(batch[i]); }, opts_.jobs);
+    }
+  }
+}
+
+void Server::run_job(Job& job) {
+  const Request& request = job.admitted.request;
+  if (job.has_deadline && Clock::now() >= job.deadline) {
+    VECCOST_COUNTER_ADD("serve.deadline_exceeded", 1);
+    respond(job.conn,
+            error_response(request.id, to_string(request.verb),
+                           ErrorCode::DeadlineExceeded,
+                           "deadline elapsed before the request was served"));
+    return;
+  }
+  Json response = service_.execute(job.admitted);
+  if (job.has_deadline && Clock::now() >= job.deadline) {
+    // Executed but too late: the caller contracted for an answer by the
+    // deadline, so the (cached, reusable) result is dropped in favor of the
+    // structured timeout.
+    VECCOST_COUNTER_ADD("serve.deadline_exceeded", 1);
+    response = error_response(request.id, to_string(request.verb),
+                              ErrorCode::DeadlineExceeded,
+                              "request completed after its deadline");
+  }
+  VECCOST_OBSERVE("serve.request_ns",
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - job.enqueued)
+                      .count());
+  respond(job.conn, response);
+}
+
+void Server::respond(const std::shared_ptr<Connection>& conn,
+                     const Json& response) {
+  if (response.get_bool("ok", false))
+    VECCOST_COUNTER_ADD("serve.responses_ok", 1);
+  else
+    VECCOST_COUNTER_ADD("serve.responses_error", 1);
+  if (!conn->write(to_line(response)))
+    VECCOST_COUNTER_ADD("serve.dropped_responses", 1);
+}
+
+}  // namespace veccost::serve

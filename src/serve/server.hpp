@@ -1,0 +1,138 @@
+// The `veccost serve` daemon: a batched, backpressured cost-model server
+// over the veccost-serve-v1 protocol (serve/protocol.hpp).
+//
+// Thread architecture:
+//
+//   accept thread ──► one reader thread per connection
+//                        │  control verbs (healthz / metrics / shutdown)
+//                        │  answered inline — a full queue never makes the
+//                        │  daemon unresponsive to probes
+//                        ▼
+//                  bounded admission queue  ── full? ──► `overloaded` (shed)
+//                        │
+//                  dispatch thread: pops up to batch_max requests and fans
+//                  the batch onto the process ThreadPool (parallel_for —
+//                  the same pool eval::Session measures on), so concurrent
+//                  clients share workers instead of spawning their own
+//
+// Backpressure is explicit: admission never blocks and never grows the
+// queue past queue_limit — excess requests get a structured `overloaded`
+// error immediately (serve.shed counts them). Each request may carry a
+// deadline; requests that age out in the queue are answered
+// `deadline_exceeded` without being executed (serve.deadline_exceeded).
+// Requests parse/validate fully at admission (CostService::admit), so a
+// malformed kernel or pipeline spec is a bad_request on the connection
+// thread, never a mid-batch exception.
+//
+// Instruments: serve.requests, serve.responses_{ok,error}, serve.shed,
+// serve.deadline_exceeded, serve.bad_request, serve.batches,
+// serve.dropped_responses counters; serve.queue_depth gauge;
+// serve.request_ns / serve.batch_size histograms (plus CostService's
+// serve.admit_ns / serve.execute_ns spans and serve.cache.* counters).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "support/socket.hpp"
+
+namespace veccost::serve {
+
+struct ServeOptions {
+  std::uint16_t port = 0;        ///< 0 = ephemeral (Server::port() reports it)
+  std::size_t queue_limit = 64;  ///< admitted-but-unserved bound; above = shed
+  std::size_t batch_max = 16;    ///< requests per dispatch batch
+  std::size_t jobs = 0;          ///< batch parallelism; 0 = default_parallelism
+  /// Deadline applied to requests that carry none; 0 = unlimited.
+  std::int64_t default_deadline_ms = 0;
+  CostService::Options service;  ///< cache dir, default pipeline, fault hook
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions opts = {});
+  ~Server();  ///< stop() + wait()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind and spawn the accept + dispatch threads. Throws veccost::Error
+  /// when the port cannot be bound or the default pipeline spec is invalid.
+  void start();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Ask the daemon to stop (idempotent, any thread). The `shutdown` verb
+  /// calls this internally.
+  void stop();
+
+  /// Block until the daemon has stopped and every thread is joined. Pending
+  /// queued requests are answered `shutting_down`, the cache stays on disk.
+  void wait();
+
+  [[nodiscard]] bool running() const {
+    return started_ && !stopping_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const CostService& service() const { return service_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One client connection's write side; shared by the reader thread and
+  /// any in-flight jobs so late responses after a disconnect are dropped,
+  /// not crashed on.
+  struct Connection {
+    support::TcpStream stream;
+    std::mutex write_mutex;
+    bool write(const std::string& line);
+  };
+
+  struct Job {
+    CostService::Admitted admitted;
+    std::shared_ptr<Connection> conn;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void accept_loop();
+  void connection_loop(const std::shared_ptr<Connection>& conn);
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void dispatch_loop();
+  void run_job(Job& job);
+  void respond(const std::shared_ptr<Connection>& conn,
+               const support::Json& response);
+
+  ServeOptions opts_;
+  CostService service_;
+  support::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+
+  std::atomic<bool> stopping_{false};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+
+  std::mutex join_mutex_;  ///< serializes wait()
+  bool joined_ = false;
+};
+
+}  // namespace veccost::serve

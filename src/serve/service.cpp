@@ -1,0 +1,244 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "costmodel/llvm_model.hpp"
+#include "costmodel/selector.hpp"
+#include "eval/measurement.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "machine/targets.hpp"
+#include "obs/export.hpp"
+#include "support/error.hpp"
+#include "tsvc/kernel.hpp"
+#include "xform/analysis_manager.hpp"
+
+namespace veccost::serve {
+
+using support::Json;
+
+namespace {
+
+/// The caret-positioned pipeline diagnostic `veccost passes` prints, as one
+/// message string (JSON-escaped newlines on the wire).
+std::string pipeline_error_message(const std::string& spec,
+                                   const xform::Pipeline& pipeline) {
+  return "pipeline spec: " + pipeline.error() + "\n  " + spec + "\n  " +
+         std::string(pipeline.error_position(), ' ') + "^";
+}
+
+}  // namespace
+
+CostService::CostService() : CostService(Options()) {}
+
+CostService::CostService(Options opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_dir) {
+  if (!opts_.default_pipeline.empty()) {
+    const xform::Pipeline p = xform::Pipeline::parse(opts_.default_pipeline);
+    if (!p.valid())
+      throw Error(pipeline_error_message(opts_.default_pipeline, p));
+  }
+}
+
+CostService::Admission CostService::admit(const Request& request) const {
+  VECCOST_SPAN("serve.admit_ns");
+  Admission adm;
+  // Pipeline (and so Admitted/Admission) is move-only; the lambda marks the
+  // rejection in place and callers return the local (moved, not copied).
+  const auto reject = [&](const std::string& message) {
+    adm.ok = false;
+    adm.error = error_response(request.id, to_string(request.verb),
+                               ErrorCode::BadRequest, message);
+  };
+
+  try {
+    adm.job.kernel = ir::parse_kernel(request.kernel);
+  } catch (const std::exception& e) {
+    reject(std::string("kernel: ") + e.what());
+    return adm;
+  }
+  if (request.n > 0) adm.job.kernel.default_n = request.n;
+
+  const std::string target_name =
+      request.target.empty() ? "cortex-a57" : request.target;
+  try {
+    adm.job.target = &machine::target_by_name(target_name);
+  } catch (const std::exception& e) {
+    reject(e.what());
+    return adm;
+  }
+
+  std::string spec = request.pipeline;
+  if (spec.empty())
+    spec = opts_.default_pipeline.empty()
+               ? std::string(eval::kDefaultPipelineSpec)
+               : opts_.default_pipeline;
+  adm.job.pipeline = xform::Pipeline::parse(spec);
+  if (!adm.job.pipeline.valid()) {
+    reject(pipeline_error_message(spec, adm.job.pipeline));
+    return adm;
+  }
+
+  adm.job.request = request;
+  adm.job.canonical_kernel = ir::print(adm.job.kernel);
+  adm.ok = true;
+  return adm;
+}
+
+Json CostService::execute(const Admitted& job) const {
+  VECCOST_SPAN("serve.execute_ns");
+  if (opts_.fault.delay_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts_.fault.delay_ms));
+  try {
+    switch (job.request.verb) {
+      case Verb::Predict: return do_predict(job);
+      case Verb::Measure: return do_measure(job);
+      case Verb::Select: return do_select(job);
+      default: break;
+    }
+    return error_response(job.request.id, to_string(job.request.verb),
+                          ErrorCode::Internal,
+                          "control verb reached the work path");
+  } catch (const std::exception& e) {
+    VECCOST_COUNTER_ADD("serve.internal_errors", 1);
+    return error_response(job.request.id, to_string(job.request.verb),
+                          ErrorCode::Internal, e.what());
+  }
+}
+
+Json CostService::do_predict(const Admitted& job) const {
+  xform::AnalysisManager analyses;
+  const xform::PipelineResult xr =
+      job.pipeline.run(job.kernel, *job.target, analyses);
+  Json result = Json::object();
+  result.set("target", job.target->name);
+  result.set("pipeline", job.pipeline.spec());
+  result.set("vectorizable", xr.ok);
+  if (!xr.ok) {
+    result.set("reject_reason", xr.reason);
+    return ok_response(job.request, std::move(result));
+  }
+  const ir::LoopKernel& transformed = xr.state.kernel;
+  result.set("vf", transformed.vf);
+  const double predicted =
+      transformed.vf > 1
+          ? model::llvm_predict(job.kernel, transformed, *job.target)
+                .predicted_speedup
+          : 1.0;
+  result.set("predicted_speedup", predicted);
+  return ok_response(job.request, std::move(result));
+}
+
+Json CostService::do_measure(const Admitted& job) const {
+  const std::uint64_t key =
+      KernelCache::key(job.canonical_kernel, *job.target, job.pipeline.spec(),
+                       job.kernel.default_n, opts_.noise);
+  CachedMeasurement m;
+  bool cached = true;
+  if (const auto hit = cache_.find(key)) {
+    m = *hit;
+  } else {
+    cached = false;
+    VECCOST_COUNTER_ADD("serve.measure.executed", 1);
+    // Injected fault: a lowering-style kernel corruption (PR 4 machinery)
+    // turns this measurement into a structured `internal` failure.
+    if (opts_.fault.mutate) {
+      xform::AnalysisManager analyses;
+      const xform::PipelineResult xr =
+          job.pipeline.run(job.kernel, *job.target, analyses);
+      if (xr.ok) {
+        ir::LoopKernel corrupted = xr.state.kernel;
+        if (opts_.fault.mutate(corrupted))
+          throw Error("injected fault corrupted kernel '" + job.kernel.name +
+                      "' under pipeline " + job.pipeline.spec());
+      }
+    }
+    const tsvc::KernelInfo info{job.kernel.name, job.kernel.category,
+                                job.kernel.description,
+                                [k = job.kernel] { return k; }};
+    xform::AnalysisManager analyses;
+    const eval::KernelMeasurement km = eval::measure_kernel(
+        info, *job.target, opts_.noise, job.pipeline, analyses);
+    m.vectorizable = km.vectorizable;
+    m.reject_reason = km.reject_reason;
+    m.vf = km.vf;
+    m.scalar_cycles = km.scalar_cycles;
+    m.vector_cycles = km.vector_cycles;
+    m.measured_speedup = km.measured_speedup;
+    m.predicted_speedup = km.llvm_predicted_speedup;
+    // Write-through: persisted before the response goes out, so a restart
+    // after this line still answers warm.
+    (void)cache_.store(key, m);
+  }
+
+  Json result = Json::object();
+  result.set("target", job.target->name);
+  result.set("pipeline", job.pipeline.spec());
+  result.set("vectorizable", m.vectorizable);
+  if (!m.vectorizable) {
+    result.set("reject_reason", m.reject_reason);
+    result.set("cached", cached);
+    return ok_response(job.request, std::move(result));
+  }
+  result.set("vf", m.vf);
+  result.set("scalar_cycles", m.scalar_cycles);
+  result.set("vector_cycles", m.vector_cycles);
+  result.set("measured_speedup", m.measured_speedup);
+  result.set("predicted_speedup", m.predicted_speedup);
+  result.set("cached", cached);
+  return ok_response(job.request, std::move(result));
+}
+
+Json CostService::do_select(const Admitted& job) const {
+  const model::TransformSelector selector(*job.target);
+  const model::SelectionResult r =
+      selector.select(job.kernel, job.kernel.default_n);
+  Json options = Json::array();
+  for (const auto& o : r.options) {
+    Json opt = Json::object();
+    opt.set("label", o.label());
+    opt.set("predicted_speedup", o.predicted_speedup);
+    opt.set("measured_cycles", o.measured_cycles);
+    options.push(std::move(opt));
+  }
+  Json result = Json::object();
+  result.set("target", job.target->name);
+  result.set("options", std::move(options));
+  result.set("chosen", r.chosen);
+  result.set("best", r.best);
+  result.set("regret", r.regret());
+  return ok_response(job.request, std::move(result));
+}
+
+Json metrics_payload(const obs::Snapshot& snapshot) {
+  Json counters = Json::object();
+  for (const auto& [name, value] : snapshot.counters)
+    counters.set(name, static_cast<std::int64_t>(value));
+  Json gauges = Json::object();
+  for (const auto& [name, g] : snapshot.gauges) {
+    Json gauge = Json::object();
+    gauge.set("value", g.value);
+    gauge.set("max", g.max);
+    gauges.set(name, std::move(gauge));
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    Json hist = Json::object();
+    hist.set("count", static_cast<std::int64_t>(h.count));
+    hist.set("sum", static_cast<std::int64_t>(h.sum));
+    hist.set("p50", static_cast<std::int64_t>(h.quantile_bound(0.5)));
+    hist.set("p99", static_cast<std::int64_t>(h.quantile_bound(0.99)));
+    histograms.set(name, std::move(hist));
+  }
+  Json payload = Json::object();
+  payload.set("schema", obs::kMetricsSchema);
+  payload.set("counters", std::move(counters));
+  payload.set("gauges", std::move(gauges));
+  payload.set("histograms", std::move(histograms));
+  return payload;
+}
+
+}  // namespace veccost::serve

@@ -1,0 +1,106 @@
+// CostService: the serve daemon's request semantics, separated from its
+// transport.
+//
+// Two-phase by design:
+//
+//  * admit() — everything that can reject a request runs here, on the
+//    connection thread, before the request touches the queue: kernel text
+//    parse, target lookup, pipeline spec validation (with the same
+//    caret-positioned message `veccost passes` prints). A malformed
+//    --pipeline spec therefore produces a structured bad_request response at
+//    admission time; it can never throw mid-batch and take a worker down.
+//  * execute() — the model work (predict / measure / select), run by the
+//    server's batch workers. Never throws: handler exceptions become
+//    `internal` error responses.
+//
+// measure answers from the sharded KernelCache when it can
+// (serve.cache.hit); misses run the real measurement
+// (serve.measure.executed) and persist write-through, so a restarted daemon
+// answers the same request stream with zero re-measurements.
+//
+// Fault injection (tests, `veccost serve --inject-fault`): the PR 4
+// KernelMutator machinery plugs in here — a mutated kernel makes the
+// request fail with `internal`, and `delay_ms` makes every work request
+// slow, which is how the load-shedding tests fill the queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ir/loop.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/target.hpp"
+#include "obs/metrics.hpp"
+#include "serve/kernel_cache.hpp"
+#include "serve/protocol.hpp"
+#include "xform/pipeline.hpp"
+
+namespace veccost::serve {
+
+/// Test/diagnostics hook making work requests slow and/or failing (the
+/// serve face of `veccost fuzz --inject-fault`).
+struct FaultInjection {
+  /// Added latency per work request, in milliseconds.
+  std::int64_t delay_ms = 0;
+  /// PR 4-style kernel mutator (e.g. testing::demo_lowering_fault). Applied
+  /// to the transformed kernel; when it bites, the request fails `internal`.
+  std::function<bool(ir::LoopKernel&)> mutate;
+};
+
+class CostService {
+ public:
+  struct Options {
+    std::string cache_dir;  ///< KernelCache dir; "" = its default
+    /// Pipeline applied to requests that carry none; "" = the measurement
+    /// default (llv). Validated at construction — a daemon with a malformed
+    /// default spec refuses to start instead of failing every request.
+    std::string default_pipeline;
+    double noise = machine::kDefaultNoise;
+    FaultInjection fault;
+  };
+
+  CostService();  ///< all-default Options (out of line: GCC NSDMI quirk)
+  /// Throws veccost::Error (caret-positioned) on a bad default_pipeline.
+  explicit CostService(Options opts);
+
+  /// A request that passed admission: pre-parsed, ready to execute.
+  struct Admitted {
+    Request request;
+    ir::LoopKernel kernel;  ///< parsed; default_n overridden by request.n
+    const machine::TargetDesc* target = nullptr;
+    xform::Pipeline pipeline;
+    std::string canonical_kernel;  ///< ir::print(kernel), the cache-key text
+  };
+
+  struct Admission {
+    bool ok = false;
+    Admitted job;         ///< valid when ok
+    support::Json error;  ///< bad_request response when !ok
+  };
+
+  /// Validate a work request (verb must be predict/measure/select). Cheap —
+  /// safe on the connection thread.
+  [[nodiscard]] Admission admit(const Request& request) const;
+
+  /// Run a work verb. Never throws.
+  [[nodiscard]] support::Json execute(const Admitted& job) const;
+
+  [[nodiscard]] const KernelCache& cache() const { return cache_; }
+
+ private:
+  [[nodiscard]] support::Json do_predict(const Admitted& job) const;
+  [[nodiscard]] support::Json do_measure(const Admitted& job) const;
+  [[nodiscard]] support::Json do_select(const Admitted& job) const;
+
+  Options opts_;
+  /// mutable: answering a measure request warms the cache, which is
+  /// logically const service state (same stance as eval::Session).
+  mutable KernelCache cache_;
+};
+
+/// The obs registry snapshot as a serve-protocol result payload (same shape
+/// as the veccost-metrics-v1 document, deterministic member order).
+[[nodiscard]] support::Json metrics_payload(const obs::Snapshot& snapshot);
+
+}  // namespace veccost::serve

@@ -1,0 +1,374 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace veccost::support {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what, std::size_t offset) {
+  throw Error("JSON: " + what + " at offset " + std::to_string(offset));
+}
+
+const char* kind_name(Json::Kind k) {
+  switch (k) {
+    case Json::Kind::Null: return "null";
+    case Json::Kind::Bool: return "bool";
+    case Json::Kind::Int: return "int";
+    case Json::Kind::Double: return "double";
+    case Json::Kind::String: return "string";
+    case Json::Kind::Array: return "array";
+    case Json::Kind::Object: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void kind_mismatch(const char* want, Json::Kind got) {
+  throw Error(std::string("JSON: expected ") + want + ", have " +
+              kind_name(got));
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xc0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  } else {
+    out += static_cast<char>(0xe0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json document() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) bad("trailing characters", pos_);
+    return v;
+  }
+
+ private:
+  Json value() {
+    skip_ws();
+    if (pos_ >= text_.size()) bad("unexpected end of input", pos_);
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't': return keyword("true", Json(true));
+      case 'f': return keyword("false", Json(false));
+      case 'n': return keyword("null", Json());
+      default: return number();
+    }
+  }
+
+  Json object() {
+    Json obj = Json::object();
+    ++pos_;  // '{'
+    skip_ws();
+    if (accept('}')) return obj;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        bad("expected a string key", pos_);
+      std::string key = string();
+      skip_ws();
+      if (!accept(':')) bad("expected ':'", pos_);
+      obj.set(std::move(key), value());
+      skip_ws();
+      if (accept(',')) continue;
+      if (accept('}')) return obj;
+      bad("expected ',' or '}'", pos_);
+    }
+  }
+
+  Json array() {
+    Json arr = Json::array();
+    ++pos_;  // '['
+    skip_ws();
+    if (accept(']')) return arr;
+    for (;;) {
+      arr.push(value());
+      skip_ws();
+      if (accept(',')) continue;
+      if (accept(']')) return arr;
+      bad("expected ',' or ']'", pos_);
+    }
+  }
+
+  std::string string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) bad("unterminated escape", pos_);
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) bad("truncated \\u escape", pos_);
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else bad("bad \\u escape digit", pos_ - 1);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: bad("unknown escape", pos_ - 1);
+      }
+    }
+    if (pos_ >= text_.size()) bad("unterminated string", pos_);
+    ++pos_;  // closing '"'
+    return out;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) bad("expected a value", start);
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    if (!is_double) {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size())
+        return Json(static_cast<std::int64_t>(v));
+    }
+    end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d))
+      bad("malformed number '" + token + "'", start);
+    return Json(d);
+  }
+
+  Json keyword(std::string_view word, Json v) {
+    if (text_.substr(pos_, word.size()) != word) bad("expected a value", pos_);
+    pos_ += word.size();
+    return v;
+  }
+
+  bool accept(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json::Json(double v) : kind_(Kind::Double), double_(v) {
+  VECCOST_ASSERT(std::isfinite(v), "JSON cannot represent a non-finite double");
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::Bool) kind_mismatch("bool", kind_);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (kind_ != Kind::Int) kind_mismatch("int", kind_);
+  return int_;
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::Int) return static_cast<double>(int_);
+  if (kind_ != Kind::Double) kind_mismatch("number", kind_);
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::String) kind_mismatch("string", kind_);
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (kind_ != Kind::Array) kind_mismatch("array", kind_);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (kind_ != Kind::Object) kind_mismatch("object", kind_);
+  return object_;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (kind_ != Kind::Object) kind_mismatch("object", kind_);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+bool Json::erase(std::string_view key) {
+  if (kind_ != Kind::Object) kind_mismatch("object", kind_);
+  for (auto it = object_.begin(); it != object_.end(); ++it) {
+    if (it->first == key) {
+      object_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string Json::get_string(std::string_view key, std::string fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::move(fallback);
+}
+
+std::int64_t Json::get_int(std::string_view key, std::int64_t fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->kind() == Kind::Int ? v->as_int() : fallback;
+}
+
+bool Json::get_bool(std::string_view key, bool fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->kind() == Kind::Bool ? v->as_bool() : fallback;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ != Kind::Array) kind_mismatch("array", kind_);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Int: out += std::to_string(int_); break;
+    case Kind::Double: {
+      // Shortest representation that round-trips the exact bits through
+      // strtod — deterministic across platforms (the golden wire-format test
+      // depends on it) without %.17g's trailing noise (0.1 stays "0.1", not
+      // "0.10000000000000001").
+      char buf[32];
+      for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, double_);
+        if (std::strtod(buf, nullptr) == double_) break;
+      }
+      out += buf;
+      break;
+    }
+    case Kind::String: out += json_escape(string_); break;
+    case Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        array_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        out += json_escape(object_[i].first);
+        out += ':';
+        object_[i].second.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).document(); }
+
+}  // namespace veccost::support

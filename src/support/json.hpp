@@ -1,0 +1,115 @@
+// Minimal JSON value: parse + deterministic one-line serialization.
+//
+// The serve protocol (src/serve) speaks newline-delimited JSON, and its
+// golden wire-format test pins the exact bytes — so `dump()` is fully
+// deterministic: objects preserve insertion order (protocol writers emit
+// fields in a fixed order), doubles print in their shortest form that
+// round-trips bit-exactly through strtod, and there is no optional
+// whitespace. The obs
+// exporter keeps its own pretty-printed writer (obs/export.cpp) for the
+// veccost-metrics-v1 file format; this class is for protocol payloads and
+// tooling that needs to *construct and consume* arbitrary JSON, not just
+// stream one fixed schema.
+//
+// Supported: null, bool, 64-bit signed integers, finite doubles, strings
+// (with \uXXXX escapes decoded to UTF-8), arrays, objects. Parse errors
+// throw veccost::Error with the 0-based character offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace veccost::support {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;  ///< null
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(std::size_t v) : Json(static_cast<std::int64_t>(v)) {}
+  /// Non-finite doubles are not representable in JSON and throw.
+  Json(double v);
+  Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::Int || kind_ == Kind::Double;
+  }
+
+  // ---- typed reads (throw veccost::Error on a kind mismatch) ---------------
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;  ///< Int only
+  [[nodiscard]] double as_double() const;     ///< Int or Double
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const;  ///< Array only
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;  ///< Object only
+
+  // ---- object access (insertion order preserved) ---------------------------
+  /// Set/replace a member; returns *this for chaining. Object only.
+  Json& set(std::string key, Json value);
+  /// Remove a member if present; returns true when removed. Object only.
+  bool erase(std::string_view key);
+  /// Member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  // ---- convenience member reads with fallbacks -----------------------------
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback = 0) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  // ---- array access --------------------------------------------------------
+  /// Append an element; returns *this for chaining. Array only.
+  Json& push(Json value);
+
+  /// Compact deterministic serialization (no newlines — one request/response
+  /// per line is the serve framing).
+  [[nodiscard]] std::string dump() const;
+
+  /// Parse a complete JSON document (trailing whitespace allowed, trailing
+  /// junk is an error). Throws veccost::Error with a character offset.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// JSON string escaping for raw emitters ("x → "\"x\"" with control
+/// characters as \uXXXX). dump() uses it internally.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace veccost::support

@@ -1,0 +1,169 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace veccost::support {
+
+namespace {
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+/// poll() one fd for `events`, retrying on EINTR. True when ready.
+bool wait_for(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return (p.revents & (events | POLLERR | POLLHUP)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+// ---- TcpStream -------------------------------------------------------------
+
+TcpStream::TcpStream(TcpStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+TcpStream TcpStream::connect(std::uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
+  TcpStream stream(fd);
+  const sockaddr_in addr = loopback(port);
+  // A blocking connect to loopback either succeeds immediately or fails with
+  // ECONNREFUSED; the timeout parameter guards the exotic cases (listen
+  // backlog full) via SO_SNDTIMEO.
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+    throw Error("connect(127.0.0.1:" + std::to_string(port) +
+                "): " + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return stream;
+}
+
+bool TcpStream::send_all(std::string_view data) {
+  if (fd_ < 0) return false;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+TcpStream::ReadResult TcpStream::read_line(std::string& line, int timeout_ms) {
+  line.clear();
+  for (;;) {
+    if (const std::size_t nl = buffer_.find('\n'); nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return ReadResult::Ok;
+    }
+    if (fd_ < 0) return ReadResult::Closed;
+    if (!wait_for(fd_, POLLIN, timeout_ms)) return ReadResult::Timeout;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) return ReadResult::Closed;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::Closed;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---- TcpListener -----------------------------------------------------------
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+TcpListener TcpListener::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
+  TcpListener listener;
+  listener.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+    throw Error("bind(127.0.0.1:" + std::to_string(port) +
+                "): " + std::strerror(errno));
+  if (::listen(fd, 64) != 0)
+    throw Error("listen(): " + std::string(std::strerror(errno)));
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    throw Error("getsockname(): " + std::string(std::strerror(errno)));
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+TcpStream TcpListener::accept(int timeout_ms) {
+  if (fd_ < 0 || !wait_for(fd_, POLLIN, timeout_ms)) return TcpStream();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return TcpStream();
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpStream(fd);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace veccost::support

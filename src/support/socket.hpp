@@ -1,0 +1,89 @@
+// Thin blocking TCP wrappers over POSIX sockets, loopback only.
+//
+// The serve daemon (src/serve) listens on 127.0.0.1 and speaks
+// newline-delimited JSON; these classes carry exactly that traffic and
+// nothing more. Design constraints that shaped the API:
+//
+//  * every blocking call takes a millisecond timeout (implemented with
+//    poll()), so server threads can watch a stop flag instead of parking in
+//    the kernel forever;
+//  * writes use MSG_NOSIGNAL — a client that disconnects mid-response must
+//    surface as a failed send, never as SIGPIPE killing the daemon;
+//  * TcpListener::bind(0) picks an ephemeral port and reports it via
+//    port(), which is how the lifecycle tests avoid port collisions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace veccost::support {
+
+/// One connected TCP stream. Move-only; the destructor closes the fd.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() { close(); }
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connect to 127.0.0.1:`port`. Throws veccost::Error on failure.
+  [[nodiscard]] static TcpStream connect(std::uint16_t port,
+                                         int timeout_ms = 5000);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Send all of `data`; false on any send failure (peer gone). Never raises
+  /// SIGPIPE.
+  bool send_all(std::string_view data);
+
+  /// Read up to and including the next '\n' (the newline is stripped from
+  /// `line`). Returns:
+  ///  * Ok       — a complete line was read;
+  ///  * Timeout  — `timeout_ms` elapsed mid-line (already-read bytes are kept
+  ///               buffered for the next call);
+  ///  * Closed   — EOF or a socket error before a newline.
+  enum class ReadResult { Ok, Timeout, Closed };
+  ReadResult read_line(std::string& line, int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes past the last returned line
+};
+
+/// Listening socket on 127.0.0.1. Move-only.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Bind + listen on 127.0.0.1:`port` (0 = ephemeral). SO_REUSEADDR is set
+  /// so restarting a daemon on a fixed port does not trip TIME_WAIT. Throws
+  /// veccost::Error on failure.
+  [[nodiscard]] static TcpListener bind(std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// The actual bound port (resolves an ephemeral bind).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accept one connection, waiting at most `timeout_ms`. Returns an invalid
+  /// stream on timeout or a closed/failed listener.
+  [[nodiscard]] TcpStream accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace veccost::support

@@ -1,0 +1,711 @@
+// serve subsystem tests: wire protocol (with the golden byte-format file),
+// KernelCache persistence, the daemon lifecycle (warm restart answers from
+// cache with zero re-measurements), backpressure/fault behaviour
+// (overloaded shedding, deadlines, injected faults, admission-time pipeline
+// rejection) and load-generator determinism across --jobs counts.
+//
+// Label: serve (also parallel — the daemon is inherently multi-threaded, so
+// the suite doubles as a race detector under VECCOST_SANITIZE=thread).
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/measurement.hpp"
+#include "ir/printer.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/targets.hpp"
+#include "obs/metrics.hpp"
+#include "serve/kernel_cache.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/socket.hpp"
+#include "testing/differential_oracle.hpp"
+#include "tsvc/kernel.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
+
+namespace {
+
+using veccost::Error;
+using veccost::serve::CachedMeasurement;
+using veccost::serve::CostService;
+using veccost::serve::ErrorCode;
+using veccost::serve::KernelCache;
+using veccost::serve::Request;
+using veccost::serve::Server;
+using veccost::serve::ServeOptions;
+using veccost::serve::Verb;
+using veccost::support::Json;
+using veccost::support::TcpStream;
+
+// Generous client-side wait: sanitized builds run the engine an order of
+// magnitude slower.
+constexpr int kRpcTimeoutMs = 300000;
+
+std::string golden_path() {
+  return std::string(VECCOST_GOLDEN_DIR) + "/serve_golden.jsonl";
+}
+
+/// A fresh per-test scratch directory under the gtest temp root.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "veccost_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+const std::string& demo_kernel_text() {
+  static const std::string text = [] {
+    const veccost::tsvc::KernelInfo* info = veccost::tsvc::find_kernel("s000");
+    if (info == nullptr) info = &veccost::tsvc::suite().front();
+    return veccost::ir::print(info->build());
+  }();
+  return text;
+}
+
+std::uint64_t counter(const char* name) {
+  const veccost::obs::Snapshot snap =
+      veccost::obs::Registry::global().snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// One blocking request/response exchange on an open connection.
+std::string rpc(TcpStream& stream, const std::string& line) {
+  EXPECT_TRUE(stream.send_all(line + "\n"));
+  std::string response;
+  EXPECT_EQ(stream.read_line(response, kRpcTimeoutMs),
+            TcpStream::ReadResult::Ok)
+      << "no response to: " << line;
+  return response;
+}
+
+std::string error_code_of(const std::string& response_line) {
+  const Json doc = Json::parse(response_line);
+  if (doc.get_bool("ok", false)) return "";
+  const Json* err = doc.find("error");
+  return err == nullptr ? "<no error object>" : err->get_string("code");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundTripsThroughSerialization) {
+  Request request;
+  request.id = "42";
+  request.verb = Verb::Measure;
+  request.kernel = demo_kernel_text();
+  request.target = "cortex-a57";
+  request.pipeline = "unroll<2>,llv";
+  request.n = 512;
+  request.deadline_ms = 2500;
+
+  const auto parse = veccost::serve::parse_request(serialize_request(request));
+  ASSERT_TRUE(parse.ok) << parse.error;
+  EXPECT_EQ(parse.request.id, "42");
+  EXPECT_EQ(parse.request.verb, Verb::Measure);
+  EXPECT_EQ(parse.request.kernel, request.kernel);
+  EXPECT_EQ(parse.request.target, "cortex-a57");
+  EXPECT_EQ(parse.request.pipeline, "unroll<2>,llv");
+  EXPECT_EQ(parse.request.n, 512);
+  EXPECT_EQ(parse.request.deadline_ms, 2500);
+  // Optional fields at their defaults are omitted entirely.
+  Request minimal;
+  minimal.id = "h";
+  minimal.verb = Verb::Healthz;
+  EXPECT_EQ(serialize_request(minimal),
+            R"({"v":"veccost-serve-v1","id":"h","verb":"healthz"})");
+}
+
+TEST(ServeProtocol, MalformedRequestsNeverThrow) {
+  const char* bad[] = {
+      "not json at all",
+      "[1,2,3]",
+      R"({"v":"veccost-serve-v1"})",                             // no verb
+      R"({"id":"1","verb":"predict","kernel":"k"})",             // no schema
+      R"({"v":"veccost-serve-v0","id":"1","verb":"predict"})",   // old schema
+      R"({"v":"veccost-serve-v1","id":"1","verb":"destroy"})",   // bad verb
+      R"({"v":"veccost-serve-v1","id":"1","verb":"predict"})",   // no kernel
+      R"({"v":"veccost-serve-v1","id":"1","verb":"predict","kernel":"k","n":-1})",
+      R"({"v":"veccost-serve-v1","id":"1","verb":"measure","kernel":"k","deadline_ms":-5})",
+  };
+  for (const char* line : bad) {
+    const auto parse = veccost::serve::parse_request(line);
+    EXPECT_FALSE(parse.ok) << line;
+    EXPECT_FALSE(parse.error.empty()) << line;
+  }
+  // Salvaged correlation fields still flow into the error response.
+  const auto parse = veccost::serve::parse_request(
+      R"({"v":"veccost-serve-v1","id":"7","verb":"destroy"})");
+  EXPECT_EQ(parse.request.id, "7");
+  EXPECT_EQ(parse.verb_name, "destroy");
+}
+
+TEST(ServeProtocol, DigestNormalizationDropsOnlyTheCachedFlag) {
+  Request request;
+  request.id = "1";
+  request.verb = Verb::Measure;
+  Json hot = Json::object();
+  hot.set("vf", 4).set("measured_speedup", 2.5).set("cached", false);
+  Json warm = Json::object();
+  warm.set("vf", 4).set("measured_speedup", 2.5).set("cached", true);
+  const std::string hot_line =
+      veccost::serve::to_line(ok_response(request, std::move(hot)));
+  const std::string warm_line =
+      veccost::serve::to_line(ok_response(request, std::move(warm)));
+  EXPECT_NE(hot_line, warm_line);
+  EXPECT_EQ(veccost::serve::digest_normalized_response(hot_line),
+            veccost::serve::digest_normalized_response(warm_line));
+  // Any other field difference must survive normalization.
+  Json other = Json::object();
+  other.set("vf", 8).set("measured_speedup", 2.5).set("cached", false);
+  EXPECT_NE(veccost::serve::digest_normalized_response(veccost::serve::to_line(
+                ok_response(request, std::move(other)))),
+            veccost::serve::digest_normalized_response(hot_line));
+}
+
+// ---------------------------------------------------------------------------
+// Golden wire format
+// ---------------------------------------------------------------------------
+
+/// The exact bytes tests/golden/serve_golden.jsonl must contain, built from
+/// the protocol serializers. The golden file pins them in the repo: if this
+/// test fails, either the serializers drifted (bump kServeSchema and
+/// regenerate deliberately) or the file was edited by hand.
+std::vector<std::string> golden_lines() {
+  std::vector<std::string> lines;
+
+  Request predict;
+  predict.id = "1";
+  predict.verb = Verb::Predict;
+  predict.kernel = "kernel demo (n) { s: f32[n] }";
+  predict.target = "cortex-a57";
+  predict.pipeline = "llv";
+  lines.push_back(serialize_request(predict));
+
+  Json predict_result = Json::object();
+  predict_result.set("target", "cortex-a57")
+      .set("pipeline", "llv")
+      .set("vectorizable", true)
+      .set("vf", 4)
+      .set("predicted_speedup", 2.5);
+  lines.push_back(ok_response(predict, std::move(predict_result)).dump());
+
+  Request measure;
+  measure.id = "2";
+  measure.verb = Verb::Measure;
+  measure.kernel = "kernel demo (n) { s: f32[n] }";
+  measure.n = 1024;
+  measure.deadline_ms = 500;
+  lines.push_back(serialize_request(measure));
+
+  Json measure_result = Json::object();
+  measure_result.set("target", "cortex-a57")
+      .set("pipeline", "llv")
+      .set("vectorizable", true)
+      .set("vf", 4)
+      .set("scalar_cycles", 4096.0)
+      .set("vector_cycles", 1024.0)
+      .set("measured_speedup", 4.0)
+      .set("predicted_speedup", 3.5)
+      .set("cached", false);
+  lines.push_back(ok_response(measure, std::move(measure_result)).dump());
+
+  Request healthz;
+  healthz.id = "3";
+  healthz.verb = Verb::Healthz;
+  lines.push_back(serialize_request(healthz));
+
+  Json health = Json::object();
+  health.set("status", "ok").set("queue_depth", 0).set("queue_limit", 64);
+  lines.push_back(ok_response(healthz, std::move(health)).dump());
+
+  lines.push_back(
+      error_response("4", "measure", ErrorCode::Overloaded,
+                     "admission queue full (64 requests); retry later")
+          .dump());
+  return lines;
+}
+
+TEST(ServeGolden, WireFormatIsByteStable) {
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in) << "missing " << golden_path();
+  std::vector<std::string> file_lines;
+  std::string line;
+  while (std::getline(in, line)) file_lines.push_back(line);
+
+  const std::vector<std::string> expected = golden_lines();
+  ASSERT_EQ(file_lines.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(file_lines[i], expected[i]) << "golden line " << i + 1;
+    // Serialization is a fixed point: parse + dump reproduces the bytes.
+    EXPECT_EQ(Json::parse(file_lines[i]).dump(), file_lines[i])
+        << "golden line " << i + 1;
+  }
+  // Request lines re-serialize to themselves through the typed layer too.
+  for (const std::size_t i : {0u, 2u, 4u}) {
+    const auto parse = veccost::serve::parse_request(file_lines[i]);
+    ASSERT_TRUE(parse.ok) << parse.error;
+    EXPECT_EQ(serialize_request(parse.request), file_lines[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KernelCache
+// ---------------------------------------------------------------------------
+
+TEST(ServeKernelCache, PersistsBitExactAcrossInstances) {
+  const std::string dir = scratch_dir("kernel_cache_persist");
+  const auto& target = veccost::machine::target_by_name("cortex-a57");
+  const std::uint64_t key = KernelCache::key(
+      demo_kernel_text(), target, "llv", 256, veccost::machine::kDefaultNoise);
+
+  CachedMeasurement m;
+  m.vectorizable = true;
+  m.vf = 4;
+  m.scalar_cycles = 4096.0 / 3.0;  // not exactly representable in decimal
+  m.vector_cycles = 1024.0 / 7.0;
+  m.measured_speedup = 28.0 / 9.0;
+  m.predicted_speedup = 2.7182818284590452;
+  {
+    KernelCache cache(dir);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.find(key).has_value());
+    EXPECT_TRUE(cache.store(key, m));
+  }
+  KernelCache reloaded(dir);
+  EXPECT_EQ(reloaded.size(), 1u);
+  const auto hit = reloaded.find(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->vectorizable, true);
+  EXPECT_EQ(hit->vf, 4);
+  // Hex-float persistence: bit-exact, not approximately equal.
+  EXPECT_EQ(hit->scalar_cycles, m.scalar_cycles);
+  EXPECT_EQ(hit->vector_cycles, m.vector_cycles);
+  EXPECT_EQ(hit->measured_speedup, m.measured_speedup);
+  EXPECT_EQ(hit->predicted_speedup, m.predicted_speedup);
+}
+
+TEST(ServeKernelCache, DropsTruncatedAndForeignRows) {
+  const std::string dir = scratch_dir("kernel_cache_stale");
+  const auto& target = veccost::machine::target_by_name("cortex-a57");
+  const std::uint64_t key = KernelCache::key(
+      demo_kernel_text(), target, "llv", 128, veccost::machine::kDefaultNoise);
+  {
+    KernelCache cache(dir);
+    EXPECT_TRUE(cache.store(key, CachedMeasurement{}));
+  }
+  // A row killed mid-append and one whose key belongs to another shard.
+  for (std::size_t s = 0; s < KernelCache::kShards; ++s) {
+    const std::string path = KernelCache(dir).shard_path(s);
+    if (!std::filesystem::exists(path)) continue;
+    std::ofstream out(path, std::ios::app);
+    out << "deadbeef,1,trunc\n";
+    out << "0,0,,1,0x0p+0,0x0p+0,0x0p+0,0x0p+0\n";  // shard_of(0) == 0 only
+  }
+  KernelCache reloaded(dir);
+  EXPECT_LE(reloaded.size(), 2u);  // original + at most shard 0's zero-key row
+  EXPECT_TRUE(reloaded.find(key).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Service admission
+// ---------------------------------------------------------------------------
+
+TEST(ServeService, AdmissionRejectsMalformedInputStructurally) {
+  CostService service;
+  Request request;
+  request.id = "1";
+  request.verb = Verb::Predict;
+  request.kernel = "this is not a kernel";
+  auto admission = service.admit(request);
+  EXPECT_FALSE(admission.ok);
+  EXPECT_EQ(error_code_of(admission.error.dump() ), "bad_request");
+
+  request.kernel = demo_kernel_text();
+  request.target = "cortex-z99";
+  admission = service.admit(request);
+  EXPECT_FALSE(admission.ok);
+
+  request.target = "";
+  request.pipeline = "unroll<nope";
+  admission = service.admit(request);
+  ASSERT_FALSE(admission.ok);
+  const std::string message =
+      admission.error.find("error")->get_string("message");
+  // The caret diagnostic `veccost passes` prints, verbatim in the response.
+  EXPECT_NE(message.find("pipeline spec"), std::string::npos) << message;
+  EXPECT_NE(message.find('^'), std::string::npos) << message;
+  EXPECT_NE(message.find("unroll<nope"), std::string::npos) << message;
+
+  request.pipeline = "llv";
+  admission = service.admit(request);
+  ASSERT_TRUE(admission.ok);
+  EXPECT_EQ(admission.job.pipeline.spec(), "llv");
+  EXPECT_FALSE(admission.job.canonical_kernel.empty());
+}
+
+TEST(ServeService, MalformedDefaultPipelineRefusesToConstruct) {
+  CostService::Options opts;
+  opts.default_pipeline = "slp,,";
+  try {
+    const CostService service(opts);
+    FAIL() << "expected a construction error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pipeline spec"), std::string::npos) << what;
+    EXPECT_NE(what.find('^'), std::string::npos) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(ServeLifecycle, ControlVerbsAndShutdownHandshake) {
+  ServeOptions opts;
+  opts.service.cache_dir = scratch_dir("serve_lifecycle_cache");
+  Server server(opts);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  TcpStream client = TcpStream::connect(server.port());
+  Request healthz;
+  healthz.id = "h";
+  healthz.verb = Verb::Healthz;
+  Json health = Json::parse(rpc(client, serialize_request(healthz)));
+  EXPECT_TRUE(health.get_bool("ok", false));
+  EXPECT_EQ(health.find("result")->get_string("status"), "ok");
+
+  Request metrics;
+  metrics.id = "m";
+  metrics.verb = Verb::Metrics;
+  Json stats = Json::parse(rpc(client, serialize_request(metrics)));
+  EXPECT_TRUE(stats.get_bool("ok", false));
+  const Json* counters = stats.find("result")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->get_int("serve.requests"), 1);
+
+  Request shutdown;
+  shutdown.id = "s";
+  shutdown.verb = Verb::Shutdown;
+  Json bye = Json::parse(rpc(client, serialize_request(shutdown)));
+  EXPECT_TRUE(bye.get_bool("ok", false));
+  server.wait();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeLifecycle, WarmRestartAnswersFromCacheWithZeroRemeasurements) {
+  const std::string cache_dir = scratch_dir("serve_warm_restart");
+  Request measure;
+  measure.id = "m1";
+  measure.verb = Verb::Measure;
+  measure.kernel = demo_kernel_text();
+  measure.n = 256;
+  const std::string line = serialize_request(measure);
+
+  std::string cold, warm, restarted;
+  {
+    ServeOptions opts;
+    opts.service.cache_dir = cache_dir;
+    Server server(opts);
+    server.start();
+    TcpStream client = TcpStream::connect(server.port());
+    const std::uint64_t executed_before = counter("serve.measure.executed");
+    cold = rpc(client, line);
+    warm = rpc(client, line);
+    // One real measurement total: the second answer came from memory.
+    EXPECT_EQ(counter("serve.measure.executed") - executed_before, 1u);
+  }
+  const Json cold_doc = Json::parse(cold);
+  ASSERT_TRUE(cold_doc.get_bool("ok", false)) << cold;
+  EXPECT_FALSE(cold_doc.find("result")->get_bool("cached", true));
+  EXPECT_TRUE(Json::parse(warm).find("result")->get_bool("cached", false));
+
+  {
+    // Fresh daemon, same cache dir: the warm-restart contract is zero
+    // re-measurements, answered entirely from the persisted shards.
+    ServeOptions opts;
+    opts.service.cache_dir = cache_dir;
+    Server server(opts);
+    server.start();
+    TcpStream client = TcpStream::connect(server.port());
+    const std::uint64_t executed_before = counter("serve.measure.executed");
+    const std::uint64_t hits_before = counter("serve.cache.hit");
+    restarted = rpc(client, line);
+    EXPECT_EQ(counter("serve.measure.executed") - executed_before, 0u);
+    EXPECT_GE(counter("serve.cache.hit") - hits_before, 1u);
+  }
+  EXPECT_TRUE(Json::parse(restarted).find("result")->get_bool("cached", false));
+  // Hex-float persistence makes the restarted answer bit-identical to the
+  // fresh one (modulo the cached flag the digest normalization drops).
+  EXPECT_EQ(veccost::serve::digest_normalized_response(restarted),
+            veccost::serve::digest_normalized_response(cold));
+}
+
+TEST(ServeLifecycle, PredictAndSelectVerbs) {
+  ServeOptions opts;
+  opts.service.cache_dir = scratch_dir("serve_verbs_cache");
+  Server server(opts);
+  server.start();
+  TcpStream client = TcpStream::connect(server.port());
+
+  Request predict;
+  predict.id = "p";
+  predict.verb = Verb::Predict;
+  predict.kernel = demo_kernel_text();
+  const Json pr = Json::parse(rpc(client, serialize_request(predict)));
+  ASSERT_TRUE(pr.get_bool("ok", false)) << pr.dump();
+  const Json* presult = pr.find("result");
+  EXPECT_EQ(presult->get_string("pipeline"), "llv");
+  ASSERT_NE(presult->find("vectorizable"), nullptr);
+  if (presult->find("vectorizable")->as_bool())
+    EXPECT_GE(presult->find("predicted_speedup")->as_double(), 0.0);
+
+  Request select;
+  select.id = "s";
+  select.verb = Verb::Select;
+  select.kernel = demo_kernel_text();
+  select.n = 256;
+  const Json sr = Json::parse(rpc(client, serialize_request(select)));
+  ASSERT_TRUE(sr.get_bool("ok", false)) << sr.dump();
+  const Json* sresult = sr.find("result");
+  ASSERT_NE(sresult->find("options"), nullptr);
+  EXPECT_GE(sresult->find("options")->items().size(), 1u);
+  EXPECT_GE(sresult->find("regret")->as_double(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure and faults
+// ---------------------------------------------------------------------------
+
+TEST(ServeBackpressure, ShedsWithOverloadedAndHealthzStaysResponsive) {
+  ServeOptions opts;
+  opts.queue_limit = 2;
+  opts.batch_max = 1;
+  opts.jobs = 1;
+  opts.service.cache_dir = scratch_dir("serve_shed_cache");
+  opts.service.fault.delay_ms = 100;  // every work request takes >= 100ms
+  Server server(opts);
+  server.start();
+
+  Request predict;
+  predict.verb = Verb::Predict;
+  predict.kernel = demo_kernel_text();
+
+  constexpr int kClients = 8;
+  std::atomic<int> ok_count{0}, overloaded{0}, unexpected{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Request r = predict;
+      r.id = std::to_string(c);
+      TcpStream stream = TcpStream::connect(server.port());
+      const std::string response = rpc(stream, serialize_request(r));
+      const std::string code = error_code_of(response);
+      if (code.empty())
+        ++ok_count;
+      else if (code == "overloaded")
+        ++overloaded;
+      else
+        ++unexpected;
+    });
+  }
+
+  // While the queue is saturated, probes answer on the connection thread —
+  // quickly, and without ever reporting more depth than the limit.
+  TcpStream probe = TcpStream::connect(server.port());
+  Request healthz;
+  healthz.id = "probe";
+  healthz.verb = Verb::Healthz;
+  const auto probe_start = std::chrono::steady_clock::now();
+  const Json health = Json::parse(rpc(probe, serialize_request(healthz)));
+  const auto probe_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - probe_start)
+                            .count();
+  EXPECT_TRUE(health.get_bool("ok", false));
+  EXPECT_LE(health.find("result")->get_int("queue_depth"), 2);
+  EXPECT_LT(probe_ms, 5000) << "healthz blocked behind the work queue";
+
+  for (std::thread& t : clients) t.join();
+  // 8 concurrent 100ms requests against a queue of 2 drained one at a time:
+  // at most 1 running + 2 queued fit in the first window, so shedding is
+  // guaranteed; the running request is guaranteed to succeed.
+  EXPECT_GT(ok_count.load(), 0);
+  EXPECT_GT(overloaded.load(), 0);
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_EQ(ok_count.load() + overloaded.load(), kClients);
+}
+
+TEST(ServeBackpressure, DeadlineExceededIsStructural) {
+  ServeOptions opts;
+  opts.service.cache_dir = scratch_dir("serve_deadline_cache");
+  opts.service.fault.delay_ms = 50;  // guaranteed slower than the deadline
+  Server server(opts);
+  server.start();
+  TcpStream client = TcpStream::connect(server.port());
+
+  Request predict;
+  predict.id = "late";
+  predict.verb = Verb::Predict;
+  predict.kernel = demo_kernel_text();
+  predict.deadline_ms = 1;
+  const std::uint64_t exceeded_before = counter("serve.deadline_exceeded");
+  const std::string response = rpc(client, serialize_request(predict));
+  EXPECT_EQ(error_code_of(response), "deadline_exceeded") << response;
+  EXPECT_GE(counter("serve.deadline_exceeded") - exceeded_before, 1u);
+
+  // Without a deadline the same request succeeds: the daemon is slow, not
+  // broken.
+  predict.id = "patient";
+  predict.deadline_ms = 0;
+  EXPECT_EQ(error_code_of(rpc(client, serialize_request(predict))), "");
+}
+
+TEST(ServeFaults, InjectedFaultBecomesStructuredInternalError) {
+  // Find a kernel the demo lowering fault actually bites: widened by the
+  // default pipeline with a Sub in the vector body.
+  const auto& target = veccost::machine::target_by_name("cortex-a57");
+  const veccost::xform::Pipeline pipeline = veccost::xform::Pipeline::parse(
+      std::string(veccost::eval::kDefaultPipelineSpec));
+  std::string victim;
+  for (const auto& info : veccost::tsvc::suite()) {
+    const veccost::ir::LoopKernel kernel = info.build();
+    veccost::xform::AnalysisManager analyses;
+    const auto result = pipeline.run(kernel, target, analyses);
+    if (!result.ok || result.state.kernel.vf <= 1) continue;
+    veccost::ir::LoopKernel widened = result.state.kernel;
+    if (veccost::testing::demo_lowering_fault()(widened)) {
+      victim = veccost::ir::print(kernel);
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty()) << "no TSVC kernel triggers the demo fault";
+
+  ServeOptions opts;
+  opts.service.cache_dir = scratch_dir("serve_fault_cache");
+  opts.service.fault.mutate = veccost::testing::demo_lowering_fault();
+  Server server(opts);
+  server.start();
+  TcpStream client = TcpStream::connect(server.port());
+
+  Request measure;
+  measure.id = "f";
+  measure.verb = Verb::Measure;
+  measure.kernel = victim;
+  measure.n = 256;
+  const std::string response = rpc(client, serialize_request(measure));
+  EXPECT_EQ(error_code_of(response), "internal") << response;
+  EXPECT_NE(Json::parse(response)
+                .find("error")
+                ->get_string("message")
+                .find("injected fault"),
+            std::string::npos)
+      << response;
+
+  // The fault took down one request, not the daemon.
+  Request healthz;
+  healthz.id = "h";
+  healthz.verb = Verb::Healthz;
+  EXPECT_TRUE(
+      Json::parse(rpc(client, serialize_request(healthz))).get_bool("ok", false));
+}
+
+TEST(ServeFaults, MalformedPipelineRejectedAtAdmissionMidStream) {
+  ServeOptions opts;
+  opts.service.cache_dir = scratch_dir("serve_badpipe_cache");
+  Server server(opts);
+  server.start();
+  TcpStream client = TcpStream::connect(server.port());
+
+  Request bad;
+  bad.id = "bad";
+  bad.verb = Verb::Predict;
+  bad.kernel = demo_kernel_text();
+  bad.pipeline = "unroll<4,slp";
+  const std::uint64_t rejected_before = counter("serve.bad_request");
+  const std::string response = rpc(client, serialize_request(bad));
+  EXPECT_EQ(error_code_of(response), "bad_request") << response;
+  const std::string message =
+      Json::parse(response).find("error")->get_string("message");
+  EXPECT_NE(message.find("pipeline spec"), std::string::npos) << message;
+  EXPECT_NE(message.find('^'), std::string::npos) << message;
+  EXPECT_GE(counter("serve.bad_request") - rejected_before, 1u);
+
+  // The rejection happened on the connection thread; the stream continues.
+  Request good = bad;
+  good.id = "good";
+  good.pipeline = "llv";
+  EXPECT_EQ(error_code_of(rpc(client, serialize_request(good))), "");
+}
+
+// ---------------------------------------------------------------------------
+// Load generator
+// ---------------------------------------------------------------------------
+
+TEST(ServeLoadgen, RequestStreamIsAPureFunctionOfSeedAndIndex) {
+  veccost::serve::LoadgenOptions opts;
+  opts.seed = 9;
+  const std::string line0 = veccost::serve::loadgen_request_line(opts, 0);
+  EXPECT_EQ(line0, veccost::serve::loadgen_request_line(opts, 0));
+  EXPECT_NE(line0, veccost::serve::loadgen_request_line(opts, 1));
+  opts.seed = 10;
+  EXPECT_NE(line0, veccost::serve::loadgen_request_line(opts, 0));
+  const auto parse = veccost::serve::parse_request(line0);
+  ASSERT_TRUE(parse.ok) << parse.error;
+  EXPECT_EQ(parse.request.id, "0");
+}
+
+TEST(ServeLoadgen, DigestIsIdenticalAcrossJobsCounts) {
+  ServeOptions opts;
+  opts.service.cache_dir = scratch_dir("serve_loadgen_cache");
+  Server server(opts);
+  server.start();
+
+  veccost::serve::LoadgenOptions lg;
+  lg.port = server.port();
+  lg.requests = 24;
+  lg.seed = 7;
+  lg.timeout_ms = kRpcTimeoutMs;
+
+  lg.jobs = 1;
+  const veccost::serve::LoadReport serial = veccost::serve::run_loadgen(lg);
+  EXPECT_TRUE(serial.all_ok())
+      << serial.errors << " errors, " << serial.transport_failures
+      << " transport failures";
+  EXPECT_EQ(serial.ok, lg.requests);
+
+  lg.jobs = 8;
+  const veccost::serve::LoadReport parallel = veccost::serve::run_loadgen(lg);
+  EXPECT_TRUE(parallel.all_ok());
+  // The determinism contract: same seed, same answers, same digest — the
+  // jobs count only changes scheduling, never what is sent or received.
+  EXPECT_EQ(serial.digest, parallel.digest);
+
+  const Json bench = Json::parse(veccost::serve::bench_json(lg, parallel));
+  EXPECT_EQ(bench.get_string("schema"), "veccost-serve-bench-v1");
+  EXPECT_EQ(bench.get_int("requests"), lg.requests);
+  EXPECT_EQ(bench.get_int("ok"), lg.requests);
+  const Json* latency = bench.find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  for (const char* field : {"mean", "p50", "p95", "p99"})
+    EXPECT_GE(latency->find(field)->as_double(), 0.0) << field;
+
+  EXPECT_TRUE(veccost::serve::request_shutdown(server.port()));
+  server.wait();
+}
+
+}  // namespace

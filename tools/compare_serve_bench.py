@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a fresh veccost-serve-bench-v1 run against the committed baseline.
+
+Usage: compare_serve_bench.py CURRENT.json BASELINE.json
+
+Non-gating by design (always exits 0): latency on shared CI hardware is
+informational, so regressions beyond the threshold are printed as warnings
+for review, mirroring tools/run_benches.py. Two findings are highlighted
+louder than latency drift because they mean the daemon answered
+*differently*, not just slower:
+
+  * a request digest mismatch — same seed, same stream, different answers;
+  * any error / transport-failure count that the baseline did not have.
+"""
+
+import json
+import sys
+
+LATENCY_REGRESSION_THRESHOLD = 0.25  # warn above +25% vs baseline
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 0
+    try:
+        with open(sys.argv[1]) as f:
+            current = json.load(f)
+        with open(sys.argv[2]) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"WARNING: serve bench comparison skipped: {e}")
+        return 0
+
+    for doc, name in ((current, sys.argv[1]), (baseline, sys.argv[2])):
+        if doc.get("schema") != "veccost-serve-bench-v1":
+            print(f"WARNING: {name} is not a veccost-serve-bench-v1 document")
+            return 0
+
+    comparable = (current.get("requests"), current.get("seed")) == (
+        baseline.get("requests"),
+        baseline.get("seed"),
+    )
+    if not comparable:
+        print(
+            "WARNING: different stream "
+            f"(requests/seed {current.get('requests')}/{current.get('seed')} "
+            f"vs {baseline.get('requests')}/{baseline.get('seed')}); "
+            "digest not compared"
+        )
+    elif current.get("digest") != baseline.get("digest"):
+        print(
+            "WARNING: DIGEST MISMATCH — the daemon answered this stream "
+            f"differently than the baseline ({current.get('digest')} vs "
+            f"{baseline.get('digest')}). This is a determinism break, not a "
+            "performance change."
+        )
+    else:
+        print(f"digest matches baseline: {current.get('digest')}")
+
+    for field in ("errors", "transport_failures"):
+        if current.get(field, 0) > baseline.get(field, 0):
+            print(
+                f"WARNING: {field} rose to {current.get(field)} "
+                f"(baseline {baseline.get(field, 0)})"
+            )
+
+    cur_lat = current.get("latency_us", {})
+    base_lat = baseline.get("latency_us", {})
+    for field in ("mean", "p50", "p95", "p99"):
+        cur = cur_lat.get(field)
+        base = base_lat.get(field)
+        if cur is None or not base:
+            continue
+        ratio = cur / base
+        marker = ""
+        if ratio > 1.0 + LATENCY_REGRESSION_THRESHOLD:
+            marker = f"  WARNING: regression beyond +{LATENCY_REGRESSION_THRESHOLD:.0%}"
+        print(f"latency_us.{field}: {cur:.3f} vs baseline {base:.3f} "
+              f"({ratio:.2f}x baseline){marker}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

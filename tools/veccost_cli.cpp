@@ -12,6 +12,7 @@
 //   veccost fuzz     [target]                    differential fuzz campaign
 //   veccost stats    [target|metrics.json]       pipeline metrics report
 //   veccost passes   [spec]                      pass catalog + spec check
+//   veccost serve    [--port N] ...              cost-model daemon (docs/serving.md)
 //
 // Everything the example binaries do, behind one verb-style entry point.
 // Every subcommand that measures goes through eval::Session; the global
@@ -37,6 +38,7 @@
 #include "machine/targets.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "serve/server.hpp"
 #include "support/env_flags.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
@@ -70,6 +72,9 @@ usage:
                   [--corpus-out DIR] [--no-shrink] [--inject-fault]
   veccost stats   [--json] [target|metrics.json]
   veccost passes  [spec]
+  veccost serve   [--port N] [--queue-limit N] [--batch-max N]
+                  [--deadline-ms N] [--cache-dir DIR]
+                  [--inject-fault] [--inject-delay-ms N]
 
 global flags:
   --jobs N             measurement/training parallelism (default: all
@@ -421,6 +426,54 @@ int cmd_passes(const std::vector<std::string>& args,
   return 0;
 }
 
+/// `veccost serve [--port N] [--queue-limit N] [--batch-max N]
+/// [--deadline-ms N] [--cache-dir DIR] [--inject-fault]
+/// [--inject-delay-ms N]`. Runs the veccost-serve-v1 daemon (docs/serving.md)
+/// until a client sends the `shutdown` verb. The global --pipeline flag
+/// becomes the default pipeline for requests that carry none; a malformed
+/// spec makes the daemon refuse to start with the caret-positioned parse
+/// error. --inject-fault / --inject-delay-ms wire the fuzz subsystem's demo
+/// lowering fault and per-request latency into the service (test rigs only).
+int cmd_serve(const std::vector<std::string>& args,
+              const support::GlobalOptions& global) {
+  serve::ServeOptions opts;
+  opts.service.default_pipeline = global.pipeline;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const auto int_flag = [&](const char* flag) {
+      if (i + 1 >= args.size())
+        throw Error(std::string(flag) + " needs a value");
+      return std::strtoll(args[++i].c_str(), nullptr, 10);
+    };
+    const std::string& a = args[i];
+    if (a == "--port")
+      opts.port = static_cast<std::uint16_t>(int_flag("--port"));
+    else if (a == "--queue-limit")
+      opts.queue_limit = static_cast<std::size_t>(int_flag("--queue-limit"));
+    else if (a == "--batch-max")
+      opts.batch_max = static_cast<std::size_t>(int_flag("--batch-max"));
+    else if (a == "--deadline-ms")
+      opts.default_deadline_ms = int_flag("--deadline-ms");
+    else if (a == "--inject-delay-ms")
+      opts.service.fault.delay_ms = int_flag("--inject-delay-ms");
+    else if (a == "--inject-fault")
+      opts.service.fault.mutate = testing::demo_lowering_fault();
+    else if (a == "--cache-dir") {
+      if (i + 1 >= args.size()) throw Error("--cache-dir needs a value");
+      opts.service.cache_dir = args[++i];
+    } else {
+      usage();
+    }
+  }
+  serve::Server server(std::move(opts));
+  server.start();
+  // The port line is the daemon's readiness handshake: scripts wait for it,
+  // then connect. Flush so a pipe reader sees it immediately.
+  std::cout << "serving on port " << server.port() << std::endl;
+  server.wait();
+  std::cout << "serve: stopped\n";
+  return 0;
+}
+
 void write_outputs(const support::GlobalOptions& opts) {
   if (!opts.metrics_out.empty()) {
     std::ofstream out(opts.metrics_out);
@@ -458,6 +511,7 @@ int main(int argc, char** argv) {
     else if (cmd == "fuzz") rc = cmd_fuzz(args, opts);
     else if (cmd == "stats") rc = cmd_stats(args);
     else if (cmd == "passes") rc = cmd_passes(args, opts);
+    else if (cmd == "serve") rc = cmd_serve(args, opts);
     else usage();
     write_outputs(opts);
     return rc;

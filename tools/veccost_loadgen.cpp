@@ -1,0 +1,101 @@
+// veccost_loadgen — deterministic load generator for `veccost serve`.
+//
+//   veccost_loadgen --port N [--requests N] [--jobs N] [--seed N]
+//                   [--target NAME] [--deadline-ms N] [--out FILE]
+//                   [--shutdown] [--expect-all-ok]
+//
+// Replays the seeded veccost-serve-v1 request stream (serve/loadgen.hpp)
+// against a running daemon and prints the request digest plus latency
+// percentiles. The digest is a pure function of (seed, requests) and the
+// daemon's answers — the same stream run with --jobs 1 and --jobs 8 must
+// print the same digest, which CI checks.
+//
+//   --out FILE       also write the veccost-serve-bench-v1 document
+//                    (bench/BENCH_serve.json's schema)
+//   --shutdown       send a shutdown request after the stream completes
+//   --expect-all-ok  exit nonzero unless every response was ok (CI smoke)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/loadgen.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace veccost;
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      R"(usage: veccost_loadgen --port N [--requests N] [--jobs N] [--seed N]
+                       [--target NAME] [--deadline-ms N] [--out FILE]
+                       [--shutdown] [--expect-all-ok]
+)";
+  std::exit(2);
+}
+
+long long int_flag(const std::vector<std::string>& args, std::size_t& i,
+                   const char* flag) {
+  if (i + 1 >= args.size()) throw Error(std::string(flag) + " needs a value");
+  return std::strtoll(args[++i].c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::vector<std::string> args(argv, argv + argc);
+    serve::LoadgenOptions opts;
+    std::string out_file;
+    bool shutdown = false;
+    bool expect_all_ok = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a == "--port")
+        opts.port = static_cast<std::uint16_t>(int_flag(args, i, "--port"));
+      else if (a == "--requests")
+        opts.requests = int_flag(args, i, "--requests");
+      else if (a == "--jobs")
+        opts.jobs = static_cast<std::size_t>(int_flag(args, i, "--jobs"));
+      else if (a == "--seed")
+        opts.seed = static_cast<std::uint64_t>(int_flag(args, i, "--seed"));
+      else if (a == "--deadline-ms")
+        opts.deadline_ms = int_flag(args, i, "--deadline-ms");
+      else if (a == "--target") {
+        if (i + 1 >= args.size()) throw Error("--target needs a value");
+        opts.target = args[++i];
+      } else if (a == "--out") {
+        if (i + 1 >= args.size()) throw Error("--out needs a value");
+        out_file = args[++i];
+      } else if (a == "--shutdown")
+        shutdown = true;
+      else if (a == "--expect-all-ok")
+        expect_all_ok = true;
+      else
+        usage();
+    }
+    if (opts.port == 0) usage();
+
+    const serve::LoadReport report = serve::run_loadgen(opts);
+    const std::string doc = serve::bench_json(opts, report);
+    std::cout << doc;
+    if (!out_file.empty()) {
+      std::ofstream out(out_file);
+      if (!out) throw Error("cannot open " + out_file);
+      out << doc;
+    }
+    if (shutdown && !serve::request_shutdown(opts.port))
+      std::cerr << "warning: shutdown request was not acknowledged\n";
+    if (expect_all_ok && !report.all_ok()) {
+      std::cerr << "error: " << report.errors << " error responses, "
+                << report.transport_failures << " transport failures\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
