@@ -143,6 +143,54 @@ void BM_ReferenceVectorized(benchmark::State& state) {
 }
 BENCHMARK(BM_ReferenceVectorized)->Arg(4096);
 
+// --- dispatch-mode matrix -------------------------------------------------
+
+// One kernel per superop family under an explicit dispatch kind, so a
+// regression in a single fusion rule or dispatch loop is visible in
+// isolation (the suite sweeps above blend all of them).
+void dispatch_pinned(benchmark::State& state, const char* kernel,
+                     machine::DispatchKind kind) {
+  const auto* info = tsvc::find_kernel(kernel);
+  const ir::LoopKernel k = info->build();
+  machine::Workload wl = machine::make_workload(k, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine::lowered_execute_scalar(k, wl, kind));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_FusedLoadOpStore(benchmark::State& state) {
+  dispatch_pinned(state, "s000", machine::DispatchKind::Threaded);
+}
+BENCHMARK(BM_FusedLoadOpStore)->Arg(4096);
+
+void BM_FusedReduction(benchmark::State& state) {
+  dispatch_pinned(state, "vdotr", machine::DispatchKind::Threaded);
+}
+BENCHMARK(BM_FusedReduction)->Arg(4096);
+
+void BM_FusedGather(benchmark::State& state) {
+  dispatch_pinned(state, "s4112", machine::DispatchKind::Threaded);
+}
+BENCHMARK(BM_FusedGather)->Arg(4096);
+
+void BM_BatchSweep(benchmark::State& state) {
+  // Resident sweep: one BatchRunner per suite kernel (programs lowered
+  // once, contexts retained) over pooled workloads — the serve daemon's
+  // steady-state shape, including the SoA strip and interchange paths.
+  std::vector<ir::LoopKernel> kernels;
+  for (const auto& info : tsvc::suite()) kernels.push_back(info.build());
+  std::vector<machine::BatchRunner> runners;
+  runners.reserve(kernels.size());
+  for (const auto& k : kernels) runners.emplace_back(k);
+  machine::WorkloadPool pool(kernels.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kernels.size(); ++i)
+      benchmark::DoNotOptimize(runners[i].run(pool.acquire(kernels[i], 512)));
+  }
+}
+BENCHMARK(BM_BatchSweep);
+
 // --- supporting infrastructure --------------------------------------------
 
 void BM_CacheSimReplay(benchmark::State& state) {

@@ -87,7 +87,9 @@ SuiteResult Session::measure(const SuiteRequest& request) const {
   if (request.validate_semantics) {
     VECCOST_SPAN("session.validate_ns");
     // Full-suite semantics sweep: every kernel, scalar vs. every distinct
-    // vectorization, on per-thread workload pools. Throws on divergence.
+    // vectorization, on per-thread workload pools. The scalar side runs once
+    // per kernel through a resident BatchRunner (lowered programs and
+    // execution context live across the VF configs). Throws on divergence.
     std::vector<int> configs(suite.size(), 0);
     parallel_for(
         suite.size(),

@@ -3,6 +3,8 @@
 #include <array>
 
 #include "obs/metrics.hpp"
+#include "support/hash.hpp"
+#include "xform/analysis_manager.hpp"
 
 namespace veccost::machine {
 
@@ -38,49 +40,179 @@ ExecContext& thread_exec_context(std::size_t which) {
   return contexts[which];
 }
 
+namespace {
+
+struct ProgramCacheEntry {
+  std::uint64_t key = 0;  ///< 0 = empty slot (keys are forced odd)
+  std::shared_ptr<const LoweredProgram> prog;
+};
+
+constexpr std::size_t kProgramCacheSlots = 256;
+
+/// Gate for running an interchanged program: every affine access must be
+/// provably in bounds over the whole (lane, outer) rectangle, and nothing in
+/// the schedule may throw. When nothing can throw, iteration order is
+/// unobservable, so the transposed order is bit-identical; otherwise the
+/// caller falls back to row-major order so a throw surfaces at the original
+/// iteration with the original partial state. Accesses are affine in both
+/// indices, so checking the four rectangle corners bounds the extremes.
+bool whole_range_in_bounds(const LoweredProgram& prog, const Workload& wl,
+                           std::int64_t lane_extent, std::int64_t outer_extent) {
+  for (const MicroOp& u : prog.ops) {
+    if (u.int_divide) return false;  // divide-by-zero would move the throw
+    if (!ir::is_memory_op(u.op)) continue;
+    if (u.pred >= 0 || u.indirect >= 0) return false;
+    const std::int64_t len =
+        static_cast<std::int64_t>(wl.arrays[static_cast<std::size_t>(u.array)].size());
+    for (int c = 0; c < 4; ++c) {
+      const std::int64_t l = (c & 1) != 0 ? lane_extent - 1 : 0;
+      const std::int64_t j = (c & 2) != 0 ? outer_extent - 1 : 0;
+      const std::int64_t e =
+          u.base_off + u.lin * l + u.j_scale * j + u.n_scale * wl.n;
+      if (e < 0 || e >= len) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const LoweredProgram> cached_lowering(
+    const ir::LoopKernel& kernel, int lanes) {
+  // Direct-mapped per thread: lookup is one hash + one compare, eviction is
+  // overwrite. Callers hold their own shared_ptr copy, so a same-slot
+  // eviction mid-run cannot destroy an in-use program. The content hash
+  // covers every semantic kernel field (not the name), so two kernels that
+  // lower identically may share an entry — by construction they execute
+  // identically too.
+  thread_local std::array<ProgramCacheEntry, kProgramCacheSlots> cache;
+  support::ContentHasher h;
+  h.mix(xform::kernel_content_hash(kernel));
+  h.mix(static_cast<std::uint64_t>(lanes));
+  const std::uint64_t key = h.value() | 1;
+  ProgramCacheEntry& slot = cache[key % kProgramCacheSlots];
+  if (slot.key == key) {
+    VECCOST_COUNTER_ADD("engine.program_cache_hits", 1);
+    return slot.prog;
+  }
+  VECCOST_COUNTER_ADD("engine.program_cache_misses", 1);
+  slot.prog = std::make_shared<const LoweredProgram>(lower(kernel, lanes));
+  slot.key = key;
+  return slot.prog;
+}
+
+std::shared_ptr<const LoweredProgram> cached_interchange(
+    const ir::LoopKernel& kernel) {
+  thread_local std::array<ProgramCacheEntry, kProgramCacheSlots> cache;
+  support::ContentHasher h;
+  h.mix(xform::kernel_content_hash(kernel));
+  h.mix(std::uint64_t{0x1c7e});  // separate keyspace from cached_lowering
+  const std::uint64_t key = h.value() | 1;
+  ProgramCacheEntry& slot = cache[key % kProgramCacheSlots];
+  if (slot.key == key) {
+    VECCOST_COUNTER_ADD("engine.program_cache_hits", 1);
+    return slot.prog;  // may be null: cached "interchange illegal" verdict
+  }
+  VECCOST_COUNTER_ADD("engine.program_cache_misses", 1);
+  slot.prog = std::shared_ptr<const LoweredProgram>(
+      lower_interchanged(kernel, kStripWidth));
+  slot.key = key;
+  return slot.prog;
+}
+
 ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {
+  return lowered_execute_scalar(kernel, wl, dispatch_kind());
+}
+
+ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel, Workload& wl,
+                                  DispatchKind kind) {
   VECCOST_ASSERT(kernel.vf == 1, "execute_scalar needs a scalar kernel");
   const std::int64_t iters = kernel.trip.iterations(wl.n);
-  {
+  const std::int64_t outer = kernel.has_outer ? kernel.outer_trip : 1;
+  // Switch keeps the original per-op dispatch; Threaded and Batch run the
+  // fused superop schedules (they differ only on the vectorized/sweep
+  // paths). All three are bit-identical.
+  const bool fused = kind != DispatchKind::Switch;
+  const std::shared_ptr<const LoweredProgram> probe = cached_lowering(kernel, 1);
+  VECCOST_COUNTER_ADD("engine.scalar_executions", 1);
+  if (probe->strip_ok && probe->strip_max_lanes >= kStripWidth &&
+      iters >= kStripWidth) {
     // Strip-mined fast path: when the lowering pass proved column-major
-    // execution bit-identical (strip_ok — plan is lane-count independent, so
-    // probing the 1-lane program is enough), re-lower at kStripWidth lanes
-    // and amortize op dispatch over whole strips. Untraced only: the strip
-    // order would permute the memory trace.
-    const LoweredProgram probe = lower(kernel, 1);
-    if (probe.strip_ok && iters >= kStripWidth) {
-      VECCOST_COUNTER_ADD("engine.scalar_executions", 1);
-      VECCOST_COUNTER_ADD("engine.strip_runs", 1);
-      const LoweredProgram prog = lower(kernel, kStripWidth);
-      LoweredEngine<0, NoTrace> engine(prog, wl, thread_exec_context(0));
+    // execution bit-identical (strip_ok — the plan is lane-count
+    // independent, so probing the 1-lane program is enough), run at
+    // kStripWidth lanes and amortize op dispatch over whole strips.
+    // Untraced only: the strip order would permute the memory trace.
+    VECCOST_COUNTER_ADD("engine.strip_runs", 1);
+    const std::shared_ptr<const LoweredProgram> prog =
+        cached_lowering(kernel, kStripWidth);
+    LoweredEngine<0, NoTrace> engine(*prog, wl, thread_exec_context(0));
+    ExecResult result;
+    std::vector<double> carries;
+    engine.reset_carries(carries);  // covers a degenerate zero-trip outer loop
+    for (std::int64_t j = 0; j < outer; ++j) {
+      engine.reset_carries(carries);
+      result.iterations += engine.run_strips(j, iters, carries, fused);
+    }
+    result.live_outs.reserve(prog->live_out_phis.size());
+    for (const std::int32_t p : prog->live_out_phis)
+      result.live_outs.push_back(carries[static_cast<std::size_t>(p)]);
+    return result;
+  }
+  if (kind == DispatchKind::Batch && kernel.has_outer && outer >= 8 &&
+      iters >= 1) {
+    // Loop-interchange fast path: 2D kernels with a true inner recurrence
+    // (strip_ok = 0 above) often carry nothing across OUTER iterations.
+    // lower_interchanged proves that and re-aims the lane dimension at the
+    // outer loop; the transposed program then strip-mines like any other.
+    // Only taken when the whole iteration rectangle is provably in bounds
+    // and throw-free, so the reordering is unobservable.
+    const std::shared_ptr<const LoweredProgram> tprog = cached_interchange(kernel);
+    if (tprog != nullptr && tprog->strip_ok &&
+        tprog->strip_max_lanes >= std::min<std::int64_t>(kStripWidth, outer) &&
+        whole_range_in_bounds(*tprog, wl, outer, iters)) {
+      VECCOST_COUNTER_ADD("engine.interchange_runs", 1);
+      LoweredEngine<0, NoTrace> engine(*tprog, wl, thread_exec_context(0));
       ExecResult result;
-      std::vector<double> carries;
-      engine.reset_carries(carries);  // covers a degenerate zero-trip outer loop
-      const std::int64_t outer = kernel.has_outer ? kernel.outer_trip : 1;
-      for (std::int64_t j = 0; j < outer; ++j) {
-        engine.reset_carries(carries);
-        result.iterations += engine.run_strips(j, iters, carries);
-      }
-      result.live_outs.reserve(prog.live_out_phis.size());
-      for (const std::int32_t p : prog.live_out_phis)
-        result.live_outs.push_back(carries[static_cast<std::size_t>(p)]);
+      std::vector<double> carries;  // interchange legality excludes phis
+      engine.reset_carries(carries);
+      for (std::int64_t jt = 0; jt < iters; ++jt)
+        result.iterations += engine.run_strips(jt, outer, carries, true);
       return result;
     }
   }
-  VECCOST_COUNTER_ADD("engine.scalar_executions", 1);
   VECCOST_COUNTER_ADD("engine.lane_serial_fallbacks", 1);
-  return lowered_execute_scalar_with(kernel, wl, NoTrace{});
+  LoweredEngine<1, NoTrace> engine(*probe, wl, thread_exec_context(0));
+  ExecResult result;
+  for (std::int64_t j = 0; j < outer; ++j) {
+    engine.reset_phis();
+    result.iterations += fused ? engine.run_schedule(j, 0, iters)
+                               : engine.run_range(j, 0, iters);
+    if (engine.broke()) {
+      result.broke_early = true;
+      break;
+    }
+  }
+  result.live_outs = engine.live_outs();
+  return result;
 }
 
 ExecResult lowered_execute_scalar_traced(const ir::LoopKernel& kernel,
                                          Workload& wl,
                                          const AccessObserver& observer) {
+  // Traced executions stay on the unfused row-major path in every mode: the
+  // trace order contract is per-op, per-lane program order.
   return lowered_execute_scalar_with(kernel, wl, ObserverTrace{&observer});
 }
 
 ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
                                       const ir::LoopKernel& scalar,
                                       Workload& wl) {
+  return lowered_execute_vectorized(vec, scalar, wl, dispatch_kind());
+}
+
+ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
+                                      const ir::LoopKernel& scalar,
+                                      Workload& wl, DispatchKind kind) {
   VECCOST_ASSERT(vec.vf > 1, "execute_vectorized needs a widened kernel");
   VECCOST_COUNTER_ADD("engine.vector_executions", 1);
   VECCOST_ASSERT(!vec.has_break() && !scalar.has_break(),
@@ -88,21 +220,102 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
   const std::int64_t iters = scalar.trip.iterations(wl.n);
   const std::int64_t vf = vec.vf;
   const std::int64_t main_iters = (iters / vf) * vf;
-
-  const LoweredProgram vprog = lower(vec, static_cast<int>(vf));
-  const LoweredProgram sprog = lower(scalar, 1);
-  LoweredEngine<0, NoTrace> vengine(vprog, wl, thread_exec_context(0));
-  LoweredEngine<1, NoTrace> sengine(sprog, wl, thread_exec_context(1));
-  ExecResult result;
   const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  const bool fused = kind != DispatchKind::Switch;
+
+  const std::shared_ptr<const LoweredProgram> vprog =
+      cached_lowering(vec, static_cast<int>(vf));
+  const std::shared_ptr<const LoweredProgram> sprog = cached_lowering(scalar, 1);
+
+  if (kind == DispatchKind::Batch && vprog->strip_ok &&
+      vprog->strip_max_lanes >= kStripWidth && vprog->phis.empty() &&
+      sprog->phis.empty()) {
+    // SoA batch path: a strip-provable widened body with no phis is a pure
+    // per-iteration map (induction variables, independent memory ops, and
+    // elementwise arithmetic only — strip_ok already excludes the cross-lane
+    // ops), so its per-iteration results do not depend on the lane count it
+    // runs at. Re-running it at kStripWidth lanes over [0, main_iters) is
+    // bit-identical to vf-lane blocks, and amortizes dispatch over strips of
+    // 64 iterations instead of vf. No phis also means no epilogue handoff:
+    // the scalar remainder just runs [main_iters, iters).
+    VECCOST_COUNTER_ADD("engine.batch_vector_runs", 1);
+    const std::shared_ptr<const LoweredProgram> bprog =
+        cached_lowering(vec, kStripWidth);
+    LoweredEngine<0, NoTrace> bengine(*bprog, wl, thread_exec_context(0));
+    LoweredEngine<1, NoTrace> sengine(*sprog, wl, thread_exec_context(1));
+    ExecResult result;
+    std::vector<double> carries;
+    bengine.reset_carries(carries);
+    for (std::int64_t j = 0; j < outer; ++j) {
+      result.iterations += bengine.run_strips(j, main_iters, carries, true);
+      result.iterations += sengine.run_schedule(j, main_iters, iters);
+    }
+    result.live_outs = sengine.live_outs();
+    return result;
+  }
+
+  LoweredEngine<0, NoTrace> vengine(*vprog, wl, thread_exec_context(0));
+  LoweredEngine<1, NoTrace> sengine(*sprog, wl, thread_exec_context(1));
+  ExecResult result;
   for (std::int64_t j = 0; j < outer; ++j) {
     vengine.reset_phis();
-    result.iterations += vengine.run_range(j, 0, main_iters);
+    result.iterations += fused ? vengine.run_schedule(j, 0, main_iters)
+                               : vengine.run_range(j, 0, main_iters);
     // Hand the partial reduction / recurrence state to the scalar remainder.
     sengine.set_phi_inits(vengine.final_phi_values());
-    result.iterations += sengine.run_range(j, main_iters, iters);
+    result.iterations += fused ? sengine.run_schedule(j, main_iters, iters)
+                               : sengine.run_range(j, main_iters, iters);
   }
   result.live_outs = sengine.live_outs();
+  return result;
+}
+
+BatchRunner::BatchRunner(const ir::LoopKernel& kernel)
+    : trip_(kernel.trip), outer_(kernel.has_outer ? kernel.outer_trip : 1) {
+  VECCOST_ASSERT(kernel.vf == 1, "BatchRunner needs a scalar kernel");
+  row_prog_ = cached_lowering(kernel, 1);
+  if (row_prog_->strip_ok && row_prog_->strip_max_lanes >= kStripWidth)
+    strip_prog_ = cached_lowering(kernel, kStripWidth);
+  else if (outer_ >= 8)
+    xpose_prog_ = cached_interchange(kernel);  // null when illegal
+}
+
+ExecResult BatchRunner::run(Workload& wl) {
+  VECCOST_COUNTER_ADD("engine.dispatch.batch_sweeps", 1);
+  const std::int64_t iters = trip_.iterations(wl.n);
+  ExecResult result;
+  if (strip_prog_ != nullptr && iters >= kStripWidth) {
+    LoweredEngine<0, NoTrace> engine(*strip_prog_, wl, ctx_);
+    engine.reset_carries(carries_);
+    for (std::int64_t j = 0; j < outer_; ++j) {
+      engine.reset_carries(carries_);
+      result.iterations += engine.run_strips(j, iters, carries_, true);
+    }
+    result.live_outs.reserve(strip_prog_->live_out_phis.size());
+    for (const std::int32_t p : strip_prog_->live_out_phis)
+      result.live_outs.push_back(carries_[static_cast<std::size_t>(p)]);
+    return result;
+  }
+  if (xpose_prog_ != nullptr && xpose_prog_->strip_ok && iters >= 1 &&
+      xpose_prog_->strip_max_lanes >= std::min<std::int64_t>(kStripWidth, outer_) &&
+      whole_range_in_bounds(*xpose_prog_, wl, outer_, iters)) {
+    VECCOST_COUNTER_ADD("engine.interchange_runs", 1);
+    LoweredEngine<0, NoTrace> engine(*xpose_prog_, wl, ctx_);
+    engine.reset_carries(carries_);
+    for (std::int64_t jt = 0; jt < iters; ++jt)
+      result.iterations += engine.run_strips(jt, outer_, carries_, true);
+    return result;
+  }
+  LoweredEngine<1, NoTrace> engine(*row_prog_, wl, ctx_);
+  for (std::int64_t j = 0; j < outer_; ++j) {
+    engine.reset_phis();
+    result.iterations += engine.run_schedule(j, 0, iters);
+    if (engine.broke()) {
+      result.broke_early = true;
+      break;
+    }
+  }
+  result.live_outs = engine.live_outs();
   return result;
 }
 

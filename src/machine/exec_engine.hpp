@@ -22,6 +22,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "machine/executor.hpp"
@@ -83,65 +85,198 @@ class ExecContext {
 
 namespace detail {
 
-/// One elementwise operation on already-fetched operand pointers. Cases read
-/// only the operands their opcode defines, so unused pointers may be null.
-template <int kStaticLanes>
-VECCOST_ENGINE_INLINE double eval_elementwise(const MicroOp& u, const double* a,
-                                              const double* b, const double* c,
-                                              int l, const std::string& name) {
+/// The elementwise opcode core on already-fetched operand values — the one
+/// copy of the arithmetic shared by the per-lane pointer path below and the
+/// fused superop executors (which substitute a register value for one or
+/// more operands). Unrounded; callers apply `u.round`.
+VECCOST_ENGINE_INLINE double eval_scalar(const MicroOp& u, double av,
+                                         double bv, double cv,
+                                         const std::string& name) {
   using ir::Opcode;
-  const double av = a != nullptr ? a[l] : 0.0;
   switch (u.op) {
-    case Opcode::Add: return av + b[l];
-    case Opcode::Sub: return av - b[l];
-    case Opcode::Mul: return av * b[l];
+    case Opcode::Add: return av + bv;
+    case Opcode::Sub: return av - bv;
+    case Opcode::Mul: return av * bv;
     case Opcode::Div:
       if (u.int_divide) {
-        VECCOST_ASSERT(b[l] != 0.0, "integer division by zero in " + name);
-        return std::trunc(av / b[l]);
+        VECCOST_ASSERT(bv != 0.0, "integer division by zero in " + name);
+        return std::trunc(av / bv);
       }
-      return av / b[l];
+      return av / bv;
     case Opcode::Rem:
       if (u.int_divide) {
-        VECCOST_ASSERT(b[l] != 0.0, "integer remainder by zero in " + name);
+        VECCOST_ASSERT(bv != 0.0, "integer remainder by zero in " + name);
         return static_cast<double>(static_cast<std::int64_t>(av) %
-                                   static_cast<std::int64_t>(b[l]));
+                                   static_cast<std::int64_t>(bv));
       }
-      return std::fmod(av, b[l]);
+      return std::fmod(av, bv);
     case Opcode::Neg: return -av;
-    case Opcode::FMA: return av * b[l] + c[l];
-    case Opcode::Min: return std::min(av, b[l]);
-    case Opcode::Max: return std::max(av, b[l]);
+    case Opcode::FMA: return av * bv + cv;
+    case Opcode::Min: return std::min(av, bv);
+    case Opcode::Max: return std::max(av, bv);
     case Opcode::Abs: return std::abs(av);
     case Opcode::Sqrt: return std::sqrt(av);
     case Opcode::And:
       return static_cast<double>(static_cast<std::int64_t>(av) &
-                                 static_cast<std::int64_t>(b[l]));
+                                 static_cast<std::int64_t>(bv));
     case Opcode::Or:
       return static_cast<double>(static_cast<std::int64_t>(av) |
-                                 static_cast<std::int64_t>(b[l]));
+                                 static_cast<std::int64_t>(bv));
     case Opcode::Xor:
       return static_cast<double>(static_cast<std::int64_t>(av) ^
-                                 static_cast<std::int64_t>(b[l]));
+                                 static_cast<std::int64_t>(bv));
     case Opcode::Not:
       return static_cast<double>(~static_cast<std::int64_t>(av));
     case Opcode::Shl:
       return static_cast<double>(static_cast<std::int64_t>(av)
-                                 << static_cast<std::int64_t>(b[l]));
+                                 << static_cast<std::int64_t>(bv));
     case Opcode::Shr:
       return static_cast<double>(static_cast<std::int64_t>(av) >>
-                                 static_cast<std::int64_t>(b[l]));
-    case Opcode::CmpEQ: return av == b[l] ? 1.0 : 0.0;
-    case Opcode::CmpNE: return av != b[l] ? 1.0 : 0.0;
-    case Opcode::CmpLT: return av < b[l] ? 1.0 : 0.0;
-    case Opcode::CmpLE: return av <= b[l] ? 1.0 : 0.0;
-    case Opcode::CmpGT: return av > b[l] ? 1.0 : 0.0;
-    case Opcode::CmpGE: return av >= b[l] ? 1.0 : 0.0;
-    case Opcode::Select: return av != 0.0 ? b[l] : c[l];
+                                 static_cast<std::int64_t>(bv));
+    case Opcode::CmpEQ: return av == bv ? 1.0 : 0.0;
+    case Opcode::CmpNE: return av != bv ? 1.0 : 0.0;
+    case Opcode::CmpLT: return av < bv ? 1.0 : 0.0;
+    case Opcode::CmpLE: return av <= bv ? 1.0 : 0.0;
+    case Opcode::CmpGT: return av > bv ? 1.0 : 0.0;
+    case Opcode::CmpGE: return av >= bv ? 1.0 : 0.0;
+    case Opcode::Select: return av != 0.0 ? bv : cv;
     case Opcode::Convert: return av;  // rounding applied by the caller
     default:
       VECCOST_FAIL(std::string("unhandled opcode in engine: ") +
                    ir::to_string(u.op));
+  }
+}
+
+/// One elementwise operation on already-fetched operand pointers. Absent
+/// operands may be null; they fetch as 0.0, which the opcode then ignores.
+template <int kStaticLanes>
+VECCOST_ENGINE_INLINE double eval_elementwise(const MicroOp& u, const double* a,
+                                              const double* b, const double* c,
+                                              int l, const std::string& name) {
+  return eval_scalar(u, a != nullptr ? a[l] : 0.0, b != nullptr ? b[l] : 0.0,
+                     c != nullptr ? c[l] : 0.0, name);
+}
+
+// --- Vector-friendly strip loops ------------------------------------------
+// Tight per-opcode loops over strided operand streams, used by the block
+// fast paths once predicates, indirection, and bounds checks have been
+// hoisted out of the lane loop. Per-lane arithmetic and rounding are exactly
+// eval_scalar + apply_rounding for the covered opcodes, just without any
+// per-lane dispatch — which is what lets the compiler vectorize them.
+
+template <class F>
+VECCOST_ENGINE_INLINE void binop_strip(F f, Rounding r, int L, const double* a,
+                                       std::int64_t sa, const double* b,
+                                       std::int64_t sb, double* out,
+                                       std::int64_t so) {
+  if (r == Rounding::F32) {
+    for (int l = 0; l < L; ++l)
+      out[l * so] = static_cast<double>(
+          static_cast<float>(f(a[l * sa], b[l * sb])));
+  } else {
+    for (int l = 0; l < L; ++l) out[l * so] = f(a[l * sa], b[l * sb]);
+  }
+}
+
+template <class F>
+VECCOST_ENGINE_INLINE void unop_strip(F f, Rounding r, int L, const double* a,
+                                      std::int64_t sa, double* out,
+                                      std::int64_t so) {
+  if (r == Rounding::F32) {
+    for (int l = 0; l < L; ++l)
+      out[l * so] = static_cast<double>(static_cast<float>(f(a[l * sa])));
+  } else {
+    for (int l = 0; l < L; ++l) out[l * so] = f(a[l * sa]);
+  }
+}
+
+/// Fast strip execution of a fused elementwise consumer `g`: one operand may
+/// stream from `sub_ptr` (stride `sub_stride`, the fused producer's values —
+/// named by `sub`), the rest read their slots; results go to `out_ptr`
+/// (stride `out_stride`). Covers the hot f32/f64 arithmetic; returns false
+/// when the shape needs the generic per-lane path (other roundings, 3-operand
+/// ops, integer div/rem, both-operands-substituted, ...).
+VECCOST_ENGINE_INLINE bool fused_fast_elem(const MicroOp& g, std::uint8_t sub,
+                                           const double* s, int L,
+                                           const double* sub_ptr,
+                                           std::int64_t sub_stride,
+                                           double* out_ptr,
+                                           std::int64_t out_stride) {
+  using ir::Opcode;
+  if (g.round != Rounding::None && g.round != Rounding::F32) return false;
+  const bool asub = (sub & kSubA) != 0;
+  const bool bsub = (sub & kSubB) != 0;
+  if (asub && bsub) return false;  // v op v: rare, generic path
+  const double* a;
+  std::int64_t sa;
+  if (asub) {
+    a = sub_ptr;
+    sa = sub_stride;
+  } else if (g.a >= 0) {
+    a = s + g.a;
+    sa = 1;
+  } else {
+    return false;
+  }
+  switch (g.op) {
+    case Opcode::Neg:
+      unop_strip([](double x) { return -x; }, g.round, L, a, sa, out_ptr,
+                 out_stride);
+      return true;
+    case Opcode::Abs:
+      unop_strip([](double x) { return std::abs(x); }, g.round, L, a, sa,
+                 out_ptr, out_stride);
+      return true;
+    case Opcode::Sqrt:
+      unop_strip([](double x) { return std::sqrt(x); }, g.round, L, a, sa,
+                 out_ptr, out_stride);
+      return true;
+    case Opcode::Convert:
+      unop_strip([](double x) { return x; }, g.round, L, a, sa, out_ptr,
+                 out_stride);
+      return true;
+    default:
+      break;
+  }
+  const double* b;
+  std::int64_t sb;
+  if (bsub) {
+    b = sub_ptr;
+    sb = sub_stride;
+  } else if (g.b >= 0) {
+    b = s + g.b;
+    sb = 1;
+  } else {
+    return false;
+  }
+  switch (g.op) {
+    case Opcode::Add:
+      binop_strip([](double x, double y) { return x + y; }, g.round, L, a, sa,
+                  b, sb, out_ptr, out_stride);
+      return true;
+    case Opcode::Sub:
+      binop_strip([](double x, double y) { return x - y; }, g.round, L, a, sa,
+                  b, sb, out_ptr, out_stride);
+      return true;
+    case Opcode::Mul:
+      binop_strip([](double x, double y) { return x * y; }, g.round, L, a, sa,
+                  b, sb, out_ptr, out_stride);
+      return true;
+    case Opcode::Div:
+      if (g.int_divide) return false;  // per-lane path carries the zero check
+      binop_strip([](double x, double y) { return x / y; }, g.round, L, a, sa,
+                  b, sb, out_ptr, out_stride);
+      return true;
+    case Opcode::Min:
+      binop_strip([](double x, double y) { return std::min(x, y); }, g.round,
+                  L, a, sa, b, sb, out_ptr, out_stride);
+      return true;
+    case Opcode::Max:
+      binop_strip([](double x, double y) { return std::max(x, y); }, g.round,
+                  L, a, sa, b, sb, out_ptr, out_stride);
+      return true;
+    default:
+      return false;
   }
 }
 
@@ -250,6 +385,129 @@ class LoweredEngine {
     return executed;
   }
 
+  /// Threaded-dispatch execution of iterations [m_lo, m_hi) at outer index
+  /// j: one indirect branch per fused schedule unit (computed goto where the
+  /// compiler supports `&&label`; a switch loop over the same superops
+  /// elsewhere) instead of one switch per micro-op, with fused pairs keeping
+  /// their intermediate value in a register. Bit-identical to run_range over
+  /// the unfused op list — same evaluation order per lane, same rounding,
+  /// same bounds checks, same Break accounting.
+  std::int64_t run_schedule(std::int64_t j, std::int64_t m_lo,
+                            std::int64_t m_hi) {
+    const int L = lanes();
+    double* const s = ctx_.slots.data();
+    double* const* const bases = ctx_.bases.data();
+    const std::int64_t* const lengths = ctx_.lengths.data();
+    const MicroOp* const ops = p_.ops.data();
+    const SuperOp* const sched = p_.schedule.data();
+    const std::int64_t start = p_.start;
+    const std::int64_t step = p_.step;
+    const std::int64_t n = ctx_.n;
+    const PhiPlan* const phis = p_.phis.data();
+    const PhiPlan* const phis_end = phis + p_.phis.size();
+    const bool has_phis = phis != phis_end;
+    const bool direct_commit = p_.direct_commit;
+    double* const scratch = direct_commit ? nullptr : ctx_.phi_scratch.data();
+
+    {
+      const double jv = static_cast<double>(j);
+      for (const std::int32_t base : p_.outer_slots)
+        for (int l = 0; l < L; ++l) s[base + l] = jv;
+    }
+
+    std::int64_t executed = 0;
+#if defined(__GNUC__) || defined(__clang__)
+    // One label per handler id, in kHandler* order. The array lives outside
+    // the m loop, so the per-block cost is exactly one indirect goto per
+    // schedule unit plus the terminator.
+    const void* const labels[kHandlerCount] = {
+        &&h_end,    &&h_indvar, &&h_load,   &&h_store,  &&h_break,
+        &&h_bcast,  &&h_splice, &&h_reduce, &&h_elem,   &&h_ldop,
+        &&h_opst,   &&h_ldopst, &&h_muladd, &&h_idxld};
+    for (std::int64_t m = m_lo; m < m_hi; m += L) {
+      const SuperOp* sp = sched;
+      goto* labels[sp->handler];
+    h_indvar:
+      do_indvar(ops[sp->first], m, L, s, start, step);
+      ++sp;
+      goto* labels[sp->handler];
+    h_load:
+      do_load(ops[sp->first], j, m, L, s, bases, lengths, n);
+      ++sp;
+      goto* labels[sp->handler];
+    h_store:
+      do_store(ops[sp->first], j, m, L, s, bases, lengths, n);
+      ++sp;
+      goto* labels[sp->handler];
+    h_break:
+      if (!do_break(ops[sp->first], L, s)) {
+        broke_ = true;
+        return executed + 1;
+      }
+      ++sp;
+      goto* labels[sp->handler];
+    h_bcast:
+      do_broadcast(ops[sp->first], L, s);
+      ++sp;
+      goto* labels[sp->handler];
+    h_splice:
+      do_splice(ops[sp->first], L, s);
+      ++sp;
+      goto* labels[sp->handler];
+    h_reduce:
+      do_reduce(ops[sp->first], L, s);
+      ++sp;
+      goto* labels[sp->handler];
+    h_elem:
+      do_elem(ops[sp->first], L, s);
+      ++sp;
+      goto* labels[sp->handler];
+    h_ldop:
+      exec_load_op(*sp, j, m, L, s, bases, lengths, n);
+      ++sp;
+      goto* labels[sp->handler];
+    h_opst:
+      exec_op_store(*sp, j, m, L, s, bases, lengths, n);
+      ++sp;
+      goto* labels[sp->handler];
+    h_ldopst:
+      exec_load_op_store(*sp, j, m, L, s, bases, lengths, n);
+      ++sp;
+      goto* labels[sp->handler];
+    h_muladd:
+      exec_mul_add(*sp, L, s);
+      ++sp;
+      goto* labels[sp->handler];
+    h_idxld:
+      exec_index_load(*sp, j, m, L, s, bases, lengths, n, start, step);
+      ++sp;
+      goto* labels[sp->handler];
+    h_end:
+      executed += L;
+      if (has_phis)
+        commit_phi_lanes(L, s, phis, phis_end, direct_commit, scratch);
+    }
+#else
+    for (std::int64_t m = m_lo; m < m_hi; m += L) {
+      for (const SuperOp* sp = sched; sp->handler != kHandlerEnd; ++sp) {
+        if (sp->kind == FusedKind::None) {
+          if (!exec_op(ops[sp->first], j, m, L, s, bases, lengths, n, start,
+                       step)) {
+            broke_ = true;
+            return executed + 1;
+          }
+        } else {
+          exec_super(*sp, j, m, L, s, bases, lengths, n, start, step);
+        }
+      }
+      executed += L;
+      if (has_phis)
+        commit_phi_lanes(L, s, phis, phis_end, direct_commit, scratch);
+    }
+#endif
+    return executed;
+  }
+
   /// Seed the scalar phi carries for a strip-mined execution (the strip
   /// path's equivalent of reset_phis).
   void reset_carries(std::vector<double>& carries) const {
@@ -266,8 +524,15 @@ class LoweredEngine {
   /// recurrences is preserved bit for bit. `carries` holds the running
   /// scalar phi values across strips (and outer iterations hand them back
   /// in unchanged).
+  ///
+  /// With `fused`, the column phase runs the fused `fused_column` schedule
+  /// instead of op-at-a-time `strip_column` — same per-lane evaluation
+  /// order (the strip proof licenses the within-unit interleaving, so even
+  /// load-op-store triples on one array are safe here), fewer dispatches.
+  /// The lane-serial phase is shared: the single-phi register-carry fast
+  /// path already covers the hot reduction shapes.
   std::int64_t run_strips(std::int64_t j, std::int64_t iters,
-                          std::vector<double>& carries) {
+                          std::vector<double>& carries, bool fused = false) {
     using ir::Opcode;
     VECCOST_ASSERT(p_.strip_ok, "run_strips on a non-strippable program");
     const int W = lanes();
@@ -289,8 +554,13 @@ class LoweredEngine {
 
     for (std::int64_t m = 0; m < iters; m += W) {
       const int L = static_cast<int>(std::min<std::int64_t>(W, iters - m));
-      for (const std::int32_t i : p_.strip_column)
-        (void)exec_op(ops[i], j, m, L, s, bases, lengths, n, start, step);
+      if (fused) {
+        for (const SuperOp& sup : p_.fused_column)
+          exec_super(sup, j, m, L, s, bases, lengths, n, start, step);
+      } else {
+        for (const std::int32_t i : p_.strip_column)
+          (void)exec_op(ops[i], j, m, L, s, bases, lengths, n, start, step);
+      }
       if (num_phis == 0) continue;
       if (num_phis == 1 && p_.strip_serial.size() == 1) {
         // The dominant reduction shape (dot += a[i] * b[i]): one phi, one
@@ -431,6 +701,152 @@ class LoweredEngine {
     return kStaticLanes > 0 ? kStaticLanes : p_.lanes;
   }
 
+  // --- Single-op block executors -----------------------------------------
+  // One helper per handler category, shared verbatim by exec_op's switch
+  // (run_range / Switch mode) and run_schedule's threaded dispatch, so both
+  // paths execute the exact same code per op.
+
+  VECCOST_ENGINE_INLINE void do_indvar(const MicroOp& u, std::int64_t m, int L,
+                                       double* s, std::int64_t start,
+                                       std::int64_t step) {
+    double* const out = s + u.out;
+    for (int l = 0; l < L; ++l)
+      out[l] = static_cast<double>(start + (m + l) * step);
+  }
+
+  /// Block bounds hoist for an unpredicated affine memory op: the element
+  /// index is linear in the lane, so its extremes over [0, L) sit at lanes 0
+  /// and L-1. Returns lane 0's element index when the whole block is in
+  /// bounds, -1 when the per-lane path (with its per-lane check and throw)
+  /// must run instead. Callers have already ruled out pred/indirect.
+  VECCOST_ENGINE_INLINE std::int64_t block_base(const MicroOp& u,
+                                                std::int64_t j, std::int64_t m,
+                                                int L,
+                                                const std::int64_t* lengths,
+                                                std::int64_t n) const {
+    const std::int64_t len = lengths[u.array];
+    const std::int64_t base =
+        u.base_off + u.lin * m + u.j_scale * j + u.n_scale * n;
+    const std::int64_t last = base + u.lin * (L - 1);
+    if (base < 0 || base >= len || last < 0 || last >= len) return -1;
+    return base;
+  }
+
+  VECCOST_ENGINE_INLINE void do_load(const MicroOp& u, std::int64_t j,
+                                     std::int64_t m, int L, double* s,
+                                     double* const* bases,
+                                     const std::int64_t* lengths,
+                                     std::int64_t n) {
+    double* const out = s + u.out;
+    const double* const buf = bases[u.array];
+    const std::int64_t len = lengths[u.array];
+    if constexpr (std::is_same_v<Tracer, NoTrace>) {
+      // Untraced block fast path: hoist the predicate/indirect tests and the
+      // bounds check out of the lane loop. Nothing executes before the
+      // checks, so a failure falls through to the per-lane loop with
+      // identical (including throwing) semantics.
+      if (u.pred < 0 && u.indirect < 0) {
+        const std::int64_t base = block_base(u, j, m, L, lengths, n);
+        if (base >= 0) {
+          const double* const src = buf + base;
+          if (u.lin == 1) {
+            for (int l = 0; l < L; ++l) out[l] = src[l];
+          } else {
+            for (int l = 0; l < L; ++l) out[l] = src[u.lin * l];
+          }
+          return;
+        }
+      }
+    }
+    for (int l = 0; l < L; ++l) {
+      if (u.pred >= 0 && s[u.pred + l] == 0.0) {
+        out[l] = 0.0;
+        continue;
+      }
+      const std::int64_t e =
+          u.indirect >= 0
+              ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
+              : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n;
+      VECCOST_ASSERT(e >= 0 && e < len, "load out of bounds in " + p_.name);
+      tracer_(u.array, e, false);
+      out[l] = buf[e];
+    }
+  }
+
+  VECCOST_ENGINE_INLINE void do_store(const MicroOp& u, std::int64_t j,
+                                      std::int64_t m, int L, double* s,
+                                      double* const* bases,
+                                      const std::int64_t* lengths,
+                                      std::int64_t n) {
+    double* const buf = bases[u.array];
+    const std::int64_t len = lengths[u.array];
+    if constexpr (std::is_same_v<Tracer, NoTrace>) {
+      if (u.pred < 0 && u.indirect < 0) {
+        const std::int64_t base = block_base(u, j, m, L, lengths, n);
+        if (base >= 0) {
+          double* const dst = buf + base;
+          const double* const src = s + u.a;
+          if (u.lin == 1) {
+            for (int l = 0; l < L; ++l) dst[l] = src[l];
+          } else {
+            for (int l = 0; l < L; ++l) dst[u.lin * l] = src[l];
+          }
+          return;
+        }
+      }
+    }
+    for (int l = 0; l < L; ++l) {
+      if (u.pred >= 0 && s[u.pred + l] == 0.0) continue;
+      const std::int64_t e =
+          u.indirect >= 0
+              ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
+              : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n;
+      VECCOST_ASSERT(e >= 0 && e < len, "store out of bounds in " + p_.name);
+      tracer_(u.array, e, true);
+      buf[e] = s[u.a + l];
+    }
+  }
+
+  /// Returns false iff the Break fired.
+  VECCOST_ENGINE_INLINE bool do_break(const MicroOp& u, int L, double* s) {
+    VECCOST_ASSERT(L == 1, "break inside vector body of " + p_.name);
+    return s[u.a] == 0.0;
+  }
+
+  VECCOST_ENGINE_INLINE void do_broadcast(const MicroOp& u, int L, double* s) {
+    double* const out = s + u.out;
+    const double v = s[u.a];
+    for (int l = 0; l < L; ++l) out[l] = v;
+  }
+
+  VECCOST_ENGINE_INLINE void do_splice(const MicroOp& u, int L, double* s) {
+    // [last lane of op0, lanes 0..L-2 of op1]
+    double* const out = s + u.out;
+    out[0] = s[u.a + L - 1];
+    for (int l = 1; l < L; ++l) out[l] = s[u.b + l - 1];
+  }
+
+  VECCOST_ENGINE_INLINE void do_reduce(const MicroOp& u, int L, double* s) {
+    double* const out = s + u.out;
+    const double r = horizontal_reduce(u.reduce, s + u.a,
+                                       static_cast<std::size_t>(L), u.elem);
+    for (int l = 0; l < L; ++l) out[l] = r;
+  }
+
+  VECCOST_ENGINE_INLINE void do_elem(const MicroOp& u, int L, double* s) {
+    double* const out = s + u.out;
+    // Hot 1/2-operand arithmetic runs the vector-friendly strip loop (no
+    // per-lane opcode dispatch); everything else keeps the generic loop.
+    if (detail::fused_fast_elem(u, 0, s, L, nullptr, 0, out, 1)) return;
+    const double* const a = u.a >= 0 ? s + u.a : nullptr;
+    const double* const b = u.b >= 0 ? s + u.b : nullptr;
+    const double* const c = u.c >= 0 ? s + u.c : nullptr;
+    for (int l = 0; l < L; ++l)
+      out[l] = apply_rounding(
+          detail::eval_elementwise<kStaticLanes>(u, a, b, c, l, p_.name),
+          u.round);
+  }
+
   /// Execute one micro-op over lanes [0, L) at iteration base m. All
   /// loop-invariant state comes in as caller-hoisted locals (see run_range).
   /// Returns false iff a Break fired.
@@ -442,93 +858,264 @@ class LoweredEngine {
                                      std::int64_t step) {
     using ir::Opcode;
     switch (u.op) {
-      case Opcode::IndVar: {
-        double* const out = s + u.out;
-        for (int l = 0; l < L; ++l)
-          out[l] = static_cast<double>(start + (m + l) * step);
+      case Opcode::IndVar:
+        do_indvar(u, m, L, s, start, step);
         break;
-      }
       case Opcode::Load:
       case Opcode::Gather:
-      case Opcode::StridedLoad: {
-        double* const out = s + u.out;
-        const double* const buf = bases[u.array];
-        const std::int64_t len = lengths[u.array];
-        for (int l = 0; l < L; ++l) {
-          if (u.pred >= 0 && s[u.pred + l] == 0.0) {
-            out[l] = 0.0;
-            continue;
-          }
-          const std::int64_t e =
-              u.indirect >= 0
-                  ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
-                  : u.base_off + u.lin * (m + l) + u.j_scale * j +
-                        u.n_scale * n;
-          VECCOST_ASSERT(e >= 0 && e < len, "load out of bounds in " + p_.name);
-          tracer_(u.array, e, false);
-          out[l] = buf[e];
-        }
+      case Opcode::StridedLoad:
+        do_load(u, j, m, L, s, bases, lengths, n);
         break;
-      }
       case Opcode::Store:
       case Opcode::Scatter:
-      case Opcode::StridedStore: {
-        double* const buf = bases[u.array];
-        const std::int64_t len = lengths[u.array];
-        for (int l = 0; l < L; ++l) {
-          if (u.pred >= 0 && s[u.pred + l] == 0.0) continue;
-          const std::int64_t e =
-              u.indirect >= 0
-                  ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
-                  : u.base_off + u.lin * (m + l) + u.j_scale * j +
-                        u.n_scale * n;
-          VECCOST_ASSERT(e >= 0 && e < len, "store out of bounds in " + p_.name);
-          tracer_(u.array, e, true);
-          buf[e] = s[u.a + l];
-        }
+      case Opcode::StridedStore:
+        do_store(u, j, m, L, s, bases, lengths, n);
         break;
-      }
       case Opcode::Break:
-        VECCOST_ASSERT(L == 1, "break inside vector body of " + p_.name);
-        if (s[u.a] != 0.0) return false;
+        return do_break(u, L, s);
+      case Opcode::Broadcast:
+        do_broadcast(u, L, s);
         break;
-      case Opcode::Broadcast: {
-        double* const out = s + u.out;
-        const double v = s[u.a];
-        for (int l = 0; l < L; ++l) out[l] = v;
+      case Opcode::Splice:
+        do_splice(u, L, s);
         break;
-      }
-      case Opcode::Splice: {
-        // [last lane of op0, lanes 0..L-2 of op1]
-        double* const out = s + u.out;
-        out[0] = s[u.a + L - 1];
-        for (int l = 1; l < L; ++l) out[l] = s[u.b + l - 1];
-        break;
-      }
       case Opcode::ReduceAdd:
       case Opcode::ReduceMul:
       case Opcode::ReduceMin:
       case Opcode::ReduceMax:
-      case Opcode::ReduceOr: {
-        double* const out = s + u.out;
-        const double r = horizontal_reduce(u.reduce, s + u.a,
-                                           static_cast<std::size_t>(L), u.elem);
-        for (int l = 0; l < L; ++l) out[l] = r;
+      case Opcode::ReduceOr:
+        do_reduce(u, L, s);
         break;
-      }
-      default: {
-        double* const out = s + u.out;
-        const double* const a = u.a >= 0 ? s + u.a : nullptr;
-        const double* const b = u.b >= 0 ? s + u.b : nullptr;
-        const double* const c = u.c >= 0 ? s + u.c : nullptr;
-        for (int l = 0; l < L; ++l)
-          out[l] = apply_rounding(
-              detail::eval_elementwise<kStaticLanes>(u, a, b, c, l, p_.name),
-              u.round);
+      default:
+        do_elem(u, L, s);
         break;
-      }
     }
     return true;
+  }
+
+  // --- Fused (superop) lane helpers and block executors -------------------
+
+  /// One load lane: predicate, index, bounds check, trace — identical to
+  /// one do_load lane. Returns the loaded value (0.0 when predicated off).
+  VECCOST_ENGINE_INLINE double load_lane(const MicroOp& u, std::int64_t j,
+                                         std::int64_t m, int l, double* s,
+                                         double* const* bases,
+                                         const std::int64_t* lengths,
+                                         std::int64_t n) {
+    if (u.pred >= 0 && s[u.pred + l] == 0.0) return 0.0;
+    const std::int64_t e =
+        u.indirect >= 0
+            ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
+            : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n;
+    VECCOST_ASSERT(e >= 0 && e < lengths[u.array],
+                   "load out of bounds in " + p_.name);
+    tracer_(u.array, e, false);
+    return bases[u.array][e];
+  }
+
+  /// One store lane storing the register value `v` (the fused data operand).
+  VECCOST_ENGINE_INLINE void store_lane(const MicroOp& u, std::int64_t j,
+                                        std::int64_t m, int l, double* s,
+                                        double* const* bases,
+                                        const std::int64_t* lengths,
+                                        std::int64_t n, double v) {
+    if (u.pred >= 0 && s[u.pred + l] == 0.0) return;
+    const std::int64_t e =
+        u.indirect >= 0
+            ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
+            : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n;
+    VECCOST_ASSERT(e >= 0 && e < lengths[u.array],
+                   "store out of bounds in " + p_.name);
+    tracer_(u.array, e, true);
+    bases[u.array][e] = v;
+  }
+
+  /// One elementwise lane with the producer's register value `v` substituted
+  /// for the operands named in `sub`. Rounded result.
+  VECCOST_ENGINE_INLINE double elem_lane(const MicroOp& u, const double* s,
+                                         int l, double v, std::uint8_t sub) {
+    const double av = (sub & kSubA) ? v : (u.a >= 0 ? s[u.a + l] : 0.0);
+    const double bv = (sub & kSubB) ? v : (u.b >= 0 ? s[u.b + l] : 0.0);
+    const double cv = (sub & kSubC) ? v : (u.c >= 0 ? s[u.c + l] : 0.0);
+    return apply_rounding(detail::eval_scalar(u, av, bv, cv, p_.name), u.round);
+  }
+
+  VECCOST_ENGINE_INLINE void exec_load_op(const SuperOp& sup, std::int64_t j,
+                                          std::int64_t m, int L, double* s,
+                                          double* const* bases,
+                                          const std::int64_t* lengths,
+                                          std::int64_t n) {
+    const MicroOp& f = p_.ops[static_cast<std::size_t>(sup.first)];
+    const MicroOp& g = p_.ops[static_cast<std::size_t>(sup.second)];
+    if constexpr (std::is_same_v<Tracer, NoTrace>) {
+      // Block fast path: predicate/indirect/bounds hoisted out of the lane
+      // loop, consumer arithmetic run as a vector-friendly strip streaming
+      // straight from the array. Checks precede any execution, so a bail
+      // falls through to the per-lane loop bit-identically.
+      if (!sup.keep_first && f.pred < 0 && f.indirect < 0) {
+        const std::int64_t fb = block_base(f, j, m, L, lengths, n);
+        if (fb >= 0 && detail::fused_fast_elem(g, sup.sub, s, L,
+                                               bases[f.array] + fb, f.lin,
+                                               s + g.out, 1))
+          return;
+      }
+    }
+    for (int l = 0; l < L; ++l) {
+      const double v = load_lane(f, j, m, l, s, bases, lengths, n);
+      if (sup.keep_first) s[f.out + l] = v;
+      s[g.out + l] = elem_lane(g, s, l, v, sup.sub);
+    }
+  }
+
+  VECCOST_ENGINE_INLINE void exec_op_store(const SuperOp& sup, std::int64_t j,
+                                           std::int64_t m, int L, double* s,
+                                           double* const* bases,
+                                           const std::int64_t* lengths,
+                                           std::int64_t n) {
+    const MicroOp& f = p_.ops[static_cast<std::size_t>(sup.first)];
+    const MicroOp& g = p_.ops[static_cast<std::size_t>(sup.second)];
+    if constexpr (std::is_same_v<Tracer, NoTrace>) {
+      if (!sup.keep_first && g.pred < 0 && g.indirect < 0) {
+        const std::int64_t gb = block_base(g, j, m, L, lengths, n);
+        if (gb >= 0 && detail::fused_fast_elem(f, 0, s, L, nullptr, 0,
+                                               bases[g.array] + gb, g.lin))
+          return;
+      }
+    }
+    for (int l = 0; l < L; ++l) {
+      const double v = elem_lane(f, s, l, 0.0, 0);
+      if (sup.keep_first) s[f.out + l] = v;
+      store_lane(g, j, m, l, s, bases, lengths, n, v);
+    }
+  }
+
+  VECCOST_ENGINE_INLINE void exec_load_op_store(
+      const SuperOp& sup, std::int64_t j, std::int64_t m, int L, double* s,
+      double* const* bases, const std::int64_t* lengths, std::int64_t n) {
+    const MicroOp& f = p_.ops[static_cast<std::size_t>(sup.first)];
+    const MicroOp& g = p_.ops[static_cast<std::size_t>(sup.second)];
+    const MicroOp& h = p_.ops[static_cast<std::size_t>(sup.third)];
+    if constexpr (std::is_same_v<Tracer, NoTrace>) {
+      // The memory-to-memory strip: load stream in, one arithmetic op,
+      // store stream out — a[i] = b[i] + k shapes spend their whole
+      // iteration in this single vectorizable loop. The strip loop keeps the
+      // per-lane read/compute/write order of the loop below, so the fusion
+      // pass's alias argument carries over unchanged.
+      if (!sup.keep_first && !sup.keep_second && f.pred < 0 &&
+          f.indirect < 0 && h.pred < 0 && h.indirect < 0) {
+        const std::int64_t fb = block_base(f, j, m, L, lengths, n);
+        if (fb >= 0) {
+          const std::int64_t hb = block_base(h, j, m, L, lengths, n);
+          if (hb >= 0 && detail::fused_fast_elem(g, sup.sub, s, L,
+                                                 bases[f.array] + fb, f.lin,
+                                                 bases[h.array] + hb, h.lin))
+            return;
+        }
+      }
+    }
+    for (int l = 0; l < L; ++l) {
+      const double v = load_lane(f, j, m, l, s, bases, lengths, n);
+      if (sup.keep_first) s[f.out + l] = v;
+      const double w = elem_lane(g, s, l, v, sup.sub);
+      if (sup.keep_second) s[g.out + l] = w;
+      store_lane(h, j, m, l, s, bases, lengths, n, w);
+    }
+  }
+
+  VECCOST_ENGINE_INLINE void exec_mul_add(const SuperOp& sup, int L,
+                                          double* s) {
+    const MicroOp& f = p_.ops[static_cast<std::size_t>(sup.first)];
+    const MicroOp& g = p_.ops[static_cast<std::size_t>(sup.second)];
+    for (int l = 0; l < L; ++l) {
+      // Both ops keep their own rounding: this fuses dispatch, not the FP.
+      const double v = elem_lane(f, s, l, 0.0, 0);
+      if (sup.keep_first) s[f.out + l] = v;
+      s[g.out + l] = elem_lane(g, s, l, v, sup.sub);
+    }
+  }
+
+  VECCOST_ENGINE_INLINE void exec_index_load(
+      const SuperOp& sup, std::int64_t j, std::int64_t m, int L, double* s,
+      double* const* bases, const std::int64_t* lengths, std::int64_t n,
+      std::int64_t start, std::int64_t step) {
+    const MicroOp& f = p_.ops[static_cast<std::size_t>(sup.first)];
+    const MicroOp& g = p_.ops[static_cast<std::size_t>(sup.second)];
+    double* const out = s + g.out;
+    const double* const buf = bases[g.array];
+    const std::int64_t len = lengths[g.array];
+    for (int l = 0; l < L; ++l) {
+      double v;
+      if (f.op == ir::Opcode::IndVar) {
+        v = static_cast<double>(start + (m + l) * step);
+      } else if (f.array >= 0) {
+        v = load_lane(f, j, m, l, s, bases, lengths, n);
+      } else {
+        v = elem_lane(f, s, l, 0.0, 0);
+      }
+      if (sup.keep_first) s[f.out + l] = v;
+      if (g.pred >= 0 && s[g.pred + l] == 0.0) {
+        out[l] = 0.0;
+        continue;
+      }
+      const std::int64_t e = static_cast<std::int64_t>(v) + g.base_off;
+      VECCOST_ASSERT(e >= 0 && e < len, "load out of bounds in " + p_.name);
+      tracer_(g.array, e, false);
+      out[l] = buf[e];
+    }
+  }
+
+  /// Execute one fused schedule unit over lanes [0, L). Single-op units go
+  /// through exec_op; callers that must observe Break dispatch singles
+  /// themselves (fused columns are Break-free by construction).
+  VECCOST_ENGINE_INLINE void exec_super(const SuperOp& sup, std::int64_t j,
+                                        std::int64_t m, int L, double* s,
+                                        double* const* bases,
+                                        const std::int64_t* lengths,
+                                        std::int64_t n, std::int64_t start,
+                                        std::int64_t step) {
+    switch (sup.kind) {
+      case FusedKind::None:
+        (void)exec_op(p_.ops[static_cast<std::size_t>(sup.first)], j, m, L, s,
+                      bases, lengths, n, start, step);
+        break;
+      case FusedKind::LoadOp:
+        exec_load_op(sup, j, m, L, s, bases, lengths, n);
+        break;
+      case FusedKind::OpStore:
+        exec_op_store(sup, j, m, L, s, bases, lengths, n);
+        break;
+      case FusedKind::LoadOpStore:
+        exec_load_op_store(sup, j, m, L, s, bases, lengths, n);
+        break;
+      case FusedKind::MulAdd:
+        exec_mul_add(sup, L, s);
+        break;
+      case FusedKind::IndexLoad:
+        exec_index_load(sup, j, m, L, s, bases, lengths, n, start, step);
+        break;
+    }
+  }
+
+  /// Per-block phi commit (the tail of run_range's loop, shared with
+  /// run_schedule).
+  VECCOST_ENGINE_INLINE void commit_phi_lanes(int L, double* s,
+                                              const PhiPlan* phis,
+                                              const PhiPlan* phis_end,
+                                              bool direct_commit,
+                                              double* scratch) {
+    if (direct_commit) {
+      for (const PhiPlan* phi = phis; phi != phis_end; ++phi)
+        for (int l = 0; l < L; ++l) s[phi->slot + l] = s[phi->update + l];
+    } else {
+      // Stage all updates before writing any: a phi whose update is
+      // another phi must observe that phi's pre-commit value.
+      std::size_t o = 0;
+      for (const PhiPlan* phi = phis; phi != phis_end; ++phi)
+        for (int l = 0; l < L; ++l) scratch[o++] = s[phi->update + l];
+      o = 0;
+      for (const PhiPlan* phi = phis; phi != phis_end; ++phi)
+        for (int l = 0; l < L; ++l) s[phi->slot + l] = scratch[o++];
+    }
   }
 
   const LoweredProgram& p_;
@@ -560,13 +1147,66 @@ ExecResult lowered_execute_scalar_with(const ir::LoopKernel& kernel,
   return result;
 }
 
+/// Thread-local lowered-program cache keyed on (kernel content hash, lanes).
+/// Repeated executions of the same kernel — suite sweeps, the serve daemon,
+/// the fuzz oracle's per-mode replays — skip re-lowering entirely. Callers
+/// keep the shared_ptr alive for as long as they run the program; a
+/// same-slot eviction then cannot destroy an in-use program.
+[[nodiscard]] std::shared_ptr<const LoweredProgram> cached_lowering(
+    const ir::LoopKernel& kernel, int lanes);
+
+/// Thread-local cache over lower_interchanged(kernel, kStripWidth). Returns
+/// nullptr when the interchange is illegal for this kernel — the null result
+/// is cached too, so repeated probes of an illegal kernel cost one lookup.
+[[nodiscard]] std::shared_ptr<const LoweredProgram> cached_interchange(
+    const ir::LoopKernel& kernel);
+
 /// Untraced/observer/vectorized entry points used by executor.cpp's routing.
+/// The 2-argument forms run under the process-wide dispatch_kind(); the
+/// explicit-kind overloads pin one mode (the differential oracle's
+/// `dispatch:<kind>` configs). All modes are bit-identical.
 [[nodiscard]] ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel,
                                                 Workload& wl);
+[[nodiscard]] ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel,
+                                                Workload& wl,
+                                                DispatchKind kind);
 [[nodiscard]] ExecResult lowered_execute_scalar_traced(
     const ir::LoopKernel& kernel, Workload& wl, const AccessObserver& observer);
 [[nodiscard]] ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
                                                     const ir::LoopKernel& scalar,
                                                     Workload& wl);
+[[nodiscard]] ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
+                                                    const ir::LoopKernel& scalar,
+                                                    Workload& wl,
+                                                    DispatchKind kind);
+
+/// Resident scalar program for repeated sweeps: lowers once (through the
+/// program cache), owns its own ExecContext and strip-carry arena, and
+/// replays workload after workload with zero per-run allocation once warm.
+/// Bit-identical to execute_scalar in every dispatch mode; the SoA strip
+/// form is used whenever the program qualifies (`strip_resident()`).
+///
+/// Unlike the free entry points, a BatchRunner does not touch the
+/// thread-local contexts, so interleaving its runs with other executions
+/// (e.g. the vectorized side of a validation sweep) cannot evict its state.
+class BatchRunner {
+ public:
+  explicit BatchRunner(const ir::LoopKernel& kernel);
+
+  /// Execute over `wl` (same contract as lowered_execute_scalar).
+  [[nodiscard]] ExecResult run(Workload& wl);
+
+  /// True when sweeps run through the strip-resident (SoA) program.
+  [[nodiscard]] bool strip_resident() const { return strip_prog_ != nullptr; }
+
+ private:
+  std::shared_ptr<const LoweredProgram> row_prog_;    ///< 1-lane fused program
+  std::shared_ptr<const LoweredProgram> strip_prog_;  ///< kStripWidth lanes
+  std::shared_ptr<const LoweredProgram> xpose_prog_;  ///< interchanged (or null)
+  ExecContext ctx_;
+  std::vector<double> carries_;
+  ir::TripCount trip_;
+  std::int64_t outer_ = 1;
+};
 
 }  // namespace veccost::machine

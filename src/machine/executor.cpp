@@ -394,6 +394,16 @@ ExecutorKind initial_executor_kind() {
 
 std::atomic<ExecutorKind> g_executor_kind{initial_executor_kind()};
 
+/// Lazily initialized so a bad VECCOST_DISPATCH value surfaces as a
+/// catchable Error on first use instead of terminating in static init.
+std::atomic<DispatchKind>& dispatch_store() {
+  static std::atomic<DispatchKind> store{[] {
+    const std::string env = support::EnvFlags::value("VECCOST_DISPATCH");
+    return env.empty() ? DispatchKind::Batch : parse_dispatch_kind(env);
+  }()};
+  return store;
+}
+
 }  // namespace
 
 ExecutorKind executor_kind() {
@@ -402,6 +412,31 @@ ExecutorKind executor_kind() {
 
 void set_executor_kind(ExecutorKind kind) {
   g_executor_kind.store(kind, std::memory_order_relaxed);
+}
+
+const char* to_string(DispatchKind kind) {
+  switch (kind) {
+    case DispatchKind::Switch: return "switch";
+    case DispatchKind::Threaded: return "threaded";
+    case DispatchKind::Batch: return "batch";
+  }
+  return "?";
+}
+
+DispatchKind parse_dispatch_kind(std::string_view text) {
+  if (text == "switch") return DispatchKind::Switch;
+  if (text == "threaded") return DispatchKind::Threaded;
+  if (text == "batch") return DispatchKind::Batch;
+  throw Error("unknown dispatch kind '" + std::string(text) +
+              "' (expected switch, threaded, or batch)");
+}
+
+DispatchKind dispatch_kind() {
+  return dispatch_store().load(std::memory_order_relaxed);
+}
+
+void set_dispatch_kind(DispatchKind kind) {
+  dispatch_store().store(kind, std::memory_order_relaxed);
 }
 
 ExecResult reference_execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "ir/loop.hpp"
@@ -80,6 +81,27 @@ enum class ExecutorKind {
 /// VECCOST_REFERENCE_EXECUTOR=1 in the environment flips the initial value.
 [[nodiscard]] ExecutorKind executor_kind();
 void set_executor_kind(ExecutorKind kind);
+
+/// How the lowered engine dispatches micro-ops. All three modes are
+/// bit-identical (asserted by `ctest -L engine` and the fuzz oracle's
+/// `dispatch:<kind>` configs); they differ only in throughput.
+enum class DispatchKind {
+  Switch,    ///< original per-op switch loop, unfused programs
+  Threaded,  ///< computed-goto over the fused superop schedule
+  Batch,     ///< Threaded + SoA strip execution of widened bodies (default)
+};
+
+[[nodiscard]] const char* to_string(DispatchKind kind);
+
+/// Parse "switch" / "threaded" / "batch" (the VECCOST_DISPATCH values);
+/// throws Error on anything else.
+[[nodiscard]] DispatchKind parse_dispatch_kind(std::string_view text);
+
+/// Process-wide dispatch selection for the lowered engine. Defaults to
+/// Batch; VECCOST_DISPATCH=switch|threaded|batch overrides the initial
+/// value (evaluated lazily, so a bad value throws at first use).
+[[nodiscard]] DispatchKind dispatch_kind();
+void set_dispatch_kind(DispatchKind kind);
 
 /// The reference interpreter, callable directly regardless of the
 /// process-wide selection — the oracle side of the differential suite.

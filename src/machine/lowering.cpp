@@ -1,5 +1,7 @@
 #include "machine/lowering.hpp"
 
+#include <sstream>
+
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 
@@ -68,22 +70,31 @@ void plan_strips(const LoopKernel& kernel,
     }
   }
 
-  // Memory safety: column execution reorders accesses across iterations, so
-  // no two accesses to a written array may ever touch the same element on
-  // different iterations. Conservative proof: every access to such an array
-  // is affine with the *identical* index map — then element e is touched by
-  // exactly one iteration, and within it the original op order is kept.
+  // Memory safety: column execution reorders accesses across the iterations
+  // of one strip, so no two accesses to a written array may touch the same
+  // element on iterations that close together. Proof per array: every access
+  // must be affine with identical (lin, j_scale, n_scale); accesses with the
+  // *same* base offset then touch each element from exactly one iteration
+  // (injective for lin != 0), within which the column keeps op order.
+  // Accesses whose bases differ by some Δ can only collide across iterations
+  // |Δ / lin| apart, so they bound the strip width instead of rejecting the
+  // plan (p.strip_max_lanes; a Δ not divisible by lin never collides).
+  struct BaseGroup {
+    std::int64_t base = 0;
+    int count = 0;
+    bool has_store = false;
+  };
   struct ArrayAccess {
     bool seen = false, has_store = false, indirect = false, mixed = false;
-    int count = 0;
-    std::int64_t lin = 0, base = 0, js = 0, ns = 0;
+    std::int64_t lin = 0, js = 0, ns = 0;
+    std::vector<BaseGroup> groups;
   };
   std::vector<ArrayAccess> acc(p.num_arrays);
   for (const MicroOp& u : p.ops) {
     if (!ir::is_memory_op(u.op)) continue;
     ArrayAccess& a = acc[static_cast<std::size_t>(u.array)];
-    a.has_store = a.has_store || ir::is_store_op(u.op);
-    ++a.count;
+    const bool store = ir::is_store_op(u.op);
+    a.has_store = a.has_store || store;
     if (u.indirect >= 0) {
       a.indirect = true;
       continue;
@@ -91,31 +102,355 @@ void plan_strips(const LoopKernel& kernel,
     if (!a.seen) {
       a.seen = true;
       a.lin = u.lin;
-      a.base = u.base_off;
       a.js = u.j_scale;
       a.ns = u.n_scale;
-    } else if (u.lin != a.lin || u.base_off != a.base || u.j_scale != a.js ||
-               u.n_scale != a.ns) {
+    } else if (u.lin != a.lin || u.j_scale != a.js || u.n_scale != a.ns) {
       a.mixed = true;
+      continue;
+    }
+    BaseGroup* g = nullptr;
+    for (BaseGroup& cand : a.groups)
+      if (cand.base == u.base_off) g = &cand;
+    if (g == nullptr) {
+      a.groups.push_back({u.base_off, 0, false});
+      g = &a.groups.back();
+    }
+    ++g->count;
+    g->has_store = g->has_store || store;
+  }
+  for (const ArrayAccess& a : acc) {
+    if (!a.has_store) continue;
+    if (a.indirect || a.mixed) return;
+    for (const BaseGroup& g : a.groups) {
+      // lin == 0 pins a group to one element on every iteration: a lone
+      // store executes its lanes in iteration order and nothing observes the
+      // intermediates, but any second access in the group would see
+      // column-reordered state. (Other base groups touch other elements.)
+      if (a.lin == 0 && g.has_store && g.count > 1) return;
+      for (const BaseGroup& h : a.groups) {
+        if (&h == &g || (!g.has_store && !h.has_store)) continue;
+        if (a.lin == 0) continue;  // distinct fixed elements never collide
+        const std::int64_t delta = h.base - g.base;
+        if (delta % a.lin != 0) continue;  // never lands on the same element
+        const std::int64_t dist = std::abs(delta / a.lin);
+        p.strip_max_lanes = std::min(p.strip_max_lanes, dist);
+      }
     }
   }
-  // The identical-map argument is injective only when the inner coefficient
-  // is nonzero; with lin == 0 every iteration touches the SAME element, so a
-  // written array may carry at most that one access (a lone store executes
-  // its lanes in iteration order and nothing observes the intermediates —
-  // any second access would see column-reordered state).
-  for (const ArrayAccess& a : acc)
-    if (a.has_store &&
-        (a.indirect || a.mixed || (a.lin == 0 && a.count > 1)))
-      return;
+  if (p.strip_max_lanes < 2) return;  // a 1-wide strip is just row-major
 
   // All-serial programs gain nothing from strips; require real column work.
   p.strip_ok = !p.strip_column.empty();
 }
 
+/// Interchange legality for lower_interchanged: running the loop nest
+/// (outer j, inner i) in (i, j) order must preserve every dependence. With
+/// original order (j, i)-lexicographic, the flip is only observable through
+/// same-element access pairs whose distance vector has dj > 0 and di < 0 —
+/// those execute in the opposite order afterwards. Pairs with di == 0 are
+/// reordered only within the transposed lane dimension and are bounded by
+/// plan_strips on the transposed program; di > 0 pairs keep their order
+/// (i is the sequential dimension on both sides).
+bool interchange_legal(const LoopKernel& kernel) {
+  if (!kernel.has_outer || kernel.outer_trip < 2) return false;
+  if (kernel.outer_trip > 4096) return false;  // keeps the dj scan bounded
+  if (kernel.trip.num != 0 || kernel.trip.step <= 0) return false;
+  const std::int64_t iters = kernel.trip.iterations(0);  // n-independent
+  if (iters < 1) return false;
+  for (const Instruction& inst : kernel.body) {
+    if (inst.op == Opcode::Phi || inst.op == Opcode::Break) return false;
+    // The inner induction VALUE must coincide with the engine's outer index
+    // when it is used as data (the outer-slot fill provides the raw index).
+    if (inst.op == Opcode::IndVar &&
+        (kernel.trip.start != 0 || kernel.trip.step != 1))
+      return false;
+    // Cross-lane ops reduce/shuffle over the lane dimension, which the
+    // interchange re-aims at outer iterations — different semantics.
+    if (inst.op == Opcode::Broadcast || inst.op == Opcode::Splice ||
+        ir::is_reduce_op(inst.op))
+      return false;
+  }
+
+  struct Group {
+    std::int64_t base = 0;
+    bool has_store = false;
+  };
+  struct Arr {
+    bool seen = false, has_store = false, indirect = false, mixed = false;
+    std::int64_t lin = 0, js = 0, ns = 0;
+    std::vector<Group> groups;
+  };
+  std::vector<Arr> acc(kernel.arrays.size());
+  for (const Instruction& inst : kernel.body) {
+    if (!ir::is_memory_op(inst.op)) continue;
+    Arr& a = acc[static_cast<std::size_t>(inst.array)];
+    const bool store = ir::is_store_op(inst.op);
+    a.has_store = a.has_store || store;
+    if (inst.index.is_indirect()) {
+      a.indirect = true;
+      continue;
+    }
+    // Same folded form as the lowering: element = base + lin*i_idx + js*j.
+    const std::int64_t lin = inst.index.scale_i * kernel.trip.step;
+    const std::int64_t base =
+        inst.index.scale_i * kernel.trip.start + inst.index.offset;
+    if (!a.seen) {
+      a.seen = true;
+      a.lin = lin;
+      a.js = inst.index.scale_j;
+      a.ns = inst.index.n_scale;
+    } else if (lin != a.lin || inst.index.scale_j != a.js ||
+               inst.index.n_scale != a.ns) {
+      a.mixed = true;
+      continue;
+    }
+    Group* g = nullptr;
+    for (Group& cand : a.groups)
+      if (cand.base == base) g = &cand;
+    if (g == nullptr) {
+      a.groups.push_back({base, false});
+      g = &a.groups.back();
+    }
+    g->has_store = g->has_store || store;
+  }
+  for (const Arr& a : acc) {
+    if (!a.has_store) continue;
+    if (a.indirect || a.mixed) return false;
+    for (const Group& g : a.groups) {
+      for (const Group& h : a.groups) {
+        if (!g.has_store && !h.has_store) continue;
+        // Same element at distance (dj, di): lin*di + js*dj = Δ. Reject any
+        // solution with dj > 0 and -(iters-1) <= di <= -1.
+        const std::int64_t delta = h.base - g.base;
+        for (std::int64_t dj = 1; dj < kernel.outer_trip; ++dj) {
+          const std::int64_t rem = delta - a.js * dj;
+          if (a.lin == 0) {
+            if (rem == 0 && iters > 1) return false;  // collides at every di
+            continue;
+          }
+          if (rem % a.lin != 0) continue;
+          const std::int64_t di = rem / a.lin;
+          if (di <= -1 && di >= -(iters - 1)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Fusion post-pass: peephole-match adjacent micro-ops into SuperOps whose
+// intermediate values travel in registers instead of through the slot array.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool is_load_family(Opcode op) {
+  return op == Opcode::Load || op == Opcode::Gather ||
+         op == Opcode::StridedLoad;
+}
+
+[[nodiscard]] std::uint8_t handler_of_single(const MicroOp& u) {
+  if (u.op == Opcode::IndVar) return kHandlerIndVar;
+  if (is_load_family(u.op)) return kHandlerLoad;
+  if (ir::is_store_op(u.op)) return kHandlerStore;
+  if (u.op == Opcode::Break) return kHandlerBreak;
+  if (u.op == Opcode::Broadcast) return kHandlerBroadcast;
+  if (u.op == Opcode::Splice) return kHandlerSplice;
+  if (ir::is_reduce_op(u.op)) return kHandlerReduce;
+  return kHandlerElem;
+}
+
+/// Per-value use counts over the whole program: every operand, predicate, or
+/// indirect-index reference from any op, plus every phi update edge. A fused
+/// producer whose only uses are the substituted consumer operands needs no
+/// slot write at all.
+[[nodiscard]] std::vector<std::int32_t> count_uses(const LoweredProgram& p) {
+  std::vector<std::int32_t> uses(
+      static_cast<std::size_t>(p.num_values), 0);
+  const auto note = [&](std::int32_t slot_base) {
+    if (slot_base >= 0)
+      ++uses[static_cast<std::size_t>(slot_base / p.lanes)];
+  };
+  for (const MicroOp& u : p.ops) {
+    note(u.a);
+    note(u.b);
+    note(u.c);
+    note(u.pred);
+    note(u.indirect);
+  }
+  for (const PhiPlan& phi : p.phis) note(phi.update);
+  return uses;
+}
+
+/// Substitution mask: which of `g`'s value operands read `out`. Predicates
+/// and indirect indices are never substituted (the producer's slot write
+/// covers them via keep_first), except IndexLoad which substitutes the
+/// indirect index explicitly.
+[[nodiscard]] std::uint8_t sub_mask(const MicroOp& g, std::int32_t out) {
+  std::uint8_t sub = 0;
+  if (g.a == out) sub |= kSubA;
+  if (g.b == out) sub |= kSubB;
+  if (g.c == out) sub |= kSubC;
+  return sub;
+}
+
+[[nodiscard]] int popcount8(std::uint8_t v) {
+  int n = 0;
+  for (; v; v = static_cast<std::uint8_t>(v & (v - 1))) ++n;
+  return n;
+}
+
+/// Try to fuse the pair (and optionally triple) of ops starting at position
+/// `i` of `order`. On success fills `s` and returns the number of ops
+/// consumed (2 or 3); returns 0 when no pattern matches.
+///
+/// `column` relaxes the row-major aliasing restriction on LoadOpStore: in a
+/// strip column the plan_strips proof already guarantees no element is
+/// touched by two iterations, so interleaving the load/store of different
+/// lanes within one unit is safe even for same-array copies. Row-major at
+/// lanes > 1 must keep all loads of a block before its stores unless the
+/// arrays differ.
+int try_fuse(const LoweredProgram& p, const std::vector<std::int32_t>& order,
+             std::size_t i, const std::vector<std::int32_t>& uses,
+             bool column, SuperOp& s) {
+  const std::int32_t fi = order[i];
+  const MicroOp& f = p.ops[static_cast<std::size_t>(fi)];
+  if (i + 1 >= order.size()) return 0;
+  const std::int32_t gi = order[i + 1];
+  const MicroOp& g = p.ops[static_cast<std::size_t>(gi)];
+
+  const auto finish_pair = [&](FusedKind kind, std::uint8_t handler,
+                               std::uint8_t sub) {
+    s.kind = kind;
+    s.handler = handler;
+    s.sub = sub;
+    s.first = fi;
+    s.second = gi;
+    s.keep_first =
+        uses[static_cast<std::size_t>(f.out / p.lanes)] > popcount8(sub);
+    return 2;
+  };
+
+  // IndexLoad: any slot-producing op feeding the indirect index of a gather/
+  // scatter-free load. The index op's value is used as `(int64)v + base_off`.
+  if ((f.op == Opcode::IndVar || is_load_family(f.op) ||
+       ir::is_elementwise(f.op)) &&
+      is_load_family(g.op) && g.indirect == f.out) {
+    return finish_pair(FusedKind::IndexLoad, kHandlerIndexLoad, kSubIndirect);
+  }
+
+  if (is_load_family(f.op) && ir::is_elementwise(g.op)) {
+    const std::uint8_t sub = sub_mask(g, f.out);
+    if (sub != 0) {
+      // Load -> op -> store triple: the elementwise value feeds exactly one
+      // store's data operand.
+      if (i + 2 < order.size()) {
+        const std::int32_t hi = order[i + 2];
+        const MicroOp& h = p.ops[static_cast<std::size_t>(hi)];
+        const bool alias_safe =
+            column || p.lanes == 1 || h.array != f.array;
+        if (ir::is_store_op(h.op) && h.a == g.out && alias_safe &&
+            h.indirect != g.out && h.pred != g.out) {
+          s.kind = FusedKind::LoadOpStore;
+          s.handler = kHandlerLoadOpStore;
+          s.sub = sub;
+          s.sub2 = kSubA;
+          s.first = fi;
+          s.second = gi;
+          s.third = hi;
+          s.keep_first =
+              uses[static_cast<std::size_t>(f.out / p.lanes)] > popcount8(sub);
+          s.keep_second = uses[static_cast<std::size_t>(g.out / p.lanes)] > 1;
+          return 3;
+        }
+      }
+      return finish_pair(FusedKind::LoadOp, kHandlerLoadOp, sub);
+    }
+  }
+
+  // Multiply-accumulate: Mul feeding an Add/Sub. Both ops keep their own
+  // rounding step, so this is a fission of dispatch only, not an FMA.
+  if (f.op == Opcode::Mul && (g.op == Opcode::Add || g.op == Opcode::Sub) &&
+      ir::is_elementwise(f.op)) {
+    const std::uint8_t sub = sub_mask(g, f.out);
+    if (sub != 0) return finish_pair(FusedKind::MulAdd, kHandlerMulAdd, sub);
+  }
+
+  // Op-store: elementwise value consumed as a store's data operand.
+  if (ir::is_elementwise(f.op) && ir::is_store_op(g.op) && g.a == f.out &&
+      g.indirect != f.out && g.pred != f.out) {
+    return finish_pair(FusedKind::OpStore, kHandlerOpStore, kSubA);
+  }
+
+  return 0;
+}
+
+/// Build a fused schedule over `order` (indices into `p.ops`). Appends one
+/// SuperOp per dispatch unit; unfused ops become FusedKind::None singles.
+/// Returns the number of micro-ops absorbed into superop tails.
+std::int32_t build_schedule(const LoweredProgram& p,
+                            const std::vector<std::int32_t>& order,
+                            const std::vector<std::int32_t>& uses, bool column,
+                            std::vector<SuperOp>& out) {
+  std::int32_t absorbed = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    SuperOp s;
+    const int consumed = try_fuse(p, order, i, uses, column, s);
+    if (consumed > 0) {
+      out.push_back(s);
+      absorbed += consumed - 1;
+      i += static_cast<std::size_t>(consumed);
+      continue;
+    }
+    const MicroOp& u = p.ops[static_cast<std::size_t>(order[i])];
+    // Drop dead induction variables: once every affine subscript has folded
+    // the index into its (lin, base_off) form, the IndVar op often has no
+    // readers left. It is pure (no memory access, cannot throw), so skipping
+    // it is unobservable — slots are internal state.
+    if (u.op == ir::Opcode::IndVar &&
+        uses[static_cast<std::size_t>(u.out / p.lanes)] == 0) {
+      ++i;
+      continue;
+    }
+    s.kind = FusedKind::None;
+    s.handler = handler_of_single(u);
+    s.first = order[i];
+    out.push_back(s);
+    ++i;
+  }
+  return absorbed;
+}
+
+/// The lowering post-pass: fuse the row-major body into `schedule` (with the
+/// kHandlerEnd terminator the threaded dispatch loop relies on) and the strip
+/// column into `fused_column`.
+void fuse_program(LoweredProgram& p) {
+  const std::vector<std::int32_t> uses = count_uses(p);
+  std::vector<std::int32_t> row_order(p.ops.size());
+  for (std::size_t i = 0; i < p.ops.size(); ++i)
+    row_order[i] = static_cast<std::int32_t>(i);
+  p.fused_ops = build_schedule(p, row_order, uses, /*column=*/false,
+                               p.schedule);
+  SuperOp end;
+  end.kind = FusedKind::None;
+  end.handler = kHandlerEnd;
+  p.schedule.push_back(end);
+  if (p.strip_ok)
+    p.fused_ops += build_schedule(p, p.strip_column, uses, /*column=*/true,
+                                  p.fused_column);
+}
+
 }  // namespace
 
-LoweredProgram lower(const LoopKernel& kernel, int lanes) {
+namespace {
+
+/// Shared body of lower() and lower_interchanged(). With `interchanged` the
+/// lane dimension runs over the kernel's OUTER iterations (raw indices
+/// 0..outer_trip-1) and the engine's outer index runs over the kernel's
+/// inner iterations; memory coefficients are transposed to match. Callers
+/// must have checked interchange_legal() first.
+LoweredProgram lower_impl(const LoopKernel& kernel, int lanes,
+                          bool interchanged) {
   VECCOST_ASSERT(lanes >= 1, "lowering needs at least one lane");
   VECCOST_SPAN("lowering.lower_ns");
   VECCOST_COUNTER_ADD("lowering.programs", 1);
@@ -124,8 +459,15 @@ LoweredProgram lower(const LoopKernel& kernel, int lanes) {
   p.lanes = lanes;
   p.num_values = static_cast<std::int32_t>(kernel.body.size());
   p.num_arrays = kernel.arrays.size();
-  p.start = kernel.trip.start;
-  p.step = kernel.trip.step;
+  p.interchanged = interchanged;
+  if (interchanged) {
+    // Lanes cover raw outer indices; do_indvar must yield m + l directly.
+    p.start = 0;
+    p.step = 1;
+  } else {
+    p.start = kernel.trip.start;
+    p.step = kernel.trip.step;
+  }
 
   const auto slot = [lanes](ValueId v) -> std::int32_t {
     return v == ir::kNoValue ? -1 : static_cast<std::int32_t>(v) * lanes;
@@ -148,8 +490,18 @@ LoweredProgram lower(const LoopKernel& kernel, int lanes) {
             out, kernel.params[static_cast<std::size_t>(inst.param_index)]);
         continue;
       case Opcode::OuterIndVar:
+        if (interchanged) break;  // becomes the lane induction (IndVar op)
         p.outer_slots.push_back(out);
         continue;
+      case Opcode::IndVar:
+        if (interchanged) {
+          // Legality guarantees start == 0, step == 1, so the inner
+          // induction VALUE equals this program's outer index and the
+          // engine's outer-slot fill provides it.
+          p.outer_slots.push_back(out);
+          continue;
+        }
+        break;
       case Opcode::Phi: {
         PhiPlan phi;
         phi.slot = out;
@@ -168,7 +520,8 @@ LoweredProgram lower(const LoopKernel& kernel, int lanes) {
     }
 
     MicroOp u;
-    u.op = inst.op;
+    u.op = interchanged && inst.op == Opcode::OuterIndVar ? Opcode::IndVar
+                                                          : inst.op;
     u.round = rounding_of(inst.type.elem);
     u.elem = inst.type.elem;
     u.out = out;
@@ -190,6 +543,13 @@ LoweredProgram lower(const LoopKernel& kernel, int lanes) {
       if (idx.is_indirect()) {
         u.indirect = slot(idx.indirect);
         u.base_off = idx.offset;
+      } else if (interchanged) {
+        // Transposed coefficients: lanes walk the outer dimension, the
+        // program's outer index walks the original inner induction.
+        u.lin = idx.scale_j;
+        u.j_scale = idx.scale_i * kernel.trip.step;
+        u.base_off = idx.scale_i * kernel.trip.start + idx.offset;
+        u.n_scale = idx.n_scale;
       } else {
         u.lin = idx.scale_i * kernel.trip.step;
         u.base_off = idx.scale_i * kernel.trip.start + idx.offset;
@@ -201,6 +561,18 @@ LoweredProgram lower(const LoopKernel& kernel, int lanes) {
     op_source.push_back(static_cast<ValueId>(id));
   }
   plan_strips(kernel, op_source, p);
+  fuse_program(p);
+  VECCOST_COUNTER_ADD("engine.dispatch.fused_ops", p.fused_ops);
+  if (!p.ops.empty()) {
+    // Share of micro-ops dispatched as part of a multi-op unit, in percent
+    // (row-major schedule; a coarse fusion-coverage health signal).
+    std::int64_t covered = 0;
+    for (const SuperOp& s : p.schedule)
+      if (s.kind != FusedKind::None)
+        covered += 2 + (s.third >= 0 ? 1 : 0);
+    VECCOST_GAUGE_SET("engine.dispatch.superop_ratio",
+                      100 * covered / static_cast<std::int64_t>(p.ops.size()));
+  }
 
   // A phi whose update edge is a *different* phi would observe that phi's
   // already-committed value under a naive in-place commit; the engine stages
@@ -221,6 +593,108 @@ LoweredProgram lower(const LoopKernel& kernel, int lanes) {
     p.live_out_phis.push_back(static_cast<std::int32_t>(it - phi_ids.begin()));
   }
   return p;
+}
+
+}  // namespace
+
+LoweredProgram lower(const LoopKernel& kernel, int lanes) {
+  return lower_impl(kernel, lanes, /*interchanged=*/false);
+}
+
+std::unique_ptr<LoweredProgram> lower_interchanged(const LoopKernel& kernel,
+                                                   int lanes) {
+  if (!interchange_legal(kernel)) return nullptr;
+  VECCOST_COUNTER_ADD("lowering.interchanged_programs", 1);
+  return std::make_unique<LoweredProgram>(
+      lower_impl(kernel, lanes, /*interchanged=*/true));
+}
+
+const char* to_string(FusedKind kind) {
+  switch (kind) {
+    case FusedKind::None: return "none";
+    case FusedKind::LoadOp: return "load-op";
+    case FusedKind::OpStore: return "op-store";
+    case FusedKind::LoadOpStore: return "load-op-store";
+    case FusedKind::MulAdd: return "mul-add";
+    case FusedKind::IndexLoad: return "index-load";
+  }
+  return "?";
+}
+
+namespace {
+
+void dump_schedule(std::ostringstream& os, const char* label,
+                   const std::vector<SuperOp>& sched) {
+  os << label << ":";
+  for (const SuperOp& s : sched) {
+    if (s.handler == kHandlerEnd && s.first < 0) {
+      os << " end";
+      continue;
+    }
+    os << " [" << to_string(s.kind) << " h" << static_cast<int>(s.handler)
+       << " " << s.first;
+    if (s.second >= 0) os << "," << s.second;
+    if (s.third >= 0) os << "," << s.third;
+    if (s.sub) os << " sub=" << static_cast<int>(s.sub);
+    if (s.sub2) os << " sub2=" << static_cast<int>(s.sub2);
+    if (s.keep_first) os << " keep1";
+    if (s.keep_second) os << " keep2";
+    os << "]";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string to_text(const LoweredProgram& p) {
+  std::ostringstream os;
+  os << "program " << p.name << " lanes=" << p.lanes
+     << " values=" << p.num_values << " arrays=" << p.num_arrays
+     << " start=" << p.start << " step=" << p.step
+     << " direct_commit=" << (p.direct_commit ? 1 : 0)
+     << " strip_ok=" << (p.strip_ok ? 1 : 0);
+  if (p.strip_max_lanes != std::numeric_limits<std::int64_t>::max())
+    os << " strip_max_lanes=" << p.strip_max_lanes;
+  if (p.interchanged) os << " interchanged=1";
+  os << "\n";
+  for (const auto& [slot, value] : p.constants)
+    os << "const s" << slot << " = " << value << "\n";
+  for (const std::int32_t slot : p.outer_slots)
+    os << "outer s" << slot << "\n";
+  for (const PhiPlan& phi : p.phis)
+    os << "phi s" << phi.slot << " update=s" << phi.update
+       << " init=" << phi.init << " red=" << static_cast<int>(phi.reduction)
+       << " elem=" << static_cast<int>(phi.elem) << "\n";
+  for (const std::int32_t idx : p.live_out_phis) os << "live phi#" << idx << "\n";
+  for (std::size_t i = 0; i < p.ops.size(); ++i) {
+    const MicroOp& u = p.ops[i];
+    os << "op" << i << " " << ir::to_string(u.op)
+       << " out=s" << u.out << " a=s" << u.a << " b=s" << u.b << " c=s" << u.c
+       << " pred=s" << u.pred << " round=" << static_cast<int>(u.round);
+    if (u.int_divide) os << " intdiv";
+    if (ir::is_reduce_op(u.op))
+      os << " red=" << static_cast<int>(u.reduce)
+         << " elem=" << static_cast<int>(u.elem);
+    if (u.array >= 0) {
+      os << " arr=" << u.array;
+      if (u.indirect >= 0)
+        os << " ind=s" << u.indirect << "+" << u.base_off;
+      else
+        os << " idx=" << u.lin << "*i+" << u.j_scale << "*j+" << u.n_scale
+           << "*n+" << u.base_off;
+    }
+    os << "\n";
+  }
+  if (!p.strip_column.empty() || !p.strip_serial.empty()) {
+    os << "strip column:";
+    for (const std::int32_t i : p.strip_column) os << " " << i;
+    os << " serial:";
+    for (const std::int32_t i : p.strip_serial) os << " " << i;
+    os << "\n";
+  }
+  dump_schedule(os, "schedule", p.schedule);
+  if (!p.fused_column.empty()) dump_schedule(os, "fused_column", p.fused_column);
+  return os.str();
 }
 
 }  // namespace veccost::machine

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -128,6 +129,65 @@ struct MicroOp {
   std::int64_t n_scale = 0;         ///< affine index: problem-size coefficient
 };
 
+/// Fused micro-op units produced by the lowering peephole post-pass
+/// (`fuse_program`). Each kind names a producer/consumer pair (or triple)
+/// whose intermediate value travels in a register instead of through the
+/// slot array, with one dispatch for the whole unit.
+enum class FusedKind : std::uint8_t {
+  None,         ///< single micro-op, dispatched as today
+  LoadOp,       ///< load family -> elementwise consumer
+  OpStore,      ///< elementwise producer -> store family (the stored value)
+  LoadOpStore,  ///< load -> elementwise -> store, one pass per lane
+  MulAdd,       ///< Mul -> Add/Sub (multiply-accumulate, both roundings kept)
+  IndexLoad,    ///< index producer -> indirect load (fused gather address)
+};
+
+[[nodiscard]] const char* to_string(FusedKind kind);
+
+/// Handler ids of the threaded-dispatch continuation table: one per superop
+/// kind plus one per single-op category. `kHandlerEnd` terminates a
+/// schedule, so the engine's dispatch loop needs no bounds check.
+enum : std::uint8_t {
+  kHandlerEnd = 0,
+  kHandlerIndVar,
+  kHandlerLoad,
+  kHandlerStore,
+  kHandlerBreak,
+  kHandlerBroadcast,
+  kHandlerSplice,
+  kHandlerReduce,
+  kHandlerElem,
+  kHandlerLoadOp,
+  kHandlerOpStore,
+  kHandlerLoadOpStore,
+  kHandlerMulAdd,
+  kHandlerIndexLoad,
+  kHandlerCount,
+};
+
+/// Operand-substitution mask bits: which consumer operands take the fused
+/// producer's register value instead of reading the slot array.
+inline constexpr std::uint8_t kSubA = 1;
+inline constexpr std::uint8_t kSubB = 2;
+inline constexpr std::uint8_t kSubC = 4;
+inline constexpr std::uint8_t kSubIndirect = 8;
+
+/// One unit of the fused schedule: up to three micro-ops (indices into
+/// `LoweredProgram::ops`) executed per lane with intermediates in registers.
+/// `keep_first`/`keep_second` record whether the producer's slot must still
+/// be written because another op, predicate, index, or phi update reads it.
+struct SuperOp {
+  FusedKind kind = FusedKind::None;
+  std::uint8_t handler = kHandlerEnd;
+  std::uint8_t sub = 0;   ///< second op's substituted operands (kSub* bits)
+  std::uint8_t sub2 = 0;  ///< third op's substituted operands (triples)
+  bool keep_first = false;
+  bool keep_second = false;
+  std::int32_t first = -1;
+  std::int32_t second = -1;
+  std::int32_t third = -1;
+};
+
 /// Loop-carried state of one phi: the phi's slot holds the live value, the
 /// engine copies `update`'s lanes into it after every committed block.
 struct PhiPlan {
@@ -170,13 +230,61 @@ struct LoweredProgram {
   // amortizes the dispatch switch over kStripWidth iterations — the bulk of
   // the lowered engine's speedup on parallel kernels.
   bool strip_ok = false;
+  /// Widest strip the memory-safety proof licenses. Accesses to a written
+  /// array that share (lin, j_scale, n_scale) but differ in base offset can
+  /// only collide across iterations that are |Δbase / lin| apart; a strip
+  /// reorders accesses across at most (strip width) iterations, so column
+  /// execution stays bit-identical whenever width <= that distance.
+  /// INT64_MAX when the identical-map argument needs no distance bound.
+  std::int64_t strip_max_lanes = std::numeric_limits<std::int64_t>::max();
   std::vector<std::int32_t> strip_column;  ///< op indices, column-executable
   std::vector<std::int32_t> strip_serial;  ///< op indices, phi-dependent
+
+  // --- Fused superop schedules (peephole post-pass) -----------------------
+  // `schedule` covers every op in `ops` in original (row-major) order,
+  // terminated by a kHandlerEnd sentinel for the threaded dispatch loop.
+  // `fused_column` is the fused form of `strip_column` (no terminator); the
+  // strip-safety proof above also licenses its within-unit interleaving, so
+  // triples fuse there even when a row-major block could not. `strip_serial`
+  // stays unfused: the single-phi register-carry fast path already covers
+  // the hot reduction shapes.
+  std::vector<SuperOp> schedule;
+  std::vector<SuperOp> fused_column;
+  std::int32_t fused_ops = 0;  ///< micro-ops absorbed into superop tails
+
+  /// True when this program was lowered with the loop roles swapped (see
+  /// lower_interchanged): lanes run over the kernel's OUTER iterations and
+  /// the engine's outer index walks the kernel's inner iterations.
+  bool interchanged = false;
 };
 
 /// Lower `kernel` for execution at `lanes` lanes per block (1 for scalar
-/// kernels, vf for widened bodies). Pure; the result references nothing in
-/// the kernel and can outlive it.
+/// kernels, vf for widened bodies). Runs the fusion post-pass, so the
+/// returned program always carries a valid `schedule`/`fused_column`. Pure;
+/// the result references nothing in the kernel and can outlive it.
 [[nodiscard]] LoweredProgram lower(const ir::LoopKernel& kernel, int lanes);
+
+/// Loop-interchanged lowering for outer-parallel 2D kernels: the returned
+/// program runs the kernel's OUTER iterations as lanes and its INNER
+/// iterations as the engine's sequential outer index, turning inner-carried
+/// recurrences (which defeat the normal strip plan) into column-parallel
+/// sweeps — for TSVC's column-stride 2D loops this also converts the memory
+/// walk to stride-1. Returns nullptr when interchange cannot be proven
+/// bit-identical: the kernel must be outer-looped with a constant inner trip
+/// count, free of phis and breaks, and no two accesses to a written array
+/// may depend across iterations with a negative inner distance at a positive
+/// outer distance (classic interchange legality); within-inner distances are
+/// still bounded by `strip_max_lanes` on the result. The caller drives the
+/// program with outer index = inner iteration ordinal over [0, inner trip)
+/// and lane extent = kernel.outer_trip, and remains responsible for
+/// preserving throw behavior (see the engine's whole-range bounds check).
+[[nodiscard]] std::unique_ptr<LoweredProgram> lower_interchanged(
+    const ir::LoopKernel& kernel, int lanes);
+
+/// Canonical text dump of a lowered program: ops with resolved slots, the
+/// phi plan, the strip classification, and the fused schedules. Two programs
+/// with equal dumps execute identically; tests use this to assert the
+/// lowering (and fusion) survive an IR print -> parse round trip.
+[[nodiscard]] std::string to_text(const LoweredProgram& p);
 
 }  // namespace veccost::machine

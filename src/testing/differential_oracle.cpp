@@ -156,6 +156,25 @@ OracleVerdict DifferentialOracle::check(const ir::LoopKernel& scalar) const {
     return diff_exec(scalar, ws, rs, wl, rl, true, -1.0);
   });
 
+  // Dispatch-mode matrix: each mode routes through different machinery
+  // (switch loop, computed-goto superops, SoA strips, loop interchange), and
+  // all of it must stay bitwise-equal to the reference interpreter.
+  if (opts_.check_dispatch_modes && scalar_ok) {
+    for (const machine::DispatchKind kind :
+         {machine::DispatchKind::Switch, machine::DispatchKind::Threaded,
+          machine::DispatchKind::Batch}) {
+      run_config(verdict,
+                 std::string("dispatch:") + machine::to_string(kind), [&] {
+                   machine::Workload wd = init;
+                   const machine::ExecResult rd =
+                       machine::lowered_execute_scalar(scalar, wd, kind);
+                   return diff_exec(scalar, ws, rs, wd, rd, true, -1.0);
+                 });
+    }
+  } else if (!scalar_ok && opts_.check_dispatch_modes) {
+    verdict.configs_skipped += 3;
+  }
+
   if (opts_.check_metrics_toggle && scalar_ok) {
     run_config(verdict, "metrics:off", [&] {
       // The enabled flag is process-global; serialize so concurrent fuzz
@@ -212,6 +231,19 @@ OracleVerdict DifferentialOracle::check(const ir::LoopKernel& scalar) const {
             machine::reference_execute_vectorized(widened_kernel, scalar, wr);
         d = diff_exec(scalar, wr, rr, wv, rv, true, -1.0);
         if (!d.empty()) return "reference vs lowered (widened): " + d;
+        if (opts_.check_dispatch_modes) {
+          for (const machine::DispatchKind kind :
+               {machine::DispatchKind::Switch, machine::DispatchKind::Threaded,
+                machine::DispatchKind::Batch}) {
+            machine::Workload wk = init;
+            const machine::ExecResult rk = machine::lowered_execute_vectorized(
+                widened_kernel, scalar, wk, kind);
+            d = diff_exec(scalar, wr, rr, wk, rk, true, -1.0);
+            if (!d.empty())
+              return std::string("reference vs lowered (widened, ") +
+                     machine::to_string(kind) + "): " + d;
+          }
+        }
         return std::string{};
       });
     }

@@ -5,6 +5,10 @@
 //
 //   verify         IR verifier accepts the kernel
 //   engine:scalar  reference interpreter vs lowered engine, bitwise
+//   dispatch:<kind> reference vs lowered engine pinned to one dispatch mode
+//                  (switch / threaded / batch), bitwise — covers the fused
+//                  superop schedules, the strip-mined SoA paths and the
+//                  loop-interchange path, which only some modes take
 //   widen:vf=K     scalar vs widened execution at VF in {2,4,8,16} and the
 //                  natural VF (arrays bitwise, reduction live-outs within
 //                  tolerance), plus reference vs lowered on the widened
@@ -56,6 +60,10 @@ struct OracleOptions {
   /// obs registry (serialized internally); campaigns that care about counter
   /// exactness can turn it off.
   bool check_metrics_toggle = true;
+  /// Run every dispatch mode (switch / threaded / batch) against the
+  /// reference interpreter, scalar and widened. The modes promise bit
+  /// identity; this is the contract that licenses benchmarking any of them.
+  bool check_dispatch_modes = true;
   /// Run the model/analysis totality checks.
   bool check_models = true;
   /// Extra configuration: run this transform pipeline spec

@@ -233,6 +233,139 @@ TEST(ExecContextReuse, RepeatedAndInterleavedRunsAreDeterministic) {
   }
 }
 
+TEST_P(EngineSweep, DispatchModesMatchReference) {
+  // The dispatch matrix contract: switch, threaded and batch route through
+  // different machinery (per-op switch, computed-goto superops, SoA strips
+  // and the loop-interchange path) but must stay bitwise-equal to the
+  // reference interpreter on every kernel.
+  const ir::LoopKernel k = GetParam()->build();
+  const std::int64_t n = test_n(k);
+  Workload wl_reference = make_workload(k, n);
+  const auto rr = reference_execute_scalar(k, wl_reference);
+  for (const DispatchKind kind :
+       {DispatchKind::Switch, DispatchKind::Threaded, DispatchKind::Batch}) {
+    Workload wl = make_workload(k, n);
+    const auto rl = lowered_execute_scalar(k, wl, kind);
+    const std::string what = k.name + std::string(" under ") + to_string(kind);
+    expect_results_bit_identical(rl, rr, what);
+    expect_workloads_bit_identical(wl, wl_reference, what);
+  }
+}
+
+TEST(DispatchKindTest, ParseToStringRoundTripAndReject) {
+  for (const DispatchKind kind :
+       {DispatchKind::Switch, DispatchKind::Threaded, DispatchKind::Batch})
+    EXPECT_EQ(parse_dispatch_kind(to_string(kind)), kind);
+  EXPECT_THROW((void)parse_dispatch_kind("simd"), Error);
+  EXPECT_THROW((void)parse_dispatch_kind(""), Error);
+}
+
+TEST(FusionPass, FusesAndPrintsRoundTrip) {
+  // s000 (a[i] = b[i] + k) lowers to a load/add/store triple that the
+  // fusion pass must collapse, and the printer must show both schedules.
+  const KernelInfo* info = tsvc::find_kernel("s000");
+  ASSERT_NE(info, nullptr);
+  const LoweredProgram p = lower(info->build(), kStripWidth);
+  EXPECT_GT(p.fused_ops, 0);
+  const std::string text = to_text(p);
+  EXPECT_NE(text.find("load-op-store"), std::string::npos) << text;
+  EXPECT_NE(text.find("schedule:"), std::string::npos);
+  EXPECT_NE(text.find("fused_column:"), std::string::npos);
+  // Every scheduled superop names a handler consistent with its kind; the
+  // printer is the debugging surface for that invariant.
+  EXPECT_EQ(text.find("interchanged=1"), std::string::npos);
+}
+
+TEST(FusedBitIdentity, ReductionPredicationGatherStrided) {
+  // Fused superop schedules across kernel shapes that stress each handler
+  // family: reduction carries (vdotr), predicated stores (s271), gathers
+  // (s4112, vag) and strided accesses (s111). All dispatch modes must agree
+  // with the reference bitwise, and the bodies must actually fuse.
+  for (const char* name : {"vdotr", "s271", "s4112", "vag", "s111"}) {
+    const KernelInfo* info = tsvc::find_kernel(name);
+    ASSERT_NE(info, nullptr) << name;
+    const ir::LoopKernel k = info->build();
+    EXPECT_GT(lower(k, 1).fused_ops, 0) << name;
+    const std::int64_t n = test_n(k);
+    Workload wl_reference = make_workload(k, n);
+    const auto rr = reference_execute_scalar(k, wl_reference);
+    for (const DispatchKind kind :
+         {DispatchKind::Switch, DispatchKind::Threaded, DispatchKind::Batch}) {
+      Workload wl = make_workload(k, n);
+      const auto rl = lowered_execute_scalar(k, wl, kind);
+      const std::string what = std::string(name) + " under " + to_string(kind);
+      expect_results_bit_identical(rl, rr, what);
+      expect_workloads_bit_identical(wl, wl_reference, what);
+    }
+  }
+}
+
+TEST(BatchRunnerTest, ResidentSweepsMatchFreeEntryPoints) {
+  for (const char* name : {"s000", "vdotr", "s233"}) {
+    const KernelInfo* info = tsvc::find_kernel(name);
+    ASSERT_NE(info, nullptr) << name;
+    const ir::LoopKernel k = info->build();
+    const std::int64_t n = test_n(k);
+    BatchRunner runner(k);
+    Workload base = make_workload(k, n);
+    const auto want = lowered_execute_scalar(k, base, DispatchKind::Batch);
+    for (int round = 0; round < 3; ++round) {
+      Workload wl = make_workload(k, n);
+      const auto got = runner.run(wl);
+      const std::string what = std::string(name) + " round " +
+                               std::to_string(round);
+      expect_results_bit_identical(got, want, what);
+      expect_workloads_bit_identical(wl, base, what);
+    }
+  }
+}
+
+TEST(LoopInterchange, TransposedProgramIsLegalAndBitIdentical) {
+  // s233 is the canonical interchange candidate: a true inner recurrence
+  // (aa[i][j] = aa[i-1][j] + ...) that strip-mining rejects row-major
+  // (strip_max_lanes = 1) but whose OUTER iterations are independent.
+  const KernelInfo* info = tsvc::find_kernel("s233");
+  ASSERT_NE(info, nullptr);
+  const ir::LoopKernel k = info->build();
+  const auto row = lower(k, kStripWidth);
+  EXPECT_FALSE(row.strip_ok);
+  const auto tprog = lower_interchanged(k, kStripWidth);
+  ASSERT_NE(tprog, nullptr);
+  EXPECT_TRUE(tprog->interchanged);
+  EXPECT_TRUE(tprog->strip_ok);
+  EXPECT_GE(tprog->strip_max_lanes, kStripWidth);
+  EXPECT_NE(to_text(*tprog).find("interchanged=1"), std::string::npos);
+
+  Workload wl_reference = make_workload(k, k.default_n);
+  const auto rr = reference_execute_scalar(k, wl_reference);
+  Workload wl = make_workload(k, k.default_n);
+  const auto rl = lowered_execute_scalar(k, wl, DispatchKind::Batch);
+  expect_results_bit_identical(rl, rr, k.name);
+  expect_workloads_bit_identical(wl, wl_reference, k.name);
+}
+
+TEST(LoopInterchange, UnsafeKernelsAreNeverStripped) {
+  // s2111 (aa[j][i] from aa[j][i-1] and aa[j-1][i]) interchanges legally —
+  // no dependence has negative inner distance at positive outer distance —
+  // but its (di=0, dj=1) dependence makes neighboring LANES of the
+  // transposed program ordered: plan_strips must bound strip_max_lanes to 1
+  // so the engine never takes the interchange path for it.
+  const KernelInfo* s2111 = tsvc::find_kernel("s2111");
+  ASSERT_NE(s2111, nullptr);
+  const auto tprog = lower_interchanged(s2111->build(), kStripWidth);
+  ASSERT_NE(tprog, nullptr);
+  EXPECT_LT(tprog->strip_max_lanes, 2);
+  EXPECT_FALSE(tprog->strip_ok);
+  // 1D kernels have no outer loop to swap with; phis (vdotr's reduction)
+  // carry state across inner iterations and always refuse.
+  const KernelInfo* s000 = tsvc::find_kernel("s000");
+  ASSERT_NE(s000, nullptr);
+  EXPECT_EQ(lower_interchanged(s000->build(), kStripWidth), nullptr);
+  const KernelInfo* vdotr = tsvc::find_kernel("vdotr");
+  ASSERT_NE(vdotr, nullptr);
+  EXPECT_EQ(lower_interchanged(vdotr->build(), kStripWidth), nullptr);
+}
+
 TEST(LoweredEngine, BoundsViolationsStillThrow) {
   // The lowered engine keeps the reference interpreter's checked loads and
   // stores: machine_test relies on out-of-bounds access throwing.

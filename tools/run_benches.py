@@ -104,6 +104,12 @@ def warn_regressions(artifact, baseline_path, threshold):
                 print(f"  WARNING: {name} regressed "
                       f"{now / then - 1:+.0%} ({then:.1f} -> {now:.1f} {unit})")
                 warnings += 1
+        # A baseline timer absent from this run usually means a benchmark was
+        # renamed or dropped — a silent coverage loss, not a perf regression.
+        for name in sorted(set(base) - set(current)):
+            print(f"  WARNING: {name} is in the baseline but missing from "
+                  f"this run (renamed or removed benchmark?)")
+            warnings += 1
 
     print(f"comparing against {baseline_path} "
           f"(threshold {threshold:.0%}, informational only):")

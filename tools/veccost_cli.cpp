@@ -365,8 +365,8 @@ int cmd_fuzz(std::vector<std::string> args,
 
 /// `veccost stats [--json] [target|metrics.json]`. With a .json argument,
 /// render a previously saved metrics file (the round-trip path); otherwise
-/// run one suite measurement so the pipeline populates the registry, then
-/// render the live snapshot.
+/// run one suite measurement with semantics validation so the pipeline AND
+/// the execution engine populate the registry, then render the snapshot.
 int cmd_stats(std::vector<std::string> args) {
   bool json = false;
   for (auto it = args.begin(); it != args.end();) {
@@ -387,7 +387,13 @@ int cmd_stats(std::vector<std::string> args) {
     snapshot = obs::snapshot_from_json(text.str());
   } else {
     const auto& target = target_arg(args, 2);
-    (void)eval::Session(target).measure();
+    // Validation executes every kernel through the lowered engine, so the
+    // snapshot includes the engine/dispatch counters (fused_ops,
+    // superop_ratio, batch_sweeps, strip/interchange runs) — measurement
+    // alone is analytic and would leave them empty.
+    eval::SuiteRequest request;
+    request.validate_semantics = true;
+    (void)eval::Session(target).measure(request);
     snapshot = obs::Registry::global().snapshot();
   }
   if (json)
