@@ -2,6 +2,7 @@
 
 #include "costmodel/llvm_model.hpp"
 #include "machine/perf_model.hpp"
+#include "machine/targets.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "tsvc/kernel.hpp"
@@ -140,6 +141,58 @@ std::vector<SummaryRow> experiment_summary(const SuiteMeasurement& sm) {
   push(experiment_fit_speedup(sm, model::Fitter::SVR, analysis::FeatureSet::Rated).eval);
   push(experiment_fit_speedup(sm, model::Fitter::NNLS, analysis::FeatureSet::Extended).eval);
   return rows;
+}
+
+double CrossTargetResult::transfer_accuracy(std::size_t fit_index) const {
+  double sum = 0;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < targets.size(); ++j) {
+    if (j == fit_index) continue;
+    sum += matrix[fit_index][j].pearson;
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+CrossTargetResult experiment_crosstarget(model::Fitter fitter,
+                                         analysis::FeatureSet set,
+                                         const SessionOptions& opts) {
+  CrossTargetResult out;
+  out.fitter = fitter;
+  out.set = set;
+
+  // One Session-driven campaign per catalog target. The vectorizable subset
+  // (and so the dataset rows) differs per target — SVE's predication and
+  // hardware gathers admit kernels the fixed-width NEON targets reject.
+  std::vector<Matrix> xs;
+  std::vector<Vector> ys;
+  for (const machine::TargetDesc& target : machine::all_targets()) {
+    const Session session(target, opts);
+    const SuiteMeasurement sm = session.measure().suite;
+    out.targets.push_back(target.name);
+    out.dataset_sizes.push_back(sm.dataset_indices().size());
+    xs.push_back(sm.design_matrix(set));
+    ys.push_back(sm.measured_speedups());
+    out.models.push_back(
+        model::fit_model(xs.back(), ys.back(), fitter, set, {}, target.name));
+  }
+
+  // Transfer matrix: weights from target i, dataset from target j. The
+  // features are scalar-kernel properties, so rows are comparable across
+  // targets; only the weights carry machine identity.
+  out.matrix.resize(out.targets.size());
+  for (std::size_t i = 0; i < out.targets.size(); ++i) {
+    out.matrix[i].resize(out.targets.size());
+    for (std::size_t j = 0; j < out.targets.size(); ++j) {
+      Vector pred;
+      pred.reserve(xs[j].rows());
+      for (std::size_t r = 0; r < xs[j].rows(); ++r)
+        pred.push_back(out.models[i].predict_features(xs[j].row(r)));
+      out.matrix[i][j].pearson = pearson(pred, ys[j]);
+      out.matrix[i][j].rmse = rmse(pred, ys[j]);
+    }
+  }
+  return out;
 }
 
 }  // namespace veccost::eval

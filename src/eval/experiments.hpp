@@ -6,6 +6,7 @@
 #include "costmodel/classifier.hpp"
 #include "costmodel/trainer.hpp"
 #include "eval/measurement.hpp"
+#include "eval/session.hpp"
 
 namespace veccost::eval {
 
@@ -69,5 +70,37 @@ struct SummaryRow {
 };
 
 [[nodiscard]] std::vector<SummaryRow> experiment_summary(const SuiteMeasurement& sm);
+
+/// One cell of the cross-target transfer matrix: how well the model fitted
+/// on the row's target predicts the column target's measured speedups.
+struct CrossTargetCell {
+  double pearson = 0;
+  double rmse = 0;
+};
+
+/// The multi-target portfolio result (`veccost crosstarget`,
+/// results/fig_crosstarget.txt): one linear model per catalog target plus
+/// the full fit-on-A/predict-B transfer-accuracy matrix. Features are
+/// computed from the scalar kernel, so a row of target A's design matrix is
+/// comparable to target B's — what transfers (or fails to) is the weights.
+struct CrossTargetResult {
+  model::Fitter fitter = model::Fitter::NNLS;
+  analysis::FeatureSet set = analysis::FeatureSet::Rated;
+  std::vector<std::string> targets;              ///< catalog order
+  std::vector<std::size_t> dataset_sizes;        ///< vectorizable rows per target
+  std::vector<model::LinearSpeedupModel> models; ///< fitted per target
+  std::vector<std::vector<CrossTargetCell>> matrix;  ///< [fit target][eval target]
+
+  /// Mean off-diagonal pearson of one fit target's row: how well its
+  /// weights travel to the other machines.
+  [[nodiscard]] double transfer_accuracy(std::size_t fit_index) const;
+};
+
+/// Fit one speedup model per catalog target (each suite measured through an
+/// eval::Session with `opts` — parallel and cached like any other campaign)
+/// and cross-predict every target's dataset with every target's weights.
+/// Deterministic and bit-identical across SessionOptions::jobs.
+[[nodiscard]] CrossTargetResult experiment_crosstarget(
+    model::Fitter fitter, analysis::FeatureSet set, const SessionOptions& opts);
 
 }  // namespace veccost::eval

@@ -158,8 +158,11 @@ KernelMeasurement measure_kernel(const tsvc::KernelInfo& info,
   const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
   m.scalar_cost_per_iter =
       m.scalar_cycles / static_cast<double>(std::max<std::int64_t>(iters * outer, 1));
-  const std::int64_t bodies =
-      std::max<std::int64_t>((iters / std::max(m.vf, 1)) * outer, 1);
+  const std::int64_t vf = std::max(m.vf, 1);
+  // Predicated whole loops run the tail as one extra governed block.
+  const std::int64_t blocks =
+      transformed.predicated ? (iters + vf - 1) / vf : iters / vf;
+  const std::int64_t bodies = std::max<std::int64_t>(blocks * outer, 1);
   m.vector_cost_per_body = m.vector_cycles / static_cast<double>(bodies);
 
   m.llvm_predicted_speedup =
@@ -222,14 +225,6 @@ SemanticsCheck validate_kernel_semantics(const tsvc::KernelInfo& info,
     ++check.configurations;
   }
   return check;
-}
-
-SuiteMeasurement measure_suite(const machine::TargetDesc& target, double noise) {
-  SuiteMeasurement out;
-  out.target_name = target.name;
-  for (const auto& info : tsvc::suite())
-    out.kernels.push_back(measure_kernel(info, target, noise));
-  return out;
 }
 
 }  // namespace veccost::eval

@@ -113,13 +113,4 @@ SemanticsCheck validate_kernel_semantics(const tsvc::KernelInfo& info,
                                          machine::WorkloadPool& pool,
                                          std::int64_t n = 0);
 
-/// Deprecated pre-Session entry point: measure the whole suite on `target`,
-/// serially, in suite order, with no cache. Deterministic, and bit-identical
-/// to eval::Session::measure (session.hpp) at any jobs count — the
-/// differential tests keep it around as an independent serial reference.
-/// `noise` sets the relative amplitude of the simulated measurement jitter.
-[[deprecated("use eval::Session(target).measure(...)")]]
-[[nodiscard]] SuiteMeasurement measure_suite(
-    const machine::TargetDesc& target, double noise = machine::kDefaultNoise);
-
 }  // namespace veccost::eval

@@ -105,4 +105,30 @@ void write_scatter_csv(std::ostream& os, const SuiteMeasurement& sm,
                    CsvWriter::cell(measured[i])});
 }
 
+void print_crosstarget(std::ostream& os, const CrossTargetResult& r) {
+  os << "cross-target portfolio: " << model::to_string(r.fitter) << " / "
+     << analysis::to_string(r.set) << " features, " << r.targets.size()
+     << " targets\n\n";
+
+  TextTable sizes({"target", "dataset rows", "fit pearson (diag)"});
+  for (std::size_t i = 0; i < r.targets.size(); ++i)
+    sizes.add_row({r.targets[i], std::to_string(r.dataset_sizes[i]),
+                   TextTable::num(r.matrix[i][i].pearson)});
+  os << sizes.to_string() << '\n';
+
+  std::vector<std::string> header = {"fit \\ eval"};
+  header.insert(header.end(), r.targets.begin(), r.targets.end());
+  header.push_back("transfer");
+  TextTable t(header);
+  for (std::size_t i = 0; i < r.targets.size(); ++i) {
+    std::vector<std::string> row = {r.targets[i]};
+    for (std::size_t j = 0; j < r.targets.size(); ++j)
+      row.push_back(TextTable::num(r.matrix[i][j].pearson));
+    row.push_back(TextTable::num(r.transfer_accuracy(i)));
+    t.add_row(row);
+  }
+  os << "weight-transfer pearson (row weights on column dataset):\n"
+     << t.to_string();
+}
+
 }  // namespace veccost::eval

@@ -35,4 +35,10 @@ void print_decision_outcomes(std::ostream& os,
 void write_scatter_csv(std::ostream& os, const SuiteMeasurement& sm,
                        const ModelEval& eval);
 
+/// The multi-target portfolio report (`veccost crosstarget`,
+/// bench/fig_crosstarget): per-target fit quality on the diagonal, the full
+/// weight-transfer pearson matrix, and each target's mean off-diagonal
+/// transfer accuracy.
+void print_crosstarget(std::ostream& os, const CrossTargetResult& r);
+
 }  // namespace veccost::eval

@@ -107,11 +107,4 @@ SuiteResult Session::measure(const SuiteRequest& request) const {
   return result;
 }
 
-SuiteMeasurement measure_suite_cached(const machine::TargetDesc& target,
-                                      double noise) {
-  SuiteRequest request;
-  request.noise = noise;
-  return Session(target).measure(request).suite;
-}
-
 }  // namespace veccost::eval

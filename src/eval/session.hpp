@@ -2,18 +2,17 @@
 //
 // A Session owns everything one measurement campaign needs: the target, the
 // resolved options (jobs, cache policy, pipeline version), the measurement
-// cache handle, and access to the observability registry. It replaces the
-// three overlapping entry points that grew up around the pipeline
-// (eval::measure_suite, ParallelRunner::measure_suite and
-// measure_suite_cached); the first two survive only as thin deprecated
-// wrappers below / in measurement.hpp.
+// cache handle, and access to the observability registry. It replaced the
+// three overlapping serial/cached suite entry points that grew up around
+// the pipeline, all of which are gone now — Session is the only way to
+// measure the suite.
 //
 // Ownership rule for statistics: everything a measure() call learns about
 // itself — cache hits/misses, semantics configurations validated — travels
 // in its SuiteResult, never in Session state. That makes measure() const and
 // safe to call concurrently from any number of threads on one Session (the
 // old ParallelRunner kept the counters as members, so two concurrent
-// measure_suite calls silently clobbered each other's stats). Process-wide
+// suite measurements silently clobbered each other's stats). Process-wide
 // aggregates of the same events land in the obs registry.
 //
 // Determinism contract (unchanged from the ParallelRunner): results are
@@ -110,12 +109,5 @@ class Session {
   SessionOptions opts_;
   MeasurementCache cache_;
 };
-
-/// Deprecated pre-Session entry point: one cached, parallel suite
-/// measurement on an environment-default Session, discarding the per-call
-/// statistics.
-[[deprecated("use eval::Session(target).measure(...)")]]
-[[nodiscard]] SuiteMeasurement measure_suite_cached(
-    const machine::TargetDesc& target, double noise = machine::kDefaultNoise);
 
 }  // namespace veccost::eval

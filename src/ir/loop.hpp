@@ -71,6 +71,13 @@ struct LoopKernel {
   /// Vectorization factor this kernel was widened by; 1 = scalar kernel.
   int vf = 1;
 
+  /// Predicated whole-loop regime (SVE-style `llv<vl>`): the loop has no
+  /// scalar tail — the final partial block executes only the active-lane
+  /// prefix under a whilelt-style governing predicate. Only meaningful when
+  /// vf > 1; requires every phi to be a reduction (the verifier enforces
+  /// both).
+  bool predicated = false;
+
   // --- helpers ------------------------------------------------------------
   [[nodiscard]] const Instruction& instr(ValueId id) const;
   [[nodiscard]] Type value_type(ValueId id) const;

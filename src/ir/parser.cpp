@@ -247,6 +247,7 @@ class Parser {
     kernel_.default_n = c.integer();
     c.expect("vf=");
     kernel_.vf = static_cast<int>(c.integer());
+    if (c.try_consume("predicated")) kernel_.predicated = true;
     // Optional description line: "  ; <text>".
     if (cur_ < lines_.size()) {
       const std::string& line = lines_[cur_].first;

@@ -94,7 +94,9 @@ std::string print(const LoopKernel& k, ValueId id) {
 std::string print(const LoopKernel& k) {
   std::ostringstream os;
   os << "kernel " << k.name << " (" << k.category << ") n=" << k.default_n
-     << " vf=" << k.vf << '\n';
+     << " vf=" << k.vf;
+  if (k.predicated) os << " predicated";
+  os << '\n';
   if (!k.description.empty()) os << "  ; " << k.description << '\n';
   os << "arrays:";
   for (const auto& a : k.arrays) {

@@ -36,6 +36,22 @@ class Verifier {
     if (k_.trip.den <= 0) error("trip denominator must be positive");
     if (k_.vf < 1) error("vf must be >= 1");
     if (k_.has_outer && k_.outer_trip < 1) error("outer trip must be >= 1");
+    if (k_.predicated) {
+      // Predicated whole loops have no scalar tail, so anything whose
+      // semantics depend on the last lane of the final block (first-order
+      // recurrences via Splice, breaks) is illegal; reductions survive the
+      // partial block because inactive accumulator lanes keep their values.
+      if (k_.vf < 2) error("predicated kernel must have vf > 1");
+      for (const Instruction& inst : k_.body) {
+        if (inst.op == Opcode::Splice)
+          error("predicated kernel must not contain Splice "
+                "(first-order recurrence)");
+        if (inst.op == Opcode::Break)
+          error("predicated kernel must not contain Break");
+        if (inst.op == Opcode::Phi && inst.reduction == ReductionKind::None)
+          error("predicated kernel phi must be a reduction");
+      }
+    }
   }
 
   bool valid_ref(ValueId id, ValueId ref) const {

@@ -210,6 +210,63 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
   return lowered_execute_vectorized(vec, scalar, wl, dispatch_kind());
 }
 
+namespace {
+
+/// Predicated whole-loop execution (llv<vl>): no scalar remainder engine —
+/// the final partial block runs in the vector body under a whilelt-style
+/// governing predicate (run_partial_block). The verifier guarantees every
+/// phi is a reduction, so the accumulator's inactive lanes keep their
+/// committed partial values and live_outs' horizontal reduce recovers the
+/// exact total. Semantics match reference_execute_predicated bit for bit.
+ExecResult lowered_execute_predicated(const ir::LoopKernel& vec,
+                                      const ir::LoopKernel& scalar,
+                                      Workload& wl, DispatchKind kind) {
+  VECCOST_COUNTER_ADD("engine.predicated_executions", 1);
+  const std::int64_t iters = scalar.trip.iterations(wl.n);
+  const std::int64_t vf = vec.vf;
+  const std::int64_t main_iters = (iters / vf) * vf;
+  const std::int64_t tail = iters - main_iters;
+  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  const bool fused = kind != DispatchKind::Switch;
+
+  const std::shared_ptr<const LoweredProgram> vprog =
+      cached_lowering(vec, static_cast<int>(vf));
+
+  if (kind == DispatchKind::Batch && vprog->strip_ok &&
+      vprog->strip_max_lanes >= kStripWidth && vprog->phis.empty()) {
+    // SoA batch path: a strip-provable phi-free body is a pure per-iteration
+    // map, so per-iteration results do not depend on the lane count.
+    // run_strips handles the final partial strip natively — exactly the
+    // predicated tail's active-prefix semantics — so one call covers the
+    // whole range, tail included.
+    VECCOST_COUNTER_ADD("engine.batch_vector_runs", 1);
+    const std::shared_ptr<const LoweredProgram> bprog =
+        cached_lowering(vec, kStripWidth);
+    LoweredEngine<0, NoTrace> bengine(*bprog, wl, thread_exec_context(0));
+    ExecResult result;
+    std::vector<double> carries;
+    bengine.reset_carries(carries);
+    for (std::int64_t j = 0; j < outer; ++j)
+      result.iterations += bengine.run_strips(j, iters, carries, true);
+    return result;  // no phis, so no live-outs
+  }
+
+  LoweredEngine<0, NoTrace> vengine(*vprog, wl, thread_exec_context(0));
+  ExecResult result;
+  for (std::int64_t j = 0; j < outer; ++j) {
+    vengine.reset_phis();
+    result.iterations += fused ? vengine.run_schedule(j, 0, main_iters)
+                               : vengine.run_range(j, 0, main_iters);
+    if (tail != 0)
+      result.iterations +=
+          vengine.run_partial_block(j, main_iters, static_cast<int>(tail));
+  }
+  result.live_outs = vengine.live_outs();
+  return result;
+}
+
+}  // namespace
+
 ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
                                       const ir::LoopKernel& scalar,
                                       Workload& wl, DispatchKind kind) {
@@ -217,6 +274,8 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
   VECCOST_COUNTER_ADD("engine.vector_executions", 1);
   VECCOST_ASSERT(!vec.has_break() && !scalar.has_break(),
                  "cannot vectorize a loop with break");
+  if (vec.predicated)
+    return lowered_execute_predicated(vec, scalar, wl, kind);
   const std::int64_t iters = scalar.trip.iterations(wl.n);
   const std::int64_t vf = vec.vf;
   const std::int64_t main_iters = (iters / vf) * vf;

@@ -385,6 +385,39 @@ class LoweredEngine {
     return executed;
   }
 
+  /// Run ONE partial block of `active` < lanes() iterations starting at m —
+  /// the tail of a predicated whole-loop execution (llv<vl>). The unfused op
+  /// list runs with the lane bound clamped to `active` (the governing
+  /// predicate masks the rest), and the phi commit covers only the active
+  /// lanes, so inactive reduction accumulator lanes keep their previously
+  /// committed partial values for the exit-time horizontal reduce.
+  /// Bit-identical regardless of the dispatch mode used for the main blocks
+  /// (fused schedules equal the unfused list per lane by construction).
+  std::int64_t run_partial_block(std::int64_t j, std::int64_t m, int active) {
+    const int full = lanes();
+    VECCOST_ASSERT(active > 0 && active < full,
+                   "partial block must cover a strict lane prefix");
+    double* const s = ctx_.slots.data();
+    double* const* const bases = ctx_.bases.data();
+    const std::int64_t* const lengths = ctx_.lengths.data();
+    {
+      const double jv = static_cast<double>(j);
+      for (const std::int32_t base : p_.outer_slots)
+        for (int l = 0; l < active; ++l) s[base + l] = jv;
+    }
+    for (const MicroOp& u : p_.ops) {
+      const bool ok = exec_op(u, j, m, active, s, bases, lengths, ctx_.n,
+                              p_.start, p_.step);
+      VECCOST_ASSERT(ok, "break inside predicated block of " + p_.name);
+    }
+    const PhiPlan* const phis = p_.phis.data();
+    const PhiPlan* const phis_end = phis + p_.phis.size();
+    if (phis != phis_end)
+      commit_phi_lanes(active, s, phis, phis_end, p_.direct_commit,
+                       p_.direct_commit ? nullptr : ctx_.phi_scratch.data());
+    return active;
+  }
+
   /// Threaded-dispatch execution of iterations [m_lo, m_hi) at outer index
   /// j: one indirect branch per fused schedule unit (computed goto where the
   /// compiler supports `&&label`; a switch loop over the same superops

@@ -30,7 +30,7 @@ class Interp {
  public:
   Interp(const LoopKernel& k, Workload& wl, int lanes,
          const AccessObserver* observer = nullptr)
-      : k_(k), wl_(wl), lanes_(lanes), observer_(observer),
+      : k_(k), wl_(wl), lanes_(lanes), active_(lanes), observer_(observer),
         vals_(k.body.size()) {
     VECCOST_ASSERT(wl.arrays.size() == k.arrays.size(),
                    "workload/array mismatch for " + k.name);
@@ -80,6 +80,23 @@ class Interp {
       commit_phis();
     }
     return executed;
+  }
+
+  /// Run ONE partial block of `active` < lanes_ iterations starting at m —
+  /// the predicated whole-loop tail. Only the active-lane prefix executes
+  /// (the governing predicate masks the rest): per-lane op loops and the phi
+  /// commit stop at `active`, so inactive reduction accumulator lanes keep
+  /// their previously committed values and the final horizontal reduce
+  /// recovers the exact total.
+  std::int64_t run_partial_block(std::int64_t j, std::int64_t m, int active) {
+    VECCOST_ASSERT(active > 0 && active < lanes_,
+                   "partial block must cover a strict lane prefix");
+    active_ = active;
+    const bool ok = run_block(j, m);
+    VECCOST_ASSERT(ok, "break inside predicated block of " + k_.name);
+    commit_phis();
+    active_ = lanes_;
+    return active;
   }
 
   [[nodiscard]] bool broke() const { return broke_; }
@@ -144,7 +161,7 @@ class Interp {
                     k_.params[static_cast<std::size_t>(inst.param_index)]);
           break;
         case Opcode::IndVar:
-          for (int l = 0; l < lanes_; ++l)
+          for (int l = 0; l < active_; ++l)
             out[static_cast<std::size_t>(l)] =
                 static_cast<double>(start + (m + l) * step);
           break;
@@ -158,7 +175,7 @@ class Interp {
         case Opcode::Gather:
         case Opcode::StridedLoad: {
           auto& buf = wl_.arrays[static_cast<std::size_t>(inst.array)];
-          for (int l = 0; l < lanes_; ++l) {
+          for (int l = 0; l < active_; ++l) {
             if (inst.predicate != ir::kNoValue && lane_of(inst.predicate, l) == 0.0) {
               out[static_cast<std::size_t>(l)] = 0.0;
               continue;
@@ -176,7 +193,7 @@ class Interp {
         case Opcode::Scatter:
         case Opcode::StridedStore: {
           auto& buf = wl_.arrays[static_cast<std::size_t>(inst.array)];
-          for (int l = 0; l < lanes_; ++l) {
+          for (int l = 0; l < active_; ++l) {
             if (inst.predicate != ir::kNoValue && lane_of(inst.predicate, l) == 0.0)
               continue;
             const std::int64_t i = start + (m + l) * step;
@@ -197,7 +214,7 @@ class Interp {
           break;
         }
         case Opcode::Broadcast:
-          for (int l = 0; l < lanes_; ++l)
+          for (int l = 0; l < active_; ++l)
             out[static_cast<std::size_t>(l)] = lane_of(inst.operands[0], 0);
           break;
         case Opcode::Splice: {
@@ -235,7 +252,7 @@ class Interp {
   void compute_elementwise(const Instruction& inst, std::vector<double>& out,
                            std::int64_t /*j*/, std::int64_t /*m*/) {
     const ScalarType t = inst.type.elem;
-    for (int l = 0; l < lanes_; ++l) {
+    for (int l = 0; l < active_; ++l) {
       const double a = inst.num_operands() > 0 ? lane_of(inst.operands[0], l) : 0.0;
       const double b = inst.num_operands() > 1 ? lane_of(inst.operands[1], l) : 0.0;
       const double c = inst.num_operands() > 2 ? lane_of(inst.operands[2], l) : 0.0;
@@ -310,7 +327,15 @@ class Interp {
     std::size_t p = 0;
     for (const ValueId id : phi_ids_) {
       const Instruction& phi = k_.instr(id);
-      phi_state_[p] = vals_[static_cast<std::size_t>(phi.phi_update)];
+      const auto& upd = vals_[static_cast<std::size_t>(phi.phi_update)];
+      if (active_ == lanes_) {
+        phi_state_[p] = upd;
+      } else {
+        // Partial block: inactive lanes keep their accumulated values.
+        for (int l = 0; l < active_; ++l)
+          phi_state_[p][static_cast<std::size_t>(l)] =
+              upd.size() == 1 ? upd[0] : upd[static_cast<std::size_t>(l)];
+      }
       ++p;
     }
   }
@@ -318,6 +343,8 @@ class Interp {
   const LoopKernel& k_;
   Workload& wl_;
   int lanes_;
+  int active_;  ///< lane bound for the current block; < lanes_ only in the
+                ///< predicated whole-loop tail (run_partial_block)
   const AccessObserver* observer_;
   std::vector<std::vector<double>> vals_;
   std::vector<ValueId> phi_ids_;
@@ -337,6 +364,34 @@ std::vector<double> collect_live_outs(const LoopKernel& k, const Interp& interp)
     out.push_back(finals[static_cast<std::size_t>(it - phis.begin())]);
   }
   return out;
+}
+
+/// Predicated whole-loop execution (llv<vl>): every iteration runs in the
+/// vector body — the final partial block is governed by a whilelt-style
+/// predicate instead of falling back to a scalar epilogue. The verifier
+/// guarantees every phi is a reduction, so the vector accumulator's inactive
+/// lanes simply keep their previous partial values and the exit-time
+/// horizontal reduce recovers the exact scalar total.
+ExecResult reference_execute_predicated(const LoopKernel& vec,
+                                        const LoopKernel& scalar,
+                                        Workload& wl) {
+  const std::int64_t iters = scalar.trip.iterations(wl.n);
+  const std::int64_t vf = vec.vf;
+  const std::int64_t main_iters = (iters / vf) * vf;
+  const std::int64_t tail = iters - main_iters;
+
+  Interp vinterp(vec, wl, static_cast<int>(vf));
+  ExecResult result;
+  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  for (std::int64_t j = 0; j < outer; ++j) {
+    vinterp.reset_phis();
+    result.iterations += vinterp.run_range(j, 0, main_iters);
+    if (tail != 0)
+      result.iterations +=
+          vinterp.run_partial_block(j, main_iters, static_cast<int>(tail));
+  }
+  result.live_outs = collect_live_outs(vec, vinterp);
+  return result;
 }
 
 }  // namespace
@@ -455,6 +510,7 @@ ExecResult reference_execute_vectorized(const ir::LoopKernel& vec,
   VECCOST_ASSERT(vec.vf > 1, "execute_vectorized needs a widened kernel");
   VECCOST_ASSERT(!vec.has_break() && !scalar.has_break(),
                  "cannot vectorize a loop with break");
+  if (vec.predicated) return reference_execute_predicated(vec, scalar, wl);
   const std::int64_t iters = scalar.trip.iterations(wl.n);
   const std::int64_t vf = vec.vf;
   const std::int64_t main_iters = (iters / vf) * vf;

@@ -216,13 +216,19 @@ PerfEstimate estimate(const LoopKernel& kernel, const TargetDesc& target,
       std::max({est.throughput_bound, est.latency_bound, est.memory_bound});
   const double rest = est.throughput_bound + est.latency_bound +
                       est.memory_bound - dominant;
-  const double bookkeeping = kernel.vf > 1 ? target.vec_loop_overhead_cycles
-                                           : target.loop_overhead_cycles;
+  double bookkeeping = kernel.vf > 1 ? target.vec_loop_overhead_cycles
+                                     : target.loop_overhead_cycles;
+  if (kernel.predicated)
+    // whilelt + predicate bookkeeping per block of the governed loop.
+    bookkeeping += target.vl.whilelt_cycles + target.vl.predicate_op_cycles;
   est.cycles_per_body = dominant + 0.25 * rest + bookkeeping;
 
   // Per-entry overheads.
   if (kernel.vf > 1) {
-    est.entry_overhead = target.vec_prologue_cycles;
+    // Predicated whole loops swap the fixed-VF prologue (runtime VF probe,
+    // remainder setup) for the VL-agnostic loop setup (ptrue/whilelt seed).
+    est.entry_overhead = kernel.predicated ? target.vl.whole_loop_setup_cycles
+                                           : target.vec_prologue_cycles;
     for (const ir::ValueId phi_id : kernel.phis()) {
       const Instruction& phi = kernel.instr(phi_id);
       if (phi.reduction != ir::ReductionKind::None)
@@ -234,7 +240,12 @@ PerfEstimate estimate(const LoopKernel& kernel, const TargetDesc& target,
   }
 
   const std::int64_t iters = kernel.trip.iterations(n);
-  est.body_executions = kernel.vf > 1 ? iters / kernel.vf : iters;
+  // A predicated whole loop runs the tail as one extra governed block
+  // instead of handing it to a scalar epilogue: ceil instead of floor.
+  est.body_executions = kernel.vf <= 1 ? iters
+                        : kernel.predicated
+                            ? (iters + kernel.vf - 1) / kernel.vf
+                            : iters / kernel.vf;
   const std::int64_t outer = kernel.has_outer ? kernel.outer_trip : 1;
   est.total_cycles =
       outer * (est.body_executions * est.cycles_per_body + est.entry_overhead);
@@ -265,6 +276,9 @@ double measure_vector_cycles(const LoopKernel& vec, const LoopKernel& scalar,
                              double noise) {
   VECCOST_ASSERT(vec.vf > 1, "measure_vector_cycles needs a widened kernel");
   const PerfEstimate vest = estimate(vec, target, n);
+  // Predicated whole loops have no scalar epilogue: the tail is one extra
+  // governed vector block, already counted by estimate()'s ceil division.
+  if (vec.predicated) return vest.total_cycles * jitter(vec, target, noise);
   const PerfEstimate sest = estimate(scalar, target, n);
   const std::int64_t iters = scalar.trip.iterations(n);
   const std::int64_t remainder = iters - (iters / vec.vf) * vec.vf;

@@ -22,6 +22,32 @@ namespace veccost::machine {
 /// Execution resource an instruction class occupies.
 enum class Resource : std::uint8_t { Memory, FloatSimd, Integer, None };
 
+/// Number of instruction classes the timing tables are indexed by. Sized
+/// from the enum itself so adding an OpClass grows the tables instead of
+/// silently aliasing slots.
+inline constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(ir::OpClass::Control) + 1;
+
+/// Vector-length / predication capabilities: what an SVE-style target can do
+/// beyond fixed-width SIMD. A target with `vl_agnostic` set supports the
+/// predicated whole-loop regime (`llv<vl>`): the loop body is governed by a
+/// whilelt-style predicate, the final partial block executes only its active
+/// lanes, and no scalar epilogue exists. Timings feed the ground-truth
+/// performance model's predicated costing.
+struct VLInfo {
+  /// Target supports vector-length-agnostic predicated whole loops.
+  bool vl_agnostic = false;
+  /// Cycles to advance the governing predicate per block (whilelt + b.first).
+  double whilelt_cycles = 1.0;
+  /// Cycles per general predicate-manipulating op (ptest/sel/brka family).
+  double predicate_op_cycles = 0.5;
+  /// Extra cycles for a first-faulting load (ldff1 + rdffr check).
+  double first_fault_cycles = 2.0;
+  /// One-time cost of entering a predicated whole loop (ptrue + induction
+  /// setup). Replaces vec_prologue_cycles: there is no versioning epilogue.
+  double whole_loop_setup_cycles = 10.0;
+};
+
 struct InstrTiming {
   double latency = 1.0;       ///< result-ready latency in cycles
   double rthroughput = 1.0;   ///< reciprocal throughput in cycles/instr
@@ -68,6 +94,9 @@ struct TargetDesc {
   bool hw_gather = false;        ///< native gather instruction exists
   bool hw_masked_store = false;  ///< native masked store exists
 
+  /// Vector-length / predication capability block (SVE-style targets).
+  VLInfo vl;
+
   /// Extra per-lane cycles for gathers/scatters (address generation +
   /// element-at-a-time access).
   double gather_per_lane_cycles = 2.0;
@@ -109,8 +138,11 @@ struct TargetDesc {
   struct TimingEntry {
     InstrTiming f32, f64, int_narrow, int_wide;  ///< int_narrow: i8/i16/i32
   };
-  TimingEntry scalar_table[16];
-  TimingEntry vector_table[16];
+  TimingEntry scalar_table[kNumOpClasses];
+  TimingEntry vector_table[kNumOpClasses];
+  static_assert(kNumOpClasses == 16,
+                "new OpClass added: audit the timing tables in targets.cpp "
+                "before bumping this count");
 
   [[nodiscard]] static Resource resource_of(ir::OpClass cls);
 };

@@ -36,11 +36,57 @@ void set_int(TargetDesc& t, bool vector, OpClass cls, InstrTiming narrow,
 
 void fill_defaults(TargetDesc& t) {
   for (int v = 0; v < 2; ++v) {
-    for (int c = 0; c < 16; ++c) {
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
       auto& e = (v ? t.vector_table : t.scalar_table)[c];
       e = {{1, 1}, {1, 1}, {1, 1}, {1, 1}};
     }
   }
+}
+
+/// Shared VL-agnostic SVE-style core: one description parameterized by the
+/// implemented vector length. The ISA-level facts (predication, gathers,
+/// whilelt timings) are identical across implementations; only vector_bits
+/// and the bandwidth that feeds the wider datapath change.
+TargetDesc sve_core(const std::string& name, int vector_bits) {
+  TargetDesc t = cortex_a72();
+  t.name = name;
+  t.freq_ghz = 2.8;
+  t.vector_bits = vector_bits;
+  t.issue_width = 4;
+  t.fp_units = 2;
+
+  using ir::OpClass;
+  // Full-width pipes; per-native-op timings similar to the A72's.
+  set_float(t, true, OpClass::FloatAdd, {3, 1.0}, {3, 1.0});
+  set_float(t, true, OpClass::FloatMul, {4, 1.0}, {4, 1.0});
+  set_float(t, true, OpClass::FloatDiv, {24, 20.0}, {40, 36.0});
+  set_all(t, true, OpClass::MemLoad, {5, 1.0});
+  set_all(t, true, OpClass::MemStore, {1, 1.0});
+  set_all(t, true, OpClass::MemGather, {9, 4.0});  // native but element-serialized
+  set_all(t, true, OpClass::MemScatter, {2, 4.0});
+  set_all(t, true, OpClass::IntArith, {2, 0.5});
+  set_all(t, true, OpClass::Compare, {2, 0.5});
+  set_all(t, true, OpClass::Select, {2, 0.5});
+  set_all(t, true, OpClass::Convert, {4, 1.0});
+
+  t.l1 = {64 * 1024, 4, 32};
+  t.l2 = {1024 * 1024, 15, 24};
+  t.dram = {0, 140, 12};
+  t.hw_gather = true;
+  t.hw_masked_store = true;  // SVE predication
+  t.gather_per_lane_cycles = 1.0;
+  t.reverse_penalty = 1.2;
+  t.lone_strided_per_lane_cycles = 0.4;  // SVE structured/gather loads
+  t.masked_store_penalty_cycles = 0.5;
+  t.vec_prologue_cycles = 25.0;  // predicated loops need no scalar epilogue
+
+  // Vector-length-agnostic predication: the whole-loop regime (llv<vl>).
+  t.vl.vl_agnostic = true;
+  t.vl.whilelt_cycles = 1.0;
+  t.vl.predicate_op_cycles = 0.5;
+  t.vl.first_fault_cycles = 2.0;
+  t.vl.whole_loop_setup_cycles = 10.0;
+  return t;
 }
 
 }  // namespace
@@ -182,51 +228,33 @@ TargetDesc xeon_e5_avx2() {
   return t;
 }
 
-TargetDesc neoverse_sve256() {
-  TargetDesc t = cortex_a72();
-  t.name = "neoverse-sve256";
-  t.freq_ghz = 2.8;
-  t.vector_bits = 256;
-  t.issue_width = 4;
-  t.fp_units = 2;
+TargetDesc neoverse_sve256() { return sve_core("neoverse-sve256", 256); }
 
-  using ir::OpClass;
-  // Full-width 256-bit pipes; per-native-op timings similar to the A72's.
-  set_float(t, true, OpClass::FloatAdd, {3, 1.0}, {3, 1.0});
-  set_float(t, true, OpClass::FloatMul, {4, 1.0}, {4, 1.0});
-  set_float(t, true, OpClass::FloatDiv, {24, 20.0}, {40, 36.0});
-  set_all(t, true, OpClass::MemLoad, {5, 1.0});
-  set_all(t, true, OpClass::MemStore, {1, 1.0});
-  set_all(t, true, OpClass::MemGather, {9, 4.0});  // native but element-serialized
-  set_all(t, true, OpClass::MemScatter, {2, 4.0});
-  set_all(t, true, OpClass::IntArith, {2, 0.5});
-  set_all(t, true, OpClass::Compare, {2, 0.5});
-  set_all(t, true, OpClass::Select, {2, 0.5});
-  set_all(t, true, OpClass::Convert, {4, 1.0});
-
-  t.l1 = {64 * 1024, 4, 32};
-  t.l2 = {1024 * 1024, 15, 24};
-  t.dram = {0, 140, 12};
-  t.hw_gather = true;
-  t.hw_masked_store = true;  // SVE predication
-  t.gather_per_lane_cycles = 1.0;
-  t.reverse_penalty = 1.2;
-  t.lone_strided_per_lane_cycles = 0.4;  // SVE structured/gather loads
-  t.masked_store_penalty_cycles = 0.5;
-  t.vec_prologue_cycles = 25.0;  // predicated loops need no scalar epilogue
+TargetDesc neoverse_sve512() {
+  TargetDesc t = sve_core("neoverse-sve512", 512);
+  // The 512-bit implementation of the same VL-agnostic description: twice
+  // the lanes per native op, fed by wider cache interfaces. Everything else
+  // — tables, predication timings — is shared with the 256-bit part.
+  t.l1.bytes_per_cycle = 64;
+  t.l2.bytes_per_cycle = 48;
+  t.dram.bytes_per_cycle = 16;
   return t;
 }
 
 const std::vector<TargetDesc>& all_targets() {
   static const std::vector<TargetDesc> targets = {
-      cortex_a57(), cortex_a72(), xeon_e5_avx2(), neoverse_sve256()};
+      cortex_a57(), cortex_a72(), xeon_e5_avx2(), neoverse_sve256(),
+      neoverse_sve512()};
   return targets;
 }
 
 const TargetDesc& target_by_name(const std::string& name) {
   for (const auto& t : all_targets())
     if (t.name == name) return t;
-  throw Error("unknown target: " + name);
+  std::string known;
+  for (const auto& t : all_targets())
+    known += (known.empty() ? "" : ", ") + t.name;
+  throw Error("unknown target: " + name + " (available: " + known + ")");
 }
 
 }  // namespace veccost::machine

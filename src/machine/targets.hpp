@@ -27,8 +27,13 @@ namespace veccost::machine {
 
 /// Forward-looking ARM with 256-bit SVE-style vectors, full-width FP pipes,
 /// native gathers and predicated (masked) stores — the "what changes with
-/// wider ARM vectors" extension target.
+/// wider ARM vectors" extension target. Vector-length-agnostic: supports the
+/// predicated whole-loop regime (TargetDesc::vl, `llv<vl>`).
 [[nodiscard]] TargetDesc neoverse_sve256();
+
+/// The 512-bit implementation of the same VL-agnostic SVE description —
+/// identical ISA capabilities and predication timings, twice the lanes.
+[[nodiscard]] TargetDesc neoverse_sve512();
 
 /// All registered targets, for sweeps.
 [[nodiscard]] const std::vector<TargetDesc>& all_targets();

@@ -342,8 +342,32 @@ OracleVerdict DifferentialOracle::check(const ir::LoopKernel& scalar) const {
           // Unroll/reroll change the iteration count and widening
           // reassociates reductions, so compare arrays bitwise but iteration
           // counts not at all and live-outs under the reduction tolerance.
-          return diff_exec(scalar, ws, rs, wp, rp, false,
-                           opts_.reduction_tolerance);
+          std::string d = diff_exec(scalar, ws, rs, wp, rp, false,
+                                    opts_.reduction_tolerance);
+          if (!d.empty() || transformed.vf <= 1) return d;
+          // Widened pipelines (llv<VF>, llv<vl>) additionally pin the two
+          // executors to each other bitwise, across every dispatch mode —
+          // the predicated whole-loop tail must agree lane for lane.
+          machine::Workload wr = init;
+          const machine::ExecResult rr =
+              machine::reference_execute_vectorized(transformed, scalar, wr);
+          d = diff_exec(scalar, wr, rr, wp, rp, true, -1.0);
+          if (!d.empty()) return "reference vs lowered (pipeline): " + d;
+          if (opts_.check_dispatch_modes) {
+            for (const machine::DispatchKind kind :
+                 {machine::DispatchKind::Switch,
+                  machine::DispatchKind::Threaded,
+                  machine::DispatchKind::Batch}) {
+              machine::Workload wk = init;
+              const machine::ExecResult rk = machine::lowered_execute_vectorized(
+                  transformed, scalar, wk, kind);
+              d = diff_exec(scalar, wr, rr, wk, rk, true, -1.0);
+              if (!d.empty())
+                return std::string("reference vs lowered (pipeline, ") +
+                       machine::to_string(kind) + "): " + d;
+            }
+          }
+          return std::string{};
         });
       }
     }

@@ -278,6 +278,24 @@ VectorizedLoop vectorize_legal(const LoopKernel& scalar,
     result.notes.push_back("not legal: " + legality.reasons_string());
     return result;
   }
+  if (opts.predicated) {
+    if (!target.vl.vl_agnostic) {
+      result.notes.push_back("target " + target.name +
+                             " has no vector-length-agnostic predication");
+      return result;
+    }
+    // The whole-loop regime keeps partially accumulated reduction lanes
+    // across the final partial block, but a first-order recurrence's splice
+    // reads the LAST lane of the previous block — undefined when that block
+    // was partial. Refuse rather than emit a lane-shuffling fixup.
+    for (const PhiInfo& info : legality.phi_infos) {
+      if (info.kind == PhiKind::FirstOrderRecurrence) {
+        result.notes.push_back(
+            "first-order recurrence is illegal under predication");
+        return result;
+      }
+    }
+  }
 
   int vf = resolve_vf(opts.requested_vf, scalar, target);
   if (static_cast<std::int64_t>(vf) > legality.max_vf) {
@@ -300,6 +318,11 @@ VectorizedLoop vectorize_legal(const LoopKernel& scalar,
   result.kernel = std::move(widener).take();
   result.vf = vf;
   result.ok = true;
+  if (opts.predicated) {
+    result.kernel.predicated = true;
+    result.kernel.name = scalar.name + ".p" + std::to_string(vf);
+    result.notes.push_back("predicated whole loop (no scalar tail)");
+  }
   VECCOST_COUNTER_ADD("vectorizer.loops_vectorized", 1);
   result.runtime_check = legality.needs_runtime_check;
   if (result.runtime_check)

@@ -25,6 +25,12 @@ struct LoopVectorizerOptions {
   /// Requested VF; 0 = choose from the target's register width and the
   /// widest element type in the body, capped by legality.
   int requested_vf = 0;
+  /// Predicated whole-loop regime (SVE-style `llv<vl>`): no scalar tail,
+  /// the final partial block runs under a whilelt-style governing predicate.
+  /// Requires a vector-length-agnostic target (TargetDesc::vl.vl_agnostic)
+  /// and refuses first-order recurrences, whose splice semantics depend on
+  /// the last lane of a full final block.
+  bool predicated = false;
   analysis::LegalityOptions legality;
 };
 

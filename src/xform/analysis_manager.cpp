@@ -57,6 +57,7 @@ std::uint64_t kernel_content_hash(const ir::LoopKernel& kernel) {
   h.mix(static_cast<std::uint64_t>(kernel.live_outs.size()));
   for (const ir::ValueId v : kernel.live_outs) h.mix(static_cast<int>(v));
   h.mix(kernel.vf);
+  h.mix(kernel.predicated);
   return h.value();
 }
 

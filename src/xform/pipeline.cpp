@@ -48,17 +48,19 @@ SpecParse parse_pipeline_spec(std::string_view spec) {
                          : "expected a pass name");
     if (i < spec.size() && spec[i] == '<') {
       const std::size_t param_pos = ++i;
-      std::string digits;
-      while (i < spec.size() &&
-             std::isdigit(static_cast<unsigned char>(spec[i])) != 0)
-        digits += spec[i++];
-      if (digits.empty())
-        return fail(param_pos, "expected an integer parameter after '<'");
+      std::string token;
+      while (i < spec.size() && is_name_char(spec[i])) token += spec[i++];
+      const bool is_number =
+          !token.empty() &&
+          token.find_first_not_of("0123456789") == std::string::npos;
+      if (!is_number && token != "vl")
+        return fail(param_pos,
+                    "expected an integer parameter or 'vl' after '<'");
       if (i == spec.size() || spec[i] != '>')
         return fail(i, "expected '>' to close the parameter");
       ++i;
       pass.has_param = true;
-      pass.param = std::stoi(digits);
+      pass.param = is_number ? std::stoi(token) : kVLParam;
     }
     out.passes.push_back(std::move(pass));
     skip_ws();

@@ -3,9 +3,13 @@
 // The spec grammar (docs/pipeline_passes.md has the full story):
 //
 //   spec  := pass ("," pass)*
-//   pass  := name ("<" integer ">")?
+//   pass  := name ("<" (integer | "vl") ">")?
 //   name  := one of the registry's base names (llv, unroll, slp, reroll,
 //            lower)
+//
+// The `vl` keyword parameter (only `llv<vl>` today) selects the predicated
+// whole-loop regime on vector-length-agnostic targets; it parses to the
+// kVLParam sentinel (registry.hpp).
 //
 // Whitespace around commas is allowed and dropped; the canonical spec()
 // round-trips through the instantiated pass names. Parse errors carry the

@@ -17,16 +17,22 @@ namespace {
 std::string instantiated_name(std::string_view base, bool has_param,
                               int param) {
   std::string name(base);
-  if (has_param) name += "<" + std::to_string(param) + ">";
+  if (has_param)
+    name += param == kVLParam ? std::string("<vl>")
+                              : "<" + std::to_string(param) + ">";
   return name;
 }
 
-/// llv[<VF>]: widen the loop. The legality verdict comes from the manager,
-/// so a VF sweep over one kernel runs dependence analysis exactly once.
+/// llv[<VF>|<vl>]: widen the loop. The legality verdict comes from the
+/// manager, so a VF sweep over one kernel runs dependence analysis exactly
+/// once. `llv<vl>` selects the predicated whole-loop regime (no scalar tail)
+/// at the target's natural VF; it fails on non-VL-agnostic targets.
 class LlvPass final : public TransformPass {
  public:
-  LlvPass(bool has_param, int vf)
-      : vf_(has_param ? vf : 0), name_(instantiated_name("llv", has_param, vf)) {}
+  LlvPass(bool has_param, int param)
+      : predicated_(has_param && param == kVLParam),
+        vf_(has_param && param != kVLParam ? param : 0),
+        name_(instantiated_name("llv", has_param, param)) {}
   const std::string& name() const override { return name_; }
 
   PassResult run(PipelineState& state, PassContext& ctx) const override {
@@ -35,6 +41,7 @@ class LlvPass final : public TransformPass {
       return PassResult::failure("llv requires a scalar kernel (vf == 1)");
     vectorizer::LoopVectorizerOptions opts;
     opts.requested_vf = vf_;
+    opts.predicated = predicated_;
     const analysis::Legality& legality =
         ctx.analyses.legality(state.kernel, opts.legality);
     vectorizer::VectorizedLoop widened =
@@ -50,7 +57,8 @@ class LlvPass final : public TransformPass {
   }
 
  private:
-  int vf_;  ///< 0 = the target's natural VF
+  bool predicated_;  ///< `llv<vl>`: predicated whole-loop regime
+  int vf_;           ///< 0 = the target's natural VF
   std::string name_;
 };
 
@@ -160,9 +168,10 @@ class LowerPass final : public TransformPass {
 
 const std::vector<PassInfo>& pass_catalog() {
   static const std::vector<PassInfo> catalog = {
-      {"llv", "llv[<VF>]",
-       "widen the loop by VF (target's natural VF when omitted)", true, false,
-       2},
+      {"llv", "llv[<VF>|<vl>]",
+       "widen the loop by VF (natural VF when omitted); <vl> = predicated "
+       "whole loop",
+       true, false, 2, /*accepts_vl=*/true},
       {"unroll", "unroll<F>", "replicate the body F times", true, true, 2},
       {"slp", "slp", "attach a superword pack plan for the current kernel",
        false, false, 0},
@@ -200,7 +209,12 @@ std::unique_ptr<TransformPass> create_pass(std::string_view base,
                std::string(info->synopsis);
     return nullptr;
   }
-  if (has_param && param < info->min_param) {
+  if (has_param && param == kVLParam && !info->accepts_vl) {
+    if (error)
+      *error = "pass '" + std::string(base) + "' takes no 'vl' parameter";
+    return nullptr;
+  }
+  if (has_param && param != kVLParam && param < info->min_param) {
     if (error)
       *error = "pass '" + std::string(base) + "' parameter must be >= " +
                std::to_string(info->min_param);

@@ -4,7 +4,9 @@
 // TransformPass interface (pass.hpp):
 //
 //   llv[<VF>]   vectorizer::vectorize_legal — widen the loop by VF (natural
-//               VF when omitted), legality served by the AnalysisManager
+//               VF when omitted), legality served by the AnalysisManager;
+//               llv<vl> selects the predicated whole-loop regime on
+//               vector-length-agnostic targets (no scalar tail)
 //   unroll<F>   vectorizer::unroll_loop — replicate the body F times
 //   slp         vectorizer::slp_vectorize — attach a pack plan to the state
 //   reroll      vectorizer::reroll_loop — invert hand-unrolling using the
@@ -25,15 +27,21 @@
 
 namespace veccost::xform {
 
+/// Sentinel parameter value for the `vl` keyword (`llv<vl>`): request the
+/// vector-length-agnostic predicated whole-loop regime instead of a fixed
+/// VF. Only passes with PassInfo::accepts_vl take it.
+inline constexpr int kVLParam = -1;
+
 /// Catalog entry for one registered pass kind (base name, before any
 /// `<param>` instantiation).
 struct PassInfo {
   std::string_view name;      ///< base spec name, e.g. "llv"
-  std::string_view synopsis;  ///< spec form, e.g. "llv[<VF>]"
+  std::string_view synopsis;  ///< spec form, e.g. "llv[<VF>|<vl>]"
   std::string_view summary;   ///< one line for `veccost passes`
   bool has_param = false;     ///< accepts a `<N>` parameter
   bool param_required = false;
   int min_param = 0;          ///< smallest legal parameter value, when given
+  bool accepts_vl = false;    ///< accepts the `vl` keyword parameter
 };
 
 /// Every registered pass kind, in catalog order.

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <tuple>
@@ -18,6 +19,7 @@
 #include "machine/executor.hpp"
 #include "machine/targets.hpp"
 #include "machine/workload_pool.hpp"
+#include "support/env_flags.hpp"
 #include "tsvc/kernel.hpp"
 #include "tsvc/workload.hpp"
 #include "vectorizer/loop_vectorizer.hpp"
@@ -364,6 +366,77 @@ TEST(LoopInterchange, UnsafeKernelsAreNeverStripped) {
   const KernelInfo* vdotr = tsvc::find_kernel("vdotr");
   ASSERT_NE(vdotr, nullptr);
   EXPECT_EQ(lower_interchanged(vdotr->build(), kStripWidth), nullptr);
+}
+
+/// CI's cross-target matrix re-runs this suite under VECCOST_TARGET; the
+/// predicated tests honor it when it names a vector-length-agnostic target
+/// and fall back to the 256-bit SVE description otherwise (fixed-width
+/// targets cannot host the whole-loop regime at all).
+const TargetDesc& predicated_target() {
+  static const TargetDesc desc = [] {
+    const std::string env = support::EnvFlags::value("VECCOST_TARGET");
+    if (!env.empty()) {
+      const TargetDesc& named = target_by_name(env);
+      if (named.vl.vl_agnostic) return named;
+    }
+    return neoverse_sve256();
+  }();
+  return desc;
+}
+
+TEST(PredicatedWholeLoop, TailShapeSweepIsBitIdentical) {
+  // The llv<vl> contract: no scalar tail exists, so every trip-count shape —
+  // a partial final block (n % VL != 0), a single partial block (n < VL),
+  // the empty loop (n == 0) and the exact-multiple control — must leave
+  // array contents bitwise equal to the scalar run, and the lowered engine
+  // must agree with the reference interpreter bitwise in every dispatch
+  // mode. Reduction live-outs reassociate and compare with tolerance.
+  const TargetDesc& target = predicated_target();
+  ASSERT_TRUE(target.vl.vl_agnostic);
+  int covered = 0;
+  for (const char* name : {"s000", "vdotr", "s271", "vag", "s111"}) {
+    const KernelInfo* info = tsvc::find_kernel(name);
+    ASSERT_NE(info, nullptr) << name;
+    const ir::LoopKernel scalar = info->build();
+    if (scalar.trip.num == 0) continue;  // fixed trip: no tail to shape
+    vectorizer::LoopVectorizerOptions opts;
+    opts.predicated = true;
+    const auto vec = vectorizer::vectorize_loop(scalar, target, opts);
+    if (!vec.ok || vec.runtime_check) continue;
+    ASSERT_TRUE(vec.kernel.predicated) << name;
+    ++covered;
+    const std::int64_t vf = vec.vf;
+    for (const std::int64_t n : {std::int64_t{2047}, vf - 1, std::int64_t{0},
+                                 std::int64_t{2048}}) {
+      const std::string what =
+          std::string(name) + " predicated, n=" + std::to_string(n);
+      Workload wl_scalar = make_workload(scalar, n);
+      const auto rs = reference_execute_scalar(scalar, wl_scalar);
+      Workload wl_reference = make_workload(scalar, n);
+      const auto rr =
+          reference_execute_vectorized(vec.kernel, scalar, wl_reference);
+      expect_workloads_bit_identical(wl_reference, wl_scalar, what);
+      ASSERT_EQ(rr.live_outs.size(), rs.live_outs.size()) << what;
+      for (std::size_t i = 0; i < rs.live_outs.size(); ++i) {
+        const double scale = std::max(1.0, std::abs(rs.live_outs[i]));
+        EXPECT_NEAR(rr.live_outs[i], rs.live_outs[i], 1e-2 * scale)
+            << what << ": live-out " << i;
+      }
+      for (const DispatchKind kind : {DispatchKind::Switch,
+                                      DispatchKind::Threaded,
+                                      DispatchKind::Batch}) {
+        Workload wl = make_workload(scalar, n);
+        const auto rl = lowered_execute_vectorized(vec.kernel, scalar, wl, kind);
+        const std::string how = what + " under " + to_string(kind);
+        expect_results_bit_identical(rl, rr, how);
+        expect_workloads_bit_identical(wl, wl_reference, how);
+      }
+    }
+  }
+  // At least the simple store, the reduction and the masked-store shapes
+  // must actually reach the predicated regime — silent skips would turn
+  // this sweep into a no-op.
+  EXPECT_GE(covered, 3);
 }
 
 TEST(LoweredEngine, BoundsViolationsStillThrow) {

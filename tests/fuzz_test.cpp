@@ -49,6 +49,21 @@ TEST(FuzzCampaign, DigestIsDeterministicAcrossJobs) {
   }
 }
 
+TEST(FuzzCampaign, PredicatedPipelineConfigHasZeroDivergences) {
+  // The llv<vl> oracle config on a VL-agnostic target: every generated
+  // kernel the pipeline accepts runs the predicated whole loop against the
+  // scalar reference AND reference-vs-lowered across dispatch modes. The CI
+  // cross-target job runs the longer (400+) campaign; this bounded run keeps
+  // the contract in the default test wall.
+  CampaignOptions opts = bounded_campaign();
+  opts.iters = 150;
+  opts.oracle.pipeline = "llv<vl>";
+  const auto report = run_campaign(machine::neoverse_sve256(), opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.iterations, 150);
+  EXPECT_GT(report.configs_run, 0u);
+}
+
 TEST(FuzzCampaign, IterationSeedsAreStableAndDistinct) {
   // Reported failure seeds must re-generate the same kernel forever; the
   // derivation is part of the reproducibility contract.

@@ -20,11 +20,21 @@ using ir::ReductionKind;
 using ir::ScalarType;
 
 TEST(Targets, RegistryAndLookup) {
-  EXPECT_EQ(all_targets().size(), 4u);
+  EXPECT_EQ(all_targets().size(), 5u);
   EXPECT_EQ(target_by_name("cortex-a57").vector_bits, 128);
   EXPECT_EQ(target_by_name("xeon-e5-avx2").vector_bits, 256);
   EXPECT_EQ(target_by_name("neoverse-sve256").vector_bits, 256);
+  EXPECT_EQ(target_by_name("neoverse-sve512").vector_bits, 512);
   EXPECT_THROW((void)target_by_name("z80"), Error);
+  // The lookup error names every registered target, so a typo'd
+  // VECCOST_TARGET points straight at the catalog.
+  try {
+    (void)target_by_name("z80");
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("neoverse-sve512"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Targets, SveHasPredicationAndGathers) {
@@ -34,6 +44,24 @@ TEST(Targets, SveHasPredicationAndGathers) {
   EXPECT_LT(sve.masked_store_penalty_cycles,
             cortex_a57().masked_store_penalty_cycles);
   EXPECT_EQ(sve.lanes_per_register(ScalarType::F32), 8);
+}
+
+TEST(Targets, SvePairSharesOneVLAgnosticDescription) {
+  // SVE-256 and SVE-512 come from the same sve_core() factory: identical
+  // capability block, only the vector width (and memory bandwidth) differ.
+  const TargetDesc s256 = neoverse_sve256();
+  const TargetDesc s512 = neoverse_sve512();
+  EXPECT_TRUE(s256.vl.vl_agnostic);
+  EXPECT_TRUE(s512.vl.vl_agnostic);
+  EXPECT_EQ(s256.vl.whilelt_cycles, s512.vl.whilelt_cycles);
+  EXPECT_EQ(s256.vl.predicate_op_cycles, s512.vl.predicate_op_cycles);
+  EXPECT_EQ(s256.vl.whole_loop_setup_cycles, s512.vl.whole_loop_setup_cycles);
+  EXPECT_EQ(s512.lanes_per_register(ScalarType::F32),
+            2 * s256.lanes_per_register(ScalarType::F32));
+  // Fixed-width targets must not advertise the predicated regime.
+  EXPECT_FALSE(cortex_a57().vl.vl_agnostic);
+  EXPECT_FALSE(cortex_a72().vl.vl_agnostic);
+  EXPECT_FALSE(xeon_e5_avx2().vl.vl_agnostic);
 }
 
 TEST(Targets, LanesPerRegister) {

@@ -190,5 +190,25 @@ loop i = 0 .. n step 1:
   (void)scalar;
 }
 
+TEST(Parser, PredicatedFlagRoundTrips) {
+  // The `predicated` header token marks the whole-loop (llv<vl>) regime and
+  // must survive print -> parse -> print so .vir dumps of predicated
+  // kernels replay faithfully.
+  const std::string text = R"(
+kernel wide.p4 (t) n=64 vf=4 predicated
+arrays: a:f32[n] b:f32[n]
+loop i = 0 .. n step 1:
+  %0 = load b[i] : <4 x f32>
+  %1 = const 2 : f32
+  %2 = broadcast %1 : <4 x f32>
+  %3 = mul %0, %2 : <4 x f32>
+  store a[i], %3
+)";
+  const LoopKernel k = parse_kernel(text);
+  EXPECT_TRUE(k.predicated);
+  EXPECT_NE(print(k).find(" predicated"), std::string::npos);
+  EXPECT_EQ(print(parse_kernel(print(k))), print(k));
+}
+
 }  // namespace
 }  // namespace veccost::ir

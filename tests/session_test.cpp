@@ -48,13 +48,19 @@ void expect_bit_identical(const SuiteMeasurement& a, const SuiteMeasurement& b,
   }
 }
 
+/// Independent serial reference: a plain suite-order loop over
+/// measure_kernel, no Session, no cache, no thread pool. Whatever the
+/// Session's parallel/merge machinery does must reproduce this bit for bit.
+SuiteMeasurement measure_suite_serially(const machine::TargetDesc& target) {
+  SuiteMeasurement out;
+  out.target_name = target.name;
+  for (const auto& info : tsvc::suite())
+    out.kernels.push_back(measure_kernel(info, target));
+  return out;
+}
+
 const SuiteMeasurement& serial_reference() {
-  // The deprecated serial loop stays alive precisely as this suite's
-  // independent reference implementation.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  static const SuiteMeasurement sm = measure_suite(machine::cortex_a57());
-#pragma GCC diagnostic pop
+  static const SuiteMeasurement sm = measure_suite_serially(machine::cortex_a57());
   return sm;
 }
 
@@ -77,10 +83,7 @@ TEST(Session, BitIdenticalToSerialAt1_2_8Threads) {
 }
 
 TEST(Session, BitIdenticalOnSecondTarget) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const SuiteMeasurement serial = measure_suite(machine::xeon_e5_avx2());
-#pragma GCC diagnostic pop
+  const SuiteMeasurement serial = measure_suite_serially(machine::xeon_e5_avx2());
   const Session session(machine::xeon_e5_avx2(), uncached(8));
   expect_bit_identical(serial, session.measure().suite, "xeon jobs=8");
 }
@@ -229,35 +232,20 @@ TEST(Session, ValidateSemanticsReportsConfigurations) {
       << "most vectorizable kernels validate at least one configuration";
 }
 
-TEST(Session, DeprecatedEntryPointsDelegateBitIdentically) {
-  // Both pre-Session entry points must forward their noise argument and
-  // produce exactly what a Session produces — at a NON-default noise, so a
-  // wrapper that silently dropped the parameter would be caught.
+TEST(Session, NonDefaultNoiseForwardsThroughParallelPath) {
+  // The noise parameter must survive the parallel/merge machinery exactly —
+  // a path that silently dropped it back to the default would be caught by
+  // comparing against the serial loop at a NON-default noise.
   const double noise = 0.03;
+  SuiteMeasurement serial;
+  serial.target_name = machine::cortex_a57().name;
+  for (const auto& info : tsvc::suite())
+    serial.kernels.push_back(measure_kernel(info, machine::cortex_a57(), noise));
   SuiteRequest request;
   request.noise = noise;
   const SuiteMeasurement via_session =
       Session(machine::cortex_a57(), uncached(4)).measure(request).suite;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const SuiteMeasurement serial = measure_suite(machine::cortex_a57(), noise);
-  set_measurement_cache_enabled(false);
-  const SuiteMeasurement cached =
-      measure_suite_cached(machine::cortex_a57(), noise);
-  set_measurement_cache_enabled(true);
-#pragma GCC diagnostic pop
-  expect_bit_identical(serial, via_session, "measure_suite vs Session");
-  expect_bit_identical(cached, via_session, "measure_suite_cached vs Session");
-}
-
-TEST(Session, DeprecatedWrapperMatchesSession) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  set_measurement_cache_enabled(false);
-  const SuiteMeasurement wrapped = measure_suite_cached(machine::cortex_a57());
-  set_measurement_cache_enabled(true);
-#pragma GCC diagnostic pop
-  expect_bit_identical(serial_reference(), wrapped, "deprecated wrapper");
+  expect_bit_identical(serial, via_session, "serial vs Session, noise=0.03");
 }
 
 }  // namespace

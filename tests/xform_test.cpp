@@ -153,6 +153,30 @@ TEST(Pipeline, CanonicalSpecRoundTrips) {
   EXPECT_EQ(ws.spec(), "unroll<4>,slp");
 }
 
+TEST(SpecParse, VlKeywordParameterParsesToSentinel) {
+  const SpecParse p = parse_pipeline_spec("llv<vl>,lower");
+  ASSERT_TRUE(p.ok) << p.error;
+  ASSERT_EQ(p.passes.size(), 2u);
+  EXPECT_TRUE(p.passes[0].has_param);
+  EXPECT_EQ(p.passes[0].param, kVLParam);
+}
+
+TEST(Pipeline, VlParameterIsLlvOnlyAndCanonical) {
+  // llv<vl> is the predicated whole-loop regime; its canonical spec keeps
+  // the keyword form.
+  const Pipeline p = Pipeline::parse("llv<vl>");
+  ASSERT_TRUE(p.valid()) << p.error();
+  EXPECT_EQ(p.spec(), "llv<vl>");
+  EXPECT_EQ(Pipeline::parse(p.spec()).spec(), p.spec());
+  // Passes whose parameter is a width, not a regime, reject the keyword.
+  for (const char* spec : {"unroll<vl>", "lower<vl>"}) {
+    const Pipeline q = Pipeline::parse(spec);
+    EXPECT_FALSE(q.valid()) << spec;
+    EXPECT_NE(q.error().find("takes no 'vl' parameter"), std::string::npos)
+        << spec << ": " << q.error();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // AnalysisManager caching
 
@@ -256,6 +280,30 @@ TEST(Pipeline, ExplicitVfIsHonored) {
       p.run(tsvc_kernel("s000"), machine::cortex_a57(), am);
   ASSERT_TRUE(r.ok) << r.reason;
   EXPECT_EQ(r.state.kernel.vf, 2);
+}
+
+TEST(Pipeline, LlvVlProducesPredicatedKernelOnSveTarget) {
+  AnalysisManager am;
+  const Pipeline p = Pipeline::parse("llv<vl>");
+  ASSERT_TRUE(p.valid()) << p.error();
+  const PipelineResult r =
+      p.run(tsvc_kernel("s000"), machine::neoverse_sve256(), am);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_GT(r.state.kernel.vf, 1);
+  EXPECT_TRUE(r.state.kernel.predicated);
+}
+
+TEST(Pipeline, LlvVlFailsCleanlyOnFixedWidthTarget) {
+  AnalysisManager am;
+  const Pipeline p = Pipeline::parse("llv<vl>");
+  ASSERT_TRUE(p.valid()) << p.error();
+  const PipelineResult r =
+      p.run(tsvc_kernel("s000"), machine::cortex_a57(), am);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_pass, "llv<vl>");
+  EXPECT_NE(r.reason.find("vector-length-agnostic"), std::string::npos)
+      << r.reason;
+  EXPECT_FALSE(r.state.kernel.predicated);
 }
 
 TEST(Pipeline, FailureNamesThePassAndKeepsPriorState) {

@@ -60,9 +60,10 @@ using namespace veccost;
 
 usage:
   veccost list
-  veccost targets
+  veccost targets [--json]
   veccost explore <kernel|file.vc> [target]
   veccost measure [target]
+  veccost crosstarget [l2|nnls|svr] [counts|rated|extended]
   veccost verify  [target] [n]
   veccost train   [target] [l2|nnls|svr] [counts|rated|extended] [out-file]
   veccost advise  [target]
@@ -94,8 +95,11 @@ global flags:
 
 const machine::TargetDesc& target_arg(const std::vector<std::string>& args,
                                       std::size_t index) {
-  return machine::target_by_name(args.size() > index ? args[index]
-                                                     : "cortex-a57");
+  if (args.size() > index) return machine::target_by_name(args[index]);
+  // VECCOST_TARGET retargets every defaulted command (the CI cross-target
+  // matrix runs the whole binary under it); cortex-a57 otherwise.
+  const std::string env = support::EnvFlags::value("VECCOST_TARGET");
+  return machine::target_by_name(env.empty() ? "cortex-a57" : env);
 }
 
 ir::LoopKernel kernel_arg(const std::string& name) {
@@ -115,10 +119,31 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_targets() {
-  TextTable t({"target", "vector bits", "issue", "gather", "masked stores"});
+int cmd_targets(const std::vector<std::string>& args) {
+  const bool json = args.size() > 2 && args[2] == "--json";
+  if (json) {
+    std::cout << "[\n";
+    bool first = true;
+    for (const auto& desc : machine::all_targets()) {
+      if (!first) std::cout << ",\n";
+      first = false;
+      std::cout << "  {\"name\": \"" << desc.name
+                << "\", \"vector_bits\": " << desc.vector_bits
+                << ", \"vl_regime\": \""
+                << (desc.vl.vl_agnostic ? "vl-agnostic" : "fixed") << "\""
+                << ", \"issue_width\": " << desc.issue_width
+                << ", \"hw_gather\": " << (desc.hw_gather ? "true" : "false")
+                << ", \"hw_masked_store\": "
+                << (desc.hw_masked_store ? "true" : "false") << "}";
+    }
+    std::cout << "\n]\n";
+    return 0;
+  }
+  TextTable t({"target", "vector bits", "VL regime", "issue", "gather",
+               "masked stores"});
   for (const auto& desc : machine::all_targets())
     t.add_row({desc.name, std::to_string(desc.vector_bits),
+               desc.vl.vl_agnostic ? "vl-agnostic" : "fixed",
                std::to_string(desc.issue_width), desc.hw_gather ? "hw" : "emul",
                desc.hw_masked_store ? "hw" : "emul"});
   std::cout << t.to_string();
@@ -201,6 +226,27 @@ int cmd_measure(const std::vector<std::string>& args,
   eval::print_model_comparison(std::cout, {base});
   std::cout << '\n';
   eval::print_scatter(std::cout, sm, base, 15);
+  return 0;
+}
+
+int cmd_crosstarget(const std::vector<std::string>& args) {
+  model::Fitter fitter = model::Fitter::NNLS;
+  if (args.size() > 2) {
+    if (args[2] == "l2") fitter = model::Fitter::L2;
+    else if (args[2] == "nnls") fitter = model::Fitter::NNLS;
+    else if (args[2] == "svr") fitter = model::Fitter::SVR;
+    else throw Error("unknown fitter: " + args[2]);
+  }
+  analysis::FeatureSet set = analysis::FeatureSet::Rated;
+  if (args.size() > 3) {
+    if (args[3] == "counts") set = analysis::FeatureSet::Counts;
+    else if (args[3] == "rated") set = analysis::FeatureSet::Rated;
+    else if (args[3] == "extended") set = analysis::FeatureSet::Extended;
+    else throw Error("unknown feature set: " + args[3]);
+  }
+  const eval::CrossTargetResult r = eval::experiment_crosstarget(
+      fitter, set, eval::SessionOptions::from_environment());
+  eval::print_crosstarget(std::cout, r);
   return 0;
 }
 
@@ -506,9 +552,10 @@ int main(int argc, char** argv) {
     const std::string& cmd = args[1];
     int rc = 2;
     if (cmd == "list") rc = cmd_list();
-    else if (cmd == "targets") rc = cmd_targets();
+    else if (cmd == "targets") rc = cmd_targets(args);
     else if (cmd == "explore") rc = cmd_explore(args, opts);
     else if (cmd == "measure") rc = cmd_measure(args, opts);
+    else if (cmd == "crosstarget") rc = cmd_crosstarget(args);
     else if (cmd == "verify") rc = cmd_verify(args);
     else if (cmd == "train") rc = cmd_train(args);
     else if (cmd == "advise") rc = cmd_advise(args);
