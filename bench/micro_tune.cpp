@@ -1,0 +1,103 @@
+// Microbenchmarks of the tune layer: what one autotuning step costs. The
+// split mirrors the tuner's budget model — SpecSpace enumeration and
+// surrogate scoring are the cheap moves the search spends freely, a full
+// direct tune (surrogate pass + promoted ground-truth measurements) is the
+// unit of work `pipeline:tuned` fuzz configs and `veccost tune` pay per
+// kernel.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "machine/targets.hpp"
+#include "tsvc/kernel.hpp"
+#include "tune/spec_space.hpp"
+#include "tune/surrogate.hpp"
+#include "tune/tuner.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
+
+namespace {
+
+using namespace veccost;
+
+const std::vector<ir::LoopKernel>& subset_kernels() {
+  static const std::vector<ir::LoopKernel> kernels = [] {
+    std::vector<ir::LoopKernel> out;
+    for (const std::string& name : tune::default_subset())
+      out.push_back(tsvc::find_kernel(name)->build());
+    return out;
+  }();
+  return kernels;
+}
+
+void BM_SpecSpaceEnumerate(benchmark::State& state) {
+  const auto target = machine::cortex_a57();
+  xform::AnalysisManager analyses;
+  const auto& kernels = subset_kernels();
+  for (auto _ : state) {
+    for (const auto& k : kernels) {
+      const tune::SpecSpace space(k, target, analyses.legality(k));
+      benchmark::DoNotOptimize(space.all_points());
+    }
+  }
+}
+BENCHMARK(BM_SpecSpaceEnumerate);
+
+void BM_SpecSpaceMutate(benchmark::State& state) {
+  const auto target = machine::cortex_a57();
+  xform::AnalysisManager analyses;
+  const ir::LoopKernel& k = subset_kernels().front();
+  const tune::SpecSpace space(k, target, analyses.legality(k));
+  const auto points = space.all_points();
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    for (const auto& p : points)
+      benchmark::DoNotOptimize(space.mutate(p, 1, ++step));
+  }
+}
+BENCHMARK(BM_SpecSpaceMutate);
+
+/// One surrogate sweep over a kernel's whole lattice — the cost of the
+/// tuner's round-0 scoring phase, dominated by the pipeline runs feeding
+/// the model.
+void BM_SurrogateScoreLattice(benchmark::State& state) {
+  const auto target = machine::cortex_a57();
+  const ir::LoopKernel& k = subset_kernels().front();
+  const tune::Surrogate surrogate(target);
+  xform::AnalysisManager analyses;
+  const tune::SpecSpace space(k, target, analyses.legality(k));
+  const auto points = space.all_points();
+  const auto ctx = surrogate.context(k, analyses);
+  for (auto _ : state) {
+    for (const auto& p : points) {
+      const xform::Pipeline pipe = xform::Pipeline::parse(p.to_spec());
+      const auto run = pipe.run(k, target, analyses);
+      if (run.ok)
+        benchmark::DoNotOptimize(surrogate.score(ctx, k, run.state));
+    }
+  }
+}
+BENCHMARK(BM_SurrogateScoreLattice);
+
+/// A full direct tune of one kernel (the fuzz oracle's per-kernel cost).
+void BM_TuneKernelDirect(benchmark::State& state) {
+  const auto target = machine::cortex_a57();
+  const ir::LoopKernel& k = subset_kernels().front();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        tune::tune_kernel_direct(k, target, tune::TuneOptions{}));
+}
+BENCHMARK(BM_TuneKernelDirect);
+
+/// The pinned 10-kernel subset end to end — the shape CI's determinism
+/// check runs (without the session cache, so this is the cold upper bound).
+void BM_TuneSubsetDirect(benchmark::State& state) {
+  const auto target = machine::cortex_a57();
+  for (auto _ : state)
+    for (const auto& k : subset_kernels())
+      benchmark::DoNotOptimize(
+          tune::tune_kernel_direct(k, target, tune::TuneOptions{}));
+}
+BENCHMARK(BM_TuneSubsetDirect);
+
+}  // namespace

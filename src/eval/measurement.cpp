@@ -170,6 +170,43 @@ KernelMeasurement measure_kernel(const tsvc::KernelInfo& info,
   return m;
 }
 
+SpecMeasurement measure_spec(const ir::LoopKernel& scalar,
+                             const machine::TargetDesc& target, double noise,
+                             const xform::Pipeline& pipeline,
+                             xform::AnalysisManager& analyses) {
+  VECCOST_SPAN("measure.spec_ns");
+  VECCOST_COUNTER_ADD("measure.specs", 1);
+  VECCOST_ASSERT(pipeline.valid(), "invalid pipeline: " + pipeline.error());
+  SpecMeasurement m;
+  m.kernel = scalar.name;
+  m.spec = pipeline.spec();
+
+  const xform::PipelineResult xr = pipeline.run(scalar, target, analyses);
+  if (!xr.ok) {
+    m.reject_reason = xr.reason;
+    return m;
+  }
+  const ir::LoopKernel& transformed = xr.state.kernel;
+  m.ok = true;
+  m.vf = transformed.vf;
+  m.runtime_check = xr.state.runtime_check;
+
+  // Timing rules identical to the pipeline measure_kernel above, so a
+  // SpecMeasurement of "llv" agrees bit-for-bit with the suite measurement.
+  const std::int64_t n = scalar.default_n;
+  m.scalar_cycles = machine::measure_scalar_cycles(scalar, target, n, noise);
+  if (m.runtime_check)
+    m.cycles =
+        machine::measure_versioned_scalar_cycles(scalar, target, n, noise);
+  else if (transformed.vf > 1)
+    m.cycles =
+        machine::measure_vector_cycles(transformed, scalar, target, n, noise);
+  else
+    m.cycles = machine::measure_scalar_cycles(transformed, target, n, noise);
+  m.speedup = m.scalar_cycles / m.cycles;
+  return m;
+}
+
 SemanticsCheck validate_kernel_semantics(const tsvc::KernelInfo& info,
                                          const machine::TargetDesc& target,
                                          machine::WorkloadPool& pool,

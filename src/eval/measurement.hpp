@@ -93,6 +93,35 @@ inline constexpr std::string_view kDefaultPipelineSpec = "llv";
     double noise, const xform::Pipeline& pipeline,
     xform::AnalysisManager& analyses);
 
+/// One (kernel, pipeline-spec) measurement — the tuner's unit of ground
+/// truth. Smaller than KernelMeasurement on purpose: a search touches many
+/// specs per kernel and only needs the numbers that rank them (features are
+/// a property of the scalar kernel, not of the spec).
+struct SpecMeasurement {
+  std::string kernel;         ///< scalar kernel name
+  std::string spec;           ///< canonical pipeline spec
+  bool ok = false;            ///< the pipeline ran to completion
+  std::string reject_reason;  ///< failing pass's reason when !ok
+  int vf = 1;                 ///< transformed kernel's VF (1 = stayed scalar)
+  bool runtime_check = false; ///< widening left behind a runtime check
+  double scalar_cycles = 0;   ///< baseline scalar timing
+  double cycles = 0;          ///< transformed timing (versioned-scalar when
+                              ///< runtime_check)
+  double speedup = 0;         ///< scalar_cycles / cycles
+};
+
+/// Run `pipeline` over `scalar` and time the result — the same timing rules
+/// as the pipeline-parameterized measure_kernel (versioned scalar behind a
+/// runtime check, scalar-loop timing for vf == 1 rewrites), without the
+/// feature extraction or the tsvc::KernelInfo dependency. Pure and
+/// deterministic; this is what Session::measure_specs fans out and the
+/// SpecMeasurementCache memoizes.
+[[nodiscard]] SpecMeasurement measure_spec(const ir::LoopKernel& scalar,
+                                           const machine::TargetDesc& target,
+                                           double noise,
+                                           const xform::Pipeline& pipeline,
+                                           xform::AnalysisManager& analyses);
+
 /// Outcome of one kernel's semantics validation (see
 /// validate_kernel_semantics).
 struct SemanticsCheck {

@@ -230,6 +230,112 @@ bool MeasurementCache::store(const SuiteMeasurement& sm,
   return !ec;
 }
 
+namespace {
+
+/// Spec-cache row: key first (partial reads detectable), then every
+/// SpecMeasurement field. Changing this schema invalidates persisted files
+/// (the header check below) — treat it as a wire format.
+const std::vector<std::string> kSpecHeader = {
+    "key",    "kernel",        "spec",          "ok",     "reject_reason",
+    "vf",     "runtime_check", "scalar_cycles", "cycles", "speedup"};
+
+}  // namespace
+
+SpecMeasurementCache::SpecMeasurementCache(std::string dir,
+                                           const machine::TargetDesc& target,
+                                           std::uint64_t pipeline_version)
+    : dir_(std::move(dir)) {
+  if (dir_.empty()) dir_ = MeasurementCache::default_dir();
+  // The file is named by the noise-free config hash; the per-row key folds
+  // the actual noise, so sweeps over noise share one file without colliding.
+  path_ = dir_ + "/specs_" + target.name + "_" +
+          hex64(MeasurementCache::config_hash(target, 0.0, pipeline_version)) +
+          ".csv";
+  load();
+}
+
+std::uint64_t SpecMeasurementCache::key(const std::string& kernel,
+                                        const std::string& spec,
+                                        const machine::TargetDesc& target,
+                                        double noise,
+                                        std::uint64_t pipeline_version) {
+  Hasher h;
+  h.mix(MeasurementCache::config_hash(target, noise, pipeline_version));
+  h.mix(spec);
+  h.mix(kernel);
+  return h.value();
+}
+
+void SpecMeasurementCache::load() {
+  std::ifstream in(path_);
+  if (!in) return;
+  VECCOST_COUNTER_ADD("eval.spec_cache.file_loads", 1);
+  CsvReader reader(in);
+  std::vector<std::string> cells;
+  if (!reader.read_row(cells) || cells != kSpecHeader) {  // stale schema
+    VECCOST_COUNTER_ADD("eval.spec_cache.stale_files", 1);
+    return;
+  }
+  std::size_t loaded = 0;
+  while (reader.read_row(cells)) {
+    if (cells.size() != kSpecHeader.size()) {  // truncated (killed mid-append)
+      VECCOST_COUNTER_ADD("eval.spec_cache.stale_rows", 1);
+      continue;
+    }
+    const std::uint64_t k = std::strtoull(cells[0].c_str(), nullptr, 16);
+    SpecMeasurement m;
+    m.kernel = cells[1];
+    m.spec = cells[2];
+    m.ok = cells[3] == "1";
+    m.reject_reason = cells[4];
+    m.vf = static_cast<int>(std::strtol(cells[5].c_str(), nullptr, 10));
+    m.runtime_check = cells[6] == "1";
+    m.scalar_cycles = parse_double(cells[7]);
+    m.cycles = parse_double(cells[8]);
+    m.speedup = parse_double(cells[9]);
+    entries_.insert_or_assign(k, std::move(m));  // later rows win
+    ++loaded;
+  }
+  VECCOST_COUNTER_ADD("eval.spec_cache.loaded_entries", loaded);
+}
+
+std::optional<SpecMeasurement> SpecMeasurementCache::find(
+    std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    VECCOST_COUNTER_ADD("eval.spec_cache.hit", 1);
+    return it->second;
+  }
+  VECCOST_COUNTER_ADD("eval.spec_cache.miss", 1);
+  return std::nullopt;
+}
+
+bool SpecMeasurementCache::store(std::uint64_t key, const SpecMeasurement& m) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.insert_or_assign(key, m);
+  VECCOST_COUNTER_ADD("eval.spec_cache.store", 1);
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return false;
+  const bool fresh = !std::filesystem::exists(path_, ec) || ec;
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return false;
+  CsvWriter writer(out);
+  if (fresh) writer.write_row(kSpecHeader);
+  writer.write_row({hex64(key), m.kernel, m.spec, m.ok ? "1" : "0",
+                    m.reject_reason, std::to_string(m.vf),
+                    m.runtime_check ? "1" : "0",
+                    format_double(m.scalar_cycles), format_double(m.cycles),
+                    format_double(m.speedup)});
+  return static_cast<bool>(out);
+}
+
+std::size_t SpecMeasurementCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
 bool measurement_cache_enabled() {
   if (!g_cache_env_checked.exchange(true)) {
     if (support::EnvFlags::enabled("VECCOST_NO_CACHE", false))

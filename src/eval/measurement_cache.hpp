@@ -75,6 +75,54 @@ class MeasurementCache {
   mutable std::mutex io_mutex_;
 };
 
+/// Persistent cache of per-(kernel, pipeline-spec) measurements — the
+/// tuner's warm-restart store.
+///
+/// The suite-shaped MeasurementCache above keys whole 151-kernel files by
+/// one pipeline spec; a search instead measures an ad-hoc set of specs per
+/// kernel. This cache keys each SpecMeasurement by one content hash folding
+/// the target fingerprint (MeasurementCache::config_hash — same bytes, same
+/// invalidation story), the jitter amplitude, the canonical spec and the
+/// kernel name, and persists write-through to one CSV per (target, version)
+/// under the same cache dir. Doubles are hex floats, so a warm re-tune is
+/// bit-identical to a cold one — which is what lets tests demand *zero*
+/// re-measurements rather than "close enough". Rows with a stale schema
+/// header or a non-matching key are dropped on load. Thread-safe.
+class SpecMeasurementCache {
+ public:
+  /// `dir` empty selects MeasurementCache::default_dir(). The existing file
+  /// for (target, version) is loaded eagerly.
+  SpecMeasurementCache(std::string dir, const machine::TargetDesc& target,
+                       std::uint64_t pipeline_version = kPipelineVersion);
+
+  /// Content key for one (kernel, spec, target, noise) measurement.
+  /// `spec` must be canonical (Pipeline::spec()).
+  [[nodiscard]] static std::uint64_t key(const std::string& kernel,
+                                         const std::string& spec,
+                                         const machine::TargetDesc& target,
+                                         double noise,
+                                         std::uint64_t pipeline_version =
+                                             kPipelineVersion);
+
+  /// Look up one entry; increments eval.spec_cache.{hit,miss}.
+  [[nodiscard]] std::optional<SpecMeasurement> find(std::uint64_t key) const;
+
+  /// Insert (or overwrite) and append one row to the file. Returns false
+  /// when the row could not be persisted (entry still cached in memory).
+  bool store(std::uint64_t key, const SpecMeasurement& m);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::string& file_path() const { return path_; }
+
+ private:
+  void load();
+
+  std::string dir_;
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, SpecMeasurement> entries_;
+};
+
 /// Global cache enable switch (CLI --no-cache / VECCOST_NO_CACHE=1).
 [[nodiscard]] bool measurement_cache_enabled();
 void set_measurement_cache_enabled(bool enabled);

@@ -22,7 +22,11 @@ SessionOptions SessionOptions::from_environment() {
 }
 
 Session::Session(const machine::TargetDesc& target, SessionOptions opts)
-    : target_(target), opts_(std::move(opts)), cache_(opts_.cache_dir) {}
+    : target_(target),
+      opts_(std::move(opts)),
+      cache_(opts_.cache_dir),
+      spec_cache_(std::make_unique<SpecMeasurementCache>(
+          opts_.cache_dir, target_, opts_.pipeline_version)) {}
 
 obs::Registry& Session::metrics() const { return obs::Registry::global(); }
 
@@ -105,6 +109,99 @@ SuiteResult Session::measure(const SuiteRequest& request) const {
       result.validated_configurations += static_cast<std::size_t>(c);
   }
   return result;
+}
+
+SpecBatchResult Session::measure_specs(const std::vector<SpecRequest>& requests,
+                                       double noise) const {
+  VECCOST_SPAN("session.measure_specs_ns");
+  VECCOST_COUNTER_ADD("session.spec_batches", 1);
+  SpecBatchResult out;
+  out.results.resize(requests.size());
+  if (requests.empty()) return out;
+
+  // Parse (and so canonicalize) each distinct spec text once per batch.
+  std::map<std::string, xform::Pipeline> pipelines;
+  for (const SpecRequest& r : requests) {
+    if (tsvc::find_kernel(r.kernel) == nullptr)
+      throw Error("measure_specs: unknown kernel '" + r.kernel + "'");
+    if (pipelines.contains(r.pipeline)) continue;
+    xform::Pipeline p = xform::Pipeline::parse(r.pipeline);
+    if (!p.valid())
+      throw Error("pipeline spec '" + r.pipeline + "': " + p.error());
+    pipelines.emplace(r.pipeline, std::move(p));
+  }
+
+  // Deduplicate by content key; remember which request slots each distinct
+  // (kernel, canonical spec) measurement fills.
+  struct Unit {
+    const std::string* kernel = nullptr;
+    const xform::Pipeline* pipeline = nullptr;
+    std::vector<std::size_t> slots;
+    SpecMeasurement result;
+    bool cached = false;
+  };
+  std::map<std::uint64_t, Unit> units;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const xform::Pipeline& pipe = pipelines.at(requests[i].pipeline);
+    const std::uint64_t key = SpecMeasurementCache::key(
+        requests[i].kernel, pipe.spec(), target_, noise,
+        opts_.pipeline_version);
+    Unit& u = units[key];
+    if (u.slots.empty()) {
+      u.kernel = &requests[i].kernel;
+      u.pipeline = &pipe;
+    }
+    u.slots.push_back(i);
+  }
+
+  // Partition into cache hits and misses; misses are grouped by kernel so a
+  // batch of specs over one kernel shares one AnalysisManager (dependence
+  // analysis runs once, not once per spec).
+  std::map<std::string, std::vector<Unit*>> misses_by_kernel;
+  for (auto& [key, unit] : units) {
+    if (opts_.use_cache) {
+      if (auto hit = spec_cache_->find(key)) {
+        unit.result = std::move(*hit);
+        unit.cached = true;
+        ++out.cache_hits;
+        continue;
+      }
+    }
+    ++out.cache_misses;
+    misses_by_kernel[*unit.kernel].push_back(&unit);
+  }
+  VECCOST_COUNTER_ADD("eval.spec_measurements", out.cache_misses);
+
+  std::vector<std::pair<const std::string*, std::vector<Unit*>*>> groups;
+  groups.reserve(misses_by_kernel.size());
+  for (auto& [name, group] : misses_by_kernel)
+    groups.emplace_back(&name, &group);
+
+  parallel_for(
+      groups.size(),
+      [&](std::size_t g) {
+        const tsvc::KernelInfo* info = tsvc::find_kernel(*groups[g].first);
+        const ir::LoopKernel scalar = info->build();
+        xform::AnalysisManager analyses;
+        for (Unit* unit : *groups[g].second)
+          unit->result =
+              measure_spec(scalar, target_, noise, *unit->pipeline, analyses);
+      },
+      opts_.jobs);
+
+  if (opts_.use_cache) {
+    // Write-through after the parallel phase: append order is the units'
+    // key order, deterministic for every jobs value.
+    for (auto& [key, unit] : units)
+      if (!unit.cached) spec_cache_->store(key, unit.result);
+  }
+
+  for (auto& [key, unit] : units) {
+    for (std::size_t j = 1; j < unit.slots.size(); ++j)
+      out.results[unit.slots[j]] = unit.result;
+    out.results[unit.slots[0]] = std::move(unit.result);
+  }
+  return out;
 }
 
 }  // namespace veccost::eval

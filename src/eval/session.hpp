@@ -23,7 +23,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "eval/measurement.hpp"
 #include "eval/measurement_cache.hpp"
@@ -67,6 +69,25 @@ struct SuiteResult {
   std::size_t validated_configurations = 0;
 };
 
+/// One element of a measure_specs batch: run `pipeline` over the named TSVC
+/// kernel and time the result.
+struct SpecRequest {
+  std::string kernel;    ///< TSVC kernel name (find_kernel must resolve it)
+  std::string pipeline;  ///< pipeline spec (xform grammar); need not be
+                         ///< canonical — it is canonicalized for the cache key
+};
+
+/// One measure_specs call's outcome: results in request order plus the
+/// call's own cache statistics (the Session ownership rule — stats travel in
+/// the result, never in Session state). hits + misses counts *distinct*
+/// (kernel, canonical spec) measurements, so duplicate requests in one batch
+/// cost (and count) one measurement.
+struct SpecBatchResult {
+  std::vector<SpecMeasurement> results;  ///< request order
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
 /// How a Session runs. Construction-time only; one Session = one policy.
 struct SessionOptions {
   /// Concurrent measurement jobs; 0 = default_parallelism() (--jobs /
@@ -97,6 +118,18 @@ class Session {
   /// with all per-call state in the returned SuiteResult.
   [[nodiscard]] SuiteResult measure(const SuiteRequest& request = {}) const;
 
+  /// Measure a batch of (kernel, pipeline-spec) pairs — the tuner's
+  /// ground-truth path. Distinct pairs are deduplicated, served from the
+  /// persistent SpecMeasurementCache when possible, and the misses are
+  /// measured in parallel grouped by kernel (one AnalysisManager per kernel,
+  /// so a batch of specs over one kernel runs dependence analysis once).
+  /// Results are merged in request order — bit-identical for every jobs
+  /// value, warm or cold. Thread-safe: const, with all per-call state in the
+  /// returned SpecBatchResult. Throws on an unknown kernel or invalid spec.
+  [[nodiscard]] SpecBatchResult measure_specs(
+      const std::vector<SpecRequest>& requests,
+      double noise = machine::kDefaultNoise) const;
+
   [[nodiscard]] const machine::TargetDesc& target() const { return target_; }
   [[nodiscard]] const SessionOptions& options() const { return opts_; }
   /// The observability registry this Session records into (the process-wide
@@ -108,6 +141,9 @@ class Session {
   machine::TargetDesc target_;
   SessionOptions opts_;
   MeasurementCache cache_;
+  /// Per-(kernel, spec) store for measure_specs; loads its file eagerly at
+  /// construction (cheap: one CSV), shared by every call on this Session.
+  std::unique_ptr<SpecMeasurementCache> spec_cache_;
 };
 
 }  // namespace veccost::eval

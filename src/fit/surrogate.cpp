@@ -1,0 +1,24 @@
+#include "fit/surrogate.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace veccost::fit {
+
+double LinearSurrogate::predict(std::span<const double> features) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  VECCOST_COUNTER_ADD("fit.surrogate.queries", 1);
+  const std::size_t n = std::min(features.size(), weights_.size());
+  double y = bias_;
+  for (std::size_t i = 0; i < n; ++i) y += weights_[i] * features[i];
+  return y;
+}
+
+Vector LinearSurrogate::predict_rows(const Matrix& rows) const {
+  Vector out(rows.rows());
+  for (std::size_t r = 0; r < rows.rows(); ++r) out[r] = predict(rows.row(r));
+  return out;
+}
+
+}  // namespace veccost::fit

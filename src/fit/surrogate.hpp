@@ -1,0 +1,58 @@
+// LinearSurrogate: the fitting library's batched query path for
+// surrogate-guided search.
+//
+// The tuner (src/tune) scores hundreds of candidate pipeline specs per
+// kernel with a fitted linear model before promoting a handful to real
+// measurement. That inner loop wants exactly one thing from the fit layer: a
+// cheap, instrumented dot product. LinearSurrogate wraps fitted weights +
+// bias behind predict()/predict_rows(), counts every query (its own atomic,
+// so the surrogate hit-rate in BENCH_tune.json works even with metrics
+// compiled out), and stays strictly below costmodel in the layering — it
+// knows nothing about kernels or feature sets, only rows of doubles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "support/matrix.hpp"
+
+namespace veccost::fit {
+
+class LinearSurrogate {
+ public:
+  LinearSurrogate() = default;
+  LinearSurrogate(Vector weights, double bias)
+      : weights_(std::move(weights)), bias_(bias) {}
+  LinearSurrogate(const LinearSurrogate& other)
+      : weights_(other.weights_), bias_(other.bias_) {}
+  LinearSurrogate& operator=(const LinearSurrogate& other) {
+    weights_ = other.weights_;
+    bias_ = other.bias_;
+    return *this;
+  }
+
+  /// y = w . x + bias. `features` shorter than the weight vector reads as
+  /// zero-padded; longer tails are ignored (defensive — feature sets and
+  /// saved models can drift one column apart across versions).
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// One prediction per matrix row.
+  [[nodiscard]] Vector predict_rows(const Matrix& rows) const;
+
+  [[nodiscard]] const Vector& weights() const { return weights_; }
+  [[nodiscard]] double bias() const { return bias_; }
+  [[nodiscard]] bool empty() const { return weights_.empty(); }
+
+  /// Queries served since construction (predict_rows counts one per row).
+  [[nodiscard]] std::uint64_t queries() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Vector weights_;
+  double bias_ = 0.0;
+  mutable std::atomic<std::uint64_t> queries_{0};
+};
+
+}  // namespace veccost::fit

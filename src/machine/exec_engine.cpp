@@ -222,7 +222,10 @@ ExecResult lowered_execute_predicated(const ir::LoopKernel& vec,
                                       const ir::LoopKernel& scalar,
                                       Workload& wl, DispatchKind kind) {
   VECCOST_COUNTER_ADD("engine.predicated_executions", 1);
-  const std::int64_t iters = scalar.trip.iterations(wl.n);
+  // No scalar remainder: only the widened kernel's own iteration space
+  // matters (it differs from `scalar`'s when the pipeline unrolled or
+  // rerolled before widening).
+  const std::int64_t iters = vec.trip.iterations(wl.n);
   const std::int64_t vf = vec.vf;
   const std::int64_t main_iters = (iters / vf) * vf;
   const std::int64_t tail = iters - main_iters;
@@ -276,9 +279,8 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
                  "cannot vectorize a loop with break");
   if (vec.predicated)
     return lowered_execute_predicated(vec, scalar, wl, kind);
-  const std::int64_t iters = scalar.trip.iterations(wl.n);
+  const VectorSplit sp = split_vector_range(vec, scalar, wl.n);
   const std::int64_t vf = vec.vf;
-  const std::int64_t main_iters = (iters / vf) * vf;
   const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
   const bool fused = kind != DispatchKind::Switch;
 
@@ -293,10 +295,10 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
     // per-iteration map (induction variables, independent memory ops, and
     // elementwise arithmetic only — strip_ok already excludes the cross-lane
     // ops), so its per-iteration results do not depend on the lane count it
-    // runs at. Re-running it at kStripWidth lanes over [0, main_iters) is
+    // runs at. Re-running it at kStripWidth lanes over [0, vec_main) is
     // bit-identical to vf-lane blocks, and amortizes dispatch over strips of
     // 64 iterations instead of vf. No phis also means no epilogue handoff:
-    // the scalar remainder just runs [main_iters, iters).
+    // the scalar remainder just runs [scalar_resume, scalar_iters).
     VECCOST_COUNTER_ADD("engine.batch_vector_runs", 1);
     const std::shared_ptr<const LoweredProgram> bprog =
         cached_lowering(vec, kStripWidth);
@@ -306,8 +308,9 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
     std::vector<double> carries;
     bengine.reset_carries(carries);
     for (std::int64_t j = 0; j < outer; ++j) {
-      result.iterations += bengine.run_strips(j, main_iters, carries, true);
-      result.iterations += sengine.run_schedule(j, main_iters, iters);
+      result.iterations += bengine.run_strips(j, sp.vec_main, carries, true);
+      result.iterations +=
+          sengine.run_schedule(j, sp.scalar_resume, sp.scalar_iters);
     }
     result.live_outs = sengine.live_outs();
     return result;
@@ -318,12 +321,13 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
   ExecResult result;
   for (std::int64_t j = 0; j < outer; ++j) {
     vengine.reset_phis();
-    result.iterations += fused ? vengine.run_schedule(j, 0, main_iters)
-                               : vengine.run_range(j, 0, main_iters);
+    result.iterations += fused ? vengine.run_schedule(j, 0, sp.vec_main)
+                               : vengine.run_range(j, 0, sp.vec_main);
     // Hand the partial reduction / recurrence state to the scalar remainder.
     sengine.set_phi_inits(vengine.final_phi_values());
-    result.iterations += fused ? sengine.run_schedule(j, main_iters, iters)
-                               : sengine.run_range(j, main_iters, iters);
+    result.iterations +=
+        fused ? sengine.run_schedule(j, sp.scalar_resume, sp.scalar_iters)
+              : sengine.run_range(j, sp.scalar_resume, sp.scalar_iters);
   }
   result.live_outs = sengine.live_outs();
   return result;

@@ -375,7 +375,10 @@ std::vector<double> collect_live_outs(const LoopKernel& k, const Interp& interp)
 ExecResult reference_execute_predicated(const LoopKernel& vec,
                                         const LoopKernel& scalar,
                                         Workload& wl) {
-  const std::int64_t iters = scalar.trip.iterations(wl.n);
+  // Predicated whole loops have no scalar remainder, so only the widened
+  // kernel's own iteration space matters (it differs from `scalar`'s when
+  // the pipeline unrolled or rerolled before widening).
+  const std::int64_t iters = vec.trip.iterations(wl.n);
   const std::int64_t vf = vec.vf;
   const std::int64_t main_iters = (iters / vf) * vf;
   const std::int64_t tail = iters - main_iters;
@@ -494,6 +497,26 @@ void set_dispatch_kind(DispatchKind kind) {
   dispatch_store().store(kind, std::memory_order_relaxed);
 }
 
+VectorSplit split_vector_range(const ir::LoopKernel& vec,
+                               const ir::LoopKernel& scalar, std::int64_t n) {
+  VECCOST_ASSERT(vec.vf > 1, "split_vector_range needs a widened kernel");
+  VectorSplit s;
+  s.scalar_iters = scalar.trip.iterations(n);
+  s.vec_iters = vec.trip.iterations(n);
+  s.vec_main = (s.vec_iters / vec.vf) * vec.vf;
+  // Map the wide-loop end back to scalar space by element progress: both
+  // kernels share start and bound (unroll multiplies the step, reroll
+  // divides it), so vec_main vec iterations cover
+  // vec_main * vec.step / scalar.step scalar iterations. Shrink vec_main by
+  // whole blocks until that is a whole number of scalar iterations.
+  const std::int64_t sstep = scalar.trip.step;
+  while (s.vec_main > 0 && (s.vec_main * vec.trip.step) % sstep != 0)
+    s.vec_main -= vec.vf;
+  s.scalar_resume =
+      std::min(s.scalar_iters, (s.vec_main * vec.trip.step) / sstep);
+  return s;
+}
+
 ExecResult reference_execute_scalar(const ir::LoopKernel& kernel, Workload& wl) {
   return execute_scalar_impl(kernel, wl, nullptr);
 }
@@ -511,20 +534,18 @@ ExecResult reference_execute_vectorized(const ir::LoopKernel& vec,
   VECCOST_ASSERT(!vec.has_break() && !scalar.has_break(),
                  "cannot vectorize a loop with break");
   if (vec.predicated) return reference_execute_predicated(vec, scalar, wl);
-  const std::int64_t iters = scalar.trip.iterations(wl.n);
-  const std::int64_t vf = vec.vf;
-  const std::int64_t main_iters = (iters / vf) * vf;
+  const VectorSplit sp = split_vector_range(vec, scalar, wl.n);
 
-  Interp vinterp(vec, wl, static_cast<int>(vf));
+  Interp vinterp(vec, wl, vec.vf);
   Interp sinterp(scalar, wl, 1);
   ExecResult result;
   const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
   for (std::int64_t j = 0; j < outer; ++j) {
     vinterp.reset_phis();
-    result.iterations += vinterp.run_range(j, 0, main_iters);
+    result.iterations += vinterp.run_range(j, 0, sp.vec_main);
     // Hand the partial reduction / recurrence state to the scalar remainder.
     sinterp.set_phi_inits(vinterp.final_phi_values());
-    result.iterations += sinterp.run_range(j, main_iters, iters);
+    result.iterations += sinterp.run_range(j, sp.scalar_resume, sp.scalar_iters);
   }
   result.live_outs = collect_live_outs(scalar, sinterp);
   return result;

@@ -103,6 +103,31 @@ enum class DispatchKind {
 [[nodiscard]] DispatchKind dispatch_kind();
 void set_dispatch_kind(DispatchKind kind);
 
+/// How a widened execution splits between the wide main loop and the scalar
+/// remainder. The widened kernel `vec` need not share `scalar`'s iteration
+/// space: a pipeline like `unroll<2>,llv` widens the *unrolled* kernel, whose
+/// step is twice the scalar's, so one vec-space iteration covers two scalar
+/// iterations. The wide main loop therefore runs in vec space and the scalar
+/// remainder resumes at the equivalent scalar-space iteration. When the two
+/// spaces coincide (plain `llv`), this degenerates to the classic
+/// `(iters / vf) * vf` split.
+struct VectorSplit {
+  std::int64_t vec_main = 0;      ///< vec-space iterations run wide
+  std::int64_t vec_iters = 0;     ///< total vec-space iterations
+  std::int64_t scalar_resume = 0; ///< scalar-space iteration the remainder starts at
+  std::int64_t scalar_iters = 0;  ///< total scalar-space iterations
+};
+
+/// Compute the split for executing widened `vec` against reference `scalar`
+/// at problem size `n`. If no whole number of scalar iterations corresponds
+/// to `(vec_iters / vf) * vf` vec iterations (possible only for exotic
+/// unroll/reroll step ratios), vec_main shrinks by whole blocks until the
+/// boundary is exact — at worst everything runs in the scalar remainder,
+/// which is always correct.
+[[nodiscard]] VectorSplit split_vector_range(const ir::LoopKernel& vec,
+                                             const ir::LoopKernel& scalar,
+                                             std::int64_t n);
+
 /// The reference interpreter, callable directly regardless of the
 /// process-wide selection — the oracle side of the differential suite.
 [[nodiscard]] ExecResult reference_execute_scalar(const ir::LoopKernel& kernel,

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "analysis/features.hpp"
+#include "machine/executor.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -280,8 +281,11 @@ double measure_vector_cycles(const LoopKernel& vec, const LoopKernel& scalar,
   // governed vector block, already counted by estimate()'s ceil division.
   if (vec.predicated) return vest.total_cycles * jitter(vec, target, noise);
   const PerfEstimate sest = estimate(scalar, target, n);
-  const std::int64_t iters = scalar.trip.iterations(n);
-  const std::int64_t remainder = iters - (iters / vec.vf) * vec.vf;
+  // The scalar epilogue covers whatever the wide main loop leaves behind —
+  // in scalar iteration space, which differs from vec space when the
+  // pipeline unrolled or rerolled before widening.
+  const VectorSplit sp = split_vector_range(vec, scalar, n);
+  const std::int64_t remainder = sp.scalar_iters - sp.scalar_resume;
   const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
   const double total =
       vest.total_cycles + outer * remainder * sest.cycles_per_body;

@@ -15,6 +15,7 @@
 #include "machine/executor.hpp"
 #include "machine/perf_model.hpp"
 #include "obs/metrics.hpp"
+#include "tune/tuner.hpp"
 #include "vectorizer/loop_vectorizer.hpp"
 #include "vectorizer/reroll.hpp"
 #include "vectorizer/slp_vectorizer.hpp"
@@ -309,18 +310,38 @@ OracleVerdict DifferentialOracle::check(const ir::LoopKernel& scalar) const {
   // Optional pipeline configuration (--pipeline): run the requested pass
   // sequence and compare the transformed execution against scalar. Guarded
   // on a non-empty spec so default campaigns keep their historical digest.
+  // The special spec "tuned" autotunes the kernel and validates the winner
+  // — whatever spec the tuner picked must execute like scalar.
   if (scalar_ok && !opts_.pipeline.empty()) {
-    const xform::Pipeline pipe = xform::Pipeline::parse(opts_.pipeline);
+    std::string spec = opts_.pipeline;
     const std::string config = "pipeline:" + opts_.pipeline;
-    if (!pipe.valid()) {
+    bool resolved = true;
+    if (spec == "tuned") {
+      const tune::KernelTuneResult tuned =
+          tune::tune_kernel_direct(scalar, target_, tune::TuneOptions{});
+      if (tuned.ok) {
+        spec = tuned.best_spec;
+      } else {
+        // No candidate survived measurement (e.g. nothing legal): there is
+        // no pipeline to validate.
+        ++verdict.configs_skipped;
+        resolved = false;
+      }
+    }
+    const xform::Pipeline pipe =
+        resolved ? xform::Pipeline::parse(spec) : xform::Pipeline();
+    if (!resolved) {
+      // skip recorded above
+    } else if (!pipe.valid()) {
       run_config(verdict, config,
                  [&] { return "invalid spec " + pipe.error(); });
     } else {
       // Unrolling preserves semantics only on divisible, break-free
-      // iteration ranges (same contract as the unroll configs above).
+      // iteration ranges (same contract as the unroll configs above). The
+      // guard parses the *resolved* spec — for "tuned" that is the tuner's
+      // winner, not the literal option text.
       std::int64_t unroll_product = 1;
-      for (const xform::PassSpec& ps :
-           xform::parse_pipeline_spec(opts_.pipeline).passes)
+      for (const xform::PassSpec& ps : xform::parse_pipeline_spec(spec).passes)
         if (ps.base == "unroll") unroll_product *= ps.param;
       const bool unroll_safe =
           unroll_product == 1 ||

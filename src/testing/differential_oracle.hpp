@@ -69,7 +69,10 @@ struct OracleOptions {
   /// Extra configuration: run this transform pipeline spec
   /// (xform/pipeline.hpp grammar) and compare the transformed execution
   /// against scalar. Empty = skip, which keeps the campaign digest
-  /// bit-identical to pre-pipeline campaigns.
+  /// bit-identical to pre-pipeline campaigns. The special value "tuned"
+  /// autotunes the kernel first (tune::tune_kernel_direct) and validates
+  /// whatever pipeline the tuner picked — the end-to-end contract that the
+  /// tuner only ever emits semantics-preserving specs.
   std::string pipeline;
   /// Fault hook applied to widened kernels before execution (see above).
   KernelMutator fault;

@@ -1,0 +1,56 @@
+#include "tune/corpus.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+
+namespace veccost::tune {
+
+namespace {
+
+std::string hex_double(double v) {
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string digest_hex(std::uint64_t digest) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[i] = kDigits[digest & 0xf];
+    digest >>= 4;
+  }
+  return s;
+}
+
+std::string corpus_csv(const TuneReport& report) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  os << kCorpusHeader << '\n';
+  for (const KernelTuneResult& r : report.kernels)
+    writer.write_row({r.kernel, r.best_spec, std::to_string(r.best_vf),
+                      hex_double(r.scalar_cycles), hex_double(r.best_cycles),
+                      hex_double(r.best_speedup), std::to_string(r.scored),
+                      std::to_string(r.measured)});
+  return os.str();
+}
+
+void write_corpus(const std::string& path, const TuneReport& report) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("tune: cannot write corpus file '" + path + "'");
+  out << corpus_csv(report);
+  if (!out) throw Error("tune: write failed for corpus file '" + path + "'");
+}
+
+}  // namespace veccost::tune

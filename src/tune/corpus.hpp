@@ -1,0 +1,31 @@
+// The tuned-spec corpus: the byte-stable CSV artifact of a tuning run.
+//
+// One row per kernel, in report order, doubles rendered as hex floats so
+// the file round-trips bit-exactly and `cmp` across --jobs values (or
+// against tests/golden/tune_golden.csv) is a meaningful determinism check.
+// Kernels with no successfully measured candidate keep spec "-" and
+// speedup 0x1p+0 — the corpus always covers every tuned kernel.
+#pragma once
+
+#include <string>
+
+#include "tune/tuner.hpp"
+
+namespace veccost::tune {
+
+/// Header of the corpus CSV (also its schema version — changing it means
+/// regenerating the golden).
+inline constexpr const char* kCorpusHeader =
+    "kernel,spec,vf,scalar_cycles,tuned_cycles,speedup,scored,measured";
+
+/// Render the whole corpus (header + one row per kernel) as CSV text.
+[[nodiscard]] std::string corpus_csv(const TuneReport& report);
+
+/// Write corpus_csv(report) to `path`, creating parent directories.
+/// Throws veccost::Error when the file cannot be written.
+void write_corpus(const std::string& path, const TuneReport& report);
+
+/// 16-digit lowercase hex of a digest, the form CI greps for.
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
+
+}  // namespace veccost::tune

@@ -1,0 +1,119 @@
+#include "tune/spec_space.hpp"
+
+#include <algorithm>
+
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "xform/registry.hpp"
+
+namespace veccost::tune {
+
+std::string SpecPoint::to_spec() const {
+  std::string spec;
+  const auto append = [&](const std::string& pass) {
+    if (!spec.empty()) spec += ',';
+    spec += pass;
+  };
+  if (unroll != 0) append("unroll<" + std::to_string(unroll) + ">");
+  if (slp_reroll) {
+    append("slp");
+    append("reroll");
+  }
+  if (llv != kNoLlv) {
+    if (llv == 0)
+      append("llv");
+    else if (llv == xform::kVLParam)
+      append("llv<vl>");
+    else
+      append("llv<" + std::to_string(llv) + ">");
+  }
+  return spec;
+}
+
+SpecSpace::SpecSpace(const ir::LoopKernel& scalar,
+                     const machine::TargetDesc& target,
+                     const analysis::Legality& legality) {
+  unrolls_.push_back(0);
+  llvs_.push_back(kNoLlv);
+  if (const xform::PassInfo* unroll = xform::find_pass_info("unroll")) {
+    for (const int f :
+         xform::enumerate_pass_params(*unroll, scalar, target, legality))
+      unrolls_.push_back(f);
+  }
+  if (const xform::PassInfo* llv = xform::find_pass_info("llv")) {
+    for (const int p :
+         xform::enumerate_pass_params(*llv, scalar, target, legality))
+      llvs_.push_back(p);
+  }
+
+  // Seeds, in a fixed order: the llv variants (the sweep every regime
+  // comparison starts from), then the smallest unroll alone, then
+  // unroll+slp+reroll.
+  for (std::size_t i = 1; i < llvs_.size(); ++i)
+    seeds_.push_back(SpecPoint{0, false, llvs_[i]});
+  if (unrolls_.size() > 1) {
+    seeds_.push_back(SpecPoint{unrolls_[1], false, kNoLlv});
+    seeds_.push_back(SpecPoint{unrolls_[1], true, kNoLlv});
+  }
+}
+
+std::vector<SpecPoint> SpecSpace::all_points() const {
+  std::vector<SpecPoint> out = seeds_;
+  for (const int u : unrolls_)
+    for (const int slp : {0, 1})
+      for (const int l : llvs_) {
+        const SpecPoint p{u, slp != 0, l};
+        if (p.empty()) continue;
+        if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+      }
+  return out;
+}
+
+std::vector<SpecPoint> SpecSpace::exhaustive_llv() const {
+  std::vector<SpecPoint> out;
+  for (const int l : llvs_) {
+    if (l == kNoLlv || l == xform::kVLParam) continue;
+    out.push_back(SpecPoint{0, false, l});
+  }
+  return out;
+}
+
+bool SpecSpace::legal(const SpecPoint& p) const {
+  if (p.empty()) return false;
+  return std::find(unrolls_.begin(), unrolls_.end(), p.unroll) !=
+             unrolls_.end() &&
+         std::find(llvs_.begin(), llvs_.end(), p.llv) != llvs_.end();
+}
+
+std::optional<SpecPoint> SpecSpace::mutate(const SpecPoint& p,
+                                           std::uint64_t seed,
+                                           std::uint64_t step) const {
+  support::ContentHasher h;
+  h.mix(seed);
+  h.mix(step);
+  Rng rng(h.value());
+  // Up to a handful of deterministic draws: pick an axis, step it to a
+  // different legal value, reject empty/illegal results and retry.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    SpecPoint q = p;
+    switch (rng.next_below(3)) {
+      case 0: {  // llv axis
+        if (llvs_.size() < 2) break;
+        q.llv = llvs_[rng.next_below(llvs_.size())];
+        break;
+      }
+      case 1: {  // unroll axis
+        if (unrolls_.size() < 2) break;
+        q.unroll = unrolls_[rng.next_below(unrolls_.size())];
+        break;
+      }
+      default:
+        q.slp_reroll = !q.slp_reroll;
+        break;
+    }
+    if (q != p && legal(q)) return q;
+  }
+  return std::nullopt;
+}
+
+}  // namespace veccost::tune

@@ -1,0 +1,93 @@
+// SpecSpace: the tuner's search space over canonical pipeline specs.
+//
+// A point in the space is a small lattice coordinate — an optional unroll
+// factor, an optional slp+reroll rewrite, an optional llv suffix (natural
+// VF, explicit VF, or the predicated `vl` regime) — rendered to the xform
+// spec grammar in one canonical order:
+//
+//   [unroll<F>,] [slp,reroll,] [llv | llv<VF> | llv<vl>]
+//
+// The axes are enumerated from the xform registry's PassInfo hooks
+// (enumerate_pass_params / pass_applicable), gated by the target's
+// capabilities and the kernel's cached legality verdict — one legality run
+// per kernel covers the whole search. Mutation steps one axis at a time and
+// is a pure function of (point, seed, step), which is what makes the beam
+// search's trajectory independent of thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/legality.hpp"
+#include "ir/loop.hpp"
+#include "machine/target.hpp"
+
+namespace veccost::tune {
+
+/// Axis value meaning "no llv pass" (distinct from 0 = `llv` at the natural
+/// VF and from xform::kVLParam = `llv<vl>`).
+inline constexpr int kNoLlv = -2;
+
+/// One lattice coordinate. Default-constructed = the empty spec (invalid —
+/// every emitted point has at least one pass).
+struct SpecPoint {
+  int unroll = 0;           ///< 0 = no unroll pass, else factor >= 2
+  bool slp_reroll = false;  ///< include the slp,reroll rewrite pair
+  int llv = kNoLlv;         ///< kNoLlv / 0 (natural) / VF / xform::kVLParam
+
+  [[nodiscard]] bool empty() const {
+    return unroll == 0 && !slp_reroll && llv == kNoLlv;
+  }
+  /// Canonical spec text (see file comment for the order).
+  [[nodiscard]] std::string to_spec() const;
+
+  auto operator<=>(const SpecPoint&) const = default;
+};
+
+class SpecSpace {
+ public:
+  /// Enumerate the legal axis values for `scalar` on `target`. `legality`
+  /// is the scalar kernel's verdict (from the caller's AnalysisManager, so
+  /// the analysis is shared with scoring and measurement).
+  SpecSpace(const ir::LoopKernel& scalar, const machine::TargetDesc& target,
+            const analysis::Legality& legality);
+
+  /// Deterministic seed points for the beam: every legal llv variant, the
+  /// smallest legal unroll alone, and unroll+slp+reroll (hand-unroll then
+  /// re-vectorize — the SLP-after-unroll configuration of the paper).
+  [[nodiscard]] const std::vector<SpecPoint>& seeds() const { return seeds_; }
+
+  /// Every point of the lattice (the exhaustive grid), seeds first. Small:
+  /// |unroll axis| * 2 * |llv axis| minus the empty point.
+  [[nodiscard]] std::vector<SpecPoint> all_points() const;
+
+  /// The exhaustive `llv` VF sweep the regret report compares against:
+  /// llv (natural VF) plus every legal explicit llv<VF>. Empty for
+  /// non-vectorizable kernels.
+  [[nodiscard]] std::vector<SpecPoint> exhaustive_llv() const;
+
+  /// Structural legality of a point (pass_applicable over each pass).
+  [[nodiscard]] bool legal(const SpecPoint& p) const;
+
+  /// Mutate one axis of `p`. Pure in (p, seed, step): equal arguments yield
+  /// the equal result, so search trajectories replay bit-for-bit. Returns
+  /// nullopt when no legal neighbour differs from `p` (degenerate spaces).
+  [[nodiscard]] std::optional<SpecPoint> mutate(const SpecPoint& p,
+                                                std::uint64_t seed,
+                                                std::uint64_t step) const;
+
+  /// Legal values of each axis (kNoLlv / 0-for-no-unroll included).
+  [[nodiscard]] const std::vector<int>& unroll_axis() const {
+    return unrolls_;
+  }
+  [[nodiscard]] const std::vector<int>& llv_axis() const { return llvs_; }
+
+ private:
+  std::vector<int> unrolls_;  ///< always starts with 0 (= none)
+  std::vector<int> llvs_;     ///< always starts with kNoLlv (= none)
+  std::vector<SpecPoint> seeds_;
+};
+
+}  // namespace veccost::tune

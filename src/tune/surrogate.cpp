@@ -1,0 +1,65 @@
+#include "tune/surrogate.hpp"
+
+#include <algorithm>
+
+#include "costmodel/llvm_model.hpp"
+#include "obs/metrics.hpp"
+#include "vectorizer/loop_vectorizer.hpp"
+
+namespace veccost::tune {
+
+namespace {
+
+/// The learned correction is a rescaling, not an oracle: clamp it so one
+/// badly-extrapolated feature row cannot invert the candidate ranking.
+constexpr double kMinCalibration = 0.25;
+constexpr double kMaxCalibration = 4.0;
+
+/// Score of a widening that only survives behind a runtime check: the
+/// versioned binary pays the check and runs the scalar path, so it is
+/// strictly worse than not transforming.
+constexpr double kRuntimeCheckScore = 0.9;
+
+}  // namespace
+
+Surrogate::Surrogate(const machine::TargetDesc& target) : target_(target) {}
+
+Surrogate::Surrogate(const machine::TargetDesc& target,
+                     const model::LinearSpeedupModel& fitted)
+    : target_(target),
+      set_(fitted.feature_set()),
+      linear_(fitted.weights(), fitted.bias()) {}
+
+Surrogate::KernelContext Surrogate::context(
+    const ir::LoopKernel& scalar, xform::AnalysisManager& analyses) const {
+  KernelContext ctx;
+  if (!calibrated()) return ctx;
+  const analysis::Legality& legality = analyses.legality(scalar);
+  if (!legality.vectorizable) return ctx;
+  // Baseline prediction at the natural VF — the configuration the fitted
+  // model was trained to predict, so fitted/baseline is the learned
+  // correction for this kernel.
+  vectorizer::LoopVectorizerOptions opts;
+  const vectorizer::VectorizedLoop widened =
+      vectorizer::vectorize_legal(scalar, target_, opts, legality);
+  if (!widened.ok || widened.runtime_check) return ctx;
+  const double base =
+      model::llvm_predict(scalar, widened.kernel, target_).predicted_speedup;
+  const double fitted = linear_.predict(analyses.features(scalar, set_));
+  if (base > 1e-9 && fitted > 0)
+    ctx.calibration =
+        std::clamp(fitted / base, kMinCalibration, kMaxCalibration);
+  return ctx;
+}
+
+double Surrogate::score(const KernelContext& ctx, const ir::LoopKernel& scalar,
+                        const xform::PipelineState& state) const {
+  VECCOST_COUNTER_ADD("tune.surrogate.scores", 1);
+  if (state.runtime_check) return kRuntimeCheckScore;
+  if (state.kernel.vf <= 1) return 1.0;
+  const double base =
+      model::llvm_predict(scalar, state.kernel, target_).predicted_speedup;
+  return std::max(base * ctx.calibration, 1e-6);
+}
+
+}  // namespace veccost::tune

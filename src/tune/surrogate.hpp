@@ -1,0 +1,69 @@
+// tune::Surrogate — the cheap candidate scorer of the pipeline autotuner.
+//
+// The search scores every candidate spec before paying for a measurement.
+// Scoring a candidate means running its pipeline (analyses served by the
+// kernel's shared AnalysisManager — transforms are cheap, measurement is
+// not) and predicting the transformed kernel's speedup:
+//
+//   score = llvm_predict(scalar -> transformed) * calibration
+//
+// The LLVM-style additive model supplies the *spec-aware* part (it sees the
+// actual widened kernel, so llv<2> vs llv<8> vs llv<vl> rank differently);
+// the paper's fitted linear model supplies the *machine-aware* part as a
+// per-kernel calibration factor: fitted prediction over baseline prediction
+// at the natural VF. Where the additive model is systematically wrong about
+// a kernel (bandwidth ceilings, dependence chains — exactly what the fitted
+// weights learned), every candidate of that kernel is rescaled by the same
+// learned correction. The fitted query path is fit::LinearSurrogate, so the
+// surrogate hit-rate reported in BENCH_tune.json counts real queries.
+//
+// Scalar-to-scalar candidates (pure unroll, slp+reroll) score 1.0; widening
+// that only survives behind a runtime check scores below scalar (the
+// versioned binary pays the check and runs the scalar path).
+#pragma once
+
+#include <cstdint>
+
+#include "costmodel/linear_model.hpp"
+#include "fit/surrogate.hpp"
+#include "machine/target.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pass.hpp"
+
+namespace veccost::tune {
+
+class Surrogate {
+ public:
+  /// Uncalibrated: the additive baseline model alone (used when no fitted
+  /// model is available — e.g. the fuzz oracle's generated kernels).
+  explicit Surrogate(const machine::TargetDesc& target);
+
+  /// Calibrated by a fitted speedup model (see file comment).
+  Surrogate(const machine::TargetDesc& target,
+            const model::LinearSpeedupModel& fitted);
+
+  /// Per-kernel scoring state, computed once per search.
+  struct KernelContext {
+    double calibration = 1.0;  ///< fitted / baseline at the natural VF
+  };
+
+  [[nodiscard]] KernelContext context(const ir::LoopKernel& scalar,
+                                      xform::AnalysisManager& analyses) const;
+
+  /// Score one pipeline outcome for `scalar` (higher = better predicted
+  /// speedup over scalar). Deterministic; never measures.
+  [[nodiscard]] double score(const KernelContext& ctx,
+                             const ir::LoopKernel& scalar,
+                             const xform::PipelineState& state) const;
+
+  [[nodiscard]] bool calibrated() const { return !linear_.empty(); }
+  /// Fitted-model queries served so far (0 when uncalibrated).
+  [[nodiscard]] std::uint64_t queries() const { return linear_.queries(); }
+
+ private:
+  machine::TargetDesc target_;
+  analysis::FeatureSet set_ = analysis::FeatureSet::Rated;
+  fit::LinearSurrogate linear_;  ///< empty when uncalibrated
+};
+
+}  // namespace veccost::tune

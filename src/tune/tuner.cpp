@@ -1,0 +1,417 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "eval/experiments.hpp"
+#include "ir/printer.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "tsvc/kernel.hpp"
+#include "tune/spec_space.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
+
+namespace veccost::tune {
+
+namespace {
+
+/// Salt mixed into the ε-greedy draw so it never collides with the mutation
+/// streams (which mix (round, member, attempt) instead).
+constexpr std::uint64_t kEpsilonSalt = 0x657073696c6f6eull;  // "epsilon"
+
+std::uint64_t mix2(std::uint64_t a, std::uint64_t b) {
+  support::ContentHasher h;
+  h.mix(a);
+  h.mix(b);
+  return h.value();
+}
+
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  support::ContentHasher h;
+  h.mix(a);
+  h.mix(b);
+  h.mix(c);
+  return h.value();
+}
+
+/// Everything the search knows about one lattice point it has touched.
+struct Candidate {
+  SpecPoint point;
+  std::string spec;
+  double surrogate = 0;
+  bool scored_ok = false;
+  std::string reject_reason;
+  bool measured = false;
+  eval::SpecMeasurement m;
+};
+
+/// (surrogate desc, spec asc) — the promotion ranking.
+bool by_surrogate(const Candidate* a, const Candidate* b) {
+  if (a->surrogate != b->surrogate) return a->surrogate > b->surrogate;
+  return a->spec < b->spec;
+}
+
+/// (measured speedup desc, spec asc) — the beam ranking.
+bool by_speedup(const Candidate* a, const Candidate* b) {
+  if (a->m.speedup != b->m.speedup) return a->m.speedup > b->m.speedup;
+  return a->spec < b->spec;
+}
+
+}  // namespace
+
+KernelTuneResult tune_kernel(const ir::LoopKernel& scalar,
+                             const machine::TargetDesc& target,
+                             const TuneOptions& opts,
+                             const Surrogate& surrogate,
+                             const MeasureBatch& measure) {
+  VECCOST_SPAN("tune.kernel_ns");
+  VECCOST_COUNTER_ADD("tune.kernels", 1);
+
+  KernelTuneResult out;
+  out.kernel = scalar.name;
+  const std::uint64_t kernel_seed = mix2(opts.seed, hash_string(scalar.name));
+
+  xform::AnalysisManager analyses;
+  const analysis::Legality& legality = analyses.legality(scalar);
+  const SpecSpace space(scalar, target, legality);
+  const Surrogate::KernelContext ctx = surrogate.context(scalar, analyses);
+
+  for (const SpecPoint& p : space.exhaustive_llv())
+    out.exhaustive_specs.push_back(p.to_spec());
+
+  std::map<SpecPoint, Candidate> cands;
+
+  // Score one point (idempotent): run its pipeline through the kernel's
+  // shared AnalysisManager and ask the surrogate. Failures are recorded,
+  // never retried.
+  const auto score_point = [&](const SpecPoint& p) {
+    auto [it, inserted] = cands.try_emplace(p);
+    Candidate& c = it->second;
+    if (!inserted) return;
+    c.point = p;
+    c.spec = p.to_spec();
+    const xform::Pipeline pipe = xform::Pipeline::parse(c.spec);
+    if (!pipe.valid()) {
+      c.reject_reason = pipe.error();
+      ++out.rejected;
+      return;
+    }
+    const xform::PipelineResult r = pipe.run(scalar, target, analyses);
+    if (!r.ok) {
+      c.reject_reason = r.failed_pass + ": " + r.reason;
+      ++out.rejected;
+      return;
+    }
+    c.scored_ok = true;
+    c.surrogate = surrogate.score(ctx, scalar, r.state);
+    ++out.scored;
+  };
+
+  // The current beam: best measured candidates first (ground truth beats
+  // the surrogate), unmeasured scored candidates as filler.
+  const auto beam_points = [&]() {
+    std::vector<const Candidate*> done, pending;
+    for (const auto& [p, c] : cands) {
+      if (c.measured && c.m.ok)
+        done.push_back(&c);
+      else if (c.scored_ok && !c.measured)
+        pending.push_back(&c);
+    }
+    std::sort(done.begin(), done.end(), by_speedup);
+    std::sort(pending.begin(), pending.end(), by_surrogate);
+    std::vector<SpecPoint> pts;
+    for (const Candidate* c : done)
+      if (pts.size() < static_cast<std::size_t>(opts.beam_width))
+        pts.push_back(c->point);
+    for (const Candidate* c : pending)
+      if (pts.size() < static_cast<std::size_t>(opts.beam_width))
+        pts.push_back(c->point);
+    return pts;
+  };
+
+  // Score the entire lattice up front — this is what the surrogate is for:
+  // candidate evaluation costs one pipeline run and one model query, so the
+  // whole (small) grid is scored and only the beam ever pays for ground
+  // truth. Ground-truth measurements are the budget the prune rate tracks.
+  for (const SpecPoint& p : space.all_points()) score_point(p);
+
+  const SpecPoint natural_llv{0, false, 0};
+  for (int round = 0; round <= opts.rounds; ++round) {
+    // The promotion pool: in round 0 the whole scored lattice; in later
+    // rounds the mutation neighborhood of the current beam — the search
+    // walks outward from what ground truth says is best, not down the
+    // surrogate's global ranking (which round 0 already exploited).
+    std::vector<Candidate*> pool;
+    for (auto& [p, c] : cands)
+      if (c.scored_ok && !c.measured) pool.push_back(&c);
+    std::sort(pool.begin(), pool.end(), by_surrogate);
+
+    std::vector<Candidate*> frontier;
+    if (round == 0) {
+      frontier = pool;
+    } else {
+      const std::vector<SpecPoint> beam = beam_points();
+      std::vector<SpecPoint> neighbours;
+      for (std::size_t i = 0; i < beam.size(); ++i)
+        for (int m = 0; m < opts.mutations; ++m) {
+          const std::uint64_t step =
+              mix3(static_cast<std::uint64_t>(round), i,
+                   static_cast<std::uint64_t>(m));
+          if (const auto q = space.mutate(beam[i], kernel_seed, step)) {
+            score_point(*q);  // no-op when the lattice already covered it
+            neighbours.push_back(*q);
+          }
+        }
+      for (Candidate* c : pool)
+        if (std::find(neighbours.begin(), neighbours.end(), c->point) !=
+            neighbours.end())
+          frontier.push_back(c);
+    }
+    std::vector<Candidate*> promote(
+        frontier.begin(),
+        frontier.begin() + std::min<std::size_t>(
+                               frontier.size(),
+                               static_cast<std::size_t>(opts.beam_width)));
+
+    // ...plus the natural `llv` point in round 0 (the regret anchor: the
+    // default regime must always have ground truth)...
+    if (round == 0) {
+      if (const auto it = cands.find(natural_llv);
+          it != cands.end() && it->second.scored_ok &&
+          !it->second.measured &&
+          std::find(promote.begin(), promote.end(), &it->second) ==
+              promote.end())
+        promote.push_back(&it->second);
+    }
+
+    // ...plus an ε-greedy random extra so systematic surrogate bias cannot
+    // hide a whole region. The draw is pure in (seed, kernel, round).
+    {
+      Rng rng(mix3(kernel_seed, kEpsilonSalt,
+                   static_cast<std::uint64_t>(round)));
+      if (rng.next_double() < opts.epsilon) {
+        std::vector<Candidate*> rest;
+        for (Candidate* c : pool)
+          if (std::find(promote.begin(), promote.end(), c) == promote.end())
+            rest.push_back(c);
+        if (!rest.empty()) promote.push_back(rest[rng.next_below(rest.size())]);
+      }
+    }
+
+    if (promote.empty()) continue;
+
+    // Batch order = spec order: the measurement request sequence (and so
+    // the cache append order on a cold run) never depends on ranking ties.
+    std::sort(promote.begin(), promote.end(),
+              [](const Candidate* a, const Candidate* b) {
+                return a->spec < b->spec;
+              });
+    std::vector<std::string> specs;
+    specs.reserve(promote.size());
+    for (const Candidate* c : promote) specs.push_back(c->spec);
+    const eval::SpecBatchResult batch = measure(scalar.name, specs);
+    out.cache_hits += batch.cache_hits;
+    out.cache_misses += batch.cache_misses;
+    for (std::size_t i = 0; i < promote.size(); ++i) {
+      promote[i]->measured = true;
+      promote[i]->m = batch.results[i];
+      ++out.measured;
+    }
+  }
+
+  // Verdict: best measured candidate by (speedup desc, spec asc).
+  const Candidate* best = nullptr;
+  for (const auto& [p, c] : cands) {
+    if (!c.measured || !c.m.ok) continue;
+    if (best == nullptr || by_speedup(&c, best)) best = &c;
+    if (out.scalar_cycles == 0) out.scalar_cycles = c.m.scalar_cycles;
+  }
+  if (best != nullptr) {
+    out.ok = true;
+    out.best_spec = best->spec;
+    out.best_speedup = best->m.speedup;
+    out.best_cycles = best->m.cycles;
+    out.best_vf = best->m.vf;
+    out.scalar_cycles = best->m.scalar_cycles;
+  }
+
+  // Trace (spec order) + digest over the whole trajectory.
+  for (const auto& [p, c] : cands) {
+    SpecOutcome o;
+    o.spec = c.spec;
+    o.surrogate = c.surrogate;
+    o.scored_ok = c.scored_ok;
+    o.reject_reason = c.reject_reason;
+    o.measured = c.measured;
+    if (c.measured) {
+      o.speedup = c.m.speedup;
+      o.cycles = c.m.cycles;
+      o.vf = c.m.vf;
+    }
+    out.trace.push_back(std::move(o));
+  }
+  std::sort(out.trace.begin(), out.trace.end(),
+            [](const SpecOutcome& a, const SpecOutcome& b) {
+              return a.spec < b.spec;
+            });
+
+  support::Fnv1a f;
+  f.add(out.kernel);
+  for (const SpecOutcome& t : out.trace) {
+    f.add(t.spec);
+    f.add_u64(std::bit_cast<std::uint64_t>(t.surrogate));
+    f.add_u64(static_cast<std::uint64_t>(t.scored_ok));
+    f.add_u64(static_cast<std::uint64_t>(t.measured));
+    f.add_u64(std::bit_cast<std::uint64_t>(t.speedup));
+  }
+  f.add(out.best_spec);
+  f.add_u64(std::bit_cast<std::uint64_t>(out.best_speedup));
+  out.digest = f.value();
+  return out;
+}
+
+KernelTuneResult tune_kernel_direct(const ir::LoopKernel& scalar,
+                                    const machine::TargetDesc& target,
+                                    const TuneOptions& opts) {
+  TuneOptions local = opts;
+  // Generated kernels may share a name; the printed IR is the identity.
+  local.seed = mix2(local.seed, hash_string(ir::print(scalar)));
+  const Surrogate surrogate(target);
+  xform::AnalysisManager analyses;
+  const MeasureBatch measure = [&](const std::string&,
+                                   const std::vector<std::string>& specs) {
+    eval::SpecBatchResult batch;
+    batch.results.reserve(specs.size());
+    for (const std::string& s : specs) {
+      const xform::Pipeline pipe = xform::Pipeline::parse(s);
+      batch.results.push_back(
+          eval::measure_spec(scalar, target, local.noise, pipe, analyses));
+      ++batch.cache_misses;
+    }
+    return batch;
+  };
+  return tune_kernel(scalar, target, local, surrogate, measure);
+}
+
+TuneReport tune_suite(const eval::Session& session, const TuneOptions& opts) {
+  VECCOST_SPAN("tune.suite_ns");
+  TuneReport report;
+  report.target_name = session.target().name;
+  report.seed = opts.seed;
+
+  std::vector<std::string> names = opts.kernels;
+  if (names.empty())
+    for (const auto& info : tsvc::suite()) names.push_back(info.name);
+  for (const std::string& name : names)
+    if (tsvc::find_kernel(name) == nullptr)
+      throw Error("tune: unknown kernel '" + name + "'");
+
+  // Calibrate the surrogate with a model fitted on the measured suite —
+  // the session cache amortizes the suite measurement across runs.
+  std::optional<Surrogate> surrogate;
+  if (opts.fit_surrogate) {
+    eval::SuiteRequest req;
+    req.noise = opts.noise;
+    const eval::SuiteResult measured = session.measure(req);
+    const eval::FitExperiment fit = eval::experiment_fit_speedup(
+        measured.suite, model::Fitter::NNLS, analysis::FeatureSet::Rated);
+    surrogate.emplace(session.target(), fit.model);
+  } else {
+    surrogate.emplace(session.target());
+  }
+  report.calibrated = surrogate->calibrated();
+
+  const MeasureBatch measure = [&session, noise = opts.noise](
+                                   const std::string& kernel,
+                                   const std::vector<std::string>& specs) {
+    std::vector<eval::SpecRequest> reqs;
+    reqs.reserve(specs.size());
+    for (const std::string& s : specs) reqs.push_back({kernel, s});
+    return session.measure_specs(reqs, noise);
+  };
+
+  report.kernels = parallel_map(
+      names.size(),
+      [&](std::size_t i) {
+        const tsvc::KernelInfo* info = tsvc::find_kernel(names[i]);
+        return tune_kernel(info->build(), session.target(), opts, *surrogate,
+                           measure);
+      },
+      session.options().jobs);
+
+  for (const KernelTuneResult& r : report.kernels) {
+    report.scored += r.scored;
+    report.measured += r.measured;
+    report.rejected += r.rejected;
+    report.cache_hits += r.cache_hits;
+    report.cache_misses += r.cache_misses;
+  }
+
+  if (opts.compute_regret) {
+    VECCOST_SPAN("tune.regret_ns");
+    // One batched sweep over every kernel's exhaustive llv grid; the batch
+    // is deduplicated against the search's measurements by the spec cache.
+    std::vector<eval::SpecRequest> sweep;
+    for (const KernelTuneResult& r : report.kernels)
+      for (const std::string& s : r.exhaustive_specs)
+        sweep.push_back({r.kernel, s});
+    const eval::SpecBatchResult batch = session.measure_specs(sweep, opts.noise);
+    report.cache_hits += batch.cache_hits;
+    report.cache_misses += batch.cache_misses;
+    report.regret_measurements = batch.cache_hits + batch.cache_misses;
+
+    std::size_t pos = 0;
+    double sum = 0, worst = 0;
+    std::size_t count = 0;
+    for (KernelTuneResult& r : report.kernels) {
+      double best = 0;
+      for (std::size_t i = 0; i < r.exhaustive_specs.size(); ++i) {
+        const eval::SpecMeasurement& m = batch.results[pos++];
+        if (m.ok) best = std::max(best, m.speedup);
+      }
+      r.best_exhaustive = best;
+      if (r.ok && best > 0) {
+        r.regret = std::max(0.0, 1.0 - r.best_speedup / best);
+        sum += r.regret;
+        worst = std::max(worst, r.regret);
+        ++count;
+      }
+    }
+    report.mean_regret = count == 0 ? 0.0 : sum / static_cast<double>(count);
+    report.max_regret = worst;
+    report.regret_kernels = count;
+  }
+
+  report.surrogate_queries = surrogate->queries();
+
+  // The suite digest covers the search trajectory only (not the regret
+  // phase), so warm/cold cache and --regret on/off agree byte for byte.
+  support::Fnv1a f;
+  f.add(report.target_name);
+  f.add_u64(report.seed);
+  for (const KernelTuneResult& r : report.kernels) {
+    f.add(r.kernel);
+    f.add_u64(r.digest);
+  }
+  report.digest = f.value();
+  return report;
+}
+
+const std::vector<std::string>& default_subset() {
+  // Pinned: straight-line vectorizable (s000, s1112, s452), strided store
+  // (s1111), loop-carried dependences that reject (s111, s113), control
+  // flow (s271), and the reduction family (s311 sum, s313 dot, s314 max).
+  static const std::vector<std::string> kSubset = {
+      "s000", "s111", "s1111", "s1112", "s113",
+      "s271", "s311", "s313",  "s314",  "s452"};
+  return kSubset;
+}
+
+}  // namespace veccost::tune

@@ -1,0 +1,159 @@
+// The pipeline autotuner behind `veccost tune`.
+//
+// Per kernel, the search is a small beam search with an ε-greedy exploration
+// bonus over SpecSpace's lattice:
+//
+//   round 0   score the whole lattice with the surrogate (each candidate
+//             costs one pipeline run through the kernel's shared
+//             AnalysisManager plus one model query — cheap by design), then
+//             promote the best `beam_width` candidates — plus the natural
+//             `llv` point, plus an ε-greedy random extra — to ground-truth
+//             measurement.
+//   round k   mutate the current beam (top candidates by measured speedup,
+//             surrogate score as filler for the unmeasured) and promote the
+//             best unmeasured candidates of that neighbourhood — the search
+//             walks outward from measured truth instead of marching down
+//             the surrogate's global ranking, plus the ε-greedy extra.
+//
+// Ground-truth measurements are the budget: the surrogate's job is to spend
+// as few of them as possible (the prune rate CI pins is the fraction of
+// scored candidates never measured).
+//
+// Every stochastic choice is a pure function of (seed, kernel, round, salt):
+// the trajectory — and therefore the emitted corpus and its digest — is
+// bit-identical for every --jobs value, warm or cold cache. Parallelism
+// lives outside the per-kernel search (tune_suite fans out over kernels;
+// measurement batches fan out inside eval::Session), both of which merge by
+// index.
+//
+// The regret report re-measures the exhaustive `llv` VF sweep per kernel
+// and compares the tuner's best against the sweep's best: mean regret over
+// the suite is the number CI pins (<= 5% with the surrogate pruning at
+// least half of the ground-truth measurements).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/session.hpp"
+#include "ir/loop.hpp"
+#include "machine/target.hpp"
+#include "tune/surrogate.hpp"
+
+namespace veccost::tune {
+
+/// Search policy. Defaults are the tuned trade-off the regret test pins:
+/// two mutation rounds of a 3-wide beam prune well over half of the
+/// exhaustive grid while staying within 5% of the exhaustive-llv best.
+struct TuneOptions {
+  std::uint64_t seed = 1;
+  int rounds = 2;        ///< mutation rounds after the seed round
+  int beam_width = 3;    ///< candidates promoted to measurement per round
+  int mutations = 4;     ///< mutation attempts per beam member per round
+  double epsilon = 0.25; ///< chance of one extra random promotion per round
+  double noise = machine::kDefaultNoise;
+  /// Kernels to tune; empty = the full TSVC suite (tune_suite only).
+  std::vector<std::string> kernels;
+  /// Calibrate the surrogate with a speedup model fitted on the suite
+  /// (costs one suite measurement, amortized by the session cache).
+  bool fit_surrogate = true;
+  /// Also measure the exhaustive llv VF sweep and report regret.
+  bool compute_regret = false;
+};
+
+/// One candidate the search touched, in canonical-spec order.
+struct SpecOutcome {
+  std::string spec;
+  double surrogate = 0;       ///< surrogate score (when scored_ok)
+  bool scored_ok = false;     ///< pipeline ran; surrogate score is valid
+  std::string reject_reason;  ///< why the pipeline failed, when it did
+  bool measured = false;      ///< promoted to ground truth
+  double speedup = 0;         ///< measured speedup over scalar
+  double cycles = 0;          ///< measured cycles (transformed)
+  int vf = 1;
+};
+
+/// The tuner's verdict for one kernel.
+struct KernelTuneResult {
+  std::string kernel;
+  bool ok = false;            ///< at least one candidate measured successfully
+  std::string best_spec = "-";
+  double best_speedup = 1.0;
+  double best_cycles = 0;
+  double scalar_cycles = 0;
+  int best_vf = 1;
+  std::size_t scored = 0;     ///< surrogate-scored candidates
+  std::size_t measured = 0;   ///< candidates promoted to measurement
+  std::size_t rejected = 0;   ///< candidates whose pipeline failed
+  std::size_t cache_hits = 0, cache_misses = 0;  ///< measurement batches
+  std::vector<SpecOutcome> trace;  ///< every touched candidate, spec order
+  /// Exhaustive llv sweep specs (for the regret phase; filled always).
+  std::vector<std::string> exhaustive_specs;
+  double best_exhaustive = 0;  ///< best sweep speedup (regret phase)
+  double regret = 0;           ///< max(0, 1 - best/best_exhaustive)
+  std::uint64_t digest = 0;    ///< FNV-1a over the trace + verdict
+};
+
+/// A whole tuning run (one target, one seed).
+struct TuneReport {
+  std::string target_name;
+  std::uint64_t seed = 0;
+  bool calibrated = false;     ///< surrogate had a fitted model
+  std::vector<KernelTuneResult> kernels;
+  std::size_t scored = 0, measured = 0, rejected = 0;
+  std::size_t cache_hits = 0, cache_misses = 0;
+  /// Distinct sweep measurements of the regret phase (cache stats above
+  /// include them; `measured` does not).
+  std::size_t regret_measurements = 0;
+  std::uint64_t surrogate_queries = 0;  ///< fitted-model queries served
+  double mean_regret = 0, max_regret = 0;  ///< over kernels with a sweep
+  std::size_t regret_kernels = 0;          ///< kernels the means cover
+  std::uint64_t digest = 0;  ///< suite digest (folds per-kernel digests)
+
+  /// Fraction of scored candidates the surrogate pruned away (never
+  /// promoted to ground truth). The acceptance bar is >= 0.5.
+  [[nodiscard]] double prune_rate() const {
+    return scored == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(measured) /
+                           static_cast<double>(scored);
+  }
+};
+
+/// Ground-truth channel: measure `specs` (pipeline spec texts) over the
+/// named kernel and return results in request order plus cache stats.
+/// tune_suite wires this to eval::Session::measure_specs; tests and the
+/// fuzz oracle wire it to direct measurement.
+using MeasureBatch = std::function<eval::SpecBatchResult(
+    const std::string& kernel, const std::vector<std::string>& specs)>;
+
+/// Tune one kernel. Pure in (scalar, target, opts, surrogate contents,
+/// measure results): equal inputs give a bit-identical result.
+[[nodiscard]] KernelTuneResult tune_kernel(const ir::LoopKernel& scalar,
+                                           const machine::TargetDesc& target,
+                                           const TuneOptions& opts,
+                                           const Surrogate& surrogate,
+                                           const MeasureBatch& measure);
+
+/// Tune one kernel with direct (uncached, uncalibrated) measurement — the
+/// fuzz oracle's path for generated kernels. The per-kernel seed mixes the
+/// kernel's printed IR, so two generated kernels sharing a name still get
+/// independent trajectories.
+[[nodiscard]] KernelTuneResult tune_kernel_direct(
+    const ir::LoopKernel& scalar, const machine::TargetDesc& target,
+    const TuneOptions& opts);
+
+/// Tune a set of TSVC kernels through a Session (cache-aware, parallel over
+/// kernels, deterministic for every jobs value). Throws on unknown kernels.
+[[nodiscard]] TuneReport tune_suite(const eval::Session& session,
+                                    const TuneOptions& opts);
+
+/// The pinned 10-kernel TSVC subset shared by the tune tests, the golden
+/// corpus, and CI's determinism check: straight-line vectorizable kernels,
+/// reductions, dependences that force rejection, and control flow.
+[[nodiscard]] const std::vector<std::string>& default_subset();
+
+}  // namespace veccost::tune

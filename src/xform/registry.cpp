@@ -164,6 +164,52 @@ class LowerPass final : public TransformPass {
   std::string name_;
 };
 
+/// Legality predicate for llv: the scalar kernel must be vectorizable at
+/// all, an explicit VF must not exceed the legal maximum, and `vl` needs a
+/// vector-length-agnostic target. (A pipeline may widen an already-rewritten
+/// kernel whose legality differs from the scalar's — the predicate is a
+/// plausibility filter over the *scalar* verdict; Pipeline::run decides.)
+bool llv_applicable(bool has_param, int param, const ir::LoopKernel&,
+                    const machine::TargetDesc& target,
+                    const analysis::Legality& legality) {
+  if (!legality.vectorizable) return false;
+  if (!has_param) return true;
+  if (param == kVLParam) return target.vl.vl_agnostic;
+  return param <= legality.max_vf;
+}
+
+std::vector<int> llv_params(const ir::LoopKernel& scalar,
+                            const machine::TargetDesc& target,
+                            const analysis::Legality& legality) {
+  std::vector<int> out;
+  if (!legality.vectorizable) return out;
+  out.push_back(0);  // natural VF
+  for (const int vf : {2, 4, 8, 16})
+    if (llv_applicable(true, vf, scalar, target, legality)) out.push_back(vf);
+  if (target.vl.vl_agnostic) out.push_back(kVLParam);
+  return out;
+}
+
+/// Unrolling replicates the body exactly — no epilogue — so it only
+/// preserves semantics when the default iteration range divides by the
+/// factor and the loop has no early exit.
+bool unroll_applicable(bool has_param, int param, const ir::LoopKernel& scalar,
+                       const machine::TargetDesc&, const analysis::Legality&) {
+  if (!has_param || param < 2) return false;
+  if (scalar.has_break()) return false;
+  const std::int64_t iters = scalar.trip.iterations(scalar.default_n);
+  return iters > 0 && iters % param == 0;
+}
+
+std::vector<int> unroll_params(const ir::LoopKernel& scalar,
+                               const machine::TargetDesc& target,
+                               const analysis::Legality& legality) {
+  std::vector<int> out;
+  for (const int f : {2, 4, 8})
+    if (unroll_applicable(true, f, scalar, target, legality)) out.push_back(f);
+  return out;
+}
+
 }  // namespace
 
 const std::vector<PassInfo>& pass_catalog() {
@@ -171,8 +217,9 @@ const std::vector<PassInfo>& pass_catalog() {
       {"llv", "llv[<VF>|<vl>]",
        "widen the loop by VF (natural VF when omitted); <vl> = predicated "
        "whole loop",
-       true, false, 2, /*accepts_vl=*/true},
-      {"unroll", "unroll<F>", "replicate the body F times", true, true, 2},
+       true, false, 2, /*accepts_vl=*/true, llv_applicable, llv_params},
+      {"unroll", "unroll<F>", "replicate the body F times", true, true, 2,
+       false, unroll_applicable, unroll_params},
       {"slp", "slp", "attach a superword pack plan for the current kernel",
        false, false, 0},
       {"reroll", "reroll",
@@ -182,6 +229,22 @@ const std::vector<PassInfo>& pass_catalog() {
        "compile the kernel to a micro-op program at L lanes", true, false, 1},
   };
   return catalog;
+}
+
+bool pass_applicable(const PassInfo& info, bool has_param, int param,
+                     const ir::LoopKernel& scalar,
+                     const machine::TargetDesc& target,
+                     const analysis::Legality& legality) {
+  if (info.applicable == nullptr) return true;
+  return info.applicable(has_param, param, scalar, target, legality);
+}
+
+std::vector<int> enumerate_pass_params(const PassInfo& info,
+                                       const ir::LoopKernel& scalar,
+                                       const machine::TargetDesc& target,
+                                       const analysis::Legality& legality) {
+  if (info.param_candidates == nullptr) return {};
+  return info.param_candidates(scalar, target, legality);
 }
 
 const PassInfo* find_pass_info(std::string_view base) {

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/legality.hpp"
 #include "xform/pass.hpp"
 
 namespace veccost::xform {
@@ -42,7 +43,40 @@ struct PassInfo {
   bool param_required = false;
   int min_param = 0;          ///< smallest legal parameter value, when given
   bool accepts_vl = false;    ///< accepts the `vl` keyword parameter
+
+  /// Cheap structural pre-filter for spec enumeration (the tuner's
+  /// SpecSpace): may this pass instantiation plausibly apply to a pipeline
+  /// seeded with `scalar` on `target`? `legality` is the scalar kernel's
+  /// cached verdict — the predicate never runs an analysis itself, so one
+  /// legality run per kernel covers an entire search. Conservative in the
+  /// "maybe" direction: Pipeline::run is the real gate, this only prunes
+  /// instantiations that can never succeed (VF beyond max_vf, `vl` on a
+  /// fixed-length target, non-divisible unroll). nullptr = always plausible.
+  bool (*applicable)(bool has_param, int param, const ir::LoopKernel& scalar,
+                     const machine::TargetDesc& target,
+                     const analysis::Legality& legality) = nullptr;
+
+  /// Parameter values worth enumerating for this pass on `scalar` — the
+  /// tuner's axis along this pass kind, already filtered by `applicable`.
+  /// Includes 0 for "parameter omitted" when that form is meaningful
+  /// (e.g. `llv` at the natural VF) and kVLParam for `llv<vl>` on
+  /// vector-length-agnostic targets. nullptr = nothing to enumerate.
+  std::vector<int> (*param_candidates)(const ir::LoopKernel& scalar,
+                                       const machine::TargetDesc& target,
+                                       const analysis::Legality& legality) =
+      nullptr;
 };
+
+/// `info.applicable` with the nullptr-means-yes convention applied.
+[[nodiscard]] bool pass_applicable(const PassInfo& info, bool has_param,
+                                   int param, const ir::LoopKernel& scalar,
+                                   const machine::TargetDesc& target,
+                                   const analysis::Legality& legality);
+
+/// `info.param_candidates` with the nullptr-means-empty convention applied.
+[[nodiscard]] std::vector<int> enumerate_pass_params(
+    const PassInfo& info, const ir::LoopKernel& scalar,
+    const machine::TargetDesc& target, const analysis::Legality& legality);
 
 /// Every registered pass kind, in catalog order.
 [[nodiscard]] const std::vector<PassInfo>& pass_catalog();

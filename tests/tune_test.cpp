@@ -1,0 +1,310 @@
+// The autotuner suite (`ctest -L tune`).
+//
+// Three contracts:
+//  * determinism — the whole search trajectory (corpus bytes, digest) is a
+//    pure function of (target, seed): bit-identical at --jobs 1/2/8, warm
+//    or cold cache, and pinned against tests/golden/tune_golden.csv;
+//  * warm re-tune — a second run over a populated spec cache performs ZERO
+//    new measurements (report stats and the obs counter both agree);
+//  * quality — on the pinned 10-kernel subset the tuner's best stays within
+//    the regret bound of the exhaustive llv sweep while the surrogate
+//    prunes at least half of the scored candidates.
+//
+// Plus the property layer over generated kernels: every spec the tuner
+// emits parses, canonicalizes round-trip, and runs; fixed-vector-length
+// targets never see a `vl` regime; and the oracle's special "tuned"
+// pipeline config validates the tuner end to end (0 divergences).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "eval/session.hpp"
+#include "machine/targets.hpp"
+#include "obs/metrics.hpp"
+#include "testing/fuzz.hpp"
+#include "testing/kernel_generator.hpp"
+#include "tsvc/kernel.hpp"
+#include "tune/corpus.hpp"
+#include "tune/spec_space.hpp"
+#include "tune/tuner.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
+
+namespace veccost::tune {
+namespace {
+
+TuneOptions subset_options() {
+  TuneOptions opts;
+  opts.kernels = default_subset();
+  return opts;
+}
+
+eval::SessionOptions uncached(std::size_t jobs) {
+  eval::SessionOptions opts;
+  opts.jobs = jobs;
+  opts.use_cache = false;
+  return opts;
+}
+
+TEST(Tune, DefaultSubsetIsPinned) {
+  // The subset names are shared by the golden corpus and CI's determinism
+  // check — changing them invalidates both, so the list itself is pinned.
+  ASSERT_EQ(default_subset().size(), 10u);
+  for (const std::string& name : default_subset())
+    EXPECT_NE(tsvc::find_kernel(name), nullptr) << name;
+}
+
+TEST(Tune, TrajectoryBitIdenticalAcrossJobs) {
+  const TuneReport ref =
+      tune_suite(eval::Session(machine::cortex_a57(), uncached(1)),
+                 subset_options());
+  ASSERT_EQ(ref.kernels.size(), default_subset().size());
+  EXPECT_GT(ref.measured, 0u);
+  const std::string ref_corpus = corpus_csv(ref);
+  for (const std::size_t jobs : {2u, 8u}) {
+    const TuneReport report =
+        tune_suite(eval::Session(machine::cortex_a57(), uncached(jobs)),
+                   subset_options());
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    EXPECT_EQ(report.digest, ref.digest);
+    EXPECT_EQ(corpus_csv(report), ref_corpus);
+    EXPECT_EQ(report.scored, ref.scored);
+    EXPECT_EQ(report.measured, ref.measured);
+    // Per-kernel traces identical, not just the digest.
+    ASSERT_EQ(report.kernels.size(), ref.kernels.size());
+    for (std::size_t i = 0; i < report.kernels.size(); ++i) {
+      EXPECT_EQ(report.kernels[i].digest, ref.kernels[i].digest)
+          << report.kernels[i].kernel;
+      EXPECT_EQ(report.kernels[i].best_spec, ref.kernels[i].best_spec);
+      EXPECT_EQ(report.kernels[i].best_speedup, ref.kernels[i].best_speedup);
+    }
+  }
+}
+
+TEST(Tune, MatchesGoldenCorpus) {
+  // The corpus bytes for (cortex-a57, seed 1, default options) are a wire
+  // format: regenerate tests/golden/tune_golden.csv deliberately (see
+  // docs/tuning.md), never accidentally.
+  const TuneReport report =
+      tune_suite(eval::Session(machine::cortex_a57(), uncached(4)),
+                 subset_options());
+  std::ifstream golden(std::string(VECCOST_GOLDEN_DIR) + "/tune_golden.csv",
+                       std::ios::binary);
+  ASSERT_TRUE(golden) << "missing tests/golden/tune_golden.csv";
+  std::ostringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(corpus_csv(report), want.str());
+}
+
+class TuneCacheTest : public ::testing::Test {
+ protected:
+  TuneCacheTest()
+      : dir_(::testing::TempDir() + "veccost_tune_cache_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()) {
+    std::filesystem::remove_all(dir_);
+  }
+  ~TuneCacheTest() override { std::filesystem::remove_all(dir_); }
+
+  eval::SessionOptions with_cache(std::size_t jobs) const {
+    eval::SessionOptions opts;
+    opts.jobs = jobs;
+    opts.cache_dir = dir_;
+    return opts;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TuneCacheTest, WarmRetunePerformsZeroNewMeasurements) {
+  const TuneReport cold =
+      tune_suite(eval::Session(machine::cortex_a57(), with_cache(2)),
+                 subset_options());
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(cold.cache_misses, 0u);
+
+  // Counter-verified: the warm run must not bump eval.spec_measurements at
+  // all — zero specs measured, everything served from the cache.
+  const std::uint64_t before =
+      obs::Registry::global().snapshot().counters["eval.spec_measurements"];
+  const TuneReport warm =
+      tune_suite(eval::Session(machine::cortex_a57(), with_cache(2)),
+                 subset_options());
+  const std::uint64_t after =
+      obs::Registry::global().snapshot().counters["eval.spec_measurements"];
+
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.cache_hits, cold.cache_hits + cold.cache_misses);
+  EXPECT_EQ(after, before);
+  // And the cache must not change the trajectory.
+  EXPECT_EQ(warm.digest, cold.digest);
+  EXPECT_EQ(corpus_csv(warm), corpus_csv(cold));
+}
+
+TEST_F(TuneCacheTest, WarmAndColdAgreeAcrossJobCounts) {
+  const TuneReport cold =
+      tune_suite(eval::Session(machine::cortex_a57(), with_cache(1)),
+                 subset_options());
+  const TuneReport warm8 =
+      tune_suite(eval::Session(machine::cortex_a57(), with_cache(8)),
+                 subset_options());
+  EXPECT_EQ(warm8.digest, cold.digest);
+  EXPECT_EQ(corpus_csv(warm8), corpus_csv(cold));
+}
+
+TEST(Tune, RegretWithinBoundWithRealPruning) {
+  // The acceptance bar: mean regret vs the exhaustive llv sweep <= 5% on
+  // the pinned subset, with the surrogate pruning >= 50% of the scored
+  // candidates away from ground truth.
+  TuneOptions opts = subset_options();
+  opts.compute_regret = true;
+  const TuneReport report =
+      tune_suite(eval::Session(machine::cortex_a57(), uncached(4)), opts);
+  EXPECT_GT(report.regret_kernels, 0u);
+  EXPECT_LE(report.mean_regret, 0.05);
+  EXPECT_GE(report.prune_rate(), 0.5);
+  // The sweep itself must have been measured (not silently skipped).
+  EXPECT_GT(report.regret_measurements, 0u);
+  for (const KernelTuneResult& r : report.kernels)
+    if (r.ok && r.best_exhaustive > 0)
+      EXPECT_LE(r.regret, 1.0) << r.kernel;
+}
+
+TEST(Tune, TunedBestNeverLosesToNaturalLlv) {
+  // The natural `llv` point is always promoted in round 0, so the tuner's
+  // best can never be worse than the default pipeline's speedup.
+  const TuneReport report =
+      tune_suite(eval::Session(machine::cortex_a57(), uncached(4)),
+                 subset_options());
+  for (const KernelTuneResult& r : report.kernels) {
+    for (const SpecOutcome& t : r.trace)
+      if (t.spec == "llv" && t.measured)
+        EXPECT_GE(r.best_speedup, t.speedup) << r.kernel;
+  }
+}
+
+// ---- property layer over generated kernels ---------------------------------
+
+TEST(TuneProperty, EmittedSpecsParseCanonicalizeAndRun) {
+  const testing::KernelGenerator gen;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const ir::LoopKernel kernel = gen.generate(seed);
+    const auto& target = machine::cortex_a57();
+    const KernelTuneResult result =
+        tune_kernel_direct(kernel, target, TuneOptions{});
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " kernel=" + kernel.name);
+    for (const SpecOutcome& t : result.trace) {
+      // Every emitted spec parses, and parsing is a fixed point: the
+      // canonical spec round-trips to itself.
+      const xform::Pipeline pipe = xform::Pipeline::parse(t.spec);
+      ASSERT_TRUE(pipe.valid()) << t.spec << ": " << pipe.error();
+      EXPECT_EQ(pipe.spec(), t.spec);
+      if (!t.scored_ok) continue;
+      // Scored candidates actually run: the trace's verdict reproduces.
+      xform::AnalysisManager analyses;
+      EXPECT_TRUE(pipe.run(kernel, target, analyses).ok) << t.spec;
+    }
+    if (result.ok) {
+      EXPECT_NE(result.best_spec, "-");
+      EXPECT_GT(result.best_speedup, 0.0);
+    }
+  }
+}
+
+TEST(TuneProperty, DirectTuningIsDeterministic) {
+  const testing::KernelGenerator gen;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ir::LoopKernel kernel = gen.generate(seed);
+    const KernelTuneResult a =
+        tune_kernel_direct(kernel, machine::cortex_a57(), TuneOptions{});
+    const KernelTuneResult b =
+        tune_kernel_direct(kernel, machine::cortex_a57(), TuneOptions{});
+    EXPECT_EQ(a.digest, b.digest) << "seed=" << seed;
+    EXPECT_EQ(a.best_spec, b.best_spec);
+    EXPECT_EQ(a.best_speedup, b.best_speedup);
+  }
+}
+
+TEST(TuneProperty, NoVlRegimeOnFixedLengthTargets) {
+  // `llv<vl>` (the predicated whole-loop regime) exists only on
+  // vector-length-agnostic targets; the tuner must never even propose it
+  // on fixed-length machines — and must explore it where it is legal.
+  const testing::KernelGenerator gen;
+  const machine::TargetDesc fixed_length[] = {
+      machine::cortex_a57(), machine::cortex_a72(), machine::xeon_e5_avx2()};
+  const machine::TargetDesc sve_target = machine::neoverse_sve256();
+  bool sve_saw_vl = false;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const ir::LoopKernel kernel = gen.generate(seed);
+    for (const machine::TargetDesc& target : fixed_length) {
+      const KernelTuneResult r =
+          tune_kernel_direct(kernel, target, TuneOptions{});
+      for (const SpecOutcome& t : r.trace)
+        EXPECT_EQ(t.spec.find("llv<vl>"), std::string::npos)
+            << target.name << " seed=" << seed << " " << t.spec;
+    }
+    const KernelTuneResult sve =
+        tune_kernel_direct(kernel, sve_target, TuneOptions{});
+    for (const SpecOutcome& t : sve.trace)
+      if (t.spec.find("llv<vl>") != std::string::npos) sve_saw_vl = true;
+  }
+  EXPECT_TRUE(sve_saw_vl)
+      << "the vl-agnostic target never explored the llv<vl> regime";
+}
+
+TEST(TuneProperty, SpecSpaceMutationIsPureInSeedAndStep) {
+  const ir::LoopKernel kernel = tsvc::find_kernel("s000")->build();
+  xform::AnalysisManager analyses;
+  const SpecSpace space(kernel, machine::cortex_a57(),
+                        analyses.legality(kernel));
+  ASSERT_FALSE(space.seeds().empty());
+  const SpecPoint p = space.seeds().front();
+  for (std::uint64_t step = 0; step < 32; ++step) {
+    const auto a = space.mutate(p, 7, step);
+    const auto b = space.mutate(p, 7, step);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(*a, *b);
+      EXPECT_TRUE(space.legal(*a));
+      EXPECT_FALSE(a->empty());
+    }
+  }
+}
+
+// ---- the oracle's "tuned" configuration ------------------------------------
+
+TEST(TuneFuzz, TunedPipelineCampaignHasZeroDivergences) {
+  // End-to-end: 300 generated kernels, each autotuned, each winner executed
+  // and compared against scalar by the differential oracle. Any divergence
+  // means the tuner promoted a semantics-breaking spec.
+  testing::CampaignOptions opts;
+  opts.iters = 300;
+  opts.oracle.pipeline = "tuned";
+  opts.shrink = false;  // failures here need the full kernel for debugging
+  const testing::CampaignReport report =
+      testing::run_campaign(machine::cortex_a57(), opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.iterations, 300);
+  // The tuned config must actually run for a healthy share of kernels (it
+  // skips only when no candidate survives measurement).
+  EXPECT_GT(report.configs_run, 0u);
+}
+
+TEST(TuneFuzz, TunedCampaignDigestIsJobsInvariant) {
+  testing::CampaignOptions opts;
+  opts.iters = 40;
+  opts.oracle.pipeline = "tuned";
+  opts.shrink = false;
+  opts.jobs = 1;
+  const auto serial = testing::run_campaign(machine::cortex_a57(), opts);
+  opts.jobs = 8;
+  const auto parallel = testing::run_campaign(machine::cortex_a57(), opts);
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_TRUE(serial.ok()) << serial.to_string();
+}
+
+}  // namespace
+}  // namespace veccost::tune

@@ -36,7 +36,8 @@ import subprocess
 import sys
 import time
 
-MICRO_BENCHES = ("bench/micro_machine", "bench/micro_fit", "bench/micro_pipeline")
+MICRO_BENCHES = ("bench/micro_machine", "bench/micro_fit",
+                 "bench/micro_pipeline", "bench/micro_tune")
 
 
 def run_google_benchmark(binary, min_time):
@@ -98,7 +99,13 @@ def warn_regressions(artifact, baseline_path, threshold):
         for name, now in sorted(current.items()):
             then = base.get(name)
             if then is None:
-                print(f"  note: {name} has no baseline entry")
+                # Symmetric with the baseline-only case below: a timer with
+                # no baseline entry means the committed baseline is stale —
+                # the comparison silently loses coverage until it is
+                # regenerated, so it counts as a warning too.
+                print(f"  WARNING: {name} has no baseline entry "
+                      f"(new benchmark? regenerate the baseline)")
+                warnings += 1
                 continue
             if then > 0 and now > then * (1 + threshold):
                 print(f"  WARNING: {name} regressed "

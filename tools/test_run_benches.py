@@ -1,0 +1,117 @@
+"""Tests for run_benches.py's baseline comparison.
+
+Runs under both `python3 -m unittest` (what ctest invokes — no third-party
+deps) and pytest (which collects unittest.TestCase classes natively).
+The symmetry contract under test: a timer present on either side but
+missing from the other is a counted warning, not a silent note — a stale
+committed baseline loses coverage exactly like a renamed benchmark does.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import run_benches  # noqa: E402
+
+
+def make_artifact(benchmarks=None, suite=None):
+    return {
+        "schema": "veccost-bench-v1",
+        "benchmarks_ns_per_op": benchmarks or {},
+        "suite_cold_run_ms": suite or {},
+    }
+
+
+class WarnRegressionsTest(unittest.TestCase):
+    def compare(self, artifact, baseline):
+        """Run warn_regressions against an on-disk baseline, capture output."""
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            json.dump(baseline, f)
+            path = f.name
+        try:
+            out, err = io.StringIO(), io.StringIO()
+            with redirect_stdout(out), redirect_stderr(err):
+                warnings = run_benches.warn_regressions(artifact, path, 0.25)
+            return warnings, out.getvalue() + err.getvalue()
+        finally:
+            os.unlink(path)
+
+    def test_identical_artifacts_warn_nothing(self):
+        artifact = make_artifact({"BM_x": 100.0}, {"lowered": 50.0})
+        warnings, text = self.compare(artifact, artifact)
+        self.assertEqual(warnings, 0)
+        self.assertIn("no regressions", text)
+
+    def test_within_threshold_is_quiet(self):
+        warnings, _ = self.compare(make_artifact({"BM_x": 120.0}),
+                                   make_artifact({"BM_x": 100.0}))
+        self.assertEqual(warnings, 0)
+
+    def test_regression_beyond_threshold_warns(self):
+        warnings, text = self.compare(make_artifact({"BM_x": 200.0}),
+                                      make_artifact({"BM_x": 100.0}))
+        self.assertEqual(warnings, 1)
+        self.assertIn("regressed", text)
+
+    def test_speedups_never_warn(self):
+        warnings, _ = self.compare(make_artifact({"BM_x": 10.0}),
+                                   make_artifact({"BM_x": 100.0}))
+        self.assertEqual(warnings, 0)
+
+    def test_baseline_only_timer_is_a_counted_warning(self):
+        warnings, text = self.compare(make_artifact({}),
+                                      make_artifact({"BM_gone": 100.0}))
+        self.assertEqual(warnings, 1)
+        self.assertIn("missing from this run", text)
+
+    def test_new_timer_without_baseline_is_a_counted_warning(self):
+        # The symmetric case the comparison used to miss: a benchmark added
+        # without regenerating the committed baseline only printed a note.
+        warnings, text = self.compare(make_artifact({"BM_new": 100.0}),
+                                      make_artifact({}))
+        self.assertEqual(warnings, 1)
+        self.assertIn("no baseline entry", text)
+        self.assertIn("WARNING", text)
+
+    def test_symmetry_both_directions_counted_equally(self):
+        warnings, _ = self.compare(
+            make_artifact({"BM_new": 100.0, "BM_same": 50.0}),
+            make_artifact({"BM_gone": 100.0, "BM_same": 50.0}))
+        self.assertEqual(warnings, 2)
+
+    def test_suite_timers_compared_too(self):
+        warnings, _ = self.compare(
+            make_artifact({}, {"lowered": 200.0}),
+            make_artifact({}, {"lowered": 100.0}))
+        self.assertEqual(warnings, 1)
+
+    def test_unreadable_baseline_skips_comparison(self):
+        artifact = make_artifact({"BM_x": 100.0})
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            warnings = run_benches.warn_regressions(
+                artifact, "/nonexistent/baseline.json", 0.25)
+        self.assertEqual(warnings, 0)
+        self.assertIn("skipping comparison", err.getvalue())
+
+    def test_schema_mismatch_skips_comparison(self):
+        artifact = make_artifact({"BM_x": 999.0})
+        baseline = dict(make_artifact({"BM_x": 1.0}), schema="other-v0")
+        warnings, text = self.compare(artifact, baseline)
+        self.assertEqual(warnings, 0)
+        self.assertIn("skipping comparison", text)
+
+
+class MicroBenchListTest(unittest.TestCase):
+    def test_micro_tune_is_collected(self):
+        self.assertIn("bench/micro_tune", run_benches.MICRO_BENCHES)
+
+
+if __name__ == "__main__":
+    unittest.main()

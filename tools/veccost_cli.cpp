@@ -10,6 +10,7 @@
 //   veccost select   <kernel> [target]           transform options + pick
 //   veccost catalog  [target]                    markdown kernel catalog
 //   veccost fuzz     [target]                    differential fuzz campaign
+//   veccost tune     [target]                    pipeline autotuner (docs/tuning.md)
 //   veccost stats    [target|metrics.json]       pipeline metrics report
 //   veccost passes   [spec]                      pass catalog + spec check
 //   veccost serve    [--port N] ...              cost-model daemon (docs/serving.md)
@@ -17,6 +18,7 @@
 // Everything the example binaries do, behind one verb-style entry point.
 // Every subcommand that measures goes through eval::Session; the global
 // flags (support::parse_global_flags) configure it once, up front.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -41,11 +43,14 @@
 #include "serve/server.hpp"
 #include "support/env_flags.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "testing/differential_oracle.hpp"
 #include "testing/fuzz.hpp"
 #include "tsvc/kernel.hpp"
+#include "tune/corpus.hpp"
+#include "tune/tuner.hpp"
 #include "xform/analysis_manager.hpp"
 #include "xform/pipeline.hpp"
 #include "xform/registry.hpp"
@@ -71,6 +76,9 @@ usage:
   veccost catalog [target]
   veccost fuzz    [target] [--seed N] [--iters N] [--corpus DIR]
                   [--corpus-out DIR] [--no-shrink] [--inject-fault]
+  veccost tune    [target] [--seed N] [--rounds N] [--beam N] [--mutations N]
+                  [--epsilon X] [--kernels a,b,c] [--subset10] [--regret]
+                  [--no-fit] [--out FILE] [--bench-out FILE]
   veccost stats   [--json] [target|metrics.json]
   veccost passes  [spec]
   veccost serve   [--port N] [--queue-limit N] [--batch-max N]
@@ -363,7 +371,11 @@ int cmd_fuzz(std::vector<std::string> args,
   testing::CampaignOptions opts;
   opts.corpus_dir = "tests/corpus";  // replayed when present, else skipped
   if (!global.pipeline.empty()) {
-    opts.oracle.pipeline = pipeline_arg(global).spec();
+    // "tuned" is the oracle's special per-kernel-autotuned spec, resolved
+    // by the tuner inside the oracle — not parseable up front.
+    opts.oracle.pipeline = global.pipeline == "tuned"
+                               ? global.pipeline
+                               : pipeline_arg(global).spec();
   }
   bool inject_fault = false;
   const auto int_flag = [&](std::vector<std::string>::iterator& it,
@@ -407,6 +419,147 @@ int cmd_fuzz(std::vector<std::string> args,
   const auto report = testing::run_campaign(target, opts);
   std::cout << report.to_string() << '\n';
   return report.ok() ? 0 : 1;
+}
+
+/// `veccost tune [target] [--seed N] [--rounds N] [--beam N] [--mutations N]
+/// [--epsilon X] [--kernels a,b,c] [--subset10] [--regret] [--no-fit]
+/// [--out FILE] [--bench-out FILE]`. Runs the surrogate-guided pipeline
+/// autotuner (docs/tuning.md) over the suite (or a kernel subset), prints
+/// the per-kernel verdicts and the trajectory digest, and optionally writes
+/// the byte-stable corpus CSV (--out) and the non-gating benchmark JSON
+/// (--bench-out). The trajectory — and so the corpus and digest — is
+/// bit-identical for every --jobs value.
+int cmd_tune(std::vector<std::string> args,
+             const support::GlobalOptions& /*global*/) {
+  tune::TuneOptions opts;
+  std::string out_file, bench_out;
+  const auto value_flag = [&](std::vector<std::string>::iterator& it,
+                              const char* flag) {
+    if (std::next(it) == args.end())
+      throw Error(std::string(flag) + " needs a value");
+    it = args.erase(it);
+    std::string v = *it;
+    it = args.erase(it);
+    return v;
+  };
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(
+          std::strtoull(value_flag(it, "--seed").c_str(), nullptr, 10));
+    } else if (*it == "--rounds") {
+      opts.rounds =
+          static_cast<int>(std::strtol(value_flag(it, "--rounds").c_str(),
+                                       nullptr, 10));
+    } else if (*it == "--beam") {
+      opts.beam_width = static_cast<int>(
+          std::strtol(value_flag(it, "--beam").c_str(), nullptr, 10));
+    } else if (*it == "--mutations") {
+      opts.mutations = static_cast<int>(
+          std::strtol(value_flag(it, "--mutations").c_str(), nullptr, 10));
+    } else if (*it == "--epsilon") {
+      opts.epsilon = std::strtod(value_flag(it, "--epsilon").c_str(), nullptr);
+    } else if (*it == "--kernels") {
+      std::istringstream list(value_flag(it, "--kernels"));
+      for (std::string name; std::getline(list, name, ',');)
+        if (!name.empty()) opts.kernels.push_back(name);
+    } else if (*it == "--subset10") {
+      opts.kernels = tune::default_subset();
+      it = args.erase(it);
+    } else if (*it == "--regret") {
+      opts.compute_regret = true;
+      it = args.erase(it);
+    } else if (*it == "--no-fit") {
+      opts.fit_surrogate = false;
+      it = args.erase(it);
+    } else if (*it == "--out") {
+      out_file = value_flag(it, "--out");
+    } else if (*it == "--bench-out") {
+      bench_out = value_flag(it, "--bench-out");
+    } else {
+      ++it;
+    }
+  }
+  if (opts.rounds < 0 || opts.beam_width < 1 || opts.mutations < 0)
+    throw Error("tune: --rounds/--mutations must be >= 0, --beam >= 1");
+  const auto& target = target_arg(args, 2);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const eval::Session session(target);
+  const tune::TuneReport report = tune::tune_suite(session, opts);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
+  TextTable t(opts.compute_regret
+                  ? std::vector<std::string>{"kernel", "best spec", "vf",
+                                             "speedup", "scored", "measured",
+                                             "regret"}
+                  : std::vector<std::string>{"kernel", "best spec", "vf",
+                                             "speedup", "scored",
+                                             "measured"});
+  for (const tune::KernelTuneResult& r : report.kernels) {
+    std::vector<std::string> row = {r.kernel, r.best_spec,
+                                    std::to_string(r.best_vf),
+                                    TextTable::num(r.best_speedup, 3),
+                                    std::to_string(r.scored),
+                                    std::to_string(r.measured)};
+    if (opts.compute_regret)
+      row.push_back(r.best_exhaustive > 0 ? TextTable::pct(r.regret) : "-");
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_string();
+
+  std::cout << "\nsurrogate: "
+            << (report.calibrated ? "calibrated (fitted model)"
+                                  : "baseline (uncalibrated)")
+            << ", " << report.surrogate_queries << " fitted queries\n"
+            << "candidates: " << report.scored << " scored, "
+            << report.measured << " measured, " << report.rejected
+            << " rejected, prune rate " << TextTable::pct(report.prune_rate())
+            << '\n'
+            << "spec cache: " << report.cache_hits << " hits, "
+            << report.cache_misses << " misses\n";
+  if (opts.compute_regret)
+    std::cout << "regret vs exhaustive llv sweep (" << report.regret_kernels
+              << " kernels, " << report.regret_measurements
+              << " sweep measurements): mean "
+              << TextTable::pct(report.mean_regret) << ", max "
+              << TextTable::pct(report.max_regret) << '\n';
+  std::cout << "digest: " << tune::digest_hex(report.digest) << '\n';
+
+  if (!out_file.empty()) {
+    tune::write_corpus(out_file, report);
+    std::cout << "corpus: " << out_file << " (" << report.kernels.size()
+              << " kernels)\n";
+  }
+  if (!bench_out.empty()) {
+    support::Json doc = support::Json::object();
+    doc.set("schema", "veccost-tune-bench-v1");
+    doc.set("target", report.target_name);
+    doc.set("seed", static_cast<std::int64_t>(report.seed));
+    doc.set("kernels", report.kernels.size());
+    doc.set("wall_ms", wall_ms);
+    doc.set("scored", report.scored);
+    doc.set("measured", report.measured);
+    doc.set("rejected", report.rejected);
+    doc.set("prune_rate", report.prune_rate());
+    doc.set("cache_hits", report.cache_hits);
+    doc.set("cache_misses", report.cache_misses);
+    doc.set("surrogate_queries",
+            static_cast<std::int64_t>(report.surrogate_queries));
+    doc.set("calibrated", report.calibrated);
+    doc.set("regret_kernels", report.regret_kernels);
+    doc.set("regret_measurements", report.regret_measurements);
+    doc.set("mean_regret", report.mean_regret);
+    doc.set("max_regret", report.max_regret);
+    doc.set("digest", tune::digest_hex(report.digest));
+    std::ofstream out(bench_out, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("tune: cannot write " + bench_out);
+    out << doc.dump() << '\n';
+    std::cout << "bench: " << bench_out << '\n';
+  }
+  return 0;
 }
 
 /// `veccost stats [--json] [target|metrics.json]`. With a .json argument,
@@ -562,6 +715,7 @@ int main(int argc, char** argv) {
     else if (cmd == "select") rc = cmd_select(args);
     else if (cmd == "catalog") rc = cmd_catalog(args);
     else if (cmd == "fuzz") rc = cmd_fuzz(args, opts);
+    else if (cmd == "tune") rc = cmd_tune(args, opts);
     else if (cmd == "stats") rc = cmd_stats(args);
     else if (cmd == "passes") rc = cmd_passes(args, opts);
     else if (cmd == "serve") rc = cmd_serve(args, opts);
