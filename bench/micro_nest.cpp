@@ -1,0 +1,135 @@
+// Microbenchmarks of the arbitrary-depth nest machinery: direction-vector
+// dependence analysis on a 3-deep GEMM, the nest-restructuring pipelines
+// (interchange / unrolljam / ollv composed with llv), and deep-nest
+// execution under each dispatch mode — the odometer-driven outer sweep is
+// the hot loop the lowered engine pays for depth > 2.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/nest_dependence.hpp"
+#include "ir/builder.hpp"
+#include "machine/exec_engine.hpp"
+#include "machine/lowering.hpp"
+#include "machine/targets.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/pipeline.hpp"
+
+namespace {
+
+using namespace veccost;
+using B = ir::LoopBuilder;
+
+constexpr std::int64_t kM = 6;   // j trip (outermost)
+constexpr std::int64_t kK = 4;   // k trip (innermost-outer)
+constexpr std::int64_t kN = 16;  // i trip (inner loop, fixed)
+
+/// The 3-deep GEMM of examples/gemm.vir:
+///   for j in [0,6) for k in [0,4) for i in [0,16):
+///     c[j*16+i] += a[j*4+k] * b[k*16+i]
+const ir::LoopKernel& gemm_kernel() {
+  static const ir::LoopKernel kernel = [] {
+    B b("gemm", "nest", "c[j*16+i] += a[j*4+k] * b[k*16+i]");
+    b.trip({.start = 0, .step = 1, .num = 0, .den = 1, .offset = kN});
+    b.outer(kM);
+    b.outer(kK);
+    const int c = b.array("c", ir::ScalarType::F32, 0, kM * kN);
+    const int a = b.array("a", ir::ScalarType::F32, 0, kM * kK);
+    const int bm = b.array("b", ir::ScalarType::F32, 0, kK * kN);
+    const auto idx_c = B::at_nest(1, {kN, 0});
+    const auto va = b.load(a, B::at_nest(0, {kK, 1}));
+    const auto vb = b.load(bm, B::at_nest(1, {0, kN}));
+    const auto vc = b.load(c, idx_c);
+    b.store(c, idx_c, b.fma(va, vb, vc));
+    return std::move(b).finish();
+  }();
+  return kernel;
+}
+
+/// The 2-deep boundary of the same body shape, for the depth delta in
+/// lowering cost: for j in [0,6) for i in [0,16): c[j*16+i] += a[j*16+i]*b[i]
+const ir::LoopKernel& stencil2_kernel() {
+  static const ir::LoopKernel kernel = [] {
+    B b("stencil2", "nest", "c[j*16+i] += a[j*16+i] * b[i]");
+    b.trip({.start = 0, .step = 1, .num = 0, .den = 1, .offset = kN});
+    b.outer(kM);
+    const int c = b.array("c", ir::ScalarType::F32, 0, kM * kN);
+    const int a = b.array("a", ir::ScalarType::F32, 0, kM * kN);
+    const int bm = b.array("b", ir::ScalarType::F32, 0, kN);
+    const auto idx = B::at_nest(1, {kN}, 0);
+    const auto va = b.load(a, idx);
+    const auto vb = b.load(bm, B::at_nest(1, {0}, 0));
+    const auto vc = b.load(c, idx);
+    b.store(c, idx, b.fma(va, vb, vc));
+    return std::move(b).finish();
+  }();
+  return kernel;
+}
+
+/// Lowering cost as nest depth grows: the per-level lin/scale coefficient
+/// planning is the delta between the 2-deep and 3-deep rows.
+void BM_Lower(benchmark::State& state, const ir::LoopKernel* k) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(machine::lower(*k, machine::kStripWidth));
+}
+BENCHMARK_CAPTURE(BM_Lower, depth2, &stencil2_kernel());
+BENCHMARK_CAPTURE(BM_Lower, depth3, &gemm_kernel());
+
+/// Uncached lower_interchanged over every adjacent level pair of the 3-deep
+/// GEMM — the multi-permutation sweep the (kernel hash, level pair) cache
+/// in the engine exists to amortize.
+void BM_InterchangeLoweringSweep(benchmark::State& state) {
+  const auto& k = gemm_kernel();
+  for (auto _ : state)
+    for (int a = 0; a + 1 < static_cast<int>(k.depth()); ++a)
+      benchmark::DoNotOptimize(
+          machine::lower_interchanged(k, machine::kStripWidth, a, a + 1));
+}
+BENCHMARK(BM_InterchangeLoweringSweep);
+
+void BM_NestDependenceAnalysis(benchmark::State& state) {
+  const auto& k = gemm_kernel();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::analyze_nest_dependences(k));
+}
+BENCHMARK(BM_NestDependenceAnalysis);
+
+/// One nest-restructuring pipeline, cold analyses each run (the worst case
+/// a tuner probe pays).
+void BM_NestPipeline(benchmark::State& state, const std::string& spec) {
+  const auto& k = gemm_kernel();
+  const auto target = machine::cortex_a57();
+  const auto pipeline = xform::Pipeline::parse(spec);
+  for (auto _ : state) {
+    xform::AnalysisManager analyses;
+    benchmark::DoNotOptimize(pipeline.run(k, target, analyses));
+  }
+}
+BENCHMARK_CAPTURE(BM_NestPipeline, interchange_llv, "interchange<0,1>,llv<4>");
+BENCHMARK_CAPTURE(BM_NestPipeline, unrolljam_llv, "unrolljam<2>,llv<4>");
+BENCHMARK_CAPTURE(BM_NestPipeline, ollv, "ollv<4>");
+
+/// Deep-nest scalar execution: reference interpreter vs the lowered engine
+/// under each dispatch mode. The workload rebuild is inside the timed loop
+/// for every variant, so the deltas isolate the engines.
+void BM_NestExecute(benchmark::State& state, int mode) {
+  const auto& k = gemm_kernel();
+  for (auto _ : state) {
+    machine::Workload wl = machine::make_workload(k, k.default_n);
+    if (mode < 0)
+      benchmark::DoNotOptimize(machine::reference_execute_scalar(k, wl));
+    else
+      benchmark::DoNotOptimize(machine::lowered_execute_scalar(
+          k, wl, static_cast<machine::DispatchKind>(mode)));
+  }
+}
+BENCHMARK_CAPTURE(BM_NestExecute, reference, -1);
+BENCHMARK_CAPTURE(BM_NestExecute, lowered_switch,
+                  static_cast<int>(machine::DispatchKind::Switch));
+BENCHMARK_CAPTURE(BM_NestExecute, lowered_threaded,
+                  static_cast<int>(machine::DispatchKind::Threaded));
+BENCHMARK_CAPTURE(BM_NestExecute, lowered_batch,
+                  static_cast<int>(machine::DispatchKind::Batch));
+
+}  // namespace

@@ -68,7 +68,7 @@ void analyze_pair(const LoopKernel& k, const Access& a, const Access& b,
     return;
   }
 
-  if (ia.scale_j != ib.scale_j) {
+  if (ia.outer != ib.outer) {
     unknown("mismatched outer-loop coefficients");
     return;
   }
@@ -119,9 +119,13 @@ void analyze_pair(const LoopKernel& k, const Access& a, const Access& b,
     }
     // Mixed nonzero strides: run a GCD test; if offsets can never coincide
     // there is no dependence, otherwise give up (exact direction needs more
-    // machinery).
+    // machinery). The element at counter m is scale_i*(start + m*step) +
+    // offset = s*m + base, so the start term only cancels when the scales
+    // are equal — fold it into each base here.
+    const std::int64_t base_a = ia.scale_i * k.trip.start + ia.offset;
+    const std::int64_t base_b = ib.scale_i * k.trip.start + ib.offset;
     const std::int64_t g = std::gcd(sa, sb);
-    if (g != 0 && (ib.offset - ia.offset) % g != 0) return;  // no intersection
+    if (g != 0 && (base_b - base_a) % g != 0) return;  // no intersection
     unknown("mixed subscript strides", UnknownKind::Checkable);
     return;
   }

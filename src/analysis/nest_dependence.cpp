@@ -1,0 +1,265 @@
+#include "analysis/nest_dependence.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace veccost::analysis {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::ValueId;
+
+std::string NestDependence::to_string() const {
+  std::ostringstream os;
+  os << "dep %" << source << " -> %" << sink << " (array " << array << ", (";
+  for (std::size_t i = 0; i < distance.size(); ++i) {
+    if (i) os << ',';
+    if (i + 1 == distance.size() && !inner_exact)
+      os << '*';
+    else
+      os << distance[i];
+  }
+  os << "))";
+  return os.str();
+}
+
+namespace {
+
+struct Access {
+  ValueId id;
+  bool is_store;
+  const Instruction* inst;
+};
+
+/// Cap on the outer-distance box: beyond this many combinations the
+/// enumeration is declared unanalyzable rather than slow.
+constexpr std::int64_t kMaxCombos = 1 << 20;
+
+[[nodiscard]] bool lex_positive(const std::vector<std::int64_t>& v) {
+  for (const std::int64_t d : v) {
+    if (d > 0) return true;
+    if (d < 0) return false;
+  }
+  return false;
+}
+
+/// Analyze one (unordered) pair of accesses sharing coefficient vectors:
+/// enumerate outer distances and solve the inner lattice component.
+/// `coef[g]` is the effective per-index-step coefficient of outer level g,
+/// `ci` the inner one, `diff = offset(y) - offset(x)`.
+void solve_pair(const LoopKernel& k, const Access& x, const Access& y,
+                const std::vector<std::int64_t>& coef, std::int64_t ci,
+                std::int64_t diff, NestDependenceInfo& info) {
+  const std::size_t levels = k.nest.size();
+  std::vector<std::int64_t> delta(levels, 0);
+  std::vector<std::int64_t> lo(levels, 0), hi(levels, 0);
+  for (std::size_t g = 0; g < levels; ++g) {
+    const std::int64_t span = std::max<std::int64_t>(k.nest.levels[g].trip - 1, 0);
+    lo[g] = -span;
+    hi[g] = span;
+    delta[g] = lo[g];
+  }
+
+  // Feasibility bound on the inner component: with an n-independent trip
+  // count the two iterations are at most iterations-1 apart. n-dependent
+  // trips leave it unbounded (-1).
+  const std::int64_t inner_span =
+      k.trip.num == 0 ? std::max<std::int64_t>(k.trip.iterations(0) - 1, 0)
+                      : -1;
+
+  const auto record = [&](const std::vector<std::int64_t>& outer,
+                          std::int64_t di, bool exact) {
+    std::vector<std::int64_t> v(outer);
+    v.push_back(di);
+    // Orient the vector from the earlier iteration to the later one. A
+    // lexicographically negative solution is the same collision pair seen
+    // from the other end — the dependence runs the other way, with the
+    // negated vector (for unknown-inner vectors the outer part decides and
+    // the placeholder stays 0). Unknown-inner vectors with an all-zero
+    // outer part are handled by the caller.
+    const auto oriented = [&](const std::vector<std::int64_t>& u) {
+      return exact ? lex_positive(u)
+                   : lex_positive({u.begin(), std::prev(u.end())});
+    };
+    if (!oriented(v)) {
+      for (std::int64_t& d : v) d = -d;
+      if (!oriented(v)) return;
+    }
+    NestDependence dep;
+    dep.source = std::min(x.id, y.id);
+    dep.sink = std::max(x.id, y.id);
+    dep.array = x.inst->array;
+    dep.distance = std::move(v);
+    dep.inner_exact = exact;
+    // Symmetric solution sets (diff == 0) reach here twice per vector.
+    for (const NestDependence& d : info.deps)
+      if (d.source == dep.source && d.sink == dep.sink &&
+          d.distance == dep.distance && d.inner_exact == dep.inner_exact)
+        return;
+    info.deps.push_back(std::move(dep));
+  };
+
+  while (true) {
+    std::int64_t rem = diff;
+    for (std::size_t g = 0; g < levels; ++g) rem -= coef[g] * delta[g];
+    const bool outer_zero =
+        std::all_of(delta.begin(), delta.end(),
+                    [](std::int64_t d) { return d == 0; });
+    if (ci == 0) {
+      if (rem == 0) {
+        if (outer_zero) {
+          if (x.id != y.id || x.is_store) {
+            // Same element every inner iteration of the same combination:
+            // an i-invariant written address (dependence.cpp's
+            // "loop-invariant address is written every iteration").
+            info.analyzable = false;
+            info.notes.push_back("i-invariant written element between %" +
+                                 std::to_string(x.id) + " and %" +
+                                 std::to_string(y.id));
+            return;
+          }
+        } else {
+          record(delta, 0, /*exact=*/false);
+        }
+      }
+    } else if (rem % ci == 0) {
+      const std::int64_t di = rem / ci;
+      const bool feasible = inner_span < 0 || std::llabs(di) <= inner_span;
+      if (feasible && !(outer_zero && di == 0))
+        record(delta, di, /*exact=*/true);
+    }
+
+    // Advance the odometer over the outer-distance box.
+    std::size_t g = levels;
+    while (g > 0) {
+      --g;
+      if (++delta[g] <= hi[g]) break;
+      delta[g] = lo[g];
+      if (g == 0) return;
+    }
+    if (levels == 0) return;
+  }
+}
+
+}  // namespace
+
+NestDependenceInfo analyze_nest_dependences(const LoopKernel& kernel) {
+  VECCOST_ASSERT(kernel.vf == 1,
+                 "nest dependence analysis expects a scalar kernel");
+  NestDependenceInfo info;
+  info.depth = kernel.depth();
+
+  // Box size guard: the enumeration is exponential in nest depth by design
+  // (depth <= 5 and trips are small constants); bail out when it is not.
+  std::int64_t combos = 1;
+  for (const ir::LoopLevel& lvl : kernel.nest.levels) {
+    const std::int64_t span = 2 * std::max<std::int64_t>(lvl.trip - 1, 0) + 1;
+    combos *= span;
+    if (combos > kMaxCombos) {
+      info.analyzable = false;
+      info.notes.push_back("outer iteration box too large to enumerate");
+      return info;
+    }
+  }
+
+  std::vector<std::vector<Access>> by_array(kernel.arrays.size());
+  for (std::size_t i = 0; i < kernel.body.size(); ++i) {
+    const Instruction& inst = kernel.body[i];
+    if (!ir::is_memory_op(inst.op)) continue;
+    by_array[static_cast<std::size_t>(inst.array)].push_back(
+        {static_cast<ValueId>(i), ir::is_store_op(inst.op), &inst});
+  }
+
+  const std::size_t levels = kernel.nest.size();
+  for (const auto& accesses : by_array) {
+    const bool written =
+        std::any_of(accesses.begin(), accesses.end(),
+                    [](const Access& a) { return a.is_store; });
+    if (!written) continue;
+    for (std::size_t ax = 0; ax < accesses.size(); ++ax) {
+      for (std::size_t ay = ax; ay < accesses.size(); ++ay) {
+        const Access& x = accesses[ax];
+        const Access& y = accesses[ay];
+        if (!x.is_store && !y.is_store) continue;
+        const auto& ix = x.inst->index;
+        const auto& iy = y.inst->index;
+        if (ix.is_indirect() || iy.is_indirect()) {
+          info.analyzable = false;
+          info.notes.push_back("indirect subscript on a written array");
+          continue;
+        }
+        if (ix.n_scale != iy.n_scale) {
+          info.analyzable = false;
+          info.notes.push_back("mismatched problem-size coefficients");
+          continue;
+        }
+        bool mixed = ix.scale_i != iy.scale_i;
+        for (std::size_t g = 0; g < levels && !mixed; ++g)
+          mixed = ix.outer_scale(g) != iy.outer_scale(g);
+        if (mixed) {
+          info.analyzable = false;
+          info.notes.push_back("mismatched subscript coefficients between %" +
+                               std::to_string(x.id) + " and %" +
+                               std::to_string(y.id));
+          continue;
+        }
+        std::vector<std::int64_t> coef(levels, 0);
+        for (std::size_t g = 0; g < levels; ++g)
+          coef[g] = ix.outer_scale(g) * kernel.nest.levels[g].step;
+        const std::int64_t ci = ix.scale_i * kernel.trip.step;
+        solve_pair(kernel, x, y, coef, ci, iy.offset - ix.offset, info);
+        if (!info.analyzable) return info;
+      }
+    }
+  }
+  return info;
+}
+
+bool interchange_legal_at(const NestDependenceInfo& info, std::size_t a,
+                          std::size_t b) {
+  if (!info.analyzable) return false;
+  if (b != a + 1 || b >= info.depth) return false;
+  for (const NestDependence& dep : info.deps) {
+    const auto& v = dep.distance;
+    bool prefix_zero = true;
+    for (std::size_t l = 0; l < a && prefix_zero; ++l)
+      prefix_zero = v[l] == 0;
+    if (!prefix_zero) continue;  // carried by an enclosing level: order kept
+    if (v[a] <= 0) continue;
+    const bool b_negative =
+        (b + 1 == info.depth && !dep.inner_exact) || v[b] < 0;
+    if (b_negative) return false;
+  }
+  return true;
+}
+
+bool interchange_legal_at(const ir::LoopKernel& kernel, std::size_t a,
+                          std::size_t b) {
+  return interchange_legal_at(analyze_nest_dependences(kernel), a, b);
+}
+
+bool unroll_jam_legal(const NestDependenceInfo& info, int factor) {
+  if (!info.analyzable) return false;
+  if (info.depth < 2 || factor < 2) return false;
+  const std::size_t jam = info.depth - 2;  // innermost-outer level
+  for (const NestDependence& dep : info.deps) {
+    const auto& v = dep.distance;
+    bool prefix_zero = true;
+    for (std::size_t l = 0; l < jam && prefix_zero; ++l)
+      prefix_zero = v[l] == 0;
+    if (!prefix_zero) continue;
+    if (v[jam] <= 0 || v[jam] >= factor) continue;
+    const bool inner_negative = !dep.inner_exact || v[jam + 1] < 0;
+    if (inner_negative) return false;
+  }
+  return true;
+}
+
+bool unroll_jam_legal(const ir::LoopKernel& kernel, int factor) {
+  return unroll_jam_legal(analyze_nest_dependences(kernel), factor);
+}
+
+}  // namespace veccost::analysis

@@ -1,0 +1,85 @@
+// Depth-aware dependence analysis over the full loop nest of a LoopKernel.
+//
+// The inner-loop analysis (dependence.hpp) collapses the outer levels into a
+// "coefficients must match" side condition and reports scalar distances over
+// the innermost loop only. This module generalizes the same equal-coefficient
+// lattice test to the whole nest: every dependence carries a *distance
+// vector* of length `depth()` — one entry per outer level, outermost first,
+// plus the innermost loop last — normalized to be lexicographically positive
+// (the textbook convention: the vector points from source iteration to sink
+// iteration in execution order).
+//
+// Solutions are found by enumerating the bounded outer-distance box (outer
+// trip counts are compile-time constants in this IR) and solving the inner
+// component exactly from the access lattice, which is precise for the
+// equal-coefficient case and conservatively unanalyzable otherwise — the
+// same envelope dependence.cpp draws, lifted to d dimensions.
+//
+// Downstream consumers are the classical loop-restructuring legality tests:
+//  * interchange of an adjacent level pair (a, b): illegal iff some
+//    dependence has zeros above a, a positive component at a and a negative
+//    component at b (the pair would execute in the opposite order after the
+//    swap);
+//  * unroll-and-jam of the innermost-outer level by factor F: illegal iff
+//    some dependence has zeros above that level, a carried distance in
+//    (0, F) at it, and a negative inner component.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::analysis {
+
+/// One dependence between two same-array accesses, over the full nest.
+struct NestDependence {
+  ir::ValueId source = ir::kNoValue;  ///< body id of the earlier access
+  ir::ValueId sink = ir::kNoValue;    ///< body id of the later access
+  int array = -1;
+  /// Distance vector, outermost level first, innermost loop last;
+  /// lexicographically positive (all-zero vectors are loop-independent and
+  /// not recorded).
+  std::vector<std::int64_t> distance;
+  /// False when the innermost component is unconstrained (both accesses are
+  /// invariant in i but collide at this outer distance): `distance.back()`
+  /// is then 0 as a placeholder and every inner direction must be assumed.
+  bool inner_exact = true;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct NestDependenceInfo {
+  std::size_t depth = 1;  ///< nest depth the vectors are indexed over
+  /// False when some pair defeated the test (indirect subscript, mismatched
+  /// coefficients, or an outer iteration box too large to enumerate); the
+  /// legality predicates below then answer "illegal" for everything.
+  bool analyzable = true;
+  std::vector<NestDependence> deps;
+  std::vector<std::string> notes;  ///< human-readable unanalyzable reasons
+};
+
+/// Analyze all written-array access pairs of `kernel` (must be scalar).
+[[nodiscard]] NestDependenceInfo analyze_nest_dependences(
+    const ir::LoopKernel& kernel);
+
+/// Legality of interchanging the adjacent level pair (a, b = a + 1), levels
+/// numbered over the FULL nest (0 = outermost, depth-1 = the innermost `i`
+/// loop). True iff no dependence direction vector is zero above a, positive
+/// at a, and negative (or unknown) at b.
+[[nodiscard]] bool interchange_legal_at(const NestDependenceInfo& info,
+                                        std::size_t a, std::size_t b);
+[[nodiscard]] bool interchange_legal_at(const ir::LoopKernel& kernel,
+                                        std::size_t a, std::size_t b);
+
+/// Legality of unroll-and-jam of the innermost-outer level by `factor`:
+/// true iff no dependence is zero above that level, carried by it with
+/// distance in (0, factor), and negative (or unknown) in the inner loop.
+/// Structural preconditions (no phis/breaks, divisible trip) are the
+/// transform's own business — this answers the dependence question only.
+[[nodiscard]] bool unroll_jam_legal(const NestDependenceInfo& info,
+                                    int factor);
+[[nodiscard]] bool unroll_jam_legal(const ir::LoopKernel& kernel, int factor);
+
+}  // namespace veccost::analysis

@@ -155,7 +155,7 @@ KernelMeasurement measure_kernel(const tsvc::KernelInfo& info,
   m.measured_speedup = m.scalar_cycles / m.vector_cycles;
 
   const std::int64_t iters = scalar.trip.iterations(n);
-  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  const std::int64_t outer = scalar.nest.total_outer_iterations();
   m.scalar_cost_per_iter =
       m.scalar_cycles / static_cast<double>(std::max<std::int64_t>(iters * outer, 1));
   const std::int64_t vf = std::max(m.vf, 1);

@@ -23,9 +23,13 @@ LoopBuilder& LoopBuilder::trip(TripCount tc) {
 }
 
 LoopBuilder& LoopBuilder::outer(std::int64_t trips) {
-  VECCOST_ASSERT(trips >= 1, "outer trip count must be >= 1");
-  kernel_.has_outer = true;
-  kernel_.outer_trip = trips;
+  return outer_level(LoopLevel{trips, 0, 1});
+}
+
+LoopBuilder& LoopBuilder::outer_level(LoopLevel lvl) {
+  VECCOST_ASSERT(lvl.trip >= 0, "outer trip count must be >= 0");
+  VECCOST_ASSERT(lvl.step >= 1, "outer step must be >= 1");
+  kernel_.nest.levels.push_back(lvl);
   return *this;
 }
 
@@ -71,10 +75,12 @@ Val LoopBuilder::indvar() {
   return emit(inst);
 }
 
-Val LoopBuilder::outer_indvar() {
+Val LoopBuilder::outer_indvar(int level) {
+  VECCOST_ASSERT(level >= 0, "outer_indvar level must be >= 0");
   Instruction inst;
   inst.op = Opcode::OuterIndVar;
   inst.type = {ScalarType::I64, 1};
+  inst.outer_level = level;
   return emit(inst);
 }
 

@@ -32,7 +32,11 @@ class LoopBuilder {
   // --- kernel metadata ----------------------------------------------------
   LoopBuilder& default_n(std::int64_t n);
   LoopBuilder& trip(TripCount tc);
+  /// Append an outer level with trip count `trips` (start 0, step 1). Called
+  /// repeatedly, builds the nest outermost first.
   LoopBuilder& outer(std::int64_t trips);
+  /// Append a fully general outer level (outermost first).
+  LoopBuilder& outer_level(LoopLevel lvl);
 
   // --- declarations ---------------------------------------------------------
   /// Declare an array; returns its index for use in load/store.
@@ -45,24 +49,37 @@ class LoopBuilder {
   // --- leaf values ----------------------------------------------------------
   Val fconst(double v, ScalarType t = ScalarType::F32);
   Val iconst(std::int64_t v, ScalarType t = ScalarType::I64);
-  Val indvar();        ///< inner induction variable (I64)
-  Val outer_indvar();  ///< outer induction variable (I64)
+  Val indvar();  ///< inner induction variable (I64)
+  /// Outer induction variable of nest level `level` (0 = outermost, I64).
+  Val outer_indvar(int level = 0);
 
   // --- memory index helpers (static, usable in initializer position) -------
   static MemIndex at(std::int64_t scale_i, std::int64_t offset = 0) {
-    return {scale_i, 0, 0, offset, kNoValue};
+    return {scale_i, {}, 0, offset, kNoValue};
   }
   static MemIndex at2(std::int64_t scale_i, std::int64_t scale_j,
                       std::int64_t offset = 0) {
-    return {scale_i, scale_j, 0, offset, kNoValue};
+    MemIndex m{scale_i, {}, 0, offset, kNoValue};
+    m.set_outer_scale(0, scale_j);
+    return m;
+  }
+  /// Index with one coefficient per outer level, outermost first, e.g.
+  /// C[j*n0 + i] in a 3-deep nest = at_nest(1, {n0, 0}).
+  static MemIndex at_nest(std::int64_t scale_i,
+                          std::vector<std::int64_t> outer_scales,
+                          std::int64_t offset = 0) {
+    MemIndex m{scale_i, {}, 0, offset, kNoValue};
+    for (std::size_t level = 0; level < outer_scales.size(); ++level)
+      m.set_outer_scale(level, outer_scales[level]);
+    return m;
   }
   /// Index affine in n as well, e.g. a[n-1-i] = at_n(-1, 1, -1).
   static MemIndex at_n(std::int64_t scale_i, std::int64_t n_scale,
                        std::int64_t offset = 0) {
-    return {scale_i, 0, n_scale, offset, kNoValue};
+    return {scale_i, {}, n_scale, offset, kNoValue};
   }
   static MemIndex via(Val index, std::int64_t offset = 0) {
-    return {0, 0, 0, offset, index.id};
+    return {0, {}, 0, offset, index.id};
   }
 
   // --- memory ---------------------------------------------------------------

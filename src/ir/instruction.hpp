@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "ir/opcode.hpp"
 #include "ir/type.hpp"
@@ -27,18 +28,40 @@ enum class ReductionKind : std::uint8_t { None, Sum, Prod, Min, Max, Or };
 /// Memory index expression: affine in the induction variables and the
 /// problem size n, plus an optional indirect component read from another
 /// value:
-///   index = scale_i * i + scale_j * j + n_scale * n + offset  (indirect < 0)
-///   index = value(indirect) + offset                          (indirect >= 0)
+///   index = scale_i * i + sum_L outer[L] * j_L + n_scale * n + offset
+///                                                              (indirect < 0)
+///   index = value(indirect) + offset                           (indirect >= 0)
+/// `outer` holds one coefficient per outer nest level, outermost first
+/// (NestInfo order); it is kept trimmed of trailing zeros so structurally
+/// equal subscripts compare and hash equal regardless of how many levels
+/// were ever touched. Use set_outer_scale() to maintain the invariant.
 /// The n term lets descending TSVC loops (`for (i = n-2; i >= 0; i--)`) be
 /// written as ascending loops over a reversed index such as a[n-2-i].
 struct MemIndex {
   std::int64_t scale_i = 0;
-  std::int64_t scale_j = 0;
+  std::vector<std::int64_t> outer;  ///< per-level coefficients, outermost first
   std::int64_t n_scale = 0;
   std::int64_t offset = 0;
   ValueId indirect = kNoValue;
 
   [[nodiscard]] bool is_indirect() const { return indirect != kNoValue; }
+
+  /// Coefficient of outer level `level` (0 = outermost); 0 past the vector.
+  [[nodiscard]] std::int64_t outer_scale(std::size_t level) const {
+    return level < outer.size() ? outer[level] : 0;
+  }
+  /// Set one level's coefficient, keeping `outer` trimmed of trailing zeros.
+  void set_outer_scale(std::size_t level, std::int64_t scale) {
+    if (level >= outer.size()) {
+      if (scale == 0) return;
+      outer.resize(level + 1, 0);
+    }
+    outer[level] = scale;
+    while (!outer.empty() && outer.back() == 0) outer.pop_back();
+  }
+  /// True when any outer-level coefficient is nonzero.
+  [[nodiscard]] bool depends_on_outer() const { return !outer.empty(); }
+
   friend bool operator==(const MemIndex&, const MemIndex&) = default;
 };
 
@@ -57,6 +80,7 @@ struct Instruction {
   int param_index = -1;      ///< Param
   int array = -1;            ///< memory ops: index into LoopKernel::arrays
   MemIndex index;            ///< memory ops
+  int outer_level = 0;       ///< OuterIndVar: nest level (0 = outermost)
 
   // Phi payload: initial value (param takes precedence when >= 0) and the
   // value that feeds the next iteration.

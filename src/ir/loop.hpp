@@ -1,6 +1,8 @@
-// LoopKernel: a (possibly 2-deep) counted loop nest whose innermost body is a
-// straight-line, if-converted instruction list. This is the unit both
-// vectorizers transform and both machine models consume.
+// LoopKernel: a counted loop nest of arbitrary depth whose innermost body is
+// a straight-line, if-converted instruction list. This is the unit both
+// vectorizers transform and both machine models consume. Outer levels are
+// described by NestInfo (outermost first); an empty nest is a plain 1-deep
+// loop.
 #pragma once
 
 #include <cstdint>
@@ -11,9 +13,9 @@
 
 namespace veccost::ir {
 
-/// An array referenced by the kernel. Arrays are 1-D buffers; 2-D kernels
-/// flatten via MemIndex::scale_j. Length is an affine function of the
-/// problem size n: length(n) = len_scale * n + len_offset.
+/// An array referenced by the kernel. Arrays are 1-D buffers; multi-D kernels
+/// flatten via MemIndex::outer coefficients. Length is an affine function of
+/// the problem size n: length(n) = len_scale * n + len_offset.
 struct ArrayDecl {
   std::string name;
   ScalarType elem = ScalarType::F32;
@@ -47,6 +49,42 @@ struct TripCount {
   }
 };
 
+/// One counted outer loop level: the induction variable runs
+///   v = start, start+step, ...  for `trip` iterations (absolute count).
+struct LoopLevel {
+  std::int64_t trip = 1;   ///< absolute iteration count (>= 0)
+  std::int64_t start = 0;  ///< first induction value
+  std::int64_t step = 1;   ///< induction increment (> 0)
+
+  /// Induction value of iteration `idx` (0 <= idx < trip).
+  [[nodiscard]] std::int64_t value(std::int64_t idx) const {
+    return start + idx * step;
+  }
+  friend bool operator==(const LoopLevel&, const LoopLevel&) = default;
+};
+
+/// The outer levels of a loop nest, outermost first. The innermost level is
+/// always the counted TripCount loop on LoopKernel itself, so `levels` empty
+/// means a plain 1-deep kernel and a single entry reproduces the legacy
+/// 2-deep shape. Full-nest level numbering used across analysis and passes:
+/// level L in [0, levels.size()) is levels[L]; level levels.size() is the
+/// innermost loop.
+struct NestInfo {
+  std::vector<LoopLevel> levels;
+
+  [[nodiscard]] bool empty() const { return levels.empty(); }
+  [[nodiscard]] std::size_t size() const { return levels.size(); }
+  /// Nest depth counting the innermost loop: 1-deep when no outer levels.
+  [[nodiscard]] std::size_t depth() const { return levels.size() + 1; }
+  /// Product of all outer trip counts (1 when no outer levels).
+  [[nodiscard]] std::int64_t total_outer_iterations() const {
+    std::int64_t total = 1;
+    for (const auto& lvl : levels) total *= lvl.trip;
+    return total;
+  }
+  friend bool operator==(const NestInfo&, const NestInfo&) = default;
+};
+
 struct LoopKernel {
   std::string name;
   std::string category;     ///< TSVC category, e.g. "linear_dependence"
@@ -54,9 +92,8 @@ struct LoopKernel {
 
   std::int64_t default_n = 4096;  ///< default problem size
 
-  TripCount trip;            ///< inner loop bounds
-  bool has_outer = false;    ///< two-deep nest?
-  std::int64_t outer_trip = 1;  ///< outer iteration count (absolute)
+  TripCount trip;  ///< innermost loop bounds
+  NestInfo nest;   ///< outer loop levels, outermost first (empty = 1-deep)
 
   std::vector<ArrayDecl> arrays;
   std::vector<double> params;  ///< loop-invariant runtime inputs
@@ -79,6 +116,11 @@ struct LoopKernel {
   bool predicated = false;
 
   // --- helpers ------------------------------------------------------------
+  /// Full nest depth including the innermost loop (1 = single loop).
+  [[nodiscard]] std::size_t depth() const { return nest.depth(); }
+  /// True when the kernel has at least one outer level.
+  [[nodiscard]] bool has_outer_levels() const { return !nest.empty(); }
+
   [[nodiscard]] const Instruction& instr(ValueId id) const;
   [[nodiscard]] Type value_type(ValueId id) const;
   [[nodiscard]] int find_array(const std::string& name) const;  ///< -1 if absent

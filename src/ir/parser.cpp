@@ -145,6 +145,17 @@ const std::map<std::string, Opcode>& opcode_table() {
   return table;
 }
 
+/// Names of the outer nest levels, outermost first (mirrors the printer).
+constexpr const char* kOuterNames[] = {"j", "k", "l", "m"};
+constexpr int kMaxOuterLevels = 4;
+
+/// Level index for an outer induction-variable name, or -1.
+int outer_level_of(const std::string& var) {
+  for (int level = 0; level < kMaxOuterLevels; ++level)
+    if (var == kOuterNames[level]) return level;
+  return -1;
+}
+
 /// Parse the inside of a subscript: affine terms or an indirect %ref.
 MemIndex parse_index(Cursor& c) {
   MemIndex idx;
@@ -183,10 +194,12 @@ MemIndex parse_index(Cursor& c) {
     (void)have_coeff;
     if (var == "i") {
       idx.scale_i += sign * coeff;
-    } else if (var == "j") {
-      idx.scale_j += sign * coeff;
     } else if (var == "n") {
       idx.n_scale += sign * coeff;
+    } else if (const int level = outer_level_of(var); level >= 0) {
+      idx.set_outer_scale(static_cast<std::size_t>(level),
+                          idx.outer_scale(static_cast<std::size_t>(level)) +
+                              sign * coeff);
     } else {
       c.fail("unknown subscript variable '" + var + "'");
     }
@@ -301,13 +314,28 @@ class Parser {
       while (!c.done()) kernel_.params.push_back(c.number());
       c = next_line("loop header");
     }
-    if (c.try_consume("outer")) {
-      c.expect("j");
+    // Outer levels, outermost first: `outer <name> = start .. end [step s]`.
+    // Names must follow the j, k, l, m sequence; the legacy single-line
+    // `outer j = 0 .. T` corpus form parses as one level with start 0 and
+    // step 1 and canonicalizes into NestInfo unchanged.
+    while (c.try_consume("outer")) {
+      const std::string name = c.ident();
+      const int level = outer_level_of(name);
+      if (level != static_cast<int>(kernel_.nest.size()))
+        c.fail("outer levels must be named j, k, l, m in nest order; got '" +
+               name + "'");
       c.expect('=');
-      (void)c.integer();
+      LoopLevel lvl;
+      lvl.start = c.integer();
       c.expect("..");
-      kernel_.has_outer = true;
-      kernel_.outer_trip = c.integer();
+      const std::int64_t end = c.integer();
+      lvl.step = 1;
+      if (c.try_consume("step")) lvl.step = c.integer();
+      if (lvl.step < 1) c.fail("outer step must be >= 1");
+      lvl.trip = end <= lvl.start
+                     ? 0
+                     : (end - lvl.start + lvl.step - 1) / lvl.step;
+      kernel_.nest.levels.push_back(lvl);
       c = next_line("loop header");
     }
     c.expect("loop");
@@ -371,7 +399,18 @@ class Parser {
           kernel_.params.push_back(0.0);
         break;
       case Opcode::IndVar:
+        break;
       case Opcode::OuterIndVar:
+        // Optional level name (j omitted in the legacy/level-0 form). `if`
+        // and `:` follow, so only bare j/k/l/m single-letter names match.
+        c.skip_ws();
+        if (c.peek() == 'j' || c.peek() == 'k' || c.peek() == 'l' ||
+            c.peek() == 'm') {
+          const std::string name = c.ident();
+          const int level = outer_level_of(name);
+          if (level < 0) c.fail("unknown outer level '" + name + "'");
+          inst.outer_level = level;
+        }
         break;
       case Opcode::Load:
       case Opcode::Gather:

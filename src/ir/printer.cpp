@@ -8,6 +8,17 @@ namespace veccost::ir {
 
 namespace {
 
+/// Printed names of the outer nest levels, outermost first. The innermost
+/// induction variable is always `i` and `n` is the problem size, so outer
+/// levels use j, k, l, m (the verifier caps nests at 4 outer levels).
+constexpr const char* kOuterNames[] = {"j", "k", "l", "m"};
+constexpr std::size_t kMaxOuterLevels = 4;
+
+const char* outer_name(std::size_t level) {
+  VECCOST_ASSERT(level < kMaxOuterLevels, "outer level out of printable range");
+  return kOuterNames[level];
+}
+
 std::string index_string(const LoopKernel& k, const Instruction& inst) {
   const auto& idx = inst.index;
   std::ostringstream os;
@@ -30,7 +41,8 @@ std::string index_string(const LoopKernel& k, const Instruction& inst) {
       wrote = true;
     };
     term(idx.scale_i, "i");
-    term(idx.scale_j, "j");
+    for (std::size_t level = 0; level < idx.outer.size(); ++level)
+      term(idx.outer[level], outer_name(level));
     term(idx.n_scale, "n");
     if (idx.offset != 0 || !wrote) {
       if (wrote && idx.offset > 0) os << '+';
@@ -60,6 +72,12 @@ std::string print(const LoopKernel& k, ValueId id) {
     }
     case Opcode::Param:
       os << " #" << inst.param_index;
+      break;
+    case Opcode::OuterIndVar:
+      // Level 0 prints bare (the legacy 2-deep form); deeper levels name
+      // their induction variable explicitly.
+      if (inst.outer_level > 0)
+        os << ' ' << outer_name(static_cast<std::size_t>(inst.outer_level));
       break;
     case Opcode::Load:
     case Opcode::Gather:
@@ -120,7 +138,13 @@ std::string print(const LoopKernel& k) {
     os.precision(old_precision);
     os << '\n';
   }
-  if (k.has_outer) os << "outer j = 0 .. " << k.outer_trip << '\n';
+  for (std::size_t level = 0; level < k.nest.size(); ++level) {
+    const LoopLevel& lvl = k.nest.levels[level];
+    os << "outer " << outer_name(level) << " = " << lvl.start << " .. "
+       << lvl.start + lvl.trip * lvl.step;
+    if (lvl.step != 1) os << " step " << lvl.step;
+    os << '\n';
+  }
   os << "loop i = " << k.trip.start << " .. ";
   if (k.trip.num == 1 && k.trip.den == 1) {
     os << 'n';

@@ -35,7 +35,15 @@ class Verifier {
     if (k_.trip.step <= 0) error("trip step must be positive");
     if (k_.trip.den <= 0) error("trip denominator must be positive");
     if (k_.vf < 1) error("vf must be >= 1");
-    if (k_.has_outer && k_.outer_trip < 1) error("outer trip must be >= 1");
+    if (k_.nest.size() > 4)
+      error("at most 4 outer levels supported (printable names j, k, l, m)");
+    for (std::size_t level = 0; level < k_.nest.size(); ++level) {
+      const LoopLevel& lvl = k_.nest.levels[level];
+      if (lvl.trip < 0)
+        error("outer level " + std::to_string(level) + " trip must be >= 0");
+      if (lvl.step < 1)
+        error("outer level " + std::to_string(level) + " step must be >= 1");
+    }
     if (k_.predicated) {
       // Predicated whole loops have no scalar tail, so anything whose
       // semantics depend on the last lane of the final block (first-order
@@ -143,6 +151,17 @@ class Verifier {
         check_reduction(id, inst);
         break;
       }
+      case Opcode::OuterIndVar:
+        // Level 0 is always accepted (it reads as 0 on a 1-deep kernel — the
+        // legacy degenerate form the shrinker can produce); deeper levels
+        // must exist in the nest.
+        if (inst.outer_level < 0 ||
+            (inst.outer_level > 0 &&
+             inst.outer_level >= static_cast<int>(k_.nest.size())))
+          error(id, "outer_indvar level " + std::to_string(inst.outer_level) +
+                        " out of range for a " +
+                        std::to_string(k_.nest.depth()) + "-deep nest");
+        break;
       case Opcode::Select:
         if (!k_.value_type(inst.operands[0]).is_mask())
           error(id, "select mask operand is not i1");

@@ -50,29 +50,73 @@ struct ProgramCacheEntry {
 constexpr std::size_t kProgramCacheSlots = 256;
 
 /// Gate for running an interchanged program: every affine access must be
-/// provably in bounds over the whole (lane, outer) rectangle, and nothing in
-/// the schedule may throw. When nothing can throw, iteration order is
-/// unobservable, so the transposed order is bit-identical; otherwise the
-/// caller falls back to row-major order so a throw surfaces at the original
-/// iteration with the original partial state. Accesses are affine in both
-/// indices, so checking the four rectangle corners bounds the extremes.
+/// provably in bounds over the whole (lane, outer) rectangle — across every
+/// grand-level combination — and nothing in the schedule may throw. When
+/// nothing can throw, iteration order is unobservable, so the transposed
+/// order is bit-identical; otherwise the caller falls back to row-major
+/// order so a throw surfaces at the original iteration with the original
+/// partial state. Accesses are affine in every index, so checking the
+/// rectangle corners with the extreme grand contributions bounds the
+/// extremes.
 bool whole_range_in_bounds(const LoweredProgram& prog, const Workload& wl,
-                           std::int64_t lane_extent, std::int64_t outer_extent) {
+                           const ir::NestInfo& nest, std::int64_t lane_extent,
+                           std::int64_t outer_extent) {
+  // Extreme flat grand-level contribution per ext entry, over the whole
+  // grand iteration box (each level's value spans [start, value(trip-1)]).
+  std::vector<std::int64_t> ext_lo(prog.ext_scales.size(), 0);
+  std::vector<std::int64_t> ext_hi(prog.ext_scales.size(), 0);
+  for (std::size_t e = 0; e < prog.ext_scales.size(); ++e) {
+    const auto& sc = prog.ext_scales[e];
+    for (std::size_t g = 0; g < sc.size(); ++g) {
+      const ir::LoopLevel& lvl = nest.levels[g];
+      const std::int64_t a = sc[g] * lvl.start;
+      const std::int64_t b =
+          sc[g] * lvl.value(std::max<std::int64_t>(lvl.trip - 1, 0));
+      ext_lo[e] += std::min(a, b);
+      ext_hi[e] += std::max(a, b);
+    }
+  }
   for (const MicroOp& u : prog.ops) {
     if (u.int_divide) return false;  // divide-by-zero would move the throw
     if (!ir::is_memory_op(u.op)) continue;
     if (u.pred >= 0 || u.indirect >= 0) return false;
     const std::int64_t len =
         static_cast<std::int64_t>(wl.arrays[static_cast<std::size_t>(u.array)].size());
+    const std::int64_t lo = u.ext >= 0 ? ext_lo[static_cast<std::size_t>(u.ext)] : 0;
+    const std::int64_t hi = u.ext >= 0 ? ext_hi[static_cast<std::size_t>(u.ext)] : 0;
     for (int c = 0; c < 4; ++c) {
       const std::int64_t l = (c & 1) != 0 ? lane_extent - 1 : 0;
       const std::int64_t j = (c & 2) != 0 ? outer_extent - 1 : 0;
       const std::int64_t e =
           u.base_off + u.lin * l + u.j_scale * j + u.n_scale * wl.n;
-      if (e < 0 || e >= len) return false;
+      if (e + lo < 0 || e + hi >= len) return false;
     }
   }
   return true;
+}
+
+/// Iterate the GRAND levels only (all but the last) of `nest`:
+/// `fn(grand_values)` once per combination, outermost slowest — the
+/// interchange drivers' odometer (their lane dimension covers the last
+/// level and their sequential dimension the inner loop).
+template <typename Fn>
+bool for_each_grand_combination(const ir::NestInfo& nest, Fn&& fn) {
+  if (nest.size() <= 1) return fn(std::vector<std::int64_t>{});
+  ir::NestInfo grand_nest;
+  grand_nest.levels.assign(nest.levels.begin(), nest.levels.end() - 1);
+  return for_each_outer_combination(
+      grand_nest,
+      [&](const std::vector<std::int64_t>& g, std::int64_t last_value) {
+        std::vector<std::int64_t> full(g);
+        full.push_back(last_value);
+        return fn(full);
+      });
+}
+
+/// Lane extent of the transposed (interchanged) path: the last outer
+/// level's trip count; 1 when there is no outer level.
+[[nodiscard]] std::int64_t last_level_trip(const ir::NestInfo& nest) {
+  return nest.empty() ? 1 : nest.levels.back().trip;
 }
 
 }  // namespace
@@ -102,11 +146,16 @@ std::shared_ptr<const LoweredProgram> cached_lowering(
 }
 
 std::shared_ptr<const LoweredProgram> cached_interchange(
-    const ir::LoopKernel& kernel) {
+    const ir::LoopKernel& kernel, int a, int b) {
   thread_local std::array<ProgramCacheEntry, kProgramCacheSlots> cache;
   support::ContentHasher h;
   h.mix(xform::kernel_content_hash(kernel));
   h.mix(std::uint64_t{0x1c7e});  // separate keyspace from cached_lowering
+  // The level pair is part of the key: the same kernel probed at different
+  // adjacent pairs lowers to different programs (or different legality
+  // verdicts) and must not collide on the content hash alone.
+  h.mix(static_cast<std::uint64_t>(a + 1));
+  h.mix(static_cast<std::uint64_t>(b + 1));
   const std::uint64_t key = h.value() | 1;
   ProgramCacheEntry& slot = cache[key % kProgramCacheSlots];
   if (slot.key == key) {
@@ -115,7 +164,7 @@ std::shared_ptr<const LoweredProgram> cached_interchange(
   }
   VECCOST_COUNTER_ADD("engine.program_cache_misses", 1);
   slot.prog = std::shared_ptr<const LoweredProgram>(
-      lower_interchanged(kernel, kStripWidth));
+      lower_interchanged(kernel, kStripWidth, a, b));
   slot.key = key;
   return slot.prog;
 }
@@ -128,7 +177,7 @@ ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel, Workload& wl,
                                   DispatchKind kind) {
   VECCOST_ASSERT(kernel.vf == 1, "execute_scalar needs a scalar kernel");
   const std::int64_t iters = kernel.trip.iterations(wl.n);
-  const std::int64_t outer = kernel.has_outer ? kernel.outer_trip : 1;
+  const std::int64_t lane_extent = last_level_trip(kernel.nest);
   // Switch keeps the original per-op dispatch; Threaded and Batch run the
   // fused superop schedules (they differ only on the vectorized/sweep
   // paths). All three are bit-identical.
@@ -148,50 +197,67 @@ ExecResult lowered_execute_scalar(const ir::LoopKernel& kernel, Workload& wl,
     LoweredEngine<0, NoTrace> engine(*prog, wl, thread_exec_context(0));
     ExecResult result;
     std::vector<double> carries;
-    engine.reset_carries(carries);  // covers a degenerate zero-trip outer loop
-    for (std::int64_t j = 0; j < outer; ++j) {
-      engine.reset_carries(carries);
-      result.iterations += engine.run_strips(j, iters, carries, fused);
-    }
+    engine.reset_carries(carries);  // covers an empty outer iteration space
+    for_each_outer_combination(
+        kernel.nest,
+        [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+          engine.set_grand_values(grand);
+          engine.reset_carries(carries);
+          result.iterations += engine.run_strips(j, iters, carries, fused);
+          return true;
+        });
     result.live_outs.reserve(prog->live_out_phis.size());
     for (const std::int32_t p : prog->live_out_phis)
       result.live_outs.push_back(carries[static_cast<std::size_t>(p)]);
     return result;
   }
-  if (kind == DispatchKind::Batch && kernel.has_outer && outer >= 8 &&
-      iters >= 1) {
-    // Loop-interchange fast path: 2D kernels with a true inner recurrence
-    // (strip_ok = 0 above) often carry nothing across OUTER iterations.
-    // lower_interchanged proves that and re-aims the lane dimension at the
-    // outer loop; the transposed program then strip-mines like any other.
-    // Only taken when the whole iteration rectangle is provably in bounds
-    // and throw-free, so the reordering is unobservable.
+  if (kind == DispatchKind::Batch && !kernel.nest.empty() &&
+      lane_extent >= 8 && iters >= 1) {
+    // Loop-interchange fast path: nests with a true inner recurrence
+    // (strip_ok = 0 above) often carry nothing across the last outer level.
+    // lower_interchanged proves that and re-aims the lane dimension at that
+    // level; the transposed program then strip-mines like any other, one
+    // whole sweep per grand combination. Only taken when the whole
+    // iteration box is provably in bounds and throw-free, so the reordering
+    // is unobservable.
     const std::shared_ptr<const LoweredProgram> tprog = cached_interchange(kernel);
     if (tprog != nullptr && tprog->strip_ok &&
-        tprog->strip_max_lanes >= std::min<std::int64_t>(kStripWidth, outer) &&
-        whole_range_in_bounds(*tprog, wl, outer, iters)) {
+        tprog->strip_max_lanes >=
+            std::min<std::int64_t>(kStripWidth, lane_extent) &&
+        whole_range_in_bounds(*tprog, wl, kernel.nest, lane_extent, iters)) {
       VECCOST_COUNTER_ADD("engine.interchange_runs", 1);
       LoweredEngine<0, NoTrace> engine(*tprog, wl, thread_exec_context(0));
       ExecResult result;
       std::vector<double> carries;  // interchange legality excludes phis
       engine.reset_carries(carries);
-      for (std::int64_t jt = 0; jt < iters; ++jt)
-        result.iterations += engine.run_strips(jt, outer, carries, true);
+      for_each_grand_combination(
+          kernel.nest, [&](const std::vector<std::int64_t>& grand) {
+            engine.set_grand_values(grand);
+            for (std::int64_t jt = 0; jt < iters; ++jt)
+              result.iterations +=
+                  engine.run_strips(jt, lane_extent, carries, true);
+            return true;
+          });
       return result;
     }
   }
   VECCOST_COUNTER_ADD("engine.lane_serial_fallbacks", 1);
   LoweredEngine<1, NoTrace> engine(*probe, wl, thread_exec_context(0));
   ExecResult result;
-  for (std::int64_t j = 0; j < outer; ++j) {
-    engine.reset_phis();
-    result.iterations += fused ? engine.run_schedule(j, 0, iters)
-                               : engine.run_range(j, 0, iters);
-    if (engine.broke()) {
-      result.broke_early = true;
-      break;
-    }
-  }
+  engine.reset_phis();  // zero-trip nests: live-outs are the phi inits
+  for_each_outer_combination(
+      kernel.nest,
+      [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+        engine.set_grand_values(grand);
+        engine.reset_phis();
+        result.iterations += fused ? engine.run_schedule(j, 0, iters)
+                                   : engine.run_range(j, 0, iters);
+        if (engine.broke()) {
+          result.broke_early = true;
+          return false;
+        }
+        return true;
+      });
   result.live_outs = engine.live_outs();
   return result;
 }
@@ -229,7 +295,6 @@ ExecResult lowered_execute_predicated(const ir::LoopKernel& vec,
   const std::int64_t vf = vec.vf;
   const std::int64_t main_iters = (iters / vf) * vf;
   const std::int64_t tail = iters - main_iters;
-  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
   const bool fused = kind != DispatchKind::Switch;
 
   const std::shared_ptr<const LoweredProgram> vprog =
@@ -249,21 +314,34 @@ ExecResult lowered_execute_predicated(const ir::LoopKernel& vec,
     ExecResult result;
     std::vector<double> carries;
     bengine.reset_carries(carries);
-    for (std::int64_t j = 0; j < outer; ++j)
-      result.iterations += bengine.run_strips(j, iters, carries, true);
+    // The predicated whole loop has no scalar remainder, so the sweep runs
+    // over the widened kernel's OWN nest (it differs from `scalar`'s when
+    // the pipeline restructured the nest before widening).
+    for_each_outer_combination(
+        vec.nest,
+        [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+          bengine.set_grand_values(grand);
+          result.iterations += bengine.run_strips(j, iters, carries, true);
+          return true;
+        });
     return result;  // no phis, so no live-outs
   }
 
   LoweredEngine<0, NoTrace> vengine(*vprog, wl, thread_exec_context(0));
   ExecResult result;
-  for (std::int64_t j = 0; j < outer; ++j) {
-    vengine.reset_phis();
-    result.iterations += fused ? vengine.run_schedule(j, 0, main_iters)
-                               : vengine.run_range(j, 0, main_iters);
-    if (tail != 0)
-      result.iterations +=
-          vengine.run_partial_block(j, main_iters, static_cast<int>(tail));
-  }
+  vengine.reset_phis();  // zero-trip nests: live-outs are the phi inits
+  for_each_outer_combination(
+      vec.nest,
+      [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+        vengine.set_grand_values(grand);
+        vengine.reset_phis();
+        result.iterations += fused ? vengine.run_schedule(j, 0, main_iters)
+                                   : vengine.run_range(j, 0, main_iters);
+        if (tail != 0)
+          result.iterations +=
+              vengine.run_partial_block(j, main_iters, static_cast<int>(tail));
+        return true;
+      });
   result.live_outs = vengine.live_outs();
   return result;
 }
@@ -280,8 +358,15 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
   if (vec.predicated)
     return lowered_execute_predicated(vec, scalar, wl, kind);
   const VectorSplit sp = split_vector_range(vec, scalar, wl.n);
+  // Nest-restructuring pipelines (interchange, unrolljam) widen a kernel
+  // whose outer iteration space differs from the original scalar's. Each
+  // engine must then sweep its OWN kernel's nest; with a fractional tail
+  // there is no per-combination phi handoff pairing across the two orders,
+  // so the whole execution runs in the scalar loop instead.
+  const bool same_nest = vec.nest == scalar.nest;
+  if (!same_nest && sp.scalar_resume != sp.scalar_iters)
+    return lowered_execute_scalar(scalar, wl, kind);
   const std::int64_t vf = vec.vf;
-  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
   const bool fused = kind != DispatchKind::Switch;
 
   const std::shared_ptr<const LoweredProgram> vprog =
@@ -307,10 +392,29 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
     ExecResult result;
     std::vector<double> carries;
     bengine.reset_carries(carries);
-    for (std::int64_t j = 0; j < outer; ++j) {
-      result.iterations += bengine.run_strips(j, sp.vec_main, carries, true);
-      result.iterations +=
-          sengine.run_schedule(j, sp.scalar_resume, sp.scalar_iters);
+    if (same_nest) {
+      for_each_outer_combination(
+          scalar.nest,
+          [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+            bengine.set_grand_values(grand);
+            sengine.set_grand_values(grand);
+            result.iterations +=
+                bengine.run_strips(j, sp.vec_main, carries, true);
+            result.iterations +=
+                sengine.run_schedule(j, sp.scalar_resume, sp.scalar_iters);
+            return true;
+          });
+    } else {
+      // Remainder-free (checked above): the widened engine covers the
+      // whole space over its own nest; the scalar engine never runs.
+      for_each_outer_combination(
+          vec.nest,
+          [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+            bengine.set_grand_values(grand);
+            result.iterations +=
+                bengine.run_strips(j, sp.vec_main, carries, true);
+            return true;
+          });
     }
     result.live_outs = sengine.live_outs();
     return result;
@@ -319,65 +423,103 @@ ExecResult lowered_execute_vectorized(const ir::LoopKernel& vec,
   LoweredEngine<0, NoTrace> vengine(*vprog, wl, thread_exec_context(0));
   LoweredEngine<1, NoTrace> sengine(*sprog, wl, thread_exec_context(1));
   ExecResult result;
-  for (std::int64_t j = 0; j < outer; ++j) {
+  sengine.reset_phis();  // zero-trip nests: live-outs are the phi inits
+  if (same_nest) {
+    for_each_outer_combination(
+        scalar.nest,
+        [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+          vengine.set_grand_values(grand);
+          sengine.set_grand_values(grand);
+          vengine.reset_phis();
+          result.iterations += fused ? vengine.run_schedule(j, 0, sp.vec_main)
+                                     : vengine.run_range(j, 0, sp.vec_main);
+          // Hand the partial reduction / recurrence state to the scalar
+          // remainder.
+          sengine.set_phi_inits(vengine.final_phi_values());
+          result.iterations +=
+              fused ? sengine.run_schedule(j, sp.scalar_resume, sp.scalar_iters)
+                    : sengine.run_range(j, sp.scalar_resume, sp.scalar_iters);
+          return true;
+        });
+  } else {
+    // Remainder-free (checked above): sweep the widened kernel's own nest;
+    // the scalar engine only surfaces the final phi state as live-outs.
     vengine.reset_phis();
-    result.iterations += fused ? vengine.run_schedule(j, 0, sp.vec_main)
-                               : vengine.run_range(j, 0, sp.vec_main);
-    // Hand the partial reduction / recurrence state to the scalar remainder.
+    for_each_outer_combination(
+        vec.nest,
+        [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+          vengine.set_grand_values(grand);
+          vengine.reset_phis();
+          result.iterations += fused ? vengine.run_schedule(j, 0, sp.vec_main)
+                                     : vengine.run_range(j, 0, sp.vec_main);
+          return true;
+        });
     sengine.set_phi_inits(vengine.final_phi_values());
-    result.iterations +=
-        fused ? sengine.run_schedule(j, sp.scalar_resume, sp.scalar_iters)
-              : sengine.run_range(j, sp.scalar_resume, sp.scalar_iters);
   }
   result.live_outs = sengine.live_outs();
   return result;
 }
 
 BatchRunner::BatchRunner(const ir::LoopKernel& kernel)
-    : trip_(kernel.trip), outer_(kernel.has_outer ? kernel.outer_trip : 1) {
+    : trip_(kernel.trip), nest_(kernel.nest) {
   VECCOST_ASSERT(kernel.vf == 1, "BatchRunner needs a scalar kernel");
   row_prog_ = cached_lowering(kernel, 1);
   if (row_prog_->strip_ok && row_prog_->strip_max_lanes >= kStripWidth)
     strip_prog_ = cached_lowering(kernel, kStripWidth);
-  else if (outer_ >= 8)
+  else if (last_level_trip(nest_) >= 8)
     xpose_prog_ = cached_interchange(kernel);  // null when illegal
 }
 
 ExecResult BatchRunner::run(Workload& wl) {
   VECCOST_COUNTER_ADD("engine.dispatch.batch_sweeps", 1);
   const std::int64_t iters = trip_.iterations(wl.n);
+  const std::int64_t lane_extent = last_level_trip(nest_);
   ExecResult result;
   if (strip_prog_ != nullptr && iters >= kStripWidth) {
     LoweredEngine<0, NoTrace> engine(*strip_prog_, wl, ctx_);
     engine.reset_carries(carries_);
-    for (std::int64_t j = 0; j < outer_; ++j) {
-      engine.reset_carries(carries_);
-      result.iterations += engine.run_strips(j, iters, carries_, true);
-    }
+    for_each_outer_combination(
+        nest_, [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+          engine.set_grand_values(grand);
+          engine.reset_carries(carries_);
+          result.iterations += engine.run_strips(j, iters, carries_, true);
+          return true;
+        });
     result.live_outs.reserve(strip_prog_->live_out_phis.size());
     for (const std::int32_t p : strip_prog_->live_out_phis)
       result.live_outs.push_back(carries_[static_cast<std::size_t>(p)]);
     return result;
   }
   if (xpose_prog_ != nullptr && xpose_prog_->strip_ok && iters >= 1 &&
-      xpose_prog_->strip_max_lanes >= std::min<std::int64_t>(kStripWidth, outer_) &&
-      whole_range_in_bounds(*xpose_prog_, wl, outer_, iters)) {
+      xpose_prog_->strip_max_lanes >=
+          std::min<std::int64_t>(kStripWidth, lane_extent) &&
+      whole_range_in_bounds(*xpose_prog_, wl, nest_, lane_extent, iters)) {
     VECCOST_COUNTER_ADD("engine.interchange_runs", 1);
     LoweredEngine<0, NoTrace> engine(*xpose_prog_, wl, ctx_);
     engine.reset_carries(carries_);
-    for (std::int64_t jt = 0; jt < iters; ++jt)
-      result.iterations += engine.run_strips(jt, outer_, carries_, true);
+    for_each_grand_combination(
+        nest_, [&](const std::vector<std::int64_t>& grand) {
+          engine.set_grand_values(grand);
+          for (std::int64_t jt = 0; jt < iters; ++jt)
+            result.iterations +=
+                engine.run_strips(jt, lane_extent, carries_, true);
+          return true;
+        });
     return result;
   }
   LoweredEngine<1, NoTrace> engine(*row_prog_, wl, ctx_);
-  for (std::int64_t j = 0; j < outer_; ++j) {
-    engine.reset_phis();
-    result.iterations += engine.run_schedule(j, 0, iters);
-    if (engine.broke()) {
-      result.broke_early = true;
-      break;
-    }
-  }
+  engine.reset_phis();  // zero-trip nests: live-outs are the phi inits
+  for_each_outer_combination(
+      nest_, [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+        engine.set_grand_values(grand);
+        engine.reset_phis();
+        result.iterations += engine.run_schedule(j, 0, iters);
+        if (engine.broke()) {
+          result.broke_early = true;
+          return false;
+        }
+        return true;
+      });
   result.live_outs = engine.live_outs();
   return result;
 }

@@ -28,6 +28,7 @@
 
 #include "machine/executor.hpp"
 #include "machine/lowering.hpp"
+#include "machine/nest_iter.hpp"
 #include "support/error.hpp"
 
 // The engine's throughput depends on the whole op-dispatch loop collapsing
@@ -308,6 +309,28 @@ class LoweredEngine {
       } else {
         for (int l = 0; l < L; ++l) state[l] = phi.init;
       }
+    }
+  }
+
+  /// Install the grand-level induction values for one outer combination
+  /// (nest_iter.hpp's odometer): fills the grand OuterIndVar slots and
+  /// computes the per-ext flat subscript offsets the address formulas add.
+  /// A no-op for depth <= 2 programs (both lists are empty there).
+  void set_grand_values(const std::vector<std::int64_t>& values) {
+    const int L = lanes();
+    double* const s = ctx_.slots.data();
+    for (const auto& [base, level] : p_.grand_slots) {
+      const double v =
+          static_cast<double>(values[static_cast<std::size_t>(level)]);
+      for (int l = 0; l < L; ++l) s[base + l] = v;
+    }
+    if (p_.ext_scales.empty()) return;
+    ext_off_.assign(p_.ext_scales.size(), 0);
+    for (std::size_t e = 0; e < p_.ext_scales.size(); ++e) {
+      const std::vector<std::int64_t>& sc = p_.ext_scales[e];
+      std::int64_t off = 0;
+      for (std::size_t g = 0; g < sc.size(); ++g) off += sc[g] * values[g];
+      ext_off_[e] = off;
     }
   }
 
@@ -759,7 +782,7 @@ class LoweredEngine {
                                                 std::int64_t n) const {
     const std::int64_t len = lengths[u.array];
     const std::int64_t base =
-        u.base_off + u.lin * m + u.j_scale * j + u.n_scale * n;
+        u.base_off + u.lin * m + u.j_scale * j + u.n_scale * n + ext_term(u);
     const std::int64_t last = base + u.lin * (L - 1);
     if (base < 0 || base >= len || last < 0 || last >= len) return -1;
     return base;
@@ -799,7 +822,8 @@ class LoweredEngine {
       const std::int64_t e =
           u.indirect >= 0
               ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
-              : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n;
+              : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n +
+                    ext_term(u);
       VECCOST_ASSERT(e >= 0 && e < len, "load out of bounds in " + p_.name);
       tracer_(u.array, e, false);
       out[l] = buf[e];
@@ -833,7 +857,8 @@ class LoweredEngine {
       const std::int64_t e =
           u.indirect >= 0
               ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
-              : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n;
+              : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n +
+                    ext_term(u);
       VECCOST_ASSERT(e >= 0 && e < len, "store out of bounds in " + p_.name);
       tracer_(u.array, e, true);
       buf[e] = s[u.a + l];
@@ -939,7 +964,8 @@ class LoweredEngine {
     const std::int64_t e =
         u.indirect >= 0
             ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
-            : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n;
+            : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n +
+                  ext_term(u);
     VECCOST_ASSERT(e >= 0 && e < lengths[u.array],
                    "load out of bounds in " + p_.name);
     tracer_(u.array, e, false);
@@ -956,7 +982,8 @@ class LoweredEngine {
     const std::int64_t e =
         u.indirect >= 0
             ? static_cast<std::int64_t>(s[u.indirect + l]) + u.base_off
-            : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n;
+            : u.base_off + u.lin * (m + l) + u.j_scale * j + u.n_scale * n +
+                  ext_term(u);
     VECCOST_ASSERT(e >= 0 && e < lengths[u.array],
                    "store out of bounds in " + p_.name);
     tracer_(u.array, e, true);
@@ -1151,9 +1178,17 @@ class LoweredEngine {
     }
   }
 
+  /// Flat grand-level subscript offset of ext entry `u.ext`; 0 when the op
+  /// has no grand dependence (u.ext < 0 — always the case at depth <= 2, so
+  /// legacy programs never touch ext_off_).
+  VECCOST_ENGINE_INLINE std::int64_t ext_term(const MicroOp& u) const {
+    return u.ext >= 0 ? ext_off_[static_cast<std::size_t>(u.ext)] : 0;
+  }
+
   const LoweredProgram& p_;
   ExecContext& ctx_;
   Tracer tracer_;
+  std::vector<std::int64_t> ext_off_;  ///< per-combination ext offsets
   bool broke_ = false;
 };
 
@@ -1168,14 +1203,19 @@ ExecResult lowered_execute_scalar_with(const ir::LoopKernel& kernel,
   const std::int64_t iters = kernel.trip.iterations(wl.n);
   LoweredEngine<1, Tracer> engine(prog, wl, thread_exec_context(0), tracer);
   ExecResult result;
-  for (std::int64_t j = 0; j < (kernel.has_outer ? kernel.outer_trip : 1); ++j) {
-    engine.reset_phis();
-    result.iterations += engine.run_range(j, 0, iters);
-    if (engine.broke()) {
-      result.broke_early = true;
-      break;
-    }
-  }
+  engine.reset_phis();  // zero-trip nests: live-outs are the phi inits
+  for_each_outer_combination(
+      kernel.nest,
+      [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+        engine.set_grand_values(grand);
+        engine.reset_phis();
+        result.iterations += engine.run_range(j, 0, iters);
+        if (engine.broke()) {
+          result.broke_early = true;
+          return false;
+        }
+        return true;
+      });
   result.live_outs = engine.live_outs();
   return result;
 }
@@ -1188,11 +1228,15 @@ ExecResult lowered_execute_scalar_with(const ir::LoopKernel& kernel,
 [[nodiscard]] std::shared_ptr<const LoweredProgram> cached_lowering(
     const ir::LoopKernel& kernel, int lanes);
 
-/// Thread-local cache over lower_interchanged(kernel, kStripWidth). Returns
-/// nullptr when the interchange is illegal for this kernel — the null result
-/// is cached too, so repeated probes of an illegal kernel cost one lookup.
+/// Thread-local cache over lower_interchanged(kernel, kStripWidth, a, b).
+/// Returns nullptr when the interchange is illegal for this kernel — the
+/// null result is cached too, so repeated probes of an illegal kernel cost
+/// one lookup. The cache key covers BOTH the kernel content hash and the
+/// level pair: the same kernel probed at different pairs must not collide.
+/// (a, b) = (-1, -1) selects the innermost adjacent pair, as in
+/// lower_interchanged.
 [[nodiscard]] std::shared_ptr<const LoweredProgram> cached_interchange(
-    const ir::LoopKernel& kernel);
+    const ir::LoopKernel& kernel, int a = -1, int b = -1);
 
 /// Untraced/observer/vectorized entry points used by executor.cpp's routing.
 /// The 2-argument forms run under the process-wide dispatch_kind(); the
@@ -1239,7 +1283,7 @@ class BatchRunner {
   ExecContext ctx_;
   std::vector<double> carries_;
   ir::TripCount trip_;
-  std::int64_t outer_ = 1;
+  ir::NestInfo nest_;
 };
 
 }  // namespace veccost::machine

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "machine/exec_engine.hpp"
+#include "machine/nest_iter.hpp"
 #include "support/env_flags.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -55,6 +56,13 @@ class Interp {
         for (int l = 1; l < lanes_; ++l) state[static_cast<std::size_t>(l)] = ident;
       }
     }
+  }
+
+  /// Install the induction values of the grand outer levels (all levels but
+  /// the last) for subsequent run_range calls; the last level's value is
+  /// passed per call as `j`. No-op for 1- and 2-deep kernels.
+  void set_outer_values(const std::vector<std::int64_t>& grand) {
+    grand_vals_ = grand;
   }
 
   /// Seed phi state from externally computed scalars (epilogue handoff).
@@ -125,12 +133,27 @@ class Interp {
     return lanes.size() == 1 ? lanes[0] : lanes[static_cast<std::size_t>(l)];
   }
 
+  /// Induction value of outer level `level`; the last level's value is the
+  /// in-flight `j`, grand levels read the installed odometer values, and any
+  /// level beyond the nest reads as 0 (legacy degenerate subscripts).
+  [[nodiscard]] std::int64_t outer_value(std::size_t level,
+                                         std::int64_t j) const {
+    const std::size_t count = k_.nest.size();
+    if (count == 0) return 0;
+    if (level + 1 == count) return j;
+    if (level < grand_vals_.size()) return grand_vals_[level];
+    return 0;
+  }
+
   [[nodiscard]] std::int64_t mem_index(const Instruction& inst, std::int64_t i,
                                        std::int64_t j, int l) const {
     const auto& idx = inst.index;
     if (idx.is_indirect())
       return static_cast<std::int64_t>(lane_of(idx.indirect, l)) + idx.offset;
-    return idx.scale_i * i + idx.scale_j * j + idx.n_scale * wl_.n + idx.offset;
+    std::int64_t e = idx.scale_i * i + idx.n_scale * wl_.n + idx.offset;
+    for (std::size_t level = 0; level < idx.outer.size(); ++level)
+      e += idx.outer[level] * outer_value(level, j);
+    return e;
   }
 
   static double round_to(double v, ScalarType t) {
@@ -166,7 +189,9 @@ class Interp {
                 static_cast<double>(start + (m + l) * step);
           break;
         case Opcode::OuterIndVar:
-          std::fill(out.begin(), out.end(), static_cast<double>(j));
+          std::fill(out.begin(), out.end(),
+                    static_cast<double>(outer_value(
+                        static_cast<std::size_t>(inst.outer_level), j)));
           break;
         case Opcode::Phi:
           out = phi_state_[phi_ordinal++];
@@ -349,6 +374,7 @@ class Interp {
   std::vector<std::vector<double>> vals_;
   std::vector<ValueId> phi_ids_;
   std::vector<std::vector<double>> phi_state_;
+  std::vector<std::int64_t> grand_vals_;  ///< values of outer levels 0..last-1
   bool broke_ = false;
   int broke_at_lane_ = 0;
 };
@@ -385,14 +411,18 @@ ExecResult reference_execute_predicated(const LoopKernel& vec,
 
   Interp vinterp(vec, wl, static_cast<int>(vf));
   ExecResult result;
-  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
-  for (std::int64_t j = 0; j < outer; ++j) {
-    vinterp.reset_phis();
-    result.iterations += vinterp.run_range(j, 0, main_iters);
-    if (tail != 0)
-      result.iterations +=
-          vinterp.run_partial_block(j, main_iters, static_cast<int>(tail));
-  }
+  vinterp.reset_phis();  // zero-trip nests still observe phi initial values
+  for_each_outer_combination(
+      vec.nest,
+      [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+        vinterp.set_outer_values(grand);
+        vinterp.reset_phis();
+        result.iterations += vinterp.run_range(j, 0, main_iters);
+        if (tail != 0)
+          result.iterations +=
+              vinterp.run_partial_block(j, main_iters, static_cast<int>(tail));
+        return true;
+      });
   result.live_outs = collect_live_outs(vec, vinterp);
   return result;
 }
@@ -432,14 +462,19 @@ ExecResult execute_scalar_impl(const ir::LoopKernel& kernel, Workload& wl,
   const std::int64_t iters = kernel.trip.iterations(wl.n);
   Interp interp(kernel, wl, 1, observer);
   ExecResult result;
-  for (std::int64_t j = 0; j < (kernel.has_outer ? kernel.outer_trip : 1); ++j) {
-    interp.reset_phis();
-    result.iterations += interp.run_range(j, 0, iters);
-    if (interp.broke()) {
-      result.broke_early = true;
-      break;
-    }
-  }
+  interp.reset_phis();  // zero-trip nests still observe phi initial values
+  for_each_outer_combination(
+      kernel.nest,
+      [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+        interp.set_outer_values(grand);
+        interp.reset_phis();
+        result.iterations += interp.run_range(j, 0, iters);
+        if (interp.broke()) {
+          result.broke_early = true;
+          return false;
+        }
+        return true;
+      });
   result.live_outs = collect_live_outs(kernel, interp);
   return result;
 }
@@ -535,17 +570,49 @@ ExecResult reference_execute_vectorized(const ir::LoopKernel& vec,
                  "cannot vectorize a loop with break");
   if (vec.predicated) return reference_execute_predicated(vec, scalar, wl);
   const VectorSplit sp = split_vector_range(vec, scalar, wl.n);
+  // Nest-restructuring pipelines (interchange, unrolljam) widen a kernel
+  // whose outer iteration space differs from the original scalar's. Each
+  // interpreter must then sweep its OWN kernel's nest; with a fractional
+  // tail there is no per-combination phi handoff pairing across the two
+  // orders, so the whole execution runs in the scalar loop instead (the
+  // lowered engine applies the same policy).
+  const bool same_nest = vec.nest == scalar.nest;
+  if (!same_nest && sp.scalar_resume != sp.scalar_iters)
+    return reference_execute_scalar(scalar, wl);
 
   Interp vinterp(vec, wl, vec.vf);
   Interp sinterp(scalar, wl, 1);
   ExecResult result;
-  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
-  for (std::int64_t j = 0; j < outer; ++j) {
-    vinterp.reset_phis();
-    result.iterations += vinterp.run_range(j, 0, sp.vec_main);
-    // Hand the partial reduction / recurrence state to the scalar remainder.
+  // Zero-trip nests run nothing; live-outs are the phi initial values.
+  vinterp.reset_phis();
+  sinterp.set_phi_inits(vinterp.final_phi_values());
+  if (same_nest) {
+    for_each_outer_combination(
+        scalar.nest,
+        [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+          vinterp.set_outer_values(grand);
+          sinterp.set_outer_values(grand);
+          vinterp.reset_phis();
+          result.iterations += vinterp.run_range(j, 0, sp.vec_main);
+          // Hand the partial reduction / recurrence state to the scalar
+          // remainder.
+          sinterp.set_phi_inits(vinterp.final_phi_values());
+          result.iterations +=
+              sinterp.run_range(j, sp.scalar_resume, sp.scalar_iters);
+          return true;
+        });
+  } else {
+    // Remainder-free (checked above): sweep the widened kernel's own nest;
+    // the scalar interpreter only surfaces the final phi state.
+    for_each_outer_combination(
+        vec.nest,
+        [&](const std::vector<std::int64_t>& grand, std::int64_t j) {
+          vinterp.set_outer_values(grand);
+          vinterp.reset_phis();
+          result.iterations += vinterp.run_range(j, 0, sp.vec_main);
+          return true;
+        });
     sinterp.set_phi_inits(vinterp.final_phi_values());
-    result.iterations += sinterp.run_range(j, sp.scalar_resume, sp.scalar_iters);
   }
   result.live_outs = collect_live_outs(scalar, sinterp);
   return result;

@@ -2,8 +2,10 @@
 
 #include <sstream>
 
+#include "analysis/nest_dependence.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "xform/nest_transforms.hpp"
 
 namespace veccost::machine {
 
@@ -87,6 +89,7 @@ void plan_strips(const LoopKernel& kernel,
   struct ArrayAccess {
     bool seen = false, has_store = false, indirect = false, mixed = false;
     std::int64_t lin = 0, js = 0, ns = 0;
+    std::int32_t ext = -1;
     std::vector<BaseGroup> groups;
   };
   std::vector<ArrayAccess> acc(p.num_arrays);
@@ -104,7 +107,12 @@ void plan_strips(const LoopKernel& kernel,
       a.lin = u.lin;
       a.js = u.j_scale;
       a.ns = u.n_scale;
-    } else if (u.lin != a.lin || u.j_scale != a.js || u.n_scale != a.ns) {
+      a.ext = u.ext;
+    } else if (u.lin != a.lin || u.j_scale != a.js || u.n_scale != a.ns ||
+               u.ext != a.ext) {
+      // Grand-level coefficients must match too: equal ext means the
+      // per-combination grand offset is a common additive term that cancels
+      // in every base delta below.
       a.mixed = true;
       continue;
     }
@@ -143,17 +151,24 @@ void plan_strips(const LoopKernel& kernel,
   p.strip_ok = !p.strip_column.empty();
 }
 
-/// Interchange legality for lower_interchanged: running the loop nest
-/// (outer j, inner i) in (i, j) order must preserve every dependence. With
-/// original order (j, i)-lexicographic, the flip is only observable through
-/// same-element access pairs whose distance vector has dj > 0 and di < 0 —
-/// those execute in the opposite order afterwards. Pairs with di == 0 are
-/// reordered only within the transposed lane dimension and are bounded by
-/// plan_strips on the transposed program; di > 0 pairs keep their order
-/// (i is the sequential dimension on both sides).
+/// Interchange legality for the transposed machine path: running the
+/// innermost level pair (outer j = the LAST nest level, inner i) in (i, j)
+/// order must preserve every dependence. Grand levels (everything above the
+/// last one) are unaffected — each grand combination completes a whole
+/// transposed sweep, so combination boundaries stay barriers in both orders
+/// and only intra-combination reordering matters. With original order
+/// (j, i)-lexicographic, the flip is only observable through same-element
+/// access pairs whose distance vector has dj > 0 and di < 0 — those execute
+/// in the opposite order afterwards. Pairs with di == 0 are reordered only
+/// within the transposed lane dimension and are bounded by plan_strips on
+/// the transposed program; di > 0 pairs keep their order (i is the
+/// sequential dimension on both sides).
 bool interchange_legal(const LoopKernel& kernel) {
-  if (!kernel.has_outer || kernel.outer_trip < 2) return false;
-  if (kernel.outer_trip > 4096) return false;  // keeps the dj scan bounded
+  if (kernel.nest.empty()) return false;
+  const ir::LoopLevel& jl = kernel.nest.levels.back();
+  const std::size_t last = kernel.nest.size() - 1;
+  if (jl.trip < 2) return false;
+  if (jl.trip > 4096) return false;  // keeps the dj scan bounded
   if (kernel.trip.num != 0 || kernel.trip.step <= 0) return false;
   const std::int64_t iters = kernel.trip.iterations(0);  // n-independent
   if (iters < 1) return false;
@@ -177,7 +192,8 @@ bool interchange_legal(const LoopKernel& kernel) {
   };
   struct Arr {
     bool seen = false, has_store = false, indirect = false, mixed = false;
-    std::int64_t lin = 0, js = 0, ns = 0;
+    std::int64_t lin = 0, ns = 0;
+    std::vector<std::int64_t> outer;
     std::vector<Group> groups;
   };
   std::vector<Arr> acc(kernel.arrays.size());
@@ -190,16 +206,19 @@ bool interchange_legal(const LoopKernel& kernel) {
       a.indirect = true;
       continue;
     }
-    // Same folded form as the lowering: element = base + lin*i_idx + js*j.
+    // Same folded form as the lowering: element = base + lin*i_idx + js*dj
+    // (dj in raw j indices) + grand-level terms. Requiring equal FULL outer
+    // coefficient vectors makes the grand contribution a common additive
+    // term within each combination, so it cancels in every base delta below.
     const std::int64_t lin = inst.index.scale_i * kernel.trip.step;
     const std::int64_t base =
         inst.index.scale_i * kernel.trip.start + inst.index.offset;
     if (!a.seen) {
       a.seen = true;
       a.lin = lin;
-      a.js = inst.index.scale_j;
+      a.outer = inst.index.outer;
       a.ns = inst.index.n_scale;
-    } else if (lin != a.lin || inst.index.scale_j != a.js ||
+    } else if (lin != a.lin || inst.index.outer != a.outer ||
                inst.index.n_scale != a.ns) {
       a.mixed = true;
       continue;
@@ -216,14 +235,18 @@ bool interchange_legal(const LoopKernel& kernel) {
   for (const Arr& a : acc) {
     if (!a.has_store) continue;
     if (a.indirect || a.mixed) return false;
+    // Effective per-raw-j-index coefficient; the js*jl.start part is common
+    // to every access of the array (equal outer vectors), so it cancels.
+    const std::int64_t js =
+        (last < a.outer.size() ? a.outer[last] : 0) * jl.step;
     for (const Group& g : a.groups) {
       for (const Group& h : a.groups) {
         if (!g.has_store && !h.has_store) continue;
         // Same element at distance (dj, di): lin*di + js*dj = Δ. Reject any
         // solution with dj > 0 and -(iters-1) <= di <= -1.
         const std::int64_t delta = h.base - g.base;
-        for (std::int64_t dj = 1; dj < kernel.outer_trip; ++dj) {
-          const std::int64_t rem = delta - a.js * dj;
+        for (std::int64_t dj = 1; dj < jl.trip; ++dj) {
+          const std::int64_t rem = delta - js * dj;
           if (a.lin == 0) {
             if (rem == 0 && iters > 1) return false;  // collides at every di
             continue;
@@ -445,10 +468,13 @@ void fuse_program(LoweredProgram& p) {
 namespace {
 
 /// Shared body of lower() and lower_interchanged(). With `interchanged` the
-/// lane dimension runs over the kernel's OUTER iterations (raw indices
-/// 0..outer_trip-1) and the engine's outer index runs over the kernel's
-/// inner iterations; memory coefficients are transposed to match. Callers
-/// must have checked interchange_legal() first.
+/// lane dimension runs over the kernel's LAST outer level (raw indices
+/// 0..trip-1 of that level) and the engine's outer index runs over the
+/// kernel's inner iterations; memory coefficients are transposed to match.
+/// Callers must have checked interchange_legal() first. Levels above the
+/// last one ("grand" levels) are identical in both modes: their induction
+/// values are installed per combination via grand_slots, and their subscript
+/// contribution rides the per-op ext offset.
 LoweredProgram lower_impl(const LoopKernel& kernel, int lanes,
                           bool interchanged) {
   VECCOST_ASSERT(lanes >= 1, "lowering needs at least one lane");
@@ -460,10 +486,16 @@ LoweredProgram lower_impl(const LoopKernel& kernel, int lanes,
   p.num_values = static_cast<std::int32_t>(kernel.body.size());
   p.num_arrays = kernel.arrays.size();
   p.interchanged = interchanged;
+  // Full-nest index of the level the engine's `j` (normal) or lane dimension
+  // (interchanged) runs over; every level below `last` is grand.
+  const std::size_t last = kernel.nest.empty() ? 0 : kernel.nest.size() - 1;
   if (interchanged) {
-    // Lanes cover raw outer indices; do_indvar must yield m + l directly.
-    p.start = 0;
-    p.step = 1;
+    // Lanes cover raw indices of the last outer level; do_indvar must yield
+    // its induction VALUE start + (m + l) * step.
+    VECCOST_ASSERT(!kernel.nest.empty(),
+                   "interchanged lowering needs an outer level");
+    p.start = kernel.nest.levels[last].start;
+    p.step = kernel.nest.levels[last].step;
   } else {
     p.start = kernel.trip.start;
     p.step = kernel.trip.step;
@@ -471,6 +503,23 @@ LoweredProgram lower_impl(const LoopKernel& kernel, int lanes,
 
   const auto slot = [lanes](ValueId v) -> std::int32_t {
     return v == ir::kNoValue ? -1 : static_cast<std::int32_t>(v) * lanes;
+  };
+
+  // Dedup grand-level coefficient vectors into ext_scales; -1 = no grand
+  // dependence (always the case at depth <= 2, keeping legacy programs
+  // structurally identical).
+  const auto ext_of = [&p, last](const ir::MemIndex& idx) -> std::int32_t {
+    std::vector<std::int64_t> gc(last, 0);
+    bool any = false;
+    for (std::size_t g = 0; g < last; ++g) {
+      gc[g] = idx.outer_scale(g);
+      any = any || gc[g] != 0;
+    }
+    if (!any) return -1;
+    for (std::size_t e = 0; e < p.ext_scales.size(); ++e)
+      if (p.ext_scales[e] == gc) return static_cast<std::int32_t>(e);
+    p.ext_scales.push_back(std::move(gc));
+    return static_cast<std::int32_t>(p.ext_scales.size()) - 1;
   };
 
   std::vector<ValueId> op_source;  // body value id each MicroOp came from
@@ -490,6 +539,12 @@ LoweredProgram lower_impl(const LoopKernel& kernel, int lanes,
             out, kernel.params[static_cast<std::size_t>(inst.param_index)]);
         continue;
       case Opcode::OuterIndVar:
+        if (inst.outer_level < static_cast<int>(last)) {
+          // Grand level: its induction value is constant within a
+          // combination and installed by set_grand_values.
+          p.grand_slots.emplace_back(out, inst.outer_level);
+          continue;
+        }
         if (interchanged) break;  // becomes the lane induction (IndVar op)
         p.outer_slots.push_back(out);
         continue;
@@ -544,17 +599,22 @@ LoweredProgram lower_impl(const LoopKernel& kernel, int lanes,
         u.indirect = slot(idx.indirect);
         u.base_off = idx.offset;
       } else if (interchanged) {
-        // Transposed coefficients: lanes walk the outer dimension, the
-        // program's outer index walks the original inner induction.
-        u.lin = idx.scale_j;
+        // Transposed coefficients: lanes walk the last outer level (raw
+        // indices, so its start/step fold into lin/base), the program's
+        // outer index walks the original inner induction.
+        const ir::LoopLevel& jl = kernel.nest.levels[last];
+        u.lin = idx.outer_scale(last) * jl.step;
         u.j_scale = idx.scale_i * kernel.trip.step;
-        u.base_off = idx.scale_i * kernel.trip.start + idx.offset;
+        u.base_off = idx.scale_i * kernel.trip.start +
+                     idx.outer_scale(last) * jl.start + idx.offset;
         u.n_scale = idx.n_scale;
+        u.ext = ext_of(idx);
       } else {
         u.lin = idx.scale_i * kernel.trip.step;
         u.base_off = idx.scale_i * kernel.trip.start + idx.offset;
-        u.j_scale = idx.scale_j;
+        u.j_scale = idx.outer_scale(last);
         u.n_scale = idx.n_scale;
+        u.ext = ext_of(idx);
       }
     }
     p.ops.push_back(u);
@@ -602,11 +662,37 @@ LoweredProgram lower(const LoopKernel& kernel, int lanes) {
 }
 
 std::unique_ptr<LoweredProgram> lower_interchanged(const LoopKernel& kernel,
-                                                   int lanes) {
-  if (!interchange_legal(kernel)) return nullptr;
+                                                   int lanes, int a, int b) {
+  const int depth = static_cast<int>(kernel.depth());
+  if (depth < 2) return nullptr;
+  if (a < 0) {
+    a = depth - 2;  // default: the innermost adjacent pair
+    b = depth - 1;
+  }
+  if (b != a + 1 || a < 0 || b >= depth) return nullptr;
+
+  if (b == depth - 1) {
+    // Innermost pair: the transposed machine path (lanes walk the last
+    // outer level). interchange_legal is the complete legality story here.
+    if (!interchange_legal(kernel)) return nullptr;
+    VECCOST_COUNTER_ADD("lowering.interchanged_programs", 1);
+    return std::make_unique<LoweredProgram>(
+        lower_impl(kernel, lanes, /*interchanged=*/true));
+  }
+
+  // Outer-outer pair: classical direction-vector legality, then an IR-level
+  // level swap followed by NORMAL lowering (the machine never sees the swap;
+  // `interchanged` stays false).
+  if (kernel.vf != 1) return nullptr;
+  if (!analysis::interchange_legal_at(kernel, static_cast<std::size_t>(a),
+                                      static_cast<std::size_t>(b)))
+    return nullptr;
+  const xform::NestTransformResult swapped =
+      xform::interchange_levels(kernel, a, b);
+  if (!swapped.ok) return nullptr;
   VECCOST_COUNTER_ADD("lowering.interchanged_programs", 1);
   return std::make_unique<LoweredProgram>(
-      lower_impl(kernel, lanes, /*interchanged=*/true));
+      lower_impl(swapped.kernel, lanes, /*interchanged=*/false));
 }
 
 const char* to_string(FusedKind kind) {
@@ -661,6 +747,13 @@ std::string to_text(const LoweredProgram& p) {
     os << "const s" << slot << " = " << value << "\n";
   for (const std::int32_t slot : p.outer_slots)
     os << "outer s" << slot << "\n";
+  for (const auto& [slot, level] : p.grand_slots)
+    os << "grand s" << slot << " level=" << level << "\n";
+  for (std::size_t e = 0; e < p.ext_scales.size(); ++e) {
+    os << "ext" << e << ":";
+    for (const std::int64_t v : p.ext_scales[e]) os << " " << v;
+    os << "\n";
+  }
   for (const PhiPlan& phi : p.phis)
     os << "phi s" << phi.slot << " update=s" << phi.update
        << " init=" << phi.init << " red=" << static_cast<int>(phi.reduction)
@@ -679,9 +772,11 @@ std::string to_text(const LoweredProgram& p) {
       os << " arr=" << u.array;
       if (u.indirect >= 0)
         os << " ind=s" << u.indirect << "+" << u.base_off;
-      else
+      else {
         os << " idx=" << u.lin << "*i+" << u.j_scale << "*j+" << u.n_scale
            << "*n+" << u.base_off;
+        if (u.ext >= 0) os << "+ext" << u.ext;
+      }
     }
     os << "\n";
   }

@@ -16,8 +16,11 @@
 //    and `PhiPlan` records the init value (param already resolved) and the
 //    update slot the engine commits after every block;
 //  * memory ops pre-fold their affine index into `base_off + lin*(m+l)
-//    + j_scale*j + n_scale*n` where `lin = scale_i * step` and
-//    `base_off = scale_i * start + offset`;
+//    + j_scale*j + n_scale*n` where `lin = scale_i * step`, `j_scale` is the
+//    innermost-outer level's coefficient and `base_off = scale_i * start +
+//    offset`; coefficients of deeper ("grand") outer levels are deduplicated
+//    into `ext_scales` and folded to one flat per-combination offset the
+//    engine adds through `MicroOp::ext` (absent entirely at depth <= 2);
 //  * the f32/int rounding decision collapses into a 4-way `Rounding` tag.
 //
 // The engine that runs these programs lives in machine/exec_engine.hpp. The
@@ -125,8 +128,13 @@ struct MicroOp {
   std::int32_t array = -1;          ///< memory ops: workload array ordinal
   std::int64_t lin = 0;             ///< affine index: scale_i * trip.step
   std::int64_t base_off = 0;        ///< scale_i * start + offset (or offset)
-  std::int64_t j_scale = 0;         ///< affine index: outer coefficient
+  std::int64_t j_scale = 0;         ///< affine index: innermost-outer coeff
   std::int64_t n_scale = 0;         ///< affine index: problem-size coefficient
+  /// Grand-level (levels above the innermost-outer one) affine contribution:
+  /// index into LoweredProgram::ext_scales, or -1 when every grand
+  /// coefficient is zero — which is always the case at nest depth <= 2, so
+  /// the legacy address form pays nothing.
+  std::int32_t ext = -1;
 };
 
 /// Fused micro-op units produced by the lowering peephole post-pass
@@ -211,6 +219,15 @@ struct LoweredProgram {
   std::vector<std::pair<std::int32_t, double>> constants;
   /// OuterIndVar slot bases, filled with j at the top of each outer trip.
   std::vector<std::int32_t> outer_slots;
+  /// Deduplicated grand-level coefficient vectors (outermost first, one
+  /// entry per level above the innermost-outer one). Before each outer
+  /// combination the driver folds them with the grand induction values into
+  /// one flat offset per entry (`LoweredEngine::set_grand_values`); memory
+  /// ops reference theirs through `MicroOp::ext`. Empty at depth <= 2.
+  std::vector<std::vector<std::int64_t>> ext_scales;
+  /// OuterIndVar slots bound to grand levels: (slot base, grand level).
+  /// Filled with the level's induction value once per outer combination.
+  std::vector<std::pair<std::int32_t, std::int32_t>> grand_slots;
   std::vector<PhiPlan> phis;     ///< body order, matching LoopKernel::phis()
   /// Kernel live-outs as indices into `phis` (live-outs are always phis).
   std::vector<std::int32_t> live_out_phis;
@@ -252,9 +269,9 @@ struct LoweredProgram {
   std::vector<SuperOp> fused_column;
   std::int32_t fused_ops = 0;  ///< micro-ops absorbed into superop tails
 
-  /// True when this program was lowered with the loop roles swapped (see
-  /// lower_interchanged): lanes run over the kernel's OUTER iterations and
-  /// the engine's outer index walks the kernel's inner iterations.
+  /// True when this program was lowered with the innermost loop pair swapped
+  /// (see lower_interchanged): lanes run over the kernel's innermost-outer
+  /// level and the engine's outer index walks the kernel's inner iterations.
   bool interchanged = false;
 };
 
@@ -264,22 +281,36 @@ struct LoweredProgram {
 /// the result references nothing in the kernel and can outlive it.
 [[nodiscard]] LoweredProgram lower(const ir::LoopKernel& kernel, int lanes);
 
-/// Loop-interchanged lowering for outer-parallel 2D kernels: the returned
-/// program runs the kernel's OUTER iterations as lanes and its INNER
-/// iterations as the engine's sequential outer index, turning inner-carried
-/// recurrences (which defeat the normal strip plan) into column-parallel
-/// sweeps — for TSVC's column-stride 2D loops this also converts the memory
-/// walk to stride-1. Returns nullptr when interchange cannot be proven
-/// bit-identical: the kernel must be outer-looped with a constant inner trip
-/// count, free of phis and breaks, and no two accesses to a written array
-/// may depend across iterations with a negative inner distance at a positive
-/// outer distance (classic interchange legality); within-inner distances are
-/// still bounded by `strip_max_lanes` on the result. The caller drives the
-/// program with outer index = inner iteration ordinal over [0, inner trip)
-/// and lane extent = kernel.outer_trip, and remains responsible for
-/// preserving throw behavior (see the engine's whole-range bounds check).
+/// Interchanged lowering for the adjacent level pair (a, b) of the kernel's
+/// nest, numbered over the FULL nest 0..depth-1 with the innermost `i` loop
+/// last. The default (-1, -1) selects the innermost pair (depth-2, depth-1).
+///
+/// For the innermost pair the returned program runs the innermost-outer
+/// level's iterations as lanes and the kernel's inner iterations as the
+/// engine's sequential outer index, turning inner-carried recurrences (which
+/// defeat the normal strip plan) into column-parallel sweeps — for TSVC's
+/// column-stride 2D loops this also converts the memory walk to stride-1.
+/// Grand levels (above the swapped pair) are untouched: each grand
+/// combination completes a whole transposed sweep, so combination order is
+/// preserved and their contribution rides `MicroOp::ext` as usual.
+///
+/// For an outer-outer pair the swap happens at the IR level (the two
+/// NestInfo entries, their index coefficients, and OuterIndVar levels trade
+/// places) and the result is a NORMAL lowering of the permuted kernel —
+/// `interchanged` stays false and the caller drives the permuted nest with
+/// the standard odometer.
+///
+/// Returns nullptr when the interchange cannot be proven bit-identical by
+/// the classical lexicographic-negativity scan: no same-element access pair
+/// on a written array may have a dependence whose direction vector is
+/// positive at level `a` and negative at level `b` (those pairs would
+/// execute in the opposite order afterwards). The innermost pair
+/// additionally requires a constant inner trip count and a phi/break-free
+/// body; within-inner distances are still bounded by `strip_max_lanes` on
+/// the result, and the caller remains responsible for preserving throw
+/// behavior (see the engine's whole-range bounds check).
 [[nodiscard]] std::unique_ptr<LoweredProgram> lower_interchanged(
-    const ir::LoopKernel& kernel, int lanes);
+    const ir::LoopKernel& kernel, int lanes, int a = -1, int b = -1);
 
 /// Canonical text dump of a lowered program: ops with resolved slots, the
 /// phi plan, the strip classification, and the fused schedules. Two programs

@@ -1,0 +1,54 @@
+// Shared outer-nest iteration order for both executors.
+//
+// Every driver — the reference interpreter and the lowered engine in all
+// three dispatch modes — walks the outer levels of a kernel through this one
+// odometer so the combination order (lexicographic, outermost slowest) and
+// the induction values handed to the inner loop are bit-identical by
+// construction. The innermost-outer level's induction VALUE is passed
+// separately (`j`) because both executors thread it through their inner run
+// loops; the remaining "grand" levels (0 .. size-2) arrive as a value vector
+// the caller installs before running the body.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace veccost::machine {
+
+/// Invoke `fn(grand_values, j_value)` once per full outer-level combination,
+/// outermost level slowest. `grand_values[g]` is the induction value of
+/// level g for g in [0, levels-1); `j_value` is the induction value of the
+/// last (innermost-outer) level. A 1-deep kernel gets exactly one call with
+/// an empty vector and j = 0 (the legacy degenerate outer iteration); any
+/// zero-trip level means no calls at all. `fn` returns false to stop early
+/// (Break semantics); the function then returns false too.
+template <typename Fn>
+bool for_each_outer_combination(const ir::NestInfo& nest, Fn&& fn) {
+  const auto& levels = nest.levels;
+  const std::size_t count = levels.size();
+  if (count == 0) return fn(std::vector<std::int64_t>{}, std::int64_t{0});
+  for (const auto& lvl : levels)
+    if (lvl.trip <= 0) return true;  // empty iteration space
+
+  std::vector<std::int64_t> idx(count, 0);
+  std::vector<std::int64_t> grand(count - 1, 0);
+  for (std::size_t g = 0; g + 1 < count; ++g) grand[g] = levels[g].start;
+  while (true) {
+    if (!fn(grand, levels[count - 1].value(idx[count - 1]))) return false;
+    std::size_t l = count;
+    while (true) {
+      --l;
+      if (++idx[l] < levels[l].trip) {
+        if (l + 1 < count) grand[l] = levels[l].value(idx[l]);
+        break;
+      }
+      idx[l] = 0;
+      if (l + 1 < count) grand[l] = levels[l].start;
+      if (l == 0) return true;
+    }
+  }
+}
+
+}  // namespace veccost::machine

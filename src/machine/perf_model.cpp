@@ -222,6 +222,13 @@ PerfEstimate estimate(const LoopKernel& kernel, const TargetDesc& target,
   if (kernel.predicated)
     // whilelt + predicate bookkeeping per block of the governed loop.
     bookkeeping += target.vl.whilelt_cycles + target.vl.predicate_op_cycles;
+  // Register pressure: each grand level (every outer level except the one
+  // the engines sweep) keeps an induction value and a bound live across the
+  // entire body, competing with body values for the register file.
+  const std::size_t grand_levels =
+      kernel.nest.size() > 1 ? kernel.nest.size() - 1 : 0;
+  if (grand_levels > 0)
+    bookkeeping += 0.0625 * static_cast<double>(grand_levels);
   est.cycles_per_body = dominant + 0.25 * rest + bookkeeping;
 
   // Per-entry overheads.
@@ -247,9 +254,18 @@ PerfEstimate estimate(const LoopKernel& kernel, const TargetDesc& target,
                         : kernel.predicated
                             ? (iters + kernel.vf - 1) / kernel.vf
                             : iters / kernel.vf;
-  const std::int64_t outer = kernel.has_outer ? kernel.outer_trip : 1;
+  const std::int64_t outer = kernel.nest.total_outer_iterations();
   est.total_cycles =
       outer * (est.body_executions * est.cycles_per_body + est.entry_overhead);
+  // Every grand level re-enters its own counted loop: charge the scalar
+  // loop bookkeeping once per iteration of each grand level (a 2-deep nest
+  // has no grand levels, keeping the legacy estimate bit-identical).
+  std::int64_t entries = 1;
+  for (std::size_t g = 0; g + 1 < kernel.nest.size(); ++g) {
+    entries *= std::max<std::int64_t>(kernel.nest.levels[g].trip, 0);
+    est.total_cycles += static_cast<double>(entries) *
+                        target.loop_overhead_cycles;
+  }
   return est;
 }
 
@@ -264,7 +280,7 @@ double measure_versioned_scalar_cycles(const LoopKernel& scalar,
                                         const TargetDesc& target,
                                         std::int64_t n, double noise) {
   const PerfEstimate est = estimate(scalar, target, n);
-  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  const std::int64_t outer = scalar.nest.total_outer_iterations();
   // The failed overlap check costs roughly the vector prologue per entry.
   const double total =
       est.total_cycles + outer * target.vec_prologue_cycles;
@@ -286,7 +302,7 @@ double measure_vector_cycles(const LoopKernel& vec, const LoopKernel& scalar,
   // pipeline unrolled or rerolled before widening.
   const VectorSplit sp = split_vector_range(vec, scalar, n);
   const std::int64_t remainder = sp.scalar_iters - sp.scalar_resume;
-  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  const std::int64_t outer = scalar.nest.total_outer_iterations();
   const double total =
       vest.total_cycles + outer * remainder * sest.cycles_per_body;
   return total * jitter(vec, target, noise);
@@ -373,7 +389,7 @@ double measure_slp_cycles(const LoopKernel& original,
       dominant + 0.25 * rest + target.loop_overhead_cycles;
 
   const std::int64_t iters = scalar.trip.iterations(n);
-  const std::int64_t outer = scalar.has_outer ? scalar.outer_trip : 1;
+  const std::int64_t outer = scalar.nest.total_outer_iterations();
   Rng rng(hash_string(scalar.name) ^ hash_string(target.name) ^ 0x51Du);
   const double j = 1.0 + rng.uniform(-0.015, 0.015);
   return outer * iters * per_iter * j;

@@ -6,7 +6,8 @@
 // recurrences, if-converted conditionals (compares, selects, predicated
 // loads/stores), gather/indirect subscripts, mixed strides and offsets,
 // reversed (n-1-i) accesses, strided/offset/fractional trip counts, rare
-// early exits and 2-deep nests.
+// early exits and 2-deep nests — plus, behind allow_deep_nests, 3-deep
+// nests with transposed and stencil access patterns.
 //
 // Two hard guarantees make the output usable as fuzz input:
 //  * determinism — the kernel is a pure function of the 64-bit seed (and the
@@ -48,8 +49,14 @@ struct GeneratorOptions {
   bool allow_recurrences = true;
   bool allow_predication = true;  ///< masked loads/stores
   bool allow_break = true;        ///< rare data-dependent early exits
-  bool allow_outer = true;        ///< rare 2-deep nests with scale_j terms
+  bool allow_outer = true;        ///< rare 2-deep nests with outer-level terms
   bool allow_trip_shapes = true;  ///< start/step/den/offset variety
+
+  /// 3-deep nests (a second outer level) plus transposed/stencil subscript
+  /// patterns. Off by default: every rng draw the deep grammar makes is
+  /// gated behind this flag, so legacy seeds generate byte-identical
+  /// kernels when it is off.
+  bool allow_deep_nests = false;
 };
 
 /// Subscript bounds the generator promises (see file comment). Arrays are
@@ -60,6 +67,10 @@ inline constexpr std::int64_t kMaxOuterTrip = 4;
 inline constexpr std::int64_t kMaxScaleJ = 2;
 inline constexpr std::int64_t kArraySlack =
     kMaxOffset + kMaxScaleJ * (kMaxOuterTrip - 1) + 2;
+/// Slack used instead of kArraySlack under allow_deep_nests: two outer
+/// levels can each contribute up to kMaxScaleJ * (kMaxOuterTrip - 1).
+inline constexpr std::int64_t kDeepArraySlack =
+    kMaxOffset + 2 * kMaxScaleJ * (kMaxOuterTrip - 1) + 2;
 
 class KernelGenerator {
  public:

@@ -232,7 +232,7 @@ ShrinkResult Shrinker::shrink(const ir::LoopKernel& failing,
       for (std::size_t i = 0; i < k.body.size(); ++i) {
         const Instruction& inst = k.body[i];
         if (!ir::is_memory_op(inst.op)) continue;
-        const ir::MemIndex plain{1, 0, 0, 0, kNoValue};
+        const ir::MemIndex plain{1, {}, 0, 0, kNoValue};
         if (inst.index == plain) continue;
         LoopKernel c = k;
         c.body[i].index = plain;
@@ -241,7 +241,7 @@ ShrinkResult Shrinker::shrink(const ir::LoopKernel& failing,
         static constexpr FieldFix kFixes[] = {
             [](ir::MemIndex& m) { m.indirect = kNoValue; m.scale_i = 1; },
             [](ir::MemIndex& m) { m.offset = 0; },
-            [](ir::MemIndex& m) { m.scale_j = 0; },
+            [](ir::MemIndex& m) { m.outer.clear(); },
             [](ir::MemIndex& m) { m.n_scale = 0; m.scale_i = 1; }};
         for (const FieldFix field : kFixes) {
           LoopKernel f = k;
@@ -276,13 +276,27 @@ ShrinkResult Shrinker::shrink(const ir::LoopKernel& failing,
     // Structure: flatten the nest / trip shape, then shrink the problem.
     {
       const LoopKernel& k = result.kernel;
-      if (k.has_outer) {
+      if (!k.nest.empty()) {
         LoopKernel c = k;
-        c.has_outer = false;
-        c.outer_trip = 1;
+        c.nest.levels.clear();
         if (attempt(c)) changed = true;
       }
     }
+    until_fixpoint([&] {
+      // Drop the outermost level one at a time, shifting coefficient
+      // vectors and OuterIndVar levels down so the rest stay meaningful.
+      const LoopKernel& k = result.kernel;
+      if (k.nest.empty()) return false;
+      LoopKernel c = k;
+      c.nest.levels.erase(c.nest.levels.begin());
+      for (Instruction& inst : c.body) {
+        if (ir::is_memory_op(inst.op) && !inst.index.outer.empty())
+          inst.index.outer.erase(inst.index.outer.begin());
+        if (inst.op == Opcode::OuterIndVar && inst.outer_level > 0)
+          --inst.outer_level;
+      }
+      return attempt(c);
+    });
     {
       const ir::TripCount plain{};
       const LoopKernel& k = result.kernel;

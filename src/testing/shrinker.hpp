@@ -7,11 +7,12 @@
 //
 //  * drop one store / one live-out (plus everything only it needed);
 //  * drop the break; clear one access predicate;
-//  * simplify one subscript (indirect -> direct, scale_j/n_scale/offset -> 0,
-//    scale -> 1);
+//  * simplify one subscript (indirect -> direct, outer coefficients /
+//    n_scale/offset -> 0, scale -> 1);
 //  * forward one instruction to a same-typed operand (collapsing expression
 //    trees);
-//  * flatten the trip count / outer nest; halve default_n down to min_n.
+//  * flatten the trip count / outer nest (whole nest first, then one
+//    outermost level at a time); halve default_n down to min_n.
 //
 // Dead code left behind by any accepted transform is removed by a mark-sweep
 // over operands, predicates, indirect indices and phi updates; unreferenced

@@ -14,19 +14,25 @@ std::string SpecPoint::to_spec() const {
     if (!spec.empty()) spec += ',';
     spec += pass;
   };
+  const auto append_widen = [&](const char* base, int p) {
+    if (p == 0)
+      append(base);
+    else if (p == xform::kVLParam)
+      append(std::string(base) + "<vl>");
+    else
+      append(std::string(base) + "<" + std::to_string(p) + ">");
+  };
+  if (interchange != kNoInterchange)
+    append("interchange<" + std::to_string(interchange) + "," +
+           std::to_string(interchange + 1) + ">");
+  if (unrolljam != 0) append("unrolljam<" + std::to_string(unrolljam) + ">");
   if (unroll != 0) append("unroll<" + std::to_string(unroll) + ">");
   if (slp_reroll) {
     append("slp");
     append("reroll");
   }
-  if (llv != kNoLlv) {
-    if (llv == 0)
-      append("llv");
-    else if (llv == xform::kVLParam)
-      append("llv<vl>");
-    else
-      append("llv<" + std::to_string(llv) + ">");
-  }
+  if (llv != kNoLlv) append_widen("llv", llv);
+  if (ollv != kNoLlv) append_widen("ollv", ollv);
   return spec;
 }
 
@@ -35,37 +41,60 @@ SpecSpace::SpecSpace(const ir::LoopKernel& scalar,
                      const analysis::Legality& legality) {
   unrolls_.push_back(0);
   llvs_.push_back(kNoLlv);
-  if (const xform::PassInfo* unroll = xform::find_pass_info("unroll")) {
-    for (const int f :
-         xform::enumerate_pass_params(*unroll, scalar, target, legality))
-      unrolls_.push_back(f);
-  }
-  if (const xform::PassInfo* llv = xform::find_pass_info("llv")) {
-    for (const int p :
-         xform::enumerate_pass_params(*llv, scalar, target, legality))
-      llvs_.push_back(p);
-  }
+  interchanges_.push_back(kNoInterchange);
+  unrolljams_.push_back(0);
+  ollvs_.push_back(kNoLlv);
+  const auto enumerate = [&](const char* base, std::vector<int>& axis) {
+    if (const xform::PassInfo* info = xform::find_pass_info(base))
+      for (const int p :
+           xform::enumerate_pass_params(*info, scalar, target, legality))
+        axis.push_back(p);
+  };
+  enumerate("unroll", unrolls_);
+  enumerate("llv", llvs_);
+  // The nest axes enumerate empty below 3-deep (registry gating), keeping
+  // classic kernels on the historical lattice and mutation stream.
+  enumerate("interchange", interchanges_);
+  enumerate("unrolljam", unrolljams_);
+  enumerate("ollv", ollvs_);
+  if (interchanges_.size() > 1 || unrolljams_.size() > 1 || ollvs_.size() > 1)
+    mutation_axes_ = 6;
 
   // Seeds, in a fixed order: the llv variants (the sweep every regime
   // comparison starts from), then the smallest unroll alone, then
-  // unroll+slp+reroll.
+  // unroll+slp+reroll, then one seed per nest-restructuring axis.
   for (std::size_t i = 1; i < llvs_.size(); ++i)
     seeds_.push_back(SpecPoint{0, false, llvs_[i]});
   if (unrolls_.size() > 1) {
     seeds_.push_back(SpecPoint{unrolls_[1], false, kNoLlv});
     seeds_.push_back(SpecPoint{unrolls_[1], true, kNoLlv});
   }
+  if (interchanges_.size() > 1) {
+    seeds_.push_back(SpecPoint{0, false, kNoLlv, interchanges_[1]});
+    if (llvs_.size() > 1)
+      seeds_.push_back(SpecPoint{0, false, llvs_[1], interchanges_[1]});
+  }
+  if (unrolljams_.size() > 1)
+    seeds_.push_back(
+        SpecPoint{0, false, kNoLlv, kNoInterchange, unrolljams_[1]});
+  if (ollvs_.size() > 1)
+    seeds_.push_back(
+        SpecPoint{0, false, kNoLlv, kNoInterchange, 0, ollvs_[1]});
 }
 
 std::vector<SpecPoint> SpecSpace::all_points() const {
   std::vector<SpecPoint> out = seeds_;
-  for (const int u : unrolls_)
-    for (const int slp : {0, 1})
-      for (const int l : llvs_) {
-        const SpecPoint p{u, slp != 0, l};
-        if (p.empty()) continue;
-        if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
-      }
+  for (const int ic : interchanges_)
+    for (const int uj : unrolljams_)
+      for (const int u : unrolls_)
+        for (const int slp : {0, 1})
+          for (const int l : llvs_)
+            for (const int ol : ollvs_) {
+              const SpecPoint p{u, slp != 0, l, ic, uj, ol};
+              if (p.empty() || !legal(p)) continue;
+              if (std::find(out.begin(), out.end(), p) == out.end())
+                out.push_back(p);
+            }
   return out;
 }
 
@@ -80,9 +109,13 @@ std::vector<SpecPoint> SpecSpace::exhaustive_llv() const {
 
 bool SpecSpace::legal(const SpecPoint& p) const {
   if (p.empty()) return false;
-  return std::find(unrolls_.begin(), unrolls_.end(), p.unroll) !=
-             unrolls_.end() &&
-         std::find(llvs_.begin(), llvs_.end(), p.llv) != llvs_.end();
+  if (p.llv != kNoLlv && p.ollv != kNoLlv) return false;  // both widen
+  const auto has = [](const std::vector<int>& axis, int v) {
+    return std::find(axis.begin(), axis.end(), v) != axis.end();
+  };
+  return has(unrolls_, p.unroll) && has(llvs_, p.llv) &&
+         has(interchanges_, p.interchange) && has(unrolljams_, p.unrolljam) &&
+         has(ollvs_, p.ollv);
 }
 
 std::optional<SpecPoint> SpecSpace::mutate(const SpecPoint& p,
@@ -96,7 +129,7 @@ std::optional<SpecPoint> SpecSpace::mutate(const SpecPoint& p,
   // different legal value, reject empty/illegal results and retry.
   for (int attempt = 0; attempt < 8; ++attempt) {
     SpecPoint q = p;
-    switch (rng.next_below(3)) {
+    switch (rng.next_below(mutation_axes_)) {
       case 0: {  // llv axis
         if (llvs_.size() < 2) break;
         q.llv = llvs_[rng.next_below(llvs_.size())];
@@ -107,9 +140,25 @@ std::optional<SpecPoint> SpecSpace::mutate(const SpecPoint& p,
         q.unroll = unrolls_[rng.next_below(unrolls_.size())];
         break;
       }
-      default:
+      case 2:
         q.slp_reroll = !q.slp_reroll;
         break;
+      case 3: {  // interchange axis (deep nests only)
+        if (interchanges_.size() < 2) break;
+        q.interchange = interchanges_[rng.next_below(interchanges_.size())];
+        break;
+      }
+      case 4: {  // unrolljam axis (deep nests only)
+        if (unrolljams_.size() < 2) break;
+        q.unrolljam = unrolljams_[rng.next_below(unrolljams_.size())];
+        break;
+      }
+      default: {  // ollv axis (deep nests only); displaces llv
+        if (ollvs_.size() < 2) break;
+        q.ollv = ollvs_[rng.next_below(ollvs_.size())];
+        if (q.ollv != kNoLlv) q.llv = kNoLlv;
+        break;
+      }
     }
     if (q != p && legal(q)) return q;
   }

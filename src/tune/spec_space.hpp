@@ -1,11 +1,18 @@
 // SpecSpace: the tuner's search space over canonical pipeline specs.
 //
-// A point in the space is a small lattice coordinate — an optional unroll
-// factor, an optional slp+reroll rewrite, an optional llv suffix (natural
-// VF, explicit VF, or the predicated `vl` regime) — rendered to the xform
-// spec grammar in one canonical order:
+// A point in the space is a small lattice coordinate — an optional
+// nest-level interchange, an optional unroll-and-jam factor, an optional
+// unroll factor, an optional slp+reroll rewrite, an optional widening
+// suffix (llv at a natural/explicit VF, the predicated `vl` regime, or the
+// outer-loop ollv variants) — rendered to the xform spec grammar in one
+// canonical order:
 //
-//   [unroll<F>,] [slp,reroll,] [llv | llv<VF> | llv<vl>]
+//   [interchange<a,a+1>,] [unrolljam<F>,] [unroll<F>,] [slp,reroll,]
+//   [llv... | ollv...]
+//
+// The nest axes (interchange, unrolljam, ollv) enumerate empty on 1- and
+// 2-deep kernels, so classic kernels keep the exact historical lattice,
+// seed order, and mutation stream.
 //
 // The axes are enumerated from the xform registry's PassInfo hooks
 // (enumerate_pass_params / pass_applicable), gated by the target's
@@ -29,6 +36,8 @@ namespace veccost::tune {
 /// Axis value meaning "no llv pass" (distinct from 0 = `llv` at the natural
 /// VF and from xform::kVLParam = `llv<vl>`).
 inline constexpr int kNoLlv = -2;
+/// Axis value meaning "no interchange pass" (levels are >= 0).
+inline constexpr int kNoInterchange = -1;
 
 /// One lattice coordinate. Default-constructed = the empty spec (invalid —
 /// every emitted point has at least one pass).
@@ -36,9 +45,13 @@ struct SpecPoint {
   int unroll = 0;           ///< 0 = no unroll pass, else factor >= 2
   bool slp_reroll = false;  ///< include the slp,reroll rewrite pair
   int llv = kNoLlv;         ///< kNoLlv / 0 (natural) / VF / xform::kVLParam
+  int interchange = kNoInterchange;  ///< first level `a` of the pair (a, a+1)
+  int unrolljam = 0;        ///< 0 = no unrolljam pass, else factor >= 2
+  int ollv = kNoLlv;        ///< like llv; mutually exclusive with it
 
   [[nodiscard]] bool empty() const {
-    return unroll == 0 && !slp_reroll && llv == kNoLlv;
+    return unroll == 0 && !slp_reroll && llv == kNoLlv &&
+           interchange == kNoInterchange && unrolljam == 0 && ollv == kNoLlv;
   }
   /// Canonical spec text (see file comment for the order).
   [[nodiscard]] std::string to_spec() const;
@@ -83,10 +96,23 @@ class SpecSpace {
     return unrolls_;
   }
   [[nodiscard]] const std::vector<int>& llv_axis() const { return llvs_; }
+  [[nodiscard]] const std::vector<int>& interchange_axis() const {
+    return interchanges_;
+  }
+  [[nodiscard]] const std::vector<int>& unrolljam_axis() const {
+    return unrolljams_;
+  }
+  [[nodiscard]] const std::vector<int>& ollv_axis() const { return ollvs_; }
 
  private:
   std::vector<int> unrolls_;  ///< always starts with 0 (= none)
   std::vector<int> llvs_;     ///< always starts with kNoLlv (= none)
+  std::vector<int> interchanges_;  ///< starts with kNoInterchange (= none)
+  std::vector<int> unrolljams_;    ///< starts with 0 (= none)
+  std::vector<int> ollvs_;         ///< starts with kNoLlv (= none)
+  /// 3 on classic kernels (the historical mutation stream), 6 when any
+  /// nest axis has a second value.
+  std::uint64_t mutation_axes_ = 3;
   std::vector<SpecPoint> seeds_;
 };
 

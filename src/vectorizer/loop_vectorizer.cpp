@@ -43,8 +43,7 @@ class Widener {
     out_.description = scalar.description;
     out_.default_n = scalar.default_n;
     out_.trip = scalar.trip;
-    out_.has_outer = scalar.has_outer;
-    out_.outer_trip = scalar.outer_trip;
+    out_.nest = scalar.nest;
     out_.arrays = scalar.arrays;
     out_.params = scalar.params;
     out_.vf = vf;

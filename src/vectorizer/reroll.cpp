@@ -45,7 +45,7 @@ class CopyMatcher {
     if (ir::is_memory_op(a.op)) {
       if (a.index.is_indirect() || b.index.is_indirect()) return false;
       if (a.array != b.array || a.index.scale_i != b.index.scale_i ||
-          a.index.scale_j != b.index.scale_j ||
+          a.index.outer != b.index.outer ||
           a.index.n_scale != b.index.n_scale)
         return false;
       // Copy u touches the element copy 0 touches `u` rolled iterations
@@ -81,8 +81,7 @@ LoopKernel emit_copy0(const LoopKernel& k, const std::vector<bool>& keep,
   out.default_n = k.default_n;
   out.trip = k.trip;
   out.trip.step = k.trip.step / factor;
-  out.has_outer = k.has_outer;
-  out.outer_trip = k.outer_trip;
+  out.nest = k.nest;
   out.arrays = k.arrays;
   out.params = k.params;
   out.vf = 1;

@@ -20,7 +20,8 @@ namespace {
 
 struct StoreKey {
   int array;
-  std::int64_t scale_i, scale_j, n_scale;
+  std::int64_t scale_i, n_scale;
+  std::vector<std::int64_t> outer;  ///< per-level coefficients
   auto operator<=>(const StoreKey&) const = default;
 };
 
@@ -119,7 +120,7 @@ class TreeBuilder {
       const Instruction& inst = k_.instr(group[l]);
       if (inst.index.is_indirect() || inst.array != first.array ||
           inst.index.scale_i != first.index.scale_i ||
-          inst.index.scale_j != first.index.scale_j ||
+          inst.index.outer != first.index.outer ||
           inst.index.n_scale != first.index.n_scale ||
           inst.index.offset != first.index.offset + static_cast<std::int64_t>(l))
         return false;
@@ -157,8 +158,8 @@ SlpPlan pack_body(const LoopKernel& scalar, const machine::TargetDesc& target,
     if (inst.op != Opcode::Store || inst.predicate != ir::kNoValue ||
         inst.index.is_indirect())
       continue;
-    const StoreKey key{inst.array, inst.index.scale_i, inst.index.scale_j,
-                       inst.index.n_scale};
+    const StoreKey key{inst.array, inst.index.scale_i, inst.index.n_scale,
+                       inst.index.outer};
     stores[key].push_back(static_cast<ValueId>(i));
   }
 

@@ -29,8 +29,7 @@ UnrollResult unroll_loop(const LoopKernel& scalar, int factor) {
   out.default_n = scalar.default_n;
   out.trip = scalar.trip;
   out.trip.step = scalar.trip.step * factor;
-  out.has_outer = scalar.has_outer;
-  out.outer_trip = scalar.outer_trip;
+  out.nest = scalar.nest;
   out.arrays = scalar.arrays;
   out.params = scalar.params;
   out.vf = 1;

@@ -12,6 +12,7 @@ const char* to_string(AnalysisId id) {
     case AnalysisId::Dependence: return "dependence";
     case AnalysisId::PhiClasses: return "phi-classes";
     case AnalysisId::Features: return "features";
+    case AnalysisId::NestDependence: return "nest-dependence";
   }
   return "?";
 }
@@ -24,8 +25,12 @@ std::uint64_t kernel_content_hash(const ir::LoopKernel& kernel) {
   h.mix(kernel.trip.num);
   h.mix(kernel.trip.den);
   h.mix(kernel.trip.offset);
-  h.mix(kernel.has_outer);
-  h.mix(kernel.outer_trip);
+  h.mix(static_cast<std::uint64_t>(kernel.nest.size()));
+  for (const ir::LoopLevel& lvl : kernel.nest.levels) {
+    h.mix(lvl.trip);
+    h.mix(lvl.start);
+    h.mix(lvl.step);
+  }
   h.mix(static_cast<std::uint64_t>(kernel.arrays.size()));
   for (const ir::ArrayDecl& a : kernel.arrays) {
     h.mix(static_cast<int>(a.elem));
@@ -45,10 +50,12 @@ std::uint64_t kernel_content_hash(const ir::LoopKernel& kernel) {
     h.mix(inst.param_index);
     h.mix(inst.array);
     h.mix(inst.index.scale_i);
-    h.mix(inst.index.scale_j);
+    h.mix(static_cast<std::uint64_t>(inst.index.outer.size()));
+    for (const std::int64_t s : inst.index.outer) h.mix(s);
     h.mix(inst.index.n_scale);
     h.mix(inst.index.offset);
     h.mix(static_cast<int>(inst.index.indirect));
+    h.mix(inst.outer_level);
     h.mix(inst.phi_init);
     h.mix(inst.phi_init_param);
     h.mix(static_cast<int>(inst.phi_update));
@@ -119,6 +126,18 @@ const std::vector<analysis::PhiInfo>& AnalysisManager::phi_classes(
   return *entry.phis;
 }
 
+const analysis::NestDependenceInfo& AnalysisManager::nest_dependence(
+    const ir::LoopKernel& kernel) {
+  const Key key{kernel_content_hash(kernel), 0,
+                static_cast<unsigned>(AnalysisId::NestDependence)};
+  bool hit = false;
+  Entry& entry = lookup(key, hit);
+  if (!hit)
+    entry.nest_dependence = std::make_unique<analysis::NestDependenceInfo>(
+        analysis::analyze_nest_dependences(kernel));
+  return *entry.nest_dependence;
+}
+
 const std::vector<double>& AnalysisManager::features(
     const ir::LoopKernel& kernel, analysis::FeatureSet set) {
   // The feature set plays the role of the options hash (offset by one so
@@ -173,6 +192,9 @@ void AnalysisManager::transfer(const ir::LoopKernel& from,
           std::make_unique<std::vector<analysis::PhiInfo>>(*src->phis);
     if (src->features)
       copy.features = std::make_unique<std::vector<double>>(*src->features);
+    if (src->nest_dependence)
+      copy.nest_dependence = std::make_unique<analysis::NestDependenceInfo>(
+          *src->nest_dependence);
     cache_.insert_or_assign(key, std::move(copy));
     VECCOST_COUNTER_ADD("xform.analysis.carried", 1);
   }

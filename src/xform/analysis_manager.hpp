@@ -32,6 +32,7 @@
 #include "analysis/dependence.hpp"
 #include "analysis/features.hpp"
 #include "analysis/legality.hpp"
+#include "analysis/nest_dependence.hpp"
 #include "analysis/reduction.hpp"
 #include "xform/pass.hpp"
 
@@ -62,6 +63,11 @@ class AnalysisManager {
 
   /// Cached analysis::classify_phis.
   [[nodiscard]] const std::vector<analysis::PhiInfo>& phi_classes(
+      const ir::LoopKernel& kernel);
+
+  /// Cached analysis::analyze_nest_dependences (direction vectors over the
+  /// full nest, for interchange / unroll-and-jam legality).
+  [[nodiscard]] const analysis::NestDependenceInfo& nest_dependence(
       const ir::LoopKernel& kernel);
 
   /// Cached analysis::extract_features for one feature set.
@@ -97,6 +103,7 @@ class AnalysisManager {
     std::unique_ptr<analysis::DependenceInfo> dependence;
     std::unique_ptr<std::vector<analysis::PhiInfo>> phis;
     std::unique_ptr<std::vector<double>> features;
+    std::unique_ptr<analysis::NestDependenceInfo> nest_dependence;
   };
 
   /// Lookup + instrumentation; returns the entry slot (created on miss).

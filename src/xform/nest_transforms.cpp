@@ -1,0 +1,203 @@
+#include "xform/nest_transforms.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace veccost::xform {
+
+using ir::Instruction;
+using ir::LoopKernel;
+using ir::Opcode;
+using ir::ValueId;
+
+namespace {
+
+[[nodiscard]] NestTransformResult fail(std::string reason) {
+  NestTransformResult r;
+  r.reason = std::move(reason);
+  return r;
+}
+
+/// Swap two OUTER levels (both < nest.size()): NestInfo entries, per-level
+/// subscript coefficients, and OuterIndVar levels. Phis are fine here — they
+/// reset per outer combination, and the set of combinations (including the
+/// lexicographically last one that feeds live-outs) is permutation-invariant.
+[[nodiscard]] NestTransformResult swap_outer_levels(const LoopKernel& k,
+                                                    std::size_t a,
+                                                    std::size_t b) {
+  // A break exits the WHOLE nest, so the prefix of combinations executed
+  // before it depends on combination order.
+  if (k.has_break()) return fail("early exit pins the combination order");
+  LoopKernel out = k;
+  std::swap(out.nest.levels[a], out.nest.levels[b]);
+  for (Instruction& inst : out.body) {
+    if (ir::is_memory_op(inst.op)) {
+      const std::int64_t sa = inst.index.outer_scale(a);
+      const std::int64_t sb = inst.index.outer_scale(b);
+      inst.index.set_outer_scale(a, sb);
+      inst.index.set_outer_scale(b, sa);
+    }
+    if (inst.op == Opcode::OuterIndVar) {
+      if (inst.outer_level == static_cast<int>(a))
+        inst.outer_level = static_cast<int>(b);
+      else if (inst.outer_level == static_cast<int>(b))
+        inst.outer_level = static_cast<int>(a);
+    }
+  }
+  out.name += ".ic" + std::to_string(a) + std::to_string(b);
+  ir::verify_or_throw(out);
+  NestTransformResult r;
+  r.ok = true;
+  r.kernel = std::move(out);
+  return r;
+}
+
+/// Trade the innermost-outer level with the `i` loop itself. The inner trip
+/// must be a compile-time constant (trip.num == 0) so it can become an outer
+/// LoopLevel, and the body must be free of loop-carried state: phis
+/// accumulate within ONE inner sweep of one combination, so regrouping the
+/// iterations would change their values.
+[[nodiscard]] NestTransformResult swap_inner_level(const LoopKernel& k) {
+  if (k.trip.num != 0)
+    return fail("inner trip count depends on n; cannot become an outer level");
+  if (!k.phis().empty())
+    return fail("phis accumulate per inner sweep; interchange would regroup them");
+  if (k.has_break()) return fail("early exit pins the iteration order");
+  if (!k.live_outs.empty()) return fail("live-outs pin the iteration order");
+
+  const std::size_t a = k.nest.size() - 1;  // outer half of the swapped pair
+  const ir::LoopLevel lvl = k.nest.levels[a];
+  const std::int64_t inner_iters = k.trip.iterations(0);  // num == 0: n-free
+
+  LoopKernel out = k;
+  out.trip.start = lvl.start;
+  out.trip.step = lvl.step;
+  out.trip.num = 0;
+  out.trip.den = 1;
+  out.trip.offset = lvl.start + lvl.trip * lvl.step;  // end == one-past-last
+  out.nest.levels[a] =
+      ir::LoopLevel{inner_iters, k.trip.start, k.trip.step};
+
+  for (Instruction& inst : out.body) {
+    if (ir::is_memory_op(inst.op)) {
+      const std::int64_t si = inst.index.scale_i;
+      inst.index.scale_i = inst.index.outer_scale(a);
+      inst.index.set_outer_scale(a, si);
+    }
+    if (inst.op == Opcode::IndVar) {
+      inst.op = Opcode::OuterIndVar;
+      inst.outer_level = static_cast<int>(a);
+    } else if (inst.op == Opcode::OuterIndVar &&
+               inst.outer_level == static_cast<int>(a)) {
+      inst.op = Opcode::IndVar;
+      inst.outer_level = 0;
+    }
+  }
+  out.name += ".ic" + std::to_string(a) + std::to_string(a + 1);
+  ir::verify_or_throw(out);
+  NestTransformResult r;
+  r.ok = true;
+  r.kernel = std::move(out);
+  return r;
+}
+
+}  // namespace
+
+NestTransformResult interchange_levels(const LoopKernel& k, int a, int b) {
+  if (k.vf != 1) return fail("interchange expects a scalar kernel");
+  const int depth = static_cast<int>(k.depth());
+  if (a < 0 || b != a + 1 || b >= depth)
+    return fail("interchange needs an adjacent in-range level pair");
+  if (b == depth - 1) return swap_inner_level(k);
+  return swap_outer_levels(k, static_cast<std::size_t>(a),
+                           static_cast<std::size_t>(b));
+}
+
+NestTransformResult unroll_and_jam(const LoopKernel& k, int factor) {
+  if (k.vf != 1) return fail("unroll-and-jam expects a scalar kernel");
+  if (factor < 2) return fail("unroll-and-jam factor must be >= 2");
+  if (k.nest.empty()) return fail("no outer level to unroll-and-jam");
+  if (!k.phis().empty())
+    return fail("phis accumulate per inner sweep; jamming would merge them");
+  if (k.has_break()) return fail("early exit pins the iteration order");
+  if (!k.live_outs.empty()) return fail("live-outs pin the iteration order");
+
+  const std::size_t last = k.nest.size() - 1;
+  const ir::LoopLevel lvl = k.nest.levels[last];
+  if (lvl.trip % factor != 0)
+    return fail("outer trip count is not divisible by the jam factor");
+
+  LoopKernel out;
+  out.name = k.name + ".uj" + std::to_string(factor);
+  out.category = k.category;
+  out.description = k.description;
+  out.default_n = k.default_n;
+  out.trip = k.trip;
+  out.nest = k.nest;
+  out.nest.levels[last].trip = lvl.trip / factor;
+  out.nest.levels[last].step = lvl.step * factor;
+  out.arrays = k.arrays;
+  out.params = k.params;
+  out.vf = 1;
+
+  auto emit = [&out](Instruction inst) {
+    out.body.push_back(inst);
+    return static_cast<ValueId>(out.body.size()) - 1;
+  };
+
+  // Copies are independent (no phis), so a per-copy value map suffices.
+  const std::size_t n = k.body.size();
+  std::vector<ValueId> cur_map(n, ir::kNoValue);
+  for (int f = 0; f < factor; ++f) {
+    for (std::size_t id = 0; id < n; ++id) {
+      const Instruction& src = k.body[id];
+      Instruction inst = src;
+      for (int i = 0; i < inst.num_operands(); ++i) {
+        ValueId& op = inst.operands[static_cast<std::size_t>(i)];
+        if (op != ir::kNoValue) op = cur_map[static_cast<std::size_t>(op)];
+      }
+      if (inst.predicate != ir::kNoValue)
+        inst.predicate = cur_map[static_cast<std::size_t>(inst.predicate)];
+      if (inst.index.is_indirect())
+        inst.index.indirect =
+            cur_map[static_cast<std::size_t>(inst.index.indirect)];
+
+      // Fold the copy's jam offset into affine subscripts.
+      if (ir::is_memory_op(inst.op) && !inst.index.is_indirect())
+        inst.index.offset += inst.index.outer_scale(last) * lvl.step * f;
+
+      if (src.op == Opcode::OuterIndVar &&
+          src.outer_level == static_cast<int>(last) && f > 0) {
+        // j + f*step: materialize as outer indvar + const (mirrors how
+        // unroll materializes i + u*step).
+        Instruction base = src;
+        const ValueId jv = emit(base);
+        Instruction cst;
+        cst.op = Opcode::Const;
+        cst.type = src.type;
+        cst.const_value = static_cast<double>(f * lvl.step);
+        const ValueId c = emit(cst);
+        Instruction add;
+        add.op = Opcode::Add;
+        add.type = src.type;
+        add.operands[0] = jv;
+        add.operands[1] = c;
+        cur_map[id] = emit(add);
+        continue;
+      }
+
+      cur_map[id] = emit(inst);
+    }
+  }
+
+  ir::verify_or_throw(out);
+  NestTransformResult r;
+  r.ok = true;
+  r.kernel = std::move(out);
+  return r;
+}
+
+}  // namespace veccost::xform

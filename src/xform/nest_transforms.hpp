@@ -1,0 +1,42 @@
+// IR-level loop-nest restructuring: interchange and unroll-and-jam.
+//
+// These rewrites act on the kernel's NestInfo and index coefficients only —
+// they never touch the execution engines. Interchange swaps an adjacent
+// level pair (either two outer levels, or the innermost-outer level with the
+// `i` loop itself when the inner trip count is constant); unroll-and-jam
+// replicates the body across consecutive iterations of the innermost-outer
+// level and shrinks that level's trip accordingly. Dependence legality is
+// the caller's business (analysis/nest_dependence.hpp); the transforms here
+// enforce only the structural preconditions that make the rewrite
+// expressible at all and verify the result.
+#pragma once
+
+#include <string>
+
+#include "ir/loop.hpp"
+
+namespace veccost::xform {
+
+struct NestTransformResult {
+  bool ok = false;
+  ir::LoopKernel kernel;
+  std::string reason;  ///< why not, when !ok
+};
+
+/// Swap the adjacent nest level pair (a, b = a + 1), numbered over the FULL
+/// nest: 0 = outermost, depth-1 = the innermost `i` loop. Outer-outer pairs
+/// swap NestInfo entries, per-level index coefficients, and OuterIndVar
+/// levels. The innermost pair additionally trades the `i` loop with the last
+/// outer level, which requires an n-independent inner trip count
+/// (trip.num == 0) and a phi- and break-free scalar body.
+[[nodiscard]] NestTransformResult interchange_levels(const ir::LoopKernel& k,
+                                                     int a, int b);
+
+/// Unroll-and-jam: replicate the body `factor` times across consecutive
+/// iterations of the innermost-outer level (whose trip must divide by the
+/// factor) and jam the copies into one inner loop. Requires a scalar,
+/// phi- and break-free body.
+[[nodiscard]] NestTransformResult unroll_and_jam(const ir::LoopKernel& k,
+                                                 int factor);
+
+}  // namespace veccost::xform

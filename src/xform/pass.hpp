@@ -30,8 +30,9 @@ enum class AnalysisId : unsigned {
   Dependence,     ///< analysis::analyze_dependences
   PhiClasses,     ///< analysis::classify_phis
   Features,       ///< analysis::extract_features (one slot per FeatureSet)
+  NestDependence, ///< analysis::analyze_nest_dependences
 };
-inline constexpr unsigned kAnalysisCount = 4;
+inline constexpr unsigned kAnalysisCount = 5;
 
 [[nodiscard]] const char* to_string(AnalysisId id);
 

@@ -56,11 +56,23 @@ SpecParse parse_pipeline_spec(std::string_view spec) {
       if (!is_number && token != "vl")
         return fail(param_pos,
                     "expected an integer parameter or 'vl' after '<'");
+      pass.has_param = true;
+      pass.param = is_number ? std::stoi(token) : kVLParam;
+      if (i < spec.size() && spec[i] == ',') {
+        const std::size_t param2_pos = ++i;
+        std::string token2;
+        while (i < spec.size() && is_name_char(spec[i])) token2 += spec[i++];
+        const bool is_number2 =
+            !token2.empty() &&
+            token2.find_first_not_of("0123456789") == std::string::npos;
+        if (!is_number2)
+          return fail(param2_pos, "expected an integer second parameter");
+        pass.has_param2 = true;
+        pass.param2 = std::stoi(token2);
+      }
       if (i == spec.size() || spec[i] != '>')
         return fail(i, "expected '>' to close the parameter");
       ++i;
-      pass.has_param = true;
-      pass.param = is_number ? std::stoi(token) : kVLParam;
     }
     out.passes.push_back(std::move(pass));
     skip_ws();
@@ -86,8 +98,8 @@ Pipeline Pipeline::parse(std::string_view spec) {
   }
   for (const PassSpec& ps : parsed.passes) {
     std::string error;
-    std::unique_ptr<TransformPass> pass =
-        create_pass(ps.base, ps.has_param, ps.param, &error);
+    std::unique_ptr<TransformPass> pass = create_pass(
+        ps.base, ps.has_param, ps.param, ps.has_param2, ps.param2, &error);
     if (!pass) {
       p.error_ = at_pos(ps.position, std::move(error));
       p.error_position_ = ps.position;

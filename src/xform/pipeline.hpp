@@ -3,9 +3,13 @@
 // The spec grammar (docs/pipeline_passes.md has the full story):
 //
 //   spec  := pass ("," pass)*
-//   pass  := name ("<" (integer | "vl") ">")?
+//   pass  := name ("<" arg ("," integer)? ">")?
+//   arg   := integer | "vl"
 //   name  := one of the registry's base names (llv, unroll, slp, reroll,
-//            lower)
+//            lower, interchange, unrolljam, ollv)
+//
+// The two-argument form (`interchange<0,1>` today) names an adjacent nest
+// level pair; only passes with PassInfo::has_param2 accept it.
 //
 // The `vl` keyword parameter (only `llv<vl>` today) selects the predicated
 // whole-loop regime on vector-length-agnostic targets; it parses to the
@@ -40,6 +44,8 @@ struct PassSpec {
   std::string base;           ///< registry base name
   bool has_param = false;     ///< a `<N>` was written
   int param = 0;
+  bool has_param2 = false;    ///< a second `,M` argument was written
+  int param2 = 0;
   std::size_t position = 0;   ///< 0-based char offset of the name in the spec
 };
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/nest_dependence.hpp"
 #include "machine/lowering.hpp"
 #include "obs/metrics.hpp"
 #include "vectorizer/loop_vectorizer.hpp"
@@ -9,6 +10,7 @@
 #include "vectorizer/slp_vectorizer.hpp"
 #include "vectorizer/unroll.hpp"
 #include "xform/analysis_manager.hpp"
+#include "xform/nest_transforms.hpp"
 
 namespace veccost::xform {
 
@@ -164,6 +166,118 @@ class LowerPass final : public TransformPass {
   std::string name_;
 };
 
+/// interchange<a,b>: swap the adjacent nest level pair, dependence legality
+/// served by the manager's cached nest-dependence analysis.
+class InterchangePass final : public TransformPass {
+ public:
+  InterchangePass(int a, int b)
+      : a_(a), b_(b),
+        name_("interchange<" + std::to_string(a) + "," + std::to_string(b) +
+              ">") {}
+  const std::string& name() const override { return name_; }
+
+  PassResult run(PipelineState& state, PassContext& ctx) const override {
+    VECCOST_SPAN("xform.pass.interchange");
+    if (state.kernel.vf != 1)
+      return PassResult::failure(
+          "interchange requires a scalar kernel (vf == 1)");
+    if (b_ >= static_cast<int>(state.kernel.depth()))
+      return PassResult::failure("level " + std::to_string(b_) +
+                                 " is outside the nest");
+    const analysis::NestDependenceInfo& deps =
+        ctx.analyses.nest_dependence(state.kernel);
+    if (!analysis::interchange_legal_at(deps, static_cast<std::size_t>(a_),
+                                        static_cast<std::size_t>(b_)))
+      return PassResult::failure(
+          "a dependence direction vector forbids interchanging levels " +
+          std::to_string(a_) + " and " + std::to_string(b_));
+    NestTransformResult r = interchange_levels(state.kernel, a_, b_);
+    if (!r.ok) return PassResult::failure(std::move(r.reason));
+    state.kernel = std::move(r.kernel);
+    state.slp.reset();
+    state.lowered.reset();
+    state.notes.push_back("interchanged levels " + std::to_string(a_) +
+                          " and " + std::to_string(b_));
+    return PassResult::success(PreservedAnalyses::none());
+  }
+
+ private:
+  int a_;
+  int b_;
+  std::string name_;
+};
+
+/// unrolljam<F>: unroll the innermost-outer level by F and jam the copies
+/// into one inner loop.
+class UnrollJamPass final : public TransformPass {
+ public:
+  explicit UnrollJamPass(int factor)
+      : factor_(factor),
+        name_(instantiated_name("unrolljam", true, factor)) {}
+  const std::string& name() const override { return name_; }
+
+  PassResult run(PipelineState& state, PassContext& ctx) const override {
+    VECCOST_SPAN("xform.pass.unrolljam");
+    if (state.kernel.vf != 1)
+      return PassResult::failure(
+          "unrolljam requires a scalar kernel (vf == 1)");
+    const analysis::NestDependenceInfo& deps =
+        ctx.analyses.nest_dependence(state.kernel);
+    if (!analysis::unroll_jam_legal(deps, factor_))
+      return PassResult::failure(
+          "a dependence direction vector forbids unroll-and-jam by " +
+          std::to_string(factor_));
+    NestTransformResult r = unroll_and_jam(state.kernel, factor_);
+    if (!r.ok) return PassResult::failure(std::move(r.reason));
+    state.kernel = std::move(r.kernel);
+    state.slp.reset();
+    state.lowered.reset();
+    state.notes.push_back("unroll-and-jammed by " + std::to_string(factor_));
+    return PassResult::success(PreservedAnalyses::none());
+  }
+
+ private:
+  int factor_;
+  std::string name_;
+};
+
+/// ollv[<VF>|<vl>]: outer-loop vectorization. Interchange the innermost
+/// level pair so the former outer level becomes the vectorized `i` loop,
+/// then delegate to llv on the transposed kernel.
+class OllvPass final : public TransformPass {
+ public:
+  OllvPass(bool has_param, int param)
+      : llv_(has_param, param),
+        name_(instantiated_name("ollv", has_param, param)) {}
+  const std::string& name() const override { return name_; }
+
+  PassResult run(PipelineState& state, PassContext& ctx) const override {
+    VECCOST_SPAN("xform.pass.ollv");
+    if (state.kernel.vf != 1)
+      return PassResult::failure("ollv requires a scalar kernel (vf == 1)");
+    if (state.kernel.nest.empty())
+      return PassResult::failure("ollv needs an outer level to vectorize");
+    const int a = static_cast<int>(state.kernel.depth()) - 2;
+    const analysis::NestDependenceInfo& deps =
+        ctx.analyses.nest_dependence(state.kernel);
+    if (!analysis::interchange_legal_at(deps, static_cast<std::size_t>(a),
+                                        static_cast<std::size_t>(a + 1)))
+      return PassResult::failure(
+          "a dependence direction vector forbids the inner interchange");
+    NestTransformResult r = interchange_levels(state.kernel, a, a + 1);
+    if (!r.ok) return PassResult::failure(std::move(r.reason));
+    state.kernel = std::move(r.kernel);
+    state.slp.reset();
+    state.lowered.reset();
+    state.notes.push_back("ollv: interchanged the innermost level pair");
+    return llv_.run(state, ctx);
+  }
+
+ private:
+  LlvPass llv_;
+  std::string name_;
+};
+
 /// Legality predicate for llv: the scalar kernel must be vectorizable at
 /// all, an explicit VF must not exceed the legal maximum, and `vl` needs a
 /// vector-length-agnostic target. (A pipeline may widen an already-rewritten
@@ -210,6 +324,87 @@ std::vector<int> unroll_params(const ir::LoopKernel& scalar,
   return out;
 }
 
+/// The nest passes enumerate only on 3-deep-or-deeper kernels
+/// (nest.size() >= 2): on the classic 2-deep shape they would perturb the
+/// tuner's established search space without adding a distinct regime.
+bool deep_nest(const ir::LoopKernel& scalar) {
+  return scalar.nest.size() >= 2;
+}
+
+bool interchange_applicable(bool has_param, int param,
+                            const ir::LoopKernel& scalar,
+                            const machine::TargetDesc&,
+                            const analysis::Legality&) {
+  if (!deep_nest(scalar)) return false;
+  if (!has_param) return false;
+  return param >= 0 && param + 1 < static_cast<int>(scalar.depth());
+}
+
+std::vector<int> interchange_params(const ir::LoopKernel& scalar,
+                                    const machine::TargetDesc& target,
+                                    const analysis::Legality& legality) {
+  // First parameter `a` of each adjacent pair (a, a+1); the inner pair is
+  // excluded — its structural preconditions (constant trip, no phis or
+  // live-outs) almost never hold for tuner corpora, and `ollv` covers it.
+  std::vector<int> out;
+  if (!deep_nest(scalar)) return out;
+  for (int a = 0; a + 2 < static_cast<int>(scalar.depth()); ++a)
+    if (interchange_applicable(true, a, scalar, target, legality))
+      out.push_back(a);
+  return out;
+}
+
+bool unrolljam_applicable(bool has_param, int param,
+                          const ir::LoopKernel& scalar,
+                          const machine::TargetDesc&,
+                          const analysis::Legality&) {
+  if (!deep_nest(scalar)) return false;
+  if (!has_param || param < 2) return false;
+  if (scalar.has_break() || !scalar.phis().empty() ||
+      !scalar.live_outs.empty())
+    return false;
+  return scalar.nest.levels.back().trip % param == 0;
+}
+
+std::vector<int> unrolljam_params(const ir::LoopKernel& scalar,
+                                  const machine::TargetDesc& target,
+                                  const analysis::Legality& legality) {
+  std::vector<int> out;
+  for (const int f : {2, 4})
+    if (unrolljam_applicable(true, f, scalar, target, legality))
+      out.push_back(f);
+  return out;
+}
+
+bool ollv_applicable(bool has_param, int param, const ir::LoopKernel& scalar,
+                     const machine::TargetDesc& target,
+                     const analysis::Legality&) {
+  if (!deep_nest(scalar)) return false;
+  // Structural preconditions of the inner interchange; the dependence and
+  // widening legality of the transposed kernel are the pipeline's business.
+  if (scalar.trip.num != 0 || scalar.has_break() || !scalar.phis().empty() ||
+      !scalar.live_outs.empty())
+    return false;
+  // The widening happens on the TRANSPOSED kernel, whose legality verdict
+  // differs from the scalar's — only the target-capability check is safe to
+  // pre-filter here.
+  if (has_param && param == kVLParam) return target.vl.vl_agnostic;
+  return true;
+}
+
+std::vector<int> ollv_params(const ir::LoopKernel& scalar,
+                             const machine::TargetDesc& target,
+                             const analysis::Legality& legality) {
+  std::vector<int> out;
+  if (!ollv_applicable(false, 0, scalar, target, legality)) return out;
+  out.push_back(0);  // natural VF
+  for (const int vf : {2, 4})
+    if (ollv_applicable(true, vf, scalar, target, legality))
+      out.push_back(vf);
+  if (target.vl.vl_agnostic) out.push_back(kVLParam);
+  return out;
+}
+
 }  // namespace
 
 const std::vector<PassInfo>& pass_catalog() {
@@ -227,6 +422,19 @@ const std::vector<PassInfo>& pass_catalog() {
        0},
       {"lower", "lower[<L>]",
        "compile the kernel to a micro-op program at L lanes", true, false, 1},
+      {"interchange", "interchange<a,b>",
+       "swap the adjacent nest level pair (a, b = a + 1), full-nest "
+       "numbering",
+       true, true, 0, false, interchange_applicable, interchange_params,
+       /*has_param2=*/true},
+      {"unrolljam", "unrolljam<F>",
+       "unroll the innermost-outer level by F and jam the copies into one "
+       "inner loop",
+       true, true, 2, false, unrolljam_applicable, unrolljam_params},
+      {"ollv", "ollv[<VF>|<vl>]",
+       "outer-loop vectorization: interchange the innermost level pair, "
+       "then llv",
+       true, false, 2, /*accepts_vl=*/true, ollv_applicable, ollv_params},
   };
   return catalog;
 }
@@ -256,6 +464,13 @@ const PassInfo* find_pass_info(std::string_view base) {
 std::unique_ptr<TransformPass> create_pass(std::string_view base,
                                            bool has_param, int param,
                                            std::string* error) {
+  return create_pass(base, has_param, param, false, 0, error);
+}
+
+std::unique_ptr<TransformPass> create_pass(std::string_view base,
+                                           bool has_param, int param,
+                                           bool has_param2, int param2,
+                                           std::string* error) {
   const PassInfo* info = find_pass_info(base);
   if (info == nullptr) {
     if (error) *error = "unknown pass '" + std::string(base) + "'";
@@ -272,6 +487,17 @@ std::unique_ptr<TransformPass> create_pass(std::string_view base,
                std::string(info->synopsis);
     return nullptr;
   }
+  if (has_param2 && !info->has_param2) {
+    if (error)
+      *error = "pass '" + std::string(base) + "' takes no second parameter";
+    return nullptr;
+  }
+  if (info->has_param2 && has_param && !has_param2) {
+    if (error)
+      *error = "pass '" + std::string(base) + "' requires two parameters: " +
+               std::string(info->synopsis);
+    return nullptr;
+  }
   if (has_param && param == kVLParam && !info->accepts_vl) {
     if (error)
       *error = "pass '" + std::string(base) + "' takes no 'vl' parameter";
@@ -283,8 +509,18 @@ std::unique_ptr<TransformPass> create_pass(std::string_view base,
                std::to_string(info->min_param);
     return nullptr;
   }
+  if (base == "interchange") {
+    if (param2 != param + 1) {
+      if (error)
+        *error = "interchange needs an adjacent level pair (b = a + 1)";
+      return nullptr;
+    }
+    return std::make_unique<InterchangePass>(param, param2);
+  }
   if (base == "llv") return std::make_unique<LlvPass>(has_param, param);
   if (base == "unroll") return std::make_unique<UnrollPass>(param);
+  if (base == "unrolljam") return std::make_unique<UnrollJamPass>(param);
+  if (base == "ollv") return std::make_unique<OllvPass>(has_param, param);
   if (base == "slp") return std::make_unique<SlpPass>();
   if (base == "reroll") return std::make_unique<RerollPass>();
   return std::make_unique<LowerPass>(has_param, param);

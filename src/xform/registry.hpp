@@ -1,6 +1,6 @@
 // The string registry of transform passes.
 //
-// Five pass kinds adapt the existing transform entry points to the
+// Eight pass kinds adapt the existing transform entry points to the
 // TransformPass interface (pass.hpp):
 //
 //   llv[<VF>]   vectorizer::vectorize_legal — widen the loop by VF (natural
@@ -13,8 +13,16 @@
 //               state's slp plan
 //   lower[<L>]  machine::lower — compile the kernel to a micro-op program at
 //               L lanes (the kernel's own vf when omitted)
+//   interchange<a,b>  xform::interchange_levels — swap the adjacent nest
+//               level pair (a, b = a+1), full-nest numbering; dependence
+//               legality from the cached nest-dependence analysis
+//   unrolljam<F>      xform::unroll_and_jam — replicate the body across F
+//               consecutive iterations of the innermost-outer level
+//   ollv[<VF>|<vl>]   outer-loop vectorization: interchange the innermost
+//               pair so the former outer level becomes the `i` loop, then
+//               delegate to llv
 //
-// `create_pass` instantiates one by base name + parameter; `pass_catalog`
+// `create_pass` instantiates one by base name + parameter(s); `pass_catalog`
 // drives the `veccost passes` subcommand and the spec parser's validation.
 #pragma once
 
@@ -61,10 +69,16 @@ struct PassInfo {
   /// Includes 0 for "parameter omitted" when that form is meaningful
   /// (e.g. `llv` at the natural VF) and kVLParam for `llv<vl>` on
   /// vector-length-agnostic targets. nullptr = nothing to enumerate.
+  /// For two-parameter passes (interchange) the values are the FIRST
+  /// parameter `a` of the pair (a, a+1).
   std::vector<int> (*param_candidates)(const ir::LoopKernel& scalar,
                                        const machine::TargetDesc& target,
                                        const analysis::Legality& legality) =
       nullptr;
+
+  /// The pass takes a second `,M` argument (`interchange<a,b>`). When true,
+  /// the spec must supply both arguments or neither.
+  bool has_param2 = false;
 };
 
 /// `info.applicable` with the nullptr-means-yes convention applied.
@@ -92,5 +106,11 @@ struct PassInfo {
                                                          bool has_param,
                                                          int param,
                                                          std::string* error);
+
+/// Two-argument form: `has_param2`/`param2` carry the second `,M` spec
+/// argument (only passes with PassInfo::has_param2 accept one).
+[[nodiscard]] std::unique_ptr<TransformPass> create_pass(
+    std::string_view base, bool has_param, int param, bool has_param2,
+    int param2, std::string* error);
 
 }  // namespace veccost::xform

@@ -76,6 +76,34 @@ TEST(Dependence, StridedDisjointLattices) {
   EXPECT_FALSE(info.unknown);
 }
 
+TEST(Dependence, MixedStrideGcdUsesLoopStartBase) {
+  // a[2i] vs a[i+3] with i = 1, 3, 5, ...: addresses 2+4k vs 4+2k collide
+  // (both hit 6). The raw offsets alone pass the GCD disjointness test
+  // ((3-0) % 2 != 0) — the start term only cancels for equal scales, so the
+  // test must fold scale_i*start into each base.
+  B b("d4s", "test");
+  b.trip({.start = 1, .step = 2, .num = 1, .den = 2});
+  const int a = b.array("a", ScalarType::F32, 2, 4);
+  b.store(a, B::at(2), b.load(a, B::at(1, 3)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  EXPECT_TRUE(info.unknown);
+  EXPECT_TRUE(info.checkable);
+  EXPECT_EQ(info.max_safe_vf, 1);
+}
+
+TEST(Dependence, MixedStrideDisjointLatticesWithNonzeroStart) {
+  // a[2i] vs a[i] with i = 1, 3, 5, ...: addresses 2+4k (even) vs 1+2k
+  // (odd) never meet, though the raw offset difference (0) is divisible by
+  // the stride GCD. Folding start into the bases proves independence.
+  B b("d4t", "test");
+  b.trip({.start = 1, .step = 2, .num = 1, .den = 2});
+  const int a = b.array("a", ScalarType::F32, 2, 2);
+  b.store(a, B::at(2), b.load(a, B::at(1)));
+  const auto info = analyze_dependences(std::move(b).finish());
+  EXPECT_TRUE(info.carried.empty());
+  EXPECT_FALSE(info.unknown);
+}
+
 TEST(Dependence, ReversedEqualScaleIsForward) {
   // s112 shape: a[n-1-i] = a[n-2-i] + b[i].
   B b("d5", "test");

@@ -1,0 +1,469 @@
+// Depth-aware loop-nest suite: arbitrary-depth NestInfo round-trips through
+// the printer and parser, direction-vector dependence legality for
+// interchange and unroll-and-jam (including the negative-inner-at-
+// positive-outer rejection at every adjacent level pair and degenerate
+// zero-trip / trip-1 levels), bit-identical execution of deep nests across
+// both engines and all three dispatch modes, and the nest-restructuring
+// pipeline passes (interchange / unrolljam / ollv) end to end on the
+// checked-in GEMM example. Runs standalone via `ctest -L nest`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/nest_dependence.hpp"
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "machine/exec_engine.hpp"
+#include "machine/executor.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/targets.hpp"
+#include "testing/differential_oracle.hpp"
+#include "tune/spec_space.hpp"
+#include "xform/analysis_manager.hpp"
+#include "xform/nest_transforms.hpp"
+#include "xform/pipeline.hpp"
+#include "xform/registry.hpp"
+
+namespace veccost {
+namespace {
+
+using B = ir::LoopBuilder;
+using ir::LoopKernel;
+using machine::DispatchKind;
+using machine::ExecResult;
+using machine::Workload;
+
+constexpr std::int64_t kM = 6;   // j trip (outermost)
+constexpr std::int64_t kK = 4;   // k trip (innermost-outer)
+constexpr std::int64_t kN = 16;  // i trip (inner loop, fixed)
+
+/// The 3-deep GEMM of examples/gemm.vir, built in code:
+///   for j in [0,6) for k in [0,4) for i in [0,16):
+///     c[j*16+i] += a[j*4+k] * b[k*16+i]
+LoopKernel gemm_kernel() {
+  B b("gemm", "nest", "c[j*16+i] += a[j*4+k] * b[k*16+i]");
+  b.trip({.start = 0, .step = 1, .num = 0, .den = 1, .offset = kN});
+  b.outer(kM);
+  b.outer(kK);
+  const int c = b.array("c", ir::ScalarType::F32, 0, kM * kN);
+  const int a = b.array("a", ir::ScalarType::F32, 0, kM * kK);
+  const int bm = b.array("b", ir::ScalarType::F32, 0, kK * kN);
+  const auto idx_c = B::at_nest(1, {kN, 0});
+  const auto va = b.load(a, B::at_nest(0, {kK, 1}));
+  const auto vb = b.load(bm, B::at_nest(1, {0, kN}));
+  const auto vc = b.load(c, idx_c);
+  b.store(c, idx_c, b.fma(va, vb, vc));
+  return std::move(b).finish();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void expect_identical(const Workload& wl, const ExecResult& r,
+                      const Workload& wr, const ExecResult& rr,
+                      const std::string& what) {
+  EXPECT_TRUE(bits_equal(r.live_outs, rr.live_outs))
+      << what << ": live-outs diverged";
+  EXPECT_EQ(r.iterations, rr.iterations) << what;
+  ASSERT_EQ(wl.arrays.size(), wr.arrays.size()) << what;
+  for (std::size_t a = 0; a < wl.arrays.size(); ++a)
+    EXPECT_TRUE(bits_equal(wl.arrays[a], wr.arrays[a]))
+        << what << ": array " << a << " diverged";
+}
+
+/// Reference vs lowered under every dispatch mode, bitwise.
+void expect_engines_agree(const LoopKernel& k, std::int64_t n) {
+  Workload wr = machine::make_workload(k, n);
+  const ExecResult rr = machine::reference_execute_scalar(k, wr);
+  for (const DispatchKind kind :
+       {DispatchKind::Switch, DispatchKind::Threaded, DispatchKind::Batch}) {
+    Workload wl = machine::make_workload(k, n);
+    const ExecResult rl = machine::lowered_execute_scalar(k, wl, kind);
+    expect_identical(wl, rl, wr, rr,
+                     k.name + " dispatch:" + machine::to_string(kind));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips
+
+TEST(NestRoundTrip, GemmExampleParsesVerifiesAndRoundTrips) {
+  const std::string path = std::string(VECCOST_EXAMPLES_DIR) + "/gemm.vir";
+  const std::string text = read_file(path);
+  // The checked-in example is the canonical print of the in-code kernel.
+  const LoopKernel built = gemm_kernel();
+  EXPECT_EQ(text, ir::print(built));
+
+  const LoopKernel parsed = ir::parse_kernel(text);
+  const auto v = ir::verify(parsed);
+  EXPECT_TRUE(v.ok()) << v.to_string();
+  EXPECT_EQ(parsed.depth(), 3u);
+  ASSERT_EQ(parsed.nest.size(), 2u);
+  EXPECT_EQ(parsed.nest.levels[0].trip, kM);
+  EXPECT_EQ(parsed.nest.levels[1].trip, kK);
+  EXPECT_EQ(parsed.nest.total_outer_iterations(), kM * kK);
+  EXPECT_EQ(ir::print(parsed), text);
+}
+
+TEST(NestRoundTrip, FourDeepNestWithGeneralLevels) {
+  B b("deep4", "nest");
+  b.trip({.start = 0, .step = 1, .num = 0, .den = 1, .offset = 4});
+  b.outer_level({.trip = 3, .start = 1, .step = 2});
+  b.outer(2);
+  b.outer(5);
+  const int a = b.array("a", ir::ScalarType::F32, 0, 200);
+  const auto idx = B::at_nest(1, {8, 4, 0}, 1);
+  b.store(a, idx, b.add(b.load(a, idx), b.fconst(1.0)));
+  const LoopKernel k = std::move(b).finish();
+
+  EXPECT_EQ(k.depth(), 4u);
+  EXPECT_EQ(k.nest.total_outer_iterations(), 3 * 2 * 5);
+  const std::string text = ir::print(k);
+  const LoopKernel parsed = ir::parse_kernel(text);
+  EXPECT_TRUE(ir::verify(parsed).ok());
+  ASSERT_EQ(parsed.nest.size(), 3u);
+  EXPECT_EQ(parsed.nest.levels[0].start, 1);
+  EXPECT_EQ(parsed.nest.levels[0].step, 2);
+  EXPECT_EQ(ir::print(parsed), text);
+  expect_engines_agree(parsed, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Depth-aware dependence legality
+
+TEST(NestDependenceTest, GemmDistanceVectorsAndLegality) {
+  const LoopKernel gemm = gemm_kernel();
+  const auto info = analysis::analyze_nest_dependences(gemm);
+  EXPECT_TRUE(info.analyzable);
+  EXPECT_EQ(info.depth, 3u);
+  // Every dependence is the c[j*16+i] accumulation, carried by k only:
+  // distance (0, d_k, 0) with d_k > 0.
+  ASSERT_FALSE(info.deps.empty());
+  for (const auto& d : info.deps) {
+    ASSERT_EQ(d.distance.size(), 3u) << d.to_string();
+    EXPECT_EQ(d.distance[0], 0) << d.to_string();
+    EXPECT_GT(d.distance[1], 0) << d.to_string();
+    EXPECT_EQ(d.distance[2], 0) << d.to_string();
+    EXPECT_TRUE(d.inner_exact) << d.to_string();
+  }
+  // Both adjacent pairs interchange legally; unroll-and-jam of k too (the
+  // inner component of every k-carried dependence is exactly zero).
+  EXPECT_TRUE(analysis::interchange_legal_at(gemm, 0, 1));
+  EXPECT_TRUE(analysis::interchange_legal_at(gemm, 1, 2));
+  EXPECT_TRUE(analysis::unroll_jam_legal(gemm, 2));
+  EXPECT_TRUE(analysis::unroll_jam_legal(gemm, 4));
+}
+
+/// Dependence with direction (+1, -1, *) across the outer pair:
+/// store a[8j+k], load a[8j+k+7] collide at (dj, dk) = (1, -1).
+LoopKernel outer_pair_violation() {
+  B b("viol01", "nest");
+  b.trip({.start = 0, .step = 1, .num = 0, .den = 1, .offset = 8});
+  b.outer(3);
+  b.outer(8);
+  const int a = b.array("a", ir::ScalarType::F32, 0, 48);
+  b.store(a, B::at_nest(0, {8, 1}), b.load(a, B::at_nest(0, {8, 1}, 7)));
+  return std::move(b).finish();
+}
+
+/// Dependence with direction (0, +1, -1) across the inner pair:
+/// store a[64j+8k+i], load a[64j+8k+i+7] collide at (dj, dk, di) =
+/// (0, 1, -1). The j coefficient (64) exceeds every other combination, so
+/// dj is pinned to zero and the outer pair stays clean.
+LoopKernel inner_pair_violation() {
+  B b("viol12", "nest");
+  b.trip({.start = 0, .step = 1, .num = 0, .den = 1, .offset = 8});
+  b.outer(3);
+  b.outer(4);
+  const int a = b.array("a", ir::ScalarType::F32, 0, 3 * 64);
+  b.store(a, B::at_nest(1, {64, 8}), b.load(a, B::at_nest(1, {64, 8}, 7)));
+  return std::move(b).finish();
+}
+
+TEST(NestDependenceTest, NegativeInnerAtPositiveOuterRejectedAtEveryPair) {
+  // Pair (0, 1): a (+1, -1, *) direction vector forbids swapping the two
+  // outer levels — the sink would run before its source.
+  const LoopKernel v01 = outer_pair_violation();
+  EXPECT_FALSE(analysis::interchange_legal_at(v01, 0, 1));
+  // The structural rewrite itself is expressible; only the dependence test
+  // says no. The pass consults the analysis and must refuse.
+  EXPECT_TRUE(xform::interchange_levels(v01, 0, 1).ok);
+  xform::AnalysisManager am;
+  const auto pipe01 = xform::Pipeline::parse("interchange<0,1>");
+  ASSERT_TRUE(pipe01.valid()) << pipe01.error();
+  const auto r01 = pipe01.run(v01, machine::cortex_a57(), am);
+  EXPECT_FALSE(r01.ok);
+  EXPECT_NE(r01.reason.find("dependence"), std::string::npos) << r01.reason;
+
+  // Pair (1, 2): a (0, +1, -1) direction vector forbids trading the
+  // innermost-outer level with the i loop — but the outer pair, where the
+  // vector is never negative after a positive component, stays legal.
+  const LoopKernel v12 = inner_pair_violation();
+  EXPECT_FALSE(analysis::interchange_legal_at(v12, 1, 2));
+  EXPECT_TRUE(analysis::interchange_legal_at(v12, 0, 1));
+  const auto pipe12 = xform::Pipeline::parse("interchange<1,2>");
+  ASSERT_TRUE(pipe12.valid()) << pipe12.error();
+  const auto r12 = pipe12.run(v12, machine::cortex_a57(), am);
+  EXPECT_FALSE(r12.ok);
+
+  // The same (0, +1, -1) vector also forbids unroll-and-jam of k: the jam
+  // would hoist the sink's read above the source's write.
+  EXPECT_FALSE(analysis::unroll_jam_legal(v12, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate levels: zero-trip and trip-1
+
+/// s += a[i] under a zero-trip outermost level: nothing executes, live-outs
+/// keep the phi initial values.
+LoopKernel zero_trip_kernel() {
+  B b("zerotrip", "nest");
+  b.outer(0);
+  b.outer(3);
+  const int a = b.array("a");
+  auto s = b.phi(7.0);
+  b.set_phi_update(s, b.add(s, b.load(a, B::at(1))), ir::ReductionKind::Sum);
+  b.live_out(s);
+  return std::move(b).finish();
+}
+
+TEST(NestEdge, ZeroTripLevelKeepsPhiInitsEverywhere) {
+  const LoopKernel k = zero_trip_kernel();
+  EXPECT_EQ(k.nest.total_outer_iterations(), 0);
+  Workload wr = machine::make_workload(k, 64);
+  const ExecResult rr = machine::reference_execute_scalar(k, wr);
+  EXPECT_EQ(rr.iterations, 0);
+  ASSERT_EQ(rr.live_outs.size(), 1u);
+  EXPECT_EQ(rr.live_outs[0], 7.0);
+  expect_engines_agree(k, 64);
+
+  // Interchange moves the zero-trip level inward; still zero iterations,
+  // still the phi init.
+  const auto swapped = xform::interchange_levels(k, 0, 1);
+  ASSERT_TRUE(swapped.ok) << swapped.reason;
+  EXPECT_EQ(swapped.kernel.nest.levels[1].trip, 0);
+  Workload ws = machine::make_workload(swapped.kernel, 64);
+  const ExecResult rs = machine::reference_execute_scalar(swapped.kernel, ws);
+  EXPECT_EQ(rs.iterations, 0);
+  EXPECT_TRUE(bits_equal(rs.live_outs, rr.live_outs));
+  expect_engines_agree(swapped.kernel, 64);
+}
+
+TEST(NestEdge, TripOneLevelInterchangeIsIdentityOnResults) {
+  // c[i] += a[8k+i] under a trip-1 j level: swapping (j, k) reorders
+  // nothing observable — arrays must stay bit-identical.
+  B b("tripone", "nest");
+  b.trip({.start = 0, .step = 1, .num = 0, .den = 1, .offset = 8});
+  b.outer(1);
+  b.outer(5);
+  const int c = b.array("c", ir::ScalarType::F32, 0, 8);
+  const int a = b.array("a", ir::ScalarType::F32, 0, 48);
+  b.store(c, B::at(1),
+          b.add(b.load(c, B::at(1)), b.load(a, B::at_nest(1, {0, 8}))));
+  const LoopKernel k = std::move(b).finish();
+  expect_engines_agree(k, 64);
+
+  const auto swapped = xform::interchange_levels(k, 0, 1);
+  ASSERT_TRUE(swapped.ok) << swapped.reason;
+  ASSERT_EQ(swapped.kernel.nest.size(), 2u);
+  EXPECT_EQ(swapped.kernel.nest.levels[0].trip, 5);
+  EXPECT_EQ(swapped.kernel.nest.levels[1].trip, 1);
+  // Same initial arrays for both runs (workload init is seeded by kernel
+  // name, and the rewrite renames its result).
+  const Workload init = machine::make_workload(k, 64);
+  Workload w0 = init;
+  const ExecResult r0 = machine::lowered_execute_scalar(k, w0);
+  Workload w1 = init;
+  const ExecResult r1 = machine::lowered_execute_scalar(swapped.kernel, w1);
+  expect_identical(w0, r0, w1, r1, "trip-1 interchange");
+  expect_engines_agree(swapped.kernel, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Execution and transforms on the GEMM example
+
+TEST(NestExecution, GemmBitIdenticalAcrossEnginesAndDispatchModes) {
+  const LoopKernel gemm = gemm_kernel();
+  Workload wl = machine::make_workload(gemm, gemm.default_n);
+  const ExecResult r = machine::lowered_execute_scalar(gemm, wl);
+  EXPECT_EQ(r.iterations, kM * kK * kN);
+  expect_engines_agree(gemm, gemm.default_n);
+}
+
+TEST(NestExecution, UnrollAndJamIsBitIdentical) {
+  const LoopKernel gemm = gemm_kernel();
+  const auto jam = xform::unroll_and_jam(gemm, 2);
+  ASSERT_TRUE(jam.ok) << jam.reason;
+  ASSERT_EQ(jam.kernel.nest.size(), 2u);
+  EXPECT_EQ(jam.kernel.nest.levels[1].trip, kK / 2);
+  // Per c element the k-accumulation order is unchanged, so even the
+  // floating-point results match bitwise.
+  Workload w0 = machine::make_workload(gemm, gemm.default_n);
+  const ExecResult r0 = machine::lowered_execute_scalar(gemm, w0);
+  Workload w1 = machine::make_workload(gemm, gemm.default_n);
+  const ExecResult r1 = machine::lowered_execute_scalar(jam.kernel, w1);
+  EXPECT_TRUE(bits_equal(w0.arrays[0], w1.arrays[0]));
+  EXPECT_EQ(r0.iterations, r1.iterations * 2);
+  expect_engines_agree(jam.kernel, gemm.default_n);
+
+  // Non-divisible factor: the structural transform refuses.
+  EXPECT_FALSE(xform::unroll_and_jam(gemm, 3).ok);
+}
+
+TEST(NestPipeline, InterchangeLlvBeatsScalarPredictedCycles) {
+  const LoopKernel gemm = gemm_kernel();
+  const auto target = machine::cortex_a57();
+  xform::AnalysisManager am;
+  const auto pipe = xform::Pipeline::parse("interchange<0,1>,llv<4>");
+  ASSERT_TRUE(pipe.valid()) << pipe.error();
+  EXPECT_EQ(pipe.spec(), "interchange<0,1>,llv<4>");
+  const auto r = pipe.run(gemm, target, am);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_EQ(r.state.kernel.vf, 4);
+  ASSERT_EQ(r.state.kernel.nest.size(), 2u);
+  EXPECT_EQ(r.state.kernel.nest.levels[0].trip, kK);
+  EXPECT_EQ(r.state.kernel.nest.levels[1].trip, kM);
+
+  const double scalar_cycles =
+      machine::estimate(gemm, target, gemm.default_n).total_cycles;
+  const double vec_cycles =
+      machine::estimate(r.state.kernel, target, gemm.default_n).total_cycles;
+  EXPECT_GT(scalar_cycles, 0.0);
+  EXPECT_LT(vec_cycles, scalar_cycles);
+
+  // The full differential matrix — scalar vs transformed, reference vs
+  // lowered, every dispatch mode — reports zero divergences.
+  testing::OracleOptions opts;
+  opts.pipeline = "interchange<0,1>,llv<4>";
+  const testing::DifferentialOracle oracle(target, opts);
+  const auto verdict = oracle.check(gemm);
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+}
+
+TEST(NestPipeline, PredicatedInnermostUnderInterchange) {
+  // llv<vl> after an outer interchange: the predicated whole-loop regime on
+  // the transposed nest must stay bit-identical between engines in every
+  // dispatch mode (the oracle's pipeline config pins exactly that).
+  const LoopKernel gemm = gemm_kernel();
+  const auto sve = machine::neoverse_sve256();
+  xform::AnalysisManager am;
+  const auto pipe = xform::Pipeline::parse("interchange<0,1>,llv<vl>");
+  ASSERT_TRUE(pipe.valid()) << pipe.error();
+  const auto r = pipe.run(gemm, sve, am);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_TRUE(r.state.kernel.predicated);
+  EXPECT_EQ(r.state.kernel.nest.levels[0].trip, kK);
+
+  testing::OracleOptions opts;
+  opts.pipeline = "interchange<0,1>,llv<vl>";
+  const testing::DifferentialOracle oracle(sve, opts);
+  const auto verdict = oracle.check(gemm);
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+}
+
+TEST(NestPipeline, OllvVectorizesTheFormerOuterLevel) {
+  // Column-major traversal c[64j + 8i + k]: the inner loop strides by 8, so
+  // plain llv is the wrong axis — but the k level is contiguous. ollv
+  // interchanges the innermost pair and widens the former outer level.
+  B b("xpose", "nest");
+  b.trip({.start = 0, .step = 1, .num = 0, .den = 1, .offset = 8});
+  b.outer(3);
+  b.outer(8);
+  const int c = b.array("c", ir::ScalarType::F32, 0, 3 * 64);
+  const int a = b.array("a", ir::ScalarType::F32, 0, 3 * 64);
+  const auto idx = B::at_nest(8, {64, 1});
+  b.store(c, idx, b.mul(b.load(a, idx), b.fconst(2.0)));
+  const LoopKernel xpose = std::move(b).finish();
+
+  xform::AnalysisManager am;
+  const auto pipe = xform::Pipeline::parse("ollv<4>");
+  ASSERT_TRUE(pipe.valid()) << pipe.error();
+  const auto r = pipe.run(xpose, machine::cortex_a57(), am);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_EQ(r.state.kernel.vf, 4);
+  // The former i loop (trip 8) is now the innermost-outer level; the former
+  // k level became the vectorized, unit-stride loop.
+  ASSERT_EQ(r.state.kernel.nest.size(), 2u);
+  EXPECT_EQ(r.state.kernel.nest.levels[1].trip, 8);
+
+  testing::OracleOptions opts;
+  opts.pipeline = "ollv<4>";
+  const testing::DifferentialOracle oracle(machine::cortex_a57(), opts);
+  const auto verdict = oracle.check(xpose);
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Spec grammar and search-space surface
+
+TEST(NestPipeline, TwoArgumentSpecGrammar) {
+  // Non-adjacent pair, missing second argument, and a second argument on a
+  // pass that takes none: all rejected at parse/instantiation time.
+  EXPECT_FALSE(xform::Pipeline::parse("interchange<0,2>").valid());
+  EXPECT_NE(xform::Pipeline::parse("interchange<0,2>").error().find(
+                "adjacent"),
+            std::string::npos);
+  EXPECT_FALSE(xform::Pipeline::parse("interchange<1>").valid());
+  EXPECT_FALSE(xform::Pipeline::parse("interchange").valid());
+  EXPECT_FALSE(xform::Pipeline::parse("llv<2,3>").valid());
+  EXPECT_FALSE(xform::Pipeline::parse("interchange<0,x>").valid());
+  // Canonical round-trip of the two-argument form.
+  const auto pipe = xform::Pipeline::parse("interchange<1,2>,unrolljam<2>");
+  ASSERT_TRUE(pipe.valid()) << pipe.error();
+  EXPECT_EQ(pipe.spec(), "interchange<1,2>,unrolljam<2>");
+}
+
+TEST(SpecSpaceNest, DeepNestAxesEnumerateAndClassicKernelsKeepTheLattice) {
+  const auto target = machine::cortex_a57();
+  xform::AnalysisManager am;
+  const LoopKernel gemm = gemm_kernel();
+  const tune::SpecSpace deep(gemm, target, am.legality(gemm));
+  // interchange candidates are the first level of each legal outer pair;
+  // the inner pair is ollv's business.
+  EXPECT_EQ(deep.interchange_axis(),
+            (std::vector<int>{tune::kNoInterchange, 0}));
+  EXPECT_EQ(deep.unrolljam_axis(), (std::vector<int>{0, 2, 4}));
+  EXPECT_GT(deep.ollv_axis().size(), 1u);
+
+  // A classic 2-deep kernel enumerates the sentinels only: the historical
+  // lattice, seeds, and mutation stream are untouched.
+  B b("classic", "nest");
+  b.outer(8);
+  const int a = b.array("a");
+  b.store(a, B::at(1), b.add(b.load(a, B::at(1)), b.fconst(1.0)));
+  const LoopKernel classic = std::move(b).finish();
+  const tune::SpecSpace flat(classic, target, am.legality(classic));
+  EXPECT_EQ(flat.interchange_axis().size(), 1u);
+  EXPECT_EQ(flat.unrolljam_axis().size(), 1u);
+  EXPECT_EQ(flat.ollv_axis().size(), 1u);
+
+  // Canonical spec rendering of the nest axes.
+  tune::SpecPoint p;
+  p.interchange = 0;
+  p.unrolljam = 2;
+  EXPECT_EQ(p.to_spec(), "interchange<0,1>,unrolljam<2>");
+  tune::SpecPoint q;
+  q.ollv = xform::kVLParam;
+  EXPECT_EQ(q.to_spec(), "ollv<vl>");
+}
+
+}  // namespace
+}  // namespace veccost

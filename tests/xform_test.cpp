@@ -44,12 +44,17 @@ std::uint64_t global_counter(const char* name) {
 
 TEST(Registry, CatalogListsEveryPassKind) {
   const auto& catalog = pass_catalog();
-  ASSERT_EQ(catalog.size(), 5u);
+  ASSERT_EQ(catalog.size(), 8u);
   EXPECT_EQ(catalog[0].name, "llv");
   EXPECT_EQ(catalog[1].name, "unroll");
   EXPECT_EQ(catalog[2].name, "slp");
   EXPECT_EQ(catalog[3].name, "reroll");
   EXPECT_EQ(catalog[4].name, "lower");
+  EXPECT_EQ(catalog[5].name, "interchange");
+  EXPECT_EQ(catalog[6].name, "unrolljam");
+  EXPECT_EQ(catalog[7].name, "ollv");
+  EXPECT_TRUE(catalog[5].has_param2);
+  EXPECT_FALSE(catalog[7].has_param2);
   for (const PassInfo& info : catalog) {
     EXPECT_NE(find_pass_info(info.name), nullptr);
     EXPECT_FALSE(info.synopsis.empty());

@@ -37,7 +37,8 @@ import sys
 import time
 
 MICRO_BENCHES = ("bench/micro_machine", "bench/micro_fit",
-                 "bench/micro_pipeline", "bench/micro_tune")
+                 "bench/micro_pipeline", "bench/micro_tune",
+                 "bench/micro_nest")
 
 
 def run_google_benchmark(binary, min_time):

@@ -112,6 +112,9 @@ class MicroBenchListTest(unittest.TestCase):
     def test_micro_tune_is_collected(self):
         self.assertIn("bench/micro_tune", run_benches.MICRO_BENCHES)
 
+    def test_micro_nest_is_collected(self):
+        self.assertIn("bench/micro_nest", run_benches.MICRO_BENCHES)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -12,7 +12,7 @@
 //   veccost fuzz     [target]                    differential fuzz campaign
 //   veccost tune     [target]                    pipeline autotuner (docs/tuning.md)
 //   veccost stats    [target|metrics.json]       pipeline metrics report
-//   veccost passes   [spec]                      pass catalog + spec check
+//   veccost passes   [--json] [spec]             pass catalog + spec check
 //   veccost serve    [--port N] ...              cost-model daemon (docs/serving.md)
 //
 // Everything the example binaries do, behind one verb-style entry point.
@@ -76,11 +76,12 @@ usage:
   veccost catalog [target]
   veccost fuzz    [target] [--seed N] [--iters N] [--corpus DIR]
                   [--corpus-out DIR] [--no-shrink] [--inject-fault]
+                  [--deep-nests]
   veccost tune    [target] [--seed N] [--rounds N] [--beam N] [--mutations N]
                   [--epsilon X] [--kernels a,b,c] [--subset10] [--regret]
                   [--no-fit] [--out FILE] [--bench-out FILE]
   veccost stats   [--json] [target|metrics.json]
-  veccost passes  [spec]
+  veccost passes  [--json] [spec]
   veccost serve   [--port N] [--queue-limit N] [--batch-max N]
                   [--deadline-ms N] [--cache-dir DIR]
                   [--inject-fault] [--inject-delay-ms N]
@@ -361,11 +362,13 @@ int cmd_catalog(const std::vector<std::string>& args) {
 }
 
 /// `veccost fuzz [target] [--seed N] [--iters N] [--corpus DIR]
-/// [--corpus-out DIR] [--no-shrink] [--inject-fault]`. Replays the corpus,
-/// then runs a seeded differential campaign (testing::run_campaign); exits
-/// nonzero when anything diverges. `--iters 0` is a pure corpus replay (the
-/// CI bench workflow's mode); `--inject-fault` corrupts every widened kernel
-/// with the built-in demo fault to demonstrate the catch+shrink path.
+/// [--corpus-out DIR] [--no-shrink] [--inject-fault] [--deep-nests]`.
+/// Replays the corpus, then runs a seeded differential campaign
+/// (testing::run_campaign); exits nonzero when anything diverges. `--iters 0`
+/// is a pure corpus replay (the CI bench workflow's mode); `--inject-fault`
+/// corrupts every widened kernel with the built-in demo fault to demonstrate
+/// the catch+shrink path; `--deep-nests` extends the generator grammar to
+/// 3- and 4-deep loop nests (the interchange/unrolljam/ollv pass surface).
 int cmd_fuzz(std::vector<std::string> args,
              const support::GlobalOptions& global) {
   testing::CampaignOptions opts;
@@ -409,6 +412,9 @@ int cmd_fuzz(std::vector<std::string> args,
       it = args.erase(it);
     } else if (*it == "--inject-fault") {
       inject_fault = true;
+      it = args.erase(it);
+    } else if (*it == "--deep-nests") {
+      opts.generator.allow_deep_nests = true;
       it = args.erase(it);
     } else {
       ++it;
@@ -602,17 +608,48 @@ int cmd_stats(std::vector<std::string> args) {
   return 0;
 }
 
-/// `veccost passes [spec]`. Lists the registered transform passes, then —
-/// when a spec was given positionally or via --pipeline — validates it,
-/// pointing a caret at the offending character on a parse error.
+/// `veccost passes [--json] [spec]`. Lists the registered transform passes
+/// (--json emits the machine-readable catalog, parameter kinds included),
+/// then — when a spec was given positionally or via --pipeline — validates
+/// it, pointing a caret at the offending character on a parse error.
 int cmd_passes(const std::vector<std::string>& args,
                const support::GlobalOptions& global) {
+  std::vector<std::string> rest;
+  bool json = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--json")
+      json = true;
+    else
+      rest.push_back(args[i]);
+  }
+  if (json) {
+    // param_kind: "none", "int" (<N>), "int|vl" (<N> or the vl keyword),
+    // "level-pair" (<a,b>, adjacent nest depth levels).
+    std::cout << "[\n";
+    bool first = true;
+    for (const auto& info : xform::pass_catalog()) {
+      const char* kind = !info.has_param ? "none"
+                         : info.has_param2 ? "level-pair"
+                         : info.accepts_vl ? "int|vl"
+                                           : "int";
+      if (!first) std::cout << ",\n";
+      first = false;
+      std::cout << "  {\"name\": \"" << info.name << "\", \"synopsis\": \""
+                << info.synopsis << "\", \"summary\": \"" << info.summary
+                << "\", \"param_kind\": \"" << kind
+                << "\", \"param_required\": "
+                << (info.param_required ? "true" : "false")
+                << ", \"min_param\": " << info.min_param << "}";
+    }
+    std::cout << "\n]\n";
+    return 0;
+  }
   TextTable t({"pass", "spec", "summary"});
   for (const auto& info : xform::pass_catalog())
     t.add_row({std::string(info.name), std::string(info.synopsis),
                std::string(info.summary)});
   std::cout << t.to_string();
-  const std::string spec = args.size() > 2 ? args[2] : global.pipeline;
+  const std::string spec = !rest.empty() ? rest[0] : global.pipeline;
   if (spec.empty()) {
     std::cout << "\npipelines are comma-separated pass specs, e.g. "
                  "\"unroll<4>,slp,reroll\"\n";
